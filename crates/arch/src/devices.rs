@@ -1,0 +1,349 @@
+//! Topology generators for the devices evaluated in the paper:
+//! rectangular grids, IBM QX2, Rigetti Aspen-4, Google Sycamore, and IBM
+//! Eagle (heavy-hex), plus a parametric heavy-hex generator.
+
+use crate::graph::CouplingGraph;
+
+/// A `width × height` rectangular grid (the coupling graphs of Fig. 1 and
+/// Tables I–II).
+///
+/// # Panics
+///
+/// Panics if either dimension is zero or the qubit count exceeds `u16`.
+///
+/// # Examples
+///
+/// ```
+/// use olsq2_arch::grid;
+/// let g = grid(5, 5);
+/// assert_eq!(g.num_qubits(), 25);
+/// assert_eq!(g.num_edges(), 40);
+/// ```
+pub fn grid(width: usize, height: usize) -> CouplingGraph {
+    assert!(width > 0 && height > 0, "grid dimensions must be positive");
+    assert!(width * height <= u16::MAX as usize, "grid too large");
+    let idx = |r: usize, c: usize| (r * width + c) as u16;
+    let mut edges = Vec::new();
+    for r in 0..height {
+        for c in 0..width {
+            if c + 1 < width {
+                edges.push((idx(r, c), idx(r, c + 1)));
+            }
+            if r + 1 < height {
+                edges.push((idx(r, c), idx(r + 1, c)));
+            }
+        }
+    }
+    CouplingGraph::new(format!("grid{width}x{height}"), width * height, edges)
+        .expect("grid construction is valid")
+}
+
+/// IBM QX2: 5 qubits, 6 couplers (Fig. 3 of the paper).
+pub fn ibm_qx2() -> CouplingGraph {
+    CouplingGraph::new(
+        "ibm-qx2",
+        5,
+        vec![(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)],
+    )
+    .expect("static edge list is valid")
+}
+
+/// Rigetti Aspen-4 (16 qubits): two octagonal rings fused by two couplers.
+pub fn aspen4() -> CouplingGraph {
+    let mut edges = Vec::new();
+    for ring in 0..2u16 {
+        let base = ring * 8;
+        for i in 0..8u16 {
+            edges.push((base + i, base + (i + 1) % 8));
+        }
+    }
+    // Inter-octagon links as on the Rigetti lattice: the two east qubits of
+    // ring A couple to the two west qubits of ring B.
+    edges.push((1, 14));
+    edges.push((2, 13));
+    CouplingGraph::new("aspen-4", 16, edges).expect("static edge list is valid")
+}
+
+/// Google Sycamore (54 qubits): a square lattice rotated 45°, modeled as a
+/// 6×9 array with row-parity diagonal couplers — each interior qubit has
+/// degree 4, matching the Sycamore coupler pattern.
+pub fn sycamore54() -> CouplingGraph {
+    let (rows, cols) = (6usize, 9usize);
+    let idx = |r: usize, c: usize| (r * cols + c) as u16;
+    let mut edges = Vec::new();
+    for r in 0..rows - 1 {
+        for c in 0..cols {
+            edges.push((idx(r, c), idx(r + 1, c)));
+            if r % 2 == 0 {
+                if c > 0 {
+                    edges.push((idx(r, c), idx(r + 1, c - 1)));
+                }
+            } else if c + 1 < cols {
+                edges.push((idx(r, c), idx(r + 1, c + 1)));
+            }
+        }
+    }
+    CouplingGraph::new("sycamore54", rows * cols, edges).expect("static edge list is valid")
+}
+
+/// IBM Eagle (127 qubits): the heavy-hex lattice of `ibm_washington`.
+///
+/// Seven rows of qubit chains (14/15/…/14) joined by 24 bridge qubits, the
+/// standard 127-qubit heavy-hex arrangement.
+pub fn eagle127() -> CouplingGraph {
+    let mut edges: Vec<(u16, u16)> = Vec::new();
+    let chain = |edges: &mut Vec<(u16, u16)>, start: u16, len: u16| {
+        for i in 0..len - 1 {
+            edges.push((start + i, start + i + 1));
+        }
+    };
+    // Row chains.
+    chain(&mut edges, 0, 14); // row 0: 0..=13
+    chain(&mut edges, 18, 15); // row 1: 18..=32
+    chain(&mut edges, 37, 15); // row 2: 37..=51
+    chain(&mut edges, 56, 15); // row 3: 56..=70
+    chain(&mut edges, 75, 15); // row 4: 75..=89
+    chain(&mut edges, 94, 15); // row 5: 94..=108
+    chain(&mut edges, 113, 14); // row 6: 113..=126
+    // Bridge qubits between rows (ibm_washington pattern).
+    let bridges: [(u16, u16, u16); 24] = [
+        (14, 0, 18),
+        (15, 4, 22),
+        (16, 8, 26),
+        (17, 12, 30),
+        (33, 20, 39),
+        (34, 24, 43),
+        (35, 28, 47),
+        (36, 32, 51),
+        (52, 37, 56),
+        (53, 41, 60),
+        (54, 45, 64),
+        (55, 49, 68),
+        (71, 58, 77),
+        (72, 62, 81),
+        (73, 66, 85),
+        (74, 70, 89),
+        (90, 75, 94),
+        (91, 79, 98),
+        (92, 83, 102),
+        (93, 87, 106),
+        (109, 96, 114),
+        (110, 100, 118),
+        (111, 104, 122),
+        (112, 108, 126),
+    ];
+    for (bridge, up, down) in bridges {
+        edges.push((bridge, up));
+        edges.push((bridge, down));
+    }
+    CouplingGraph::new("eagle127", 127, edges).expect("static edge list is valid")
+}
+
+/// IBM QX5 (16 qubits): a 2×8 ladder, the 16-qubit device of the early
+/// IBM Q experience.
+pub fn ibm_qx5() -> CouplingGraph {
+    // Ring of 16 with rungs: standard 2x8 arrangement.
+    let mut edges = Vec::new();
+    for r in 0..2u16 {
+        for c in 0..7u16 {
+            edges.push((r * 8 + c, r * 8 + c + 1));
+        }
+    }
+    for c in 0..8u16 {
+        edges.push((c, c + 8));
+    }
+    CouplingGraph::new("ibm-qx5", 16, edges).expect("static edge list is valid")
+}
+
+/// IBM Tokyo (20 qubits): a 4×5 grid with extra diagonal couplers — a
+/// common mid-size target in layout-synthesis papers.
+pub fn ibm_tokyo() -> CouplingGraph {
+    let idx = |r: u16, c: u16| r * 5 + c;
+    let mut edges = Vec::new();
+    for r in 0..4u16 {
+        for c in 0..5u16 {
+            if c + 1 < 5 {
+                edges.push((idx(r, c), idx(r, c + 1)));
+            }
+            if r + 1 < 4 {
+                edges.push((idx(r, c), idx(r + 1, c)));
+            }
+        }
+    }
+    // Diagonal pairs (both directions of the X couplings).
+    for &(a, b) in &[
+        (1u16, 7u16),
+        (2, 6),
+        (3, 9),
+        (4, 8),
+        (5, 11),
+        (6, 10),
+        (7, 13),
+        (8, 12),
+        (11, 17),
+        (12, 16),
+        (13, 19),
+        (14, 18),
+    ] {
+        edges.push((a, b));
+    }
+    CouplingGraph::new("ibm-tokyo", 20, edges).expect("static edge list is valid")
+}
+
+/// A parametric heavy-hex lattice with `rows` qubit rows of `row_len`
+/// qubits and bridge qubits every 4 positions, generalizing the
+/// [`eagle127`] construction to arbitrary sizes.
+///
+/// # Panics
+///
+/// Panics if `rows < 2`, `row_len < 5`, or the total exceeds `u16`.
+pub fn heavy_hex(rows: usize, row_len: usize) -> CouplingGraph {
+    assert!(rows >= 2 && row_len >= 5);
+    let bridges_per_gap = (row_len - 1) / 4;
+    let total = rows * row_len + (rows - 1) * bridges_per_gap;
+    assert!(total <= u16::MAX as usize, "heavy-hex too large");
+    let row_start = |r: usize| (r * (row_len + bridges_per_gap)) as u16;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        let s = row_start(r);
+        for i in 0..row_len - 1 {
+            edges.push((s + i as u16, s + i as u16 + 1));
+        }
+        if r + 1 < rows {
+            let bridge_base = s + row_len as u16;
+            for b in 0..bridges_per_gap {
+                let offset = (b * 4) as u16 + if r % 2 == 0 { 0 } else { 2 };
+                let offset = offset.min(row_len as u16 - 1);
+                edges.push((bridge_base + b as u16, s + offset));
+                edges.push((bridge_base + b as u16, row_start(r + 1) + offset));
+            }
+        }
+    }
+    CouplingGraph::new(
+        format!("heavyhex{rows}x{row_len}"),
+        total,
+        edges,
+    )
+    .expect("heavy-hex construction is valid")
+}
+
+/// A linear chain of `n` qubits (useful for tests and worst-case routing).
+///
+/// # Panics
+///
+/// Panics if `n` is zero or exceeds `u16`.
+pub fn line(n: usize) -> CouplingGraph {
+    assert!(n > 0 && n <= u16::MAX as usize);
+    let edges = (0..n - 1).map(|i| (i as u16, i as u16 + 1)).collect();
+    CouplingGraph::new(format!("line{n}"), n, edges).expect("line construction is valid")
+}
+
+/// A fully connected graph of `n` qubits (layout synthesis becomes pure
+/// scheduling; useful as a control in experiments).
+///
+/// # Panics
+///
+/// Panics if `n` is zero or exceeds 512 (quadratic edge count).
+pub fn complete(n: usize) -> CouplingGraph {
+    assert!(n > 0 && n <= 512);
+    let mut edges = Vec::new();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            edges.push((a as u16, b as u16));
+        }
+    }
+    CouplingGraph::new(format!("complete{n}"), n, edges).expect("complete construction is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_counts() {
+        let g = grid(7, 7);
+        assert_eq!(g.num_qubits(), 49);
+        assert_eq!(g.num_edges(), 2 * 7 * 6);
+        assert!(g.is_connected());
+        assert_eq!(g.diameter(), Some(12));
+    }
+
+    #[test]
+    fn qx2_matches_figure_3() {
+        let g = ibm_qx2();
+        assert_eq!(g.num_qubits(), 5);
+        assert_eq!(g.num_edges(), 6);
+        assert!(g.is_adjacent(2, 4));
+        assert!(!g.is_adjacent(0, 3));
+        assert_eq!(g.max_degree(), 4); // qubit 2 touches everything
+    }
+
+    #[test]
+    fn aspen4_shape() {
+        let g = aspen4();
+        assert_eq!(g.num_qubits(), 16);
+        assert_eq!(g.num_edges(), 18);
+        assert!(g.is_connected());
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn sycamore_shape() {
+        let g = sycamore54();
+        assert_eq!(g.num_qubits(), 54);
+        assert!(g.is_connected());
+        assert_eq!(g.max_degree(), 4);
+        // Rotated square lattice: 6 rows of 9 with diagonals.
+        assert_eq!(g.num_edges(), 5 * 9 + 5 * 8);
+    }
+
+    #[test]
+    fn eagle_shape() {
+        let g = eagle127();
+        assert_eq!(g.num_qubits(), 127);
+        assert!(g.is_connected());
+        // Heavy-hex: chain edges + 2 per bridge.
+        let chain_edges = 13 + 14 * 5 + 13;
+        assert_eq!(g.num_edges(), chain_edges + 48);
+        // Heavy-hex degree is at most 3.
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn qx5_shape() {
+        let g = ibm_qx5();
+        assert_eq!(g.num_qubits(), 16);
+        assert_eq!(g.num_edges(), 2 * 7 + 8);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn tokyo_shape() {
+        let g = ibm_tokyo();
+        assert_eq!(g.num_qubits(), 20);
+        assert!(g.is_connected());
+        // Grid edges (31) + 12 diagonals.
+        assert_eq!(g.num_edges(), 31 + 12);
+        assert!(g.is_adjacent(1, 7));
+    }
+
+    #[test]
+    fn heavy_hex_parametric() {
+        let g = heavy_hex(3, 9);
+        assert!(g.is_connected());
+        assert_eq!(g.num_qubits(), 3 * 9 + 2 * 2);
+        assert!(g.max_degree() <= 3);
+        // Bigger instance stays consistent.
+        let big = heavy_hex(5, 13);
+        assert!(big.is_connected());
+        assert!(big.max_degree() <= 3);
+    }
+
+    #[test]
+    fn line_and_complete() {
+        assert_eq!(line(10).diameter(), Some(9));
+        let k5 = complete(5);
+        assert_eq!(k5.num_edges(), 10);
+        assert_eq!(k5.diameter(), Some(1));
+    }
+}

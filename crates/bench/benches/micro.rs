@@ -1,0 +1,208 @@
+//! Criterion micro-benchmarks backing the paper's performance claims at
+//! laptop-friendly sizes:
+//!
+//! * `encoding/*` — Table I in miniature: time-to-solution of the
+//!   OLSQ(int) baseline vs OLSQ2(bv) on the same QAOA feasibility instance;
+//! * `cardinality/*` — Table II in miniature: sequential counter vs
+//!   totalizer vs adder network on a popcount-bounding task;
+//! * `sabre` and `satmap` — heuristic baseline throughput;
+//! * `solver/pigeonhole` — raw CDCL performance on a classic UNSAT family.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use olsq2::{EncodingConfig, FlatModel, ModelStyle, SynthesisConfig, TbOlsq2Synthesizer};
+use olsq2_arch::grid;
+use olsq2_bench as _;
+use olsq2_circuit::generators::qaoa_circuit;
+use olsq2_encode::{CardEncoding, CardinalityNetwork};
+use olsq2_heuristic::{sabre_route, satmap_route, SabreConfig, SatMapConfig};
+use olsq2_sat::{Lit, SolveResult, Solver};
+
+fn encoding_benches(c: &mut Criterion) {
+    let circuit = qaoa_circuit(8, 3);
+    let graph = grid(3, 3);
+    let mut group = c.benchmark_group("encoding");
+    group.sample_size(10);
+    for (name, style, enc) in [
+        ("olsq_int", ModelStyle::OlsqBaseline, EncodingConfig::int()),
+        ("olsq2_int", ModelStyle::Olsq2, EncodingConfig::int()),
+        ("olsq2_euf_int", ModelStyle::Olsq2, EncodingConfig::euf_int()),
+        ("olsq2_bv", ModelStyle::Olsq2, EncodingConfig::bv()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let config = SynthesisConfig {
+                    encoding: enc,
+                    swap_duration: 1,
+                    ..SynthesisConfig::default()
+                };
+                let mut model =
+                    FlatModel::build_with_style(&circuit, &graph, &config, 10, style)
+                        .expect("builds");
+                assert_eq!(model.solve(&[]), SolveResult::Sat);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn cardinality_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cardinality");
+    for (name, enc) in [
+        ("seq_counter", CardEncoding::SequentialCounter),
+        ("totalizer", CardEncoding::Totalizer),
+        ("adder", CardEncoding::AdderNetwork),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut s = Solver::new();
+                let xs: Vec<Lit> = (0..64).map(|_| Lit::positive(s.new_var())).collect();
+                let mut card = CardinalityNetwork::new(&mut s, &xs, 16, enc);
+                for &x in xs.iter().take(15) {
+                    s.add_clause([x]);
+                }
+                let bound = card.at_most(&mut s, 15);
+                assert_eq!(s.solve(&[bound]), SolveResult::Sat);
+                let tight = card.at_most(&mut s, 14);
+                assert_eq!(s.solve(&[tight]), SolveResult::Unsat);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn heuristic_benches(c: &mut Criterion) {
+    let circuit = qaoa_circuit(16, 7);
+    let graph = olsq2_arch::sycamore54();
+    c.bench_function("sabre_qaoa16_sycamore", |b| {
+        let mut cfg = SabreConfig::default();
+        cfg.swap_duration = 1;
+        b.iter(|| sabre_route(&circuit, &graph, &cfg).expect("routes"))
+    });
+    let small = qaoa_circuit(8, 7);
+    let small_graph = grid(3, 3);
+    let mut group = c.benchmark_group("satmap");
+    group.sample_size(10);
+    group.bench_function("satmap_qaoa8_grid3", |b| {
+        let mut cfg = SatMapConfig::default();
+        cfg.swap_duration = 1;
+        b.iter(|| satmap_route(&small, &small_graph, &cfg).expect("maps"))
+    });
+    group.finish();
+}
+
+fn tb_bench(c: &mut Criterion) {
+    let circuit = qaoa_circuit(8, 3);
+    let graph = grid(3, 3);
+    let mut group = c.benchmark_group("tb_olsq2");
+    group.sample_size(10);
+    group.bench_function("blocks_qaoa8_grid3", |b| {
+        let synth = TbOlsq2Synthesizer::new(SynthesisConfig::with_swap_duration(1));
+        b.iter(|| synth.optimize_blocks(&circuit, &graph).expect("solves"))
+    });
+    group.finish();
+}
+
+fn preprocess_bench(c: &mut Criterion) {
+    use olsq2_sat::Preprocessor;
+    // A Tseitin-heavy formula: cardinality networks are full of eliminable
+    // auxiliary variables, the preprocessing sweet spot.
+    let build = || {
+        let mut cnf = olsq2_encode::Cnf::new();
+        let xs: Vec<Lit> = (0..48)
+            .map(|_| Lit::positive(olsq2_encode::CnfSink::new_var(&mut cnf)))
+            .collect();
+        let mut card = CardinalityNetwork::new(&mut cnf, &xs, 12, CardEncoding::Totalizer);
+        let _ = card.at_most(&mut cnf, 10);
+        for &x in xs.iter().take(11) {
+            olsq2_encode::CnfSink::add_clause(&mut cnf, &[x]);
+        }
+        cnf
+    };
+    let mut group = c.benchmark_group("preprocess");
+    group.bench_function("with", |b| {
+        b.iter(|| {
+            let cnf = build();
+            let simp = Preprocessor::new(cnf.num_vars(), cnf.clauses().iter().cloned()).run();
+            let mut s = Solver::new();
+            assert!(simp.solve_and_reconstruct(&mut s).is_some());
+        })
+    });
+    group.bench_function("without", |b| {
+        b.iter(|| {
+            let cnf = build();
+            let mut s = Solver::new();
+            cnf.load_into(&mut s);
+            assert_eq!(s.solve(&[]), SolveResult::Sat);
+        })
+    });
+    group.finish();
+}
+
+fn proof_bench(c: &mut Criterion) {
+    c.bench_function("proof/php_4_3_record_and_check", |b| {
+        b.iter(|| {
+            let mut s = Solver::new();
+            s.enable_proof();
+            let (p, h) = (4usize, 3usize);
+            let mut x = vec![vec![Lit::positive(Var::from_index(0)); h]; p];
+            for row in x.iter_mut() {
+                for cell in row.iter_mut() {
+                    *cell = Lit::positive(s.new_var());
+                }
+            }
+            for row in &x {
+                s.add_clause(row.iter().copied());
+            }
+            for hole in 0..h {
+                for p1 in 0..p {
+                    for p2 in (p1 + 1)..p {
+                        s.add_clause([!x[p1][hole], !x[p2][hole]]);
+                    }
+                }
+            }
+            assert_eq!(s.solve(&[]), SolveResult::Unsat);
+            let proof = s.take_proof().expect("proof");
+            assert_eq!(proof.check(), Ok(()));
+        })
+    });
+}
+
+fn solver_bench(c: &mut Criterion) {
+    c.bench_function("solver/pigeonhole_7_into_6", |b| {
+        b.iter(|| {
+            let mut s = Solver::new();
+            let (p, h) = (7usize, 6usize);
+            let mut x = vec![vec![Lit::positive(Var::from_index(0)); h]; p];
+            for row in x.iter_mut() {
+                for cell in row.iter_mut() {
+                    *cell = Lit::positive(s.new_var());
+                }
+            }
+            for row in &x {
+                s.add_clause(row.iter().copied());
+            }
+            for hole in 0..h {
+                for p1 in 0..p {
+                    for p2 in (p1 + 1)..p {
+                        s.add_clause([!x[p1][hole], !x[p2][hole]]);
+                    }
+                }
+            }
+            assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        })
+    });
+}
+
+use olsq2_sat::Var;
+
+criterion_group!(
+    benches,
+    encoding_benches,
+    cardinality_benches,
+    heuristic_benches,
+    tb_bench,
+    solver_bench,
+    preprocess_bench,
+    proof_bench
+);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Table I — runtime comparison of the six encoding configurations:
+//! OLSQ(int), OLSQ(bv), OLSQ2(int), OLSQ2(EUF+int), OLSQ2(EUF+bv),
+//! OLSQ2(bv). Instances are satisfiable QAOA feasibility problems on grid
+//! devices with a fixed depth window and unconstrained SWAP count,
+//! mirroring the paper's §IV-A setup (theirs: 7×7/8×8 grids, T_UB=21).
+
+use olsq2::{EncodingConfig, FlatModel, ModelStyle, SynthesisConfig};
+use olsq2_arch::grid;
+use olsq2_bench::{geomean_ratio, ratio, BenchOpts, Cell};
+use olsq2_circuit::generators::qaoa_circuit;
+use olsq2_sat::SolveResult;
+use std::time::Instant;
+
+const CONFIGS: [(&str, ModelStyle, fn() -> EncodingConfig); 6] = [
+    ("OLSQ(int)", ModelStyle::OlsqBaseline, EncodingConfig::int),
+    ("OLSQ(bv)", ModelStyle::OlsqBaseline, EncodingConfig::bv),
+    ("OLSQ2(int)", ModelStyle::Olsq2, EncodingConfig::int),
+    ("OLSQ2(EUF+int)", ModelStyle::Olsq2, EncodingConfig::euf_int),
+    ("OLSQ2(EUF+bv)", ModelStyle::Olsq2, EncodingConfig::euf_bv),
+    ("OLSQ2(bv)", ModelStyle::Olsq2, EncodingConfig::bv),
+];
+
+fn run(
+    circuit: &olsq2_circuit::Circuit,
+    graph: &olsq2_arch::CouplingGraph,
+    opts: &BenchOpts,
+    style: ModelStyle,
+    encoding: EncodingConfig,
+    t_ub: usize,
+) -> (Cell, usize, usize) {
+    let config = SynthesisConfig {
+        encoding,
+        swap_duration: 1,
+        time_budget: Some(opts.budget),
+        ..SynthesisConfig::default()
+    };
+    let start = Instant::now();
+    let mut model = match FlatModel::build_with_style(circuit, graph, &config, t_ub, style) {
+        Ok(m) => m,
+        Err(e) => return (Cell::Failed(e.to_string()), 0, 0),
+    };
+    let (vars, clauses) = model.formula_size();
+    model.solver_mut().set_deadline(Some(start + opts.budget));
+    let cell = match model.solve(&[]) {
+        SolveResult::Sat => Cell::Time(start.elapsed()),
+        SolveResult::Unsat => Cell::Failed("unexpected UNSAT".into()),
+        SolveResult::Unknown => Cell::Timeout,
+    };
+    (cell, vars, clauses)
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let (grids, sizes, t_ub): (Vec<usize>, Vec<usize>, usize) = if opts.full {
+        (vec![7, 8], vec![16, 18, 20, 22, 24], 21)
+    } else {
+        (vec![4, 5], vec![8, 10, 12], 12)
+    };
+    println!("Table I reproduction: encoding comparison (T_UB={t_ub}, unconstrained swaps)\n");
+    print!("{:<7} {:<11}", "grid", "qubit/gate");
+    for (name, _, _) in CONFIGS {
+        print!(" {:>15}", name);
+    }
+    println!();
+
+    let mut per_config_pairs: Vec<Vec<(Cell, Cell)>> = vec![Vec::new(); CONFIGS.len()];
+    let mut size_rows: Vec<(String, Vec<(usize, usize)>)> = Vec::new();
+    for &g in &grids {
+        let graph = grid(g, g);
+        for &n in &sizes {
+            if n > graph.num_qubits() {
+                continue;
+            }
+            let circuit = qaoa_circuit(n, opts.seed);
+            let mut cells = Vec::new();
+            let mut sizes_here = Vec::new();
+            for (_, style, enc) in CONFIGS {
+                let (cell, vars, clauses) = run(&circuit, &graph, &opts, style, enc(), t_ub);
+                cells.push(cell);
+                sizes_here.push((vars, clauses));
+            }
+            print!(
+                "{:<7} {:<11}",
+                format!("{g}x{g}"),
+                format!("{}/{}", n, circuit.num_gates())
+            );
+            for (i, cell) in cells.iter().enumerate() {
+                print!(" {:>10}{:>4}", cell, ratio(&cells[0], cell).trim_start());
+                per_config_pairs[i].push((cells[0].clone(), cell.clone()));
+            }
+            println!();
+            size_rows.push((format!("{g}x{g} {}/{}", n, circuit.num_gates()), sizes_here));
+        }
+    }
+    println!("\nAverage speedup over OLSQ(int) (geomean):");
+    for (i, (name, _, _)) in CONFIGS.iter().enumerate() {
+        println!("  {:<15} {}", name, geomean_ratio(&per_config_pairs[i]));
+    }
+    // Improvement 1's structural claim: fewer variables and constraints.
+    println!("\nFormula sizes (variables/clauses):");
+    print!("{:<19}", "instance");
+    for (name, _, _) in CONFIGS {
+        print!(" {:>18}", name);
+    }
+    println!();
+    for (label, sizes_here) in size_rows {
+        print!("{:<19}", label);
+        for (v, c) in sizes_here {
+            print!(" {:>18}", format!("{v}/{c}"));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,170 @@
+//! Table II — cardinality-constraint encodings for the SWAP bound
+//! (Eq. 5): the pseudo-Boolean path (binary adder network, standing in for
+//! Z3's `AtMost`) versus the CNF sequential counter, on the flat and
+//! transition-based models.
+//!
+//! Instances are layout problems for QAOA circuits on a grid with a fixed
+//! SWAP-count bound (the paper: 5×5 grid, `S_B = 30`, `T_UB = 21` flat /
+//! 5 blocks TB).
+//!
+//! All configurations share the substrate-best one-hot variable encoding
+//! so the columns isolate the formulation (space variables or not;
+//! flat or transition-based) and the cardinality path (adder network ≈
+//! Z3's pseudo-Boolean `AtMost`, vs the CNF sequential counter).
+
+use olsq2::{EncodingConfig, FlatModel, ModelStyle, SynthesisConfig, TbOlsq2Synthesizer};
+use olsq2_arch::grid;
+use olsq2_bench::{geomean_ratio, ratio, BenchOpts, Cell};
+use olsq2_circuit::generators::qaoa_circuit;
+use olsq2_encode::CardEncoding;
+use olsq2_sat::SolveResult;
+use std::time::Instant;
+
+fn run_flat(
+    circuit: &olsq2_circuit::Circuit,
+    graph: &olsq2_arch::CouplingGraph,
+    opts: &BenchOpts,
+    style: ModelStyle,
+    mut encoding: EncodingConfig,
+    card: CardEncoding,
+    t_ub: usize,
+    s_b: usize,
+) -> Cell {
+    encoding.cardinality = card;
+    let config = SynthesisConfig {
+        encoding,
+        swap_duration: 1,
+        time_budget: Some(opts.budget),
+        ..SynthesisConfig::default()
+    };
+    let start = Instant::now();
+    let mut model = match FlatModel::build_with_style(circuit, graph, &config, t_ub, style) {
+        Ok(m) => m,
+        Err(e) => return Cell::Failed(e.to_string()),
+    };
+    let bound = model.swap_bound(s_b, s_b);
+    model.solver_mut().set_deadline(Some(start + opts.budget));
+    match model.solve(&[bound]) {
+        SolveResult::Sat => Cell::Time(start.elapsed()),
+        SolveResult::Unsat => Cell::Failed("unexpected UNSAT".into()),
+        SolveResult::Unknown => Cell::Timeout,
+    }
+}
+
+fn run_tb(
+    circuit: &olsq2_circuit::Circuit,
+    graph: &olsq2_arch::CouplingGraph,
+    opts: &BenchOpts,
+    mut encoding: EncodingConfig,
+    card: CardEncoding,
+    blocks: usize,
+    s_b: usize,
+) -> Cell {
+    encoding.cardinality = card;
+    let config = SynthesisConfig {
+        encoding,
+        swap_duration: 1,
+        time_budget: Some(opts.budget),
+        ..SynthesisConfig::default()
+    };
+    let synth = TbOlsq2Synthesizer::new(config);
+    let start = Instant::now();
+    match synth.solve_feasible(circuit, graph, blocks, Some(s_b)) {
+        Ok(Some(_)) => Cell::Time(start.elapsed()),
+        Ok(None) => Cell::Timeout,
+        Err(e) => Cell::Failed(e.to_string()),
+    }
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let (g, sizes, t_ub, s_b, blocks): (usize, Vec<usize>, usize, usize, usize) = if opts.full {
+        (5, vec![16, 18, 20, 22, 24], 21, 30, 5)
+    } else {
+        (4, vec![8, 10, 12], 12, 10, 4)
+    };
+    let graph = grid(g, g);
+    println!(
+        "Table II reproduction: cardinality encodings (grid {g}x{g}, S_B={s_b}, T_UB={t_ub} flat / {blocks} blocks TB)\n"
+    );
+    let headers = [
+        "OLSQ",
+        "TB-OLSQ",
+        "OLSQ2(AtMost)",
+        "OLSQ2(CNF)",
+        "TB-OLSQ2(CNF)",
+    ];
+    print!("{:<11}", "qubit/gate");
+    for h in headers {
+        print!(" {:>15}", h);
+    }
+    println!();
+    let mut per_config_pairs: Vec<Vec<(Cell, Cell)>> = vec![Vec::new(); headers.len()];
+    for &n in &sizes {
+        let circuit = qaoa_circuit(n, opts.seed);
+        // "OLSQ": baseline formulation, int encoding, PB-style cardinality.
+        let olsq = run_flat(
+            &circuit,
+            &graph,
+            &opts,
+            ModelStyle::OlsqBaseline,
+            EncodingConfig::int(),
+            CardEncoding::AdderNetwork,
+            t_ub,
+            s_b,
+        );
+        // "TB-OLSQ": transition model, int encoding, PB-style cardinality.
+        let tb_olsq = run_tb(
+            &circuit,
+            &graph,
+            &opts,
+            EncodingConfig::int(),
+            CardEncoding::AdderNetwork,
+            blocks,
+            s_b,
+        );
+        // "OLSQ2(AtMost)": succinct formulation, PB-style cardinality.
+        let olsq2_atmost = run_flat(
+            &circuit,
+            &graph,
+            &opts,
+            ModelStyle::Olsq2,
+            EncodingConfig::int(),
+            CardEncoding::AdderNetwork,
+            t_ub,
+            s_b,
+        );
+        // "OLSQ2(CNF)": succinct formulation, sequential counter.
+        let olsq2_cnf = run_flat(
+            &circuit,
+            &graph,
+            &opts,
+            ModelStyle::Olsq2,
+            EncodingConfig::int(),
+            CardEncoding::SequentialCounter,
+            t_ub,
+            s_b,
+        );
+        // "TB-OLSQ2(CNF)": transition model, sequential counter.
+        let tb_olsq2 = run_tb(
+            &circuit,
+            &graph,
+            &opts,
+            EncodingConfig::int(),
+            CardEncoding::SequentialCounter,
+            blocks,
+            s_b,
+        );
+        let cells = [olsq, tb_olsq, olsq2_atmost, olsq2_cnf, tb_olsq2];
+        print!("{:<11}", format!("{}/{}", n, circuit.num_gates()));
+        for (i, cell) in cells.iter().enumerate() {
+            print!(" {:>10}{:>4}", cell, ratio(&cells[0], cell).trim_start());
+            per_config_pairs[i].push((cells[0].clone(), cell.clone()));
+        }
+        println!();
+    }
+    println!("\nAverage speedup over OLSQ (geomean):");
+    for (i, h) in headers.iter().enumerate() {
+        println!("  {:<15} {}", h, geomean_ratio(&per_config_pairs[i]));
+    }
+}

@@ -1,0 +1,183 @@
+//! Table III — depth-optimization comparison between SABRE and OLSQ2 on
+//! device topologies (Sycamore, Aspen-4, Eagle in `--full` mode).
+//!
+//! For each benchmark the harness reports SABRE's resulting depth, OLSQ2's
+//! optimized depth (with an optimality marker), and the ratio. QUEKO rows
+//! additionally check OLSQ2 against the known-optimal depth, reproducing
+//! the paper's §IV-C optimality claim.
+
+use olsq2::{Olsq2Synthesizer, SynthesisConfig, SynthesisError};
+use olsq2_arch::{aspen4, eagle127, sycamore54, CouplingGraph};
+use olsq2_bench::BenchOpts;
+use olsq2_circuit::generators::{
+    barenco_tof_circuit, qaoa_circuit, qft_decomposed, queko_circuit, tof_circuit,
+};
+use olsq2_circuit::Circuit;
+use olsq2_heuristic::{sabre_route, SabreConfig};
+use olsq2_layout::verify;
+
+struct Row {
+    device: &'static str,
+    circuit: Circuit,
+    swap_duration: usize,
+    known_optimal_depth: Option<usize>,
+}
+
+fn queko_row(
+    device: &'static str,
+    graph: &CouplingGraph,
+    depth: usize,
+    gates: usize,
+    seed: u64,
+) -> Row {
+    let q = queko_circuit(graph.num_qubits(), graph.edges(), depth, gates, seed);
+    Row {
+        device,
+        circuit: q.circuit,
+        swap_duration: 3,
+        known_optimal_depth: Some(q.optimal_depth),
+    }
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let sycamore = sycamore54();
+    let aspen = aspen4();
+    let eagle = eagle127();
+
+    let mut rows: Vec<Row> = Vec::new();
+    if opts.full {
+        for c in [
+            qft_decomposed(8),
+            tof_circuit(4),
+            barenco_tof_circuit(4),
+            tof_circuit(5),
+            barenco_tof_circuit(5),
+        ] {
+            rows.push(Row {
+                device: "sycamore",
+                circuit: c,
+                swap_duration: 3,
+                known_optimal_depth: None,
+            });
+        }
+        for n in [16usize, 20, 24, 28] {
+            rows.push(Row {
+                device: "sycamore",
+                circuit: qaoa_circuit(n, opts.seed),
+                swap_duration: 1,
+                known_optimal_depth: None,
+            });
+        }
+        for (d, g) in [(5usize, 192usize), (15, 576), (25, 959)] {
+            rows.push(queko_row("sycamore", &sycamore, d, g, opts.seed + d as u64));
+        }
+        for (d, g) in [(5usize, 37usize), (15, 109), (25, 180), (35, 253), (45, 324)] {
+            rows.push(queko_row("aspen-4", &aspen, d, g, opts.seed + d as u64));
+        }
+        for n in [16usize, 20] {
+            rows.push(Row {
+                device: "eagle",
+                circuit: qaoa_circuit(n, opts.seed),
+                swap_duration: 1,
+                known_optimal_depth: None,
+            });
+        }
+    } else {
+        rows.push(Row {
+            device: "sycamore",
+            circuit: tof_circuit(4),
+            swap_duration: 3,
+            known_optimal_depth: None,
+        });
+        for n in [8usize, 12] {
+            rows.push(Row {
+                device: "sycamore",
+                circuit: qaoa_circuit(n, opts.seed),
+                swap_duration: 1,
+                known_optimal_depth: None,
+            });
+        }
+        for (d, g) in [(5usize, 37usize), (10, 73), (15, 109)] {
+            rows.push(queko_row("aspen-4", &aspen, d, g, opts.seed + d as u64));
+        }
+        rows.push(queko_row("sycamore", &sycamore, 5, 192, opts.seed));
+    }
+
+    println!("Table III reproduction: depth optimization, SABRE vs OLSQ2 (budget {:?}/row)\n", opts.budget);
+    println!(
+        "{:<10} {:<22} {:>6} {:>8} {:>7}  note",
+        "device", "benchmark", "SABRE", "OLSQ2", "ratio"
+    );
+    let mut ratios: Vec<f64> = Vec::new();
+    for row in rows {
+        let graph: &CouplingGraph = match row.device {
+            "sycamore" => &sycamore,
+            "aspen-4" => &aspen,
+            _ => &eagle,
+        };
+        let mut sabre_cfg = SabreConfig::default();
+        sabre_cfg.swap_duration = row.swap_duration;
+        sabre_cfg.seed = opts.seed;
+        let sabre = match sabre_route(&row.circuit, graph, &sabre_cfg) {
+            Ok(r) => {
+                assert_eq!(verify(&row.circuit, graph, &r), Ok(()), "SABRE result invalid");
+                Some(r)
+            }
+            Err(_) => None,
+        };
+        let mut cfg = SynthesisConfig::with_swap_duration(row.swap_duration);
+        cfg.time_budget = Some(opts.budget);
+        let synth = Olsq2Synthesizer::new(cfg);
+        let olsq2 = synth.optimize_depth(&row.circuit, graph);
+        let (olsq2_text, note, olsq2_depth) = match &olsq2 {
+            Ok(out) => {
+                assert_eq!(
+                    verify(&row.circuit, graph, &out.result),
+                    Ok(()),
+                    "OLSQ2 result invalid"
+                );
+                let mut note = if out.proven_optimal {
+                    "optimal".to_string()
+                } else {
+                    "budget".to_string()
+                };
+                if let Some(known) = row.known_optimal_depth {
+                    if out.result.depth == known {
+                        note.push_str(", matches QUEKO optimum");
+                    } else {
+                        note.push_str(&format!(", QUEKO optimum {known}"));
+                    }
+                }
+                (format!("{}", out.result.depth), note, Some(out.result.depth))
+            }
+            Err(SynthesisError::BudgetExhausted) => ("TO".into(), String::new(), None),
+            Err(e) => (format!("{e}"), String::new(), None),
+        };
+        let sabre_text = sabre
+            .as_ref()
+            .map(|r| r.depth.to_string())
+            .unwrap_or_else(|| "ERR".into());
+        let ratio_text = match (&sabre, olsq2_depth) {
+            (Some(s), Some(d)) if d > 0 => {
+                let r = s.depth as f64 / d as f64;
+                ratios.push(r);
+                format!("{r:.2}x")
+            }
+            _ => "-".into(),
+        };
+        println!(
+            "{:<10} {:<22} {:>6} {:>8} {:>7}  {}",
+            row.device,
+            row.circuit.name(),
+            sabre_text,
+            olsq2_text,
+            ratio_text,
+            note
+        );
+    }
+    if !ratios.is_empty() {
+        let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        println!("\naverage depth ratio (SABRE / OLSQ2): {avg:.2}x");
+    }
+}

@@ -1,0 +1,168 @@
+//! Table IV — SWAP-count comparison of SABRE, the SATMap-style slice
+//! mapper, and TB-OLSQ2. Following the paper's convention, zero-SWAP
+//! results count as 1 when computing average ratios.
+
+use olsq2::{SynthesisConfig, TbOlsq2Synthesizer};
+use olsq2_arch::{aspen4, sycamore54, CouplingGraph};
+use olsq2_bench::BenchOpts;
+use olsq2_circuit::generators::{
+    barenco_tof_circuit, ising_circuit, qaoa_circuit, qft_decomposed, queko_circuit, tof_circuit,
+};
+use olsq2_circuit::Circuit;
+use olsq2_heuristic::{sabre_route, satmap_route, SabreConfig, SatMapConfig, SatMapError};
+use olsq2_layout::verify;
+
+struct Row {
+    device: &'static str,
+    circuit: Circuit,
+    swap_duration: usize,
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let sycamore = sycamore54();
+    let aspen = aspen4();
+
+    let mut rows: Vec<Row> = Vec::new();
+    let queko = |graph: &CouplingGraph, device, depth: usize, gates, seed| {
+        let q = queko_circuit(graph.num_qubits(), graph.edges(), depth, gates, seed);
+        Row {
+            device,
+            circuit: q.circuit,
+            swap_duration: 3,
+        }
+    };
+    if opts.full {
+        for c in [
+            qft_decomposed(8),
+            tof_circuit(4),
+            barenco_tof_circuit(4),
+            tof_circuit(5),
+            barenco_tof_circuit(5),
+            ising_circuit(10, 25),
+        ] {
+            rows.push(Row {
+                device: "sycamore",
+                circuit: c,
+                swap_duration: 3,
+            });
+        }
+        for n in [16usize, 20, 24, 28] {
+            rows.push(Row {
+                device: "sycamore",
+                circuit: qaoa_circuit(n, opts.seed),
+                swap_duration: 1,
+            });
+        }
+        for (d, g) in [(5usize, 192usize), (15, 576)] {
+            rows.push(queko(&sycamore, "sycamore", d, g, opts.seed + d as u64));
+        }
+        for (d, g) in [(5usize, 37usize), (15, 109), (25, 180), (35, 253), (45, 324)] {
+            rows.push(queko(&aspen, "aspen-4", d, g, opts.seed + d as u64));
+        }
+    } else {
+        rows.push(Row {
+            device: "sycamore",
+            circuit: tof_circuit(4),
+            swap_duration: 3,
+        });
+        for n in [8usize, 12] {
+            rows.push(Row {
+                device: "sycamore",
+                circuit: qaoa_circuit(n, opts.seed),
+                swap_duration: 1,
+            });
+        }
+        for (d, g) in [(5usize, 37usize), (10, 73)] {
+            rows.push(queko(&aspen, "aspen-4", d, g, opts.seed + d as u64));
+        }
+    }
+
+    println!(
+        "Table IV reproduction: SWAP optimization, SABRE vs SATMap* vs TB-OLSQ2 (budget {:?}/row)\n",
+        opts.budget
+    );
+    println!(
+        "{:<10} {:<22} {:>6} {:>8} {:>9}  note",
+        "device", "benchmark", "SABRE", "SATMap*", "TB-OLSQ2"
+    );
+    let mut sabre_ratios: Vec<f64> = Vec::new();
+    let mut satmap_ratios: Vec<f64> = Vec::new();
+    for row in rows {
+        let graph: &CouplingGraph = if row.device == "sycamore" {
+            &sycamore
+        } else {
+            &aspen
+        };
+        let mut sabre_cfg = SabreConfig::default();
+        sabre_cfg.swap_duration = row.swap_duration;
+        sabre_cfg.seed = opts.seed;
+        let sabre = sabre_route(&row.circuit, graph, &sabre_cfg).ok();
+        if let Some(r) = &sabre {
+            assert_eq!(verify(&row.circuit, graph, r), Ok(()), "SABRE invalid");
+        }
+
+        let mut sm_cfg = SatMapConfig::default();
+        sm_cfg.swap_duration = row.swap_duration;
+        sm_cfg.time_budget = Some(opts.budget);
+        let satmap = satmap_route(&row.circuit, graph, &sm_cfg);
+        let satmap_text = match &satmap {
+            Ok(out) => {
+                assert_eq!(verify(&row.circuit, graph, &out.result), Ok(()), "SATMap invalid");
+                out.result.swap_count().to_string()
+            }
+            Err(SatMapError::Timeout) => "TO".into(),
+            Err(_) => "ERR".into(),
+        };
+
+        let mut cfg = SynthesisConfig::with_swap_duration(row.swap_duration);
+        cfg.time_budget = Some(opts.budget);
+        let synth = TbOlsq2Synthesizer::new(cfg);
+        let tb = synth.optimize_swaps(&row.circuit, graph);
+        let (tb_text, note, tb_count) = match &tb {
+            Ok(out) => {
+                assert_eq!(
+                    verify(&row.circuit, graph, &out.outcome.result),
+                    Ok(()),
+                    "TB-OLSQ2 invalid"
+                );
+                (
+                    out.outcome.result.swap_count().to_string(),
+                    if out.outcome.proven_optimal { "optimal" } else { "budget" },
+                    Some(out.outcome.result.swap_count()),
+                )
+            }
+            Err(olsq2::SynthesisError::BudgetExhausted) => ("TO".into(), "", None),
+            Err(_) => ("ERR".into(), "", None),
+        };
+
+        if let Some(t) = tb_count {
+            let denom = t.max(1) as f64;
+            if let Some(s) = &sabre {
+                sabre_ratios.push(s.swap_count().max(1) as f64 / denom);
+            }
+            if let Ok(out) = &satmap {
+                satmap_ratios.push(out.result.swap_count().max(1) as f64 / denom);
+            }
+        }
+        println!(
+            "{:<10} {:<22} {:>6} {:>8} {:>9}  {}",
+            row.device,
+            row.circuit.name(),
+            sabre.as_ref().map(|r| r.swap_count().to_string()).unwrap_or("ERR".into()),
+            satmap_text,
+            tb_text,
+            note
+        );
+    }
+    let avg = |v: &[f64]| {
+        if v.is_empty() {
+            "-".to_string()
+        } else {
+            format!("{:.2}x", v.iter().sum::<f64>() / v.len() as f64)
+        }
+    };
+    println!("\naverage swap ratio vs TB-OLSQ2 (0 counted as 1, as in the paper):");
+    println!("  SABRE   {}", avg(&sabre_ratios));
+    println!("  SATMap* {}", avg(&satmap_ratios));
+}

@@ -1,0 +1,327 @@
+//! The quantum program: an ordered gate list over program qubits.
+
+use crate::gate::{Gate, GateKind, Operands};
+use std::fmt;
+
+/// A quantum program: a sequence of one- and two-qubit gates over `Q`
+/// program qubits (§II-A of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use olsq2_circuit::{Circuit, Gate, GateKind};
+/// let mut c = Circuit::new(3);
+/// c.push(Gate::one(GateKind::H, 0));
+/// c.push(Gate::two(GateKind::Cx, 0, 1));
+/// c.push(Gate::two(GateKind::Cx, 1, 2));
+/// assert_eq!(c.num_gates(), 3);
+/// assert_eq!(c.num_two_qubit_gates(), 2);
+/// assert_eq!(c.logical_depth(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Circuit {
+    num_qubits: usize,
+    gates: Vec<Gate>,
+    name: String,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `num_qubits` program qubits.
+    pub fn new(num_qubits: usize) -> Circuit {
+        Circuit {
+            num_qubits,
+            gates: Vec::new(),
+            name: String::new(),
+        }
+    }
+
+    /// Creates an empty, named circuit.
+    pub fn with_name(num_qubits: usize, name: impl Into<String>) -> Circuit {
+        Circuit {
+            num_qubits,
+            gates: Vec::new(),
+            name: name.into(),
+        }
+    }
+
+    /// The circuit's name (benchmark id), possibly empty.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sets the circuit's name.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Number of program qubits `|Q|`.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Total gate count `|G|`.
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether the circuit has no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Number of two-qubit gates `|G₂|`.
+    pub fn num_two_qubit_gates(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_two_qubit()).count()
+    }
+
+    /// Number of single-qubit gates `|G₁|`.
+    pub fn num_single_qubit_gates(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_single_qubit()).count()
+    }
+
+    /// The gate list in program order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The gate at index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn gate(&self, i: usize) -> &Gate {
+        &self.gates[i]
+    }
+
+    /// Appends a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate references a qubit ≥ `num_qubits`.
+    pub fn push(&mut self, gate: Gate) {
+        for q in gate.operands.qubits() {
+            assert!(
+                (q as usize) < self.num_qubits,
+                "gate qubit {q} out of range 0..{}",
+                self.num_qubits
+            );
+        }
+        self.gates.push(gate);
+    }
+
+    /// Appends all gates of `other` (qubit indices must fit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` uses qubits beyond this circuit's count.
+    pub fn extend_from(&mut self, other: &Circuit) {
+        for g in &other.gates {
+            self.push(g.clone());
+        }
+    }
+
+    /// The logical depth assuming unit gate durations and unlimited
+    /// connectivity — the length of the longest dependency chain, i.e. the
+    /// paper's `T_LB`.
+    pub fn logical_depth(&self) -> usize {
+        let mut ready = vec![0usize; self.num_qubits];
+        let mut depth = 0;
+        for g in &self.gates {
+            let start = g.operands.qubits().map(|q| ready[q as usize]).max().unwrap_or(0);
+            let finish = start + 1;
+            for q in g.operands.qubits() {
+                ready[q as usize] = finish;
+            }
+            depth = depth.max(finish);
+        }
+        depth
+    }
+
+    /// The set of qubits actually touched by at least one gate.
+    pub fn used_qubits(&self) -> Vec<u16> {
+        let mut used = vec![false; self.num_qubits];
+        for g in &self.gates {
+            for q in g.operands.qubits() {
+                used[q as usize] = true;
+            }
+        }
+        (0..self.num_qubits as u16)
+            .filter(|&q| used[q as usize])
+            .collect()
+    }
+
+    /// Replaces every 3-gate-decomposable SWAP in the gate list by its
+    /// 3-CNOT expansion; other gates are kept as-is.
+    pub fn decompose_swaps(&self) -> Circuit {
+        let mut out = Circuit::with_name(self.num_qubits, self.name.clone());
+        for g in &self.gates {
+            if let (GateKind::Swap, Operands::Two(a, b)) = (&g.kind, g.operands) {
+                out.push(Gate::two(GateKind::Cx, a, b));
+                out.push(Gate::two(GateKind::Cx, b, a));
+                out.push(Gate::two(GateKind::Cx, a, b));
+            } else {
+                out.push(g.clone());
+            }
+        }
+        out
+    }
+
+    /// The circuit with its gate order reversed (used by SABRE's
+    /// bidirectional initial-mapping passes; note gate kinds are not
+    /// inverted — dependency structure is what matters for layout).
+    pub fn reversed(&self) -> Circuit {
+        let mut out = Circuit::with_name(self.num_qubits, self.name.clone());
+        for g in self.gates.iter().rev() {
+            out.push(g.clone());
+        }
+        out
+    }
+
+    /// Gate counts keyed by mnemonic, e.g. `[("cx", 6), ("t", 7), …]`,
+    /// sorted by name. Useful for reporting emitted circuits.
+    pub fn gate_histogram(&self) -> Vec<(String, usize)> {
+        let mut map = std::collections::BTreeMap::new();
+        for g in &self.gates {
+            *map.entry(g.kind.name().to_string()).or_insert(0) += 1;
+        }
+        map.into_iter().collect()
+    }
+
+    /// Remaps qubit indices through `perm` (`new_qubit = perm[old_qubit]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..num_qubits`.
+    pub fn permute_qubits(&self, perm: &[u16]) -> Circuit {
+        assert_eq!(perm.len(), self.num_qubits, "permutation length mismatch");
+        let mut seen = vec![false; self.num_qubits];
+        for &p in perm {
+            assert!(
+                (p as usize) < self.num_qubits && !seen[p as usize],
+                "not a permutation"
+            );
+            seen[p as usize] = true;
+        }
+        let mut out = Circuit::with_name(self.num_qubits, self.name.clone());
+        for g in &self.gates {
+            let operands = match g.operands {
+                Operands::One(q) => Operands::One(perm[q as usize]),
+                Operands::Two(a, b) => Operands::Two(perm[a as usize], perm[b as usize]),
+            };
+            out.push(Gate::new(g.kind.clone(), operands));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}({}q, {}g)",
+            if self.name.is_empty() { "circuit" } else { &self.name },
+            self.num_qubits,
+            self.gates.len()
+        )
+    }
+}
+
+impl FromIterator<Gate> for Circuit {
+    /// Builds a circuit sized to the largest referenced qubit.
+    fn from_iter<I: IntoIterator<Item = Gate>>(iter: I) -> Circuit {
+        let gates: Vec<Gate> = iter.into_iter().collect();
+        let num_qubits = gates
+            .iter()
+            .flat_map(|g| g.operands.qubits())
+            .max()
+            .map_or(0, |m| m as usize + 1);
+        let mut c = Circuit::new(num_qubits);
+        for g in gates {
+            c.push(g);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.push(Gate::one(GateKind::H, 0));
+        c.push(Gate::two(GateKind::Cx, 0, 1));
+        c.push(Gate::one(GateKind::T, 2));
+        c.push(Gate::two(GateKind::Cx, 1, 2));
+        c
+    }
+
+    #[test]
+    fn counts() {
+        let c = sample();
+        assert_eq!(c.num_gates(), 4);
+        assert_eq!(c.num_single_qubit_gates(), 2);
+        assert_eq!(c.num_two_qubit_gates(), 2);
+        assert_eq!(c.used_qubits(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn logical_depth_follows_dependencies() {
+        let c = sample();
+        // h(0) -> cx(0,1) -> cx(1,2); t(2) runs in parallel with the first two.
+        assert_eq!(c.logical_depth(), 3);
+        assert_eq!(Circuit::new(5).logical_depth(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn push_validates_qubits() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::one(GateKind::H, 2));
+    }
+
+    #[test]
+    fn swap_decomposition() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::two(GateKind::Swap, 0, 1));
+        let d = c.decompose_swaps();
+        assert_eq!(d.num_gates(), 3);
+        assert!(d.gates().iter().all(|g| g.kind == GateKind::Cx));
+    }
+
+    #[test]
+    fn permutation_remaps() {
+        let c = sample();
+        let p = c.permute_qubits(&[2, 0, 1]);
+        assert_eq!(p.gate(0).operands, Operands::One(2));
+        assert_eq!(p.gate(1).operands, Operands::Two(2, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn permutation_validated() {
+        let _ = sample().permute_qubits(&[0, 0, 1]);
+    }
+
+    #[test]
+    fn reversed_reverses_order() {
+        let c = sample();
+        let r = c.reversed();
+        assert_eq!(r.num_gates(), c.num_gates());
+        assert_eq!(r.gate(0), c.gate(c.num_gates() - 1));
+        assert_eq!(r.reversed(), c);
+    }
+
+    #[test]
+    fn histogram_counts_by_kind() {
+        let c = sample();
+        let h = c.gate_histogram();
+        assert_eq!(h, vec![("cx".into(), 2), ("h".into(), 1), ("t".into(), 1)]);
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_max_qubit() {
+        let c: Circuit = vec![Gate::two(GateKind::Cx, 1, 4)].into_iter().collect();
+        assert_eq!(c.num_qubits(), 5);
+    }
+}

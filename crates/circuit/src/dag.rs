@@ -1,0 +1,285 @@
+//! Gate dependency analysis.
+//!
+//! Builds the dependency list `D` of §II-A — pairs `(g, g')` where `g`
+//! immediately precedes `g'` on some shared qubit — plus the derived
+//! quantities the synthesizer needs: the longest dependency chain `T_LB`
+//! (Fig. 5 of the paper) and per-gate predecessor/successor adjacency used
+//! by both the SMT models and the SABRE baseline.
+
+use crate::circuit::Circuit;
+
+/// Dependency structure of a circuit.
+///
+/// # Examples
+///
+/// ```
+/// use olsq2_circuit::{Circuit, DependencyGraph, Gate, GateKind};
+/// let mut c = Circuit::new(3);
+/// c.push(Gate::two(GateKind::Cx, 0, 1));
+/// c.push(Gate::two(GateKind::Cx, 1, 2));
+/// c.push(Gate::two(GateKind::Cx, 0, 2));
+/// let dag = DependencyGraph::new(&c);
+/// assert_eq!(dag.longest_chain(), 3);
+/// assert_eq!(dag.dependencies(), &[(0, 1), (0, 2), (1, 2)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DependencyGraph {
+    num_gates: usize,
+    /// Immediate dependencies `(earlier, later)`, sorted.
+    dependencies: Vec<(usize, usize)>,
+    predecessors: Vec<Vec<usize>>,
+    successors: Vec<Vec<usize>>,
+    /// Earliest possible time step of each gate under unit durations.
+    asap_level: Vec<usize>,
+    longest_chain: usize,
+}
+
+impl DependencyGraph {
+    /// Analyzes `circuit` with the paper's plain rule: consecutive gates
+    /// on a shared qubit are ordered.
+    pub fn new(circuit: &Circuit) -> DependencyGraph {
+        let n = circuit.num_gates();
+        let mut last_on_qubit: Vec<Option<usize>> = vec![None; circuit.num_qubits()];
+        let mut dependencies = Vec::new();
+        for (i, gate) in circuit.gates().iter().enumerate() {
+            for q in gate.operands.qubits() {
+                if let Some(prev) = last_on_qubit[q as usize] {
+                    dependencies.push((prev, i));
+                }
+                last_on_qubit[q as usize] = Some(i);
+            }
+        }
+        Self::from_dependency_pairs(n, dependencies)
+    }
+
+    /// Analyzes `circuit` with *commutation awareness* (gate absorption,
+    /// Tan & Cong ICCAD'21, the OLSQ2 paper's ref. [23]): consecutive
+    /// gates that provably commute on their shared qubits are left
+    /// unordered. On a QAOA phase-splitting circuit, whose ZZ gates all
+    /// commute, this collapses `T_LB` to 1 and widens the solution space
+    /// the exact synthesizer may exploit.
+    pub fn new_with_commutation(circuit: &Circuit) -> DependencyGraph {
+        let n = circuit.num_gates();
+        // Per qubit: the currently "open" group of pairwise-commuting
+        // gates, plus the group before it. A new gate that commutes with
+        // the whole open group joins it and depends on the previous group;
+        // otherwise it depends on the whole open group and starts a new one.
+        let mut open: Vec<Vec<usize>> = vec![Vec::new(); circuit.num_qubits()];
+        let mut prev: Vec<Vec<usize>> = vec![Vec::new(); circuit.num_qubits()];
+        let mut dependencies = Vec::new();
+        for (i, gate) in circuit.gates().iter().enumerate() {
+            for q in gate.operands.qubits() {
+                let qi = q as usize;
+                let joins = open[qi]
+                    .iter()
+                    .all(|&g| circuit.gate(g).commutes_with(gate));
+                if joins {
+                    for &g in &prev[qi] {
+                        dependencies.push((g, i));
+                    }
+                    open[qi].push(i);
+                } else {
+                    for &g in &open[qi] {
+                        dependencies.push((g, i));
+                    }
+                    prev[qi] = std::mem::take(&mut open[qi]);
+                    open[qi].push(i);
+                }
+            }
+        }
+        Self::from_dependency_pairs(n, dependencies)
+    }
+
+    fn from_dependency_pairs(
+        n: usize,
+        mut dependencies: Vec<(usize, usize)>,
+    ) -> DependencyGraph {
+        dependencies.sort_unstable();
+        dependencies.dedup();
+        let mut predecessors = vec![Vec::new(); n];
+        let mut successors = vec![Vec::new(); n];
+        for &(a, b) in &dependencies {
+            predecessors[b].push(a);
+            successors[a].push(b);
+        }
+        for list in predecessors.iter_mut().chain(successors.iter_mut()) {
+            list.sort_unstable();
+            list.dedup();
+        }
+        // ASAP levels: gates are indexed in program order, so predecessors
+        // always have smaller indices and one pass suffices.
+        let mut asap_level = vec![0usize; n];
+        let mut longest = 0usize;
+        for i in 0..n {
+            let lvl = predecessors[i]
+                .iter()
+                .map(|&p| asap_level[p] + 1)
+                .max()
+                .unwrap_or(0);
+            asap_level[i] = lvl;
+            longest = longest.max(lvl + 1);
+        }
+        DependencyGraph {
+            num_gates: n,
+            dependencies,
+            predecessors,
+            successors,
+            asap_level,
+            longest_chain: longest,
+        }
+    }
+
+    /// Number of gates analyzed.
+    pub fn num_gates(&self) -> usize {
+        self.num_gates
+    }
+
+    /// The immediate dependency pairs `D` (sorted, deduplicated).
+    pub fn dependencies(&self) -> &[(usize, usize)] {
+        &self.dependencies
+    }
+
+    /// Gates that must execute immediately before gate `g`.
+    pub fn predecessors(&self, g: usize) -> &[usize] {
+        &self.predecessors[g]
+    }
+
+    /// Gates that must execute immediately after gate `g`.
+    pub fn successors(&self, g: usize) -> &[usize] {
+        &self.successors[g]
+    }
+
+    /// Gates with no predecessors (the initial front layer).
+    pub fn front_layer(&self) -> Vec<usize> {
+        (0..self.num_gates)
+            .filter(|&g| self.predecessors[g].is_empty())
+            .collect()
+    }
+
+    /// Earliest time step of gate `g` under unit durations (0-based).
+    pub fn asap_level_of(&self, g: usize) -> usize {
+        self.asap_level[g]
+    }
+
+    /// Length of the longest dependency chain — the paper's `T_LB`
+    /// (12 for the Toffoli circuit of Fig. 5).
+    pub fn longest_chain(&self) -> usize {
+        self.longest_chain
+    }
+
+    /// Groups gate indices by ASAP level: `layers()[t]` can all start at
+    /// `t` at the earliest. Used by layer-slicing baselines (SATMap-style).
+    pub fn layers(&self) -> Vec<Vec<usize>> {
+        let mut layers = vec![Vec::new(); self.longest_chain];
+        for g in 0..self.num_gates {
+            layers[self.asap_level[g]].push(g);
+        }
+        layers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::{Gate, GateKind};
+    use crate::generators::toffoli_circuit;
+
+    #[test]
+    fn chain_and_parallel() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::two(GateKind::Cx, 0, 1)); // g0
+        c.push(Gate::two(GateKind::Cx, 2, 3)); // g1 (parallel with g0)
+        c.push(Gate::two(GateKind::Cx, 1, 2)); // g2 (after both)
+        let dag = DependencyGraph::new(&c);
+        assert_eq!(dag.longest_chain(), 2);
+        assert_eq!(dag.dependencies(), &[(0, 2), (1, 2)]);
+        assert_eq!(dag.front_layer(), vec![0, 1]);
+        assert_eq!(dag.successors(0), &[2]);
+        assert_eq!(dag.predecessors(2), &[0, 1]);
+        assert_eq!(dag.layers(), vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn toffoli_longest_chain() {
+        // The canonical 15-gate, 3-qubit Toffoli decomposition has a
+        // longest dependency chain of 11 (the paper's Fig. 5 ancilla
+        // variant has 12).
+        let c = toffoli_circuit();
+        let dag = DependencyGraph::new(&c);
+        assert_eq!(dag.longest_chain(), 11);
+    }
+
+    #[test]
+    fn empty_circuit() {
+        let dag = DependencyGraph::new(&Circuit::new(3));
+        assert_eq!(dag.longest_chain(), 0);
+        assert!(dag.dependencies().is_empty());
+        assert!(dag.front_layer().is_empty());
+    }
+
+    #[test]
+    fn commutation_collapses_qaoa_chains() {
+        // Three ZZ gates in a line all commute: plain chain 3, aware chain 1.
+        let mut c = Circuit::new(4);
+        c.push(Gate::two(GateKind::Zz(0.3), 0, 1));
+        c.push(Gate::two(GateKind::Zz(0.3), 1, 2));
+        c.push(Gate::two(GateKind::Zz(0.3), 2, 3));
+        assert_eq!(DependencyGraph::new(&c).longest_chain(), 3);
+        let aware = DependencyGraph::new_with_commutation(&c);
+        assert_eq!(aware.longest_chain(), 1);
+        assert!(aware.dependencies().is_empty());
+    }
+
+    #[test]
+    fn commutation_keeps_real_orderings() {
+        // h then cx on the same qubit do not commute; cx chains where one
+        // gate's target is another's control do not commute.
+        let mut c = Circuit::new(3);
+        c.push(Gate::one(GateKind::H, 0));
+        c.push(Gate::two(GateKind::Cx, 0, 1));
+        c.push(Gate::two(GateKind::Cx, 1, 2));
+        let aware = DependencyGraph::new_with_commutation(&c);
+        assert_eq!(aware.dependencies(), &[(0, 1), (1, 2)]);
+        assert_eq!(aware.longest_chain(), 3);
+    }
+
+    #[test]
+    fn commutation_allows_shared_control_cx() {
+        // Two CX sharing the control commute; sharing a target commutes too.
+        let mut c = Circuit::new(3);
+        c.push(Gate::two(GateKind::Cx, 0, 1));
+        c.push(Gate::two(GateKind::Cx, 0, 2));
+        let aware = DependencyGraph::new_with_commutation(&c);
+        assert!(aware.dependencies().is_empty());
+        let mut c2 = Circuit::new(3);
+        c2.push(Gate::two(GateKind::Cx, 0, 2));
+        c2.push(Gate::two(GateKind::Cx, 1, 2));
+        let aware2 = DependencyGraph::new_with_commutation(&c2);
+        assert!(aware2.dependencies().is_empty());
+    }
+
+    #[test]
+    fn commutation_group_boundaries_are_barriers() {
+        // zz(0,1), h(1), zz(0,1): the h blocks, so gate 2 depends on both.
+        let mut c = Circuit::new(2);
+        c.push(Gate::two(GateKind::Zz(0.1), 0, 1));
+        c.push(Gate::one(GateKind::H, 1));
+        c.push(Gate::two(GateKind::Zz(0.1), 0, 1));
+        let aware = DependencyGraph::new_with_commutation(&c);
+        // On qubit 1: g0 -> g1 -> g2; on qubit 0: g0 and g2 commute but g2
+        // must still come after g1.
+        assert!(aware.dependencies().contains(&(0, 1)));
+        assert!(aware.dependencies().contains(&(1, 2)));
+        assert_eq!(aware.longest_chain(), 3);
+    }
+
+    #[test]
+    fn duplicate_dependency_from_shared_pair_is_deduped() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::two(GateKind::Cx, 0, 1));
+        c.push(Gate::two(GateKind::Cx, 1, 0));
+        let dag = DependencyGraph::new(&c);
+        // Both qubits induce (0,1); it must appear once.
+        assert_eq!(dag.dependencies(), &[(0, 1)]);
+    }
+}

@@ -1,0 +1,319 @@
+//! Quantum gates: kinds and operands.
+//!
+//! Layout synthesis only distinguishes single- from two-qubit gates
+//! (§II-A), but the IR keeps real gate kinds so circuits can be parsed
+//! from and written back to OpenQASM and so SWAP insertions can be
+//! decomposed into hardware gates.
+
+use std::fmt;
+
+/// The kind of a gate, covering the OpenQASM 2.0 `qelib1` subset that the
+/// paper's benchmark circuits use.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateKind {
+    /// Identity.
+    Id,
+    /// Hadamard.
+    H,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Phase gate S.
+    S,
+    /// S†.
+    Sdg,
+    /// T gate.
+    T,
+    /// T†.
+    Tdg,
+    /// X-rotation by the stored angle (radians).
+    Rx(f64),
+    /// Y-rotation.
+    Ry(f64),
+    /// Z-rotation.
+    Rz(f64),
+    /// Generic single-qubit U(θ, φ, λ).
+    U(f64, f64, f64),
+    /// Controlled-NOT.
+    Cx,
+    /// Controlled-Z.
+    Cz,
+    /// Controlled-phase by the stored angle.
+    Cp(f64),
+    /// Two-qubit ZZ interaction `exp(-iθ Z⊗Z/2)` (QAOA phase splitting).
+    Zz(f64),
+    /// SWAP (inserted by layout synthesis or present in input).
+    Swap,
+    /// Any other named gate with the given operand count (1 or 2).
+    Other {
+        /// Gate name as it appears in QASM.
+        name: Box<str>,
+        /// Parameters, if any.
+        params: Vec<f64>,
+    },
+}
+
+impl GateKind {
+    /// The QASM mnemonic for this kind.
+    pub fn name(&self) -> &str {
+        match self {
+            GateKind::Id => "id",
+            GateKind::H => "h",
+            GateKind::X => "x",
+            GateKind::Y => "y",
+            GateKind::Z => "z",
+            GateKind::S => "s",
+            GateKind::Sdg => "sdg",
+            GateKind::T => "t",
+            GateKind::Tdg => "tdg",
+            GateKind::Rx(_) => "rx",
+            GateKind::Ry(_) => "ry",
+            GateKind::Rz(_) => "rz",
+            GateKind::U(..) => "u3",
+            GateKind::Cx => "cx",
+            GateKind::Cz => "cz",
+            GateKind::Cp(_) => "cp",
+            GateKind::Zz(_) => "rzz",
+            GateKind::Swap => "swap",
+            GateKind::Other { name, .. } => name,
+        }
+    }
+
+    /// The gate parameters (angles), if any.
+    pub fn params(&self) -> Vec<f64> {
+        match self {
+            GateKind::Rx(a) | GateKind::Ry(a) | GateKind::Rz(a) | GateKind::Cp(a)
+            | GateKind::Zz(a) => vec![*a],
+            GateKind::U(a, b, c) => vec![*a, *b, *c],
+            GateKind::Other { params, .. } => params.clone(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let params = self.params();
+        if params.is_empty() {
+            write!(f, "{}", self.name())
+        } else {
+            let joined: Vec<String> = params.iter().map(|p| format!("{p}")).collect();
+            write!(f, "{}({})", self.name(), joined.join(","))
+        }
+    }
+}
+
+/// The single-qubit algebra a gate acts in on one of its operand wires,
+/// used for commutation analysis (gate absorption, Tan & Cong ICCAD'21):
+/// two gates sharing a wire commute if they act in the *same* basis on
+/// every shared wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireBasis {
+    /// Diagonal in the computational basis (Z-type): `Rz`, `Z`, `S`, `T`,
+    /// `CZ`/`CP`/`ZZ` on either wire, `CX` on its control.
+    Z,
+    /// X-type: `Rx`, `X`, `CX` on its target.
+    X,
+}
+
+impl GateKind {
+    /// The basis this kind acts in on operand `index` (0 = first), or
+    /// `None` when the action is not confined to a commuting family
+    /// (e.g. `H`, `Ry`, `U`, `Swap`, unknown gates).
+    pub fn wire_basis(&self, index: usize) -> Option<WireBasis> {
+        match self {
+            GateKind::Id => None, // identity commutes with everything, but
+            // treating it as opaque is harmless and keeps the rule simple.
+            GateKind::Z
+            | GateKind::S
+            | GateKind::Sdg
+            | GateKind::T
+            | GateKind::Tdg
+            | GateKind::Rz(_)
+            | GateKind::Cz
+            | GateKind::Cp(_)
+            | GateKind::Zz(_) => Some(WireBasis::Z),
+            GateKind::X | GateKind::Rx(_) => Some(WireBasis::X),
+            GateKind::Cx => {
+                if index == 0 {
+                    Some(WireBasis::Z) // control
+                } else {
+                    Some(WireBasis::X) // target
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+impl Gate {
+    /// Whether this gate provably commutes with `other` (conservative:
+    /// `false` means "unknown", not "anti-commutes"). Gates with no shared
+    /// qubit always commute; otherwise every shared wire must carry the
+    /// same [`WireBasis`] on both gates.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use olsq2_circuit::{Gate, GateKind};
+    /// let a = Gate::two(GateKind::Zz(0.3), 0, 1);
+    /// let b = Gate::two(GateKind::Zz(0.3), 1, 2);
+    /// assert!(a.commutes_with(&b)); // QAOA phase gates all commute
+    /// let cx = Gate::two(GateKind::Cx, 0, 1);
+    /// let cx2 = Gate::two(GateKind::Cx, 1, 2);
+    /// assert!(!cx.commutes_with(&cx2)); // target of one is control of other
+    /// ```
+    pub fn commutes_with(&self, other: &Gate) -> bool {
+        let mine: Vec<u16> = self.operands.qubits().collect();
+        let theirs: Vec<u16> = other.operands.qubits().collect();
+        for (i, &q) in mine.iter().enumerate() {
+            if let Some(j) = theirs.iter().position(|&p| p == q) {
+                match (self.kind.wire_basis(i), other.kind.wire_basis(j)) {
+                    (Some(a), Some(b)) if a == b => {}
+                    _ => return false,
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Operands of a gate: quantum processors execute one- or two-qubit gates
+/// only (§II-A), so the IR enforces that arity statically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operands {
+    /// A single-qubit gate on `q`.
+    One(u16),
+    /// A two-qubit gate on `(q, q')`.
+    Two(u16, u16),
+}
+
+impl Operands {
+    /// The operand qubits as a slice-like iterator.
+    pub fn qubits(self) -> impl Iterator<Item = u16> {
+        match self {
+            Operands::One(a) => vec![a].into_iter(),
+            Operands::Two(a, b) => vec![a, b].into_iter(),
+        }
+    }
+
+    /// Whether the gate touches `q`.
+    pub fn contains(self, q: u16) -> bool {
+        match self {
+            Operands::One(a) => a == q,
+            Operands::Two(a, b) => a == q || b == q,
+        }
+    }
+
+    /// Number of operands (1 or 2).
+    pub fn arity(self) -> usize {
+        match self {
+            Operands::One(_) => 1,
+            Operands::Two(..) => 2,
+        }
+    }
+}
+
+/// A gate instance: a kind applied to operands.
+///
+/// # Examples
+///
+/// ```
+/// use olsq2_circuit::{Gate, GateKind, Operands};
+/// let g = Gate::new(GateKind::Cx, Operands::Two(0, 1));
+/// assert!(g.is_two_qubit());
+/// assert!(g.operands.contains(1));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gate {
+    /// What the gate does.
+    pub kind: GateKind,
+    /// Which qubits it acts on.
+    pub operands: Operands,
+}
+
+impl Gate {
+    /// Creates a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a two-qubit gate names the same qubit twice.
+    pub fn new(kind: GateKind, operands: Operands) -> Gate {
+        if let Operands::Two(a, b) = operands {
+            assert_ne!(a, b, "two-qubit gate with identical operands");
+        }
+        Gate { kind, operands }
+    }
+
+    /// Convenience constructor for a single-qubit gate.
+    pub fn one(kind: GateKind, q: u16) -> Gate {
+        Gate::new(kind, Operands::One(q))
+    }
+
+    /// Convenience constructor for a two-qubit gate.
+    pub fn two(kind: GateKind, a: u16, b: u16) -> Gate {
+        Gate::new(kind, Operands::Two(a, b))
+    }
+
+    /// Whether this is a two-qubit gate (`g ∈ G₂`).
+    pub fn is_two_qubit(&self) -> bool {
+        matches!(self.operands, Operands::Two(..))
+    }
+
+    /// Whether this is a single-qubit gate (`g ∈ G₁`).
+    pub fn is_single_qubit(&self) -> bool {
+        matches!(self.operands, Operands::One(_))
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.operands {
+            Operands::One(q) => write!(f, "{} q[{q}]", self.kind),
+            Operands::Two(a, b) => write!(f, "{} q[{a}],q[{b}]", self.kind),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operands_queries() {
+        let one = Operands::One(3);
+        assert!(one.contains(3));
+        assert!(!one.contains(4));
+        assert_eq!(one.arity(), 1);
+        let two = Operands::Two(1, 2);
+        assert!(two.contains(1) && two.contains(2));
+        assert_eq!(two.arity(), 2);
+        assert_eq!(two.qubits().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical operands")]
+    fn rejects_degenerate_two_qubit_gate() {
+        let _ = Gate::two(GateKind::Cx, 5, 5);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Gate::one(GateKind::H, 0).to_string(), "h q[0]");
+        assert_eq!(Gate::two(GateKind::Cx, 0, 1).to_string(), "cx q[0],q[1]");
+        assert_eq!(
+            Gate::one(GateKind::Rz(0.5), 2).to_string(),
+            "rz(0.5) q[2]"
+        );
+    }
+
+    #[test]
+    fn kind_params() {
+        assert_eq!(GateKind::U(1.0, 2.0, 3.0).params(), vec![1.0, 2.0, 3.0]);
+        assert!(GateKind::H.params().is_empty());
+        assert_eq!(GateKind::Zz(0.25).params(), vec![0.25]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Arithmetic adder circuits and entangled-state preparation — additional
+//! workloads of the kind the paper draws from IBM Qiskit's benchmark set.
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, GateKind};
+use crate::generators::arithmetic::push_toffoli;
+
+/// Cuccaro–Draper–Kutin–Moulton ripple-carry adder on two `n`-bit
+/// registers plus carry-in/out: `2n + 2` qubits.
+///
+/// Layout: `cin = 0`, `a_i = 1 + 2i`, `b_i = 2 + 2i`, `cout = 2n + 1`.
+/// The MAJ/UMA ladders are expanded with Toffolis in the 15-gate
+/// decomposition, so the whole circuit is in the 1/2-qubit IR.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use olsq2_circuit::generators::ripple_adder;
+/// let c = ripple_adder(2);
+/// assert_eq!(c.num_qubits(), 6);
+/// assert!(c.num_gates() > 20);
+/// ```
+pub fn ripple_adder(n: usize) -> Circuit {
+    assert!(n > 0);
+    let num_qubits = 2 * n + 2;
+    let mut c = Circuit::new(num_qubits);
+    let a = |i: usize| (1 + 2 * i) as u16;
+    let b = |i: usize| (2 + 2 * i) as u16;
+    let cin = 0u16;
+    let cout = (2 * n + 1) as u16;
+
+    // MAJ(c, b, a): cx a,b; cx a,c; ccx c,b,a
+    let maj = |c_: &mut Circuit, x: u16, y: u16, z: u16| {
+        c_.push(Gate::two(GateKind::Cx, z, y));
+        c_.push(Gate::two(GateKind::Cx, z, x));
+        push_toffoli(c_, x, y, z);
+    };
+    maj(&mut c, cin, b(0), a(0));
+    for i in 1..n {
+        maj(&mut c, a(i - 1), b(i), a(i));
+    }
+    c.push(Gate::two(GateKind::Cx, a(n - 1), cout));
+    // UMA(c, b, a): ccx c,b,a; cx a,c; cx c,b
+    let uma = |c_: &mut Circuit, x: u16, y: u16, z: u16| {
+        push_toffoli(c_, x, y, z);
+        c_.push(Gate::two(GateKind::Cx, z, x));
+        c_.push(Gate::two(GateKind::Cx, x, y));
+    };
+    for i in (1..n).rev() {
+        uma(&mut c, a(i - 1), b(i), a(i));
+    }
+    uma(&mut c, cin, b(0), a(0));
+    let (q, g) = (c.num_qubits(), c.num_gates());
+    c.set_name(format!("adder_{n}({q},{g})"));
+    c
+}
+
+/// GHZ-state preparation: one Hadamard plus a CNOT fan chain — a
+/// maximally connectivity-hungry but SWAP-friendly workload.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn ghz_circuit(n: usize) -> Circuit {
+    assert!(n >= 2);
+    let mut c = Circuit::with_name(n, format!("GHZ({n})"));
+    c.push(Gate::one(GateKind::H, 0));
+    for q in 0..(n - 1) as u16 {
+        c.push(Gate::two(GateKind::Cx, q, q + 1));
+    }
+    c
+}
+
+/// A hardware-efficient variational ansatz: `layers` rounds of per-qubit
+/// `Ry` rotations followed by a CNOT entangling ladder. Common in VQE
+/// workloads; dependencies are dense like the paper's arithmetic suite.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `layers == 0`.
+pub fn vqe_ansatz(n: usize, layers: usize) -> Circuit {
+    assert!(n >= 2 && layers > 0);
+    let mut c = Circuit::new(n);
+    for l in 0..layers {
+        for q in 0..n as u16 {
+            c.push(Gate::one(GateKind::Ry(0.1 + 0.05 * l as f64), q));
+        }
+        for q in 0..(n - 1) as u16 {
+            c.push(Gate::two(GateKind::Cx, q, q + 1));
+        }
+    }
+    let (q, g) = (c.num_qubits(), c.num_gates());
+    c.set_name(format!("vqe_{n}x{layers}({q},{g})"));
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::DependencyGraph;
+
+    #[test]
+    fn adder_structure() {
+        for n in 1..=4 {
+            let c = ripple_adder(n);
+            assert_eq!(c.num_qubits(), 2 * n + 2);
+            // n MAJ + n UMA blocks of (2 CX + 15) plus the carry CX.
+            assert_eq!(c.num_gates(), 2 * n * 17 + 1);
+            let dag = DependencyGraph::new(&c);
+            assert!(dag.longest_chain() > 4 * n);
+        }
+    }
+
+    #[test]
+    fn ghz_is_a_chain() {
+        let c = ghz_circuit(5);
+        assert_eq!(c.num_gates(), 5);
+        let dag = DependencyGraph::new(&c);
+        assert_eq!(dag.longest_chain(), 5); // fully sequential
+    }
+
+    #[test]
+    fn vqe_counts() {
+        let c = vqe_ansatz(4, 3);
+        assert_eq!(c.num_gates(), 3 * (4 + 3));
+        assert_eq!(c.num_two_qubit_gates(), 9);
+    }
+}

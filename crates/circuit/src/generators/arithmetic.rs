@@ -1,0 +1,203 @@
+//! Arithmetic benchmark circuits: Toffoli decompositions, multi-controlled
+//! Toffoli ladders (`tof_n`, `barenco_tof_n`) and Ising-model simulation —
+//! the non-QAOA circuits of Tables III–IV.
+//!
+//! The paper pulls these from the Qiskit/Nam benchmark files; here they are
+//! generated from the standard constructions. Gate counts differ slightly
+//! from the hand-optimized files (ours come from uniform decompositions),
+//! which DESIGN.md documents; table rows are labeled with actual counts.
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, GateKind};
+
+/// Appends the canonical 15-gate Clifford+T decomposition of a Toffoli
+/// gate with controls `a`, `b` and target `t`.
+pub fn push_toffoli(c: &mut Circuit, a: u16, b: u16, t: u16) {
+    use GateKind::*;
+    c.push(Gate::one(H, t));
+    c.push(Gate::two(Cx, b, t));
+    c.push(Gate::one(Tdg, t));
+    c.push(Gate::two(Cx, a, t));
+    c.push(Gate::one(T, t));
+    c.push(Gate::two(Cx, b, t));
+    c.push(Gate::one(Tdg, t));
+    c.push(Gate::two(Cx, a, t));
+    c.push(Gate::one(T, b));
+    c.push(Gate::one(T, t));
+    c.push(Gate::one(H, t));
+    c.push(Gate::two(Cx, a, b));
+    c.push(Gate::one(T, a));
+    c.push(Gate::one(Tdg, b));
+    c.push(Gate::two(Cx, a, b));
+}
+
+/// The 3-qubit Toffoli gate as a standalone circuit (cf. the paper's
+/// Fig. 2 example workload).
+pub fn toffoli_circuit() -> Circuit {
+    let mut c = Circuit::with_name(3, "toffoli");
+    push_toffoli(&mut c, 0, 1, 2);
+    c
+}
+
+/// `tof_n`: an `n`-controlled Toffoli built as a V-chain ladder with
+/// `n - 2` ancilla qubits, each Toffoli in the 15-gate decomposition.
+///
+/// Qubit layout: controls `0..n`, target `n`, ancillas `n+1..2n-1`.
+/// Sizes: `2n - 1` qubits and `15·(2(n-2)+1)` gates — e.g. `tof_4` has
+/// 7 qubits (matching the paper's row) and 75 gates (the paper's
+/// hand-optimized file has 55).
+///
+/// # Panics
+///
+/// Panics if `num_controls < 2`.
+pub fn tof_circuit(num_controls: usize) -> Circuit {
+    assert!(num_controls >= 2);
+    let n = num_controls as u16;
+    let target = n;
+    let ancilla = |i: u16| n + 1 + i; // n-2 ancillas
+    let num_qubits = 2 * num_controls - 1;
+    let mut c = Circuit::new(num_qubits);
+    if num_controls == 2 {
+        push_toffoli(&mut c, 0, 1, target);
+        c.set_name(format!("tof_2({},{})", c.num_qubits(), c.num_gates()));
+        return c;
+    }
+    // Compute AND chain into ancillas.
+    push_toffoli(&mut c, 0, 1, ancilla(0));
+    for i in 2..n - 1 {
+        push_toffoli(&mut c, i, ancilla(i - 2), ancilla(i - 1));
+    }
+    // Final Toffoli onto the target.
+    push_toffoli(&mut c, n - 1, ancilla(n - 3), target);
+    // Uncompute the chain.
+    for i in (2..n - 1).rev() {
+        push_toffoli(&mut c, i, ancilla(i - 2), ancilla(i - 1));
+    }
+    push_toffoli(&mut c, 0, 1, ancilla(0));
+    let (q, g) = (c.num_qubits(), c.num_gates());
+    c.set_name(format!("tof_{num_controls}({q},{g})"));
+    c
+}
+
+/// `barenco_tof_n`: the Barenco-style ladder — the same V-chain but with
+/// the relative-phase corrections spelled out, costing one extra
+/// `CX`+`T`+`T†` triplet around every ladder Toffoli. Matches the
+/// benchmark family's property of being noticeably larger than `tof_n`
+/// on the same qubit count.
+///
+/// # Panics
+///
+/// Panics if `num_controls < 2`.
+pub fn barenco_tof_circuit(num_controls: usize) -> Circuit {
+    assert!(num_controls >= 2);
+    let base = tof_circuit(num_controls);
+    let mut c = Circuit::new(base.num_qubits());
+    // Interleave phase-correction triplets after each Toffoli block.
+    let gates = base.gates();
+    for (i, chunk) in gates.chunks(15).enumerate() {
+        for g in chunk {
+            c.push(g.clone());
+        }
+        // Correction on the block's control pair (first two operands of the
+        // block's final CX).
+        if let crate::gate::Operands::Two(a, b) = chunk[chunk.len() - 1].operands {
+            c.push(Gate::one(GateKind::T, a));
+            c.push(Gate::two(GateKind::Cx, a, b));
+            c.push(Gate::one(GateKind::Tdg, b));
+            if i % 2 == 1 {
+                c.push(Gate::two(GateKind::Cx, a, b));
+            }
+        }
+    }
+    let (q, g) = (c.num_qubits(), c.num_gates());
+    c.set_name(format!("barenco_tof_{num_controls}({q},{g})"));
+    c
+}
+
+/// Trotterized 1-D transverse-field Ising evolution on `n` qubits: an
+/// initial Hadamard layer, then `rounds` of nearest-neighbor `ZZ`
+/// interactions followed by `Rx` mixers. `ising(10, 25)` gives 485 gates,
+/// the scale of the paper's `ising_10(10,480)` row.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `rounds == 0`.
+pub fn ising_circuit(n: usize, rounds: usize) -> Circuit {
+    assert!(n >= 2 && rounds > 0);
+    let mut c = Circuit::new(n);
+    for q in 0..n as u16 {
+        c.push(Gate::one(GateKind::H, q));
+    }
+    for _ in 0..rounds {
+        for q in 0..(n - 1) as u16 {
+            c.push(Gate::two(GateKind::Zz(0.31), q, q + 1));
+        }
+        for q in 0..n as u16 {
+            c.push(Gate::one(GateKind::Rx(0.17), q));
+        }
+    }
+    let (q, g) = (c.num_qubits(), c.num_gates());
+    c.set_name(format!("ising_{n}({q},{g})"));
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::DependencyGraph;
+
+    #[test]
+    fn toffoli_is_fifteen_gates() {
+        let c = toffoli_circuit();
+        assert_eq!(c.num_gates(), 15);
+        assert_eq!(c.num_two_qubit_gates(), 6);
+        assert_eq!(c.num_qubits(), 3);
+    }
+
+    #[test]
+    fn tof_sizes() {
+        let t4 = tof_circuit(4);
+        assert_eq!(t4.num_qubits(), 7); // matches the paper's tof_4 row
+        assert_eq!(t4.num_gates(), 15 * 5);
+        let t5 = tof_circuit(5);
+        assert_eq!(t5.num_qubits(), 9); // matches the paper's tof_5 row
+        assert_eq!(t5.num_gates(), 15 * 7);
+    }
+
+    #[test]
+    fn barenco_is_larger_than_tof() {
+        for n in [4usize, 5] {
+            let plain = tof_circuit(n);
+            let barenco = barenco_tof_circuit(n);
+            assert_eq!(plain.num_qubits(), barenco.num_qubits());
+            assert!(barenco.num_gates() > plain.num_gates());
+        }
+    }
+
+    #[test]
+    fn tof_2_is_plain_toffoli() {
+        let c = tof_circuit(2);
+        assert_eq!(c.num_gates(), 15);
+        assert_eq!(c.num_qubits(), 3);
+    }
+
+    #[test]
+    fn ising_sizes() {
+        let c = ising_circuit(10, 25);
+        assert_eq!(c.num_gates(), 10 + 25 * (9 + 10));
+        assert_eq!(c.num_qubits(), 10);
+        // Depth grows with rounds.
+        let dag = DependencyGraph::new(&c);
+        assert!(dag.longest_chain() >= 50);
+    }
+
+    #[test]
+    fn ladders_are_valid_circuits() {
+        for n in 2..=6 {
+            let c = tof_circuit(n);
+            let dag = DependencyGraph::new(&c);
+            assert!(dag.longest_chain() > 0);
+            assert!(dag.longest_chain() <= c.num_gates());
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Random graph generation for benchmark circuits.
+//!
+//! The paper's QAOA benchmarks are phase-splitting operators for *random
+//! 3-regular graphs* (generated with networkx in the original). Here the
+//! configuration (pairing) model with rejection sampling gives the same
+//! distribution family, seeded for reproducibility.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Generates a simple `degree`-regular graph on `n` vertices via the
+/// configuration model with rejection (no self-loops, no multi-edges).
+///
+/// # Panics
+///
+/// Panics if `n * degree` is odd, `degree ≥ n`, or `n == 0` — no regular
+/// graph exists in those cases.
+///
+/// # Examples
+///
+/// ```
+/// use olsq2_circuit::generators::random_regular_graph;
+/// let edges = random_regular_graph(16, 3, 42);
+/// assert_eq!(edges.len(), 24); // 3·16/2
+/// ```
+pub fn random_regular_graph(n: usize, degree: usize, seed: u64) -> Vec<(u16, u16)> {
+    assert!(n > 0, "graph must have vertices");
+    assert!(degree < n, "degree must be below the vertex count");
+    assert!(n * degree % 2 == 0, "n·degree must be even");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    'retry: loop {
+        // Stubs: each vertex appears `degree` times.
+        let mut stubs: Vec<u16> = (0..n as u16)
+            .flat_map(|v| std::iter::repeat(v).take(degree))
+            .collect();
+        stubs.shuffle(&mut rng);
+        let mut edges: Vec<(u16, u16)> = Vec::with_capacity(n * degree / 2);
+        let mut seen = std::collections::HashSet::new();
+        for pair in stubs.chunks(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if a == b {
+                continue 'retry;
+            }
+            let key = (a.min(b), a.max(b));
+            if !seen.insert(key) {
+                continue 'retry;
+            }
+            edges.push(key);
+        }
+        edges.sort_unstable();
+        return edges;
+    }
+}
+
+/// Generates a random simple graph with `n` vertices and exactly `m` edges
+/// (Erdős–Rényi G(n, m)), used for auxiliary workloads.
+///
+/// # Panics
+///
+/// Panics if `m` exceeds the number of possible edges.
+pub fn random_gnm_graph(n: usize, m: usize, seed: u64) -> Vec<(u16, u16)> {
+    let max = n * (n - 1) / 2;
+    assert!(m <= max, "too many edges requested");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::new();
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let a = rng.gen_range(0..n as u16);
+        let b = rng.gen_range(0..n as u16);
+        if a == b {
+            continue;
+        }
+        let key = (a.min(b), a.max(b));
+        if seen.insert(key) {
+            edges.push(key);
+        }
+    }
+    edges.sort_unstable();
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn degrees(n: usize, edges: &[(u16, u16)]) -> Vec<usize> {
+        let mut d = vec![0usize; n];
+        for &(a, b) in edges {
+            d[a as usize] += 1;
+            d[b as usize] += 1;
+        }
+        d
+    }
+
+    #[test]
+    fn three_regular_is_regular_and_simple() {
+        for n in [4usize, 8, 16, 20, 24] {
+            let edges = random_regular_graph(n, 3, 7);
+            assert_eq!(edges.len(), 3 * n / 2);
+            assert!(degrees(n, &edges).iter().all(|&d| d == 3));
+            let mut dedup = edges.clone();
+            dedup.dedup();
+            assert_eq!(dedup.len(), edges.len(), "multi-edge found");
+            assert!(edges.iter().all(|&(a, b)| a != b), "self-loop found");
+        }
+    }
+
+    #[test]
+    fn seeds_are_deterministic_and_distinct() {
+        let a = random_regular_graph(16, 3, 1);
+        let b = random_regular_graph(16, 3, 1);
+        let c = random_regular_graph(16, 3, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gnm_has_exact_edge_count() {
+        let edges = random_gnm_graph(10, 15, 3);
+        assert_eq!(edges.len(), 15);
+        let mut dedup = edges.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_stub_count_rejected() {
+        let _ = random_regular_graph(5, 3, 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Benchmark circuit generators: every workload family the paper
+//! evaluates, generated from seeds instead of shipped files.
+//!
+//! * [`qaoa_circuit`] — QAOA phase splitting for random 3-regular graphs
+//!   (Fig. 1, Tables I–IV)
+//! * [`queko_circuit`] — known-optimal-depth QUEKO instances (Table III/IV)
+//! * [`qft_circuit`] / [`qft_decomposed`] — quantum Fourier transform
+//! * [`tof_circuit`] / [`barenco_tof_circuit`] — multi-controlled Toffoli
+//!   ladders
+//! * [`ising_circuit`] — Trotterized Ising evolution
+//! * [`ripple_adder`] / [`ghz_circuit`] / [`vqe_ansatz`] — further Qiskit-style workloads
+//! * [`random_regular_graph`] / [`random_gnm_graph`] — interaction graphs
+
+mod adders;
+mod arithmetic;
+mod graphs;
+mod qaoa;
+mod qft;
+mod queko;
+
+pub use adders::{ghz_circuit, ripple_adder, vqe_ansatz};
+pub use arithmetic::{
+    barenco_tof_circuit, ising_circuit, push_toffoli, tof_circuit, toffoli_circuit,
+};
+pub use graphs::{random_gnm_graph, random_regular_graph};
+pub use qaoa::{qaoa_circuit, qaoa_from_graph, qaoa_round};
+pub use qft::{qft_circuit, qft_decomposed};
+pub use queko::{queko_bntf, queko_circuit, QuekoCircuit};

@@ -1,0 +1,97 @@
+//! QAOA benchmark circuits.
+//!
+//! The paper's primary stress workload: the phase-splitting operator of a
+//! QAOA round for MaxCut on a random 3-regular graph — one two-qubit ZZ
+//! interaction per graph edge, so `QAOA(n / 3n/2)` in the tables (e.g.
+//! `QAOA(16/24)`).
+
+use super::graphs::random_regular_graph;
+use crate::circuit::Circuit;
+use crate::gate::{Gate, GateKind};
+
+/// The QAOA phase-splitting operator for a given interaction graph: one
+/// `ZZ(γ)` gate per edge, in edge order.
+///
+/// # Panics
+///
+/// Panics if an edge references a vertex ≥ `n`.
+pub fn qaoa_from_graph(n: usize, edges: &[(u16, u16)], gamma: f64) -> Circuit {
+    let mut c = Circuit::with_name(n, format!("QAOA({}/{})", n, edges.len()));
+    for &(a, b) in edges {
+        c.push(Gate::two(GateKind::Zz(gamma), a, b));
+    }
+    c
+}
+
+/// A QAOA phase-splitting circuit for a seeded random 3-regular graph on
+/// `n` vertices — the benchmark family of Fig. 1 and Tables I–II.
+///
+/// # Panics
+///
+/// Panics if `n` is odd or below 4 (no 3-regular graph exists).
+///
+/// # Examples
+///
+/// ```
+/// use olsq2_circuit::generators::qaoa_circuit;
+/// let c = qaoa_circuit(16, 42);
+/// assert_eq!(c.num_qubits(), 16);
+/// assert_eq!(c.num_gates(), 24);
+/// assert_eq!(c.name(), "QAOA(16/24)");
+/// ```
+pub fn qaoa_circuit(n: usize, seed: u64) -> Circuit {
+    assert!(n >= 4 && n % 2 == 0, "3-regular graphs need even n ≥ 4");
+    let edges = random_regular_graph(n, 3, seed);
+    qaoa_from_graph(n, &edges, 0.7)
+}
+
+/// A full QAOA round: the phase splitting operator followed by the mixing
+/// operator (an `Rx(β)` on every qubit). Useful for workloads that also
+/// contain single-qubit gates.
+pub fn qaoa_round(n: usize, seed: u64) -> Circuit {
+    let mut c = qaoa_circuit(n, seed);
+    let m = c.num_gates();
+    for q in 0..n as u16 {
+        c.push(Gate::one(GateKind::Rx(0.35), q));
+    }
+    c.set_name(format!("QAOA-round({}/{})", n, m + n));
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::DependencyGraph;
+
+    #[test]
+    fn gate_count_is_edge_count() {
+        for n in [8usize, 16, 20, 24] {
+            let c = qaoa_circuit(n, 5);
+            assert_eq!(c.num_gates(), 3 * n / 2);
+            assert_eq!(c.num_two_qubit_gates(), c.num_gates());
+        }
+    }
+
+    #[test]
+    fn chain_is_short_for_regular_graphs() {
+        // Every vertex has degree 3, so no qubit sees more than 3 gates; a
+        // chain alternates qubits, staying well below the gate count.
+        let c = qaoa_circuit(16, 11);
+        let dag = DependencyGraph::new(&c);
+        assert!(dag.longest_chain() <= 9, "chain {}", dag.longest_chain());
+        assert!(dag.longest_chain() >= 3);
+    }
+
+    #[test]
+    fn round_appends_mixers() {
+        let c = qaoa_round(8, 1);
+        assert_eq!(c.num_single_qubit_gates(), 8);
+        assert_eq!(c.num_two_qubit_gates(), 12);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        assert_eq!(qaoa_circuit(16, 9), qaoa_circuit(16, 9));
+        assert_ne!(qaoa_circuit(16, 9), qaoa_circuit(16, 10));
+    }
+}

@@ -1,0 +1,89 @@
+//! Quantum Fourier transform benchmark circuits.
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, GateKind};
+use std::f64::consts::PI;
+
+/// The textbook QFT on `n` qubits with controlled-phase gates kept as
+/// native two-qubit `cp` gates: `n` Hadamards plus `n(n-1)/2` CPs.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use olsq2_circuit::generators::qft_circuit;
+/// let c = qft_circuit(8);
+/// assert_eq!(c.num_gates(), 8 + 28);
+/// ```
+pub fn qft_circuit(n: usize) -> Circuit {
+    assert!(n > 0);
+    let mut c = Circuit::new(n);
+    for i in 0..n as u16 {
+        c.push(Gate::one(GateKind::H, i));
+        for j in (i + 1)..n as u16 {
+            let angle = PI / f64::from(1u32 << (j - i));
+            c.push(Gate::two(GateKind::Cp(angle), j, i));
+        }
+    }
+    let (q, g) = (c.num_qubits(), c.num_gates());
+    c.set_name(format!("QFT({q}/{g})"));
+    c
+}
+
+/// The QFT with every controlled-phase decomposed into the CX/Rz basis
+/// (`cp(λ) = rz(λ/2)·cx·rz(−λ/2)·cx·rz(λ/2)`): `n + 5·n(n-1)/2` gates.
+/// This is the form comparable to the paper's `QFT(8/106)` row (theirs is
+/// a hand-optimized file; ours is the uniform decomposition with 148).
+pub fn qft_decomposed(n: usize) -> Circuit {
+    let base = qft_circuit(n);
+    let mut c = Circuit::new(n);
+    for gate in base.gates() {
+        match (&gate.kind, gate.operands) {
+            (GateKind::Cp(angle), crate::gate::Operands::Two(ctrl, tgt)) => {
+                c.push(Gate::one(GateKind::Rz(angle / 2.0), ctrl));
+                c.push(Gate::two(GateKind::Cx, ctrl, tgt));
+                c.push(Gate::one(GateKind::Rz(-angle / 2.0), tgt));
+                c.push(Gate::two(GateKind::Cx, ctrl, tgt));
+                c.push(Gate::one(GateKind::Rz(angle / 2.0), tgt));
+            }
+            _ => c.push(gate.clone()),
+        }
+    }
+    let (q, g) = (c.num_qubits(), c.num_gates());
+    c.set_name(format!("QFT({q}/{g})"));
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::DependencyGraph;
+
+    #[test]
+    fn qft_sizes() {
+        for n in [2usize, 4, 8] {
+            let c = qft_circuit(n);
+            assert_eq!(c.num_gates(), n + n * (n - 1) / 2);
+            assert_eq!(c.num_two_qubit_gates(), n * (n - 1) / 2);
+        }
+    }
+
+    #[test]
+    fn decomposed_qft_sizes() {
+        let c = qft_decomposed(8);
+        assert_eq!(c.num_gates(), 8 + 5 * 28);
+        assert_eq!(c.num_two_qubit_gates(), 2 * 28);
+        assert_eq!(c.name(), "QFT(8/148)");
+    }
+
+    #[test]
+    fn qft_is_dense_in_dependencies() {
+        // Every pair of qubits interacts, so the chain is long relative to n.
+        let c = qft_circuit(6);
+        let dag = DependencyGraph::new(&c);
+        assert!(dag.longest_chain() >= 2 * 6 - 2);
+    }
+}

@@ -1,0 +1,260 @@
+//! QUEKO benchmarks: circuits with *known-optimal* depth and zero-SWAP
+//! layouts (Tan & Cong, "Optimality study of existing quantum computing
+//! layout synthesis tools").
+//!
+//! Construction: gates are placed cycle by cycle directly on *physical*
+//! qubits of the target device, so the circuit is executable in exactly
+//! `depth` steps with no SWAPs. A backbone chain of gates sharing a qubit
+//! across consecutive cycles pins the longest dependency chain to `depth`
+//! (a chain can contain at most one gate per cycle, so no chain is
+//! longer). Finally the qubit labels are scrambled by a hidden random
+//! permutation — a synthesizer must rediscover (any) zero-SWAP embedding.
+//! Table III's `QUEKO(54/…)` rows and the optimality check of §IV-C use
+//! these.
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, GateKind};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A generated QUEKO instance.
+#[derive(Debug, Clone)]
+pub struct QuekoCircuit {
+    /// The scrambled benchmark circuit (program qubits).
+    pub circuit: Circuit,
+    /// The optimal depth by construction (equals the requested depth).
+    pub optimal_depth: usize,
+    /// The hidden embedding: `mapping[program_qubit] = physical_qubit`
+    /// under which the circuit runs SWAP-free at `optimal_depth`.
+    pub hidden_mapping: Vec<u16>,
+}
+
+/// Generates a QUEKO benchmark on a device given by `(num_qubits, edges)`.
+///
+/// Each cycle receives roughly `target_gates / depth` gates — two-qubit
+/// gates on disjoint device edges plus single-qubit fillers — and one
+/// backbone gate chaining into the previous cycle. The returned gate count
+/// is close to, and never above, `target_gates` rounded to the cycle
+/// structure.
+///
+/// # Panics
+///
+/// Panics if `depth == 0`, the device has no edges, or `target_gates <
+/// depth` (each cycle needs its backbone gate).
+///
+/// # Examples
+///
+/// ```
+/// use olsq2_circuit::generators::queko_circuit;
+/// // A 2x2 grid device.
+/// let edges = [(0u16, 1), (0, 2), (1, 3), (2, 3)];
+/// let q = queko_circuit(4, &edges, 5, 15, 7);
+/// assert_eq!(q.optimal_depth, 5);
+/// assert!(q.circuit.num_gates() <= 15);
+/// assert_eq!(q.circuit.logical_depth(), 5);
+/// ```
+pub fn queko_circuit(
+    num_qubits: usize,
+    edges: &[(u16, u16)],
+    depth: usize,
+    target_gates: usize,
+    seed: u64,
+) -> QuekoCircuit {
+    assert!(depth > 0, "depth must be positive");
+    assert!(!edges.is_empty(), "device must have couplers");
+    assert!(
+        target_gates >= depth,
+        "need at least one gate per cycle for the backbone"
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let per_cycle_base = target_gates / depth;
+    let mut remainder = target_gates % depth;
+
+    let mut adjacency: Vec<Vec<u16>> = vec![Vec::new(); num_qubits];
+    for &(a, b) in edges {
+        adjacency[a as usize].push(b);
+        adjacency[b as usize].push(a);
+    }
+
+    // Physical-space circuit.
+    let mut phys = Circuit::new(num_qubits);
+    // Backbone cursor: the qubit the chain currently sits on.
+    let mut cursor: u16 = rng.gen_range(0..num_qubits as u16);
+    for _ in 0..depth {
+        let quota = per_cycle_base + usize::from(remainder > 0);
+        remainder = remainder.saturating_sub(1);
+        let mut busy = vec![false; num_qubits];
+
+        // 1. Backbone gate: must touch `cursor` to chain the dependency.
+        let neighbors = &adjacency[cursor as usize];
+        if !neighbors.is_empty() && rng.gen_bool(0.75) {
+            let next = neighbors[rng.gen_range(0..neighbors.len())];
+            phys.push(Gate::two(GateKind::Cx, cursor, next));
+            busy[cursor as usize] = true;
+            busy[next as usize] = true;
+            // Randomly walk the backbone.
+            if rng.gen_bool(0.5) {
+                cursor = next;
+            }
+        } else {
+            phys.push(Gate::one(GateKind::T, cursor));
+            busy[cursor as usize] = true;
+        }
+
+        // 2. Fill with two-qubit gates on a random matching of free edges.
+        let mut order: Vec<usize> = (0..edges.len()).collect();
+        order.shuffle(&mut rng);
+        let mut placed = 1usize;
+        for ei in order {
+            if placed >= quota {
+                break;
+            }
+            let (a, b) = edges[ei];
+            if busy[a as usize] || busy[b as usize] {
+                continue;
+            }
+            // Keep roughly a 40/60 two-/single-qubit mix like the original
+            // BNTF suites.
+            if rng.gen_bool(0.55) {
+                continue;
+            }
+            phys.push(Gate::two(GateKind::Cx, a, b));
+            busy[a as usize] = true;
+            busy[b as usize] = true;
+            placed += 1;
+        }
+
+        // 3. Fill the remaining quota with single-qubit gates on free qubits.
+        let mut free: Vec<u16> = (0..num_qubits as u16)
+            .filter(|&q| !busy[q as usize])
+            .collect();
+        free.shuffle(&mut rng);
+        for q in free {
+            if placed >= quota {
+                break;
+            }
+            phys.push(Gate::one(GateKind::T, q));
+            busy[q as usize] = true;
+            placed += 1;
+        }
+    }
+
+    // Scramble: program qubit q runs on physical qubit hidden_mapping[q].
+    // The physical circuit uses physical indices; applying the inverse
+    // permutation turns them into program indices.
+    let mut hidden_mapping: Vec<u16> = (0..num_qubits as u16).collect();
+    hidden_mapping.shuffle(&mut rng);
+    let mut inverse = vec![0u16; num_qubits];
+    for (program, &physical) in hidden_mapping.iter().enumerate() {
+        inverse[physical as usize] = program as u16;
+    }
+    let mut circuit = phys.permute_qubits(&inverse);
+    circuit.set_name(format!("QUEKO({}/{})", num_qubits, circuit.num_gates()));
+
+    QuekoCircuit {
+        circuit,
+        optimal_depth: depth,
+        hidden_mapping,
+    }
+}
+
+/// The BNTF ("benchmarks for near-term feasibility") preset of the QUEKO
+/// suite: the depth/gate-count pairs of the paper's Table III rows, scaled
+/// by the device size. `depth_index` 0..=4 selects depths 5/15/25/35/45
+/// with gate counts matching the paper's Sycamore (54-qubit) and Aspen-4
+/// (16-qubit) suites proportionally.
+///
+/// # Panics
+///
+/// Panics if `depth_index > 4`.
+///
+/// # Examples
+///
+/// ```
+/// use olsq2_circuit::generators::queko_bntf;
+/// let edges = [(0u16, 1), (1, 2), (2, 3), (3, 0)];
+/// let q = queko_bntf(4, &edges, 0, 7);
+/// assert_eq!(q.optimal_depth, 5);
+/// ```
+pub fn queko_bntf(
+    num_qubits: usize,
+    edges: &[(u16, u16)],
+    depth_index: usize,
+    seed: u64,
+) -> QuekoCircuit {
+    assert!(depth_index <= 4, "BNTF preset has depths 5..=45");
+    let depth = 5 + 10 * depth_index;
+    // The paper's suites average ≈ 38.4 gates/cycle on 54 qubits and
+    // ≈ 7.3 on 16 — about 0.6 gates per qubit per cycle, capped to
+    // what fits.
+    let per_cycle = ((num_qubits as f64) * 0.6).max(1.0) as usize;
+    let target = per_cycle * depth;
+    queko_circuit(num_qubits, edges, depth, target, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::DependencyGraph;
+    use crate::gate::Operands;
+
+    fn grid4_edges() -> Vec<(u16, u16)> {
+        vec![(0, 1), (0, 2), (1, 3), (2, 3)]
+    }
+
+    #[test]
+    fn depth_is_exactly_as_requested() {
+        for depth in [1usize, 3, 5, 10] {
+            let q = queko_circuit(4, &grid4_edges(), depth, depth * 3, 42);
+            assert_eq!(q.circuit.logical_depth(), depth);
+            let dag = DependencyGraph::new(&q.circuit);
+            assert_eq!(dag.longest_chain(), depth);
+        }
+    }
+
+    #[test]
+    fn hidden_mapping_executes_swap_free() {
+        let edges = grid4_edges();
+        let q = queko_circuit(4, &edges, 6, 18, 3);
+        // Map every program qubit through the hidden embedding; every
+        // two-qubit gate must land on a device edge.
+        for g in q.circuit.gates() {
+            if let Operands::Two(a, b) = g.operands {
+                let (pa, pb) = (
+                    q.hidden_mapping[a as usize],
+                    q.hidden_mapping[b as usize],
+                );
+                let key = (pa.min(pb), pa.max(pb));
+                assert!(edges.contains(&key), "gate {g} not on an edge");
+            }
+        }
+    }
+
+    #[test]
+    fn gate_count_close_to_target() {
+        let q = queko_circuit(4, &grid4_edges(), 10, 30, 9);
+        assert!(q.circuit.num_gates() <= 30);
+        assert!(q.circuit.num_gates() >= 10, "at least the backbone");
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = queko_circuit(4, &grid4_edges(), 5, 15, 1);
+        let b = queko_circuit(4, &grid4_edges(), 5, 15, 1);
+        assert_eq!(a.circuit, b.circuit);
+        assert_eq!(a.hidden_mapping, b.hidden_mapping);
+    }
+
+    #[test]
+    fn bntf_presets_scale_with_depth_index() {
+        let edges = grid4_edges();
+        let mut last_gates = 0;
+        for idx in 0..=4 {
+            let q = queko_bntf(4, &edges, idx, 11);
+            assert_eq!(q.optimal_depth, 5 + 10 * idx);
+            assert_eq!(q.circuit.logical_depth(), q.optimal_depth);
+            assert!(q.circuit.num_gates() >= last_gates);
+            last_gates = q.circuit.num_gates();
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # olsq2-circuit
+//!
+//! Quantum circuit intermediate representation for the OLSQ2 reproduction:
+//! gates and circuits ([`Gate`], [`Circuit`]), dependency analysis
+//! ([`DependencyGraph`], the paper's dependency list `D` and longest chain
+//! `T_LB`), OpenQASM 2.0 subset I/O ([`parse_qasm`], [`write_qasm`]), and
+//! seeded [`generators`] for every benchmark family in the paper's
+//! evaluation (QAOA, QUEKO, QFT, Toffoli ladders, Ising).
+//!
+//! ## Example
+//!
+//! ```
+//! use olsq2_circuit::{generators::qaoa_circuit, DependencyGraph};
+//! let circuit = qaoa_circuit(16, 42);
+//! let dag = DependencyGraph::new(&circuit);
+//! assert!(dag.longest_chain() <= circuit.num_gates());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod circuit;
+mod dag;
+mod gate;
+pub mod generators;
+mod qasm;
+
+pub use circuit::Circuit;
+pub use dag::DependencyGraph;
+pub use gate::{Gate, GateKind, Operands};
+pub use qasm::{parse_qasm, write_qasm, ParseQasmError};

@@ -1,0 +1,420 @@
+//! OpenQASM 2.0 subset reader/writer.
+//!
+//! Supports the fragment the paper's benchmark files use: a single `qreg`,
+//! optional `creg`, the `qelib1` one- and two-qubit gates, `ccx` (expanded
+//! to the 15-gate Toffoli decomposition so the circuit stays in the 1/2-
+//! qubit IR), and `barrier`/`measure` (ignored for layout synthesis).
+//! Angle expressions understand `pi`, rationals, and products
+//! (e.g. `-3*pi/8`, `pi/2`, `0.25`).
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, GateKind, Operands};
+use crate::generators::push_toffoli;
+use std::f64::consts::PI;
+use std::fmt::Write as _;
+
+/// Errors from [`parse_qasm`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseQasmError {
+    /// Statement is not in the supported subset.
+    Unsupported {
+        /// Line number (1-based).
+        line: usize,
+        /// The statement text.
+        statement: String,
+    },
+    /// A qubit reference is malformed or out of range.
+    BadQubit {
+        /// Line number (1-based).
+        line: usize,
+        /// The operand text.
+        operand: String,
+    },
+    /// An angle expression could not be evaluated.
+    BadAngle {
+        /// Line number (1-based).
+        line: usize,
+        /// The expression text.
+        expr: String,
+    },
+    /// No `qreg` declaration was found before gates.
+    MissingQreg,
+    /// A gate names the same qubit twice.
+    DuplicateOperand {
+        /// Line number (1-based).
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for ParseQasmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseQasmError::Unsupported { line, statement } => {
+                write!(f, "line {line}: unsupported statement {statement:?}")
+            }
+            ParseQasmError::BadQubit { line, operand } => {
+                write!(f, "line {line}: bad qubit operand {operand:?}")
+            }
+            ParseQasmError::BadAngle { line, expr } => {
+                write!(f, "line {line}: cannot evaluate angle {expr:?}")
+            }
+            ParseQasmError::MissingQreg => write!(f, "no qreg declaration found"),
+            ParseQasmError::DuplicateOperand { line } => {
+                write!(f, "line {line}: gate repeats an operand qubit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseQasmError {}
+
+/// Evaluates a QASM angle expression: numbers, `pi`, unary minus, `*`, `/`.
+fn eval_angle(expr: &str) -> Option<f64> {
+    // Grammar: term (('*'|'/') term)*, term = ['-'] (number | 'pi')
+    let expr = expr.trim();
+    let mut value = 1.0f64;
+    let mut negate = false;
+    let mut op = '*';
+    let mut token = String::new();
+    let apply = |value: &mut f64, token: &str, op: char, negate: bool| -> Option<()> {
+        let t = token.trim();
+        if t.is_empty() {
+            return None;
+        }
+        let mut v = if t == "pi" { PI } else { t.parse::<f64>().ok()? };
+        if negate {
+            v = -v;
+        }
+        match op {
+            '*' => *value *= v,
+            '/' => {
+                if v == 0.0 {
+                    return None;
+                }
+                *value /= v;
+            }
+            _ => return None,
+        }
+        Some(())
+    };
+    for ch in expr.chars() {
+        match ch {
+            '*' | '/' => {
+                apply(&mut value, &token, op, negate)?;
+                token.clear();
+                negate = false;
+                op = ch;
+            }
+            '-' if token.trim().is_empty() => negate = !negate,
+            '+' if token.trim().is_empty() => {}
+            _ => token.push(ch),
+        }
+    }
+    apply(&mut value, &token, op, negate)?;
+    Some(value)
+}
+
+fn parse_qubit(operand: &str, num_qubits: usize) -> Option<u16> {
+    let operand = operand.trim();
+    let open = operand.find('[')?;
+    let close = operand.find(']')?;
+    let idx: usize = operand[open + 1..close].trim().parse().ok()?;
+    (idx < num_qubits).then_some(idx as u16)
+}
+
+/// Parses an OpenQASM 2.0 program into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`ParseQasmError`] for statements outside the supported subset,
+/// malformed operands, or missing `qreg`.
+///
+/// # Examples
+///
+/// ```
+/// use olsq2_circuit::parse_qasm;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let src = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n";
+/// let circuit = parse_qasm(src)?;
+/// assert_eq!(circuit.num_qubits(), 2);
+/// assert_eq!(circuit.num_gates(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_qasm(source: &str) -> Result<Circuit, ParseQasmError> {
+    let mut circuit: Option<Circuit> = None;
+    for (lineno, raw_line) in source.lines().enumerate() {
+        let line = lineno + 1;
+        // Strip comments.
+        let text = raw_line.split("//").next().unwrap_or("");
+        for statement in text.split(';') {
+            let stmt = statement.trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            let lower = stmt.to_ascii_lowercase();
+            if lower.starts_with("openqasm") || lower.starts_with("include") {
+                continue;
+            }
+            if let Some(rest) = lower.strip_prefix("qreg") {
+                let n = rest
+                    .trim()
+                    .split('[')
+                    .nth(1)
+                    .and_then(|s| s.split(']').next())
+                    .and_then(|s| s.trim().parse::<usize>().ok())
+                    .ok_or_else(|| ParseQasmError::Unsupported {
+                        line,
+                        statement: stmt.to_string(),
+                    })?;
+                match &mut circuit {
+                    None => circuit = Some(Circuit::new(n)),
+                    Some(c) => {
+                        // Multiple qregs: widen (rare; treated as one register).
+                        let mut widened = Circuit::new(c.num_qubits() + n);
+                        widened.extend_from(c);
+                        *c = widened;
+                    }
+                }
+                continue;
+            }
+            if lower.starts_with("creg") || lower.starts_with("barrier") || lower.starts_with("measure")
+            {
+                continue;
+            }
+            // Gate application: name[(params)] operand(,operand)*
+            let c = circuit.as_mut().ok_or(ParseQasmError::MissingQreg)?;
+            let (head, operands_text) = match stmt.find(|ch: char| ch.is_whitespace()) {
+                Some(pos) if !stmt[..pos].contains('(') || stmt[..pos].contains(')') => {
+                    stmt.split_at(pos)
+                }
+                _ => {
+                    // Parameterized gates may contain spaces inside (...):
+                    // split after the closing paren.
+                    match stmt.find(')') {
+                        Some(p) => stmt.split_at(p + 1),
+                        None => {
+                            return Err(ParseQasmError::Unsupported {
+                                line,
+                                statement: stmt.to_string(),
+                            })
+                        }
+                    }
+                }
+            };
+            let head = head.trim();
+            let (name, params) = match head.find('(') {
+                Some(p) => {
+                    let name = head[..p].trim();
+                    let inner = head[p + 1..head.rfind(')').unwrap_or(head.len())].trim();
+                    let mut params = Vec::new();
+                    for expr in inner.split(',') {
+                        params.push(eval_angle(expr).ok_or_else(|| ParseQasmError::BadAngle {
+                            line,
+                            expr: expr.to_string(),
+                        })?);
+                    }
+                    (name, params)
+                }
+                None => (head, Vec::new()),
+            };
+            let qubits: Result<Vec<u16>, _> = operands_text
+                .split(',')
+                .map(|op| {
+                    parse_qubit(op, c.num_qubits()).ok_or_else(|| ParseQasmError::BadQubit {
+                        line,
+                        operand: op.to_string(),
+                    })
+                })
+                .collect();
+            let qubits = qubits?;
+            let kind = match (name, params.as_slice()) {
+                ("id", _) => GateKind::Id,
+                ("h", _) => GateKind::H,
+                ("x", _) => GateKind::X,
+                ("y", _) => GateKind::Y,
+                ("z", _) => GateKind::Z,
+                ("s", _) => GateKind::S,
+                ("sdg", _) => GateKind::Sdg,
+                ("t", _) => GateKind::T,
+                ("tdg", _) => GateKind::Tdg,
+                ("rx", [a]) => GateKind::Rx(*a),
+                ("ry", [a]) => GateKind::Ry(*a),
+                ("rz", [a]) | ("u1", [a]) | ("p", [a]) => GateKind::Rz(*a),
+                ("u2", [a, b]) => GateKind::U(PI / 2.0, *a, *b),
+                ("u3", [a, b, cc]) | ("u", [a, b, cc]) => GateKind::U(*a, *b, *cc),
+                ("cx", _) | ("CX", _) => GateKind::Cx,
+                ("cz", _) => GateKind::Cz,
+                ("cp", [a]) | ("cu1", [a]) => GateKind::Cp(*a),
+                ("rzz", [a]) => GateKind::Zz(*a),
+                ("swap", _) => GateKind::Swap,
+                ("ccx", _) => {
+                    // Expand Toffoli into the 15-gate decomposition.
+                    if qubits.len() != 3 {
+                        return Err(ParseQasmError::Unsupported {
+                            line,
+                            statement: stmt.to_string(),
+                        });
+                    }
+                    push_toffoli(c, qubits[0], qubits[1], qubits[2]);
+                    continue;
+                }
+                (other, _) if qubits.len() <= 2 && !other.is_empty() => GateKind::Other {
+                    name: other.into(),
+                    params: params.clone(),
+                },
+                _ => {
+                    return Err(ParseQasmError::Unsupported {
+                        line,
+                        statement: stmt.to_string(),
+                    })
+                }
+            };
+            let operands = match qubits.as_slice() {
+                [q] => Operands::One(*q),
+                [a, b] if a != b => Operands::Two(*a, *b),
+                [_, _] => return Err(ParseQasmError::DuplicateOperand { line }),
+                _ => {
+                    return Err(ParseQasmError::Unsupported {
+                        line,
+                        statement: stmt.to_string(),
+                    })
+                }
+            };
+            c.push(Gate::new(kind, operands));
+        }
+    }
+    circuit.ok_or(ParseQasmError::MissingQreg)
+}
+
+/// Serializes a circuit as OpenQASM 2.0.
+///
+/// # Examples
+///
+/// ```
+/// use olsq2_circuit::{write_qasm, Circuit, Gate, GateKind};
+/// let mut c = Circuit::new(2);
+/// c.push(Gate::two(GateKind::Cx, 0, 1));
+/// let qasm = write_qasm(&c);
+/// assert!(qasm.contains("qreg q[2];"));
+/// assert!(qasm.contains("cx q[0],q[1];"));
+/// ```
+pub fn write_qasm(circuit: &Circuit) -> String {
+    let mut out = String::from("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    let _ = writeln!(out, "qreg q[{}];", circuit.num_qubits());
+    for gate in circuit.gates() {
+        let params = gate.kind.params();
+        let head = if params.is_empty() {
+            gate.kind.name().to_string()
+        } else {
+            let joined: Vec<String> = params.iter().map(|p| format!("{p:.12}")).collect();
+            format!("{}({})", gate.kind.name(), joined.join(","))
+        };
+        match gate.operands {
+            Operands::One(q) => {
+                let _ = writeln!(out, "{head} q[{q}];");
+            }
+            Operands::Two(a, b) => {
+                let _ = writeln!(out, "{head} q[{a}],q[{b}];");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_program() {
+        let src = r#"
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0],q[1];
+rz(pi/4) q[2];
+rz(-3*pi/8) q[1];
+measure q[0] -> c[0];
+barrier q[0],q[1];
+"#;
+        let c = parse_qasm(src).expect("parses");
+        assert_eq!(c.num_qubits(), 3);
+        assert_eq!(c.num_gates(), 4);
+        match &c.gate(2).kind {
+            GateKind::Rz(a) => assert!((a - PI / 4.0).abs() < 1e-12),
+            other => panic!("expected rz, got {other:?}"),
+        }
+        match &c.gate(3).kind {
+            GateKind::Rz(a) => assert!((a + 3.0 * PI / 8.0).abs() < 1e-12),
+            other => panic!("expected rz, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ccx_expands_to_toffoli() {
+        let src = "qreg q[3];\nccx q[0],q[1],q[2];\n";
+        let c = parse_qasm(src).expect("parses");
+        assert_eq!(c.num_gates(), 15);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let src = "qreg q[4];\nh q[0];\ncx q[0],q[1];\nswap q[2],q[3];\nrz(0.5) q[2];\n";
+        let c = parse_qasm(src).expect("parses");
+        let text = write_qasm(&c);
+        let c2 = parse_qasm(&text).expect("reparses");
+        assert_eq!(c.num_gates(), c2.num_gates());
+        assert_eq!(c.num_qubits(), c2.num_qubits());
+        for (a, b) in c.gates().iter().zip(c2.gates()) {
+            assert_eq!(a.operands, b.operands);
+            assert_eq!(a.kind.name(), b.kind.name());
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(matches!(parse_qasm("h q[0];"), Err(ParseQasmError::MissingQreg)));
+        assert!(matches!(
+            parse_qasm("qreg q[2];\nh q[5];"),
+            Err(ParseQasmError::BadQubit { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse_qasm("qreg q[2];\ncx q[0],q[0];"),
+            Err(ParseQasmError::DuplicateOperand { line: 2 })
+        ));
+        assert!(matches!(
+            parse_qasm("qreg q[2];\nrz(frog) q[0];"),
+            Err(ParseQasmError::BadAngle { .. })
+        ));
+    }
+
+    #[test]
+    fn angle_expressions() {
+        assert!((eval_angle("pi").unwrap() - PI).abs() < 1e-12);
+        assert!((eval_angle("pi/2").unwrap() - PI / 2.0).abs() < 1e-12);
+        assert!((eval_angle("-pi/4").unwrap() + PI / 4.0).abs() < 1e-12);
+        assert!((eval_angle("3*pi/2").unwrap() - 3.0 * PI / 2.0).abs() < 1e-12);
+        assert!((eval_angle("0.125").unwrap() - 0.125).abs() < 1e-12);
+        assert!((eval_angle(" - 2 * pi ").unwrap() + 2.0 * PI).abs() < 1e-12);
+        assert!(eval_angle("").is_none());
+        assert!(eval_angle("pi/0").is_none());
+    }
+
+    #[test]
+    fn unknown_gates_become_other() {
+        let src = "qreg q[2];\nfoo q[0];\nbar(1.5) q[0],q[1];\n";
+        let c = parse_qasm(src).expect("parses");
+        assert_eq!(c.num_gates(), 2);
+        assert!(matches!(&c.gate(0).kind, GateKind::Other { .. }));
+    }
+
+    #[test]
+    fn statements_share_lines() {
+        let src = "qreg q[2]; h q[0]; cx q[0],q[1];";
+        let c = parse_qasm(src).expect("parses");
+        assert_eq!(c.num_gates(), 2);
+    }
+}

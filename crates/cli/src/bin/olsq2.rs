@@ -1,0 +1,230 @@
+//! `olsq2` — command-line layout synthesis.
+//!
+//! ```text
+//! olsq2 --qasm <file|-> --device <name> [--objective depth|swaps|blocks]
+//!       [--swap-duration N] [--budget SECS] [--encoding int|bv|euf]
+//!       [--tool olsq2|tb|sabre|satmap|astar|portfolio] [--output out.qasm]
+//! ```
+//!
+//! Reads an OpenQASM 2.0 circuit, synthesizes a layout for the chosen
+//! device, verifies it, reports depth/SWAP statistics, and (optionally)
+//! writes the executable physical circuit back as QASM.
+
+use olsq2::{
+    EncodingConfig, Olsq2Synthesizer, PortfolioSynthesizer, SynthesisConfig, TbOlsq2Synthesizer,
+};
+use olsq2_arch::{
+    aspen4, eagle127, grid, ibm_qx2, ibm_qx5, ibm_tokyo, line, sycamore54, CouplingGraph,
+};
+use olsq2_circuit::{parse_qasm, write_qasm};
+use olsq2_layout::{emit_physical_circuit, verify, LayoutResult};
+use std::io::Read;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: olsq2 --qasm <file|-> --device <name> \\
+          [--objective depth|swaps] [--tool olsq2|tb|sabre|satmap|astar|portfolio] \\
+          [--swap-duration N] [--budget SECS] [--encoding int|bv|euf] [--output out.qasm]
+
+devices: qx2, qx5, tokyo, aspen4, sycamore, eagle, grid<WxH>, line<N>"
+    );
+    std::process::exit(2);
+}
+
+fn device_by_name(name: &str) -> Option<CouplingGraph> {
+    match name {
+        "qx2" => Some(ibm_qx2()),
+        "qx5" => Some(ibm_qx5()),
+        "tokyo" => Some(ibm_tokyo()),
+        "aspen4" | "aspen-4" => Some(aspen4()),
+        "sycamore" => Some(sycamore54()),
+        "eagle" => Some(eagle127()),
+        _ => {
+            if let Some(rest) = name.strip_prefix("grid") {
+                let (w, h) = rest.split_once('x')?;
+                return Some(grid(w.parse().ok()?, h.parse().ok()?));
+            }
+            if let Some(rest) = name.strip_prefix("line") {
+                return Some(line(rest.parse().ok()?));
+            }
+            None
+        }
+    }
+}
+
+fn main() {
+    let mut qasm_path = None;
+    let mut device_name = None;
+    let mut objective = "swaps".to_string();
+    let mut tool = "tb".to_string();
+    let mut swap_duration = 3usize;
+    let mut budget: Option<Duration> = None;
+    let mut encoding = "int".to_string();
+    let mut output: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let val = |args: &mut dyn Iterator<Item = String>| -> String {
+            args.next().unwrap_or_else(|| usage())
+        };
+        match a.as_str() {
+            "--qasm" => qasm_path = Some(val(&mut args)),
+            "--device" => device_name = Some(val(&mut args)),
+            "--objective" => objective = val(&mut args),
+            "--tool" => tool = val(&mut args),
+            "--swap-duration" => {
+                swap_duration = val(&mut args).parse().unwrap_or_else(|_| usage())
+            }
+            "--budget" => {
+                budget = Some(Duration::from_secs(
+                    val(&mut args).parse().unwrap_or_else(|_| usage()),
+                ))
+            }
+            "--encoding" => encoding = val(&mut args),
+            "--output" => output = Some(val(&mut args)),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    let (Some(qasm_path), Some(device_name)) = (qasm_path, device_name) else {
+        usage()
+    };
+    let source = if qasm_path == "-" {
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf).expect("stdin");
+        buf
+    } else {
+        std::fs::read_to_string(&qasm_path).unwrap_or_else(|e| {
+            eprintln!("cannot read {qasm_path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let circuit = parse_qasm(&source).unwrap_or_else(|e| {
+        eprintln!("QASM parse error: {e}");
+        std::process::exit(2);
+    });
+    let device = device_by_name(&device_name).unwrap_or_else(|| {
+        eprintln!("unknown device {device_name:?}");
+        usage()
+    });
+    eprintln!(
+        "circuit: {} gates over {} qubits; device: {device}",
+        circuit.num_gates(),
+        circuit.num_qubits()
+    );
+
+    let enc = match encoding.as_str() {
+        "int" => EncodingConfig::int(),
+        "bv" => EncodingConfig::bv(),
+        "euf" => EncodingConfig::euf_int(),
+        _ => usage(),
+    };
+    let config = SynthesisConfig {
+        encoding: enc,
+        swap_duration,
+        time_budget: budget,
+        ..SynthesisConfig::default()
+    };
+
+    let result: LayoutResult = match (tool.as_str(), objective.as_str()) {
+        ("olsq2", "depth") => {
+            let out = Olsq2Synthesizer::new(config)
+                .optimize_depth(&circuit, &device)
+                .unwrap_or_else(|e| fail(&e));
+            eprintln!(
+                "optimal: {} ({} solver calls)",
+                out.proven_optimal, out.iterations
+            );
+            out.result
+        }
+        ("olsq2", "swaps") => {
+            let out = Olsq2Synthesizer::new(config)
+                .optimize_swaps(&circuit, &device)
+                .unwrap_or_else(|e| fail(&e));
+            eprintln!(
+                "optimal: {} (pareto points: {:?})",
+                out.best.proven_optimal, out.pareto
+            );
+            out.best.result
+        }
+        ("tb", "depth" | "blocks") => {
+            let out = TbOlsq2Synthesizer::new(config)
+                .optimize_blocks(&circuit, &device)
+                .unwrap_or_else(|e| fail(&e));
+            eprintln!("blocks: {}", out.block_count);
+            out.outcome.result
+        }
+        ("tb", "swaps") => {
+            let out = TbOlsq2Synthesizer::new(config)
+                .optimize_swaps(&circuit, &device)
+                .unwrap_or_else(|e| fail(&e));
+            eprintln!(
+                "optimal: {} ({} blocks)",
+                out.outcome.proven_optimal, out.block_count
+            );
+            out.outcome.result
+        }
+        ("portfolio", "depth") => {
+            let (out, winner) = PortfolioSynthesizer::standard(config)
+                .optimize_depth(&circuit, &device)
+                .unwrap_or_else(|e| fail(&e));
+            eprintln!("portfolio winner: member {winner}");
+            out.result
+        }
+        ("portfolio", "swaps") => {
+            let (out, winner) = PortfolioSynthesizer::standard(config)
+                .optimize_swaps(&circuit, &device)
+                .unwrap_or_else(|e| fail(&e));
+            eprintln!("portfolio winner: member {winner}");
+            out.result
+        }
+        ("sabre", _) => {
+            let mut cfg = olsq2_heuristic::SabreConfig::default();
+            cfg.swap_duration = swap_duration;
+            olsq2_heuristic::sabre_route(&circuit, &device, &cfg).unwrap_or_else(|e| fail(&e))
+        }
+        ("satmap", _) => {
+            let mut cfg = olsq2_heuristic::SatMapConfig::default();
+            cfg.swap_duration = swap_duration;
+            cfg.time_budget = budget;
+            olsq2_heuristic::satmap_route(&circuit, &device, &cfg)
+                .unwrap_or_else(|e| fail(&e))
+                .result
+        }
+        ("astar", _) => {
+            let mut cfg = olsq2_heuristic::AstarConfig::default();
+            cfg.swap_duration = swap_duration;
+            olsq2_heuristic::astar_route(&circuit, &device, &cfg).unwrap_or_else(|e| fail(&e))
+        }
+        _ => usage(),
+    };
+
+    if let Err(violations) = verify(&circuit, &device, &result) {
+        eprintln!("INTERNAL ERROR: result failed verification: {violations:?}");
+        std::process::exit(1);
+    }
+    println!(
+        "depth {}  swaps {}  (verified)",
+        result.depth,
+        result.swap_count()
+    );
+    if let Some(path) = output {
+        let physical = emit_physical_circuit(&circuit, &device, &result).decompose_swaps();
+        let text = write_qasm(&physical);
+        if path == "-" {
+            print!("{text}");
+        } else {
+            std::fs::write(&path, text).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("wrote physical circuit to {path}");
+        }
+    }
+}
+
+fn fail(e: &dyn std::fmt::Display) -> ! {
+    eprintln!("synthesis failed: {e}");
+    std::process::exit(1)
+}

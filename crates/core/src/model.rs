@@ -1,0 +1,829 @@
+//! The OLSQ2 flat (time-resolved) model — the paper's §III formulation.
+//!
+//! Variables (§III-A-1):
+//! * mapping `π_q^t` — finite-domain over physical qubits, per program
+//!   qubit and time step;
+//! * time `t_g` — finite-domain over `0..T_UB`, per gate;
+//! * SWAP `σ_e^t` — Boolean, true iff a SWAP on edge `e` *finishes* at `t`.
+//!
+//! There are **no space variables**: gate positions are implied by mapping
+//! and time variables (Improvement 1). Constraints follow §II-A/§III-A-2:
+//! injectivity, dependencies, two-qubit adjacency (Eq. 1), SWAP/gate
+//! overlap (Eq. 2–3), SWAP/SWAP exclusion, and mapping transformation.
+//! Objective bounds are attached through activation literals so the
+//! optimization loops of §III-B stay incremental.
+
+use crate::config::{MappingEncoding, SynthesisConfig};
+use crate::vars::{FdVar, TimeVars};
+use olsq2_arch::CouplingGraph;
+use olsq2_circuit::{Circuit, DependencyGraph, Operands};
+use olsq2_encode::{at_most_one, gates, CardinalityNetwork, CnfSink};
+use olsq2_layout::{LayoutResult, SwapOp};
+use olsq2_sat::{Lit, SolveResult, Solver};
+use std::collections::HashMap;
+
+/// Errors raised while constructing a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// More program qubits than physical qubits.
+    TooManyQubits {
+        /// Program qubit count.
+        program: usize,
+        /// Physical qubit count.
+        physical: usize,
+    },
+    /// The circuit has no gates (nothing to synthesize).
+    EmptyCircuit,
+    /// The coupling graph cannot route the circuit (disconnected).
+    DisconnectedDevice,
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::TooManyQubits { program, physical } => write!(
+                f,
+                "circuit uses {program} program qubits but the device has only {physical}"
+            ),
+            ModelError::EmptyCircuit => write!(f, "circuit has no gates"),
+            ModelError::DisconnectedDevice => {
+                write!(f, "coupling graph is disconnected; routing may be impossible")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Which formulation to build: the paper's succinct OLSQ2 model or the
+/// original OLSQ baseline with per-gate *space variables* (used for the
+/// speedup comparisons of Fig. 1 and Tables I–II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ModelStyle {
+    /// OLSQ2 (Improvement 1): no space variables; gate positions inferred
+    /// from mapping and time variables.
+    #[default]
+    Olsq2,
+    /// OLSQ (Tan & Cong, ICCAD'20): each gate carries a space variable
+    /// `x_g` (over edges for two-qubit gates, over qubits for single-qubit
+    /// gates) plus consistency constraints tying `x_g` to the mapping —
+    /// the redundancy the paper eliminates.
+    OlsqBaseline,
+}
+
+/// The built model plus handles for incremental bounding and extraction.
+#[derive(Debug)]
+pub struct FlatModel {
+    solver: Solver,
+    /// `mapping[q][t]`.
+    mapping: Vec<Vec<FdVar>>,
+    time: TimeVars,
+    /// `swap_lits[e][t]`; entries below `S_D - 1` are frozen false.
+    swap_lits: Vec<Vec<Lit>>,
+    t_ub: usize,
+    sd: usize,
+    config: SynthesisConfig,
+    depth_bounds: HashMap<usize, Lit>,
+    swap_card: Option<CardinalityNetwork>,
+    num_gates: usize,
+}
+
+impl FlatModel {
+    /// Builds the OLSQ2 model for `circuit` on `graph` with the given
+    /// depth window `t_ub`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] when the instance is structurally infeasible.
+    pub fn build(
+        circuit: &Circuit,
+        graph: &CouplingGraph,
+        config: &SynthesisConfig,
+        t_ub: usize,
+    ) -> Result<FlatModel, ModelError> {
+        Self::build_with_style(circuit, graph, config, t_ub, ModelStyle::Olsq2)
+    }
+
+    /// Builds either formulation (see [`ModelStyle`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] when the instance is structurally infeasible.
+    pub fn build_with_style(
+        circuit: &Circuit,
+        graph: &CouplingGraph,
+        config: &SynthesisConfig,
+        t_ub: usize,
+        style: ModelStyle,
+    ) -> Result<FlatModel, ModelError> {
+        let nq = circuit.num_qubits();
+        let np = graph.num_qubits();
+        if circuit.num_gates() == 0 {
+            return Err(ModelError::EmptyCircuit);
+        }
+        if nq > np {
+            return Err(ModelError::TooManyQubits {
+                program: nq,
+                physical: np,
+            });
+        }
+        if !graph.is_connected() && nq > 1 {
+            return Err(ModelError::DisconnectedDevice);
+        }
+        let sd = config.swap_duration.max(1);
+        let t_ub = t_ub.max(1);
+        let mut solver = Solver::new();
+        let enc = config.encoding;
+
+        // --- Mapping variables + injectivity -------------------------------
+        let new_mapping_var = |s: &mut Solver| match enc.mapping {
+            MappingEncoding::OneHot | MappingEncoding::InverseOneHot => {
+                FdVar::new_onehot(s, np, enc.amo)
+            }
+            MappingEncoding::Binary => FdVar::new_binary(s, np),
+        };
+        let mut mapping: Vec<Vec<FdVar>> = (0..nq)
+            .map(|_| (0..t_ub).map(|_| new_mapping_var(&mut solver)).collect())
+            .collect();
+
+        match enc.mapping {
+            MappingEncoding::OneHot => {
+                // Pairwise per (t, p): the "int"-style injectivity.
+                for t in 0..t_ub {
+                    for p in 0..np {
+                        let sels: Vec<Lit> = (0..nq)
+                            .map(|q| mapping[q][t].eq_lit(&mut solver, p))
+                            .collect();
+                        at_most_one(&mut solver, &sels, enc.amo);
+                    }
+                }
+            }
+            MappingEncoding::Binary => {
+                // Pairwise difference per (t, q<q'): at least one bit of the
+                // two bit-vectors differs.
+                for t in 0..t_ub {
+                    for q1 in 0..nq {
+                        for q2 in (q1 + 1)..nq {
+                            let diff = fd_differs(&mut solver, &mapping[q1][t], &mapping[q2][t]);
+                            solver.add_clause([diff]);
+                        }
+                    }
+                }
+            }
+            MappingEncoding::InverseOneHot => {
+                // EUF-style: an inverse family π_inv(p, t) over Q ∪ {free}
+                // with channeling; injectivity follows from π_inv being a
+                // function (its exactly-one constraint).
+                for t in 0..t_ub {
+                    let mut inv: Vec<FdVar> = (0..np)
+                        .map(|_| FdVar::new_onehot(&mut solver, nq + 1, enc.amo))
+                        .collect();
+                    for q in 0..nq {
+                        for p in 0..np {
+                            let m = mapping[q][t].eq_lit(&mut solver, p);
+                            let i = inv[p].eq_lit(&mut solver, q);
+                            solver.add_clause([!m, i]);
+                            solver.add_clause([!i, m]);
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- Time variables + dependencies ---------------------------------
+        let dag = if config.commutation_aware {
+            DependencyGraph::new_with_commutation(circuit)
+        } else {
+            DependencyGraph::new(circuit)
+        };
+        let mut time = TimeVars::new(
+            &mut solver,
+            circuit.num_gates(),
+            t_ub,
+            enc.time,
+            enc.amo,
+        );
+        for &(g, g2) in dag.dependencies() {
+            time.assert_before(&mut solver, g, g2);
+        }
+        // Commutation relaxes *order*, not exclusivity: gates sharing a
+        // program qubit must still occupy distinct time steps.
+        if config.commutation_aware {
+            let dep_set: std::collections::HashSet<(usize, usize)> =
+                dag.dependencies().iter().copied().collect();
+            let mut per_qubit: Vec<Vec<usize>> = vec![Vec::new(); nq];
+            for (g, gate) in circuit.gates().iter().enumerate() {
+                for q in gate.operands.qubits() {
+                    per_qubit[q as usize].push(g);
+                }
+            }
+            let mut seen_pairs = std::collections::HashSet::new();
+            for gates_on_q in &per_qubit {
+                for (i, &a) in gates_on_q.iter().enumerate() {
+                    for &b in &gates_on_q[i + 1..] {
+                        if dep_set.contains(&(a, b))
+                            || dep_set.contains(&(b, a))
+                            || !seen_pairs.insert((a, b))
+                        {
+                            continue;
+                        }
+                        time.assert_not_equal(&mut solver, a, b);
+                    }
+                }
+            }
+        }
+
+        // --- SWAP variables -------------------------------------------------
+        let ne = graph.num_edges();
+        let swap_lits: Vec<Vec<Lit>> = (0..ne)
+            .map(|_| {
+                (0..t_ub)
+                    .map(|_| Lit::positive(CnfSink::new_var(&mut solver)))
+                    .collect()
+            })
+            .collect();
+        // A SWAP cannot finish before S_D - 1.
+        for lits in &swap_lits {
+            for &l in lits.iter().take(sd - 1) {
+                solver.add_clause([!l]);
+            }
+        }
+        // SWAP/SWAP exclusion: overlapping windows on edges sharing a qubit.
+        for e1 in 0..ne {
+            let (a1, b1) = graph.edge(e1);
+            for e2 in e1..ne {
+                let (a2, b2) = graph.edge(e2);
+                let shares =
+                    e1 == e2 || a1 == a2 || a1 == b2 || b1 == a2 || b1 == b2;
+                if !shares {
+                    continue;
+                }
+                for t1 in (sd - 1)..t_ub {
+                    let upper = (t1 + sd).min(t_ub);
+                    // Windows (t-S_D, t] intersect iff |t1 - t2| < S_D; for
+                    // the same edge only emit each unordered pair once.
+                    let lower = if e1 == e2 {
+                        t1 + 1
+                    } else {
+                        (t1 + 1).saturating_sub(sd).max(sd - 1)
+                    };
+                    for t2 in lower..upper {
+                        if e1 == e2 && t1 == t2 {
+                            continue;
+                        }
+                        solver.add_clause([!swap_lits[e1][t1], !swap_lits[e2][t2]]);
+                    }
+                }
+            }
+        }
+
+        match style {
+            ModelStyle::Olsq2 => {
+                // --- Valid two-qubit gate scheduling (Eq. 1) ----------------
+                // Cache the adjacency disjunction per (qubit pair, t).
+                let mut adj_cache: HashMap<(u16, u16, usize), Lit> = HashMap::new();
+                for (g, gate) in circuit.gates().iter().enumerate() {
+                    if let Operands::Two(q1, q2) = gate.operands {
+                        let (qa, qb) = (q1.min(q2), q1.max(q2));
+                        for t in 0..t_ub {
+                            let adj = match adj_cache.get(&(qa, qb, t)) {
+                                Some(&l) => l,
+                                None => {
+                                    let mut pair_lits = Vec::with_capacity(2 * ne);
+                                    for e in 0..ne {
+                                        let (pa, pb) = graph.edge(e);
+                                        for (x, y) in [(pa, pb), (pb, pa)] {
+                                            let la = mapping[qa as usize][t]
+                                                .eq_lit(&mut solver, x as usize);
+                                            let lb = mapping[qb as usize][t]
+                                                .eq_lit(&mut solver, y as usize);
+                                            pair_lits
+                                                .push(gates::and_lit(&mut solver, la, lb));
+                                        }
+                                    }
+                                    let l = gates::or_all(&mut solver, &pair_lits);
+                                    adj_cache.insert((qa, qb, t), l);
+                                    l
+                                }
+                            };
+                            // (t_g == t) → adjacent(qa, qb, t)
+                            let mut clause = time.var(g).neq_clause(t);
+                            clause.push(adj);
+                            solver.add_clause(clause);
+                        }
+                    }
+                }
+
+                // --- Valid SWAP insertion (Eq. 2–3) -------------------------
+                // A SWAP finishing at t occupies its endpoints during the
+                // window (t - S_D, t]; no gate touching those physical
+                // qubits may be scheduled in that window.
+                for (g, gate) in circuit.gates().iter().enumerate() {
+                    let qubits: Vec<u16> = gate.operands.qubits().collect();
+                    for e in 0..ne {
+                        let (pa, pb) = graph.edge(e);
+                        for t in (sd - 1)..t_ub {
+                            for t_prime in (t + 1 - sd)..=t {
+                                for &q in &qubits {
+                                    for p in [pa, pb] {
+                                        // (t_g == t') ∧ (π_q^t == p) → ¬σ_e^t
+                                        let mut clause = time.var(g).neq_clause(t_prime);
+                                        clause.extend(
+                                            mapping[q as usize][t].neq_clause(p as usize),
+                                        );
+                                        clause.push(!swap_lits[e][t]);
+                                        solver.add_clause(clause);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            ModelStyle::OlsqBaseline => {
+                // Original OLSQ: per-gate space variables with consistency
+                // constraints, and overlap constraints expressed through
+                // them (the redundancy Improvement 1 removes).
+                let mut space: Vec<FdVar> = Vec::with_capacity(circuit.num_gates());
+                for gate in circuit.gates() {
+                    let domain = match gate.operands {
+                        Operands::One(_) => np,
+                        Operands::Two(..) => ne,
+                    };
+                    let var = match enc.mapping {
+                        MappingEncoding::OneHot | MappingEncoding::InverseOneHot => {
+                            FdVar::new_onehot(&mut solver, domain, enc.amo)
+                        }
+                        MappingEncoding::Binary => FdVar::new_binary(&mut solver, domain),
+                    };
+                    space.push(var);
+                }
+                // Consistency between space, time, and mapping variables.
+                for (g, gate) in circuit.gates().iter().enumerate() {
+                    match gate.operands {
+                        Operands::One(q) => {
+                            // (t_g == t ∧ x_g == p) → π_q^t == p.
+                            for t in 0..t_ub {
+                                for p in 0..np {
+                                    let head: Vec<Lit> = time
+                                        .var(g)
+                                        .neq_clause(t)
+                                        .into_iter()
+                                        .chain(space[g].neq_clause(p))
+                                        .collect();
+                                    for &bit in &mapping[q as usize][t].eq_conj(p) {
+                                        let mut clause = head.clone();
+                                        clause.push(bit);
+                                        solver.add_clause(clause);
+                                    }
+                                }
+                            }
+                        }
+                        Operands::Two(q1, q2) => {
+                            // (t_g == t ∧ x_g == e) → endpoints match in
+                            // either orientation.
+                            for t in 0..t_ub {
+                                for e in 0..ne {
+                                    let (pa, pb) = graph.edge(e);
+                                    let mut orient = Vec::with_capacity(2);
+                                    for (x, y) in [(pa, pb), (pb, pa)] {
+                                        let la = mapping[q1 as usize][t]
+                                            .eq_lit(&mut solver, x as usize);
+                                        let lb = mapping[q2 as usize][t]
+                                            .eq_lit(&mut solver, y as usize);
+                                        orient.push(gates::and_lit(&mut solver, la, lb));
+                                    }
+                                    let both = gates::or_all(&mut solver, &orient);
+                                    let mut clause: Vec<Lit> = time
+                                        .var(g)
+                                        .neq_clause(t)
+                                        .into_iter()
+                                        .chain(space[g].neq_clause(e))
+                                        .collect();
+                                    clause.push(both);
+                                    solver.add_clause(clause);
+                                }
+                            }
+                        }
+                    }
+                }
+                // Overlap via space variables (OLSQ Eq. 7–8 analogue).
+                for (g, gate) in circuit.gates().iter().enumerate() {
+                    for e in 0..ne {
+                        let (pa, pb) = graph.edge(e);
+                        for t in (sd - 1)..t_ub {
+                            for t_prime in (t + 1 - sd)..=t {
+                                match gate.operands {
+                                    Operands::One(_) => {
+                                        for p in [pa, pb] {
+                                            let mut clause = time.var(g).neq_clause(t_prime);
+                                            clause.extend(space[g].neq_clause(p as usize));
+                                            clause.push(!swap_lits[e][t]);
+                                            solver.add_clause(clause);
+                                        }
+                                    }
+                                    Operands::Two(..) => {
+                                        // Any edge sharing a qubit with e
+                                        // (including e itself).
+                                        for e2 in 0..ne {
+                                            let (qa, qb) = graph.edge(e2);
+                                            let shares = e2 == e
+                                                || qa == pa
+                                                || qa == pb
+                                                || qb == pa
+                                                || qb == pb;
+                                            if !shares {
+                                                continue;
+                                            }
+                                            let mut clause = time.var(g).neq_clause(t_prime);
+                                            clause.extend(space[g].neq_clause(e2));
+                                            clause.push(!swap_lits[e][t]);
+                                            solver.add_clause(clause);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- SWAP transformation (mapping consistency) ----------------------
+        for t in 0..t_ub.saturating_sub(1) {
+            for q in 0..nq {
+                // Stay: (π_q^t == p) ∧ no swap at an edge of p finishing at t
+                //       → π_q^{t+1} == p.
+                for p in 0..np {
+                    let incident = graph.edges_at(p as u16);
+                    let antecedent = mapping[q][t].neq_clause(p);
+                    for &bit in &mapping[q][t + 1].eq_conj(p) {
+                        let mut clause = antecedent.clone();
+                        clause.extend(incident.iter().map(|&e| swap_lits[e][t]));
+                        clause.push(bit);
+                        solver.add_clause(clause);
+                    }
+                }
+                // Move: σ_e^t ∧ (π_q^t == e.p) → π_q^{t+1} == e.p'.
+                for e in 0..ne {
+                    let (pa, pb) = graph.edge(e);
+                    for (from, to) in [(pa, pb), (pb, pa)] {
+                        let antecedent = mapping[q][t].neq_clause(from as usize);
+                        for &bit in &mapping[q][t + 1].eq_conj(to as usize) {
+                            let mut clause = Vec::with_capacity(antecedent.len() + 2);
+                            clause.push(!swap_lits[e][t]);
+                            clause.extend(antecedent.iter().copied());
+                            clause.push(bit);
+                            solver.add_clause(clause);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Domain-informed branching order (§V): decide the initial
+        // placement first, then gate times; SWAPs follow by propagation.
+        if config.seed_variable_order {
+            for per_t in &mapping {
+                for l in per_t[0].raw_lits() {
+                    solver.boost_activity(l.var(), 2.0);
+                }
+            }
+            for g in 0..circuit.num_gates() {
+                for l in time.var(g).raw_lits() {
+                    solver.boost_activity(l.var(), 1.0);
+                }
+            }
+        }
+
+        Ok(FlatModel {
+            solver,
+            mapping,
+            time,
+            swap_lits,
+            t_ub,
+            sd,
+            config: config.clone(),
+            depth_bounds: HashMap::new(),
+            swap_card: None,
+            num_gates: circuit.num_gates(),
+        })
+    }
+
+    /// The depth window `T_UB` the model was built for.
+    pub fn t_ub(&self) -> usize {
+        self.t_ub
+    }
+
+    /// Formula-size statistics `(variables, clauses)` of the built model.
+    pub fn formula_size(&self) -> (usize, usize) {
+        (self.solver.num_vars(), self.solver.num_clauses())
+    }
+
+    /// Mutable access to the underlying solver (budgets, statistics).
+    pub fn solver_mut(&mut self) -> &mut Solver {
+        &mut self.solver
+    }
+
+    /// Activation literal enforcing depth ≤ `depth` (all `t_g ≤ depth-1`,
+    /// Eq. 4, and no SWAP finishing at or after `depth`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is 0 or exceeds `T_UB`.
+    pub fn depth_bound(&mut self, depth: usize) -> Lit {
+        assert!(depth >= 1 && depth <= self.t_ub, "depth bound out of window");
+        if let Some(&l) = self.depth_bounds.get(&depth) {
+            return l;
+        }
+        let act = Lit::positive(CnfSink::new_var(&mut self.solver));
+        for g in 0..self.num_gates {
+            self.time
+                .var_mut(g)
+                .assert_le_if(&mut self.solver, depth - 1, Some(act));
+        }
+        for e in 0..self.swap_lits.len() {
+            for t in depth..self.t_ub {
+                let l = self.swap_lits[e][t];
+                self.solver.add_clause([!act, !l]);
+            }
+        }
+        self.depth_bounds.insert(depth, act);
+        act
+    }
+
+    /// Activation literal enforcing `Σ σ ≤ k` (Eq. 5). The cardinality
+    /// network is built lazily on first use with capacity `max_bound`
+    /// (later calls may use any `k ≤ max_bound` of the *first* call).
+    pub fn swap_bound(&mut self, k: usize, max_bound: usize) -> Lit {
+        if self.swap_card.is_none() {
+            let inputs: Vec<Lit> = self
+                .swap_lits
+                .iter()
+                .flat_map(|row| row.iter().copied())
+                .collect();
+            self.swap_card = Some(CardinalityNetwork::new(
+                &mut self.solver,
+                &inputs,
+                max_bound,
+                self.config.encoding.cardinality,
+            ));
+        }
+        self.swap_card
+            .as_mut()
+            .expect("just built")
+            .at_most(&mut self.solver, k)
+    }
+
+    /// Solves under the given assumptions.
+    pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solver.solve(assumptions)
+    }
+
+    /// Extracts the layout result from the solver's current model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the last `solve` was not SAT.
+    pub fn extract(&self) -> LayoutResult {
+        let initial_mapping: Vec<u16> = self
+            .mapping
+            .iter()
+            .map(|per_t| per_t[0].value_in(&self.solver) as u16)
+            .collect();
+        let schedule: Vec<usize> = (0..self.num_gates)
+            .map(|g| self.time.value_in(&self.solver, g))
+            .collect();
+        let mut swaps = Vec::new();
+        for (e, row) in self.swap_lits.iter().enumerate() {
+            for (t, &l) in row.iter().enumerate() {
+                if self.solver.model_value(l) == Some(true) {
+                    swaps.push(SwapOp {
+                        edge: e,
+                        finish_time: t,
+                    });
+                }
+            }
+        }
+        let depth = schedule
+            .iter()
+            .copied()
+            .chain(swaps.iter().map(|s| s.finish_time))
+            .max()
+            .unwrap_or(0)
+            + 1;
+        LayoutResult {
+            initial_mapping,
+            schedule,
+            swaps,
+            depth,
+            swap_duration: self.sd,
+        }
+    }
+}
+
+/// A literal true iff two finite-domain variables differ (bit-level XOR
+/// over the raw representation literals).
+fn fd_differs(solver: &mut Solver, a: &FdVar, b: &FdVar) -> Lit {
+    let bits_a = a.raw_lits();
+    let bits_b = b.raw_lits();
+    debug_assert_eq!(bits_a.len(), bits_b.len());
+    let diffs: Vec<Lit> = bits_a
+        .iter()
+        .zip(bits_b.iter())
+        .map(|(&x, &y)| gates::xor_lit(solver, x, y))
+        .collect();
+    gates::or_all(solver, &diffs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EncodingConfig;
+    use olsq2_arch::line;
+    use olsq2_circuit::{Gate, GateKind};
+    use olsq2_layout::verify;
+
+    fn cx_pair_circuit() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.push(Gate::two(GateKind::Cx, 0, 1));
+        c
+    }
+
+    #[test]
+    fn trivial_instance_solves_and_verifies() {
+        let circuit = cx_pair_circuit();
+        let graph = line(2);
+        let config = SynthesisConfig::with_swap_duration(1);
+        let mut model = FlatModel::build(&circuit, &graph, &config, 2).expect("builds");
+        assert_eq!(model.solve(&[]), SolveResult::Sat);
+        let result = model.extract();
+        assert_eq!(verify(&circuit, &graph, &result), Ok(()));
+    }
+
+    #[test]
+    fn distant_qubits_force_a_swap() {
+        // cx(q0,q1) twice on a 3-line: only 2 program qubits, 3 physical.
+        // With depth window 1 and swap window too small it is UNSAT; with a
+        // wide window it is SAT.
+        let mut circuit = Circuit::new(3);
+        circuit.push(Gate::two(GateKind::Cx, 0, 1));
+        circuit.push(Gate::two(GateKind::Cx, 1, 2));
+        circuit.push(Gate::two(GateKind::Cx, 0, 2));
+        let graph = line(3);
+        let config = SynthesisConfig::with_swap_duration(1);
+        let mut model = FlatModel::build(&circuit, &graph, &config, 6).expect("builds");
+        assert_eq!(model.solve(&[]), SolveResult::Sat);
+        let result = model.extract();
+        assert_eq!(verify(&circuit, &graph, &result), Ok(()));
+        // A triangle on a line needs at least one swap.
+        assert!(!result.swaps.is_empty());
+    }
+
+    #[test]
+    fn depth_bounds_are_monotone() {
+        let mut circuit = Circuit::new(3);
+        circuit.push(Gate::two(GateKind::Cx, 0, 1));
+        circuit.push(Gate::two(GateKind::Cx, 1, 2));
+        let graph = line(3);
+        let config = SynthesisConfig::with_swap_duration(1);
+        let mut model = FlatModel::build(&circuit, &graph, &config, 4).expect("builds");
+        let b2 = model.depth_bound(2);
+        let b4 = model.depth_bound(4);
+        assert_eq!(model.solve(&[b2]), SolveResult::Sat);
+        let r = model.extract();
+        assert!(r.depth <= 2);
+        assert_eq!(model.solve(&[b4]), SolveResult::Sat);
+        // Bound 1 is impossible: two dependent gates.
+        let b1 = model.depth_bound(1);
+        assert_eq!(model.solve(&[b1]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn swap_bound_zero_forbids_swaps() {
+        let mut circuit = Circuit::new(3);
+        circuit.push(Gate::two(GateKind::Cx, 0, 1));
+        circuit.push(Gate::two(GateKind::Cx, 1, 2));
+        circuit.push(Gate::two(GateKind::Cx, 0, 2));
+        let graph = line(3);
+        let config = SynthesisConfig::with_swap_duration(1);
+        let mut model = FlatModel::build(&circuit, &graph, &config, 8).expect("builds");
+        let s0 = model.swap_bound(0, 4);
+        assert_eq!(model.solve(&[s0]), SolveResult::Unsat); // triangle needs a swap
+        let s1 = model.swap_bound(1, 4);
+        let r1 = model.solve(&[s1]);
+        assert_eq!(r1, SolveResult::Sat);
+        let result = model.extract();
+        assert_eq!(result.swap_count(), 1);
+        assert_eq!(verify(&circuit, &graph, &result), Ok(()));
+    }
+
+    #[test]
+    fn all_encodings_agree_on_feasibility() {
+        let mut circuit = Circuit::new(3);
+        circuit.push(Gate::two(GateKind::Cx, 0, 1));
+        circuit.push(Gate::two(GateKind::Cx, 1, 2));
+        circuit.push(Gate::two(GateKind::Cx, 0, 2));
+        let graph = line(3);
+        for enc in [
+            EncodingConfig::bv(),
+            EncodingConfig::int(),
+            EncodingConfig::euf_int(),
+            EncodingConfig::euf_bv(),
+        ] {
+            let config = SynthesisConfig {
+                encoding: enc,
+                swap_duration: 1,
+                ..SynthesisConfig::default()
+            };
+            let mut model = FlatModel::build(&circuit, &graph, &config, 6).expect("builds");
+            let s0 = model.swap_bound(0, 3);
+            assert_eq!(model.solve(&[s0]), SolveResult::Unsat, "{enc:?}");
+            let s1 = model.swap_bound(1, 3);
+            assert_eq!(model.solve(&[s1]), SolveResult::Sat, "{enc:?}");
+            let result = model.extract();
+            assert_eq!(verify(&circuit, &graph, &result), Ok(()), "{enc:?}");
+        }
+    }
+
+    #[test]
+    fn baseline_style_agrees_with_olsq2() {
+        use crate::model::ModelStyle;
+        let mut circuit = Circuit::new(3);
+        circuit.push(Gate::two(GateKind::Cx, 0, 1));
+        circuit.push(Gate::two(GateKind::Cx, 1, 2));
+        circuit.push(Gate::two(GateKind::Cx, 0, 2));
+        let graph = line(3);
+        let config = SynthesisConfig::with_swap_duration(1);
+        let mut baseline =
+            FlatModel::build_with_style(&circuit, &graph, &config, 6, ModelStyle::OlsqBaseline)
+                .expect("builds");
+        let mut succinct = FlatModel::build(&circuit, &graph, &config, 6).expect("builds");
+        // The baseline carries strictly more variables (the space vars).
+        assert!(baseline.formula_size().0 > succinct.formula_size().0);
+        // Both agree on swap feasibility bounds.
+        for k in 0..3usize {
+            let ab = baseline.swap_bound(k, 3);
+            let sb = succinct.swap_bound(k, 3);
+            let rb = baseline.solve(&[ab]);
+            let rs = succinct.solve(&[sb]);
+            assert_eq!(rb, rs, "k={k}");
+            if rb == SolveResult::Sat {
+                let res = baseline.extract();
+                assert_eq!(verify(&circuit, &graph, &res), Ok(()));
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_variable_order_preserves_answers() {
+        let mut circuit = Circuit::new(3);
+        circuit.push(Gate::two(GateKind::Cx, 0, 1));
+        circuit.push(Gate::two(GateKind::Cx, 1, 2));
+        circuit.push(Gate::two(GateKind::Cx, 0, 2));
+        let graph = line(3);
+        let mut config = SynthesisConfig::with_swap_duration(1);
+        config.seed_variable_order = true;
+        let mut seeded = FlatModel::build(&circuit, &graph, &config, 6).expect("builds");
+        config.seed_variable_order = false;
+        let mut plain = FlatModel::build(&circuit, &graph, &config, 6).expect("builds");
+        for k in 0..3usize {
+            let a = seeded.swap_bound(k, 3);
+            let b = plain.swap_bound(k, 3);
+            assert_eq!(seeded.solve(&[a]), plain.solve(&[b]), "k={k}");
+        }
+    }
+
+    #[test]
+    fn rejects_structurally_bad_instances() {
+        let graph = line(2);
+        let mut big = Circuit::new(3);
+        big.push(Gate::two(GateKind::Cx, 0, 2));
+        let config = SynthesisConfig::default();
+        assert!(matches!(
+            FlatModel::build(&big, &graph, &config, 4),
+            Err(ModelError::TooManyQubits { .. })
+        ));
+        assert!(matches!(
+            FlatModel::build(&Circuit::new(2), &graph, &config, 4),
+            Err(ModelError::EmptyCircuit)
+        ));
+    }
+
+    #[test]
+    fn swap_duration_three_spaces_out_swaps() {
+        // One swap needed; with S_D=3 the earliest finish is t=2, so the
+        // dependent gate lands at t≥3.
+        let mut circuit = Circuit::new(3);
+        circuit.push(Gate::two(GateKind::Cx, 0, 1));
+        circuit.push(Gate::two(GateKind::Cx, 1, 2));
+        circuit.push(Gate::two(GateKind::Cx, 0, 2));
+        let graph = line(3);
+        let config = SynthesisConfig::with_swap_duration(3);
+        let mut model = FlatModel::build(&circuit, &graph, &config, 10).expect("builds");
+        assert_eq!(model.solve(&[]), SolveResult::Sat);
+        let result = model.extract();
+        assert_eq!(verify(&circuit, &graph, &result), Ok(()));
+        assert!(result.swaps.iter().all(|s| s.finish_time >= 2));
+    }
+}

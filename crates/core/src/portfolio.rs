@@ -1,0 +1,222 @@
+//! Portfolio synthesis — the parallelization the paper's §V names as
+//! future work: "build a portfolio of instances by generating
+//! configurations … including different encoding methods, as there does
+//! not appear to be a single best-in-class method with respect to solving
+//! time".
+//!
+//! Each portfolio member runs the full optimization loop with its own
+//! encoding configuration on its own thread; the first member to finish
+//! wins and the rest are cancelled through the solver's cooperative stop
+//! flag.
+
+use crate::config::{EncodingConfig, SynthesisConfig};
+use crate::optimize::{Olsq2Synthesizer, SynthesisError, SynthesisOutcome};
+use olsq2_arch::CouplingGraph;
+use olsq2_circuit::Circuit;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+/// A parallel portfolio of OLSQ2 configurations (§V future direction).
+///
+/// # Examples
+///
+/// ```
+/// use olsq2::{PortfolioSynthesizer, SynthesisConfig};
+/// use olsq2_arch::line;
+/// use olsq2_circuit::{Circuit, Gate, GateKind};
+/// use olsq2_layout::verify;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut circuit = Circuit::new(3);
+/// circuit.push(Gate::two(GateKind::Cx, 0, 1));
+/// circuit.push(Gate::two(GateKind::Cx, 1, 2));
+/// circuit.push(Gate::two(GateKind::Cx, 0, 2));
+/// let graph = line(3);
+/// let portfolio =
+///     PortfolioSynthesizer::standard(SynthesisConfig::with_swap_duration(1));
+/// let (outcome, winner) = portfolio.optimize_depth(&circuit, &graph)?;
+/// assert!(outcome.proven_optimal);
+/// assert_eq!(verify(&circuit, &graph, &outcome.result), Ok(()));
+/// assert!(winner < portfolio.num_members());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PortfolioSynthesizer {
+    members: Vec<SynthesisConfig>,
+}
+
+impl PortfolioSynthesizer {
+    /// Builds a portfolio from explicit member configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    pub fn new(members: Vec<SynthesisConfig>) -> PortfolioSynthesizer {
+        assert!(!members.is_empty(), "portfolio needs at least one member");
+        PortfolioSynthesizer { members }
+    }
+
+    /// The standard portfolio: the base configuration with the one-hot,
+    /// bit-vector, and inverse-channeling encodings.
+    pub fn standard(base: SynthesisConfig) -> PortfolioSynthesizer {
+        let members = [
+            EncodingConfig::int(),
+            EncodingConfig::bv(),
+            EncodingConfig::euf_int(),
+        ]
+        .into_iter()
+        .map(|encoding| SynthesisConfig {
+            encoding,
+            ..base.clone()
+        })
+        .collect();
+        PortfolioSynthesizer { members }
+    }
+
+    /// Number of member configurations.
+    pub fn num_members(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Runs depth optimization on every member in parallel; returns the
+    /// first successful outcome and the index of the winning member.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first member's error if *all* members fail.
+    pub fn optimize_depth(
+        &self,
+        circuit: &Circuit,
+        graph: &CouplingGraph,
+    ) -> Result<(SynthesisOutcome, usize), SynthesisError> {
+        self.race(circuit, graph, |synth, c, g| synth.optimize_depth(c, g))
+    }
+
+    /// Runs SWAP optimization on every member in parallel; returns the
+    /// first successful outcome and the index of the winning member.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first member's error if *all* members fail.
+    pub fn optimize_swaps(
+        &self,
+        circuit: &Circuit,
+        graph: &CouplingGraph,
+    ) -> Result<(SynthesisOutcome, usize), SynthesisError> {
+        self.race(circuit, graph, |synth, c, g| {
+            synth.optimize_swaps(c, g).map(|o| o.best)
+        })
+    }
+
+    fn race<F>(
+        &self,
+        circuit: &Circuit,
+        graph: &CouplingGraph,
+        run: F,
+    ) -> Result<(SynthesisOutcome, usize), SynthesisError>
+    where
+        F: Fn(&Olsq2Synthesizer, &Circuit, &CouplingGraph) -> Result<SynthesisOutcome, SynthesisError>
+            + Send
+            + Sync,
+    {
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel::<(usize, Result<SynthesisOutcome, SynthesisError>)>();
+        std::thread::scope(|scope| {
+            for (idx, member) in self.members.iter().enumerate() {
+                let mut config = member.clone();
+                config.stop_flag = Some(stop.clone());
+                let tx = tx.clone();
+                let run = &run;
+                scope.spawn(move || {
+                    let synth = Olsq2Synthesizer::new(config);
+                    let result = run(&synth, circuit, graph);
+                    let _ = tx.send((idx, result));
+                });
+            }
+            drop(tx);
+            let mut first_error: Option<SynthesisError> = None;
+            let mut received = 0;
+            while received < self.members.len() {
+                match rx.recv() {
+                    Ok((idx, Ok(outcome))) => {
+                        // Winner: cancel everyone else, drain the channel by
+                        // leaving scope (threads abort at their next
+                        // conflict boundary).
+                        stop.store(true, Ordering::Relaxed);
+                        return Ok((outcome, idx));
+                    }
+                    Ok((_, Err(e))) => {
+                        received += 1;
+                        first_error.get_or_insert(e);
+                    }
+                    Err(_) => break,
+                }
+            }
+            Err(first_error.unwrap_or(SynthesisError::BudgetExhausted))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olsq2_arch::{grid, line};
+    use olsq2_circuit::generators::qaoa_circuit;
+    use olsq2_circuit::{Gate, GateKind};
+    use olsq2_layout::verify;
+    use std::time::Duration;
+
+    fn triangle() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.push(Gate::two(GateKind::Cx, 0, 1));
+        c.push(Gate::two(GateKind::Cx, 1, 2));
+        c.push(Gate::two(GateKind::Cx, 0, 2));
+        c
+    }
+
+    #[test]
+    fn portfolio_depth_matches_single_config() {
+        let circuit = triangle();
+        let graph = line(3);
+        let base = SynthesisConfig::with_swap_duration(1);
+        let single = Olsq2Synthesizer::new(base.clone())
+            .optimize_depth(&circuit, &graph)
+            .expect("solves");
+        let portfolio = PortfolioSynthesizer::standard(base);
+        let (outcome, winner) = portfolio.optimize_depth(&circuit, &graph).expect("solves");
+        assert_eq!(outcome.result.depth, single.result.depth);
+        assert!(winner < 3);
+        assert_eq!(verify(&circuit, &graph, &outcome.result), Ok(()));
+    }
+
+    #[test]
+    fn portfolio_swaps_on_qaoa() {
+        let circuit = qaoa_circuit(6, 3);
+        let graph = grid(3, 3);
+        let mut base = SynthesisConfig::with_swap_duration(1);
+        base.pareto_relax_limit = Some(0);
+        base.time_budget = Some(Duration::from_secs(120));
+        let portfolio = PortfolioSynthesizer::standard(base);
+        let (outcome, _) = portfolio.optimize_swaps(&circuit, &graph).expect("solves");
+        assert_eq!(verify(&circuit, &graph, &outcome.result), Ok(()));
+    }
+
+    #[test]
+    fn all_failing_members_report_error() {
+        // A circuit too large for the device fails in every member.
+        let mut circuit = Circuit::new(5);
+        circuit.push(Gate::two(GateKind::Cx, 0, 4));
+        let graph = line(2);
+        let portfolio =
+            PortfolioSynthesizer::standard(SynthesisConfig::with_swap_duration(1));
+        assert!(portfolio.optimize_depth(&circuit, &graph).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_portfolio_rejected() {
+        let _ = PortfolioSynthesizer::new(vec![]);
+    }
+}

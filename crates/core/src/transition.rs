@@ -1,0 +1,725 @@
+//! TB-OLSQ2 — the transition-based, coarse-grained model (§III-D).
+//!
+//! Time is abstracted into *blocks* separated by mapping transitions: a
+//! mapping `π_q^b` per block, a block index `t_g` per gate, and SWAP
+//! variables `σ_e^b` on the transition after block `b`. Dependent gates may
+//! share a block (the dependency becomes `t_g ≤ t_g'`), SWAPs never overlap
+//! gates (they live between blocks, so Eq. 2–3 vanish), and each transition
+//! is one layer of SWAPs on disjoint edges. The objective is block count or
+//! SWAP count; results are lowered back to a time-resolved
+//! [`LayoutResult`] by list-scheduling each block.
+
+use crate::config::{MappingEncoding, SynthesisConfig};
+use crate::model::ModelError;
+use crate::optimize::{SynthesisError, SynthesisOutcome};
+use crate::vars::{FdVar, TimeVars};
+use olsq2_arch::CouplingGraph;
+use olsq2_circuit::{Circuit, DependencyGraph, Operands};
+use olsq2_encode::{at_most_one, gates, CardinalityNetwork, CnfSink};
+use olsq2_layout::{LayoutResult, SwapOp};
+use olsq2_sat::{Lit, SolveResult, Solver};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// The transition-based model over a fixed block window.
+#[derive(Debug)]
+struct TransitionModel {
+    solver: Solver,
+    /// `mapping[q][b]`.
+    mapping: Vec<Vec<FdVar>>,
+    time: TimeVars,
+    /// `swap_lits[e][b]` for transitions `b` in `0..blocks-1`.
+    swap_lits: Vec<Vec<Lit>>,
+    blocks: usize,
+    block_bounds: HashMap<usize, Lit>,
+    swap_card: Option<CardinalityNetwork>,
+    num_gates: usize,
+}
+
+impl TransitionModel {
+    fn build(
+        circuit: &Circuit,
+        graph: &CouplingGraph,
+        config: &SynthesisConfig,
+        blocks: usize,
+    ) -> Result<TransitionModel, ModelError> {
+        let nq = circuit.num_qubits();
+        let np = graph.num_qubits();
+        if circuit.num_gates() == 0 {
+            return Err(ModelError::EmptyCircuit);
+        }
+        if nq > np {
+            return Err(ModelError::TooManyQubits {
+                program: nq,
+                physical: np,
+            });
+        }
+        if !graph.is_connected() && nq > 1 {
+            return Err(ModelError::DisconnectedDevice);
+        }
+        let blocks = blocks.max(1);
+        let mut solver = Solver::new();
+        let enc = config.encoding;
+        let ne = graph.num_edges();
+
+        let new_mapping_var = |s: &mut Solver| match enc.mapping {
+            MappingEncoding::OneHot | MappingEncoding::InverseOneHot => {
+                FdVar::new_onehot(s, np, enc.amo)
+            }
+            MappingEncoding::Binary => FdVar::new_binary(s, np),
+        };
+        let mut mapping: Vec<Vec<FdVar>> = (0..nq)
+            .map(|_| (0..blocks).map(|_| new_mapping_var(&mut solver)).collect())
+            .collect();
+
+        // Injectivity per block.
+        match enc.mapping {
+            MappingEncoding::OneHot => {
+                for b in 0..blocks {
+                    for p in 0..np {
+                        let sels: Vec<Lit> = (0..nq)
+                            .map(|q| mapping[q][b].eq_lit(&mut solver, p))
+                            .collect();
+                        at_most_one(&mut solver, &sels, enc.amo);
+                    }
+                }
+            }
+            MappingEncoding::Binary => {
+                for b in 0..blocks {
+                    for q1 in 0..nq {
+                        for q2 in (q1 + 1)..nq {
+                            let diffs: Vec<Lit> = mapping[q1][b]
+                                .raw_lits()
+                                .iter()
+                                .zip(mapping[q2][b].raw_lits())
+                                .map(|(&x, y)| gates::xor_lit(&mut solver, x, y))
+                                .collect();
+                            let diff = gates::or_all(&mut solver, &diffs);
+                            solver.add_clause([diff]);
+                        }
+                    }
+                }
+            }
+            MappingEncoding::InverseOneHot => {
+                for b in 0..blocks {
+                    let mut inv: Vec<FdVar> = (0..np)
+                        .map(|_| FdVar::new_onehot(&mut solver, nq + 1, enc.amo))
+                        .collect();
+                    for q in 0..nq {
+                        for p in 0..np {
+                            let m = mapping[q][b].eq_lit(&mut solver, p);
+                            let i = inv[p].eq_lit(&mut solver, q);
+                            solver.add_clause([!m, i]);
+                            solver.add_clause([!i, m]);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Block-index variables; dependencies are non-strict (gates may
+        // share a block).
+        let dag = if config.commutation_aware {
+            DependencyGraph::new_with_commutation(circuit)
+        } else {
+            DependencyGraph::new(circuit)
+        };
+        let mut time = TimeVars::new(&mut solver, circuit.num_gates(), blocks, enc.time, enc.amo);
+        for &(g, g2) in dag.dependencies() {
+            time.assert_before_or_equal(&mut solver, g, g2);
+        }
+
+        // Transition SWAPs: one layer per transition, disjoint edges.
+        let swap_lits: Vec<Vec<Lit>> = (0..ne)
+            .map(|_| {
+                (0..blocks.saturating_sub(1))
+                    .map(|_| Lit::positive(CnfSink::new_var(&mut solver)))
+                    .collect()
+            })
+            .collect();
+        for e1 in 0..ne {
+            let (a1, b1) = graph.edge(e1);
+            for e2 in (e1 + 1)..ne {
+                let (a2, b2) = graph.edge(e2);
+                let shares = a1 == a2 || a1 == b2 || b1 == a2 || b1 == b2;
+                if !shares {
+                    continue;
+                }
+                for b in 0..blocks.saturating_sub(1) {
+                    solver.add_clause([!swap_lits[e1][b], !swap_lits[e2][b]]);
+                }
+            }
+        }
+
+        // Adjacency inside blocks (Eq. 1 on block mappings).
+        let mut adj_cache: HashMap<(u16, u16, usize), Lit> = HashMap::new();
+        for (g, gate) in circuit.gates().iter().enumerate() {
+            if let Operands::Two(q1, q2) = gate.operands {
+                let (qa, qb) = (q1.min(q2), q1.max(q2));
+                for b in 0..blocks {
+                    let adj = match adj_cache.get(&(qa, qb, b)) {
+                        Some(&l) => l,
+                        None => {
+                            let mut pair_lits = Vec::with_capacity(2 * ne);
+                            for e in 0..ne {
+                                let (pa, pb) = graph.edge(e);
+                                for (x, y) in [(pa, pb), (pb, pa)] {
+                                    let la =
+                                        mapping[qa as usize][b].eq_lit(&mut solver, x as usize);
+                                    let lb =
+                                        mapping[qb as usize][b].eq_lit(&mut solver, y as usize);
+                                    pair_lits.push(gates::and_lit(&mut solver, la, lb));
+                                }
+                            }
+                            let l = gates::or_all(&mut solver, &pair_lits);
+                            adj_cache.insert((qa, qb, b), l);
+                            l
+                        }
+                    };
+                    let mut clause = time.var(g).neq_clause(b);
+                    clause.push(adj);
+                    solver.add_clause(clause);
+                }
+            }
+        }
+
+        // Mapping transformation between consecutive blocks.
+        for b in 0..blocks.saturating_sub(1) {
+            for q in 0..nq {
+                for p in 0..np {
+                    let incident = graph.edges_at(p as u16);
+                    let antecedent = mapping[q][b].neq_clause(p);
+                    for &bit in &mapping[q][b + 1].eq_conj(p) {
+                        let mut clause = antecedent.clone();
+                        clause.extend(incident.iter().map(|&e| swap_lits[e][b]));
+                        clause.push(bit);
+                        solver.add_clause(clause);
+                    }
+                }
+                for e in 0..ne {
+                    let (pa, pb) = graph.edge(e);
+                    for (from, to) in [(pa, pb), (pb, pa)] {
+                        let antecedent = mapping[q][b].neq_clause(from as usize);
+                        for &bit in &mapping[q][b + 1].eq_conj(to as usize) {
+                            let mut clause = Vec::with_capacity(antecedent.len() + 2);
+                            clause.push(!swap_lits[e][b]);
+                            clause.extend(antecedent.iter().copied());
+                            clause.push(bit);
+                            solver.add_clause(clause);
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(TransitionModel {
+            solver,
+            mapping,
+            time,
+            swap_lits,
+            blocks,
+            block_bounds: HashMap::new(),
+            swap_card: None,
+            num_gates: circuit.num_gates(),
+        })
+    }
+
+    /// Activation literal for "exactly `k` blocks are used": all gates in
+    /// blocks `0..k`, no SWAP on transitions `k-1..`, and — the paper's
+    /// symmetry breaking behind its early termination rule — every live
+    /// transition carries at least one SWAP (a solution with an empty
+    /// transition is identical to one with fewer blocks, which the search
+    /// has already covered).
+    fn block_bound(&mut self, k: usize) -> Lit {
+        assert!(k >= 1 && k <= self.blocks);
+        if let Some(&l) = self.block_bounds.get(&k) {
+            return l;
+        }
+        let act = Lit::positive(CnfSink::new_var(&mut self.solver));
+        for g in 0..self.num_gates {
+            self.time
+                .var_mut(g)
+                .assert_le_if(&mut self.solver, k - 1, Some(act));
+        }
+        for row in &self.swap_lits {
+            for &l in row.iter().skip(k.saturating_sub(1)) {
+                self.solver.add_clause([!act, !l]);
+            }
+        }
+        for b in 0..k.saturating_sub(1) {
+            let mut clause = vec![!act];
+            clause.extend(self.swap_lits.iter().map(|row| row[b]));
+            self.solver.add_clause(clause);
+        }
+        self.block_bounds.insert(k, act);
+        act
+    }
+
+    fn swap_bound(&mut self, k: usize, capacity: usize, enc: olsq2_encode::CardEncoding) -> Lit {
+        if self.swap_card.is_none() {
+            let inputs: Vec<Lit> = self
+                .swap_lits
+                .iter()
+                .flat_map(|row| row.iter().copied())
+                .collect();
+            self.swap_card = Some(CardinalityNetwork::new(
+                &mut self.solver,
+                &inputs,
+                capacity,
+                enc,
+            ));
+        }
+        self.swap_card
+            .as_mut()
+            .expect("just built")
+            .at_most(&mut self.solver, k)
+    }
+
+    /// Decodes `(block mapping, per-gate block, transition swaps)`.
+    fn decode(&self, circuit: &Circuit) -> TbSolution {
+        let blocks = self.blocks;
+        let mapping: Vec<Vec<u16>> = (0..blocks)
+            .map(|b| {
+                self.mapping
+                    .iter()
+                    .map(|per_b| per_b[b].value_in(&self.solver) as u16)
+                    .collect()
+            })
+            .collect();
+        let gate_block: Vec<usize> = (0..circuit.num_gates())
+            .map(|g| self.time.value_in(&self.solver, g))
+            .collect();
+        let swaps: Vec<Vec<usize>> = (0..blocks.saturating_sub(1))
+            .map(|b| {
+                self.swap_lits
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, row)| self.solver.model_value(row[b]) == Some(true))
+                    .map(|(e, _)| e)
+                    .collect()
+            })
+            .collect();
+        TbSolution {
+            mapping,
+            gate_block,
+            swaps,
+        }
+    }
+}
+
+/// A decoded transition-based solution before lowering.
+#[derive(Debug, Clone)]
+struct TbSolution {
+    /// `mapping[b][q]` per block.
+    mapping: Vec<Vec<u16>>,
+    /// Block index per gate.
+    gate_block: Vec<usize>,
+    /// Edge indices swapped at each transition.
+    swaps: Vec<Vec<usize>>,
+}
+
+impl TbSolution {
+    fn swap_count(&self) -> usize {
+        self.swaps.iter().map(Vec::len).sum()
+    }
+
+    fn used_blocks(&self) -> usize {
+        self.gate_block.iter().copied().max().unwrap_or(0) + 1
+    }
+
+    /// Lowers to a time-resolved [`LayoutResult`]: list-schedule each block
+    /// ASAP, then place the transition's SWAP layer after it.
+    fn lower(&self, circuit: &Circuit, swap_duration: usize) -> LayoutResult {
+        let sd = swap_duration.max(1);
+        let blocks = self.used_blocks();
+        let mut schedule = vec![0usize; circuit.num_gates()];
+        let mut swaps = Vec::new();
+        let mut cursor = 0usize;
+        let mut qubit_ready = vec![0usize; circuit.num_qubits()];
+        for b in 0..blocks {
+            let mut block_end = cursor;
+            for (g, gate) in circuit.gates().iter().enumerate() {
+                if self.gate_block[g] != b {
+                    continue;
+                }
+                let start = gate
+                    .operands
+                    .qubits()
+                    .map(|q| qubit_ready[q as usize])
+                    .max()
+                    .unwrap_or(cursor)
+                    .max(cursor);
+                schedule[g] = start;
+                for q in gate.operands.qubits() {
+                    qubit_ready[q as usize] = start + 1;
+                }
+                block_end = block_end.max(start + 1);
+            }
+            cursor = block_end;
+            if b + 1 < blocks {
+                let layer = &self.swaps[b];
+                if !layer.is_empty() {
+                    let finish = cursor + sd - 1;
+                    for &e in layer {
+                        swaps.push(SwapOp {
+                            edge: e,
+                            finish_time: finish,
+                        });
+                    }
+                    cursor = finish + 1;
+                }
+                for r in &mut qubit_ready {
+                    *r = (*r).max(cursor);
+                }
+            }
+        }
+        let depth = schedule
+            .iter()
+            .copied()
+            .chain(swaps.iter().map(|s| s.finish_time))
+            .max()
+            .unwrap_or(0)
+            + 1;
+        LayoutResult {
+            initial_mapping: self.mapping[0].clone(),
+            schedule,
+            swaps,
+            depth,
+            swap_duration: sd,
+        }
+    }
+}
+
+/// Outcome of a TB-OLSQ2 run.
+#[derive(Debug, Clone)]
+pub struct TbOutcome {
+    /// The lowered, time-resolved result.
+    pub outcome: SynthesisOutcome,
+    /// Number of blocks in the solution.
+    pub block_count: usize,
+}
+
+/// The TB-OLSQ2 synthesizer (transition-based, near-optimal SWAP count).
+///
+/// # Examples
+///
+/// ```
+/// use olsq2::{TbOlsq2Synthesizer, SynthesisConfig};
+/// use olsq2_arch::line;
+/// use olsq2_circuit::{Circuit, Gate, GateKind};
+/// use olsq2_layout::verify;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut circuit = Circuit::new(3);
+/// circuit.push(Gate::two(GateKind::Cx, 0, 1));
+/// circuit.push(Gate::two(GateKind::Cx, 1, 2));
+/// circuit.push(Gate::two(GateKind::Cx, 0, 2));
+/// let graph = line(3);
+/// let synth = TbOlsq2Synthesizer::new(SynthesisConfig::with_swap_duration(1));
+/// let out = synth.optimize_swaps(&circuit, &graph)?;
+/// assert_eq!(out.outcome.result.swap_count(), 1);
+/// assert_eq!(verify(&circuit, &graph, &out.outcome.result), Ok(()));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TbOlsq2Synthesizer {
+    config: SynthesisConfig,
+}
+
+impl TbOlsq2Synthesizer {
+    /// Creates a TB synthesizer.
+    pub fn new(config: SynthesisConfig) -> TbOlsq2Synthesizer {
+        TbOlsq2Synthesizer { config }
+    }
+
+    fn deadline(&self) -> Option<Instant> {
+        self.config.time_budget.map(|b| Instant::now() + b)
+    }
+
+    fn arm(&self, model: &mut TransitionModel, deadline: Option<Instant>) {
+        model.solver.set_deadline(deadline);
+        model.solver.set_conflict_budget(self.config.conflict_budget);
+        model.solver.set_stop_flag(self.config.stop_flag.clone());
+    }
+
+    /// Minimizes the block count: start at 1 block, increase by 1 until
+    /// SAT (§III-D).
+    ///
+    /// # Errors
+    ///
+    /// Standard [`SynthesisError`] conditions.
+    pub fn optimize_blocks(
+        &self,
+        circuit: &Circuit,
+        graph: &CouplingGraph,
+    ) -> Result<TbOutcome, SynthesisError> {
+        let start = Instant::now();
+        let deadline = self.deadline();
+        let mut window = 4usize;
+        let mut model = TransitionModel::build(circuit, graph, &self.config, window)?;
+        let mut iterations = 0usize;
+        let mut k = 1usize;
+        loop {
+            if k > window {
+                window = (window * 2).min(circuit.num_gates().max(4));
+                if k > window {
+                    return Err(SynthesisError::WindowExhausted);
+                }
+                model = TransitionModel::build(circuit, graph, &self.config, window)?;
+            }
+            let act = model.block_bound(k);
+            self.arm(&mut model, deadline);
+            iterations += 1;
+            match model.solver.solve(&[act]) {
+                SolveResult::Sat => {
+                    let sol = model.decode(circuit);
+                    let result = sol.lower(circuit, self.config.swap_duration);
+                    return Ok(TbOutcome {
+                        outcome: SynthesisOutcome {
+                            result,
+                            proven_optimal: true, // monotone: k-1 was UNSAT
+                            iterations,
+                            elapsed: start.elapsed(),
+                            formula_size: (model.solver.num_vars(), model.solver.num_clauses()),
+                            solver_stats: model.solver.stats(),
+                        },
+                        block_count: sol.used_blocks(),
+                    });
+                }
+                SolveResult::Unsat => k += 1,
+                SolveResult::Unknown => return Err(SynthesisError::BudgetExhausted),
+            }
+        }
+    }
+
+    /// SWAP-count optimization over the transition model: block-optimal
+    /// first, then iterative descent; relax the block count when the
+    /// optimum under the current count is proven; stop early when
+    /// `S = blocks - 1` (each transition needs at least one SWAP).
+    ///
+    /// # Errors
+    ///
+    /// Standard [`SynthesisError`] conditions.
+    pub fn optimize_swaps(
+        &self,
+        circuit: &Circuit,
+        graph: &CouplingGraph,
+    ) -> Result<TbOutcome, SynthesisError> {
+        let start = Instant::now();
+        let deadline = self.deadline();
+        let first = self.optimize_blocks(circuit, graph)?;
+        let mut iterations = first.outcome.iterations;
+        let mut blocks = first.block_count;
+        let mut window = blocks.max(2);
+        let mut model = TransitionModel::build(circuit, graph, &self.config, window)?;
+        let mut best_sol: Option<TbSolution> = None;
+        let mut best_count = first.outcome.result.swap_count();
+        let capacity = best_count.max(1);
+        let mut proven;
+        let mut relax_rounds = 0usize;
+
+        'outer: loop {
+            // Descend at the current block count.
+            loop {
+                if best_count == 0 || best_count <= blocks.saturating_sub(1) {
+                    // Cannot go below blocks-1 at this block count.
+                    proven = true;
+                    break;
+                }
+                let act_b = model.block_bound(blocks.min(window));
+                let act_s =
+                    model.swap_bound(best_count - 1, capacity, self.config.encoding.cardinality);
+                self.arm(&mut model, deadline);
+                iterations += 1;
+                match model.solver.solve(&[act_b, act_s]) {
+                    SolveResult::Sat => {
+                        let sol = model.decode(circuit);
+                        best_count = sol.swap_count();
+                        best_sol = Some(sol);
+                    }
+                    SolveResult::Unsat => {
+                        proven = true;
+                        break;
+                    }
+                    SolveResult::Unknown => {
+                        proven = false;
+                        break 'outer;
+                    }
+                }
+            }
+            if best_count == 0 {
+                break;
+            }
+            // Early termination (§III-D): at b+1 blocks every solution has
+            // at least b SWAPs (one per transition), so relaxing cannot
+            // beat a count of ≤ b.
+            if best_count <= blocks {
+                proven = true;
+                break;
+            }
+            if let Some(limit) = self.config.pareto_relax_limit {
+                if relax_rounds >= limit {
+                    break;
+                }
+            }
+            relax_rounds += 1;
+            // Relax the block count by one and try to do better.
+            let new_blocks = blocks + 1;
+            if new_blocks > window {
+                window = new_blocks;
+                model = TransitionModel::build(circuit, graph, &self.config, window)?;
+            }
+            let act_b = model.block_bound(new_blocks);
+            let act_s =
+                model.swap_bound(best_count - 1, capacity, self.config.encoding.cardinality);
+            self.arm(&mut model, deadline);
+            iterations += 1;
+            match model.solver.solve(&[act_b, act_s]) {
+                SolveResult::Sat => {
+                    let sol = model.decode(circuit);
+                    best_count = sol.swap_count();
+                    best_sol = Some(sol);
+                    blocks = new_blocks;
+                }
+                SolveResult::Unsat => {
+                    proven = true;
+                    break;
+                }
+                SolveResult::Unknown => {
+                    proven = false;
+                    break;
+                }
+            }
+        }
+
+        let (result, block_count) = match best_sol {
+            Some(sol) => {
+                let bc = sol.used_blocks();
+                (sol.lower(circuit, self.config.swap_duration), bc)
+            }
+            None => (first.outcome.result.clone(), first.block_count),
+        };
+        Ok(TbOutcome {
+            outcome: SynthesisOutcome {
+                result,
+                proven_optimal: proven,
+                iterations,
+                elapsed: start.elapsed(),
+                formula_size: (model.solver.num_vars(), model.solver.num_clauses()),
+                solver_stats: model.solver.stats(),
+            },
+            block_count,
+        })
+    }
+
+    /// Builds a model with a fixed block window and solves once under the
+    /// given SWAP bound — the Table II measurement for TB-OLSQ2(CNF).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors; `Ok(None)` if the budget expired.
+    pub fn solve_feasible(
+        &self,
+        circuit: &Circuit,
+        graph: &CouplingGraph,
+        blocks: usize,
+        swap_bound: Option<usize>,
+    ) -> Result<Option<SynthesisOutcome>, SynthesisError> {
+        let start = Instant::now();
+        let mut model = TransitionModel::build(circuit, graph, &self.config, blocks)?;
+        let mut assumptions = Vec::new();
+        if let Some(k) = swap_bound {
+            assumptions.push(model.swap_bound(k, k, self.config.encoding.cardinality));
+        }
+        self.arm(&mut model, self.deadline());
+        match model.solver.solve(&assumptions) {
+            SolveResult::Sat => {
+                let sol = model.decode(circuit);
+                Ok(Some(SynthesisOutcome {
+                    result: sol.lower(circuit, self.config.swap_duration),
+                    proven_optimal: false,
+                    iterations: 1,
+                    elapsed: start.elapsed(),
+                    formula_size: (model.solver.num_vars(), model.solver.num_clauses()),
+                    solver_stats: model.solver.stats(),
+                }))
+            }
+            SolveResult::Unsat => Err(SynthesisError::WindowExhausted),
+            SolveResult::Unknown => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olsq2_arch::{grid, line};
+    use olsq2_circuit::{Gate, GateKind};
+    use olsq2_layout::verify;
+
+    fn triangle() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.push(Gate::two(GateKind::Cx, 0, 1));
+        c.push(Gate::two(GateKind::Cx, 1, 2));
+        c.push(Gate::two(GateKind::Cx, 0, 2));
+        c
+    }
+
+    #[test]
+    fn tb_block_optimal_on_triangle() {
+        let synth = TbOlsq2Synthesizer::new(SynthesisConfig::with_swap_duration(1));
+        let out = synth.optimize_blocks(&triangle(), &line(3)).expect("solves");
+        // The triangle needs two blocks on a line (one transition).
+        assert_eq!(out.block_count, 2);
+        assert_eq!(verify(&triangle(), &line(3), &out.outcome.result), Ok(()));
+    }
+
+    #[test]
+    fn tb_swap_optimal_on_triangle() {
+        let synth = TbOlsq2Synthesizer::new(SynthesisConfig::with_swap_duration(1));
+        let out = synth.optimize_swaps(&triangle(), &line(3)).expect("solves");
+        assert_eq!(out.outcome.result.swap_count(), 1);
+        assert!(out.outcome.proven_optimal);
+        assert_eq!(verify(&triangle(), &line(3), &out.outcome.result), Ok(()));
+    }
+
+    #[test]
+    fn tb_zero_swaps_when_embeddable() {
+        let mut circuit = Circuit::new(4);
+        circuit.push(Gate::two(GateKind::Cx, 0, 1));
+        circuit.push(Gate::two(GateKind::Cx, 1, 2));
+        circuit.push(Gate::two(GateKind::Cx, 2, 3));
+        let synth = TbOlsq2Synthesizer::new(SynthesisConfig::with_swap_duration(3));
+        let out = synth.optimize_swaps(&circuit, &grid(2, 2)).expect("solves");
+        assert_eq!(out.outcome.result.swap_count(), 0);
+        assert_eq!(out.block_count, 1);
+        assert_eq!(verify(&circuit, &grid(2, 2), &out.outcome.result), Ok(()));
+    }
+
+    #[test]
+    fn tb_lowering_respects_dependencies_in_one_block() {
+        // Three dependent gates all fit one block (they are chained on the
+        // same qubits) — lowering must serialize them.
+        let mut circuit = Circuit::new(2);
+        circuit.push(Gate::two(GateKind::Cx, 0, 1));
+        circuit.push(Gate::two(GateKind::Cx, 1, 0));
+        circuit.push(Gate::two(GateKind::Cx, 0, 1));
+        let synth = TbOlsq2Synthesizer::new(SynthesisConfig::with_swap_duration(3));
+        let out = synth.optimize_swaps(&circuit, &line(2)).expect("solves");
+        assert_eq!(out.block_count, 1);
+        assert_eq!(out.outcome.result.depth, 3);
+        assert_eq!(verify(&circuit, &line(2), &out.outcome.result), Ok(()));
+    }
+
+    #[test]
+    fn tb_feasibility_probe() {
+        let synth = TbOlsq2Synthesizer::new(SynthesisConfig::with_swap_duration(1));
+        let out = synth
+            .solve_feasible(&triangle(), &line(3), 3, Some(2))
+            .expect("no model error")
+            .expect("in budget");
+        assert!(out.result.swap_count() <= 2);
+        assert_eq!(verify(&triangle(), &line(3), &out.result), Ok(()));
+    }
+}

@@ -1,0 +1,409 @@
+//! Finite-domain variable families over the SAT substrate.
+//!
+//! [`FdVar`] is the bridge between the paper's SMT-level variables (mapping
+//! `π_q^t`, time `t_g`) and CNF: the same model-building code works with
+//! one-hot ("int") and binary ("bv") representations, which is how the
+//! Table I encoding ablation is expressed.
+
+use crate::config::TimeEncoding;
+use olsq2_encode::{width_for, AmoEncoding, BitVec, CnfSink, OneHot};
+use olsq2_sat::{Lit, Solver};
+
+/// A variable ranging over `0..domain`, in one of two CNF representations.
+#[derive(Debug, Clone)]
+pub struct FdVar {
+    repr: FdRepr,
+    domain: usize,
+    eq_cache: Vec<Option<Lit>>,
+}
+
+#[derive(Debug, Clone)]
+enum FdRepr {
+    OneHot(OneHot),
+    Binary(BitVec),
+}
+
+impl FdVar {
+    /// One-hot representation with an exactly-one constraint.
+    pub fn new_onehot<S: CnfSink>(sink: &mut S, domain: usize, amo: AmoEncoding) -> FdVar {
+        FdVar {
+            repr: FdRepr::OneHot(OneHot::new(sink, domain, amo)),
+            domain,
+            eq_cache: vec![None; domain],
+        }
+    }
+
+    /// Binary representation; values ≥ `domain` are excluded by a
+    /// comparator when `domain` is not a power of two.
+    pub fn new_binary<S: CnfSink>(sink: &mut S, domain: usize) -> FdVar {
+        assert!(domain > 0);
+        let bv = BitVec::new(sink, width_for(domain as u64 - 1));
+        bv.assert_le_const_if(sink, domain as u64 - 1, None);
+        FdVar {
+            repr: FdRepr::Binary(bv),
+            domain,
+            eq_cache: vec![None; domain],
+        }
+    }
+
+    /// Domain size.
+    pub fn domain(&self) -> usize {
+        self.domain
+    }
+
+    /// A literal that is true iff the variable equals `v`
+    /// (cached per value; one-hot returns the selector directly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the domain.
+    pub fn eq_lit<S: CnfSink>(&mut self, sink: &mut S, v: usize) -> Lit {
+        assert!(v < self.domain);
+        if let Some(l) = self.eq_cache[v] {
+            return l;
+        }
+        let l = match &self.repr {
+            FdRepr::OneHot(oh) => oh.selector(v),
+            FdRepr::Binary(bv) => bv.eq_const_lit(sink, v as u64),
+        };
+        self.eq_cache[v] = Some(l);
+        l
+    }
+
+    /// Clause-prefix literals asserting "≠ v": at least one is true iff the
+    /// variable differs from `v`. Append consequent literals to build
+    /// `(self == v) → ⋁ consequents` without auxiliaries.
+    pub fn neq_clause(&self, v: usize) -> Vec<Lit> {
+        assert!(v < self.domain);
+        match &self.repr {
+            FdRepr::OneHot(oh) => vec![!oh.selector(v)],
+            FdRepr::Binary(bv) => bv.neq_const_clause(v as u64),
+        }
+    }
+
+    /// Literals that are *all* true iff the variable equals `v`
+    /// (a conjunction antecedent).
+    pub fn eq_conj(&self, v: usize) -> Vec<Lit> {
+        assert!(v < self.domain);
+        match &self.repr {
+            FdRepr::OneHot(oh) => vec![oh.selector(v)],
+            FdRepr::Binary(bv) => bv.eq_const_conj(v as u64),
+        }
+    }
+
+    /// Asserts `guard → self ≤ v`.
+    pub fn assert_le_if<S: CnfSink>(&mut self, sink: &mut S, v: usize, guard: Option<Lit>) {
+        match &self.repr {
+            FdRepr::Binary(bv) => bv.assert_le_const_if(sink, v as u64, guard),
+            FdRepr::OneHot(_) => {
+                for value in (v + 1)..self.domain {
+                    let mut clause = Vec::with_capacity(2);
+                    if let Some(g) = guard {
+                        clause.push(!g);
+                    }
+                    let eq = self.eq_lit(sink, value);
+                    clause.push(!eq);
+                    sink.add_clause(&clause);
+                }
+            }
+        }
+    }
+
+    /// The raw representation literals: the bits (binary) or selectors
+    /// (one-hot). Two same-encoding variables are equal iff these agree
+    /// position-wise.
+    pub fn raw_lits(&self) -> Vec<Lit> {
+        match &self.repr {
+            FdRepr::OneHot(oh) => oh.selectors().to_vec(),
+            FdRepr::Binary(bv) => bv.bits().to_vec(),
+        }
+    }
+
+    /// Decodes the value from a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solver has no model covering this variable.
+    pub fn value_in(&self, solver: &Solver) -> usize {
+        match &self.repr {
+            FdRepr::OneHot(oh) => oh.value_in(solver).expect("model must assign one-hot group"),
+            FdRepr::Binary(bv) => {
+                bv.value_in(solver).expect("model must assign bit-vector") as usize
+            }
+        }
+    }
+}
+
+/// The family of gate time variables with dependency support.
+///
+/// For one-hot time, dependencies use per-gate *prefix ladders*
+/// (`le[g][t] ↔ t_g ≤ t`), giving `O(T)` clauses per dependency; for
+/// binary time, a comparator circuit per dependency.
+#[derive(Debug)]
+pub struct TimeVars {
+    vars: Vec<FdVar>,
+    encoding: TimeEncoding,
+    /// Lazily built prefix ladders (one-hot only): `ladders[g][t]` ↔ `t_g ≤ t`.
+    ladders: Vec<Option<Vec<Lit>>>,
+    t_ub: usize,
+}
+
+impl TimeVars {
+    /// Allocates `num_gates` time variables over `0..t_ub`.
+    pub fn new<S: CnfSink>(
+        sink: &mut S,
+        num_gates: usize,
+        t_ub: usize,
+        encoding: TimeEncoding,
+        amo: AmoEncoding,
+    ) -> TimeVars {
+        let vars = (0..num_gates)
+            .map(|_| match encoding {
+                TimeEncoding::OneHot => FdVar::new_onehot(sink, t_ub, amo),
+                TimeEncoding::Binary => FdVar::new_binary(sink, t_ub),
+            })
+            .collect();
+        TimeVars {
+            vars,
+            encoding,
+            ladders: vec![None; num_gates],
+            t_ub,
+        }
+    }
+
+    /// The upper bound `T_UB` the variables range under.
+    pub fn t_ub(&self) -> usize {
+        self.t_ub
+    }
+
+    /// Access to gate `g`'s variable.
+    pub fn var_mut(&mut self, g: usize) -> &mut FdVar {
+        &mut self.vars[g]
+    }
+
+    /// Immutable access to gate `g`'s variable.
+    pub fn var(&self, g: usize) -> &FdVar {
+        &self.vars[g]
+    }
+
+    /// Scheduled time of gate `g` in the current model.
+    pub fn value_in(&self, solver: &Solver, g: usize) -> usize {
+        self.vars[g].value_in(solver)
+    }
+
+    fn ladder<S: CnfSink>(&mut self, sink: &mut S, g: usize) -> &[Lit] {
+        if self.ladders[g].is_none() {
+            // le[t] ↔ t_g ≤ t, built as a prefix OR of selectors.
+            let mut lits = Vec::with_capacity(self.t_ub);
+            let mut prev: Option<Lit> = None;
+            for t in 0..self.t_ub {
+                let sel = self.vars[g].eq_lit(sink, t);
+                let le = Lit::positive(sink.new_var());
+                match prev {
+                    None => {
+                        // le0 ↔ sel0
+                        sink.add_clause(&[!le, sel]);
+                        sink.add_clause(&[le, !sel]);
+                    }
+                    Some(p) => {
+                        sink.add_clause(&[!p, le]);
+                        sink.add_clause(&[!sel, le]);
+                        sink.add_clause(&[!le, p, sel]);
+                    }
+                }
+                lits.push(le);
+                prev = Some(le);
+            }
+            self.ladders[g] = Some(lits);
+        }
+        self.ladders[g].as_ref().expect("just built")
+    }
+
+    /// Asserts the relaxed dependency `t_earlier ≤ t_later`, used by the
+    /// transition-based model where dependent gates may share a block.
+    pub fn assert_before_or_equal<S: CnfSink>(
+        &mut self,
+        sink: &mut S,
+        earlier: usize,
+        later: usize,
+    ) {
+        match self.encoding {
+            TimeEncoding::Binary => {
+                let (a, b) = (self.vars[earlier].clone(), self.vars[later].clone());
+                if let (FdRepr::Binary(ba), FdRepr::Binary(bb)) = (&a.repr, &b.repr) {
+                    ba.assert_le(sink, bb);
+                }
+            }
+            TimeEncoding::OneHot => {
+                let ladder: Vec<Lit> = self.ladder(sink, earlier).to_vec();
+                for t in 0..self.t_ub {
+                    let sel = self.vars[later].eq_lit(sink, t);
+                    sink.add_clause(&[!sel, ladder[t]]);
+                }
+            }
+        }
+    }
+
+    /// Asserts `t_a ≠ t_b`: two gates that share a program qubit can never
+    /// execute in the same time step, even when commutation leaves their
+    /// *order* free (used by the commutation-aware flat model).
+    pub fn assert_not_equal<S: CnfSink>(&mut self, sink: &mut S, a: usize, b: usize) {
+        match self.encoding {
+            TimeEncoding::OneHot => {
+                for t in 0..self.t_ub {
+                    let sa = self.vars[a].eq_lit(sink, t);
+                    let sb = self.vars[b].eq_lit(sink, t);
+                    sink.add_clause(&[!sa, !sb]);
+                }
+            }
+            TimeEncoding::Binary => {
+                let (va, vb) = (self.vars[a].clone(), self.vars[b].clone());
+                let diffs: Vec<Lit> = va
+                    .raw_lits()
+                    .iter()
+                    .zip(vb.raw_lits())
+                    .map(|(&x, y)| {
+                        // y ↔ x ⊕ y via Tseitin, one per bit.
+                        olsq2_encode::gates::xor_lit(sink, x, y)
+                    })
+                    .collect();
+                sink.add_clause(&diffs);
+            }
+        }
+    }
+
+    /// Asserts the gate-dependency constraint `t_earlier < t_later`
+    /// (§II-A constraint 2).
+    pub fn assert_before<S: CnfSink>(&mut self, sink: &mut S, earlier: usize, later: usize) {
+        match self.encoding {
+            TimeEncoding::Binary => {
+                let (a, b) = (self.vars[earlier].clone(), self.vars[later].clone());
+                if let (FdRepr::Binary(ba), FdRepr::Binary(bb)) = (&a.repr, &b.repr) {
+                    ba.assert_lt(sink, bb);
+                }
+            }
+            TimeEncoding::OneHot => {
+                // sel(later, t) → le(earlier, t-1); sel(later, 0) impossible.
+                let first = self.vars[later].eq_lit(sink, 0);
+                sink.add_clause(&[!first]);
+                let ladder: Vec<Lit> = self.ladder(sink, earlier).to_vec();
+                for t in 1..self.t_ub {
+                    let sel = self.vars[later].eq_lit(sink, t);
+                    sink.add_clause(&[!sel, ladder[t - 1]]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olsq2_sat::{SolveResult, Solver};
+
+    fn both_reprs(domain: usize) -> Vec<(Solver, FdVar)> {
+        let mut out = Vec::new();
+        let mut s1 = Solver::new();
+        let v1 = FdVar::new_onehot(&mut s1, domain, AmoEncoding::Pairwise);
+        out.push((s1, v1));
+        let mut s2 = Solver::new();
+        let v2 = FdVar::new_binary(&mut s2, domain);
+        out.push((s2, v2));
+        out
+    }
+
+    #[test]
+    fn eq_lit_matches_value() {
+        for (mut s, mut v) in both_reprs(5) {
+            let e3 = v.eq_lit(&mut s, 3);
+            s.add_clause([e3]);
+            assert_eq!(s.solve(&[]), SolveResult::Sat);
+            assert_eq!(v.value_in(&s), 3);
+        }
+    }
+
+    #[test]
+    fn binary_excludes_values_outside_domain() {
+        let mut s = Solver::new();
+        let mut v = FdVar::new_binary(&mut s, 5); // width 3, but 5..8 excluded
+        for val in 0..5 {
+            let e = v.eq_lit(&mut s, val);
+            assert_eq!(s.solve(&[e]), SolveResult::Sat, "value {val}");
+        }
+        // Forbid all legal values: no model remains.
+        let bad: Vec<Lit> = (0..5).map(|val| !v.eq_lit(&mut s, val)).collect();
+        assert_eq!(s.solve(&bad), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn eq_cache_returns_same_literal() {
+        for (mut s, mut v) in both_reprs(6) {
+            let a = v.eq_lit(&mut s, 2);
+            let b = v.eq_lit(&mut s, 2);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn neq_clause_blocks_exactly_one_value() {
+        for (mut s, v) in both_reprs(4) {
+            let clause = v.neq_clause(1);
+            s.add_clause(clause);
+            let mut allowed = 0;
+            for val in 0..4 {
+                let conj = v.eq_conj(val);
+                if s.solve(&conj) == SolveResult::Sat {
+                    allowed += 1;
+                }
+            }
+            assert_eq!(allowed, 3);
+        }
+    }
+
+    #[test]
+    fn le_bound_with_guard() {
+        for (mut s, mut v) in both_reprs(8) {
+            let g = Lit::positive(s.new_var());
+            v.assert_le_if(&mut s, 3, Some(g));
+            let e6 = v.eq_lit(&mut s, 6);
+            assert_eq!(s.solve(&[g, e6]), SolveResult::Unsat);
+            assert_eq!(s.solve(&[e6]), SolveResult::Sat);
+            let e2 = v.eq_lit(&mut s, 2);
+            assert_eq!(s.solve(&[g, e2]), SolveResult::Sat);
+        }
+    }
+
+    #[test]
+    fn dependencies_order_gates_exhaustively() {
+        for encoding in [TimeEncoding::OneHot, TimeEncoding::Binary] {
+            let mut s = Solver::new();
+            let mut tv = TimeVars::new(&mut s, 3, 4, encoding, AmoEncoding::Pairwise);
+            tv.assert_before(&mut s, 0, 1);
+            tv.assert_before(&mut s, 1, 2);
+            // Check every assignment triple.
+            for a in 0..4 {
+                for b in 0..4 {
+                    for c in 0..4 {
+                        let mut assumptions = Vec::new();
+                        for (g, val) in [(0usize, a), (1, b), (2, c)] {
+                            assumptions.push(tv.var_mut(g).eq_lit(&mut s, val));
+                        }
+                        let expected = a < b && b < c;
+                        assert_eq!(
+                            s.solve(&assumptions) == SolveResult::Sat,
+                            expected,
+                            "{encoding:?} {a},{b},{c}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn t_ub_accessor() {
+        let mut s = Solver::new();
+        let tv = TimeVars::new(&mut s, 2, 7, TimeEncoding::Binary, AmoEncoding::Pairwise);
+        assert_eq!(tv.t_ub(), 7);
+    }
+}

@@ -1,0 +1,141 @@
+//! `cnf_solve` — a standalone DIMACS CNF solver over the `olsq2-sat`
+//! engine, with optional SatELite-style preprocessing.
+//!
+//! ```text
+//! cnf_solve [--no-preprocess] [--budget <secs>] <file.cnf | ->
+//! ```
+//!
+//! Prints `s SATISFIABLE` with a `v …` model line, `s UNSATISFIABLE`, or
+//! `s UNKNOWN`, following the SAT-competition output conventions. Useful
+//! for debugging exported instances (`olsq2_encode::to_dimacs`).
+
+use olsq2_encode::from_dimacs;
+use olsq2_sat::{Lit, Preprocessor, SolveResult, Solver, Var};
+use std::io::Read;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let mut path: Option<String> = None;
+    let mut preprocess = true;
+    let mut budget: Option<Duration> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--no-preprocess" => preprocess = false,
+            "--budget" => {
+                let secs: u64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--budget needs seconds");
+                budget = Some(Duration::from_secs(secs));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: cnf_solve [--no-preprocess] [--budget <secs>] <file.cnf | ->");
+                return;
+            }
+            other => path = Some(other.to_string()),
+        }
+    }
+    let text = match path.as_deref() {
+        Some("-") | None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .expect("read stdin");
+            buf
+        }
+        Some(p) => std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("cannot read {p}: {e}");
+            std::process::exit(2);
+        }),
+    };
+    let cnf = from_dimacs(&text).unwrap_or_else(|e| {
+        eprintln!("parse error: {e}");
+        std::process::exit(2);
+    });
+    let start = Instant::now();
+
+    let model: Option<Vec<bool>>;
+    let mut solver = Solver::new();
+    solver.set_deadline(budget.map(|b| start + b));
+    let mut unknown = false;
+    if preprocess {
+        let pre = Preprocessor::new(
+            cnf.num_vars(),
+            cnf.clauses().iter().cloned(),
+        );
+        let simp = pre.run();
+        eprintln!(
+            "c preprocess: {} clauses -> {}, {} vars eliminated ({:?})",
+            cnf.num_clauses(),
+            simp.clauses().len(),
+            simp.num_eliminated(),
+            start.elapsed()
+        );
+        if simp.is_unsat() {
+            model = None;
+        } else {
+            simp.load_into(&mut solver);
+            match solver.solve(&[]) {
+                SolveResult::Sat => {
+                    let mut m: Vec<bool> = (0..cnf.num_vars())
+                        .map(|i| {
+                            solver
+                                .model_value(Lit::positive(Var::from_index(i)))
+                                .unwrap_or(false)
+                        })
+                        .collect();
+                    simp.reconstruct(&mut m);
+                    model = Some(m);
+                }
+                SolveResult::Unsat => model = None,
+                SolveResult::Unknown => {
+                    model = None;
+                    unknown = true;
+                }
+            }
+        }
+    } else {
+        cnf.load_into(&mut solver);
+        match solver.solve(&[]) {
+            SolveResult::Sat => {
+                model = Some(
+                    (0..cnf.num_vars())
+                        .map(|i| {
+                            solver
+                                .model_value(Lit::positive(Var::from_index(i)))
+                                .unwrap_or(false)
+                        })
+                        .collect(),
+                );
+            }
+            SolveResult::Unsat => model = None,
+            SolveResult::Unknown => {
+                model = None;
+                unknown = true;
+            }
+        }
+    }
+    let stats = solver.stats();
+    eprintln!(
+        "c conflicts={} decisions={} propagations={} time={:?}",
+        stats.conflicts, stats.decisions, stats.propagations, start.elapsed()
+    );
+    match (model, unknown) {
+        (Some(m), _) => {
+            println!("s SATISFIABLE");
+            let mut line = String::from("v");
+            for (i, &v) in m.iter().enumerate() {
+                line.push(' ');
+                if !v {
+                    line.push('-');
+                }
+                line.push_str(&(i + 1).to_string());
+            }
+            line.push_str(" 0");
+            println!("{line}");
+        }
+        (None, true) => println!("s UNKNOWN"),
+        (None, false) => println!("s UNSATISFIABLE"),
+    }
+}

@@ -1,0 +1,174 @@
+//! DIMACS CNF import/export for [`Cnf`] formulas.
+//!
+//! Mirrors the paper's workflow of dumping solver instances
+//! (`Solver.sexpr()` in the original tooling) so individual SMT/SAT
+//! instances can be measured in isolation.
+
+use crate::sink::{Cnf, CnfSink};
+use olsq2_sat::{Lit, Var};
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+/// Serializes a formula in DIMACS CNF format.
+///
+/// # Examples
+///
+/// ```
+/// use olsq2_encode::{Cnf, CnfSink, to_dimacs};
+/// use olsq2_sat::Lit;
+/// let mut cnf = Cnf::new();
+/// let a = Lit::positive(cnf.new_var());
+/// let b = Lit::positive(cnf.new_var());
+/// cnf.add_clause(&[a, !b]);
+/// let text = to_dimacs(&cnf);
+/// assert!(text.starts_with("p cnf 2 1"));
+/// assert!(text.contains("1 -2 0"));
+/// ```
+pub fn to_dimacs(cnf: &Cnf) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", cnf.num_vars(), cnf.num_clauses());
+    for clause in cnf.clauses() {
+        for &lit in clause {
+            let v = lit.var().index() as i64 + 1;
+            let _ = write!(out, "{} ", if lit.is_negative() { -v } else { v });
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+/// Errors from [`from_dimacs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseDimacsError {
+    /// The `p cnf <vars> <clauses>` header is missing or malformed.
+    BadHeader(String),
+    /// A token could not be parsed as a literal.
+    BadLiteral(String),
+    /// A literal references a variable beyond the header's count.
+    VarOutOfRange(i64),
+}
+
+impl std::fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseDimacsError::BadHeader(l) => write!(f, "malformed DIMACS header: {l:?}"),
+            ParseDimacsError::BadLiteral(t) => write!(f, "malformed literal token: {t:?}"),
+            ParseDimacsError::VarOutOfRange(v) => {
+                write!(f, "literal {v} exceeds declared variable count")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+/// Parses DIMACS CNF text into a [`Cnf`].
+///
+/// Comment lines (`c …`) are skipped; clauses may span lines. The declared
+/// clause count is not enforced (many generators emit approximations), but
+/// variable indices are validated against the header.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on a missing/malformed header, unparsable
+/// literal, or out-of-range variable.
+pub fn from_dimacs(text: &str) -> Result<Cnf, ParseDimacsError> {
+    let mut lines = text.lines().filter(|l| !l.trim_start().starts_with('c'));
+    let header = lines
+        .by_ref()
+        .find(|l| !l.trim().is_empty())
+        .ok_or_else(|| ParseDimacsError::BadHeader(String::new()))?;
+    let mut parts = header.split_whitespace();
+    let (p, cnf_kw) = (parts.next(), parts.next());
+    if p != Some("p") || cnf_kw != Some("cnf") {
+        return Err(ParseDimacsError::BadHeader(header.to_string()));
+    }
+    let num_vars: usize = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| ParseDimacsError::BadHeader(header.to_string()))?;
+
+    let mut cnf = Cnf::new();
+    for _ in 0..num_vars {
+        cnf.new_var();
+    }
+    let mut clause: Vec<Lit> = Vec::new();
+    for line in lines {
+        for token in line.split_whitespace() {
+            let v = i64::from_str(token)
+                .map_err(|_| ParseDimacsError::BadLiteral(token.to_string()))?;
+            if v == 0 {
+                cnf.add_clause(&clause);
+                clause.clear();
+            } else {
+                let idx = v.unsigned_abs() as usize;
+                if idx > num_vars {
+                    return Err(ParseDimacsError::VarOutOfRange(v));
+                }
+                clause.push(Lit::new(Var::from_index(idx - 1), v < 0));
+            }
+        }
+    }
+    if !clause.is_empty() {
+        cnf.add_clause(&clause);
+    }
+    Ok(cnf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olsq2_sat::{SolveResult, Solver};
+
+    #[test]
+    fn roundtrip() {
+        let mut cnf = Cnf::new();
+        let a = Lit::positive(cnf.new_var());
+        let b = Lit::positive(cnf.new_var());
+        let c = Lit::positive(cnf.new_var());
+        cnf.add_clause(&[a, !b]);
+        cnf.add_clause(&[b, c]);
+        cnf.add_clause(&[!a, !c]);
+        let text = to_dimacs(&cnf);
+        let parsed = from_dimacs(&text).expect("roundtrip parses");
+        assert_eq!(parsed.num_vars(), 3);
+        assert_eq!(parsed.num_clauses(), 3);
+        assert_eq!(parsed.clauses(), cnf.clauses());
+    }
+
+    #[test]
+    fn parses_comments_and_multiline_clauses() {
+        let text = "c a comment\nc another\np cnf 3 2\n1 -2\n0\n2 3 0\n";
+        let cnf = from_dimacs(text).expect("parses");
+        assert_eq!(cnf.num_clauses(), 2);
+        assert_eq!(cnf.clauses()[0].len(), 2);
+        let mut s = Solver::new();
+        cnf.load_into(&mut s);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(
+            from_dimacs("p sat 3 2\n1 0\n"),
+            Err(ParseDimacsError::BadHeader(_))
+        ));
+        assert!(matches!(from_dimacs(""), Err(ParseDimacsError::BadHeader(_))));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(matches!(
+            from_dimacs("p cnf 2 1\n3 0\n"),
+            Err(ParseDimacsError::VarOutOfRange(3))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_literal() {
+        assert!(matches!(
+            from_dimacs("p cnf 2 1\nxyz 0\n"),
+            Err(ParseDimacsError::BadLiteral(_))
+        ));
+    }
+}

@@ -1,0 +1,215 @@
+//! Tseitin encodings of Boolean gates.
+//!
+//! Each function introduces a fresh definition variable and the clauses
+//! tying it to its inputs, returning the defining literal. All definitions
+//! are full (both directions) so the returned literal can be used in any
+//! polarity.
+
+use crate::sink::CnfSink;
+use olsq2_sat::Lit;
+
+/// `y ↔ a ∧ b`.
+pub fn and_lit<S: CnfSink>(sink: &mut S, a: Lit, b: Lit) -> Lit {
+    let y = Lit::positive(sink.new_var());
+    sink.add_clause(&[!y, a]);
+    sink.add_clause(&[!y, b]);
+    sink.add_clause(&[y, !a, !b]);
+    y
+}
+
+/// `y ↔ ⋀ lits` (empty conjunction is true).
+pub fn and_all<S: CnfSink>(sink: &mut S, lits: &[Lit]) -> Lit {
+    match lits {
+        [] => sink.true_lit(),
+        [l] => *l,
+        _ => {
+            let y = Lit::positive(sink.new_var());
+            let mut long = Vec::with_capacity(lits.len() + 1);
+            long.push(y);
+            for &l in lits {
+                sink.add_clause(&[!y, l]);
+                long.push(!l);
+            }
+            sink.add_clause(&long);
+            y
+        }
+    }
+}
+
+/// `y ↔ a ∨ b`.
+pub fn or_lit<S: CnfSink>(sink: &mut S, a: Lit, b: Lit) -> Lit {
+    !and_lit(sink, !a, !b)
+}
+
+/// `y ↔ ⋁ lits` (empty disjunction is false).
+pub fn or_all<S: CnfSink>(sink: &mut S, lits: &[Lit]) -> Lit {
+    let negated: Vec<Lit> = lits.iter().map(|&l| !l).collect();
+    !and_all(sink, &negated)
+}
+
+/// `y ↔ (a ↔ b)` (XNOR).
+pub fn iff_lit<S: CnfSink>(sink: &mut S, a: Lit, b: Lit) -> Lit {
+    let y = Lit::positive(sink.new_var());
+    sink.add_clause(&[!y, !a, b]);
+    sink.add_clause(&[!y, a, !b]);
+    sink.add_clause(&[y, a, b]);
+    sink.add_clause(&[y, !a, !b]);
+    y
+}
+
+/// `y ↔ a ⊕ b`.
+pub fn xor_lit<S: CnfSink>(sink: &mut S, a: Lit, b: Lit) -> Lit {
+    !iff_lit(sink, a, b)
+}
+
+/// Asserts `a → b`.
+pub fn imply<S: CnfSink>(sink: &mut S, a: Lit, b: Lit) {
+    sink.add_clause(&[!a, b]);
+}
+
+/// Asserts `⋀ antecedents → ⋁ consequents` as a single clause.
+pub fn imply_clause<S: CnfSink>(sink: &mut S, antecedents: &[Lit], consequents: &[Lit]) {
+    let mut clause = Vec::with_capacity(antecedents.len() + consequents.len());
+    clause.extend(antecedents.iter().map(|&l| !l));
+    clause.extend_from_slice(consequents);
+    sink.add_clause(&clause);
+}
+
+/// A single-output full adder: returns `(sum, carry)` for `a + b + c`.
+pub fn full_adder<S: CnfSink>(sink: &mut S, a: Lit, b: Lit, c: Lit) -> (Lit, Lit) {
+    let sum = Lit::positive(sink.new_var());
+    let carry = Lit::positive(sink.new_var());
+    // sum ↔ a ⊕ b ⊕ c
+    sink.add_clause(&[!a, !b, !c, sum]);
+    sink.add_clause(&[!a, b, c, sum]);
+    sink.add_clause(&[a, !b, c, sum]);
+    sink.add_clause(&[a, b, !c, sum]);
+    sink.add_clause(&[a, b, c, !sum]);
+    sink.add_clause(&[a, !b, !c, !sum]);
+    sink.add_clause(&[!a, b, !c, !sum]);
+    sink.add_clause(&[!a, !b, c, !sum]);
+    // carry ↔ at least two of {a,b,c}
+    sink.add_clause(&[!a, !b, carry]);
+    sink.add_clause(&[!a, !c, carry]);
+    sink.add_clause(&[!b, !c, carry]);
+    sink.add_clause(&[a, b, !carry]);
+    sink.add_clause(&[a, c, !carry]);
+    sink.add_clause(&[b, c, !carry]);
+    (sum, carry)
+}
+
+/// A half adder: returns `(sum, carry)` for `a + b`.
+pub fn half_adder<S: CnfSink>(sink: &mut S, a: Lit, b: Lit) -> (Lit, Lit) {
+    let sum = xor_lit(sink, a, b);
+    let carry = and_lit(sink, a, b);
+    (sum, carry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olsq2_sat::{SolveResult, Solver};
+
+    fn check_all(
+        n: usize,
+        build: impl Fn(&mut Solver, &[Lit]) -> Lit,
+        expect: impl Fn(&[bool]) -> bool,
+    ) {
+        for bits in 0..(1u32 << n) {
+            let mut s = Solver::new();
+            let ins: Vec<Lit> = (0..n).map(|_| Lit::positive(s.new_var())).collect();
+            let out = build(&mut s, &ins);
+            let vals: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            for (l, &v) in ins.iter().zip(&vals) {
+                s.add_clause([if v { *l } else { !*l }]);
+            }
+            assert_eq!(s.solve(&[]), SolveResult::Sat);
+            assert_eq!(
+                s.model_value(out),
+                Some(expect(&vals)),
+                "inputs {vals:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn and_gate_truth_table() {
+        check_all(2, |s, i| and_lit(s, i[0], i[1]), |v| v[0] && v[1]);
+    }
+
+    #[test]
+    fn or_gate_truth_table() {
+        check_all(2, |s, i| or_lit(s, i[0], i[1]), |v| v[0] || v[1]);
+    }
+
+    #[test]
+    fn xor_iff_truth_tables() {
+        check_all(2, |s, i| xor_lit(s, i[0], i[1]), |v| v[0] ^ v[1]);
+        check_all(2, |s, i| iff_lit(s, i[0], i[1]), |v| v[0] == v[1]);
+    }
+
+    #[test]
+    fn wide_and_or() {
+        check_all(4, |s, i| and_all(s, i), |v| v.iter().all(|&b| b));
+        check_all(4, |s, i| or_all(s, i), |v| v.iter().any(|&b| b));
+    }
+
+    #[test]
+    fn empty_and_or() {
+        let mut s = Solver::new();
+        let t = and_all(&mut s, &[]);
+        let f = or_all(&mut s, &[]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(s.model_value(t), Some(true));
+        assert_eq!(s.model_value(f), Some(false));
+    }
+
+    #[test]
+    fn adder_truth_tables() {
+        for bits in 0..8u32 {
+            let mut s = Solver::new();
+            let a = Lit::positive(s.new_var());
+            let b = Lit::positive(s.new_var());
+            let c = Lit::positive(s.new_var());
+            let (sum, carry) = full_adder(&mut s, a, b, c);
+            let vals = [bits & 1 == 1, bits >> 1 & 1 == 1, bits >> 2 & 1 == 1];
+            for (l, v) in [a, b, c].iter().zip(vals) {
+                s.add_clause([if v { *l } else { !*l }]);
+            }
+            assert_eq!(s.solve(&[]), SolveResult::Sat);
+            let total = vals.iter().filter(|&&x| x).count();
+            assert_eq!(s.model_value(sum), Some(total % 2 == 1));
+            assert_eq!(s.model_value(carry), Some(total >= 2));
+        }
+    }
+
+    #[test]
+    fn half_adder_truth_table() {
+        for bits in 0..4u32 {
+            let mut s = Solver::new();
+            let a = Lit::positive(s.new_var());
+            let b = Lit::positive(s.new_var());
+            let (sum, carry) = half_adder(&mut s, a, b);
+            let va = bits & 1 == 1;
+            let vb = bits >> 1 & 1 == 1;
+            s.add_clause([if va { a } else { !a }]);
+            s.add_clause([if vb { b } else { !b }]);
+            assert_eq!(s.solve(&[]), SolveResult::Sat);
+            assert_eq!(s.model_value(sum), Some(va ^ vb));
+            assert_eq!(s.model_value(carry), Some(va && vb));
+        }
+    }
+
+    #[test]
+    fn imply_clause_shapes() {
+        let mut s = Solver::new();
+        let a = Lit::positive(s.new_var());
+        let b = Lit::positive(s.new_var());
+        let c = Lit::positive(s.new_var());
+        imply_clause(&mut s, &[a, b], &[c]);
+        s.add_clause([a]);
+        s.add_clause([b]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(s.model_value(c), Some(true));
+    }
+}

@@ -1,0 +1,47 @@
+//! # olsq2-encode
+//!
+//! CNF encoding layer for the OLSQ2 reproduction — the stand-in for Z3's
+//! bit-blasting pipeline. The paper's best-performing configuration encodes
+//! mapping/time variables as bit-vectors lowered to SAT and its cardinality
+//! bound as a CNF sequential counter; this crate provides those building
+//! blocks (plus the slower alternatives the paper measures against):
+//!
+//! * [`CnfSink`] — clause consumer abstraction ([`olsq2_sat::Solver`],
+//!   [`Cnf`] collector, [`CountingSink`] statistics wrapper)
+//! * [`gates`] — Tseitin gate definitions
+//! * [`BitVec`] — unsigned bit-vectors with comparator clauses
+//! * [`OneHot`] — direct encodings with pairwise / sequential / commander
+//!   at-most-one
+//! * [`CardinalityNetwork`] — sequential counter, totalizer, and adder
+//!   network cardinality with assumption-based bounding
+//! * [`to_dimacs`] / [`from_dimacs`] — instance export/import
+//!
+//! ## Example
+//!
+//! ```
+//! use olsq2_encode::{BitVec, CnfSink};
+//! use olsq2_sat::{Solver, SolveResult};
+//!
+//! let mut solver = Solver::new();
+//! let x = BitVec::new(&mut solver, 4);
+//! x.assert_le_const_if(&mut solver, 9, None);
+//! x.assert_ge_const_if(&mut solver, 9, None);
+//! assert_eq!(solver.solve(&[]), SolveResult::Sat);
+//! assert_eq!(x.value_in(&solver), Some(9));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bitvec;
+mod cardinality;
+mod dimacs;
+pub mod gates;
+mod onehot;
+mod sink;
+
+pub use bitvec::{width_for, BitVec};
+pub use cardinality::{CardEncoding, CardinalityNetwork};
+pub use dimacs::{from_dimacs, to_dimacs, ParseDimacsError};
+pub use onehot::{at_most_one, exactly_one, AmoEncoding, OneHot};
+pub use sink::{Cnf, CnfSink, CountingSink};

@@ -1,0 +1,222 @@
+//! One-hot (direct) encodings of finite-domain variables.
+//!
+//! A value in `0..n` is one selector literal per candidate plus an
+//! exactly-one constraint. This is the reproduction's stand-in for Z3's
+//! *integer* encoding of OLSQ variables: wide, with explicit
+//! mutual-exclusion constraints — the formulation the paper shows losing to
+//! bit-vectors. Several at-most-one encodings are provided so their impact
+//! can be measured.
+
+use crate::sink::CnfSink;
+use olsq2_sat::{Lit, Solver};
+
+/// Choice of at-most-one encoding for [`OneHot`] groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AmoEncoding {
+    /// Pairwise: `O(n²)` binary clauses, no auxiliary variables.
+    #[default]
+    Pairwise,
+    /// Sequential (ladder): `O(n)` clauses and auxiliaries.
+    Sequential,
+    /// Commander: groups of 3 with recursive commanders.
+    Commander,
+}
+
+/// A finite-domain variable with one selector literal per value.
+///
+/// # Examples
+///
+/// ```
+/// use olsq2_encode::{OneHot, AmoEncoding, CnfSink};
+/// use olsq2_sat::{Solver, SolveResult};
+/// let mut s = Solver::new();
+/// let x = OneHot::new(&mut s, 5, AmoEncoding::Pairwise);
+/// s.add_clause([x.selector(3)]);
+/// assert_eq!(s.solve(&[]), SolveResult::Sat);
+/// assert_eq!(x.value_in(&s), Some(3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OneHot {
+    selectors: Vec<Lit>,
+}
+
+impl OneHot {
+    /// Allocates `domain` selectors with an exactly-one constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain` is zero.
+    pub fn new<S: CnfSink>(sink: &mut S, domain: usize, enc: AmoEncoding) -> OneHot {
+        assert!(domain > 0, "domain must be nonempty");
+        let selectors: Vec<Lit> = (0..domain).map(|_| Lit::positive(sink.new_var())).collect();
+        sink.add_clause(&selectors); // at least one
+        at_most_one(sink, &selectors, enc);
+        OneHot { selectors }
+    }
+
+    /// Wraps existing selectors without adding constraints.
+    pub fn from_selectors(selectors: Vec<Lit>) -> OneHot {
+        assert!(!selectors.is_empty());
+        OneHot { selectors }
+    }
+
+    /// Domain size.
+    pub fn domain(&self) -> usize {
+        self.selectors.len()
+    }
+
+    /// The selector literal for value `v` (true iff the variable equals `v`).
+    pub fn selector(&self, v: usize) -> Lit {
+        self.selectors[v]
+    }
+
+    /// All selectors, in value order.
+    pub fn selectors(&self) -> &[Lit] {
+        &self.selectors
+    }
+
+    /// Decodes the value from the solver's model (the lowest true selector).
+    pub fn value_in(&self, solver: &Solver) -> Option<usize> {
+        self.selectors
+            .iter()
+            .position(|&l| solver.model_value(l) == Some(true))
+    }
+}
+
+/// Adds an at-most-one constraint over `lits` using the chosen encoding.
+pub fn at_most_one<S: CnfSink>(sink: &mut S, lits: &[Lit], enc: AmoEncoding) {
+    match enc {
+        AmoEncoding::Pairwise => pairwise_amo(sink, lits),
+        AmoEncoding::Sequential => sequential_amo(sink, lits),
+        AmoEncoding::Commander => commander_amo(sink, lits),
+    }
+}
+
+/// Adds an exactly-one constraint over `lits`.
+pub fn exactly_one<S: CnfSink>(sink: &mut S, lits: &[Lit], enc: AmoEncoding) {
+    assert!(!lits.is_empty());
+    sink.add_clause(lits);
+    at_most_one(sink, lits, enc);
+}
+
+fn pairwise_amo<S: CnfSink>(sink: &mut S, lits: &[Lit]) {
+    for i in 0..lits.len() {
+        for j in (i + 1)..lits.len() {
+            sink.add_clause(&[!lits[i], !lits[j]]);
+        }
+    }
+}
+
+/// Sinz-style ladder: `s_i` means "some literal among the first i+1 is true".
+fn sequential_amo<S: CnfSink>(sink: &mut S, lits: &[Lit]) {
+    if lits.len() <= 3 {
+        return pairwise_amo(sink, lits);
+    }
+    let n = lits.len();
+    let s: Vec<Lit> = (0..n - 1).map(|_| Lit::positive(sink.new_var())).collect();
+    sink.add_clause(&[!lits[0], s[0]]);
+    for i in 1..n - 1 {
+        sink.add_clause(&[!lits[i], s[i]]);
+        sink.add_clause(&[!s[i - 1], s[i]]);
+        sink.add_clause(&[!lits[i], !s[i - 1]]);
+    }
+    sink.add_clause(&[!lits[n - 1], !s[n - 2]]);
+}
+
+/// Commander encoding with groups of 3.
+fn commander_amo<S: CnfSink>(sink: &mut S, lits: &[Lit]) {
+    if lits.len() <= 3 {
+        return pairwise_amo(sink, lits);
+    }
+    let mut commanders = Vec::with_capacity(lits.len().div_ceil(3));
+    for chunk in lits.chunks(3) {
+        let c = Lit::positive(sink.new_var());
+        // At most one inside the group.
+        pairwise_amo(sink, chunk);
+        // c is true iff some group literal is true (only → needed for AMO,
+        // but both directions keep the commander faithful).
+        for &l in chunk {
+            sink.add_clause(&[!l, c]);
+        }
+        let mut clause: Vec<Lit> = chunk.to_vec();
+        clause.push(!c);
+        sink.add_clause(&clause);
+        commanders.push(c);
+    }
+    commander_amo(sink, &commanders);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olsq2_sat::SolveResult;
+
+    const ENCODINGS: [AmoEncoding; 3] = [
+        AmoEncoding::Pairwise,
+        AmoEncoding::Sequential,
+        AmoEncoding::Commander,
+    ];
+
+    /// Exhaustively checks that AMO admits exactly the assignments with ≤ 1
+    /// true literal.
+    fn check_amo(n: usize, enc: AmoEncoding) {
+        for bits in 0..(1u32 << n) {
+            let mut s = Solver::new();
+            let lits: Vec<Lit> = (0..n).map(|_| Lit::positive(s.new_var())).collect();
+            at_most_one(&mut s, &lits, enc);
+            for (i, &l) in lits.iter().enumerate() {
+                s.add_clause([if bits >> i & 1 == 1 { l } else { !l }]);
+            }
+            let expected = bits.count_ones() <= 1;
+            assert_eq!(
+                s.solve(&[]) == SolveResult::Sat,
+                expected,
+                "n={n} bits={bits:b} enc={enc:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn amo_exhaustive_all_encodings() {
+        for enc in ENCODINGS {
+            for n in 1..=7 {
+                check_amo(n, enc);
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_one_rejects_zero_and_two() {
+        for enc in ENCODINGS {
+            let mut s = Solver::new();
+            let lits: Vec<Lit> = (0..5).map(|_| Lit::positive(s.new_var())).collect();
+            exactly_one(&mut s, &lits, enc);
+            // zero true:
+            let all_false: Vec<Lit> = lits.iter().map(|&l| !l).collect();
+            assert_eq!(s.solve(&all_false), SolveResult::Unsat);
+            // two true:
+            assert_eq!(s.solve(&[lits[1], lits[3]]), SolveResult::Unsat);
+            // one true:
+            assert_eq!(s.solve(&[lits[2]]), SolveResult::Sat);
+        }
+    }
+
+    #[test]
+    fn onehot_decodes_model() {
+        for enc in ENCODINGS {
+            let mut s = Solver::new();
+            let x = OneHot::new(&mut s, 9, enc);
+            s.add_clause([x.selector(7)]);
+            assert_eq!(s.solve(&[]), SolveResult::Sat);
+            assert_eq!(x.value_in(&s), Some(7));
+        }
+    }
+
+    #[test]
+    fn onehot_domain_one() {
+        let mut s = Solver::new();
+        let x = OneHot::new(&mut s, 1, AmoEncoding::Pairwise);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(x.value_in(&s), Some(0));
+    }
+}

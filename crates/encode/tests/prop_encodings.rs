@@ -1,0 +1,91 @@
+//! Property tests for the encoding layer: random values/bounds against the
+//! semantics the encodings promise.
+
+use olsq2_encode::{
+    at_most_one, width_for, AmoEncoding, BitVec, CardEncoding, CardinalityNetwork, CnfSink,
+};
+use olsq2_sat::{Lit, SolveResult, Solver};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    #[test]
+    fn bitvec_le_ge_agree_with_integers(val in 0u64..64, bound in 0u64..64) {
+        let mut s = Solver::new();
+        let bv = BitVec::new(&mut s, width_for(63));
+        bv.assert_eq_const(&mut s, val);
+        let g_le = Lit::positive(s.new_var());
+        let g_ge = Lit::positive(s.new_var());
+        bv.assert_le_const_if(&mut s, bound, Some(g_le));
+        bv.assert_ge_const_if(&mut s, bound, Some(g_ge));
+        prop_assert_eq!(s.solve(&[g_le]) == SolveResult::Sat, val <= bound);
+        prop_assert_eq!(s.solve(&[g_ge]) == SolveResult::Sat, val >= bound);
+        prop_assert_eq!(s.solve(&[g_le, g_ge]) == SolveResult::Sat, val == bound);
+    }
+
+    #[test]
+    fn cardinality_counts_popcount(
+        pattern in 0u32..(1 << 10),
+        k in 0usize..=10,
+        enc_idx in 0usize..3,
+    ) {
+        let enc = [
+            CardEncoding::SequentialCounter,
+            CardEncoding::Totalizer,
+            CardEncoding::AdderNetwork,
+        ][enc_idx];
+        let mut s = Solver::new();
+        let xs: Vec<Lit> = (0..10).map(|_| Lit::positive(s.new_var())).collect();
+        let mut card = CardinalityNetwork::new(&mut s, &xs, 10, enc);
+        for (i, &x) in xs.iter().enumerate() {
+            s.add_clause([if pattern >> i & 1 == 1 { x } else { !x }]);
+        }
+        let b = card.at_most(&mut s, k);
+        let expected = (pattern.count_ones() as usize) <= k;
+        prop_assert_eq!(s.solve(&[b]) == SolveResult::Sat, expected);
+    }
+
+    #[test]
+    fn amo_free_variables_get_valid_models(n in 2usize..9, enc_idx in 0usize..3) {
+        let enc = [AmoEncoding::Pairwise, AmoEncoding::Sequential, AmoEncoding::Commander][enc_idx];
+        let mut s = Solver::new();
+        let lits: Vec<Lit> = (0..n).map(|_| Lit::positive(s.new_var())).collect();
+        at_most_one(&mut s, &lits, enc);
+        prop_assert_eq!(s.solve(&[]), SolveResult::Sat);
+        let true_count = lits
+            .iter()
+            .filter(|&&l| s.model_value(l) == Some(true))
+            .count();
+        prop_assert!(true_count <= 1);
+    }
+
+    #[test]
+    fn sorted_network_descent_matches_popcount(pattern in 0u32..(1 << 8)) {
+        // Iterative descent (the paper's swap-count loop) must converge to
+        // the exact popcount for both sorted encodings.
+        for enc in [CardEncoding::SequentialCounter, CardEncoding::Totalizer] {
+            let mut s = Solver::new();
+            let xs: Vec<Lit> = (0..8).map(|_| Lit::positive(s.new_var())).collect();
+            let mut card = CardinalityNetwork::new(&mut s, &xs, 8, enc);
+            for (i, &x) in xs.iter().enumerate() {
+                s.add_clause([if pattern >> i & 1 == 1 { x } else { !x }]);
+            }
+            let mut k = 8usize;
+            let optimum = loop {
+                let b = card.at_most(&mut s, k);
+                match s.solve(&[b]) {
+                    SolveResult::Sat => {
+                        if k == 0 {
+                            break 0;
+                        }
+                        k -= 1;
+                    }
+                    SolveResult::Unsat => break k + 1,
+                    SolveResult::Unknown => unreachable!("no budget configured"),
+                }
+            };
+            prop_assert_eq!(optimum, pattern.count_ones() as usize);
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! A*-based layer routing (after Zulehner, Paler, Wille, "An efficient
+//! methodology for mapping quantum circuits to the IBM QX architectures",
+//! TCAD 2018) — the depth-partitioning baseline the OLSQ2 paper's
+//! related-work section critiques as greedy and therefore sub-optimal.
+//!
+//! The circuit is partitioned into layers of independent gates; for each
+//! layer an A* search over mappings finds a SWAP sequence making every
+//! two-qubit gate of the layer executable. The per-layer search is
+//! optimal; the *partitioning* is greedy — exactly the structural
+//! sub-optimality the paper contrasts with OLSQ2's global model.
+
+use crate::retime::{retime, RoutedOp};
+use crate::SabreError;
+use olsq2_arch::CouplingGraph;
+use olsq2_circuit::{Circuit, DependencyGraph, Operands};
+use olsq2_layout::LayoutResult;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Parameters for the A* router.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstarConfig {
+    /// SWAP duration for the emitted schedule.
+    pub swap_duration: usize,
+    /// Cap on expanded states per layer; beyond it the best-so-far node is
+    /// taken greedily (prevents pathological layers from exploding).
+    pub max_expansions: usize,
+}
+
+impl Default for AstarConfig {
+    fn default() -> Self {
+        AstarConfig {
+            swap_duration: 3,
+            max_expansions: 200_000,
+        }
+    }
+}
+
+/// Admissible heuristic: each SWAP moves two qubits one step, so it can
+/// reduce the summed gate distances by at most 2.
+fn heuristic(graph: &CouplingGraph, mapping: &[u16], pairs: &[(u16, u16)]) -> usize {
+    let total: usize = pairs
+        .iter()
+        .map(|&(a, b)| {
+            graph
+                .distance(mapping[a as usize], mapping[b as usize])
+                .map(|d| (d as usize).saturating_sub(1))
+                .unwrap_or(usize::MAX / 4)
+        })
+        .sum();
+    total.div_ceil(2)
+}
+
+fn goal(graph: &CouplingGraph, mapping: &[u16], pairs: &[(u16, u16)]) -> bool {
+    pairs
+        .iter()
+        .all(|&(a, b)| graph.is_adjacent(mapping[a as usize], mapping[b as usize]))
+}
+
+/// A* over mappings for one layer. Returns the swap sequence (edge
+/// indices) and the resulting mapping.
+fn route_layer(
+    graph: &CouplingGraph,
+    start: &[u16],
+    pairs: &[(u16, u16)],
+    max_expansions: usize,
+) -> Option<(Vec<usize>, Vec<u16>)> {
+    if goal(graph, start, pairs) {
+        return Some((Vec::new(), start.to_vec()));
+    }
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        f: usize,
+        g: usize,
+        id: usize,
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Min-heap by f, tie-break on larger g (deeper first).
+            other
+                .f
+                .cmp(&self.f)
+                .then(self.g.cmp(&other.g))
+                .then(other.id.cmp(&self.id))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    // Arena of states: mapping, parent, and the edge swapped to get here.
+    let mut states: Vec<(Vec<u16>, Option<(usize, usize)>)> = vec![(start.to_vec(), None)];
+    let mut best_g: HashMap<Vec<u16>, usize> = HashMap::new();
+    best_g.insert(start.to_vec(), 0);
+    let mut open = BinaryHeap::new();
+    open.push(Node {
+        f: heuristic(graph, start, pairs),
+        g: 0,
+        id: 0,
+    });
+    let mut expansions = 0usize;
+    let mut best_seen: (usize, usize) = (usize::MAX, 0); // (h, id) fallback
+
+    // Only edges touching a qubit that is relevant to the layer (or becomes
+    // relevant transitively) matter; for simplicity expand all edges —
+    // device edge counts are small (≤ ~150).
+    while let Some(Node { g, id, .. }) = open.pop() {
+        let mapping = states[id].0.clone();
+        if goal(graph, &mapping, pairs) {
+            // Reconstruct the swap path.
+            let mut path = Vec::new();
+            let mut cur = id;
+            while let (_, Some((parent, edge))) = &states[cur] {
+                path.push(*edge);
+                cur = *parent;
+            }
+            path.reverse();
+            return Some((path, mapping));
+        }
+        let h_here = heuristic(graph, &mapping, pairs);
+        if h_here < best_seen.0 {
+            best_seen = (h_here, id);
+        }
+        expansions += 1;
+        if expansions > max_expansions {
+            break;
+        }
+        for e in 0..graph.num_edges() {
+            let (a, b) = graph.edge(e);
+            let mut next = mapping.clone();
+            for m in &mut next {
+                if *m == a {
+                    *m = b;
+                } else if *m == b {
+                    *m = a;
+                }
+            }
+            let ng = g + 1;
+            if best_g.get(&next).is_some_and(|&old| old <= ng) {
+                continue;
+            }
+            best_g.insert(next.clone(), ng);
+            let h = heuristic(graph, &next, pairs);
+            states.push((next, Some((id, e))));
+            open.push(Node {
+                f: ng + h,
+                g: ng,
+                id: states.len() - 1,
+            });
+        }
+    }
+    // Expansion cap hit: greedily walk from the most promising node.
+    let (_, mut id) = best_seen;
+    let mut mapping = states[id].0.clone();
+    let mut path: Vec<usize> = Vec::new();
+    {
+        let mut cur = id;
+        while let (_, Some((parent, edge))) = &states[cur] {
+            path.push(*edge);
+            cur = *parent;
+        }
+        path.reverse();
+    }
+    let _ = &mut id;
+    let mut guard = 0;
+    while !goal(graph, &mapping, pairs) {
+        guard += 1;
+        if guard > graph.num_qubits() * graph.num_qubits() {
+            return None;
+        }
+        // Greedy: the swap with the best heuristic improvement.
+        let mut best: Option<(usize, usize)> = None;
+        for e in 0..graph.num_edges() {
+            let (a, b) = graph.edge(e);
+            let mut next = mapping.clone();
+            for m in &mut next {
+                if *m == a {
+                    *m = b;
+                } else if *m == b {
+                    *m = a;
+                }
+            }
+            let h = heuristic(graph, &next, pairs);
+            if best.map_or(true, |(bh, _)| h < bh) {
+                best = Some((h, e));
+            }
+        }
+        let (_, e) = best?;
+        let (a, b) = graph.edge(e);
+        for m in &mut mapping {
+            if *m == a {
+                *m = b;
+            } else if *m == b {
+                *m = a;
+            }
+        }
+        path.push(e);
+    }
+    Some((path, mapping))
+}
+
+/// Routes a circuit layer-by-layer with per-layer A* (Zulehner-style).
+///
+/// # Errors
+///
+/// [`SabreError::TooManyQubits`] when the circuit does not fit;
+/// [`SabreError::Stuck`] if a layer cannot be routed (disconnected device).
+///
+/// # Examples
+///
+/// ```
+/// use olsq2_heuristic::{astar_route, AstarConfig};
+/// use olsq2_arch::line;
+/// use olsq2_circuit::{Circuit, Gate, GateKind};
+/// use olsq2_layout::verify;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut c = Circuit::new(3);
+/// c.push(Gate::two(GateKind::Cx, 0, 1));
+/// c.push(Gate::two(GateKind::Cx, 0, 2));
+/// let graph = line(3);
+/// let result = astar_route(&c, &graph, &AstarConfig::default())?;
+/// assert_eq!(verify(&c, &graph, &result), Ok(()));
+/// # Ok(())
+/// # }
+/// ```
+pub fn astar_route(
+    circuit: &Circuit,
+    graph: &CouplingGraph,
+    config: &AstarConfig,
+) -> Result<LayoutResult, SabreError> {
+    let nq = circuit.num_qubits();
+    let np = graph.num_qubits();
+    if nq > np {
+        return Err(SabreError::TooManyQubits {
+            program: nq,
+            physical: np,
+        });
+    }
+    let initial_mapping: Vec<u16> = (0..nq as u16).collect();
+    if circuit.num_gates() == 0 {
+        return Ok(LayoutResult {
+            initial_mapping,
+            schedule: vec![],
+            swaps: vec![],
+            depth: 0,
+            swap_duration: config.swap_duration.max(1),
+        });
+    }
+    let dag = DependencyGraph::new(circuit);
+    let layers = dag.layers();
+    let mut mapping = initial_mapping.clone();
+    let mut ops: Vec<RoutedOp> = Vec::with_capacity(circuit.num_gates());
+    for layer in layers {
+        let pairs: Vec<(u16, u16)> = layer
+            .iter()
+            .filter_map(|&g| match circuit.gate(g).operands {
+                Operands::Two(a, b) => Some((a, b)),
+                Operands::One(_) => None,
+            })
+            .collect();
+        if !pairs.is_empty() {
+            let (swaps, new_mapping) =
+                route_layer(graph, &mapping, &pairs, config.max_expansions)
+                    .ok_or(SabreError::Stuck)?;
+            for e in swaps {
+                ops.push(RoutedOp::Swap(e));
+            }
+            mapping = new_mapping;
+        }
+        for &g in &layer {
+            ops.push(RoutedOp::Gate(g));
+        }
+    }
+    Ok(retime(circuit, graph, &initial_mapping, &ops, config.swap_duration))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olsq2_arch::{grid, line};
+    use olsq2_circuit::generators::{qaoa_circuit, tof_circuit};
+    use olsq2_circuit::{Gate, GateKind};
+    use olsq2_layout::verify;
+
+    #[test]
+    fn routes_adjacent_circuit_without_swaps() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::two(GateKind::Cx, 0, 1));
+        c.push(Gate::two(GateKind::Cx, 1, 2));
+        let graph = line(3);
+        let r = astar_route(&c, &graph, &AstarConfig::default()).expect("routes");
+        assert_eq!(r.swap_count(), 0);
+        assert_eq!(verify(&c, &graph, &r), Ok(()));
+    }
+
+    #[test]
+    fn routes_triangle_on_line() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::two(GateKind::Cx, 0, 1));
+        c.push(Gate::two(GateKind::Cx, 1, 2));
+        c.push(Gate::two(GateKind::Cx, 0, 2));
+        let graph = line(3);
+        let r = astar_route(&c, &graph, &AstarConfig::default()).expect("routes");
+        assert_eq!(verify(&c, &graph, &r), Ok(()));
+        assert!(r.swap_count() >= 1);
+    }
+
+    #[test]
+    fn routes_qaoa_on_grid() {
+        let c = qaoa_circuit(10, 3);
+        let graph = grid(4, 4);
+        let mut cfg = AstarConfig::default();
+        cfg.swap_duration = 1;
+        let r = astar_route(&c, &graph, &cfg).expect("routes");
+        assert_eq!(verify(&c, &graph, &r), Ok(()));
+    }
+
+    #[test]
+    fn routes_tof_on_grid() {
+        let c = tof_circuit(4);
+        let graph = grid(3, 3);
+        let r = astar_route(&c, &graph, &AstarConfig::default()).expect("routes");
+        assert_eq!(verify(&c, &graph, &r), Ok(()));
+    }
+
+    #[test]
+    fn per_layer_search_is_optimal_for_single_pair() {
+        // One distant pair on a line: A* must use exactly dist-1 swaps.
+        let mut c = Circuit::new(2);
+        c.push(Gate::two(GateKind::Cx, 0, 1));
+        let graph = line(5);
+        // Identity mapping puts q0@p0, q1@p1 (adjacent) — craft distance by
+        // inserting leading gates? Instead use 3 qubits mapped identity with
+        // gate between q0 and q2 on a 3-line: distance 2 → 1 swap.
+        let mut c2 = Circuit::new(3);
+        c2.push(Gate::two(GateKind::Cx, 0, 2));
+        let graph3 = line(3);
+        let r = astar_route(&c2, &graph3, &AstarConfig::default()).expect("routes");
+        assert_eq!(r.swap_count(), 1);
+        assert_eq!(verify(&c2, &graph3, &r), Ok(()));
+        let r1 = astar_route(&c, &graph, &AstarConfig::default()).expect("routes");
+        assert_eq!(r1.swap_count(), 0);
+    }
+
+    #[test]
+    fn rejects_oversized() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::two(GateKind::Cx, 0, 3));
+        assert!(astar_route(&c, &line(2), &AstarConfig::default()).is_err());
+    }
+
+    #[test]
+    fn empty_circuit() {
+        let c = Circuit::new(2);
+        let r = astar_route(&c, &line(3), &AstarConfig::default()).expect("routes");
+        assert_eq!(r.depth, 0);
+    }
+}

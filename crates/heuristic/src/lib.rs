@@ -1,0 +1,43 @@
+//! # olsq2-heuristic
+//!
+//! Heuristic layout-synthesis baselines for the OLSQ2 reproduction:
+//!
+//! * [`sabre_route`] — a from-scratch SABRE (Li et al., ASPLOS 2019), the
+//!   leading heuristic synthesizer the paper compares against in
+//!   Tables III–IV;
+//! * [`satmap_route`] — a SATMap-style slice-and-relax mapper (after
+//!   Molavi et al., MICRO 2022), the second baseline of Table IV.
+//!
+//! Both produce [`olsq2_layout::LayoutResult`] values that pass the same
+//! five-constraint verifier as the exact synthesizers.
+//!
+//! ## Example
+//!
+//! ```
+//! use olsq2_heuristic::{sabre_route, SabreConfig};
+//! use olsq2_arch::sycamore54;
+//! use olsq2_circuit::generators::qaoa_circuit;
+//! use olsq2_layout::verify;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let circuit = qaoa_circuit(16, 42);
+//! let device = sycamore54();
+//! let mut config = SabreConfig::default();
+//! config.swap_duration = 1;
+//! let result = sabre_route(&circuit, &device, &config)?;
+//! assert_eq!(verify(&circuit, &device, &result), Ok(()));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod astar;
+mod retime;
+mod sabre;
+mod satmap;
+
+pub use astar::{astar_route, AstarConfig};
+pub use sabre::{sabre_route, SabreConfig, SabreError};
+pub use satmap::{satmap_route, SatMapConfig, SatMapError, SatMapOutcome};

@@ -1,0 +1,74 @@
+//! Shared op-sequence re-timing for the heuristic routers.
+
+use olsq2_arch::CouplingGraph;
+use olsq2_circuit::Circuit;
+use olsq2_layout::{LayoutResult, SwapOp};
+
+/// One op of the routed sequence.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum RoutedOp {
+    /// Original gate index.
+    Gate(usize),
+    /// SWAP on a device edge.
+    Swap(usize),
+}
+
+/// ASAP re-timing of a routed op sequence into a [`LayoutResult`].
+pub(crate) fn retime(
+    circuit: &Circuit,
+    graph: &CouplingGraph,
+    initial_mapping: &[u16],
+    ops: &[RoutedOp],
+    swap_duration: usize,
+) -> LayoutResult {
+    let sd = swap_duration.max(1);
+    let mut ready = vec![0usize; graph.num_qubits()];
+    let mut mapping = initial_mapping.to_vec();
+    let mut schedule = vec![0usize; circuit.num_gates()];
+    let mut swaps = Vec::new();
+    let mut depth = 0usize;
+    for &op in ops {
+        match op {
+            RoutedOp::Gate(g) => {
+                let phys: Vec<u16> = circuit
+                    .gate(g)
+                    .operands
+                    .qubits()
+                    .map(|q| mapping[q as usize])
+                    .collect();
+                let start = phys.iter().map(|&p| ready[p as usize]).max().unwrap_or(0);
+                schedule[g] = start;
+                for &p in &phys {
+                    ready[p as usize] = start + 1;
+                }
+                depth = depth.max(start + 1);
+            }
+            RoutedOp::Swap(e) => {
+                let (a, b) = graph.edge(e);
+                let start = ready[a as usize].max(ready[b as usize]);
+                let finish = start + sd - 1;
+                swaps.push(SwapOp {
+                    edge: e,
+                    finish_time: finish,
+                });
+                ready[a as usize] = finish + 1;
+                ready[b as usize] = finish + 1;
+                depth = depth.max(finish + 1);
+                for m in &mut mapping {
+                    if *m == a {
+                        *m = b;
+                    } else if *m == b {
+                        *m = a;
+                    }
+                }
+            }
+        }
+    }
+    LayoutResult {
+        initial_mapping: initial_mapping.to_vec(),
+        schedule,
+        swaps,
+        depth,
+        swap_duration: sd,
+    }
+}

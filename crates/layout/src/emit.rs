@@ -1,0 +1,135 @@
+//! Emission of the final physical circuit: the program's gates remapped to
+//! physical qubits with SWAP gates inserted, as in the paper's Fig. 4.
+
+use crate::result::LayoutResult;
+use olsq2_arch::CouplingGraph;
+use olsq2_circuit::{Circuit, Gate, GateKind, Operands};
+
+/// Builds the executable physical circuit for a layout result.
+///
+/// Gates appear in time order with their operands translated through the
+/// evolving mapping; each inserted SWAP appears as a `swap` gate at its
+/// position in time (decompose afterwards with
+/// [`Circuit::decompose_swaps`] for a CNOT-only circuit).
+///
+/// The result is only meaningful for a verified layout; this function does
+/// not re-check validity.
+///
+/// # Examples
+///
+/// ```
+/// use olsq2_layout::{emit_physical_circuit, LayoutResult, SwapOp};
+/// use olsq2_arch::line;
+/// use olsq2_circuit::{Circuit, Gate, GateKind};
+/// let mut c = Circuit::new(2);
+/// c.push(Gate::two(GateKind::Cx, 0, 1));
+/// let r = LayoutResult {
+///     initial_mapping: vec![0, 2],
+///     schedule: vec![2],
+///     swaps: vec![SwapOp { edge: 1, finish_time: 1 }],
+///     depth: 3,
+///     swap_duration: 1,
+/// };
+/// let phys = emit_physical_circuit(&c, &line(3), &r);
+/// assert_eq!(phys.num_gates(), 2); // the swap + the cx
+/// ```
+pub fn emit_physical_circuit(
+    circuit: &Circuit,
+    graph: &CouplingGraph,
+    result: &LayoutResult,
+) -> Circuit {
+    #[derive(Clone, Copy)]
+    enum Event {
+        Gate(usize),
+        Swap(usize),
+    }
+    let mut events: Vec<(usize, u8, Event)> = Vec::new();
+    for (g, &t) in result.schedule.iter().enumerate() {
+        events.push((t, 0, Event::Gate(g)));
+    }
+    for (i, s) in result.swaps.iter().enumerate() {
+        events.push((s.finish_time, 1, Event::Swap(i)));
+    }
+    events.sort_by_key(|&(t, kind, _)| (t, kind));
+
+    let edges = graph.edges();
+    let mut mapping = result.initial_mapping.clone();
+    let mut out = Circuit::with_name(
+        graph.num_qubits(),
+        format!("{}@{}", circuit.name(), graph.name()),
+    );
+    for (_, _, ev) in events {
+        match ev {
+            Event::Gate(g) => {
+                let gate = circuit.gate(g);
+                let operands = match gate.operands {
+                    Operands::One(q) => Operands::One(mapping[q as usize]),
+                    Operands::Two(a, b) => {
+                        Operands::Two(mapping[a as usize], mapping[b as usize])
+                    }
+                };
+                out.push(Gate::new(gate.kind.clone(), operands));
+            }
+            Event::Swap(i) => {
+                let (a, b) = edges[result.swaps[i].edge];
+                out.push(Gate::two(GateKind::Swap, a, b));
+                for m in &mut mapping {
+                    if *m == a {
+                        *m = b;
+                    } else if *m == b {
+                        *m = a;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::SwapOp;
+    use crate::verify::verify;
+    use olsq2_arch::line;
+
+    #[test]
+    fn emission_tracks_mapping_through_swaps() {
+        // cx(q0,q1) twice with a swap between them.
+        let mut c = Circuit::new(2);
+        c.push(Gate::two(GateKind::Cx, 0, 1));
+        c.push(Gate::two(GateKind::Cx, 0, 1));
+        let graph = line(3);
+        let r = LayoutResult {
+            initial_mapping: vec![0, 1],
+            schedule: vec![0, 2],
+            swaps: vec![SwapOp { edge: 0, finish_time: 1 }], // p0<->p1
+            depth: 3,
+            swap_duration: 1,
+        };
+        assert_eq!(verify(&c, &graph, &r), Ok(()));
+        let phys = emit_physical_circuit(&c, &graph, &r);
+        assert_eq!(phys.num_gates(), 3);
+        // First cx on (0,1), then swap(0,1), then cx with flipped operands.
+        assert_eq!(phys.gate(0).operands, Operands::Two(0, 1));
+        assert_eq!(phys.gate(1).kind, GateKind::Swap);
+        assert_eq!(phys.gate(2).operands, Operands::Two(1, 0));
+    }
+
+    #[test]
+    fn decomposed_emission_is_cx_only() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::two(GateKind::Cx, 0, 1));
+        let graph = line(3);
+        let r = LayoutResult {
+            initial_mapping: vec![0, 2],
+            schedule: vec![2],
+            swaps: vec![SwapOp { edge: 1, finish_time: 1 }],
+            depth: 3,
+            swap_duration: 1,
+        };
+        let phys = emit_physical_circuit(&c, &graph, &r).decompose_swaps();
+        assert_eq!(phys.num_gates(), 4);
+        assert!(phys.gates().iter().all(|g| g.kind == GateKind::Cx));
+    }
+}

@@ -1,0 +1,144 @@
+//! Success-rate estimation for synthesized layouts.
+//!
+//! The paper's motivation (§I) is that depth and SWAP count matter because
+//! they determine a NISQ circuit's *success rate*: every gate multiplies
+//! in an error factor and idle time costs coherence. This module estimates
+//! that figure of merit for a [`LayoutResult`] under a simple but standard
+//! depolarizing + decoherence model, so layouts can be compared by the
+//! quantity the paper ultimately optimizes for.
+
+use crate::result::LayoutResult;
+use olsq2_circuit::Circuit;
+
+/// A device-level error model.
+///
+/// # Examples
+///
+/// ```
+/// use olsq2_layout::ErrorModel;
+/// let m = ErrorModel::default();
+/// assert!(m.single_qubit_fidelity > 0.99);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorModel {
+    /// Fidelity of one single-qubit gate.
+    pub single_qubit_fidelity: f64,
+    /// Fidelity of one two-qubit gate.
+    pub two_qubit_fidelity: f64,
+    /// Per-qubit, per-time-step idle (decoherence) fidelity.
+    pub idle_fidelity: f64,
+}
+
+impl Default for ErrorModel {
+    /// Typical published superconducting-device numbers (~99.9% 1q,
+    /// ~99% 2q, long coherence relative to gate time).
+    fn default() -> Self {
+        ErrorModel {
+            single_qubit_fidelity: 0.999,
+            two_qubit_fidelity: 0.99,
+            idle_fidelity: 0.9995,
+        }
+    }
+}
+
+/// Estimates the success probability of a layout: the product of gate
+/// fidelities (SWAPs decompose into three two-qubit gates) and idle decay
+/// over `depth × program qubits` qubit-steps.
+///
+/// The absolute number is model-dependent; its value is in *comparing*
+/// layouts — fewer SWAPs and shallower depth always score higher, which
+/// is exactly the paper's optimization rationale.
+///
+/// # Examples
+///
+/// ```
+/// use olsq2_layout::{estimate_success_rate, ErrorModel, LayoutResult};
+/// use olsq2_circuit::{Circuit, Gate, GateKind};
+/// let mut c = Circuit::new(2);
+/// c.push(Gate::two(GateKind::Cx, 0, 1));
+/// let r = LayoutResult {
+///     initial_mapping: vec![0, 1],
+///     schedule: vec![0],
+///     swaps: vec![],
+///     depth: 1,
+///     swap_duration: 3,
+/// };
+/// let p = estimate_success_rate(&c, &r, &ErrorModel::default());
+/// assert!(p > 0.98 && p < 1.0);
+/// ```
+pub fn estimate_success_rate(
+    circuit: &Circuit,
+    result: &LayoutResult,
+    model: &ErrorModel,
+) -> f64 {
+    let g1 = circuit.num_single_qubit_gates() as f64;
+    let g2 = circuit.num_two_qubit_gates() as f64;
+    let swaps = result.swap_count() as f64;
+    let busy_steps = g1 + 2.0 * g2 + 2.0 * swaps * result.swap_duration.max(1) as f64;
+    let total_steps = (result.depth * circuit.num_qubits()) as f64;
+    let idle_steps = (total_steps - busy_steps).max(0.0);
+    model.single_qubit_fidelity.powf(g1)
+        * model.two_qubit_fidelity.powf(g2 + 3.0 * swaps)
+        * model.idle_fidelity.powf(idle_steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::SwapOp;
+    use olsq2_circuit::{Gate, GateKind};
+
+    fn base() -> (Circuit, LayoutResult) {
+        let mut c = Circuit::new(2);
+        c.push(Gate::two(GateKind::Cx, 0, 1));
+        let r = LayoutResult {
+            initial_mapping: vec![0, 1],
+            schedule: vec![0],
+            swaps: vec![],
+            depth: 1,
+            swap_duration: 1,
+        };
+        (c, r)
+    }
+
+    #[test]
+    fn swaps_reduce_success_rate() {
+        let (c, r0) = base();
+        let mut r1 = r0.clone();
+        r1.swaps.push(SwapOp { edge: 0, finish_time: 0 });
+        let m = ErrorModel::default();
+        assert!(estimate_success_rate(&c, &r1, &m) < estimate_success_rate(&c, &r0, &m));
+    }
+
+    #[test]
+    fn depth_reduces_success_rate() {
+        let (c, r0) = base();
+        let mut deep = r0.clone();
+        deep.depth = 50;
+        deep.schedule = vec![49];
+        let m = ErrorModel::default();
+        assert!(estimate_success_rate(&c, &deep, &m) < estimate_success_rate(&c, &r0, &m));
+    }
+
+    #[test]
+    fn perfect_model_gives_one() {
+        let (c, r) = base();
+        let m = ErrorModel {
+            single_qubit_fidelity: 1.0,
+            two_qubit_fidelity: 1.0,
+            idle_fidelity: 1.0,
+        };
+        assert_eq!(estimate_success_rate(&c, &r, &m), 1.0);
+    }
+
+    #[test]
+    fn rates_stay_in_unit_interval() {
+        let (c, mut r) = base();
+        r.depth = 1000;
+        for e in 0..5 {
+            r.swaps.push(SwapOp { edge: e, finish_time: 0 });
+        }
+        let p = estimate_success_rate(&c, &r, &ErrorModel::default());
+        assert!((0.0..=1.0).contains(&p));
+    }
+}

@@ -1,0 +1,43 @@
+//! # olsq2-layout
+//!
+//! Shared layout-synthesis result model for the OLSQ2 reproduction: the
+//! [`LayoutResult`] type (initial mapping `π⁰`, gate schedule `t_g`,
+//! inserted SWAPs), the [`verify`] oracle that checks the five validity
+//! constraints of the paper's §II-A, and [`emit_physical_circuit`] which
+//! reconstructs the executable circuit of Fig. 4.
+//!
+//! Both the exact synthesizers (`olsq2` crate) and the heuristic baselines
+//! (`olsq2-heuristic`) produce this type, and every test in the workspace
+//! funnels results through [`verify`].
+//!
+//! ## Example
+//!
+//! ```
+//! use olsq2_layout::{verify, LayoutResult};
+//! use olsq2_arch::line;
+//! use olsq2_circuit::{Circuit, Gate, GateKind};
+//!
+//! let mut circuit = Circuit::new(2);
+//! circuit.push(Gate::two(GateKind::Cx, 0, 1));
+//! let result = LayoutResult {
+//!     initial_mapping: vec![0, 1],
+//!     schedule: vec![0],
+//!     swaps: vec![],
+//!     depth: 1,
+//!     swap_duration: 3,
+//! };
+//! assert_eq!(verify(&circuit, &line(2), &result), Ok(()));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod emit;
+mod fidelity;
+mod result;
+mod verify;
+
+pub use emit::emit_physical_circuit;
+pub use fidelity::{estimate_success_rate, ErrorModel};
+pub use result::{LayoutResult, SwapOp};
+pub use verify::{verify, verify_with_dag, Violation};

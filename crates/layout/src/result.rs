@@ -1,0 +1,136 @@
+//! Layout synthesis outputs: qubit mappings, gate schedules, and SWAPs.
+
+use std::fmt;
+
+/// A SWAP operation inserted by the synthesizer.
+///
+/// Per the paper's convention, a SWAP on edge `e` *finishes* at
+/// `finish_time` and occupies both endpoints for the preceding
+/// `swap_duration` steps (`finish_time - S_D + 1 ..= finish_time`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SwapOp {
+    /// Index of the coupling-graph edge the SWAP acts on.
+    pub edge: usize,
+    /// The last time step the SWAP occupies.
+    pub finish_time: usize,
+}
+
+/// A complete layout synthesis result for one circuit on one device:
+/// initial mapping `π⁰`, a schedule `t_g` per gate, and the inserted
+/// SWAPs. Mappings at later times are derived by replaying the SWAPs.
+///
+/// # Examples
+///
+/// ```
+/// use olsq2_layout::{LayoutResult, SwapOp};
+/// let r = LayoutResult {
+///     initial_mapping: vec![0, 1, 2],
+///     schedule: vec![0, 1],
+///     swaps: vec![SwapOp { edge: 0, finish_time: 0 }],
+///     depth: 2,
+///     swap_duration: 1,
+/// };
+/// assert_eq!(r.swap_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayoutResult {
+    /// `initial_mapping[q]` is the physical qubit hosting program qubit `q`
+    /// at time 0 (`π_q⁰`).
+    pub initial_mapping: Vec<u16>,
+    /// `schedule[g]` is the execution time step of gate `g` (`t_g`),
+    /// index-aligned with the circuit's gate list.
+    pub schedule: Vec<usize>,
+    /// Inserted SWAP operations.
+    pub swaps: Vec<SwapOp>,
+    /// Total number of time steps used (1 + the latest finish time).
+    pub depth: usize,
+    /// SWAP duration `S_D` in time steps (1 for QAOA, 3 otherwise in the
+    /// paper's experiments).
+    pub swap_duration: usize,
+}
+
+impl LayoutResult {
+    /// Number of inserted SWAP gates.
+    pub fn swap_count(&self) -> usize {
+        self.swaps.len()
+    }
+
+    /// The program→physical mapping in effect *at* time step `t` — SWAPs
+    /// take effect the step after they finish (`π⁹` after a SWAP finishing
+    /// at 8, as in the paper's Fig. 4).
+    ///
+    /// `edges[e]` must be the device edge list the SWAP indices refer to.
+    pub fn mapping_at(&self, t: usize, edges: &[(u16, u16)]) -> Vec<u16> {
+        let mut mapping = self.initial_mapping.clone();
+        let mut ordered: Vec<&SwapOp> = self.swaps.iter().filter(|s| s.finish_time < t).collect();
+        ordered.sort_by_key(|s| s.finish_time);
+        for swap in ordered {
+            let (a, b) = edges[swap.edge];
+            for m in &mut mapping {
+                if *m == a {
+                    *m = b;
+                } else if *m == b {
+                    *m = a;
+                }
+            }
+        }
+        mapping
+    }
+
+    /// The mapping after all SWAPs completed.
+    pub fn final_mapping(&self, edges: &[(u16, u16)]) -> Vec<u16> {
+        self.mapping_at(usize::MAX, edges)
+    }
+}
+
+impl fmt::Display for LayoutResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "depth {} / {} swaps (S_D={})",
+            self.depth,
+            self.swaps.len(),
+            self.swap_duration
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_replay_matches_fig4_convention() {
+        // Two program qubits on a 2-qubit line; one SWAP finishing at t=2.
+        let r = LayoutResult {
+            initial_mapping: vec![0, 1],
+            schedule: vec![],
+            swaps: vec![SwapOp { edge: 0, finish_time: 2 }],
+            depth: 4,
+            swap_duration: 3,
+        };
+        let edges = [(0u16, 1u16)];
+        assert_eq!(r.mapping_at(0, &edges), vec![0, 1]);
+        assert_eq!(r.mapping_at(2, &edges), vec![0, 1]); // still during the swap
+        assert_eq!(r.mapping_at(3, &edges), vec![1, 0]); // effective after finish
+        assert_eq!(r.final_mapping(&edges), vec![1, 0]);
+    }
+
+    #[test]
+    fn swaps_compose_in_time_order() {
+        // Line 0-1-2; swap(0,1) finishing t=0, then swap(1,2) finishing t=1.
+        let edges = [(0u16, 1u16), (1, 2)];
+        let r = LayoutResult {
+            initial_mapping: vec![0, 1, 2],
+            schedule: vec![],
+            swaps: vec![
+                SwapOp { edge: 1, finish_time: 1 },
+                SwapOp { edge: 0, finish_time: 0 },
+            ],
+            depth: 3,
+            swap_duration: 1,
+        };
+        // After swap(0,1): [1,0,2]; after swap(1,2): [2,0,1].
+        assert_eq!(r.final_mapping(&edges), vec![2, 0, 1]);
+    }
+}

@@ -1,0 +1,402 @@
+//! The validity oracle: checks a [`LayoutResult`] against the five
+//! constraints of §II-A. Every synthesizer and baseline in this repository
+//! is tested through this verifier.
+
+use crate::result::LayoutResult;
+use olsq2_arch::CouplingGraph;
+use olsq2_circuit::{Circuit, DependencyGraph, Operands};
+use std::fmt;
+
+/// A violated validity constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// The schedule length does not match the gate count, or a mapping has
+    /// the wrong arity.
+    Malformed(String),
+    /// Constraint 1: two program qubits share a physical qubit.
+    MappingNotInjective {
+        /// Time step of the collision.
+        time: usize,
+        /// The colliding program qubits.
+        qubits: (u16, u16),
+    },
+    /// Constraint 2: a dependency `(g, g')` is scheduled out of order.
+    DependencyViolated {
+        /// The earlier gate in program order.
+        earlier: usize,
+        /// The later gate scheduled at or before the earlier one.
+        later: usize,
+    },
+    /// Constraint 3: a two-qubit gate executes on non-adjacent qubits.
+    GateNotAdjacent {
+        /// The gate index.
+        gate: usize,
+        /// Its scheduled time.
+        time: usize,
+        /// The physical qubits it would run on.
+        physical: (u16, u16),
+    },
+    /// Constraint 5: a SWAP overlaps another operation on a qubit.
+    Overlap {
+        /// The physical qubit with two simultaneous operations.
+        physical: u16,
+        /// The time step of the collision.
+        time: usize,
+    },
+    /// A gate or SWAP is scheduled outside `0..depth`, or a SWAP starts
+    /// before time 0.
+    OutOfWindow(String),
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Malformed(m) => write!(f, "malformed result: {m}"),
+            Violation::MappingNotInjective { time, qubits } => write!(
+                f,
+                "qubits q{} and q{} mapped to the same physical qubit at t={time}",
+                qubits.0, qubits.1
+            ),
+            Violation::DependencyViolated { earlier, later } => {
+                write!(f, "gate g{later} scheduled no later than its predecessor g{earlier}")
+            }
+            Violation::GateNotAdjacent { gate, time, physical } => write!(
+                f,
+                "two-qubit gate g{gate} at t={time} on non-adjacent p{} and p{}",
+                physical.0, physical.1
+            ),
+            Violation::Overlap { physical, time } => {
+                write!(f, "two operations occupy p{physical} at t={time}")
+            }
+            Violation::OutOfWindow(m) => write!(f, "operation outside the time window: {m}"),
+        }
+    }
+}
+
+/// Checks all five §II-A constraints with the paper's plain dependency
+/// rule. Returns every violation found.
+///
+/// # Errors
+///
+/// Returns the non-empty list of violations if the result is invalid.
+pub fn verify(
+    circuit: &Circuit,
+    graph: &CouplingGraph,
+    result: &LayoutResult,
+) -> Result<(), Vec<Violation>> {
+    verify_with_dag(circuit, graph, result, &DependencyGraph::new(circuit))
+}
+
+/// Like [`verify`], but dependency ordering (constraint 2) is checked
+/// against a caller-supplied dependency graph — used with
+/// [`DependencyGraph::new_with_commutation`] when commuting gates were
+/// allowed to reorder (gate absorption).
+///
+/// # Errors
+///
+/// Returns the non-empty list of violations if the result is invalid.
+pub fn verify_with_dag(
+    circuit: &Circuit,
+    graph: &CouplingGraph,
+    result: &LayoutResult,
+    dag: &DependencyGraph,
+) -> Result<(), Vec<Violation>> {
+    let mut violations = Vec::new();
+    let sd = result.swap_duration.max(1);
+
+    if result.schedule.len() != circuit.num_gates() {
+        violations.push(Violation::Malformed(format!(
+            "schedule has {} entries for {} gates",
+            result.schedule.len(),
+            circuit.num_gates()
+        )));
+        return Err(violations);
+    }
+    if result.initial_mapping.len() != circuit.num_qubits() {
+        violations.push(Violation::Malformed(format!(
+            "initial mapping has {} entries for {} program qubits",
+            result.initial_mapping.len(),
+            circuit.num_qubits()
+        )));
+        return Err(violations);
+    }
+    if result
+        .initial_mapping
+        .iter()
+        .any(|&p| (p as usize) >= graph.num_qubits())
+    {
+        violations.push(Violation::Malformed(
+            "initial mapping targets nonexistent physical qubit".into(),
+        ));
+        return Err(violations);
+    }
+
+    // Constraint 1 (initial injectivity; SWAP replay preserves it).
+    let mut owner = vec![None::<u16>; graph.num_qubits()];
+    for (q, &p) in result.initial_mapping.iter().enumerate() {
+        if let Some(other) = owner[p as usize] {
+            violations.push(Violation::MappingNotInjective {
+                time: 0,
+                qubits: (other, q as u16),
+            });
+        }
+        owner[p as usize] = Some(q as u16);
+    }
+
+    // Constraint 2: dependencies strictly ordered.
+    for &(g, g2) in dag.dependencies() {
+        if result.schedule[g] >= result.schedule[g2] {
+            violations.push(Violation::DependencyViolated { earlier: g, later: g2 });
+        }
+    }
+
+    // Time window checks.
+    for (g, &t) in result.schedule.iter().enumerate() {
+        if t >= result.depth {
+            violations.push(Violation::OutOfWindow(format!(
+                "gate g{g} at t={t} with depth {}",
+                result.depth
+            )));
+        }
+    }
+    for swap in &result.swaps {
+        if swap.edge >= graph.num_edges() {
+            violations.push(Violation::Malformed(format!(
+                "swap references edge {} of {}",
+                swap.edge,
+                graph.num_edges()
+            )));
+            return Err(violations);
+        }
+        if swap.finish_time >= result.depth {
+            violations.push(Violation::OutOfWindow(format!(
+                "swap finishing at t={} with depth {}",
+                swap.finish_time, result.depth
+            )));
+        }
+        if swap.finish_time + 1 < sd {
+            violations.push(Violation::OutOfWindow(format!(
+                "swap finishing at t={} would start before t=0 (S_D={sd})",
+                swap.finish_time
+            )));
+        }
+    }
+
+    // Constraints 3–5 via occupancy replay over time.
+    let edges = graph.edges();
+    // occupancy[p] = last time step at which p was seen busy, with an op id.
+    let depth = result.depth;
+    let mut busy: Vec<Vec<(usize, usize)>> = vec![Vec::new(); graph.num_qubits()]; // (time, op)
+    let mut op_id = 0usize;
+    // SWAP occupancy.
+    for swap in &result.swaps {
+        let (a, b) = edges[swap.edge];
+        let start = (swap.finish_time + 1).saturating_sub(sd);
+        for t in start..=swap.finish_time.min(depth.saturating_sub(1)) {
+            busy[a as usize].push((t, op_id));
+            busy[b as usize].push((t, op_id));
+        }
+        op_id += 1;
+    }
+    // Gate occupancy + adjacency, evaluated under the mapping at t_g.
+    for (g, gate) in circuit.gates().iter().enumerate() {
+        let t = result.schedule[g];
+        let mapping = result.mapping_at(t, edges);
+        match gate.operands {
+            Operands::One(q) => {
+                busy[mapping[q as usize] as usize].push((t, op_id));
+            }
+            Operands::Two(q, q2) => {
+                let (pa, pb) = (mapping[q as usize], mapping[q2 as usize]);
+                if !graph.is_adjacent(pa, pb) {
+                    violations.push(Violation::GateNotAdjacent {
+                        gate: g,
+                        time: t,
+                        physical: (pa, pb),
+                    });
+                }
+                busy[pa as usize].push((t, op_id));
+                busy[pb as usize].push((t, op_id));
+            }
+        }
+        op_id += 1;
+    }
+    // Collision scan.
+    for (p, slots) in busy.iter_mut().enumerate() {
+        slots.sort_unstable();
+        for w in slots.windows(2) {
+            if w[0].0 == w[1].0 && w[0].1 != w[1].1 {
+                violations.push(Violation::Overlap {
+                    physical: p as u16,
+                    time: w[0].0,
+                });
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::SwapOp;
+    use olsq2_arch::line;
+    use olsq2_circuit::{Gate, GateKind};
+
+    fn cx_chain() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.push(Gate::two(GateKind::Cx, 0, 1));
+        c.push(Gate::two(GateKind::Cx, 1, 2));
+        c
+    }
+
+    #[test]
+    fn accepts_identity_layout() {
+        let circuit = cx_chain();
+        let graph = line(3);
+        let result = LayoutResult {
+            initial_mapping: vec![0, 1, 2],
+            schedule: vec![0, 1],
+            swaps: vec![],
+            depth: 2,
+            swap_duration: 3,
+        };
+        assert_eq!(verify(&circuit, &graph, &result), Ok(()));
+    }
+
+    #[test]
+    fn detects_non_adjacent_gate() {
+        let mut circuit = Circuit::new(2);
+        circuit.push(Gate::two(GateKind::Cx, 0, 1));
+        let graph = line(3);
+        let result = LayoutResult {
+            initial_mapping: vec![0, 2],
+            schedule: vec![0],
+            swaps: vec![],
+            depth: 1,
+            swap_duration: 3,
+        };
+        let errs = verify(&circuit, &graph, &result).unwrap_err();
+        assert!(matches!(errs[0], Violation::GateNotAdjacent { .. }));
+    }
+
+    #[test]
+    fn detects_dependency_violation() {
+        let circuit = cx_chain();
+        let graph = line(3);
+        let result = LayoutResult {
+            initial_mapping: vec![0, 1, 2],
+            schedule: vec![1, 1],
+            swaps: vec![],
+            depth: 2,
+            swap_duration: 3,
+        };
+        let errs = verify(&circuit, &graph, &result).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|v| matches!(v, Violation::DependencyViolated { earlier: 0, later: 1 })));
+    }
+
+    #[test]
+    fn detects_mapping_collision() {
+        let circuit = cx_chain();
+        let graph = line(3);
+        let result = LayoutResult {
+            initial_mapping: vec![0, 1, 1],
+            schedule: vec![0, 1],
+            swaps: vec![],
+            depth: 2,
+            swap_duration: 3,
+        };
+        let errs = verify(&circuit, &graph, &result).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|v| matches!(v, Violation::MappingNotInjective { .. })));
+    }
+
+    #[test]
+    fn swap_enables_distant_gate() {
+        // q0 on p0, q1 on p2 of a 3-line; swap p1-p2 brings q1 next to q0.
+        let mut circuit = Circuit::new(2);
+        circuit.push(Gate::two(GateKind::Cx, 0, 1));
+        let graph = line(3);
+        let result = LayoutResult {
+            initial_mapping: vec![0, 2],
+            schedule: vec![3], // after the swap finishing at 2 (S_D=3: occupies 0..=2)
+            swaps: vec![SwapOp { edge: 1, finish_time: 2 }],
+            depth: 4,
+            swap_duration: 3,
+        };
+        assert_eq!(verify(&circuit, &graph, &result), Ok(()));
+    }
+
+    #[test]
+    fn detects_gate_swap_overlap() {
+        // Gate on p0/p1 at t=1 while a swap occupies p1 during 0..=2.
+        let mut circuit = Circuit::new(2);
+        circuit.push(Gate::two(GateKind::Cx, 0, 1));
+        let graph = line(3);
+        let result = LayoutResult {
+            initial_mapping: vec![0, 1],
+            schedule: vec![1],
+            swaps: vec![SwapOp { edge: 1, finish_time: 2 }],
+            depth: 4,
+            swap_duration: 3,
+        };
+        let errs = verify(&circuit, &graph, &result).unwrap_err();
+        assert!(errs.iter().any(|v| matches!(v, Violation::Overlap { physical: 1, .. })));
+    }
+
+    #[test]
+    fn detects_out_of_window_ops() {
+        let mut circuit = Circuit::new(2);
+        circuit.push(Gate::two(GateKind::Cx, 0, 1));
+        let graph = line(2);
+        let result = LayoutResult {
+            initial_mapping: vec![0, 1],
+            schedule: vec![5],
+            swaps: vec![SwapOp { edge: 0, finish_time: 0 }],
+            depth: 2,
+            swap_duration: 3,
+        };
+        let errs = verify(&circuit, &graph, &result).unwrap_err();
+        // Gate at t=5 beyond depth 2, and a swap that would start at t=-2.
+        assert!(errs.iter().filter(|v| matches!(v, Violation::OutOfWindow(_))).count() >= 2);
+    }
+
+    #[test]
+    fn rejects_malformed_schedule() {
+        let circuit = cx_chain();
+        let graph = line(3);
+        let result = LayoutResult {
+            initial_mapping: vec![0, 1, 2],
+            schedule: vec![0],
+            swaps: vec![],
+            depth: 1,
+            swap_duration: 1,
+        };
+        let errs = verify(&circuit, &graph, &result).unwrap_err();
+        assert!(matches!(errs[0], Violation::Malformed(_)));
+    }
+
+    #[test]
+    fn simultaneous_disjoint_gates_are_fine() {
+        let mut circuit = Circuit::new(4);
+        circuit.push(Gate::two(GateKind::Cx, 0, 1));
+        circuit.push(Gate::two(GateKind::Cx, 2, 3));
+        let graph = line(4);
+        let result = LayoutResult {
+            initial_mapping: vec![0, 1, 2, 3],
+            schedule: vec![0, 0],
+            swaps: vec![],
+            depth: 1,
+            swap_duration: 1,
+        };
+        assert_eq!(verify(&circuit, &graph, &result), Ok(()));
+    }
+}

@@ -1,0 +1,266 @@
+//! Arena storage for clauses.
+//!
+//! Clauses live in one contiguous `Vec<u32>` and are addressed by
+//! [`ClauseRef`]. Each record is `[header, (activity, lbd)?, lit0, lit1, …]`:
+//!
+//! * `header = len << 2 | deleted << 1 | learnt`
+//! * learnt clauses carry two extra words: an `f32` activity (bitcast) and
+//!   the literal-block distance (LBD) measured when the clause was learned.
+//!
+//! Deleting a clause only marks it; [`ClauseDb::compact`] rebuilds the arena
+//! and returns a relocation table so the solver can patch watchers and
+//! reasons.
+
+use crate::lit::{ClauseRef, Lit};
+use std::collections::HashMap;
+use std::num::NonZeroU32;
+
+const LEARNT_BIT: u32 = 1;
+const DELETED_BIT: u32 = 2;
+
+/// Arena of clauses addressed by [`ClauseRef`].
+///
+/// # Examples
+///
+/// ```
+/// use olsq2_sat::clause::ClauseDb;
+/// use olsq2_sat::{Lit, Var};
+/// let mut db = ClauseDb::new();
+/// let a = Lit::positive(Var::from_index(0));
+/// let b = Lit::positive(Var::from_index(1));
+/// let cref = db.alloc(&[a, b], false);
+/// assert_eq!(db.lits(cref), &[a, b]);
+/// assert!(!db.is_learnt(cref));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClauseDb {
+    arena: Vec<u32>,
+    /// Number of `u32` words occupied by deleted records.
+    wasted: usize,
+}
+
+impl Default for ClauseDb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClauseDb {
+    /// Creates an empty arena.
+    pub fn new() -> ClauseDb {
+        // Index 0 is a sentinel so ClauseRef can be NonZeroU32.
+        ClauseDb {
+            arena: vec![0],
+            wasted: 0,
+        }
+    }
+
+    /// Allocates a clause; `learnt` selects the extended record with
+    /// activity and LBD words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lits` is empty; empty clauses are handled by the solver
+    /// as an immediate UNSAT flag, never stored.
+    pub fn alloc(&mut self, lits: &[Lit], learnt: bool) -> ClauseRef {
+        assert!(!lits.is_empty(), "empty clauses are not stored in the arena");
+        let at = self.arena.len() as u32;
+        let header = (lits.len() as u32) << 2 | if learnt { LEARNT_BIT } else { 0 };
+        self.arena.push(header);
+        if learnt {
+            self.arena.push(0f32.to_bits());
+            self.arena.push(lits.len() as u32); // initial LBD upper bound
+        }
+        self.arena.extend(lits.iter().map(|l| l.0));
+        ClauseRef(NonZeroU32::new(at).expect("arena index 0 is reserved"))
+    }
+
+    #[inline]
+    fn header(&self, cref: ClauseRef) -> u32 {
+        self.arena[cref.0.get() as usize]
+    }
+
+    #[inline]
+    fn lits_start(&self, cref: ClauseRef) -> usize {
+        let base = cref.0.get() as usize;
+        if self.header(cref) & LEARNT_BIT != 0 {
+            base + 3
+        } else {
+            base + 1
+        }
+    }
+
+    /// Number of literals in the clause.
+    #[inline]
+    pub fn len(&self, cref: ClauseRef) -> usize {
+        (self.header(cref) >> 2) as usize
+    }
+
+    /// Whether the arena holds no live clauses. Mostly useful in tests.
+    pub fn is_empty(&self) -> bool {
+        self.arena.len() == 1
+    }
+
+    /// Whether the clause was learned during conflict analysis.
+    #[inline]
+    pub fn is_learnt(&self, cref: ClauseRef) -> bool {
+        self.header(cref) & LEARNT_BIT != 0
+    }
+
+    /// Whether the clause has been marked deleted.
+    #[inline]
+    pub fn is_deleted(&self, cref: ClauseRef) -> bool {
+        self.header(cref) & DELETED_BIT != 0
+    }
+
+    /// Marks the clause deleted (lazily removed from watchers, reclaimed by
+    /// [`ClauseDb::compact`]).
+    #[inline]
+    pub fn delete(&mut self, cref: ClauseRef) {
+        let base = cref.0.get() as usize;
+        if self.arena[base] & DELETED_BIT == 0 {
+            self.arena[base] |= DELETED_BIT;
+            let extra = if self.arena[base] & LEARNT_BIT != 0 { 3 } else { 1 };
+            self.wasted += extra + self.len(cref);
+        }
+    }
+
+    /// The literals of the clause.
+    #[inline]
+    pub fn lits(&self, cref: ClauseRef) -> &[Lit] {
+        let start = self.lits_start(cref);
+        let len = self.len(cref);
+        // SAFETY: `Lit` is #[repr(transparent)] over u32 with no invariants,
+        // and the words at `start..start+len` were written from `Lit` codes.
+        unsafe { std::slice::from_raw_parts(self.arena[start..start + len].as_ptr().cast(), len) }
+    }
+
+    /// Mutable access to the literals (used to reorder watched positions).
+    #[inline]
+    pub fn lits_mut(&mut self, cref: ClauseRef) -> &mut [Lit] {
+        let start = self.lits_start(cref);
+        let len = self.len(cref);
+        // SAFETY: see `lits`.
+        unsafe {
+            std::slice::from_raw_parts_mut(self.arena[start..start + len].as_mut_ptr().cast(), len)
+        }
+    }
+
+    /// Learned-clause activity, used for deletion ranking.
+    #[inline]
+    pub fn activity(&self, cref: ClauseRef) -> f32 {
+        debug_assert!(self.is_learnt(cref));
+        f32::from_bits(self.arena[cref.0.get() as usize + 1])
+    }
+
+    /// Sets the learned-clause activity.
+    #[inline]
+    pub fn set_activity(&mut self, cref: ClauseRef, activity: f32) {
+        debug_assert!(self.is_learnt(cref));
+        self.arena[cref.0.get() as usize + 1] = activity.to_bits();
+    }
+
+    /// Literal-block distance recorded for a learned clause.
+    #[inline]
+    pub fn lbd(&self, cref: ClauseRef) -> u32 {
+        debug_assert!(self.is_learnt(cref));
+        self.arena[cref.0.get() as usize + 2]
+    }
+
+    /// Updates the LBD (kept as the minimum seen).
+    #[inline]
+    pub fn set_lbd(&mut self, cref: ClauseRef, lbd: u32) {
+        debug_assert!(self.is_learnt(cref));
+        self.arena[cref.0.get() as usize + 2] = lbd;
+    }
+
+    /// Fraction of the arena occupied by deleted records.
+    pub fn wasted_ratio(&self) -> f64 {
+        self.wasted as f64 / self.arena.len() as f64
+    }
+
+    /// Rebuilds the arena without deleted records and returns the
+    /// old-to-new relocation map. Every live [`ClauseRef`] held elsewhere
+    /// (watchers, reasons, clause lists) must be translated through it.
+    pub fn compact(&mut self) -> HashMap<ClauseRef, ClauseRef> {
+        let mut new_arena = Vec::with_capacity(self.arena.len() - self.wasted);
+        new_arena.push(0);
+        let mut remap = HashMap::new();
+        let mut i = 1usize;
+        while i < self.arena.len() {
+            let header = self.arena[i];
+            let len = (header >> 2) as usize;
+            let learnt = header & LEARNT_BIT != 0;
+            let extra = if learnt { 3 } else { 1 };
+            let record = extra + len;
+            if header & DELETED_BIT == 0 {
+                let old = ClauseRef(NonZeroU32::new(i as u32).expect("nonzero"));
+                let new = ClauseRef(NonZeroU32::new(new_arena.len() as u32).expect("nonzero"));
+                new_arena.extend_from_slice(&self.arena[i..i + record]);
+                remap.insert(old, new);
+            }
+            i += record;
+        }
+        self.arena = new_arena;
+        self.wasted = 0;
+        remap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Var;
+
+    fn lit(i: usize) -> Lit {
+        Lit::positive(Var::from_index(i))
+    }
+
+    #[test]
+    fn alloc_and_read_back() {
+        let mut db = ClauseDb::new();
+        let c1 = db.alloc(&[lit(0), !lit(1), lit(2)], false);
+        let c2 = db.alloc(&[lit(3), lit(4)], true);
+        assert_eq!(db.lits(c1), &[lit(0), !lit(1), lit(2)]);
+        assert_eq!(db.lits(c2), &[lit(3), lit(4)]);
+        assert_eq!(db.len(c1), 3);
+        assert!(db.is_learnt(c2));
+        assert!(!db.is_learnt(c1));
+        assert_eq!(db.lbd(c2), 2);
+    }
+
+    #[test]
+    fn activity_roundtrip() {
+        let mut db = ClauseDb::new();
+        let c = db.alloc(&[lit(0), lit(1)], true);
+        db.set_activity(c, 3.25);
+        assert_eq!(db.activity(c), 3.25);
+        db.set_lbd(c, 1);
+        assert_eq!(db.lbd(c), 1);
+    }
+
+    #[test]
+    fn delete_and_compact() {
+        let mut db = ClauseDb::new();
+        let c1 = db.alloc(&[lit(0), lit(1)], false);
+        let c2 = db.alloc(&[lit(2), lit(3), lit(4)], true);
+        let c3 = db.alloc(&[lit(5), lit(6)], false);
+        db.delete(c2);
+        assert!(db.is_deleted(c2));
+        let remap = db.compact();
+        assert_eq!(remap.len(), 2);
+        let n1 = remap[&c1];
+        let n3 = remap[&c3];
+        assert_eq!(db.lits(n1), &[lit(0), lit(1)]);
+        assert_eq!(db.lits(n3), &[lit(5), lit(6)]);
+        assert!(!remap.contains_key(&c2));
+    }
+
+    #[test]
+    fn lits_mut_reorders() {
+        let mut db = ClauseDb::new();
+        let c = db.alloc(&[lit(0), lit(1), lit(2)], false);
+        db.lits_mut(c).swap(0, 2);
+        assert_eq!(db.lits(c), &[lit(2), lit(1), lit(0)]);
+    }
+}

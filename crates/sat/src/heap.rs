@@ -1,0 +1,217 @@
+//! Indexed binary max-heap ordering variables by VSIDS activity.
+//!
+//! The heap stores variable indices and keeps a reverse `positions` table so
+//! [`VarHeap::update`] (activity bump of an enqueued variable) is `O(log n)`
+//! and membership checks are `O(1)`.
+
+use crate::lit::Var;
+
+/// Max-heap of decision candidates keyed by an external activity table.
+///
+/// # Examples
+///
+/// ```
+/// use olsq2_sat::heap::VarHeap;
+/// use olsq2_sat::Var;
+/// let mut heap = VarHeap::new();
+/// let act = vec![1.0, 5.0, 3.0];
+/// for i in 0..3 {
+///     heap.grow(Var::from_index(i));
+///     heap.insert(Var::from_index(i), &act);
+/// }
+/// assert_eq!(heap.pop(&act), Some(Var::from_index(1)));
+/// assert_eq!(heap.pop(&act), Some(Var::from_index(2)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VarHeap {
+    heap: Vec<Var>,
+    /// `positions[v] == usize::MAX` when `v` is not in the heap.
+    positions: Vec<usize>,
+}
+
+const NOT_IN_HEAP: usize = usize::MAX;
+
+impl VarHeap {
+    /// Creates an empty heap.
+    pub fn new() -> VarHeap {
+        VarHeap::default()
+    }
+
+    /// Makes room for `var`; must be called once per new variable.
+    pub fn grow(&mut self, var: Var) {
+        if self.positions.len() <= var.index() {
+            self.positions.resize(var.index() + 1, NOT_IN_HEAP);
+        }
+    }
+
+    /// Whether the heap currently contains `var`.
+    #[inline]
+    pub fn contains(&self, var: Var) -> bool {
+        self.positions
+            .get(var.index())
+            .is_some_and(|&p| p != NOT_IN_HEAP)
+    }
+
+    /// Number of enqueued variables.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no variable is enqueued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Inserts `var` (no-op if present), restoring the heap property using
+    /// `activity` as the key.
+    pub fn insert(&mut self, var: Var, activity: &[f64]) {
+        if self.contains(var) {
+            return;
+        }
+        let pos = self.heap.len();
+        self.heap.push(var);
+        self.positions[var.index()] = pos;
+        self.sift_up(pos, activity);
+    }
+
+    /// Removes and returns the variable with the highest activity.
+    pub fn pop(&mut self, activity: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("nonempty");
+        self.positions[top.index()] = NOT_IN_HEAP;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.positions[last.index()] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Re-sifts `var` after its activity increased.
+    pub fn update(&mut self, var: Var, activity: &[f64]) {
+        if let Some(&pos) = self.positions.get(var.index()) {
+            if pos != NOT_IN_HEAP {
+                self.sift_up(pos, activity);
+            }
+        }
+    }
+
+    /// Rebuilds the heap from scratch (used after a global activity rescale,
+    /// where relative order is preserved, so this is normally unnecessary;
+    /// kept for completeness and tests).
+    pub fn rebuild(&mut self, activity: &[f64]) {
+        let vars = std::mem::take(&mut self.heap);
+        for p in &mut self.positions {
+            *p = NOT_IN_HEAP;
+        }
+        for v in vars {
+            self.insert(v, activity);
+        }
+    }
+
+    fn sift_up(&mut self, mut pos: usize, activity: &[f64]) {
+        let var = self.heap[pos];
+        let key = activity[var.index()];
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            let pvar = self.heap[parent];
+            if activity[pvar.index()] >= key {
+                break;
+            }
+            self.heap[pos] = pvar;
+            self.positions[pvar.index()] = pos;
+            pos = parent;
+        }
+        self.heap[pos] = var;
+        self.positions[var.index()] = pos;
+    }
+
+    fn sift_down(&mut self, mut pos: usize, activity: &[f64]) {
+        let var = self.heap[pos];
+        let key = activity[var.index()];
+        loop {
+            let left = 2 * pos + 1;
+            if left >= self.heap.len() {
+                break;
+            }
+            let right = left + 1;
+            let mut child = left;
+            if right < self.heap.len()
+                && activity[self.heap[right].index()] > activity[self.heap[left].index()]
+            {
+                child = right;
+            }
+            let cvar = self.heap[child];
+            if key >= activity[cvar.index()] {
+                break;
+            }
+            self.heap[pos] = cvar;
+            self.positions[cvar.index()] = pos;
+            pos = child;
+        }
+        self.heap[pos] = var;
+        self.positions[var.index()] = pos;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> Var {
+        Var::from_index(i)
+    }
+
+    #[test]
+    fn pops_in_activity_order() {
+        let act = vec![0.5, 9.0, 3.0, 7.0, 1.0];
+        let mut h = VarHeap::new();
+        for i in 0..5 {
+            h.grow(v(i));
+            h.insert(v(i), &act);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| h.pop(&act)).map(Var::index).collect();
+        assert_eq!(order, vec![1, 3, 2, 4, 0]);
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let act = vec![1.0, 2.0];
+        let mut h = VarHeap::new();
+        h.grow(v(0));
+        h.grow(v(1));
+        h.insert(v(0), &act);
+        h.insert(v(0), &act);
+        h.insert(v(1), &act);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn update_resifts() {
+        let mut act = vec![1.0, 2.0, 3.0];
+        let mut h = VarHeap::new();
+        for i in 0..3 {
+            h.grow(v(i));
+            h.insert(v(i), &act);
+        }
+        act[0] = 10.0;
+        h.update(v(0), &act);
+        assert_eq!(h.pop(&act), Some(v(0)));
+    }
+
+    #[test]
+    fn rebuild_preserves_membership() {
+        let act = vec![2.0, 1.0, 4.0];
+        let mut h = VarHeap::new();
+        for i in 0..3 {
+            h.grow(v(i));
+            h.insert(v(i), &act);
+        }
+        h.pop(&act); // remove v2
+        h.rebuild(&act);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.pop(&act), Some(v(0)));
+        assert_eq!(h.pop(&act), Some(v(1)));
+        assert!(h.pop(&act).is_none());
+    }
+}

@@ -1,0 +1,260 @@
+//! Variable and literal newtypes.
+//!
+//! A [`Var`] is a propositional variable index; a [`Lit`] packs a variable
+//! together with a sign into a single `u32` (`code = var << 1 | sign`,
+//! sign bit set for the *negated* literal). This is the classic MiniSat
+//! layout: `lit ^ 1` negates, and literals index arrays of size `2n`.
+
+use std::fmt;
+use std::num::NonZeroU32;
+use std::ops::Not;
+
+/// A propositional variable.
+///
+/// Variables are created by [`Solver::new_var`](crate::Solver::new_var) and
+/// are dense indices starting at 0.
+///
+/// # Examples
+///
+/// ```
+/// use olsq2_sat::{Solver, Lit};
+/// let mut s = Solver::new();
+/// let v = s.new_var();
+/// assert_eq!(Lit::positive(v).var(), v);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Creates a variable from a raw dense index.
+    ///
+    /// Prefer [`Solver::new_var`](crate::Solver::new_var); this constructor
+    /// exists for serialization and test helpers.
+    #[inline]
+    pub fn from_index(index: usize) -> Var {
+        Var(index as u32)
+    }
+
+    /// The dense index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation.
+///
+/// # Examples
+///
+/// ```
+/// use olsq2_sat::{Lit, Var};
+/// let v = Var::from_index(3);
+/// let p = Lit::positive(v);
+/// assert_eq!(!p, Lit::negative(v));
+/// assert_eq!((!p).var(), v);
+/// assert!((!p).is_negative());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    #[inline]
+    pub fn positive(var: Var) -> Lit {
+        Lit(var.0 << 1)
+    }
+
+    /// The negative literal of `var`.
+    #[inline]
+    pub fn negative(var: Var) -> Lit {
+        Lit(var.0 << 1 | 1)
+    }
+
+    /// Builds a literal from a variable and a sign (`true` = negated).
+    #[inline]
+    pub fn new(var: Var, negated: bool) -> Lit {
+        Lit(var.0 << 1 | negated as u32)
+    }
+
+    /// The underlying variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether this literal is the negation of its variable.
+    #[inline]
+    pub fn is_negative(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Whether this literal is the plain (unnegated) variable.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The dense code of this literal (`2 * var + sign`), used to index
+    /// literal-sized arrays such as watcher lists.
+    #[inline]
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a literal from [`Lit::code`].
+    #[inline]
+    pub fn from_code(code: usize) -> Lit {
+        Lit(code as u32)
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "¬v{}", self.0 >> 1)
+        } else {
+            write!(f, "v{}", self.0 >> 1)
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Three-valued assignment state of a variable or literal.
+///
+/// # Examples
+///
+/// ```
+/// use olsq2_sat::LBool;
+/// assert_eq!(LBool::True.negate(), LBool::False);
+/// assert_eq!(LBool::Undef.negate(), LBool::Undef);
+/// assert_eq!(LBool::from(true), LBool::True);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub enum LBool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Unassigned.
+    #[default]
+    Undef,
+}
+
+impl LBool {
+    /// Logical negation; `Undef` stays `Undef`.
+    #[inline]
+    pub fn negate(self) -> LBool {
+        match self {
+            LBool::True => LBool::False,
+            LBool::False => LBool::True,
+            LBool::Undef => LBool::Undef,
+        }
+    }
+
+    /// Converts to `Option<bool>` (`Undef` becomes `None`).
+    #[inline]
+    pub fn to_option(self) -> Option<bool> {
+        match self {
+            LBool::True => Some(true),
+            LBool::False => Some(false),
+            LBool::Undef => None,
+        }
+    }
+
+    /// Applies the sign of a literal: flips the value when `negated`.
+    #[inline]
+    pub fn apply_sign(self, negated: bool) -> LBool {
+        if negated {
+            self.negate()
+        } else {
+            self
+        }
+    }
+}
+
+impl From<bool> for LBool {
+    #[inline]
+    fn from(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+}
+
+/// Compact reference to a clause in the arena (see [`crate::clause`]).
+///
+/// `ClauseRef` is `NonZeroU32`-based so `Option<ClauseRef>` is a single word.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClauseRef(pub(crate) NonZeroU32);
+
+impl fmt::Debug for ClauseRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c@{}", self.0.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lit_roundtrip() {
+        let v = Var::from_index(7);
+        let p = Lit::positive(v);
+        let n = Lit::negative(v);
+        assert_eq!(!p, n);
+        assert_eq!(!n, p);
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert!(p.is_positive());
+        assert!(n.is_negative());
+        assert_eq!(Lit::from_code(p.code()), p);
+        assert_eq!(Lit::new(v, true), n);
+        assert_eq!(Lit::new(v, false), p);
+    }
+
+    #[test]
+    fn lbool_ops() {
+        assert_eq!(LBool::True.negate(), LBool::False);
+        assert_eq!(LBool::False.negate(), LBool::True);
+        assert_eq!(LBool::Undef.negate(), LBool::Undef);
+        assert_eq!(LBool::True.apply_sign(true), LBool::False);
+        assert_eq!(LBool::True.apply_sign(false), LBool::True);
+        assert_eq!(LBool::Undef.to_option(), None);
+        assert_eq!(LBool::from(false), LBool::False);
+    }
+
+    #[test]
+    fn var_ordering_is_index_ordering() {
+        assert!(Var::from_index(1) < Var::from_index(2));
+        assert_eq!(Var::from_index(5).index(), 5);
+    }
+}

@@ -1,0 +1,309 @@
+//! Clausal proof logging and checking (DRAT-style, RUP lemmas).
+//!
+//! When [`Solver::enable_proof`](crate::Solver::enable_proof) is on, the
+//! solver records every input clause, every learned lemma, every deletion,
+//! and the final empty clause of an UNSAT run. [`Proof::check`] replays
+//! the log with a reverse-unit-propagation (RUP) checker — an independent
+//! implementation sharing no code with the solver's propagation — so
+//! UNSAT answers can be verified without trusting the CDCL engine. This
+//! mirrors how production SMT/SAT pipelines justify optimality proofs,
+//! which in this repository back every "proven optimal" claim.
+
+use crate::lit::Lit;
+use std::collections::HashMap;
+
+/// One event of a clausal proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProofStep {
+    /// An input clause, as given by the user.
+    Original(Vec<Lit>),
+    /// A derived clause; must have the RUP property w.r.t. the clauses
+    /// live at this point.
+    Lemma(Vec<Lit>),
+    /// A clause removed from the database.
+    Delete(Vec<Lit>),
+    /// The empty clause: the formula is unsatisfiable.
+    Empty,
+}
+
+/// A recorded proof.
+#[derive(Debug, Clone, Default)]
+pub struct Proof {
+    steps: Vec<ProofStep>,
+}
+
+/// Errors from [`Proof::check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckProofError {
+    /// A lemma is not RUP at its position.
+    LemmaNotRup {
+        /// Index of the failing step.
+        step: usize,
+    },
+    /// A deletion references a clause that is not in the database.
+    DeleteMissing {
+        /// Index of the failing step.
+        step: usize,
+    },
+    /// The proof claims UNSAT but the empty clause does not follow.
+    EmptyNotDerivable,
+    /// The proof ends without deriving the empty clause.
+    NoEmptyClause,
+}
+
+impl std::fmt::Display for CheckProofError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckProofError::LemmaNotRup { step } => {
+                write!(f, "lemma at step {step} is not RUP")
+            }
+            CheckProofError::DeleteMissing { step } => {
+                write!(f, "deletion at step {step} references an unknown clause")
+            }
+            CheckProofError::EmptyNotDerivable => {
+                write!(f, "empty clause does not follow by unit propagation")
+            }
+            CheckProofError::NoEmptyClause => write!(f, "proof has no empty-clause step"),
+        }
+    }
+}
+
+impl std::error::Error for CheckProofError {}
+
+impl Proof {
+    /// Creates an empty proof log.
+    pub fn new() -> Proof {
+        Proof::default()
+    }
+
+    /// Appends a step.
+    pub fn push(&mut self, step: ProofStep) {
+        self.steps.push(step);
+    }
+
+    /// The recorded steps.
+    pub fn steps(&self) -> &[ProofStep] {
+        &self.steps
+    }
+
+    /// Number of lemma steps (learned clauses).
+    pub fn num_lemmas(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, ProofStep::Lemma(_)))
+            .count()
+    }
+
+    /// Whether the proof ends in the empty clause (claims UNSAT).
+    pub fn claims_unsat(&self) -> bool {
+        self.steps.iter().any(|s| matches!(s, ProofStep::Empty))
+    }
+
+    /// Forward RUP check of the whole log.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing step.
+    pub fn check(&self) -> Result<(), CheckProofError> {
+        let mut db = ClauseSet::default();
+        let mut saw_empty = false;
+        for (i, step) in self.steps.iter().enumerate() {
+            match step {
+                ProofStep::Original(c) => db.insert(c),
+                ProofStep::Lemma(c) => {
+                    if !db.rup(c) {
+                        return Err(CheckProofError::LemmaNotRup { step: i });
+                    }
+                    db.insert(c);
+                }
+                ProofStep::Delete(c) => {
+                    if !db.remove(c) {
+                        return Err(CheckProofError::DeleteMissing { step: i });
+                    }
+                }
+                ProofStep::Empty => {
+                    if !db.rup(&[]) {
+                        return Err(CheckProofError::EmptyNotDerivable);
+                    }
+                    saw_empty = true;
+                }
+            }
+        }
+        if saw_empty {
+            Ok(())
+        } else {
+            Err(CheckProofError::NoEmptyClause)
+        }
+    }
+}
+
+/// A naive clause multiset with a from-scratch unit propagator — slow but
+/// entirely independent of the solver under test.
+#[derive(Debug, Default)]
+struct ClauseSet {
+    clauses: Vec<Vec<Lit>>,
+    /// Sorted-clause → live indices (multiset semantics).
+    index: HashMap<Vec<Lit>, Vec<usize>>,
+    live: Vec<bool>,
+}
+
+fn canonical(c: &[Lit]) -> Vec<Lit> {
+    let mut k = c.to_vec();
+    k.sort_unstable();
+    k.dedup();
+    k
+}
+
+impl ClauseSet {
+    fn insert(&mut self, c: &[Lit]) {
+        let key = canonical(c);
+        let idx = self.clauses.len();
+        self.clauses.push(key.clone());
+        self.live.push(true);
+        self.index.entry(key).or_default().push(idx);
+    }
+
+    fn remove(&mut self, c: &[Lit]) -> bool {
+        let key = canonical(c);
+        if let Some(stack) = self.index.get_mut(&key) {
+            while let Some(idx) = stack.pop() {
+                if self.live[idx] {
+                    self.live[idx] = false;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Reverse unit propagation: assume the negation of `lemma` and
+    /// propagate; `true` iff a conflict arises (the lemma is implied).
+    fn rup(&self, lemma: &[Lit]) -> bool {
+        // Assignment: map var index -> bool.
+        let mut assignment: HashMap<usize, bool> = HashMap::new();
+        for &l in lemma {
+            // ¬lemma: every literal false.
+            let want = l.is_negative(); // var value making l false
+            if let Some(&prev) = assignment.get(&l.var().index()) {
+                if prev != want {
+                    return true; // lemma is a tautology: trivially RUP
+                }
+            }
+            assignment.insert(l.var().index(), want);
+        }
+        loop {
+            let mut changed = false;
+            for (i, clause) in self.clauses.iter().enumerate() {
+                if !self.live[i] {
+                    continue;
+                }
+                let mut unassigned: Option<Lit> = None;
+                let mut satisfied = false;
+                let mut unassigned_count = 0;
+                for &l in clause {
+                    match assignment.get(&l.var().index()) {
+                        Some(&v) => {
+                            if v == l.is_positive() {
+                                satisfied = true;
+                                break;
+                            }
+                        }
+                        None => {
+                            unassigned_count += 1;
+                            unassigned = Some(l);
+                        }
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match unassigned_count {
+                    0 => return true, // conflict: lemma is RUP
+                    1 => {
+                        let l = unassigned.expect("one unassigned literal");
+                        assignment.insert(l.var().index(), l.is_positive());
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                return false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Var;
+
+    fn lit(v: i32) -> Lit {
+        Lit::new(Var::from_index(v.unsigned_abs() as usize - 1), v < 0)
+    }
+
+    fn cls(ls: &[i32]) -> Vec<Lit> {
+        ls.iter().map(|&v| lit(v)).collect()
+    }
+
+    #[test]
+    fn hand_built_resolution_proof_checks() {
+        // (1 2) (1 -2) (-1 3) (-1 -3): classic 4-clause UNSAT.
+        let mut p = Proof::new();
+        p.push(ProofStep::Original(cls(&[1, 2])));
+        p.push(ProofStep::Original(cls(&[1, -2])));
+        p.push(ProofStep::Original(cls(&[-1, 3])));
+        p.push(ProofStep::Original(cls(&[-1, -3])));
+        p.push(ProofStep::Lemma(cls(&[1]))); // resolve first two
+        p.push(ProofStep::Lemma(cls(&[-1]))); // resolve last two
+        p.push(ProofStep::Empty);
+        assert_eq!(p.check(), Ok(()));
+        assert!(p.claims_unsat());
+        assert_eq!(p.num_lemmas(), 2);
+    }
+
+    #[test]
+    fn bogus_lemma_is_rejected() {
+        let mut p = Proof::new();
+        p.push(ProofStep::Original(cls(&[1, 2])));
+        p.push(ProofStep::Lemma(cls(&[1]))); // does not follow
+        p.push(ProofStep::Empty);
+        assert_eq!(p.check(), Err(CheckProofError::LemmaNotRup { step: 1 }));
+    }
+
+    #[test]
+    fn premature_empty_is_rejected() {
+        let mut p = Proof::new();
+        p.push(ProofStep::Original(cls(&[1, 2])));
+        p.push(ProofStep::Empty);
+        assert_eq!(p.check(), Err(CheckProofError::EmptyNotDerivable));
+    }
+
+    #[test]
+    fn missing_empty_is_rejected() {
+        let mut p = Proof::new();
+        p.push(ProofStep::Original(cls(&[1])));
+        assert_eq!(p.check(), Err(CheckProofError::NoEmptyClause));
+    }
+
+    #[test]
+    fn deletion_bookkeeping() {
+        let mut p = Proof::new();
+        p.push(ProofStep::Original(cls(&[1])));
+        p.push(ProofStep::Original(cls(&[-1])));
+        p.push(ProofStep::Delete(cls(&[9]))); // never added
+        assert_eq!(p.check(), Err(CheckProofError::DeleteMissing { step: 2 }));
+    }
+
+    #[test]
+    fn deleted_clauses_stop_supporting_lemmas() {
+        let mut p = Proof::new();
+        p.push(ProofStep::Original(cls(&[1, 2])));
+        p.push(ProofStep::Original(cls(&[1, -2])));
+        p.push(ProofStep::Delete(cls(&[1, 2])));
+        p.push(ProofStep::Lemma(cls(&[1]))); // support was deleted
+        p.push(ProofStep::Empty);
+        assert!(p.check().is_err());
+    }
+}

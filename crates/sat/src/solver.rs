@@ -1,0 +1,1129 @@
+//! The CDCL solver.
+//!
+//! A conventional conflict-driven clause-learning SAT solver in the MiniSat
+//! lineage, with the features the OLSQ2 optimization loops rely on:
+//!
+//! * **incremental solving under assumptions** — bound constraints are
+//!   guarded by activation literals, so tightening an objective bound is a
+//!   new `solve` call that keeps all learned clauses;
+//! * **final-conflict extraction** — which assumptions caused UNSAT;
+//! * **conflict and wall-clock budgets** — `solve` can return
+//!   [`SolveResult::Unknown`], which the optimizers treat as "time budget
+//!   exhausted" per §III-B of the paper.
+//!
+//! Internals: two-watched-literal propagation with blockers, VSIDS with an
+//! indexed heap and phase saving, first-UIP learning with recursive clause
+//! minimization, Luby restarts, LBD-aware learned-clause reduction, and
+//! arena garbage collection.
+
+use crate::clause::ClauseDb;
+use crate::heap::VarHeap;
+use crate::proof::{Proof, ProofStep};
+use crate::lit::{ClauseRef, LBool, Lit, Var};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; read it with [`Solver::model_value`].
+    Sat,
+    /// The formula is unsatisfiable under the given assumptions; inspect
+    /// [`Solver::final_conflict`] for the responsible assumption subset.
+    Unsat,
+    /// A budget (conflicts or deadline) expired before an answer was found.
+    Unknown,
+}
+
+impl SolveResult {
+    /// Whether the result is [`SolveResult::Sat`].
+    pub fn is_sat(self) -> bool {
+        self == SolveResult::Sat
+    }
+
+    /// Whether the result is [`SolveResult::Unsat`].
+    pub fn is_unsat(self) -> bool {
+        self == SolveResult::Unsat
+    }
+}
+
+/// Cumulative search statistics, reset only by [`Solver::new`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Branching decisions made.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learned clauses currently retained.
+    pub learnts: u64,
+    /// Learned-clause database reductions.
+    pub reduces: u64,
+    /// Literals deleted by conflict-clause minimization.
+    pub minimized_lits: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    cref: ClauseRef,
+    blocker: Lit,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct VarData {
+    reason: Option<ClauseRef>,
+    level: u32,
+}
+
+/// Incremental CDCL SAT solver.
+///
+/// # Examples
+///
+/// ```
+/// use olsq2_sat::{Solver, Lit, SolveResult};
+/// let mut s = Solver::new();
+/// let a = Lit::positive(s.new_var());
+/// let b = Lit::positive(s.new_var());
+/// s.add_clause([a, b]);
+/// s.add_clause([!a, b]);
+/// assert_eq!(s.solve(&[]), SolveResult::Sat);
+/// assert_eq!(s.model_value(b), Some(true));
+/// // Incremental: now assume ¬b, which is impossible.
+/// assert_eq!(s.solve(&[!b]), SolveResult::Unsat);
+/// // The contradictory assumption subset is {¬b}.
+/// assert_eq!(s.final_conflict(), &[!b]);
+/// ```
+#[derive(Debug)]
+pub struct Solver {
+    db: ClauseDb,
+    clauses: Vec<ClauseRef>,
+    learnts: Vec<ClauseRef>,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    vardata: Vec<VarData>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    /// Saved phase per variable (last assigned polarity).
+    phase: Vec<bool>,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    order: VarHeap,
+    /// False once an empty clause or level-0 conflict proves global UNSAT.
+    ok: bool,
+    model: Vec<LBool>,
+    final_conflict: Vec<Lit>,
+    stats: Stats,
+    conflict_budget: Option<u64>,
+    deadline: Option<Instant>,
+    /// Cooperative interrupt for portfolio solving.
+    stop: Option<Arc<AtomicBool>>,
+    next_reduce: u64,
+    reduce_inc: u64,
+    /// Root-trail length at the last `simplify`, to skip redundant passes.
+    simp_trail_len: usize,
+    /// Clausal proof log, when enabled.
+    proof: Option<Proof>,
+    // Scratch buffers for conflict analysis.
+    seen: Vec<bool>,
+    analyze_toclear: Vec<Var>,
+    analyze_stack: Vec<Lit>,
+}
+
+const VAR_DECAY: f64 = 0.95;
+const CLA_DECAY: f64 = 0.999;
+const RESTART_BASE: u64 = 100;
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Solver {
+        Solver {
+            db: ClauseDb::new(),
+            clauses: Vec::new(),
+            learnts: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            vardata: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            phase: Vec::new(),
+            activity: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            order: VarHeap::new(),
+            ok: true,
+            model: Vec::new(),
+            final_conflict: Vec::new(),
+            stats: Stats::default(),
+            conflict_budget: None,
+            deadline: None,
+            stop: None,
+            next_reduce: 2000,
+            reduce_inc: 300,
+            simp_trail_len: usize::MAX,
+            proof: None,
+            seen: Vec::new(),
+            analyze_toclear: Vec::new(),
+            analyze_stack: Vec::new(),
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(LBool::Undef);
+        self.vardata.push(VarData {
+            reason: None,
+            level: 0,
+        });
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.phase.push(false);
+        self.activity.push(0.0);
+        self.order.grow(v);
+        self.order.insert(v, &self.activity);
+        v
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of problem (non-learned) clauses currently retained.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Search statistics so far.
+    pub fn stats(&self) -> Stats {
+        let mut s = self.stats;
+        s.learnts = self.learnts.len() as u64;
+        s
+    }
+
+    /// Limits the next `solve` calls to roughly `budget` conflicts
+    /// (cumulative from now); `None` removes the limit.
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.conflict_budget = budget.map(|b| self.stats.conflicts + b);
+    }
+
+    /// Aborts `solve` with [`SolveResult::Unknown`] once `deadline` passes.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// Installs a cooperative interrupt: while the flag is `true`, `solve`
+    /// aborts with [`SolveResult::Unknown`] at the next conflict boundary.
+    /// Used by portfolio solving to cancel losing configurations.
+    pub fn set_stop_flag(&mut self, stop: Option<Arc<AtomicBool>>) {
+        self.stop = stop;
+    }
+
+    /// Adds `amount` to a variable's branching activity — a hook for
+    /// domain-informed initial variable orderings (the paper's §V notes
+    /// that "we may be able to provide a better ordering based on our
+    /// domain knowledge"). Call before `solve`; VSIDS adapts from there.
+    pub fn boost_activity(&mut self, var: Var, amount: f64) {
+        self.activity[var.index()] += amount;
+        self.order.update(var, &self.activity);
+    }
+
+    /// Starts recording a clausal (DRAT-style) proof. Must be called
+    /// before any clause is added for the log to be complete.
+    pub fn enable_proof(&mut self) {
+        if self.proof.is_none() {
+            self.proof = Some(Proof::new());
+        }
+    }
+
+    /// Takes the recorded proof (ending proof recording).
+    pub fn take_proof(&mut self) -> Option<Proof> {
+        self.proof.take()
+    }
+
+    #[inline]
+    fn log_proof(&mut self, step: impl FnOnce() -> ProofStep) {
+        if let Some(proof) = &mut self.proof {
+            proof.push(step());
+        }
+    }
+
+    /// Current decision level (0 = root).
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Truth value of `lit` under the current partial assignment.
+    #[inline]
+    pub fn value(&self, lit: Lit) -> LBool {
+        self.assigns[lit.var().index()].apply_sign(lit.is_negative())
+    }
+
+    /// Truth value of `lit` in the most recent satisfying model.
+    ///
+    /// Returns `None` before the first [`SolveResult::Sat`] or for variables
+    /// created after it.
+    pub fn model_value(&self, lit: Lit) -> Option<bool> {
+        self.model
+            .get(lit.var().index())
+            .and_then(|v| v.apply_sign(lit.is_negative()).to_option())
+    }
+
+    /// After an UNSAT result with assumptions: the subset of assumption
+    /// literals that together are contradictory (each entry is one of the
+    /// assumptions passed to [`Solver::solve`]).
+    pub fn final_conflict(&self) -> &[Lit] {
+        &self.final_conflict
+    }
+
+    /// Adds a clause. Returns `false` if the solver is already in a
+    /// permanently unsatisfiable state (then the clause is ignored).
+    ///
+    /// Tautologies are silently dropped; duplicate and root-false literals
+    /// are removed. May trigger unit propagation at the root level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called between `solve` invocations while the solver is not
+    /// at decision level 0 (never happens through the public API, since
+    /// `solve` always backtracks fully).
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) -> bool {
+        assert_eq!(self.decision_level(), 0, "clauses must be added at the root level");
+        if !self.ok {
+            return false;
+        }
+        let mut v: Vec<Lit> = lits.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        let v_for_proof = v.clone();
+        self.log_proof(|| ProofStep::Original(v_for_proof));
+        let mut w = Vec::with_capacity(v.len());
+        let mut prev: Option<Lit> = None;
+        for &l in &v {
+            debug_assert!(l.var().index() < self.num_vars(), "literal over unknown variable");
+            if prev == Some(!l) || self.value(l) == LBool::True {
+                return true; // tautology or already satisfied at root
+            }
+            if self.value(l) != LBool::False {
+                w.push(l);
+            }
+            prev = Some(l);
+        }
+        if w != v {
+            let w_for_proof = w.clone();
+            self.log_proof(|| ProofStep::Lemma(w_for_proof));
+        }
+        match w.len() {
+            0 => {
+                self.ok = false;
+                self.log_proof(|| ProofStep::Empty);
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(w[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                    self.log_proof(|| ProofStep::Empty);
+                }
+                self.ok
+            }
+            _ => {
+                let cref = self.db.alloc(&w, false);
+                self.clauses.push(cref);
+                self.attach(cref);
+                true
+            }
+        }
+    }
+
+    fn attach(&mut self, cref: ClauseRef) {
+        let lits = self.db.lits(cref);
+        let (l0, l1) = (lits[0], lits[1]);
+        self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
+        self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
+    }
+
+    #[inline]
+    fn unchecked_enqueue(&mut self, lit: Lit, reason: Option<ClauseRef>) {
+        debug_assert_eq!(self.value(lit), LBool::Undef);
+        let v = lit.var().index();
+        self.assigns[v] = LBool::from(lit.is_positive());
+        self.vardata[v] = VarData {
+            reason,
+            level: self.decision_level(),
+        };
+        self.phase[v] = lit.is_positive();
+        self.trail.push(lit);
+    }
+
+    /// Unit propagation; returns the conflicting clause if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        let mut conflict = None;
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut i = 0;
+            let mut j = 0;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                // Fast path: blocker already true.
+                if self.value(w.blocker) == LBool::True {
+                    ws[j] = w;
+                    j += 1;
+                    continue;
+                }
+                if self.db.is_deleted(w.cref) {
+                    continue; // lazily drop watcher of a deleted clause
+                }
+                // Make sure the false literal is at position 1.
+                let false_lit = !p;
+                {
+                    let lits = self.db.lits_mut(w.cref);
+                    if lits[0] == false_lit {
+                        lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(lits[1], false_lit);
+                }
+                let first = self.db.lits(w.cref)[0];
+                let w_new = Watcher {
+                    cref: w.cref,
+                    blocker: first,
+                };
+                if first != w.blocker && self.value(first) == LBool::True {
+                    ws[j] = w_new;
+                    j += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.db.len(w.cref);
+                for k in 2..len {
+                    let lk = self.db.lits(w.cref)[k];
+                    if self.value(lk) != LBool::False {
+                        self.db.lits_mut(w.cref).swap(1, k);
+                        self.watches[(!lk).code()].push(w_new);
+                        continue 'watchers;
+                    }
+                }
+                // Clause is unit or conflicting.
+                ws[j] = w_new;
+                j += 1;
+                if self.value(first) == LBool::False {
+                    // Conflict: keep remaining watchers and stop.
+                    while i < ws.len() {
+                        ws[j] = ws[i];
+                        j += 1;
+                        i += 1;
+                    }
+                    self.qhead = self.trail.len();
+                    conflict = Some(w.cref);
+                } else {
+                    self.unchecked_enqueue(first, Some(w.cref));
+                }
+            }
+            ws.truncate(j);
+            self.watches[p.code()] = ws;
+            if conflict.is_some() {
+                break;
+            }
+        }
+        conflict
+    }
+
+    fn new_decision_level(&mut self) {
+        self.trail_lim.push(self.trail.len());
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let lim = self.trail_lim[level as usize];
+        for idx in (lim..self.trail.len()).rev() {
+            let lit = self.trail[idx];
+            let v = lit.var();
+            self.assigns[v.index()] = LBool::Undef;
+            self.order.insert(v, &self.activity);
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = lim;
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.update(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        let a = self.db.activity(cref) + self.cla_inc as f32;
+        if a > 1e20 {
+            for &c in &self.learnts {
+                let old = self.db.activity(c);
+                self.db.set_activity(c, old * 1e-20);
+            }
+            self.cla_inc *= 1e-20;
+            self.db.set_activity(cref, a * 1e-20);
+        } else {
+            self.db.set_activity(cref, a);
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= VAR_DECAY;
+        self.cla_inc /= CLA_DECAY;
+    }
+
+    #[inline]
+    fn level(&self, v: Var) -> u32 {
+        self.vardata[v.index()].level
+    }
+
+    #[inline]
+    fn reason(&self, v: Var) -> Option<ClauseRef> {
+        self.vardata[v.index()].reason
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, mut confl: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // slot 0 reserved for the asserting literal
+        let mut path_c = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        loop {
+            if self.db.is_learnt(confl) {
+                self.bump_clause(confl);
+                // Refresh LBD (keep minimum).
+                let lbd = self.clause_lbd(confl);
+                if lbd < self.db.lbd(confl) {
+                    self.db.set_lbd(confl, lbd);
+                }
+            }
+            let start = usize::from(p.is_some());
+            for k in start..self.db.len(confl) {
+                let q = self.db.lits(confl)[k];
+                let v = q.var();
+                if !self.seen[v.index()] && self.level(v) > 0 {
+                    self.seen[v.index()] = true;
+                    self.analyze_toclear.push(v);
+                    self.bump_var(v);
+                    if self.level(v) >= self.decision_level() {
+                        path_c += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find the next seen literal on the trail.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            p = Some(pl);
+            path_c -= 1;
+            if path_c == 0 {
+                break;
+            }
+            confl = self
+                .reason(pl.var())
+                .expect("non-decision literal on conflict path must have a reason");
+            self.seen[pl.var().index()] = false;
+            // pl.var stays in analyze_toclear; clearing the flag here keeps
+            // the invariant that `seen` marks exactly the unresolved nodes.
+        }
+        learnt[0] = !p.expect("conflict path is nonempty");
+
+        // Recursive minimization of the reason side.
+        let before = learnt.len();
+        let mut abstract_levels = 0u32;
+        for &l in &learnt[1..] {
+            abstract_levels |= 1 << (self.level(l.var()) & 31);
+        }
+        let mut kept = vec![learnt[0]];
+        for idx in 1..learnt.len() {
+            let l = learnt[idx];
+            if self.reason(l.var()).is_none() || !self.lit_redundant(l, abstract_levels) {
+                kept.push(l);
+            }
+        }
+        self.stats.minimized_lits += (before - kept.len()) as u64;
+        let mut learnt = kept;
+
+        // Compute backtrack level and place the second-highest literal at 1.
+        let bt_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level(learnt[i].var()) > self.level(learnt[max_i].var()) {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level(learnt[1].var())
+        };
+        for v in self.analyze_toclear.drain(..) {
+            self.seen[v.index()] = false;
+        }
+        (learnt, bt_level)
+    }
+
+    /// Checks whether `l` is implied by the rest of the learned clause
+    /// (MiniSat's `litRedundant`), using an iterative DFS over reasons.
+    fn lit_redundant(&mut self, l: Lit, abstract_levels: u32) -> bool {
+        self.analyze_stack.clear();
+        self.analyze_stack.push(l);
+        let top = self.analyze_toclear.len();
+        while let Some(q) = self.analyze_stack.pop() {
+            let cref = self
+                .reason(q.var())
+                .expect("stack only holds literals with reasons");
+            for k in 1..self.db.len(cref) {
+                let pl = self.db.lits(cref)[k];
+                let v = pl.var();
+                if self.seen[v.index()] || self.level(v) == 0 {
+                    continue;
+                }
+                if self.reason(v).is_some() && (1u32 << (self.level(v) & 31)) & abstract_levels != 0
+                {
+                    self.seen[v.index()] = true;
+                    self.analyze_toclear.push(v);
+                    self.analyze_stack.push(pl);
+                } else {
+                    // Not redundant: undo the marks added by this probe.
+                    for vv in self.analyze_toclear.drain(top..) {
+                        self.seen[vv.index()] = false;
+                    }
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn clause_lbd(&mut self, cref: ClauseRef) -> u32 {
+        // Count distinct decision levels via a small sort-free scheme.
+        let mut levels: Vec<u32> = self
+            .db
+            .lits(cref)
+            .iter()
+            .map(|l| self.level(l.var()))
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    fn lits_lbd(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits.iter().map(|l| self.level(l.var())).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    /// Analyzes a conflict on an assumption: computes the subset of
+    /// assumptions implying `¬p`, stored (as assumption literals) in
+    /// `final_conflict`.
+    fn analyze_final(&mut self, p: Lit) {
+        self.final_conflict.clear();
+        self.final_conflict.push(p);
+        if self.decision_level() == 0 {
+            return;
+        }
+        self.seen[p.var().index()] = true;
+        for idx in (self.trail_lim[0]..self.trail.len()).rev() {
+            let q = self.trail[idx];
+            let v = q.var();
+            if !self.seen[v.index()] {
+                continue;
+            }
+            match self.reason(v) {
+                None => {
+                    debug_assert!(self.level(v) > 0);
+                    // A decision above the root is an assumed literal; it is
+                    // part of the contradictory subset.
+                    self.final_conflict.push(q);
+                }
+                Some(cref) => {
+                    for k in 1..self.db.len(cref) {
+                        let l = self.db.lits(cref)[k];
+                        if self.level(l.var()) > 0 {
+                            self.seen[l.var().index()] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[v.index()] = false;
+        }
+        self.seen[p.var().index()] = false;
+        self.final_conflict.sort_unstable();
+        self.final_conflict.dedup();
+    }
+
+    fn reduce_db(&mut self) {
+        self.stats.reduces += 1;
+        // Sort learned clauses: poor (high LBD, low activity) first.
+        let mut ranked: Vec<ClauseRef> = {
+            let db = &self.db;
+            let mut r: Vec<ClauseRef> = self
+                .learnts
+                .iter()
+                .copied()
+                .filter(|&c| !db.is_deleted(c))
+                .collect();
+            r.sort_by(|&a, &b| {
+                db.lbd(b).cmp(&db.lbd(a)).then(
+                    db.activity(a)
+                        .partial_cmp(&db.activity(b))
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+            });
+            r
+        };
+        let half = ranked.len() / 2;
+        ranked.truncate(half);
+        for &c in &ranked {
+            if self.db.len(c) > 2 && self.db.lbd(c) > 3 && !self.locked(c) {
+                let lits = self.db.lits(c).to_vec();
+                self.log_proof(|| ProofStep::Delete(lits));
+                self.db.delete(c);
+            }
+        }
+        let db = &self.db;
+        self.learnts.retain(|&c| !db.is_deleted(c));
+        if self.db.wasted_ratio() > 0.3 {
+            self.garbage_collect();
+        }
+    }
+
+    fn locked(&self, cref: ClauseRef) -> bool {
+        let first = self.db.lits(cref)[0];
+        self.value(first) == LBool::True && self.reason(first.var()) == Some(cref)
+    }
+
+    fn garbage_collect(&mut self) {
+        let remap = self.db.compact();
+        for ws in &mut self.watches {
+            ws.retain_mut(|w| match remap.get(&w.cref) {
+                Some(&n) => {
+                    w.cref = n;
+                    true
+                }
+                None => false,
+            });
+        }
+        for vd in &mut self.vardata {
+            if let Some(r) = vd.reason {
+                vd.reason = remap.get(&r).copied();
+            }
+        }
+        let translate = |list: &mut Vec<ClauseRef>| {
+            list.retain_mut(|c| match remap.get(c) {
+                Some(&n) => {
+                    *c = n;
+                    true
+                }
+                None => false,
+            });
+        };
+        translate(&mut self.clauses);
+        translate(&mut self.learnts);
+    }
+
+    /// Removes root-satisfied clauses. Safe even for level-0 reasons:
+    /// conflict analysis never traverses reasons of root-level literals.
+    fn simplify(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        if self.trail.len() == self.simp_trail_len {
+            return; // nothing newly fixed at the root since last time
+        }
+        self.simp_trail_len = self.trail.len();
+        let assigns = &self.assigns;
+        let db = &mut self.db;
+        let satisfied = |cref: ClauseRef, db: &ClauseDb| {
+            db.lits(cref)
+                .iter()
+                .any(|l| assigns[l.var().index()].apply_sign(l.is_negative()) == LBool::True)
+        };
+        // Note on proofs: these deletions are NOT logged. They remove
+        // clauses satisfied by root-propagated literals, and the checker —
+        // which only sees clauses, not the solver's trail — may still need
+        // them to re-derive those literals during later RUP checks.
+        // Keeping them in the checker's database is always sound.
+        for list in [&mut self.clauses, &mut self.learnts] {
+            let mut keep = Vec::with_capacity(list.len());
+            for &c in list.iter() {
+                if db.is_deleted(c) {
+                    continue;
+                }
+                if satisfied(c, db) {
+                    db.delete(c);
+                } else {
+                    keep.push(c);
+                }
+            }
+            *list = keep;
+        }
+        if self.db.wasted_ratio() > 0.3 {
+            self.garbage_collect();
+        }
+    }
+
+    fn luby(mut x: u64) -> u64 {
+        // Luby sequence: 1,1,2,1,1,2,4,...
+        let mut size = 1u64;
+        let mut seq = 0u32;
+        while size < x + 1 {
+            seq += 1;
+            size = 2 * size + 1;
+        }
+        while size - 1 != x {
+            size = (size - 1) >> 1;
+            seq -= 1;
+            x %= size;
+        }
+        1u64 << seq
+    }
+
+    fn out_of_budget(&self) -> bool {
+        if let Some(limit) = self.conflict_budget {
+            if self.stats.conflicts >= limit {
+                return true;
+            }
+        }
+        if let Some(stop) = &self.stop {
+            if stop.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if self.stats.conflicts % 256 == 0 && Instant::now() >= deadline {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        loop {
+            let v = self.order.pop(&self.activity)?;
+            if self.assigns[v.index()] == LBool::Undef {
+                return Some(Lit::new(v, !self.phase[v.index()]));
+            }
+        }
+    }
+
+    /// Solves under the given assumptions.
+    ///
+    /// Returns [`SolveResult::Sat`] with a model, [`SolveResult::Unsat`]
+    /// with a final conflict over the assumptions, or
+    /// [`SolveResult::Unknown`] if a budget expired. The solver is left at
+    /// the root level and can be reused incrementally.
+    pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if !self.ok {
+            self.final_conflict.clear();
+            return SolveResult::Unsat;
+        }
+        debug_assert_eq!(self.decision_level(), 0);
+        self.seen.resize(self.num_vars(), false);
+        self.model.clear();
+        self.final_conflict.clear();
+
+        let mut curr_restarts = 0u64;
+        let result = loop {
+            let budget = RESTART_BASE * Self::luby(curr_restarts);
+            match self.search(budget, assumptions) {
+                Some(r) => break r,
+                None => {
+                    curr_restarts += 1;
+                    self.stats.restarts += 1;
+                    if self.out_of_budget() {
+                        break SolveResult::Unknown;
+                    }
+                }
+            }
+        };
+        self.cancel_until(0);
+        result
+    }
+
+    /// Runs CDCL search for up to `conflict_limit` conflicts.
+    /// `Some(result)` terminates; `None` requests a restart.
+    fn search(&mut self, conflict_limit: u64, assumptions: &[Lit]) -> Option<SolveResult> {
+        let mut conflicts_here = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_here += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    self.final_conflict.clear();
+                    self.log_proof(|| ProofStep::Empty);
+                    return Some(SolveResult::Unsat);
+                }
+                let (learnt, bt) = self.analyze(confl);
+                let learnt_for_proof = learnt.clone();
+                self.log_proof(|| ProofStep::Lemma(learnt_for_proof));
+                self.cancel_until(bt);
+                if learnt.len() == 1 {
+                    self.unchecked_enqueue(learnt[0], None);
+                } else {
+                    let cref = self.db.alloc(&learnt, true);
+                    let lbd = self.lits_lbd(&learnt);
+                    self.db.set_lbd(cref, lbd);
+                    self.learnts.push(cref);
+                    self.attach(cref);
+                    self.bump_clause(cref);
+                    self.unchecked_enqueue(learnt[0], Some(cref));
+                }
+                self.decay_activities();
+                if self.out_of_budget() {
+                    self.cancel_until(0);
+                    return Some(SolveResult::Unknown);
+                }
+            } else {
+                if conflicts_here >= conflict_limit {
+                    self.cancel_until(0);
+                    return None; // restart
+                }
+                if self.decision_level() == 0 {
+                    self.simplify();
+                }
+                if self.learnts.len() as u64 >= self.next_reduce {
+                    self.next_reduce += self.reduce_inc;
+                    self.reduce_db();
+                }
+                // Extend the assumption prefix.
+                let mut assumed = false;
+                while (self.decision_level() as usize) < assumptions.len() {
+                    let p = assumptions[self.decision_level() as usize];
+                    match self.value(p) {
+                        LBool::True => self.new_decision_level(),
+                        LBool::False => {
+                            self.analyze_final(p);
+                            return Some(SolveResult::Unsat);
+                        }
+                        LBool::Undef => {
+                            self.new_decision_level();
+                            self.unchecked_enqueue(p, None);
+                            assumed = true;
+                            break;
+                        }
+                    }
+                }
+                if assumed {
+                    continue; // propagate the just-assumed literal first
+                }
+                match self.pick_branch() {
+                    None => {
+                        // All variables assigned: model found.
+                        self.model = self.assigns.clone();
+                        return Some(SolveResult::Sat);
+                    }
+                    Some(next) => {
+                        self.stats.decisions += 1;
+                        self.new_decision_level();
+                        self.unchecked_enqueue(next, None);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(s: &mut Solver, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| Lit::positive(s.new_var())).collect()
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause([v[0]]);
+        s.add_clause([!v[0], v[1]]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(s.model_value(v[0]), Some(true));
+        assert_eq!(s.model_value(v[1]), Some(true));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 1);
+        s.add_clause([v[0]]);
+        assert!(!s.add_clause([!v[0]]));
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn unsat_via_propagation_chain() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 4);
+        s.add_clause([v[0], v[1]]);
+        s.add_clause([v[0], !v[1]]);
+        s.add_clause([!v[0], v[2]]);
+        s.add_clause([!v[2], v[3]]);
+        s.add_clause([!v[0], !v[3]]);
+        // v0 forced true, then v2, v3, contradiction with ¬v3.
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // 3 pigeons, 2 holes: x[p][h].
+        let mut s = Solver::new();
+        let mut x = [[Lit(0); 2]; 3];
+        for p in 0..3 {
+            for h in 0..2 {
+                x[p][h] = Lit::positive(s.new_var());
+            }
+        }
+        for p in 0..3 {
+            s.add_clause([x[p][0], x[p][1]]);
+        }
+        for h in 0..2 {
+            for p1 in 0..3 {
+                for p2 in (p1 + 1)..3 {
+                    s.add_clause([!x[p1][h], !x[p2][h]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_and_final_conflict() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause([!v[0], !v[1]]);
+        assert_eq!(s.solve(&[v[0], v[1]]), SolveResult::Unsat);
+        let fc = s.final_conflict().to_vec();
+        assert!(fc.contains(&v[1]) || fc.contains(&v[0]));
+        // Without assumptions it is satisfiable again.
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        // Irrelevant assumption set is fine.
+        assert_eq!(s.solve(&[v[2]]), SolveResult::Sat);
+        assert_eq!(s.model_value(v[2]), Some(true));
+    }
+
+    #[test]
+    fn incremental_add_between_solves() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause([v[0], v[1], v[2]]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        s.add_clause([!v[0]]);
+        s.add_clause([!v[1]]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(s.model_value(v[2]), Some(true));
+        s.add_clause([!v[2]]);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        // Solver stays UNSAT forever afterwards.
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn conflict_budget_returns_unknown_on_hard_instance() {
+        // A random-ish parity/pigeonhole mix the solver cannot finish in 1 conflict.
+        let mut s = Solver::new();
+        let n = 8;
+        let mut x = Vec::new();
+        for _ in 0..n {
+            x.push(Lit::positive(s.new_var()));
+        }
+        for p in 0..n {
+            let clause: Vec<Lit> = (0..n - 1).map(|h| x[(p + h) % n]).collect();
+            s.add_clause(clause);
+        }
+        for h in 0..n - 1 {
+            for p1 in 0..n {
+                for p2 in (p1 + 1)..n {
+                    if (p1 + p2 + h) % 3 == 0 {
+                        s.add_clause([!x[p1], !x[p2]]);
+                    }
+                }
+            }
+        }
+        s.set_conflict_budget(Some(1));
+        let r = s.solve(&[]);
+        // With 1 conflict of budget the outcome must not be trusted SAT with
+        // a wrong model — it is either solved instantly or Unknown.
+        if r == SolveResult::Unknown {
+            s.set_conflict_budget(None);
+            let r2 = s.solve(&[]);
+            assert_ne!(r2, SolveResult::Unknown);
+        }
+    }
+
+    #[test]
+    fn tautology_and_duplicates_are_handled() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        assert!(s.add_clause([v[0], !v[0]])); // tautology: dropped
+        assert!(s.add_clause([v[1], v[1], v[1]])); // dedup to unit
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(s.model_value(v[1]), Some(true));
+    }
+
+    #[test]
+    fn assumption_repeated_and_implied() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause([!v[0], v[1]]);
+        assert_eq!(s.solve(&[v[0], v[0], v[1]]), SolveResult::Sat);
+        assert_eq!(s.solve(&[v[0], !v[1]]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn model_covers_unconstrained_vars() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 5);
+        s.add_clause([v[0]]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        for l in v {
+            assert!(s.model_value(l).is_some());
+        }
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let seq: Vec<u64> = (0..9).map(Solver::luby).collect();
+        assert_eq!(seq, vec![1, 1, 2, 1, 1, 2, 4, 1, 1]);
+    }
+}

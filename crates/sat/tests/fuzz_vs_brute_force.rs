@@ -1,0 +1,178 @@
+//! Differential testing of the CDCL solver against exhaustive enumeration.
+//!
+//! Random 3-CNF-ish formulas over ≤ 12 variables are solved both by the
+//! solver and by brute force; SAT/UNSAT answers must agree, and models
+//! returned by the solver must actually satisfy the formula. The same is
+//! checked under random assumption sets, and final conflicts must be real
+//! (the formula plus the reported assumption subset must be UNSAT by
+//! enumeration).
+
+use olsq2_sat::{Lit, SolveResult, Solver, Var};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Formula {
+    num_vars: usize,
+    clauses: Vec<Vec<i32>>, // DIMACS-ish: ±(var+1)
+}
+
+fn lit_of(code: i32) -> Lit {
+    let var = Var::from_index(code.unsigned_abs() as usize - 1);
+    Lit::new(var, code < 0)
+}
+
+fn clause_satisfied(clause: &[i32], assignment: u32) -> bool {
+    clause.iter().any(|&c| {
+        let bit = (assignment >> (c.unsigned_abs() - 1)) & 1 == 1;
+        if c > 0 {
+            bit
+        } else {
+            !bit
+        }
+    })
+}
+
+/// Exhaustive SAT check; returns a witness assignment if one exists.
+fn brute_force(f: &Formula, extra_units: &[i32]) -> Option<u32> {
+    'outer: for assignment in 0..(1u32 << f.num_vars) {
+        for clause in &f.clauses {
+            if !clause_satisfied(clause, assignment) {
+                continue 'outer;
+            }
+        }
+        for &u in extra_units {
+            if !clause_satisfied(&[u], assignment) {
+                continue 'outer;
+            }
+        }
+        return Some(assignment);
+    }
+    None
+}
+
+fn build_solver(f: &Formula) -> Solver {
+    let mut s = Solver::new();
+    for _ in 0..f.num_vars {
+        s.new_var();
+    }
+    for clause in &f.clauses {
+        s.add_clause(clause.iter().map(|&c| lit_of(c)));
+    }
+    s
+}
+
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    (2usize..=12).prop_flat_map(|num_vars| {
+        let clause = proptest::collection::vec(
+            (1..=num_vars as i32, any::<bool>()).prop_map(|(v, neg)| if neg { -v } else { v }),
+            1..=3,
+        );
+        proptest::collection::vec(clause, 0..40)
+            .prop_map(move |clauses| Formula { num_vars, clauses })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn agrees_with_brute_force(f in arb_formula()) {
+        let expected = brute_force(&f, &[]);
+        let mut s = build_solver(&f);
+        let result = s.solve(&[]);
+        match expected {
+            Some(_) => {
+                prop_assert_eq!(result, SolveResult::Sat);
+                // The model must satisfy every clause.
+                for clause in &f.clauses {
+                    let ok = clause.iter().any(|&c| s.model_value(lit_of(c)) == Some(true));
+                    prop_assert!(ok, "model violates clause {:?}", clause);
+                }
+            }
+            None => prop_assert_eq!(result, SolveResult::Unsat),
+        }
+    }
+
+    #[test]
+    fn agrees_under_assumptions(
+        f in arb_formula(),
+        raw_assumps in proptest::collection::vec((1i32..=12, any::<bool>()), 0..6),
+    ) {
+        let assumps: Vec<i32> = raw_assumps
+            .iter()
+            .filter(|(v, _)| (*v as usize) <= f.num_vars)
+            .map(|&(v, neg)| if neg { -v } else { v })
+            .collect();
+        let expected = brute_force(&f, &assumps);
+        let mut s = build_solver(&f);
+        let assumption_lits: Vec<Lit> = assumps.iter().map(|&c| lit_of(c)).collect();
+        let result = s.solve(&assumption_lits);
+        match expected {
+            Some(_) => {
+                prop_assert_eq!(result, SolveResult::Sat);
+                for &a in &assumption_lits {
+                    prop_assert_eq!(s.model_value(a), Some(true), "assumption {:?} not honored", a);
+                }
+                for clause in &f.clauses {
+                    let ok = clause.iter().any(|&c| s.model_value(lit_of(c)) == Some(true));
+                    prop_assert!(ok, "model violates clause {:?}", clause);
+                }
+            }
+            None => {
+                prop_assert_eq!(result, SolveResult::Unsat);
+                // If the base formula is satisfiable, the final conflict
+                // must name a genuinely contradictory assumption subset.
+                if brute_force(&f, &[]).is_some() {
+                    let core: Vec<i32> = s
+                        .final_conflict()
+                        .iter()
+                        .map(|l| {
+                            let v = l.var().index() as i32 + 1;
+                            if l.is_negative() { -v } else { v }
+                        })
+                        .collect();
+                    prop_assert!(!core.is_empty());
+                    // Each core literal must be one of the assumptions.
+                    for c in &core {
+                        prop_assert!(assumps.contains(c), "core lit {} not among assumptions", c);
+                    }
+                    prop_assert!(brute_force(&f, &core).is_none(), "reported core is not contradictory");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_solving_stays_consistent(
+        f in arb_formula(),
+        extra in proptest::collection::vec(
+            proptest::collection::vec((1i32..=12, any::<bool>()).prop_map(|(v, n)| if n { -v } else { v }), 1..=3),
+            1..6,
+        ),
+    ) {
+        // Add clause batches one at a time, solving in between; every answer
+        // must match brute force on the prefix.
+        let mut s = build_solver(&f);
+        let mut clauses = f.clauses.clone();
+        let mut result = s.solve(&[]);
+        prop_assert_eq!(result.is_sat(), brute_force(&Formula { num_vars: f.num_vars, clauses: clauses.clone() }, &[]).is_some());
+        for batch in extra {
+            let batch: Vec<i32> = batch
+                .into_iter()
+                .filter(|c| c.unsigned_abs() as usize <= f.num_vars)
+                .collect();
+            if batch.is_empty() {
+                continue;
+            }
+            s.add_clause(batch.iter().map(|&c| lit_of(c)));
+            clauses.push(batch);
+            result = s.solve(&[]);
+            let expected = brute_force(
+                &Formula { num_vars: f.num_vars, clauses: clauses.clone() },
+                &[],
+            );
+            prop_assert_eq!(result.is_sat(), expected.is_some());
+            prop_assert_eq!(result.is_unsat(), expected.is_none());
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! End-to-end proof validation: the solver's UNSAT answers are replayed
+//! through the independent RUP checker. Every lemma the CDCL engine
+//! learned must be derivable by unit propagation, and the run must end in
+//! the empty clause.
+
+use olsq2_sat::{Lit, SolveResult, Solver, Var};
+use proptest::prelude::*;
+
+fn lit(code: i32) -> Lit {
+    Lit::new(Var::from_index(code.unsigned_abs() as usize - 1), code < 0)
+}
+
+fn solver_with(num_vars: usize, clauses: &[Vec<i32>]) -> Solver {
+    let mut s = Solver::new();
+    s.enable_proof();
+    for _ in 0..num_vars {
+        s.new_var();
+    }
+    for c in clauses {
+        s.add_clause(c.iter().map(|&v| lit(v)));
+    }
+    s
+}
+
+#[test]
+fn pigeonhole_proof_checks() {
+    // PHP(4,3): 4 pigeons, 3 holes — a nontrivial UNSAT instance whose
+    // proof exercises learning, minimization, and deletion.
+    let (p, h) = (4, 3);
+    let mut s = Solver::new();
+    s.enable_proof();
+    let mut x = vec![vec![Lit::positive(Var::from_index(0)); h]; p];
+    for row in x.iter_mut() {
+        for cell in row.iter_mut() {
+            *cell = Lit::positive(s.new_var());
+        }
+    }
+    for row in &x {
+        s.add_clause(row.iter().copied());
+    }
+    for hole in 0..h {
+        for p1 in 0..p {
+            for p2 in (p1 + 1)..p {
+                s.add_clause([!x[p1][hole], !x[p2][hole]]);
+            }
+        }
+    }
+    assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    let proof = s.take_proof().expect("proof recorded");
+    assert!(proof.claims_unsat());
+    assert_eq!(proof.check(), Ok(()));
+    assert!(proof.num_lemmas() > 0, "PHP must require learning");
+}
+
+#[test]
+fn simple_chain_unsat_proof() {
+    let mut s = solver_with(3, &[vec![1], vec![-1, 2], vec![-2, 3], vec![-3]]);
+    assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    let proof = s.take_proof().expect("proof");
+    assert_eq!(proof.check(), Ok(()));
+}
+
+#[test]
+fn incremental_unsat_proof_checks() {
+    let mut s = solver_with(3, &[vec![1, 2, 3]]);
+    assert_eq!(s.solve(&[]), SolveResult::Sat);
+    s.add_clause([lit(-1)]);
+    s.add_clause([lit(-2)]);
+    assert_eq!(s.solve(&[]), SolveResult::Sat);
+    s.add_clause([lit(-3)]);
+    assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    let proof = s.take_proof().expect("proof");
+    assert_eq!(proof.check(), Ok(()));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    #[test]
+    fn random_unsat_formulas_have_checkable_proofs(
+        num_vars in 2usize..8,
+        raw in proptest::collection::vec(
+            proptest::collection::vec((1i32..8, any::<bool>()), 1..3),
+            4..30,
+        ),
+    ) {
+        let clauses: Vec<Vec<i32>> = raw
+            .into_iter()
+            .map(|c| {
+                c.into_iter()
+                    .map(|(v, neg)| {
+                        let v = ((v as usize - 1) % num_vars) as i32 + 1;
+                        if neg { -v } else { v }
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut s = solver_with(num_vars, &clauses);
+        if s.solve(&[]) == SolveResult::Unsat {
+            let proof = s.take_proof().expect("proof recorded");
+            prop_assert_eq!(proof.check(), Ok(()));
+        }
+    }
+}

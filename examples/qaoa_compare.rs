@@ -1,0 +1,101 @@
+//! Compare layout synthesizers on a QAOA workload — the paper's headline
+//! scenario: how many SWAPs does each tool insert for the phase-splitting
+//! operator of a random 3-regular graph?
+//!
+//! Run with: `cargo run --release --example qaoa_compare -- [n] [seed]`
+//! (defaults: n = 10 program qubits, seed = 1, device = 4×4 grid).
+
+use olsq2::{SynthesisConfig, TbOlsq2Synthesizer};
+use olsq2_arch::grid;
+use olsq2_circuit::generators::qaoa_circuit;
+use olsq2_heuristic::{
+    astar_route, sabre_route, satmap_route, AstarConfig, SabreConfig, SatMapConfig,
+};
+use olsq2_layout::{estimate_success_rate, verify, ErrorModel};
+use std::time::{Duration, Instant};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let circuit = qaoa_circuit(n, seed);
+    let device = grid(4, 4);
+    println!("workload: {}   device: {}", circuit.name(), device);
+    println!(
+        "{:<12} {:>6} {:>7} {:>9} {:>10}",
+        "tool", "swaps", "depth", "est.P", "time"
+    );
+    let model = ErrorModel::default();
+
+    // SABRE (heuristic baseline).
+    let mut sabre_cfg = SabreConfig::default();
+    sabre_cfg.swap_duration = 1; // QAOA convention from §IV
+    let t = Instant::now();
+    let sabre = sabre_route(&circuit, &device, &sabre_cfg)?;
+    verify(&circuit, &device, &sabre).map_err(|v| format!("{v:?}"))?;
+    println!(
+        "{:<12} {:>6} {:>7} {:>8.1}% {:>10.2?}",
+        "SABRE",
+        sabre.swap_count(),
+        sabre.depth,
+        100.0 * estimate_success_rate(&circuit, &sabre, &model),
+        t.elapsed()
+    );
+
+    // A* layer router (Zulehner-style).
+    let mut astar_cfg = AstarConfig::default();
+    astar_cfg.swap_duration = 1;
+    let t = Instant::now();
+    let astar = astar_route(&circuit, &device, &astar_cfg)?;
+    verify(&circuit, &device, &astar).map_err(|v| format!("{v:?}"))?;
+    println!(
+        "{:<12} {:>6} {:>7} {:>8.1}% {:>10.2?}",
+        "A*",
+        astar.swap_count(),
+        astar.depth,
+        100.0 * estimate_success_rate(&circuit, &astar, &model),
+        t.elapsed()
+    );
+
+    // SATMap-style slice mapper.
+    let mut satmap_cfg = SatMapConfig::default();
+    satmap_cfg.swap_duration = 1;
+    satmap_cfg.time_budget = Some(Duration::from_secs(120));
+    let t = Instant::now();
+    match satmap_route(&circuit, &device, &satmap_cfg) {
+        Ok(out) => {
+            verify(&circuit, &device, &out.result).map_err(|v| format!("{v:?}"))?;
+            println!(
+                "{:<12} {:>6} {:>7} {:>8.1}% {:>10.2?}",
+                "SATMap*",
+                out.result.swap_count(),
+                out.result.depth,
+                100.0 * estimate_success_rate(&circuit, &out.result, &model),
+                t.elapsed()
+            );
+        }
+        Err(e) => println!("{:<12} {e}", "SATMap*"),
+    }
+
+    // TB-OLSQ2 (this paper).
+    let mut cfg = SynthesisConfig::with_swap_duration(1);
+    cfg.time_budget = Some(Duration::from_secs(300));
+    let tb = TbOlsq2Synthesizer::new(cfg);
+    let t = Instant::now();
+    match tb.optimize_swaps(&circuit, &device) {
+        Ok(out) => {
+            verify(&circuit, &device, &out.outcome.result).map_err(|v| format!("{v:?}"))?;
+            println!(
+                "{:<12} {:>6} {:>7} {:>8.1}% {:>10.2?}{}",
+                "TB-OLSQ2",
+                out.outcome.result.swap_count(),
+                out.outcome.result.depth,
+                100.0 * estimate_success_rate(&circuit, &out.outcome.result, &model),
+                t.elapsed(),
+                if out.outcome.proven_optimal { "  (optimal)" } else { "  (budget)" }
+            );
+        }
+        Err(e) => println!("{:<12} {e}", "TB-OLSQ2"),
+    }
+    Ok(())
+}

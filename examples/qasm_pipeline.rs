@@ -1,0 +1,49 @@
+//! Full QASM-in/QASM-out pipeline: parse an OpenQASM 2.0 program, lay it
+//! out on a device, and emit the executable physical circuit as QASM —
+//! what a downstream compiler user would do with this library.
+//!
+//! Run with: `cargo run --release --example qasm_pipeline`
+
+use olsq2::{SynthesisConfig, TbOlsq2Synthesizer};
+use olsq2_arch::ibm_qx2;
+use olsq2_circuit::{parse_qasm, write_qasm};
+use olsq2_layout::{emit_physical_circuit, verify};
+
+const PROGRAM: &str = r#"
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+h q[0];
+cx q[0],q[1];
+cx q[1],q[2];
+cx q[2],q[3];
+rz(pi/4) q[3];
+cx q[0],q[3];
+ccx q[0],q[1],q[2];
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = parse_qasm(PROGRAM)?;
+    let device = ibm_qx2();
+    println!(
+        "parsed {} gates over {} qubits (ccx auto-decomposed)",
+        circuit.num_gates(),
+        circuit.num_qubits()
+    );
+
+    let config = SynthesisConfig::with_swap_duration(3);
+    let tb = TbOlsq2Synthesizer::new(config);
+    let out = tb.optimize_swaps(&circuit, &device)?;
+    verify(&circuit, &device, &out.outcome.result).map_err(|v| format!("{v:?}"))?;
+    println!(
+        "layout: {} swaps, depth {}, {} blocks",
+        out.outcome.result.swap_count(),
+        out.outcome.result.depth,
+        out.block_count
+    );
+
+    let physical = emit_physical_circuit(&circuit, &device, &out.outcome.result);
+    println!("\n--- physical program ---\n{}", write_qasm(&physical.decompose_swaps()));
+    Ok(())
+}

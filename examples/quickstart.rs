@@ -1,0 +1,54 @@
+//! Quickstart: synthesize the Toffoli circuit onto IBM QX2 — the paper's
+//! running example (Figs. 2–4) — optimizing depth, then SWAP count, and
+//! print the resulting physical circuit.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use olsq2::{Olsq2Synthesizer, SynthesisConfig, TbOlsq2Synthesizer};
+use olsq2_arch::ibm_qx2;
+use olsq2_circuit::generators::toffoli_circuit;
+use olsq2_circuit::write_qasm;
+use olsq2_layout::{emit_physical_circuit, verify};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = toffoli_circuit();
+    let device = ibm_qx2();
+    println!("circuit: {circuit}   device: {device}");
+
+    // SWAP gates decompose into 3 CNOTs on this device (S_D = 3).
+    let config = SynthesisConfig::with_swap_duration(3);
+
+    // Depth optimization (§III-B-1).
+    let synth = Olsq2Synthesizer::new(config.clone());
+    let depth_opt = synth.optimize_depth(&circuit, &device)?;
+    verify(&circuit, &device, &depth_opt.result).map_err(|v| format!("{v:?}"))?;
+    println!(
+        "depth-optimal: depth={} swaps={} (proven optimal: {}, {} solver calls, {:.2?})",
+        depth_opt.result.depth,
+        depth_opt.result.swap_count(),
+        depth_opt.proven_optimal,
+        depth_opt.iterations,
+        depth_opt.elapsed,
+    );
+
+    // SWAP-count optimization with the transition-based model (§III-D).
+    let tb = TbOlsq2Synthesizer::new(config);
+    let swap_opt = tb.optimize_swaps(&circuit, &device)?;
+    verify(&circuit, &device, &swap_opt.outcome.result).map_err(|v| format!("{v:?}"))?;
+    println!(
+        "swap-optimal:  swaps={} blocks={} depth={} ({:.2?})",
+        swap_opt.outcome.result.swap_count(),
+        swap_opt.block_count,
+        swap_opt.outcome.result.depth,
+        swap_opt.outcome.elapsed,
+    );
+
+    // Emit the executable physical circuit (Fig. 4 of the paper).
+    let physical = emit_physical_circuit(&circuit, &device, &depth_opt.result);
+    println!("\nphysical circuit (QASM):\n{}", write_qasm(&physical.decompose_swaps()));
+    println!(
+        "initial mapping: {:?}",
+        depth_opt.result.initial_mapping
+    );
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the OLSQ2 reproduction workspace.
+//!
+//! Re-exports the member crates so the repository-level `examples/` and
+//! `tests/` can exercise the full public API from one place.
+
+pub use olsq2 as core;
+pub use olsq2_arch as arch;
+pub use olsq2_circuit as circuit;
+pub use olsq2_encode as encode;
+pub use olsq2_heuristic as heuristic;
+pub use olsq2_layout as layout;
+pub use olsq2_sat as sat;

@@ -1,0 +1,85 @@
+//! Commutation-aware synthesis (gate absorption, the paper's ref. [23]):
+//! relaxing dependencies between provably commuting gates can only help,
+//! and results remain valid under the matching relaxed verifier.
+
+use olsq2::{Olsq2Synthesizer, SynthesisConfig, TbOlsq2Synthesizer};
+use olsq2_arch::grid;
+use olsq2_circuit::generators::qaoa_circuit;
+use olsq2_circuit::DependencyGraph;
+use olsq2_layout::{verify_with_dag, Violation};
+
+#[test]
+fn qaoa_commutation_dag_is_dependency_free() {
+    let circuit = qaoa_circuit(8, 3);
+    let plain = DependencyGraph::new(&circuit);
+    let aware = DependencyGraph::new_with_commutation(&circuit);
+    assert!(plain.longest_chain() >= 3);
+    assert_eq!(aware.longest_chain(), 1, "ZZ gates all commute");
+    assert!(aware.dependencies().is_empty());
+}
+
+#[test]
+fn commutation_aware_depth_is_no_worse() {
+    let circuit = qaoa_circuit(8, 3);
+    let device = grid(3, 3);
+    let plain = Olsq2Synthesizer::new(SynthesisConfig::with_swap_duration(1))
+        .optimize_depth(&circuit, &device)
+        .expect("plain solves");
+    let mut config = SynthesisConfig::with_swap_duration(1);
+    config.commutation_aware = true;
+    let aware = Olsq2Synthesizer::new(config)
+        .optimize_depth(&circuit, &device)
+        .expect("aware solves");
+    // The relaxed problem's optimum can only be ≤ the plain optimum.
+    assert!(
+        aware.result.depth <= plain.result.depth,
+        "aware {} > plain {}",
+        aware.result.depth,
+        plain.result.depth
+    );
+    // Valid under the relaxed dependency graph...
+    let dag = DependencyGraph::new_with_commutation(&circuit);
+    assert_eq!(
+        verify_with_dag(&circuit, &device, &aware.result, &dag),
+        Ok(())
+    );
+    // ...and any dependency violations against the plain verifier involve
+    // only commuting pairs (reordering them is semantically free).
+    if let Err(violations) =
+        olsq2_layout::verify(&circuit, &device, &aware.result)
+    {
+        for v in violations {
+            match v {
+                Violation::DependencyViolated { earlier, later } => {
+                    assert!(
+                        circuit.gate(earlier).commutes_with(circuit.gate(later)),
+                        "non-commuting pair reordered"
+                    );
+                }
+                other => panic!("unexpected violation {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn commutation_aware_tb_swaps_no_worse() {
+    let circuit = qaoa_circuit(6, 5);
+    let device = grid(3, 3);
+    let plain = TbOlsq2Synthesizer::new(SynthesisConfig::with_swap_duration(1))
+        .optimize_swaps(&circuit, &device)
+        .expect("plain solves");
+    let mut config = SynthesisConfig::with_swap_duration(1);
+    config.commutation_aware = true;
+    let aware = TbOlsq2Synthesizer::new(config)
+        .optimize_swaps(&circuit, &device)
+        .expect("aware solves");
+    assert!(
+        aware.outcome.result.swap_count() <= plain.outcome.result.swap_count()
+    );
+    let dag = DependencyGraph::new_with_commutation(&circuit);
+    assert_eq!(
+        verify_with_dag(&circuit, &device, &aware.outcome.result, &dag),
+        Ok(())
+    );
+}

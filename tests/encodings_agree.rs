@@ -1,0 +1,123 @@
+//! All encoding configurations must compute the *same* optima — only their
+//! runtime differs (Table I is a pure performance ablation). This pins the
+//! semantic equivalence of the one-hot, binary, and inverse-channeling
+//! formulations end-to-end.
+
+use olsq2::{EncodingConfig, Olsq2Synthesizer, SynthesisConfig, TbOlsq2Synthesizer};
+use olsq2_arch::{grid, line};
+use olsq2_circuit::generators::qaoa_circuit;
+use olsq2_circuit::{Circuit, Gate, GateKind};
+use olsq2_layout::verify;
+
+fn configs() -> Vec<(&'static str, EncodingConfig)> {
+    vec![
+        ("int", EncodingConfig::int()),
+        ("bv", EncodingConfig::bv()),
+        ("euf_int", EncodingConfig::euf_int()),
+        ("euf_bv", EncodingConfig::euf_bv()),
+    ]
+}
+
+#[test]
+fn same_optimal_depth_across_encodings() {
+    let circuit = qaoa_circuit(6, 2);
+    let device = grid(3, 3);
+    let mut depths = Vec::new();
+    for (name, enc) in configs() {
+        let synth = Olsq2Synthesizer::new(SynthesisConfig {
+            encoding: enc,
+            swap_duration: 1,
+            ..SynthesisConfig::default()
+        });
+        let out = synth.optimize_depth(&circuit, &device).expect("solves");
+        assert!(out.proven_optimal, "{name}");
+        assert_eq!(verify(&circuit, &device, &out.result), Ok(()), "{name}");
+        depths.push((name, out.result.depth));
+    }
+    let first = depths[0].1;
+    for (name, d) in depths {
+        assert_eq!(d, first, "encoding {name} disagreed");
+    }
+}
+
+#[test]
+fn same_optimal_swap_count_across_encodings() {
+    let mut circuit = Circuit::new(3);
+    circuit.push(Gate::two(GateKind::Cx, 0, 1));
+    circuit.push(Gate::two(GateKind::Cx, 1, 2));
+    circuit.push(Gate::two(GateKind::Cx, 0, 2));
+    let device = line(4);
+    let mut counts = Vec::new();
+    for (name, enc) in configs() {
+        let synth = TbOlsq2Synthesizer::new(SynthesisConfig {
+            encoding: enc,
+            swap_duration: 1,
+            ..SynthesisConfig::default()
+        });
+        let out = synth.optimize_swaps(&circuit, &device).expect("solves");
+        assert!(out.outcome.proven_optimal, "{name}");
+        assert_eq!(
+            verify(&circuit, &device, &out.outcome.result),
+            Ok(()),
+            "{name}"
+        );
+        counts.push((name, out.outcome.result.swap_count()));
+    }
+    let first = counts[0].1;
+    for (name, c) in counts {
+        assert_eq!(c, first, "encoding {name} disagreed");
+    }
+}
+
+#[test]
+fn amo_choice_does_not_change_optima() {
+    use olsq2_encode::AmoEncoding;
+    let circuit = qaoa_circuit(6, 5);
+    let device = grid(3, 3);
+    let mut depths = Vec::new();
+    for amo in [
+        AmoEncoding::Pairwise,
+        AmoEncoding::Sequential,
+        AmoEncoding::Commander,
+    ] {
+        let mut enc = EncodingConfig::int();
+        enc.amo = amo;
+        let synth = Olsq2Synthesizer::new(SynthesisConfig {
+            encoding: enc,
+            swap_duration: 1,
+            ..SynthesisConfig::default()
+        });
+        let out = synth.optimize_depth(&circuit, &device).expect("solves");
+        assert!(out.proven_optimal);
+        depths.push(out.result.depth);
+    }
+    assert!(depths.windows(2).all(|w| w[0] == w[1]), "{depths:?}");
+}
+
+#[test]
+fn cardinality_choice_does_not_change_optima() {
+    use olsq2_encode::CardEncoding;
+    let mut circuit = Circuit::new(3);
+    circuit.push(Gate::two(GateKind::Cx, 0, 1));
+    circuit.push(Gate::two(GateKind::Cx, 1, 2));
+    circuit.push(Gate::two(GateKind::Cx, 0, 2));
+    let device = line(3);
+    let mut counts = Vec::new();
+    for card in [
+        CardEncoding::SequentialCounter,
+        CardEncoding::Totalizer,
+        CardEncoding::AdderNetwork,
+    ] {
+        let mut enc = EncodingConfig::int();
+        enc.cardinality = card;
+        let synth = Olsq2Synthesizer::new(SynthesisConfig {
+            encoding: enc,
+            swap_duration: 1,
+            pareto_relax_limit: Some(1),
+            ..SynthesisConfig::default()
+        });
+        let out = synth.optimize_swaps(&circuit, &device).expect("solves");
+        counts.push(out.best.result.swap_count());
+    }
+    assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+}

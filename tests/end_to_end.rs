@@ -1,0 +1,141 @@
+//! Cross-crate integration tests: the full synthesis pipeline on real
+//! benchmark generators and device topologies, with every result checked
+//! through the five-constraint verifier.
+
+use olsq2::{Olsq2Synthesizer, SynthesisConfig, TbOlsq2Synthesizer};
+use olsq2_arch::{aspen4, grid, ibm_qx2, line, sycamore54};
+use olsq2_circuit::generators::{qaoa_circuit, qft_circuit, tof_circuit, toffoli_circuit};
+use olsq2_circuit::{Circuit, DependencyGraph, Gate, GateKind};
+use olsq2_heuristic::{sabre_route, satmap_route, SabreConfig, SatMapConfig};
+use olsq2_layout::{emit_physical_circuit, verify};
+
+#[test]
+fn toffoli_on_qx2_depth_optimal() {
+    // The paper's running example (Figs. 2-4).
+    let circuit = toffoli_circuit();
+    let device = ibm_qx2();
+    let synth = Olsq2Synthesizer::new(SynthesisConfig::with_swap_duration(3));
+    let out = synth.optimize_depth(&circuit, &device).expect("solves");
+    assert!(out.proven_optimal);
+    assert_eq!(verify(&circuit, &device, &out.result), Ok(()));
+    // QX2 contains a triangle, so the Toffoli routes without SWAPs at the
+    // dependency-chain depth (11 for the canonical decomposition).
+    let dag = DependencyGraph::new(&circuit);
+    assert_eq!(out.result.depth, dag.longest_chain());
+    assert_eq!(out.result.swap_count(), 0);
+}
+
+#[test]
+fn exact_beats_or_ties_heuristics_on_swap_count() {
+    let circuit = qaoa_circuit(6, 11);
+    let device = grid(3, 3);
+    let mut sabre_cfg = SabreConfig::default();
+    sabre_cfg.swap_duration = 1;
+    let sabre = sabre_route(&circuit, &device, &sabre_cfg).expect("routes");
+    assert_eq!(verify(&circuit, &device, &sabre), Ok(()));
+
+    let mut sm_cfg = SatMapConfig::default();
+    sm_cfg.swap_duration = 1;
+    let satmap = satmap_route(&circuit, &device, &sm_cfg).expect("maps");
+    assert_eq!(verify(&circuit, &device, &satmap.result), Ok(()));
+
+    let tb = TbOlsq2Synthesizer::new(SynthesisConfig::with_swap_duration(1));
+    let exact = tb.optimize_swaps(&circuit, &device).expect("solves");
+    assert_eq!(verify(&circuit, &device, &exact.outcome.result), Ok(()));
+    assert!(exact.outcome.proven_optimal);
+
+    let optimal = exact.outcome.result.swap_count();
+    assert!(
+        sabre.swap_count() >= optimal,
+        "SABRE ({}) cannot beat the proven optimum ({optimal})",
+        sabre.swap_count()
+    );
+    assert!(
+        satmap.result.swap_count() >= optimal,
+        "SATMap ({}) cannot beat the proven optimum ({optimal})",
+        satmap.result.swap_count()
+    );
+}
+
+#[test]
+fn flat_and_tb_agree_on_zero_swap_instances() {
+    // A line circuit on a line device embeds perfectly.
+    let mut circuit = Circuit::new(5);
+    for q in 0..4u16 {
+        circuit.push(Gate::two(GateKind::Cx, q, q + 1));
+    }
+    let device = line(5);
+    let flat = Olsq2Synthesizer::new(SynthesisConfig::with_swap_duration(3));
+    let out = flat.optimize_swaps(&circuit, &device).expect("solves");
+    assert_eq!(out.best.result.swap_count(), 0);
+    let tb = TbOlsq2Synthesizer::new(SynthesisConfig::with_swap_duration(3));
+    let tb_out = tb.optimize_swaps(&circuit, &device).expect("solves");
+    assert_eq!(tb_out.outcome.result.swap_count(), 0);
+    assert_eq!(tb_out.block_count, 1);
+}
+
+#[test]
+fn qft_on_aspen4_full_pipeline() {
+    let circuit = qft_circuit(5);
+    let device = aspen4();
+    let tb = TbOlsq2Synthesizer::new(SynthesisConfig::with_swap_duration(3));
+    let out = tb.optimize_swaps(&circuit, &device).expect("solves");
+    assert_eq!(verify(&circuit, &device, &out.outcome.result), Ok(()));
+    // Emission must preserve gate counts: original gates + 1 swap gate per
+    // inserted SWAP.
+    let phys = emit_physical_circuit(&circuit, &device, &out.outcome.result);
+    assert_eq!(
+        phys.num_gates(),
+        circuit.num_gates() + out.outcome.result.swap_count()
+    );
+    let decomposed = phys.decompose_swaps();
+    assert_eq!(
+        decomposed.num_gates(),
+        circuit.num_gates() + 3 * out.outcome.result.swap_count()
+    );
+}
+
+#[test]
+fn sabre_scales_to_sycamore() {
+    let circuit = tof_circuit(5);
+    let device = sycamore54();
+    let result = sabre_route(&circuit, &device, &SabreConfig::default()).expect("routes");
+    assert_eq!(verify(&circuit, &device, &result), Ok(()));
+}
+
+#[test]
+fn depth_optimum_is_no_worse_than_sabre() {
+    for seed in [1u64, 2, 3] {
+        let circuit = qaoa_circuit(8, seed);
+        let device = grid(3, 3);
+        let mut sabre_cfg = SabreConfig::default();
+        sabre_cfg.swap_duration = 1;
+        let sabre = sabre_route(&circuit, &device, &sabre_cfg).expect("routes");
+        let synth = Olsq2Synthesizer::new(SynthesisConfig::with_swap_duration(1));
+        let exact = synth.optimize_depth(&circuit, &device).expect("solves");
+        assert!(exact.proven_optimal);
+        assert!(
+            exact.result.depth <= sabre.depth,
+            "seed {seed}: optimal {} > SABRE {}",
+            exact.result.depth,
+            sabre.depth
+        );
+    }
+}
+
+#[test]
+fn pareto_frontier_is_consistent() {
+    let circuit = qaoa_circuit(6, 4);
+    let device = grid(3, 3);
+    let synth = Olsq2Synthesizer::new(SynthesisConfig {
+        swap_duration: 1,
+        pareto_relax_limit: Some(1),
+        ..SynthesisConfig::default()
+    });
+    let out = synth.optimize_swaps(&circuit, &device).expect("solves");
+    assert_eq!(verify(&circuit, &device, &out.best.result), Ok(()));
+    // Swap counts along the recorded frontier never increase.
+    for w in out.pareto.windows(2) {
+        assert!(w[1].1 <= w[0].1, "pareto not monotone: {:?}", out.pareto);
+    }
+}

@@ -1,0 +1,66 @@
+//! QASM-in → synthesize → emit → QASM-out pipeline integration.
+
+use olsq2::{Olsq2Synthesizer, SynthesisConfig};
+use olsq2_arch::ibm_qx2;
+use olsq2_circuit::{parse_qasm, write_qasm, GateKind};
+use olsq2_layout::{emit_physical_circuit, verify};
+
+const PROGRAM: &str = r#"
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0],q[1];
+t q[2];
+cx q[1],q[2];
+rz(pi/8) q[1];
+cx q[0],q[2];
+measure q[0] -> c[0];
+"#;
+
+#[test]
+fn parse_synthesize_emit_reparse() {
+    let circuit = parse_qasm(PROGRAM).expect("parses");
+    assert_eq!(circuit.num_gates(), 6);
+    let device = ibm_qx2();
+    let synth = Olsq2Synthesizer::new(SynthesisConfig::with_swap_duration(3));
+    let out = synth.optimize_depth(&circuit, &device).expect("solves");
+    assert_eq!(verify(&circuit, &device, &out.result), Ok(()));
+
+    let physical = emit_physical_circuit(&circuit, &device, &out.result);
+    let qasm = write_qasm(&physical.decompose_swaps());
+    let reparsed = parse_qasm(&qasm).expect("emitted QASM parses back");
+    assert_eq!(reparsed.num_qubits(), device.num_qubits());
+    // Gate count: original + 3 CNOTs per swap.
+    assert_eq!(
+        reparsed.num_gates(),
+        circuit.num_gates() + 3 * out.result.swap_count()
+    );
+    // Every two-qubit gate in the emitted program must sit on a device edge.
+    for gate in reparsed.gates() {
+        if let olsq2_circuit::Operands::Two(a, b) = gate.operands {
+            assert!(
+                device.is_adjacent(a, b),
+                "emitted gate {gate} not on a coupler"
+            );
+        }
+    }
+}
+
+#[test]
+fn angles_survive_the_roundtrip() {
+    let circuit = parse_qasm(PROGRAM).expect("parses");
+    let qasm = write_qasm(&circuit);
+    let reparsed = parse_qasm(&qasm).expect("reparses");
+    let angle = |c: &olsq2_circuit::Circuit| {
+        c.gates()
+            .iter()
+            .find_map(|g| match g.kind {
+                GateKind::Rz(a) => Some(a),
+                _ => None,
+            })
+            .expect("has an rz")
+    };
+    assert!((angle(&circuit) - angle(&reparsed)).abs() < 1e-9);
+}
