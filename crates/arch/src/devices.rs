@@ -105,7 +105,7 @@ pub fn eagle127() -> CouplingGraph {
     chain(&mut edges, 75, 15); // row 4: 75..=89
     chain(&mut edges, 94, 15); // row 5: 94..=108
     chain(&mut edges, 113, 14); // row 6: 113..=126
-    // Bridge qubits between rows (ibm_washington pattern).
+                                // Bridge qubits between rows (ibm_washington pattern).
     let bridges: [(u16, u16, u16); 24] = [
         (14, 0, 18),
         (15, 4, 22),
@@ -219,12 +219,8 @@ pub fn heavy_hex(rows: usize, row_len: usize) -> CouplingGraph {
             }
         }
     }
-    CouplingGraph::new(
-        format!("heavyhex{rows}x{row_len}"),
-        total,
-        edges,
-    )
-    .expect("heavy-hex construction is valid")
+    CouplingGraph::new(format!("heavyhex{rows}x{row_len}"), total, edges)
+        .expect("heavy-hex construction is valid")
 }
 
 /// A linear chain of `n` qubits (useful for tests and worst-case routing).
@@ -253,6 +249,56 @@ pub fn complete(n: usize) -> CouplingGraph {
         }
     }
     CouplingGraph::new(format!("complete{n}"), n, edges).expect("complete construction is valid")
+}
+
+/// Looks up a device by its CLI/manifest name: `qx2`, `qx5`, `tokyo`,
+/// `aspen4`, `sycamore`, `eagle`, `grid<W>x<H>` (e.g. `grid3x3`),
+/// `line<N>` (e.g. `line5`), or `complete<N>`.
+///
+/// Returns `None` for unrecognized names or malformed parameters.
+///
+/// # Examples
+///
+/// ```
+/// use olsq2_arch::device_by_name;
+/// assert_eq!(device_by_name("tokyo").unwrap().num_qubits(), 20);
+/// assert_eq!(device_by_name("grid4x3").unwrap().num_qubits(), 12);
+/// assert!(device_by_name("gridWxH").is_none());
+/// ```
+pub fn device_by_name(name: &str) -> Option<CouplingGraph> {
+    match name {
+        "qx2" => Some(ibm_qx2()),
+        "qx5" => Some(ibm_qx5()),
+        "tokyo" => Some(ibm_tokyo()),
+        "aspen4" | "aspen-4" => Some(aspen4()),
+        "sycamore" => Some(sycamore54()),
+        "eagle" => Some(eagle127()),
+        _ => {
+            if let Some(rest) = name.strip_prefix("grid") {
+                let (w, h) = rest.split_once('x')?;
+                let (w, h) = (w.parse().ok()?, h.parse().ok()?);
+                if w == 0 || h == 0 || w * h > u16::MAX as usize {
+                    return None;
+                }
+                return Some(grid(w, h));
+            }
+            if let Some(rest) = name.strip_prefix("line") {
+                let n: usize = rest.parse().ok()?;
+                if n == 0 || n > u16::MAX as usize {
+                    return None;
+                }
+                return Some(line(n));
+            }
+            if let Some(rest) = name.strip_prefix("complete") {
+                let n: usize = rest.parse().ok()?;
+                if n == 0 || n > 512 {
+                    return None;
+                }
+                return Some(complete(n));
+            }
+            None
+        }
+    }
 }
 
 #[cfg(test)]

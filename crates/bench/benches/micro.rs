@@ -1,5 +1,6 @@
-//! Criterion micro-benchmarks backing the paper's performance claims at
-//! laptop-friendly sizes:
+//! Micro-benchmarks backing the paper's performance claims at
+//! laptop-friendly sizes, on a dependency-free timing harness (the
+//! offline build environment has no criterion):
 //!
 //! * `encoding/*` — Table I in miniature: time-to-solution of the
 //!   OLSQ(int) baseline vs OLSQ2(bv) on the same QAOA feasibility instance;
@@ -7,102 +8,119 @@
 //!   totalizer vs adder network on a popcount-bounding task;
 //! * `sabre` and `satmap` — heuristic baseline throughput;
 //! * `solver/pigeonhole` — raw CDCL performance on a classic UNSAT family.
+//!
+//! Run with `cargo bench -p olsq2-bench`. Each benchmark reports the
+//! minimum, median, and mean wall-clock time over a fixed number of
+//! iterations after one warm-up run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+// Pigeonhole generators index holes/pigeons directly.
+#![allow(clippy::needless_range_loop)]
 use olsq2::{EncodingConfig, FlatModel, ModelStyle, SynthesisConfig, TbOlsq2Synthesizer};
 use olsq2_arch::grid;
 use olsq2_bench as _;
 use olsq2_circuit::generators::qaoa_circuit;
 use olsq2_encode::{CardEncoding, CardinalityNetwork};
 use olsq2_heuristic::{sabre_route, satmap_route, SabreConfig, SatMapConfig};
-use olsq2_sat::{Lit, SolveResult, Solver};
+use olsq2_sat::{Lit, SolveResult, Solver, Var};
+use std::time::{Duration, Instant};
 
-fn encoding_benches(c: &mut Criterion) {
+/// Times `f` over `iters` iterations (plus one warm-up) and prints
+/// min/median/mean.
+fn bench(name: &str, iters: usize, mut f: impl FnMut()) {
+    f(); // warm-up
+    let mut samples: Vec<Duration> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed());
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{name:<40} min {min:>10.2?}  median {median:>10.2?}  mean {mean:>10.2?}  ({iters} iters)"
+    );
+}
+
+fn encoding_benches() {
     let circuit = qaoa_circuit(8, 3);
     let graph = grid(3, 3);
-    let mut group = c.benchmark_group("encoding");
-    group.sample_size(10);
     for (name, style, enc) in [
         ("olsq_int", ModelStyle::OlsqBaseline, EncodingConfig::int()),
         ("olsq2_int", ModelStyle::Olsq2, EncodingConfig::int()),
-        ("olsq2_euf_int", ModelStyle::Olsq2, EncodingConfig::euf_int()),
+        (
+            "olsq2_euf_int",
+            ModelStyle::Olsq2,
+            EncodingConfig::euf_int(),
+        ),
         ("olsq2_bv", ModelStyle::Olsq2, EncodingConfig::bv()),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let config = SynthesisConfig {
-                    encoding: enc,
-                    swap_duration: 1,
-                    ..SynthesisConfig::default()
-                };
-                let mut model =
-                    FlatModel::build_with_style(&circuit, &graph, &config, 10, style)
-                        .expect("builds");
-                assert_eq!(model.solve(&[]), SolveResult::Sat);
-            })
+        bench(&format!("encoding/{name}"), 10, || {
+            let config = SynthesisConfig {
+                encoding: enc,
+                swap_duration: 1,
+                ..SynthesisConfig::default()
+            };
+            let mut model =
+                FlatModel::build_with_style(&circuit, &graph, &config, 10, style).expect("builds");
+            assert_eq!(model.solve(&[]), SolveResult::Sat);
         });
     }
-    group.finish();
 }
 
-fn cardinality_benches(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cardinality");
+fn cardinality_benches() {
     for (name, enc) in [
         ("seq_counter", CardEncoding::SequentialCounter),
         ("totalizer", CardEncoding::Totalizer),
         ("adder", CardEncoding::AdderNetwork),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut s = Solver::new();
-                let xs: Vec<Lit> = (0..64).map(|_| Lit::positive(s.new_var())).collect();
-                let mut card = CardinalityNetwork::new(&mut s, &xs, 16, enc);
-                for &x in xs.iter().take(15) {
-                    s.add_clause([x]);
-                }
-                let bound = card.at_most(&mut s, 15);
-                assert_eq!(s.solve(&[bound]), SolveResult::Sat);
-                let tight = card.at_most(&mut s, 14);
-                assert_eq!(s.solve(&[tight]), SolveResult::Unsat);
-            })
+        bench(&format!("cardinality/{name}"), 20, || {
+            let mut s = Solver::new();
+            let xs: Vec<Lit> = (0..64).map(|_| Lit::positive(s.new_var())).collect();
+            let mut card = CardinalityNetwork::new(&mut s, &xs, 16, enc);
+            for &x in xs.iter().take(15) {
+                s.add_clause([x]);
+            }
+            let bound = card.at_most(&mut s, 15);
+            assert_eq!(s.solve(&[bound]), SolveResult::Sat);
+            let tight = card.at_most(&mut s, 14);
+            assert_eq!(s.solve(&[tight]), SolveResult::Unsat);
         });
     }
-    group.finish();
 }
 
-fn heuristic_benches(c: &mut Criterion) {
+fn heuristic_benches() {
     let circuit = qaoa_circuit(16, 7);
     let graph = olsq2_arch::sycamore54();
-    c.bench_function("sabre_qaoa16_sycamore", |b| {
-        let mut cfg = SabreConfig::default();
-        cfg.swap_duration = 1;
-        b.iter(|| sabre_route(&circuit, &graph, &cfg).expect("routes"))
+    bench("sabre_qaoa16_sycamore", 20, || {
+        let cfg = SabreConfig {
+            swap_duration: 1,
+            ..Default::default()
+        };
+        sabre_route(&circuit, &graph, &cfg).expect("routes");
     });
     let small = qaoa_circuit(8, 7);
     let small_graph = grid(3, 3);
-    let mut group = c.benchmark_group("satmap");
-    group.sample_size(10);
-    group.bench_function("satmap_qaoa8_grid3", |b| {
-        let mut cfg = SatMapConfig::default();
-        cfg.swap_duration = 1;
-        b.iter(|| satmap_route(&small, &small_graph, &cfg).expect("maps"))
+    bench("satmap/satmap_qaoa8_grid3", 10, || {
+        let cfg = SatMapConfig {
+            swap_duration: 1,
+            ..Default::default()
+        };
+        satmap_route(&small, &small_graph, &cfg).expect("maps");
     });
-    group.finish();
 }
 
-fn tb_bench(c: &mut Criterion) {
+fn tb_bench() {
     let circuit = qaoa_circuit(8, 3);
     let graph = grid(3, 3);
-    let mut group = c.benchmark_group("tb_olsq2");
-    group.sample_size(10);
-    group.bench_function("blocks_qaoa8_grid3", |b| {
+    bench("tb_olsq2/blocks_qaoa8_grid3", 10, || {
         let synth = TbOlsq2Synthesizer::new(SynthesisConfig::with_swap_duration(1));
-        b.iter(|| synth.optimize_blocks(&circuit, &graph).expect("solves"))
+        synth.optimize_blocks(&circuit, &graph).expect("solves");
     });
-    group.finish();
 }
 
-fn preprocess_bench(c: &mut Criterion) {
+fn preprocess_bench() {
     use olsq2_sat::Preprocessor;
     // A Tseitin-heavy formula: cardinality networks are full of eliminable
     // auxiliary variables, the preprocessing sweet spot.
@@ -118,91 +136,77 @@ fn preprocess_bench(c: &mut Criterion) {
         }
         cnf
     };
-    let mut group = c.benchmark_group("preprocess");
-    group.bench_function("with", |b| {
-        b.iter(|| {
-            let cnf = build();
-            let simp = Preprocessor::new(cnf.num_vars(), cnf.clauses().iter().cloned()).run();
-            let mut s = Solver::new();
-            assert!(simp.solve_and_reconstruct(&mut s).is_some());
-        })
+    bench("preprocess/with", 20, || {
+        let cnf = build();
+        let simp = Preprocessor::new(cnf.num_vars(), cnf.clauses().iter().cloned()).run();
+        let mut s = Solver::new();
+        assert!(simp.solve_and_reconstruct(&mut s).is_some());
     });
-    group.bench_function("without", |b| {
-        b.iter(|| {
-            let cnf = build();
-            let mut s = Solver::new();
-            cnf.load_into(&mut s);
-            assert_eq!(s.solve(&[]), SolveResult::Sat);
-        })
-    });
-    group.finish();
-}
-
-fn proof_bench(c: &mut Criterion) {
-    c.bench_function("proof/php_4_3_record_and_check", |b| {
-        b.iter(|| {
-            let mut s = Solver::new();
-            s.enable_proof();
-            let (p, h) = (4usize, 3usize);
-            let mut x = vec![vec![Lit::positive(Var::from_index(0)); h]; p];
-            for row in x.iter_mut() {
-                for cell in row.iter_mut() {
-                    *cell = Lit::positive(s.new_var());
-                }
-            }
-            for row in &x {
-                s.add_clause(row.iter().copied());
-            }
-            for hole in 0..h {
-                for p1 in 0..p {
-                    for p2 in (p1 + 1)..p {
-                        s.add_clause([!x[p1][hole], !x[p2][hole]]);
-                    }
-                }
-            }
-            assert_eq!(s.solve(&[]), SolveResult::Unsat);
-            let proof = s.take_proof().expect("proof");
-            assert_eq!(proof.check(), Ok(()));
-        })
+    bench("preprocess/without", 20, || {
+        let cnf = build();
+        let mut s = Solver::new();
+        cnf.load_into(&mut s);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
     });
 }
 
-fn solver_bench(c: &mut Criterion) {
-    c.bench_function("solver/pigeonhole_7_into_6", |b| {
-        b.iter(|| {
-            let mut s = Solver::new();
-            let (p, h) = (7usize, 6usize);
-            let mut x = vec![vec![Lit::positive(Var::from_index(0)); h]; p];
-            for row in x.iter_mut() {
-                for cell in row.iter_mut() {
-                    *cell = Lit::positive(s.new_var());
+fn proof_bench() {
+    bench("proof/php_4_3_record_and_check", 20, || {
+        let mut s = Solver::new();
+        s.enable_proof();
+        let (p, h) = (4usize, 3usize);
+        let mut x = vec![vec![Lit::positive(Var::from_index(0)); h]; p];
+        for row in x.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = Lit::positive(s.new_var());
+            }
+        }
+        for row in &x {
+            s.add_clause(row.iter().copied());
+        }
+        for hole in 0..h {
+            for p1 in 0..p {
+                for p2 in (p1 + 1)..p {
+                    s.add_clause([!x[p1][hole], !x[p2][hole]]);
                 }
             }
-            for row in &x {
-                s.add_clause(row.iter().copied());
-            }
-            for hole in 0..h {
-                for p1 in 0..p {
-                    for p2 in (p1 + 1)..p {
-                        s.add_clause([!x[p1][hole], !x[p2][hole]]);
-                    }
-                }
-            }
-            assert_eq!(s.solve(&[]), SolveResult::Unsat);
-        })
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        let proof = s.take_proof().expect("proof");
+        assert_eq!(proof.check(), Ok(()));
     });
 }
 
-use olsq2_sat::Var;
+fn solver_bench() {
+    bench("solver/pigeonhole_5_4", 10, || {
+        let (p, h) = (5usize, 4usize);
+        let mut s = Solver::new();
+        let mut x = vec![vec![Lit::positive(Var::from_index(0)); h]; p];
+        for row in x.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = Lit::positive(s.new_var());
+            }
+        }
+        for row in &x {
+            s.add_clause(row.iter().copied());
+        }
+        for hole in 0..h {
+            for p1 in 0..p {
+                for p2 in (p1 + 1)..p {
+                    s.add_clause([!x[p1][hole], !x[p2][hole]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    });
+}
 
-criterion_group!(
-    benches,
-    encoding_benches,
-    cardinality_benches,
-    heuristic_benches,
-    tb_bench,
-    solver_bench,
-    preprocess_bench,
-    proof_bench
-);
-criterion_main!(benches);
+fn main() {
+    encoding_benches();
+    cardinality_benches();
+    heuristic_benches();
+    tb_bench();
+    preprocess_bench();
+    proof_bench();
+    solver_bench();
+}

@@ -18,11 +18,7 @@ use std::time::Instant;
 /// Depth optimization re-implemented with a fresh solver per bound —
 /// the same search trajectory as `Olsq2Synthesizer::optimize_depth` but no
 /// clause reuse.
-fn fresh_per_bound(
-    circuit: &Circuit,
-    graph: &olsq2_arch::CouplingGraph,
-    opts: &BenchOpts,
-) -> Cell {
+fn fresh_per_bound(circuit: &Circuit, graph: &olsq2_arch::CouplingGraph, opts: &BenchOpts) -> Cell {
     let start = Instant::now();
     let deadline = start + opts.budget;
     let config = SynthesisConfig::with_swap_duration(1);
@@ -60,11 +56,7 @@ fn fresh_per_bound(
     Cell::Time(start.elapsed())
 }
 
-fn incremental(
-    circuit: &Circuit,
-    graph: &olsq2_arch::CouplingGraph,
-    opts: &BenchOpts,
-) -> Cell {
+fn incremental(circuit: &Circuit, graph: &olsq2_arch::CouplingGraph, opts: &BenchOpts) -> Cell {
     let mut config = SynthesisConfig::with_swap_duration(1);
     config.time_budget = Some(opts.budget);
     let synth = Olsq2Synthesizer::new(config);
@@ -105,5 +97,8 @@ fn main() {
         );
         pairs.push((fresh, inc));
     }
-    println!("\naverage speedup from incremental solving: {}", geomean_ratio(&pairs));
+    println!(
+        "\naverage speedup from incremental solving: {}",
+        geomean_ratio(&pairs)
+    );
 }

@@ -99,5 +99,8 @@ fn main() {
             pairs.push((baseline, ours));
         }
     }
-    println!("\naverage speedup (geomean over solved pairs): {}", geomean_ratio(&pairs));
+    println!(
+        "\naverage speedup (geomean over solved pairs): {}",
+        geomean_ratio(&pairs)
+    );
 }

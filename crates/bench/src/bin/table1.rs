@@ -11,7 +11,9 @@ use olsq2_circuit::generators::qaoa_circuit;
 use olsq2_sat::SolveResult;
 use std::time::Instant;
 
-const CONFIGS: [(&str, ModelStyle, fn() -> EncodingConfig); 6] = [
+type ConfigRow = (&'static str, ModelStyle, fn() -> EncodingConfig);
+
+const CONFIGS: [ConfigRow; 6] = [
     ("OLSQ(int)", ModelStyle::OlsqBaseline, EncodingConfig::int),
     ("OLSQ(bv)", ModelStyle::OlsqBaseline, EncodingConfig::bv),
     ("OLSQ2(int)", ModelStyle::Olsq2, EncodingConfig::int),

@@ -20,6 +20,7 @@ use olsq2_encode::CardEncoding;
 use olsq2_sat::SolveResult;
 use std::time::Instant;
 
+#[allow(clippy::too_many_arguments)]
 fn run_flat(
     circuit: &olsq2_circuit::Circuit,
     graph: &olsq2_arch::CouplingGraph,

@@ -72,7 +72,13 @@ fn main() {
         for (d, g) in [(5usize, 192usize), (15, 576), (25, 959)] {
             rows.push(queko_row("sycamore", &sycamore, d, g, opts.seed + d as u64));
         }
-        for (d, g) in [(5usize, 37usize), (15, 109), (25, 180), (35, 253), (45, 324)] {
+        for (d, g) in [
+            (5usize, 37usize),
+            (15, 109),
+            (25, 180),
+            (35, 253),
+            (45, 324),
+        ] {
             rows.push(queko_row("aspen-4", &aspen, d, g, opts.seed + d as u64));
         }
         for n in [16usize, 20] {
@@ -104,7 +110,10 @@ fn main() {
         rows.push(queko_row("sycamore", &sycamore, 5, 192, opts.seed));
     }
 
-    println!("Table III reproduction: depth optimization, SABRE vs OLSQ2 (budget {:?}/row)\n", opts.budget);
+    println!(
+        "Table III reproduction: depth optimization, SABRE vs OLSQ2 (budget {:?}/row)\n",
+        opts.budget
+    );
     println!(
         "{:<10} {:<22} {:>6} {:>8} {:>7}  note",
         "device", "benchmark", "SABRE", "OLSQ2", "ratio"
@@ -116,12 +125,18 @@ fn main() {
             "aspen-4" => &aspen,
             _ => &eagle,
         };
-        let mut sabre_cfg = SabreConfig::default();
-        sabre_cfg.swap_duration = row.swap_duration;
-        sabre_cfg.seed = opts.seed;
+        let sabre_cfg = SabreConfig {
+            swap_duration: row.swap_duration,
+            seed: opts.seed,
+            ..Default::default()
+        };
         let sabre = match sabre_route(&row.circuit, graph, &sabre_cfg) {
             Ok(r) => {
-                assert_eq!(verify(&row.circuit, graph, &r), Ok(()), "SABRE result invalid");
+                assert_eq!(
+                    verify(&row.circuit, graph, &r),
+                    Ok(()),
+                    "SABRE result invalid"
+                );
                 Some(r)
             }
             Err(_) => None,
@@ -149,7 +164,11 @@ fn main() {
                         note.push_str(&format!(", QUEKO optimum {known}"));
                     }
                 }
-                (format!("{}", out.result.depth), note, Some(out.result.depth))
+                (
+                    format!("{}", out.result.depth),
+                    note,
+                    Some(out.result.depth),
+                )
             }
             Err(SynthesisError::BudgetExhausted) => ("TO".into(), String::new(), None),
             Err(e) => (format!("{e}"), String::new(), None),

@@ -57,7 +57,13 @@ fn main() {
         for (d, g) in [(5usize, 192usize), (15, 576)] {
             rows.push(queko(&sycamore, "sycamore", d, g, opts.seed + d as u64));
         }
-        for (d, g) in [(5usize, 37usize), (15, 109), (25, 180), (35, 253), (45, 324)] {
+        for (d, g) in [
+            (5usize, 37usize),
+            (15, 109),
+            (25, 180),
+            (35, 253),
+            (45, 324),
+        ] {
             rows.push(queko(&aspen, "aspen-4", d, g, opts.seed + d as u64));
         }
     } else {
@@ -94,21 +100,29 @@ fn main() {
         } else {
             &aspen
         };
-        let mut sabre_cfg = SabreConfig::default();
-        sabre_cfg.swap_duration = row.swap_duration;
-        sabre_cfg.seed = opts.seed;
+        let sabre_cfg = SabreConfig {
+            swap_duration: row.swap_duration,
+            seed: opts.seed,
+            ..Default::default()
+        };
         let sabre = sabre_route(&row.circuit, graph, &sabre_cfg).ok();
         if let Some(r) = &sabre {
             assert_eq!(verify(&row.circuit, graph, r), Ok(()), "SABRE invalid");
         }
 
-        let mut sm_cfg = SatMapConfig::default();
-        sm_cfg.swap_duration = row.swap_duration;
-        sm_cfg.time_budget = Some(opts.budget);
+        let sm_cfg = SatMapConfig {
+            swap_duration: row.swap_duration,
+            time_budget: Some(opts.budget),
+            ..Default::default()
+        };
         let satmap = satmap_route(&row.circuit, graph, &sm_cfg);
         let satmap_text = match &satmap {
             Ok(out) => {
-                assert_eq!(verify(&row.circuit, graph, &out.result), Ok(()), "SATMap invalid");
+                assert_eq!(
+                    verify(&row.circuit, graph, &out.result),
+                    Ok(()),
+                    "SATMap invalid"
+                );
                 out.result.swap_count().to_string()
             }
             Err(SatMapError::Timeout) => "TO".into(),
@@ -128,7 +142,11 @@ fn main() {
                 );
                 (
                     out.outcome.result.swap_count().to_string(),
-                    if out.outcome.proven_optimal { "optimal" } else { "budget" },
+                    if out.outcome.proven_optimal {
+                        "optimal"
+                    } else {
+                        "budget"
+                    },
                     Some(out.outcome.result.swap_count()),
                 )
             }
@@ -149,7 +167,10 @@ fn main() {
             "{:<10} {:<22} {:>6} {:>8} {:>9}  {}",
             row.device,
             row.circuit.name(),
-            sabre.as_ref().map(|r| r.swap_count().to_string()).unwrap_or("ERR".into()),
+            sabre
+                .as_ref()
+                .map(|r| r.swap_count().to_string())
+                .unwrap_or("ERR".into()),
             satmap_text,
             tb_text,
             note

@@ -127,7 +127,12 @@ impl Circuit {
         let mut ready = vec![0usize; self.num_qubits];
         let mut depth = 0;
         for g in &self.gates {
-            let start = g.operands.qubits().map(|q| ready[q as usize]).max().unwrap_or(0);
+            let start = g
+                .operands
+                .qubits()
+                .map(|q| ready[q as usize])
+                .max()
+                .unwrap_or(0);
             let finish = start + 1;
             for q in g.operands.qubits() {
                 ready[q as usize] = finish;
@@ -219,7 +224,11 @@ impl fmt::Display for Circuit {
         write!(
             f,
             "{}({}q, {}g)",
-            if self.name.is_empty() { "circuit" } else { &self.name },
+            if self.name.is_empty() {
+                "circuit"
+            } else {
+                &self.name
+            },
             self.num_qubits,
             self.gates.len()
         )

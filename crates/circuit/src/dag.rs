@@ -90,10 +90,7 @@ impl DependencyGraph {
         Self::from_dependency_pairs(n, dependencies)
     }
 
-    fn from_dependency_pairs(
-        n: usize,
-        mut dependencies: Vec<(usize, usize)>,
-    ) -> DependencyGraph {
+    fn from_dependency_pairs(n: usize, mut dependencies: Vec<(usize, usize)>) -> DependencyGraph {
         dependencies.sort_unstable();
         dependencies.dedup();
         let mut predecessors = vec![Vec::new(); n];

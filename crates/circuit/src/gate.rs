@@ -85,7 +85,10 @@ impl GateKind {
     /// The gate parameters (angles), if any.
     pub fn params(&self) -> Vec<f64> {
         match self {
-            GateKind::Rx(a) | GateKind::Ry(a) | GateKind::Rz(a) | GateKind::Cp(a)
+            GateKind::Rx(a)
+            | GateKind::Ry(a)
+            | GateKind::Rz(a)
+            | GateKind::Cp(a)
             | GateKind::Zz(a) => vec![*a],
             GateKind::U(a, b, c) => vec![*a, *b, *c],
             GateKind::Other { params, .. } => params.clone(),
@@ -304,10 +307,7 @@ mod tests {
     fn display_forms() {
         assert_eq!(Gate::one(GateKind::H, 0).to_string(), "h q[0]");
         assert_eq!(Gate::two(GateKind::Cx, 0, 1).to_string(), "cx q[0],q[1]");
-        assert_eq!(
-            Gate::one(GateKind::Rz(0.5), 2).to_string(),
-            "rz(0.5) q[2]"
-        );
+        assert_eq!(Gate::one(GateKind::Rz(0.5), 2).to_string(), "rz(0.5) q[2]");
     }
 
     #[test]

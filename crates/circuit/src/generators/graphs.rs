@@ -5,8 +5,7 @@
 //! configuration (pairing) model with rejection sampling gives the same
 //! distribution family, seeded for reproducibility.
 
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use olsq2_prng::Rng;
 
 /// Generates a simple `degree`-regular graph on `n` vertices via the
 /// configuration model with rejection (no self-loops, no multi-edges).
@@ -26,14 +25,14 @@ use rand::{Rng, SeedableRng};
 pub fn random_regular_graph(n: usize, degree: usize, seed: u64) -> Vec<(u16, u16)> {
     assert!(n > 0, "graph must have vertices");
     assert!(degree < n, "degree must be below the vertex count");
-    assert!(n * degree % 2 == 0, "n·degree must be even");
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    assert!((n * degree).is_multiple_of(2), "n·degree must be even");
+    let mut rng = Rng::seed_from_u64(seed);
     'retry: loop {
         // Stubs: each vertex appears `degree` times.
         let mut stubs: Vec<u16> = (0..n as u16)
-            .flat_map(|v| std::iter::repeat(v).take(degree))
+            .flat_map(|v| std::iter::repeat_n(v, degree))
             .collect();
-        stubs.shuffle(&mut rng);
+        rng.shuffle(&mut stubs);
         let mut edges: Vec<(u16, u16)> = Vec::with_capacity(n * degree / 2);
         let mut seen = std::collections::HashSet::new();
         for pair in stubs.chunks(2) {
@@ -61,7 +60,7 @@ pub fn random_regular_graph(n: usize, degree: usize, seed: u64) -> Vec<(u16, u16
 pub fn random_gnm_graph(n: usize, m: usize, seed: u64) -> Vec<(u16, u16)> {
     let max = n * (n - 1) / 2;
     assert!(m <= max, "too many edges requested");
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut seen = std::collections::HashSet::new();
     let mut edges = Vec::with_capacity(m);
     while edges.len() < m {

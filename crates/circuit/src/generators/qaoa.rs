@@ -40,7 +40,10 @@ pub fn qaoa_from_graph(n: usize, edges: &[(u16, u16)], gamma: f64) -> Circuit {
 /// assert_eq!(c.name(), "QAOA(16/24)");
 /// ```
 pub fn qaoa_circuit(n: usize, seed: u64) -> Circuit {
-    assert!(n >= 4 && n % 2 == 0, "3-regular graphs need even n ≥ 4");
+    assert!(
+        n >= 4 && n.is_multiple_of(2),
+        "3-regular graphs need even n ≥ 4"
+    );
     let edges = random_regular_graph(n, 3, seed);
     qaoa_from_graph(n, &edges, 0.7)
 }

@@ -14,8 +14,7 @@
 
 use crate::circuit::Circuit;
 use crate::gate::{Gate, GateKind};
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use olsq2_prng::Rng;
 
 /// A generated QUEKO instance.
 #[derive(Debug, Clone)]
@@ -66,7 +65,7 @@ pub fn queko_circuit(
         target_gates >= depth,
         "need at least one gate per cycle for the backbone"
     );
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let per_cycle_base = target_gates / depth;
     let mut remainder = target_gates % depth;
 
@@ -103,7 +102,7 @@ pub fn queko_circuit(
 
         // 2. Fill with two-qubit gates on a random matching of free edges.
         let mut order: Vec<usize> = (0..edges.len()).collect();
-        order.shuffle(&mut rng);
+        rng.shuffle(&mut order);
         let mut placed = 1usize;
         for ei in order {
             if placed >= quota {
@@ -128,7 +127,7 @@ pub fn queko_circuit(
         let mut free: Vec<u16> = (0..num_qubits as u16)
             .filter(|&q| !busy[q as usize])
             .collect();
-        free.shuffle(&mut rng);
+        rng.shuffle(&mut free);
         for q in free {
             if placed >= quota {
                 break;
@@ -143,7 +142,7 @@ pub fn queko_circuit(
     // The physical circuit uses physical indices; applying the inverse
     // permutation turns them into program indices.
     let mut hidden_mapping: Vec<u16> = (0..num_qubits as u16).collect();
-    hidden_mapping.shuffle(&mut rng);
+    rng.shuffle(&mut hidden_mapping);
     let mut inverse = vec![0u16; num_qubits];
     for (program, &physical) in hidden_mapping.iter().enumerate() {
         inverse[physical as usize] = program as u16;
@@ -220,10 +219,7 @@ mod tests {
         // two-qubit gate must land on a device edge.
         for g in q.circuit.gates() {
             if let Operands::Two(a, b) = g.operands {
-                let (pa, pb) = (
-                    q.hidden_mapping[a as usize],
-                    q.hidden_mapping[b as usize],
-                );
+                let (pa, pb) = (q.hidden_mapping[a as usize], q.hidden_mapping[b as usize]);
                 let key = (pa.min(pb), pa.max(pb));
                 assert!(edges.contains(&key), "gate {g} not on an edge");
             }

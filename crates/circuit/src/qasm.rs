@@ -81,7 +81,11 @@ fn eval_angle(expr: &str) -> Option<f64> {
         if t.is_empty() {
             return None;
         }
-        let mut v = if t == "pi" { PI } else { t.parse::<f64>().ok()? };
+        let mut v = if t == "pi" {
+            PI
+        } else {
+            t.parse::<f64>().ok()?
+        };
         if negate {
             v = -v;
         }
@@ -178,7 +182,9 @@ pub fn parse_qasm(source: &str) -> Result<Circuit, ParseQasmError> {
                 }
                 continue;
             }
-            if lower.starts_with("creg") || lower.starts_with("barrier") || lower.starts_with("measure")
+            if lower.starts_with("creg")
+                || lower.starts_with("barrier")
+                || lower.starts_with("measure")
             {
                 continue;
             }
@@ -376,7 +382,10 @@ barrier q[0],q[1];
 
     #[test]
     fn errors_are_reported() {
-        assert!(matches!(parse_qasm("h q[0];"), Err(ParseQasmError::MissingQreg)));
+        assert!(matches!(
+            parse_qasm("h q[0];"),
+            Err(ParseQasmError::MissingQreg)
+        ));
         assert!(matches!(
             parse_qasm("qreg q[2];\nh q[5];"),
             Err(ParseQasmError::BadQubit { line: 2, .. })

@@ -4,20 +4,27 @@
 //! olsq2 --qasm <file|-> --device <name> [--objective depth|swaps|blocks]
 //!       [--swap-duration N] [--budget SECS] [--encoding int|bv|euf]
 //!       [--tool olsq2|tb|sabre|satmap|astar|portfolio] [--output out.qasm]
+//!
+//! olsq2 serve-batch --manifest <file|-> [--output <file|->]
+//!       [--workers N] [--queue N] [--cache N]
 //! ```
 //!
-//! Reads an OpenQASM 2.0 circuit, synthesizes a layout for the chosen
-//! device, verifies it, reports depth/SWAP statistics, and (optionally)
-//! writes the executable physical circuit back as QASM.
+//! The first form reads an OpenQASM 2.0 circuit, synthesizes a layout for
+//! the chosen device, verifies it, reports depth/SWAP statistics, and
+//! (optionally) writes the executable physical circuit back as QASM.
+//!
+//! The `serve-batch` form reads a JSONL job manifest (see the
+//! `olsq2-service` crate docs for the line format), drives the synthesis
+//! service with a worker pool and canonicalizing result cache, and writes
+//! one JSONL result line per job plus a final metrics summary line.
 
 use olsq2::{
     EncodingConfig, Olsq2Synthesizer, PortfolioSynthesizer, SynthesisConfig, TbOlsq2Synthesizer,
 };
-use olsq2_arch::{
-    aspen4, eagle127, grid, ibm_qx2, ibm_qx5, ibm_tokyo, line, sycamore54, CouplingGraph,
-};
+use olsq2_arch::device_by_name;
 use olsq2_circuit::{parse_qasm, write_qasm};
 use olsq2_layout::{emit_physical_circuit, verify, LayoutResult};
+use olsq2_service::{manifest, ServiceConfig};
 use std::io::Read;
 use std::time::Duration;
 
@@ -26,34 +33,101 @@ fn usage() -> ! {
         "usage: olsq2 --qasm <file|-> --device <name> \\
           [--objective depth|swaps] [--tool olsq2|tb|sabre|satmap|astar|portfolio] \\
           [--swap-duration N] [--budget SECS] [--encoding int|bv|euf] [--output out.qasm]
+       olsq2 serve-batch --manifest <file|-> [--output <file|->] \\
+          [--workers N] [--queue N] [--cache N]
 
-devices: qx2, qx5, tokyo, aspen4, sycamore, eagle, grid<WxH>, line<N>"
+devices: qx2, qx5, tokyo, aspen4, sycamore, eagle, grid<WxH>, line<N>, complete<N>"
     );
     std::process::exit(2);
 }
 
-fn device_by_name(name: &str) -> Option<CouplingGraph> {
-    match name {
-        "qx2" => Some(ibm_qx2()),
-        "qx5" => Some(ibm_qx5()),
-        "tokyo" => Some(ibm_tokyo()),
-        "aspen4" | "aspen-4" => Some(aspen4()),
-        "sycamore" => Some(sycamore54()),
-        "eagle" => Some(eagle127()),
-        _ => {
-            if let Some(rest) = name.strip_prefix("grid") {
-                let (w, h) = rest.split_once('x')?;
-                return Some(grid(w.parse().ok()?, h.parse().ok()?));
-            }
-            if let Some(rest) = name.strip_prefix("line") {
-                return Some(line(rest.parse().ok()?));
-            }
-            None
-        }
+fn read_input(path: &str) -> String {
+    if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf).expect("stdin");
+        buf
+    } else {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        })
     }
 }
 
+fn serve_batch(args: impl Iterator<Item = String>) {
+    let mut manifest_path = None;
+    let mut output: Option<String> = None;
+    let mut config = ServiceConfig::default();
+    let mut args = args;
+    while let Some(a) = args.next() {
+        let val = |args: &mut dyn Iterator<Item = String>| -> String {
+            args.next().unwrap_or_else(|| usage())
+        };
+        match a.as_str() {
+            "--manifest" => manifest_path = Some(val(&mut args)),
+            "--output" => output = Some(val(&mut args)),
+            "--workers" => config.workers = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--queue" => config.queue_capacity = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--cache" => config.cache_capacity = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    let Some(manifest_path) = manifest_path else {
+        usage()
+    };
+    let text = read_input(&manifest_path);
+    let requests = manifest::parse_manifest(&text).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let total = requests.len();
+    eprintln!(
+        "serve-batch: {total} job(s), {} worker(s), queue {}, cache {}",
+        config.workers, config.queue_capacity, config.cache_capacity
+    );
+    let (statuses, metrics) = manifest::run_batch(requests, config);
+    let mut lines = String::new();
+    for (name, status) in &statuses {
+        lines.push_str(&manifest::status_to_json(name, status).to_string());
+        lines.push('\n');
+    }
+    lines.push_str(&manifest::metrics_to_json(&metrics).to_string());
+    lines.push('\n');
+    match output.as_deref() {
+        None | Some("-") => print!("{lines}"),
+        Some(path) => {
+            std::fs::write(path, &lines).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("wrote {} result line(s) to {path}", statuses.len() + 1);
+        }
+    }
+    eprintln!(
+        "done: {} ok ({} degraded), {} failed, {} cancelled; cache {} hit(s) / {} miss(es); p50 {}ms p95 {}ms",
+        metrics.done,
+        metrics.degraded,
+        metrics.failed,
+        metrics.cancelled,
+        metrics.cache.hits,
+        metrics.cache.misses,
+        metrics.p50_latency.as_millis(),
+        metrics.p95_latency.as_millis()
+    );
+    let any_failed = statuses
+        .iter()
+        .any(|(_, s)| !matches!(s, olsq2_service::JobStatus::Done(_)));
+    std::process::exit(if any_failed { 1 } else { 0 });
+}
+
 fn main() {
+    let mut raw = std::env::args().skip(1).peekable();
+    if raw.peek().map(String::as_str) == Some("serve-batch") {
+        raw.next();
+        serve_batch(raw);
+        return;
+    }
     let mut qasm_path = None;
     let mut device_name = None;
     let mut objective = "swaps".to_string();
@@ -73,9 +147,7 @@ fn main() {
             "--device" => device_name = Some(val(&mut args)),
             "--objective" => objective = val(&mut args),
             "--tool" => tool = val(&mut args),
-            "--swap-duration" => {
-                swap_duration = val(&mut args).parse().unwrap_or_else(|_| usage())
-            }
+            "--swap-duration" => swap_duration = val(&mut args).parse().unwrap_or_else(|_| usage()),
             "--budget" => {
                 budget = Some(Duration::from_secs(
                     val(&mut args).parse().unwrap_or_else(|_| usage()),
@@ -180,21 +252,27 @@ fn main() {
             out.result
         }
         ("sabre", _) => {
-            let mut cfg = olsq2_heuristic::SabreConfig::default();
-            cfg.swap_duration = swap_duration;
+            let cfg = olsq2_heuristic::SabreConfig {
+                swap_duration,
+                ..Default::default()
+            };
             olsq2_heuristic::sabre_route(&circuit, &device, &cfg).unwrap_or_else(|e| fail(&e))
         }
         ("satmap", _) => {
-            let mut cfg = olsq2_heuristic::SatMapConfig::default();
-            cfg.swap_duration = swap_duration;
-            cfg.time_budget = budget;
+            let cfg = olsq2_heuristic::SatMapConfig {
+                swap_duration,
+                time_budget: budget,
+                ..Default::default()
+            };
             olsq2_heuristic::satmap_route(&circuit, &device, &cfg)
                 .unwrap_or_else(|e| fail(&e))
                 .result
         }
         ("astar", _) => {
-            let mut cfg = olsq2_heuristic::AstarConfig::default();
-            cfg.swap_duration = swap_duration;
+            let cfg = olsq2_heuristic::AstarConfig {
+                swap_duration,
+                ..Default::default()
+            };
             olsq2_heuristic::astar_route(&circuit, &device, &cfg).unwrap_or_else(|e| fail(&e))
         }
         _ => usage(),

@@ -132,6 +132,10 @@ pub struct SynthesisConfig {
     /// budget result. Installed by [`crate::PortfolioSynthesizer`] to
     /// cancel losing portfolio members.
     pub stop_flag: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    /// Best-so-far reporting: when set, the optimization loops publish
+    /// every intermediate solution here, so a deadline-bound caller can
+    /// recover the incumbent when the budget expires mid-descent.
+    pub incumbent: Option<crate::IncumbentSlot>,
     /// Seed the solver's branching order with domain knowledge (§V of the
     /// paper): initial-mapping variables first, then gate times, leaving
     /// SWAP variables to be derived — "place, then schedule, then route".
@@ -154,6 +158,7 @@ impl Default for SynthesisConfig {
             conflict_budget: None,
             pareto_relax_limit: None,
             stop_flag: None,
+            incumbent: None,
             seed_variable_order: false,
             commutation_aware: false,
         }

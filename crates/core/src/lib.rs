@@ -40,6 +40,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod config;
+pub mod incumbent;
 pub mod model;
 pub mod optimize;
 pub mod portfolio;
@@ -47,9 +48,8 @@ pub mod transition;
 pub mod vars;
 
 pub use config::{EncodingConfig, MappingEncoding, SynthesisConfig, TimeEncoding};
+pub use incumbent::IncumbentSlot;
 pub use model::{FlatModel, ModelError, ModelStyle};
-pub use optimize::{
-    Olsq2Synthesizer, SwapOptimizationOutcome, SynthesisError, SynthesisOutcome,
-};
-pub use portfolio::PortfolioSynthesizer;
+pub use optimize::{Olsq2Synthesizer, SwapOptimizationOutcome, SynthesisError, SynthesisOutcome};
+pub use portfolio::{MemberOutcome, PortfolioReport, PortfolioSynthesizer};
 pub use transition::{TbOlsq2Synthesizer, TbOutcome};

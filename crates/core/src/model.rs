@@ -13,6 +13,8 @@
 //! Objective bounds are attached through activation literals so the
 //! optimization loops of §III-B stay incremental.
 
+// Indexed `for` loops are deliberate here: time-step/edge index loops mirror the paper's formulation.
+#![allow(clippy::needless_range_loop)]
 use crate::config::{MappingEncoding, SynthesisConfig};
 use crate::vars::{FdVar, TimeVars};
 use olsq2_arch::CouplingGraph;
@@ -47,7 +49,10 @@ impl std::fmt::Display for ModelError {
             ),
             ModelError::EmptyCircuit => write!(f, "circuit has no gates"),
             ModelError::DisconnectedDevice => {
-                write!(f, "coupling graph is disconnected; routing may be impossible")
+                write!(
+                    f,
+                    "coupling graph is disconnected; routing may be impossible"
+                )
             }
         }
     }
@@ -196,13 +201,7 @@ impl FlatModel {
         } else {
             DependencyGraph::new(circuit)
         };
-        let mut time = TimeVars::new(
-            &mut solver,
-            circuit.num_gates(),
-            t_ub,
-            enc.time,
-            enc.amo,
-        );
+        let mut time = TimeVars::new(&mut solver, circuit.num_gates(), t_ub, enc.time, enc.amo);
         for &(g, g2) in dag.dependencies() {
             time.assert_before(&mut solver, g, g2);
         }
@@ -253,8 +252,7 @@ impl FlatModel {
             let (a1, b1) = graph.edge(e1);
             for e2 in e1..ne {
                 let (a2, b2) = graph.edge(e2);
-                let shares =
-                    e1 == e2 || a1 == a2 || a1 == b2 || b1 == a2 || b1 == b2;
+                let shares = e1 == e2 || a1 == a2 || a1 == b2 || b1 == a2 || b1 == b2;
                 if !shares {
                     continue;
                 }
@@ -297,8 +295,7 @@ impl FlatModel {
                                                 .eq_lit(&mut solver, x as usize);
                                             let lb = mapping[qb as usize][t]
                                                 .eq_lit(&mut solver, y as usize);
-                                            pair_lits
-                                                .push(gates::and_lit(&mut solver, la, lb));
+                                            pair_lits.push(gates::and_lit(&mut solver, la, lb));
                                         }
                                     }
                                     let l = gates::or_all(&mut solver, &pair_lits);
@@ -328,9 +325,8 @@ impl FlatModel {
                                     for p in [pa, pb] {
                                         // (t_g == t') ∧ (π_q^t == p) → ¬σ_e^t
                                         let mut clause = time.var(g).neq_clause(t_prime);
-                                        clause.extend(
-                                            mapping[q as usize][t].neq_clause(p as usize),
-                                        );
+                                        clause
+                                            .extend(mapping[q as usize][t].neq_clause(p as usize));
                                         clause.push(!swap_lits[e][t]);
                                         solver.add_clause(clause);
                                     }
@@ -387,10 +383,10 @@ impl FlatModel {
                                     let (pa, pb) = graph.edge(e);
                                     let mut orient = Vec::with_capacity(2);
                                     for (x, y) in [(pa, pb), (pb, pa)] {
-                                        let la = mapping[q1 as usize][t]
-                                            .eq_lit(&mut solver, x as usize);
-                                        let lb = mapping[q2 as usize][t]
-                                            .eq_lit(&mut solver, y as usize);
+                                        let la =
+                                            mapping[q1 as usize][t].eq_lit(&mut solver, x as usize);
+                                        let lb =
+                                            mapping[q2 as usize][t].eq_lit(&mut solver, y as usize);
                                         orient.push(gates::and_lit(&mut solver, la, lb));
                                     }
                                     let both = gates::or_all(&mut solver, &orient);
@@ -532,7 +528,10 @@ impl FlatModel {
     ///
     /// Panics if `depth` is 0 or exceeds `T_UB`.
     pub fn depth_bound(&mut self, depth: usize) -> Lit {
-        assert!(depth >= 1 && depth <= self.t_ub, "depth bound out of window");
+        assert!(
+            depth >= 1 && depth <= self.t_ub,
+            "depth bound out of window"
+        );
         if let Some(&l) = self.depth_bounds.get(&depth) {
             return l;
         }

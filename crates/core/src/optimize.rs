@@ -143,8 +143,21 @@ impl Olsq2Synthesizer {
 
     fn arm_budgets(&self, model: &mut FlatModel, deadline: Option<Instant>) {
         model.solver_mut().set_deadline(deadline);
-        model.solver_mut().set_conflict_budget(self.config.conflict_budget);
-        model.solver_mut().set_stop_flag(self.config.stop_flag.clone());
+        model
+            .solver_mut()
+            .set_conflict_budget(self.config.conflict_budget);
+        model
+            .solver_mut()
+            .set_stop_flag(self.config.stop_flag.clone());
+    }
+
+    /// Publishes an intermediate solution to the configured incumbent
+    /// slot, so deadline-bound callers can recover the best-so-far when a
+    /// later solve is cut off.
+    fn publish_incumbent(&self, result: &LayoutResult) {
+        if let Some(slot) = &self.config.incumbent {
+            slot.publish(result);
+        }
     }
 
     /// Builds the model and solves *once* with the full window and no
@@ -165,6 +178,7 @@ impl Olsq2Synthesizer {
         match model.solve(&[]) {
             SolveResult::Sat => {
                 let result = model.extract();
+                self.publish_incumbent(&result);
                 Ok(Some(SynthesisOutcome {
                     result,
                     proven_optimal: false,
@@ -217,7 +231,9 @@ impl Olsq2Synthesizer {
             iterations += 1;
             match model.solve(&[act]) {
                 SolveResult::Sat => {
-                    best = Some(model.extract());
+                    let first = model.extract();
+                    self.publish_incumbent(&first);
+                    best = Some(first);
                     break;
                 }
                 SolveResult::Unsat => {
@@ -244,7 +260,10 @@ impl Olsq2Synthesizer {
             self.arm_budgets(&mut model, deadline);
             iterations += 1;
             match model.solve(&[act]) {
-                SolveResult::Sat => current = model.extract(),
+                SolveResult::Sat => {
+                    current = model.extract();
+                    self.publish_incumbent(&current);
+                }
                 SolveResult::Unsat => {
                     proven_optimal = true;
                     break;
@@ -308,6 +327,7 @@ impl Olsq2Synthesizer {
                 match model.solve(&[act_d, act_s]) {
                     SolveResult::Sat => {
                         current = model.extract();
+                        self.publish_incumbent(&current);
                         pareto.push((current.depth.max(1), current.swap_count()));
                     }
                     SolveResult::Unsat => {
@@ -344,6 +364,7 @@ impl Olsq2Synthesizer {
             match model.solve(&[act_d, act_s]) {
                 SolveResult::Sat => {
                     current = model.extract();
+                    self.publish_incumbent(&current);
                     current_depth = new_depth;
                     pareto.push((current.depth, current.swap_count()));
                 }
@@ -465,6 +486,40 @@ mod tests {
             }
             Err(other) => panic!("unexpected error {other}"),
         }
+    }
+
+    #[test]
+    fn incumbent_published_on_every_improvement() {
+        let circuit = triangle();
+        let graph = line(3);
+        let slot = crate::IncumbentSlot::new();
+        let mut config = SynthesisConfig::with_swap_duration(1);
+        config.incumbent = Some(slot.clone());
+        let synth = Olsq2Synthesizer::new(config);
+        let out = synth.optimize_depth(&circuit, &graph).expect("solves");
+        // The last published incumbent is the returned optimum.
+        let published = slot.peek().expect("published");
+        assert_eq!(published.depth, out.result.depth);
+        assert_eq!(verify(&circuit, &graph, &published), Ok(()));
+    }
+
+    #[test]
+    fn preset_stop_flag_aborts_before_any_solution() {
+        let circuit = triangle();
+        let graph = line(3);
+        let slot = crate::IncumbentSlot::new();
+        let mut config = SynthesisConfig::with_swap_duration(1);
+        config.incumbent = Some(slot.clone());
+        config.stop_flag = Some(std::sync::Arc::new(std::sync::atomic::AtomicBool::new(
+            true,
+        )));
+        let synth = Olsq2Synthesizer::new(config);
+        match synth.optimize_depth(&circuit, &graph) {
+            Err(SynthesisError::BudgetExhausted) => {}
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        // Nothing was found, so nothing was published.
+        assert!(slot.is_empty());
     }
 
     #[test]

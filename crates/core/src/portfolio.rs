@@ -47,6 +47,46 @@ pub struct PortfolioSynthesizer {
     members: Vec<SynthesisConfig>,
 }
 
+/// What happened to one portfolio member during a race.
+#[derive(Debug, Clone)]
+pub enum MemberOutcome {
+    /// This member produced the first successful outcome.
+    Won(SynthesisOutcome),
+    /// This member completed a full solve, but after the winner — its
+    /// result was discarded.
+    Finished(SynthesisOutcome),
+    /// This member observed the stop flag after the winner was decided and
+    /// aborted without completing a solve.
+    Cancelled,
+    /// This member failed on its own (model error, genuine budget
+    /// exhaustion before any winner, unroutable window).
+    Failed(SynthesisError),
+}
+
+impl MemberOutcome {
+    /// Whether this member was cancelled by the winner's stop flag.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, MemberOutcome::Cancelled)
+    }
+
+    /// Whether this member won the race.
+    pub fn is_winner(&self) -> bool {
+        matches!(self, MemberOutcome::Won(_))
+    }
+}
+
+/// Full account of a portfolio race: the winning outcome plus the fate of
+/// every member, in member order.
+#[derive(Debug, Clone)]
+pub struct PortfolioReport {
+    /// The winning outcome.
+    pub outcome: SynthesisOutcome,
+    /// Index of the winning member.
+    pub winner: usize,
+    /// Per-member fates, indexed like the member configurations.
+    pub members: Vec<MemberOutcome>,
+}
+
 impl PortfolioSynthesizer {
     /// Builds a portfolio from explicit member configurations.
     ///
@@ -91,7 +131,8 @@ impl PortfolioSynthesizer {
         circuit: &Circuit,
         graph: &CouplingGraph,
     ) -> Result<(SynthesisOutcome, usize), SynthesisError> {
-        self.race(circuit, graph, |synth, c, g| synth.optimize_depth(c, g))
+        self.optimize_depth_report(circuit, graph)
+            .map(|r| (r.outcome, r.winner))
     }
 
     /// Runs SWAP optimization on every member in parallel; returns the
@@ -105,6 +146,36 @@ impl PortfolioSynthesizer {
         circuit: &Circuit,
         graph: &CouplingGraph,
     ) -> Result<(SynthesisOutcome, usize), SynthesisError> {
+        self.optimize_swaps_report(circuit, graph)
+            .map(|r| (r.outcome, r.winner))
+    }
+
+    /// Like [`PortfolioSynthesizer::optimize_depth`], but also reports the
+    /// fate of every member ([`MemberOutcome`]) — whether losers were
+    /// cancelled through the stop flag or completed anyway.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first member's error if *all* members fail.
+    pub fn optimize_depth_report(
+        &self,
+        circuit: &Circuit,
+        graph: &CouplingGraph,
+    ) -> Result<PortfolioReport, SynthesisError> {
+        self.race(circuit, graph, |synth, c, g| synth.optimize_depth(c, g))
+    }
+
+    /// Like [`PortfolioSynthesizer::optimize_swaps`], but also reports the
+    /// fate of every member ([`MemberOutcome`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first member's error if *all* members fail.
+    pub fn optimize_swaps_report(
+        &self,
+        circuit: &Circuit,
+        graph: &CouplingGraph,
+    ) -> Result<PortfolioReport, SynthesisError> {
         self.race(circuit, graph, |synth, c, g| {
             synth.optimize_swaps(c, g).map(|o| o.best)
         })
@@ -115,9 +186,13 @@ impl PortfolioSynthesizer {
         circuit: &Circuit,
         graph: &CouplingGraph,
         run: F,
-    ) -> Result<(SynthesisOutcome, usize), SynthesisError>
+    ) -> Result<PortfolioReport, SynthesisError>
     where
-        F: Fn(&Olsq2Synthesizer, &Circuit, &CouplingGraph) -> Result<SynthesisOutcome, SynthesisError>
+        F: Fn(
+                &Olsq2Synthesizer,
+                &Circuit,
+                &CouplingGraph,
+            ) -> Result<SynthesisOutcome, SynthesisError>
             + Send
             + Sync,
     {
@@ -136,25 +211,54 @@ impl PortfolioSynthesizer {
                 });
             }
             drop(tx);
+            // The scope joins every thread before returning, so collecting
+            // all member fates costs nothing beyond the stop-flag latency:
+            // once the winner sets the flag, losers abort at their next
+            // conflict boundary and report `BudgetExhausted`.
+            let mut fates: Vec<Option<MemberOutcome>> =
+                (0..self.members.len()).map(|_| None).collect();
+            let mut winner: Option<usize> = None;
             let mut first_error: Option<SynthesisError> = None;
-            let mut received = 0;
-            while received < self.members.len() {
-                match rx.recv() {
-                    Ok((idx, Ok(outcome))) => {
-                        // Winner: cancel everyone else, drain the channel by
-                        // leaving scope (threads abort at their next
-                        // conflict boundary).
-                        stop.store(true, Ordering::Relaxed);
-                        return Ok((outcome, idx));
+            for (idx, result) in rx {
+                fates[idx] = Some(match result {
+                    Ok(outcome) => {
+                        if winner.is_none() {
+                            winner = Some(idx);
+                            stop.store(true, Ordering::Relaxed);
+                            MemberOutcome::Won(outcome)
+                        } else {
+                            MemberOutcome::Finished(outcome)
+                        }
                     }
-                    Ok((_, Err(e))) => {
-                        received += 1;
-                        first_error.get_or_insert(e);
+                    Err(SynthesisError::BudgetExhausted) if winner.is_some() => {
+                        // The stop flag surfaces as a budget result; after a
+                        // winner is decided, that means "cancelled".
+                        MemberOutcome::Cancelled
                     }
-                    Err(_) => break,
-                }
+                    Err(e) => {
+                        first_error.get_or_insert(e.clone());
+                        MemberOutcome::Failed(e)
+                    }
+                });
             }
-            Err(first_error.unwrap_or(SynthesisError::BudgetExhausted))
+            match winner {
+                Some(w) => {
+                    let members: Vec<MemberOutcome> = fates
+                        .into_iter()
+                        .map(|f| f.expect("every member reports exactly once"))
+                        .collect();
+                    let outcome = match &members[w] {
+                        MemberOutcome::Won(o) => o.clone(),
+                        _ => unreachable!("winner slot holds the winning outcome"),
+                    };
+                    Ok(PortfolioReport {
+                        outcome,
+                        winner: w,
+                        members,
+                    })
+                }
+                None => Err(first_error.unwrap_or(SynthesisError::BudgetExhausted)),
+            }
         })
     }
 }
@@ -209,8 +313,7 @@ mod tests {
         let mut circuit = Circuit::new(5);
         circuit.push(Gate::two(GateKind::Cx, 0, 4));
         let graph = line(2);
-        let portfolio =
-            PortfolioSynthesizer::standard(SynthesisConfig::with_swap_duration(1));
+        let portfolio = PortfolioSynthesizer::standard(SynthesisConfig::with_swap_duration(1));
         assert!(portfolio.optimize_depth(&circuit, &graph).is_err());
     }
 
@@ -218,5 +321,51 @@ mod tests {
     #[should_panic(expected = "at least one member")]
     fn empty_portfolio_rejected() {
         let _ = PortfolioSynthesizer::new(vec![]);
+    }
+
+    #[test]
+    fn losers_are_cancelled_without_completing() {
+        // Member 0 solves the instance in milliseconds; member 1 is
+        // handicapped with an enormous depth window (t_ub = 3·400 = 1200),
+        // so its first solve alone — an UNSAT proof at t_b = 3 over a
+        // formula two orders of magnitude larger — far outlasts the
+        // winner. The winner's stop flag must reach it mid-solve.
+        let circuit = triangle();
+        let graph = line(3);
+        let fast = SynthesisConfig::with_swap_duration(1);
+        let mut slow = SynthesisConfig::with_swap_duration(1);
+        slow.tub_factor = 400.0;
+        let portfolio = PortfolioSynthesizer::new(vec![fast, slow]);
+        let report = portfolio
+            .optimize_depth_report(&circuit, &graph)
+            .expect("fast member solves");
+        assert_eq!(report.winner, 0);
+        assert!(report.members[0].is_winner());
+        assert!(
+            report.members[1].is_cancelled(),
+            "handicapped member should observe the stop flag, got {:?}",
+            report.members[1]
+        );
+        assert_eq!(verify(&circuit, &graph, &report.outcome.result), Ok(()));
+        assert_eq!(report.members.len(), 2);
+    }
+
+    #[test]
+    fn preset_stop_flag_cancels_all_members() {
+        // If the flag is already raised, every member aborts at the entry
+        // of its first solve and the race reports budget exhaustion.
+        let circuit = triangle();
+        let graph = line(3);
+        let mut base = SynthesisConfig::with_swap_duration(1);
+        let stop = Arc::new(AtomicBool::new(true));
+        base.stop_flag = Some(stop);
+        // The portfolio overwrites member stop flags with its own, so test
+        // the single-synthesizer path here (the portfolio path is covered
+        // by `losers_are_cancelled_without_completing`).
+        let synth = Olsq2Synthesizer::new(base);
+        match synth.optimize_depth(&circuit, &graph) {
+            Err(SynthesisError::BudgetExhausted) => {}
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
     }
 }

@@ -9,6 +9,8 @@
 //! SWAP count; results are lowered back to a time-resolved
 //! [`LayoutResult`] by list-scheduling each block.
 
+// Indexed `for` loops are deliberate here: block/edge index loops mirror the paper's formulation.
+#![allow(clippy::needless_range_loop)]
 use crate::config::{MappingEncoding, SynthesisConfig};
 use crate::model::ModelError;
 use crate::optimize::{SynthesisError, SynthesisOutcome};
@@ -439,8 +441,18 @@ impl TbOlsq2Synthesizer {
 
     fn arm(&self, model: &mut TransitionModel, deadline: Option<Instant>) {
         model.solver.set_deadline(deadline);
-        model.solver.set_conflict_budget(self.config.conflict_budget);
+        model
+            .solver
+            .set_conflict_budget(self.config.conflict_budget);
         model.solver.set_stop_flag(self.config.stop_flag.clone());
+    }
+
+    /// Publishes a lowered intermediate solution to the configured
+    /// incumbent slot (see [`crate::IncumbentSlot`]).
+    fn publish_incumbent(&self, result: &olsq2_layout::LayoutResult) {
+        if let Some(slot) = &self.config.incumbent {
+            slot.publish(result);
+        }
     }
 
     /// Minimizes the block count: start at 1 block, increase by 1 until
@@ -475,6 +487,7 @@ impl TbOlsq2Synthesizer {
                 SolveResult::Sat => {
                     let sol = model.decode(circuit);
                     let result = sol.lower(circuit, self.config.swap_duration);
+                    self.publish_incumbent(&result);
                     return Ok(TbOutcome {
                         outcome: SynthesisOutcome {
                             result,
@@ -536,6 +549,7 @@ impl TbOlsq2Synthesizer {
                     SolveResult::Sat => {
                         let sol = model.decode(circuit);
                         best_count = sol.swap_count();
+                        self.publish_incumbent(&sol.lower(circuit, self.config.swap_duration));
                         best_sol = Some(sol);
                     }
                     SolveResult::Unsat => {
@@ -579,6 +593,7 @@ impl TbOlsq2Synthesizer {
                 SolveResult::Sat => {
                     let sol = model.decode(circuit);
                     best_count = sol.swap_count();
+                    self.publish_incumbent(&sol.lower(circuit, self.config.swap_duration));
                     best_sol = Some(sol);
                     blocks = new_blocks;
                 }
@@ -636,8 +651,10 @@ impl TbOlsq2Synthesizer {
         match model.solver.solve(&assumptions) {
             SolveResult::Sat => {
                 let sol = model.decode(circuit);
+                let result = sol.lower(circuit, self.config.swap_duration);
+                self.publish_incumbent(&result);
                 Ok(Some(SynthesisOutcome {
-                    result: sol.lower(circuit, self.config.swap_duration),
+                    result,
                     proven_optimal: false,
                     iterations: 1,
                     elapsed: start.elapsed(),
@@ -669,7 +686,9 @@ mod tests {
     #[test]
     fn tb_block_optimal_on_triangle() {
         let synth = TbOlsq2Synthesizer::new(SynthesisConfig::with_swap_duration(1));
-        let out = synth.optimize_blocks(&triangle(), &line(3)).expect("solves");
+        let out = synth
+            .optimize_blocks(&triangle(), &line(3))
+            .expect("solves");
         // The triangle needs two blocks on a line (one transition).
         assert_eq!(out.block_count, 2);
         assert_eq!(verify(&triangle(), &line(3), &out.outcome.result), Ok(()));

@@ -5,6 +5,8 @@
 //! one-hot ("int") and binary ("bv") representations, which is how the
 //! Table I encoding ablation is expressed.
 
+// Indexed `for` loops are deliberate here: ladder constraints index adjacent positions.
+#![allow(clippy::needless_range_loop)]
 use crate::config::TimeEncoding;
 use olsq2_encode::{width_for, AmoEncoding, BitVec, CnfSink, OneHot};
 use olsq2_sat::{Lit, Solver};
@@ -126,7 +128,9 @@ impl FdVar {
     /// Panics if the solver has no model covering this variable.
     pub fn value_in(&self, solver: &Solver) -> usize {
         match &self.repr {
-            FdRepr::OneHot(oh) => oh.value_in(solver).expect("model must assign one-hot group"),
+            FdRepr::OneHot(oh) => oh
+                .value_in(solver)
+                .expect("model must assign one-hot group"),
             FdRepr::Binary(bv) => {
                 bv.value_in(solver).expect("model must assign bit-vector") as usize
             }

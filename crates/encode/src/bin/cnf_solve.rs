@@ -60,10 +60,7 @@ fn main() {
     solver.set_deadline(budget.map(|b| start + b));
     let mut unknown = false;
     if preprocess {
-        let pre = Preprocessor::new(
-            cnf.num_vars(),
-            cnf.clauses().iter().cloned(),
-        );
+        let pre = Preprocessor::new(cnf.num_vars(), cnf.clauses().iter().cloned());
         let simp = pre.run();
         eprintln!(
             "c preprocess: {} clauses -> {}, {} vars eliminated ({:?})",
@@ -119,7 +116,10 @@ fn main() {
     let stats = solver.stats();
     eprintln!(
         "c conflicts={} decisions={} propagations={} time={:?}",
-        stats.conflicts, stats.decisions, stats.propagations, start.elapsed()
+        stats.conflicts,
+        stats.decisions,
+        stats.propagations,
+        start.elapsed()
     );
     match (model, unknown) {
         (Some(m), _) => {

@@ -15,6 +15,8 @@
 //!   comparator per bound; propagates poorly, playing the role of the
 //!   pseudo-Boolean `AtMost` path in Table II.
 
+// Indexed `for` loops are deliberate here: counter ladders index adjacent bounds.
+#![allow(clippy::needless_range_loop)]
 use crate::bitvec::BitVec;
 use crate::gates::full_adder;
 use crate::sink::CnfSink;
@@ -186,7 +188,9 @@ fn totalizer<S: CnfSink>(sink: &mut S, inputs: &[Lit], capacity: usize) -> Vec<L
         let a = build(sink, &lits[..mid], cap);
         let b = build(sink, &lits[mid..], cap);
         let out_len = (a.len() + b.len()).min(cap);
-        let r: Vec<Lit> = (0..out_len).map(|_| Lit::positive(sink.new_var())).collect();
+        let r: Vec<Lit> = (0..out_len)
+            .map(|_| Lit::positive(sink.new_var()))
+            .collect();
         // a_i alone implies r_i (1-indexed semantics, 0-indexed storage).
         for (i, &ai) in a.iter().enumerate() {
             let tgt = i.min(out_len - 1);
@@ -302,8 +306,7 @@ mod tests {
     fn capacity_limits_sorted_networks() {
         let mut s = Solver::new();
         let xs: Vec<Lit> = (0..10).map(|_| Lit::positive(s.new_var())).collect();
-        let mut card =
-            CardinalityNetwork::new(&mut s, &xs, 3, CardEncoding::SequentialCounter);
+        let mut card = CardinalityNetwork::new(&mut s, &xs, 3, CardEncoding::SequentialCounter);
         assert_eq!(card.max_expressible_bound(), 3);
         // Bound 2 works:
         let b2 = card.at_most(&mut s, 2);

@@ -153,7 +153,10 @@ mod tests {
             from_dimacs("p sat 3 2\n1 0\n"),
             Err(ParseDimacsError::BadHeader(_))
         ));
-        assert!(matches!(from_dimacs(""), Err(ParseDimacsError::BadHeader(_))));
+        assert!(matches!(
+            from_dimacs(""),
+            Err(ParseDimacsError::BadHeader(_))
+        ));
     }
 
     #[test]

@@ -124,11 +124,7 @@ mod tests {
                 s.add_clause([if v { *l } else { !*l }]);
             }
             assert_eq!(s.solve(&[]), SolveResult::Sat);
-            assert_eq!(
-                s.model_value(out),
-                Some(expect(&vals)),
-                "inputs {vals:?}"
-            );
+            assert_eq!(s.model_value(out), Some(expect(&vals)), "inputs {vals:?}");
         }
     }
 
@@ -150,8 +146,8 @@ mod tests {
 
     #[test]
     fn wide_and_or() {
-        check_all(4, |s, i| and_all(s, i), |v| v.iter().all(|&b| b));
-        check_all(4, |s, i| or_all(s, i), |v| v.iter().any(|&b| b));
+        check_all(4, and_all, |v| v.iter().all(|&b| b));
+        check_all(4, or_all, |v| v.iter().any(|&b| b));
     }
 
     #[test]

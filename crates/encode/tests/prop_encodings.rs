@@ -1,17 +1,17 @@
-//! Property tests for the encoding layer: random values/bounds against the
-//! semantics the encodings promise.
+//! Randomized tests for the encoding layer: random values/bounds against
+//! the semantics the encodings promise, driven by a seeded in-repo PRNG
+//! (deterministic across runs and machines).
 
-use olsq2_encode::{
-    at_most_one, width_for, AmoEncoding, BitVec, CardEncoding, CardinalityNetwork, CnfSink,
-};
+use olsq2_encode::{at_most_one, width_for, AmoEncoding, BitVec, CardEncoding, CardinalityNetwork};
+use olsq2_prng::Rng;
 use olsq2_sat::{Lit, SolveResult, Solver};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(150))]
-
-    #[test]
-    fn bitvec_le_ge_agree_with_integers(val in 0u64..64, bound in 0u64..64) {
+#[test]
+fn bitvec_le_ge_agree_with_integers() {
+    let mut rng = Rng::seed_from_u64(0xB17_0001);
+    for _ in 0..150 {
+        let val = rng.gen_range(0u64..64);
+        let bound = rng.gen_range(0u64..64);
         let mut s = Solver::new();
         let bv = BitVec::new(&mut s, width_for(63));
         bv.assert_eq_const(&mut s, val);
@@ -19,22 +19,25 @@ proptest! {
         let g_ge = Lit::positive(s.new_var());
         bv.assert_le_const_if(&mut s, bound, Some(g_le));
         bv.assert_ge_const_if(&mut s, bound, Some(g_ge));
-        prop_assert_eq!(s.solve(&[g_le]) == SolveResult::Sat, val <= bound);
-        prop_assert_eq!(s.solve(&[g_ge]) == SolveResult::Sat, val >= bound);
-        prop_assert_eq!(s.solve(&[g_le, g_ge]) == SolveResult::Sat, val == bound);
+        assert_eq!(s.solve(&[g_le]) == SolveResult::Sat, val <= bound);
+        assert_eq!(s.solve(&[g_ge]) == SolveResult::Sat, val >= bound);
+        assert_eq!(s.solve(&[g_le, g_ge]) == SolveResult::Sat, val == bound);
     }
+}
 
-    #[test]
-    fn cardinality_counts_popcount(
-        pattern in 0u32..(1 << 10),
-        k in 0usize..=10,
-        enc_idx in 0usize..3,
-    ) {
-        let enc = [
-            CardEncoding::SequentialCounter,
-            CardEncoding::Totalizer,
-            CardEncoding::AdderNetwork,
-        ][enc_idx];
+#[test]
+fn cardinality_counts_popcount() {
+    let mut rng = Rng::seed_from_u64(0xCA4D_0002);
+    for _ in 0..150 {
+        let pattern = rng.gen_range(0u32..(1 << 10));
+        let k = rng.gen_range(0usize..=10);
+        let enc = *rng
+            .choose(&[
+                CardEncoding::SequentialCounter,
+                CardEncoding::Totalizer,
+                CardEncoding::AdderNetwork,
+            ])
+            .expect("nonempty");
         let mut s = Solver::new();
         let xs: Vec<Lit> = (0..10).map(|_| Lit::positive(s.new_var())).collect();
         let mut card = CardinalityNetwork::new(&mut s, &xs, 10, enc);
@@ -43,27 +46,39 @@ proptest! {
         }
         let b = card.at_most(&mut s, k);
         let expected = (pattern.count_ones() as usize) <= k;
-        prop_assert_eq!(s.solve(&[b]) == SolveResult::Sat, expected);
+        assert_eq!(s.solve(&[b]) == SolveResult::Sat, expected);
     }
+}
 
-    #[test]
-    fn amo_free_variables_get_valid_models(n in 2usize..9, enc_idx in 0usize..3) {
-        let enc = [AmoEncoding::Pairwise, AmoEncoding::Sequential, AmoEncoding::Commander][enc_idx];
-        let mut s = Solver::new();
-        let lits: Vec<Lit> = (0..n).map(|_| Lit::positive(s.new_var())).collect();
-        at_most_one(&mut s, &lits, enc);
-        prop_assert_eq!(s.solve(&[]), SolveResult::Sat);
-        let true_count = lits
-            .iter()
-            .filter(|&&l| s.model_value(l) == Some(true))
-            .count();
-        prop_assert!(true_count <= 1);
+#[test]
+fn amo_free_variables_get_valid_models() {
+    // Small enough to enumerate exhaustively instead of sampling.
+    for n in 2usize..9 {
+        for enc in [
+            AmoEncoding::Pairwise,
+            AmoEncoding::Sequential,
+            AmoEncoding::Commander,
+        ] {
+            let mut s = Solver::new();
+            let lits: Vec<Lit> = (0..n).map(|_| Lit::positive(s.new_var())).collect();
+            at_most_one(&mut s, &lits, enc);
+            assert_eq!(s.solve(&[]), SolveResult::Sat);
+            let true_count = lits
+                .iter()
+                .filter(|&&l| s.model_value(l) == Some(true))
+                .count();
+            assert!(true_count <= 1);
+        }
     }
+}
 
-    #[test]
-    fn sorted_network_descent_matches_popcount(pattern in 0u32..(1 << 8)) {
-        // Iterative descent (the paper's swap-count loop) must converge to
-        // the exact popcount for both sorted encodings.
+#[test]
+fn sorted_network_descent_matches_popcount() {
+    // Iterative descent (the paper's swap-count loop) must converge to
+    // the exact popcount for both sorted encodings.
+    let mut rng = Rng::seed_from_u64(0x50D_0003);
+    for _ in 0..60 {
+        let pattern = rng.gen_range(0u32..(1 << 8));
         for enc in [CardEncoding::SequentialCounter, CardEncoding::Totalizer] {
             let mut s = Solver::new();
             let xs: Vec<Lit> = (0..8).map(|_| Lit::positive(s.new_var())).collect();
@@ -85,7 +100,7 @@ proptest! {
                     SolveResult::Unknown => unreachable!("no budget configured"),
                 }
             };
-            prop_assert_eq!(optimum, pattern.count_ones() as usize);
+            assert_eq!(optimum, pattern.count_ones() as usize);
         }
     }
 }

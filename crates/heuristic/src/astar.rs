@@ -90,7 +90,8 @@ fn route_layer(
     }
 
     // Arena of states: mapping, parent, and the edge swapped to get here.
-    let mut states: Vec<(Vec<u16>, Option<(usize, usize)>)> = vec![(start.to_vec(), None)];
+    type State = (Vec<u16>, Option<(usize, usize)>);
+    let mut states: Vec<State> = vec![(start.to_vec(), None)];
     let mut best_g: HashMap<Vec<u16>, usize> = HashMap::new();
     best_g.insert(start.to_vec(), 0);
     let mut open = BinaryHeap::new();
@@ -182,7 +183,7 @@ fn route_layer(
                 }
             }
             let h = heuristic(graph, &next, pairs);
-            if best.map_or(true, |(bh, _)| h < bh) {
+            if best.is_none_or(|(bh, _)| h < bh) {
                 best = Some((h, e));
             }
         }
@@ -261,9 +262,8 @@ pub fn astar_route(
             })
             .collect();
         if !pairs.is_empty() {
-            let (swaps, new_mapping) =
-                route_layer(graph, &mapping, &pairs, config.max_expansions)
-                    .ok_or(SabreError::Stuck)?;
+            let (swaps, new_mapping) = route_layer(graph, &mapping, &pairs, config.max_expansions)
+                .ok_or(SabreError::Stuck)?;
             for e in swaps {
                 ops.push(RoutedOp::Swap(e));
             }
@@ -273,7 +273,13 @@ pub fn astar_route(
             ops.push(RoutedOp::Gate(g));
         }
     }
-    Ok(retime(circuit, graph, &initial_mapping, &ops, config.swap_duration))
+    Ok(retime(
+        circuit,
+        graph,
+        &initial_mapping,
+        &ops,
+        config.swap_duration,
+    ))
 }
 
 #[cfg(test)]
@@ -311,8 +317,10 @@ mod tests {
     fn routes_qaoa_on_grid() {
         let c = qaoa_circuit(10, 3);
         let graph = grid(4, 4);
-        let mut cfg = AstarConfig::default();
-        cfg.swap_duration = 1;
+        let cfg = AstarConfig {
+            swap_duration: 1,
+            ..Default::default()
+        };
         let r = astar_route(&c, &graph, &cfg).expect("routes");
         assert_eq!(verify(&c, &graph, &r), Ok(()));
     }

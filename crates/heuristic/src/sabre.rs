@@ -8,12 +8,11 @@
 //! re-timing of the produced op sequence so results verify under the same
 //! oracle as the exact synthesizers.
 
+use crate::retime::{retime, RoutedOp};
 use olsq2_arch::CouplingGraph;
 use olsq2_circuit::{Circuit, DependencyGraph, Operands};
-use crate::retime::{retime, RoutedOp};
 use olsq2_layout::LayoutResult;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use olsq2_prng::Rng;
 
 /// Tunable SABRE parameters (defaults follow the paper).
 #[derive(Debug, Clone, PartialEq)]
@@ -114,14 +113,14 @@ pub fn sabre_route(
             physical: np,
         });
     }
-    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
 
     // Random initial mapping, refined by forward/backward passes: the final
     // mapping of each traversal seeds the next traversal of the reversed
     // circuit (the paper's bidirectional pre-processing).
     let mut mapping: Vec<u16> = {
         let mut phys: Vec<u16> = (0..np as u16).collect();
-        phys.shuffle(&mut rng);
+        rng.shuffle(&mut phys);
         phys.truncate(nq);
         phys
     };
@@ -144,7 +143,13 @@ pub fn sabre_route(
     let initial_mapping = mapping.clone();
     let (ops, _) = route_once(circuit, graph, config, mapping)?;
 
-    Ok(retime(circuit, graph, &initial_mapping, &ops, config.swap_duration))
+    Ok(retime(
+        circuit,
+        graph,
+        &initial_mapping,
+        &ops,
+        config.swap_duration,
+    ))
 }
 
 /// Core routing pass; returns the op sequence and the final mapping.
@@ -164,9 +169,8 @@ fn route_once(
     let mut since_reset = 0usize;
     let mut executed_count = 0usize;
 
-    let dist = |a: u16, b: u16| -> f64 {
-        graph.distance(a, b).map(f64::from).unwrap_or(f64::INFINITY)
-    };
+    let dist =
+        |a: u16, b: u16| -> f64 { graph.distance(a, b).map(f64::from).unwrap_or(f64::INFINITY) };
 
     while executed_count < n {
         // Execute every currently executable front gate (repeat to fixpoint).
@@ -334,8 +338,10 @@ mod tests {
     fn routes_qaoa_on_grid() {
         let c = qaoa_circuit(12, 3);
         let graph = grid(4, 4);
-        let mut config = SabreConfig::default();
-        config.swap_duration = 1;
+        let config = SabreConfig {
+            swap_duration: 1,
+            ..Default::default()
+        };
         let r = sabre_route(&c, &graph, &config).expect("routes");
         assert_eq!(verify(&c, &graph, &r), Ok(()));
     }
@@ -378,8 +384,10 @@ mod tests {
     fn deterministic_for_fixed_seed() {
         let c = qaoa_circuit(8, 7);
         let graph = grid(3, 3);
-        let mut config = SabreConfig::default();
-        config.swap_duration = 1;
+        let config = SabreConfig {
+            swap_duration: 1,
+            ..Default::default()
+        };
         let a = sabre_route(&c, &graph, &config).expect("routes");
         let b = sabre_route(&c, &graph, &config).expect("routes");
         assert_eq!(a, b);
@@ -389,8 +397,10 @@ mod tests {
     fn different_seeds_explore_different_mappings() {
         let c = qaoa_circuit(8, 7);
         let graph = grid(3, 3);
-        let mut c1 = SabreConfig::default();
-        c1.swap_duration = 1;
+        let c1 = SabreConfig {
+            swap_duration: 1,
+            ..Default::default()
+        };
         let mut c2 = c1.clone();
         c2.seed = 99;
         let a = sabre_route(&c, &graph, &c1).expect("routes");

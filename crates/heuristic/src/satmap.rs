@@ -12,6 +12,8 @@
 //! "unnecessary constraint" of layer-by-layer methods that the OLSQ2 paper
 //! identifies as the source of sub-optimality relative to TB-OLSQ2.
 
+// Indexed `for` loops are deliberate here: slice/edge index loops mirror the encoding.
+#![allow(clippy::needless_range_loop)]
 use crate::SabreError;
 use olsq2::vars::FdVar;
 use olsq2_arch::CouplingGraph;
@@ -183,7 +185,11 @@ fn solve_joint(
     let mut solver = Solver::new();
     solver.set_deadline(deadline);
     let mut mapping: Vec<Vec<FdVar>> = (0..epochs)
-        .map(|_| (0..nq).map(|_| FdVar::new_binary(&mut solver, np)).collect())
+        .map(|_| {
+            (0..nq)
+                .map(|_| FdVar::new_binary(&mut solver, np))
+                .collect()
+        })
         .collect();
     for row in &mut mapping {
         assert_injective(&mut solver, row);
@@ -457,7 +463,12 @@ pub fn satmap_route(
             }
             depth = depth.max(start + 1);
         }
-        cursor = qubit_ready.iter().copied().max().unwrap_or(cursor).max(cursor);
+        cursor = qubit_ready
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(cursor)
+            .max(cursor);
     }
     depth = depth.max(swaps.iter().map(|s| s.finish_time + 1).max().unwrap_or(0));
 
@@ -488,8 +499,10 @@ mod tests {
         c.push(Gate::two(GateKind::Cx, 1, 2));
         c.push(Gate::two(GateKind::Cx, 0, 2));
         let graph = line(3);
-        let mut cfg = SatMapConfig::default();
-        cfg.swap_duration = 1;
+        let cfg = SatMapConfig {
+            swap_duration: 1,
+            ..Default::default()
+        };
         let out = satmap_route(&c, &graph, &cfg).expect("maps");
         assert_eq!(verify(&c, &graph, &out.result), Ok(()));
         assert!(out.result.swap_count() >= 1);
@@ -512,8 +525,10 @@ mod tests {
     fn maps_qaoa_on_grid() {
         let c = qaoa_circuit(8, 5);
         let graph = grid(3, 3);
-        let mut cfg = SatMapConfig::default();
-        cfg.swap_duration = 1;
+        let cfg = SatMapConfig {
+            swap_duration: 1,
+            ..Default::default()
+        };
         let out = satmap_route(&c, &graph, &cfg).expect("maps");
         assert_eq!(verify(&c, &graph, &out.result), Ok(()));
     }

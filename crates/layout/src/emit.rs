@@ -64,9 +64,7 @@ pub fn emit_physical_circuit(
                 let gate = circuit.gate(g);
                 let operands = match gate.operands {
                     Operands::One(q) => Operands::One(mapping[q as usize]),
-                    Operands::Two(a, b) => {
-                        Operands::Two(mapping[a as usize], mapping[b as usize])
-                    }
+                    Operands::Two(a, b) => Operands::Two(mapping[a as usize], mapping[b as usize]),
                 };
                 out.push(Gate::new(gate.kind.clone(), operands));
             }
@@ -103,7 +101,10 @@ mod tests {
         let r = LayoutResult {
             initial_mapping: vec![0, 1],
             schedule: vec![0, 2],
-            swaps: vec![SwapOp { edge: 0, finish_time: 1 }], // p0<->p1
+            swaps: vec![SwapOp {
+                edge: 0,
+                finish_time: 1,
+            }], // p0<->p1
             depth: 3,
             swap_duration: 1,
         };
@@ -124,7 +125,10 @@ mod tests {
         let r = LayoutResult {
             initial_mapping: vec![0, 2],
             schedule: vec![2],
-            swaps: vec![SwapOp { edge: 1, finish_time: 1 }],
+            swaps: vec![SwapOp {
+                edge: 1,
+                finish_time: 1,
+            }],
             depth: 3,
             swap_duration: 1,
         };

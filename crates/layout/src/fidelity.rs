@@ -66,11 +66,7 @@ impl Default for ErrorModel {
 /// let p = estimate_success_rate(&c, &r, &ErrorModel::default());
 /// assert!(p > 0.98 && p < 1.0);
 /// ```
-pub fn estimate_success_rate(
-    circuit: &Circuit,
-    result: &LayoutResult,
-    model: &ErrorModel,
-) -> f64 {
+pub fn estimate_success_rate(circuit: &Circuit, result: &LayoutResult, model: &ErrorModel) -> f64 {
     let g1 = circuit.num_single_qubit_gates() as f64;
     let g2 = circuit.num_two_qubit_gates() as f64;
     let swaps = result.swap_count() as f64;
@@ -105,7 +101,10 @@ mod tests {
     fn swaps_reduce_success_rate() {
         let (c, r0) = base();
         let mut r1 = r0.clone();
-        r1.swaps.push(SwapOp { edge: 0, finish_time: 0 });
+        r1.swaps.push(SwapOp {
+            edge: 0,
+            finish_time: 0,
+        });
         let m = ErrorModel::default();
         assert!(estimate_success_rate(&c, &r1, &m) < estimate_success_rate(&c, &r0, &m));
     }
@@ -136,7 +135,10 @@ mod tests {
         let (c, mut r) = base();
         r.depth = 1000;
         for e in 0..5 {
-            r.swaps.push(SwapOp { edge: e, finish_time: 0 });
+            r.swaps.push(SwapOp {
+                edge: e,
+                finish_time: 0,
+            });
         }
         let p = estimate_success_rate(&c, &r, &ErrorModel::default());
         assert!((0.0..=1.0).contains(&p));

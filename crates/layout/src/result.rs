@@ -105,7 +105,10 @@ mod tests {
         let r = LayoutResult {
             initial_mapping: vec![0, 1],
             schedule: vec![],
-            swaps: vec![SwapOp { edge: 0, finish_time: 2 }],
+            swaps: vec![SwapOp {
+                edge: 0,
+                finish_time: 2,
+            }],
             depth: 4,
             swap_duration: 3,
         };
@@ -124,8 +127,14 @@ mod tests {
             initial_mapping: vec![0, 1, 2],
             schedule: vec![],
             swaps: vec![
-                SwapOp { edge: 1, finish_time: 1 },
-                SwapOp { edge: 0, finish_time: 0 },
+                SwapOp {
+                    edge: 1,
+                    finish_time: 1,
+                },
+                SwapOp {
+                    edge: 0,
+                    finish_time: 0,
+                },
             ],
             depth: 3,
             swap_duration: 1,

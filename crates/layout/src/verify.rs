@@ -58,9 +58,16 @@ impl fmt::Display for Violation {
                 qubits.0, qubits.1
             ),
             Violation::DependencyViolated { earlier, later } => {
-                write!(f, "gate g{later} scheduled no later than its predecessor g{earlier}")
+                write!(
+                    f,
+                    "gate g{later} scheduled no later than its predecessor g{earlier}"
+                )
             }
-            Violation::GateNotAdjacent { gate, time, physical } => write!(
+            Violation::GateNotAdjacent {
+                gate,
+                time,
+                physical,
+            } => write!(
                 f,
                 "two-qubit gate g{gate} at t={time} on non-adjacent p{} and p{}",
                 physical.0, physical.1
@@ -146,7 +153,10 @@ pub fn verify_with_dag(
     // Constraint 2: dependencies strictly ordered.
     for &(g, g2) in dag.dependencies() {
         if result.schedule[g] >= result.schedule[g2] {
-            violations.push(Violation::DependencyViolated { earlier: g, later: g2 });
+            violations.push(Violation::DependencyViolated {
+                earlier: g,
+                later: g2,
+            });
         }
     }
 
@@ -297,9 +307,13 @@ mod tests {
             swap_duration: 3,
         };
         let errs = verify(&circuit, &graph, &result).unwrap_err();
-        assert!(errs
-            .iter()
-            .any(|v| matches!(v, Violation::DependencyViolated { earlier: 0, later: 1 })));
+        assert!(errs.iter().any(|v| matches!(
+            v,
+            Violation::DependencyViolated {
+                earlier: 0,
+                later: 1
+            }
+        )));
     }
 
     #[test]
@@ -328,7 +342,10 @@ mod tests {
         let result = LayoutResult {
             initial_mapping: vec![0, 2],
             schedule: vec![3], // after the swap finishing at 2 (S_D=3: occupies 0..=2)
-            swaps: vec![SwapOp { edge: 1, finish_time: 2 }],
+            swaps: vec![SwapOp {
+                edge: 1,
+                finish_time: 2,
+            }],
             depth: 4,
             swap_duration: 3,
         };
@@ -344,12 +361,17 @@ mod tests {
         let result = LayoutResult {
             initial_mapping: vec![0, 1],
             schedule: vec![1],
-            swaps: vec![SwapOp { edge: 1, finish_time: 2 }],
+            swaps: vec![SwapOp {
+                edge: 1,
+                finish_time: 2,
+            }],
             depth: 4,
             swap_duration: 3,
         };
         let errs = verify(&circuit, &graph, &result).unwrap_err();
-        assert!(errs.iter().any(|v| matches!(v, Violation::Overlap { physical: 1, .. })));
+        assert!(errs
+            .iter()
+            .any(|v| matches!(v, Violation::Overlap { physical: 1, .. })));
     }
 
     #[test]
@@ -360,13 +382,21 @@ mod tests {
         let result = LayoutResult {
             initial_mapping: vec![0, 1],
             schedule: vec![5],
-            swaps: vec![SwapOp { edge: 0, finish_time: 0 }],
+            swaps: vec![SwapOp {
+                edge: 0,
+                finish_time: 0,
+            }],
             depth: 2,
             swap_duration: 3,
         };
         let errs = verify(&circuit, &graph, &result).unwrap_err();
         // Gate at t=5 beyond depth 2, and a swap that would start at t=-2.
-        assert!(errs.iter().filter(|v| matches!(v, Violation::OutOfWindow(_))).count() >= 2);
+        assert!(
+            errs.iter()
+                .filter(|v| matches!(v, Violation::OutOfWindow(_)))
+                .count()
+                >= 2
+        );
     }
 
     #[test]

@@ -63,7 +63,10 @@ impl ClauseDb {
     /// Panics if `lits` is empty; empty clauses are handled by the solver
     /// as an immediate UNSAT flag, never stored.
     pub fn alloc(&mut self, lits: &[Lit], learnt: bool) -> ClauseRef {
-        assert!(!lits.is_empty(), "empty clauses are not stored in the arena");
+        assert!(
+            !lits.is_empty(),
+            "empty clauses are not stored in the arena"
+        );
         let at = self.arena.len() as u32;
         let header = (lits.len() as u32) << 2 | if learnt { LEARNT_BIT } else { 0 };
         self.arena.push(header);
@@ -120,7 +123,11 @@ impl ClauseDb {
         let base = cref.0.get() as usize;
         if self.arena[base] & DELETED_BIT == 0 {
             self.arena[base] |= DELETED_BIT;
-            let extra = if self.arena[base] & LEARNT_BIT != 0 { 3 } else { 1 };
+            let extra = if self.arena[base] & LEARNT_BIT != 0 {
+                3
+            } else {
+                1
+            };
             self.wasted += extra + self.len(cref);
         }
     }

@@ -13,6 +13,8 @@
 //! of the simplified formula extend to the original variables through
 //! [`SimplifiedCnf::reconstruct`].
 
+// Indexed `for` loops are deliberate here: variable tables are indexed by variable number.
+#![allow(clippy::needless_range_loop)]
 use crate::lit::{Lit, Var};
 use crate::solver::{SolveResult, Solver};
 use std::collections::HashSet;
@@ -184,7 +186,9 @@ impl Preprocessor {
         loop {
             let mut changed = false;
             for i in 0..self.clauses.len() {
-                let Some(c) = self.clauses[i].clone() else { continue };
+                let Some(c) = self.clauses[i].clone() else {
+                    continue;
+                };
                 let mut remaining = Vec::with_capacity(c.len());
                 let mut satisfied = false;
                 for &l in &c {
@@ -287,9 +291,7 @@ impl Preprocessor {
                         continue; // tautological resolvent
                     }
                     resolvents.push(r);
-                    if resolvents.len() as isize
-                        > occurrences as isize + self.max_growth
-                    {
+                    if resolvents.len() as isize > occurrences as isize + self.max_growth {
                         too_many = true;
                         break 'outer;
                     }
@@ -340,7 +342,8 @@ impl Preprocessor {
     fn subsume(&mut self) {
         // Signature-based subsumption: cheap 64-bit Bloom signatures.
         let signature = |c: &[Lit]| -> u64 {
-            c.iter().fold(0u64, |acc, l| acc | 1 << (l.var().index() % 64))
+            c.iter()
+                .fold(0u64, |acc, l| acc | 1 << (l.var().index() % 64))
         };
         let live: Vec<usize> = (0..self.clauses.len())
             .filter(|&i| self.clauses[i].is_some())
@@ -479,8 +482,7 @@ mod tests {
 
     #[test]
     fn differential_random_formulas() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut rng = olsq2_prng::Rng::seed_from_u64(99);
         for round in 0..200 {
             let nv = rng.gen_range(2usize..9);
             let nc = rng.gen_range(1usize..25);

@@ -16,10 +16,12 @@
 //! minimization, Luby restarts, LBD-aware learned-clause reduction, and
 //! arena garbage collection.
 
+// Indexed `for` loops are deliberate here: clause/variable tables are indexed by position.
+#![allow(clippy::needless_range_loop)]
 use crate::clause::ClauseDb;
 use crate::heap::VarHeap;
-use crate::proof::{Proof, ProofStep};
 use crate::lit::{ClauseRef, LBool, Lit, Var};
+use crate::proof::{Proof, ProofStep};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -302,7 +304,11 @@ impl Solver {
     /// at decision level 0 (never happens through the public API, since
     /// `solve` always backtracks fully).
     pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) -> bool {
-        assert_eq!(self.decision_level(), 0, "clauses must be added at the root level");
+        assert_eq!(
+            self.decision_level(),
+            0,
+            "clauses must be added at the root level"
+        );
         if !self.ok {
             return false;
         }
@@ -314,7 +320,10 @@ impl Solver {
         let mut w = Vec::with_capacity(v.len());
         let mut prev: Option<Lit> = None;
         for &l in &v {
-            debug_assert!(l.var().index() < self.num_vars(), "literal over unknown variable");
+            debug_assert!(
+                l.var().index() < self.num_vars(),
+                "literal over unknown variable"
+            );
             if prev == Some(!l) || self.value(l) == LBool::True {
                 return true; // tautology or already satisfied at root
             }
@@ -823,7 +832,7 @@ impl Solver {
             }
         }
         if let Some(deadline) = self.deadline {
-            if self.stats.conflicts % 256 == 0 && Instant::now() >= deadline {
+            if self.stats.conflicts.is_multiple_of(256) && Instant::now() >= deadline {
                 return true;
             }
         }
@@ -854,6 +863,14 @@ impl Solver {
         self.seen.resize(self.num_vars(), false);
         self.model.clear();
         self.final_conflict.clear();
+        // A cooperative stop may have been raised between incremental
+        // solves (e.g. by a portfolio winner); honor it before searching so
+        // cancellation works even for solves that would finish conflict-free.
+        if let Some(stop) = &self.stop {
+            if stop.load(Ordering::Relaxed) {
+                return SolveResult::Unknown;
+            }
+        }
 
         let mut curr_restarts = 0u64;
         let result = loop {

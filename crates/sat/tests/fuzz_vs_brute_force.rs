@@ -5,10 +5,11 @@
 //! returned by the solver must actually satisfy the formula. The same is
 //! checked under random assumption sets, and final conflicts must be real
 //! (the formula plus the reported assumption subset must be UNSAT by
-//! enumeration).
+//! enumeration). Instances come from a seeded in-repo PRNG, so every run
+//! fuzzes the same reproducible corpus.
 
+use olsq2_prng::Rng;
 use olsq2_sat::{Lit, SolveResult, Solver, Var};
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 struct Formula {
@@ -61,47 +62,67 @@ fn build_solver(f: &Formula) -> Solver {
     s
 }
 
-fn arb_formula() -> impl Strategy<Value = Formula> {
-    (2usize..=12).prop_flat_map(|num_vars| {
-        let clause = proptest::collection::vec(
-            (1..=num_vars as i32, any::<bool>()).prop_map(|(v, neg)| if neg { -v } else { v }),
-            1..=3,
-        );
-        proptest::collection::vec(clause, 0..40)
-            .prop_map(move |clauses| Formula { num_vars, clauses })
-    })
+fn random_formula(rng: &mut Rng) -> Formula {
+    let num_vars = rng.gen_range(2usize..=12);
+    let num_clauses = rng.gen_range(0usize..40);
+    let clauses = (0..num_clauses)
+        .map(|_| {
+            let len = rng.gen_range(1usize..=3);
+            (0..len)
+                .map(|_| {
+                    let v = rng.gen_range(1i32..=num_vars as i32);
+                    if rng.gen_bool(0.5) {
+                        -v
+                    } else {
+                        v
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Formula { num_vars, clauses }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(300))]
-
-    #[test]
-    fn agrees_with_brute_force(f in arb_formula()) {
+#[test]
+fn agrees_with_brute_force() {
+    let mut rng = Rng::seed_from_u64(0xF022_0001);
+    for round in 0..300 {
+        let f = random_formula(&mut rng);
         let expected = brute_force(&f, &[]);
         let mut s = build_solver(&f);
         let result = s.solve(&[]);
         match expected {
             Some(_) => {
-                prop_assert_eq!(result, SolveResult::Sat);
+                assert_eq!(result, SolveResult::Sat, "round {round}");
                 // The model must satisfy every clause.
                 for clause in &f.clauses {
-                    let ok = clause.iter().any(|&c| s.model_value(lit_of(c)) == Some(true));
-                    prop_assert!(ok, "model violates clause {:?}", clause);
+                    let ok = clause
+                        .iter()
+                        .any(|&c| s.model_value(lit_of(c)) == Some(true));
+                    assert!(ok, "round {round}: model violates clause {clause:?}");
                 }
             }
-            None => prop_assert_eq!(result, SolveResult::Unsat),
+            None => assert_eq!(result, SolveResult::Unsat, "round {round}"),
         }
     }
+}
 
-    #[test]
-    fn agrees_under_assumptions(
-        f in arb_formula(),
-        raw_assumps in proptest::collection::vec((1i32..=12, any::<bool>()), 0..6),
-    ) {
-        let assumps: Vec<i32> = raw_assumps
-            .iter()
-            .filter(|(v, _)| (*v as usize) <= f.num_vars)
-            .map(|&(v, neg)| if neg { -v } else { v })
+#[test]
+fn agrees_under_assumptions() {
+    let mut rng = Rng::seed_from_u64(0xF022_0002);
+    for round in 0..300 {
+        let f = random_formula(&mut rng);
+        let num_assumps = rng.gen_range(0usize..6);
+        let assumps: Vec<i32> = (0..num_assumps)
+            .map(|_| {
+                let v = rng.gen_range(1i32..=12);
+                if rng.gen_bool(0.5) {
+                    -v
+                } else {
+                    v
+                }
+            })
+            .filter(|c| c.unsigned_abs() as usize <= f.num_vars)
             .collect();
         let expected = brute_force(&f, &assumps);
         let mut s = build_solver(&f);
@@ -109,17 +130,23 @@ proptest! {
         let result = s.solve(&assumption_lits);
         match expected {
             Some(_) => {
-                prop_assert_eq!(result, SolveResult::Sat);
+                assert_eq!(result, SolveResult::Sat, "round {round}");
                 for &a in &assumption_lits {
-                    prop_assert_eq!(s.model_value(a), Some(true), "assumption {:?} not honored", a);
+                    assert_eq!(
+                        s.model_value(a),
+                        Some(true),
+                        "round {round}: assumption {a:?} not honored"
+                    );
                 }
                 for clause in &f.clauses {
-                    let ok = clause.iter().any(|&c| s.model_value(lit_of(c)) == Some(true));
-                    prop_assert!(ok, "model violates clause {:?}", clause);
+                    let ok = clause
+                        .iter()
+                        .any(|&c| s.model_value(lit_of(c)) == Some(true));
+                    assert!(ok, "round {round}: model violates clause {clause:?}");
                 }
             }
             None => {
-                prop_assert_eq!(result, SolveResult::Unsat);
+                assert_eq!(result, SolveResult::Unsat, "round {round}");
                 // If the base formula is satisfiable, the final conflict
                 // must name a genuinely contradictory assumption subset.
                 if brute_force(&f, &[]).is_some() {
@@ -128,37 +155,65 @@ proptest! {
                         .iter()
                         .map(|l| {
                             let v = l.var().index() as i32 + 1;
-                            if l.is_negative() { -v } else { v }
+                            if l.is_negative() {
+                                -v
+                            } else {
+                                v
+                            }
                         })
                         .collect();
-                    prop_assert!(!core.is_empty());
+                    assert!(!core.is_empty(), "round {round}");
                     // Each core literal must be one of the assumptions.
                     for c in &core {
-                        prop_assert!(assumps.contains(c), "core lit {} not among assumptions", c);
+                        assert!(
+                            assumps.contains(c),
+                            "round {round}: core lit {c} not among assumptions"
+                        );
                     }
-                    prop_assert!(brute_force(&f, &core).is_none(), "reported core is not contradictory");
+                    assert!(
+                        brute_force(&f, &core).is_none(),
+                        "round {round}: reported core is not contradictory"
+                    );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn incremental_solving_stays_consistent(
-        f in arb_formula(),
-        extra in proptest::collection::vec(
-            proptest::collection::vec((1i32..=12, any::<bool>()).prop_map(|(v, n)| if n { -v } else { v }), 1..=3),
-            1..6,
-        ),
-    ) {
-        // Add clause batches one at a time, solving in between; every answer
-        // must match brute force on the prefix.
+#[test]
+fn incremental_solving_stays_consistent() {
+    // Add clause batches one at a time, solving in between; every answer
+    // must match brute force on the prefix.
+    let mut rng = Rng::seed_from_u64(0xF022_0003);
+    for round in 0..150 {
+        let f = random_formula(&mut rng);
         let mut s = build_solver(&f);
         let mut clauses = f.clauses.clone();
         let mut result = s.solve(&[]);
-        prop_assert_eq!(result.is_sat(), brute_force(&Formula { num_vars: f.num_vars, clauses: clauses.clone() }, &[]).is_some());
-        for batch in extra {
-            let batch: Vec<i32> = batch
-                .into_iter()
+        assert_eq!(
+            result.is_sat(),
+            brute_force(
+                &Formula {
+                    num_vars: f.num_vars,
+                    clauses: clauses.clone()
+                },
+                &[]
+            )
+            .is_some(),
+            "round {round}"
+        );
+        let batches = rng.gen_range(1usize..6);
+        for _ in 0..batches {
+            let len = rng.gen_range(1usize..=3);
+            let batch: Vec<i32> = (0..len)
+                .map(|_| {
+                    let v = rng.gen_range(1i32..=12);
+                    if rng.gen_bool(0.5) {
+                        -v
+                    } else {
+                        v
+                    }
+                })
                 .filter(|c| c.unsigned_abs() as usize <= f.num_vars)
                 .collect();
             if batch.is_empty() {
@@ -168,11 +223,14 @@ proptest! {
             clauses.push(batch);
             result = s.solve(&[]);
             let expected = brute_force(
-                &Formula { num_vars: f.num_vars, clauses: clauses.clone() },
+                &Formula {
+                    num_vars: f.num_vars,
+                    clauses: clauses.clone(),
+                },
                 &[],
             );
-            prop_assert_eq!(result.is_sat(), expected.is_some());
-            prop_assert_eq!(result.is_unsat(), expected.is_none());
+            assert_eq!(result.is_sat(), expected.is_some(), "round {round}");
+            assert_eq!(result.is_unsat(), expected.is_none(), "round {round}");
         }
     }
 }

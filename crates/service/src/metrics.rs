@@ -1,0 +1,200 @@
+//! Service-level metrics: job counters, latency percentiles, and
+//! aggregated solver statistics.
+
+use crate::cache::CacheStats;
+use olsq2_sat::Stats;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Aggregated SAT-solver totals across all jobs a service has run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverTotals {
+    /// Total conflicts.
+    pub conflicts: u64,
+    /// Total decisions.
+    pub decisions: u64,
+    /// Total unit propagations.
+    pub propagations: u64,
+    /// Total restarts.
+    pub restarts: u64,
+}
+
+impl SolverTotals {
+    fn add(&mut self, s: &Stats) {
+        self.conflicts += s.conflicts;
+        self.decisions += s.decisions;
+        self.propagations += s.propagations;
+        self.restarts += s.restarts;
+    }
+}
+
+/// A point-in-time snapshot of a service's metrics.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceMetrics {
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Jobs currently waiting in the queue.
+    pub queued: u64,
+    /// Jobs currently executing on a worker.
+    pub running: u64,
+    /// Jobs finished with a (possibly degraded) result.
+    pub done: u64,
+    /// Of the done jobs, how many were degraded to a best-so-far
+    /// incumbent by their deadline.
+    pub degraded: u64,
+    /// Jobs that failed.
+    pub failed: u64,
+    /// Jobs cancelled before completion.
+    pub cancelled: u64,
+    /// Result-cache counters.
+    pub cache: CacheStats,
+    /// Median end-to-end latency (submission → terminal) over completed
+    /// jobs; zero when nothing completed yet.
+    pub p50_latency: Duration,
+    /// 95th-percentile end-to-end latency.
+    pub p95_latency: Duration,
+    /// Aggregated solver statistics.
+    pub solver: SolverTotals,
+}
+
+/// The service's internal metrics collector.
+pub(crate) struct MetricsCollector {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    submitted: u64,
+    queued: u64,
+    running: u64,
+    done: u64,
+    degraded: u64,
+    failed: u64,
+    cancelled: u64,
+    latencies_us: Vec<u64>,
+    solver: SolverTotals,
+}
+
+impl MetricsCollector {
+    pub(crate) fn new() -> MetricsCollector {
+        MetricsCollector {
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("metrics lock")
+    }
+
+    pub(crate) fn on_submit(&self) {
+        let mut m = self.lock();
+        m.submitted += 1;
+        m.queued += 1;
+    }
+
+    pub(crate) fn on_dequeue(&self) {
+        let mut m = self.lock();
+        m.queued = m.queued.saturating_sub(1);
+        m.running += 1;
+    }
+
+    /// A queued job was dropped (cancelled) without ever running.
+    pub(crate) fn on_cancel_queued(&self) {
+        let mut m = self.lock();
+        m.queued = m.queued.saturating_sub(1);
+        m.cancelled += 1;
+    }
+
+    pub(crate) fn on_done(&self, latency: Duration, degraded: bool, stats: Option<&Stats>) {
+        let mut m = self.lock();
+        m.running = m.running.saturating_sub(1);
+        m.done += 1;
+        if degraded {
+            m.degraded += 1;
+        }
+        m.latencies_us.push(latency.as_micros() as u64);
+        if let Some(s) = stats {
+            m.solver.add(s);
+        }
+    }
+
+    pub(crate) fn on_failed(&self, latency: Duration) {
+        let mut m = self.lock();
+        m.running = m.running.saturating_sub(1);
+        m.failed += 1;
+        m.latencies_us.push(latency.as_micros() as u64);
+    }
+
+    pub(crate) fn on_cancel_running(&self) {
+        let mut m = self.lock();
+        m.running = m.running.saturating_sub(1);
+        m.cancelled += 1;
+    }
+
+    pub(crate) fn snapshot(&self, cache: CacheStats) -> ServiceMetrics {
+        let m = self.lock();
+        let (p50, p95) = percentiles(&m.latencies_us);
+        ServiceMetrics {
+            submitted: m.submitted,
+            queued: m.queued,
+            running: m.running,
+            done: m.done,
+            degraded: m.degraded,
+            failed: m.failed,
+            cancelled: m.cancelled,
+            cache,
+            p50_latency: p50,
+            p95_latency: p95,
+            solver: m.solver,
+        }
+    }
+}
+
+/// Nearest-rank percentiles over the recorded latencies.
+fn percentiles(latencies_us: &[u64]) -> (Duration, Duration) {
+    if latencies_us.is_empty() {
+        return (Duration::ZERO, Duration::ZERO);
+    }
+    let mut sorted = latencies_us.to_vec();
+    sorted.sort_unstable();
+    let rank = |p: f64| -> Duration {
+        let idx = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+        Duration::from_micros(sorted[idx])
+    };
+    (rank(0.50), rank(0.95))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_ranks() {
+        let us: Vec<u64> = (1..=100).collect();
+        let (p50, p95) = percentiles(&us);
+        assert_eq!(p50, Duration::from_micros(50));
+        assert_eq!(p95, Duration::from_micros(95));
+        let (one, _) = percentiles(&[7]);
+        assert_eq!(one, Duration::from_micros(7));
+        assert_eq!(percentiles(&[]), (Duration::ZERO, Duration::ZERO));
+    }
+
+    #[test]
+    fn counters_flow_through_lifecycle() {
+        let c = MetricsCollector::new();
+        c.on_submit();
+        c.on_submit();
+        c.on_dequeue();
+        c.on_done(Duration::from_millis(3), true, None);
+        c.on_dequeue();
+        c.on_failed(Duration::from_millis(1));
+        let snap = c.snapshot(CacheStats::default());
+        assert_eq!(snap.submitted, 2);
+        assert_eq!(snap.queued, 0);
+        assert_eq!(snap.running, 0);
+        assert_eq!(snap.done, 1);
+        assert_eq!(snap.degraded, 1);
+        assert_eq!(snap.failed, 1);
+        assert!(snap.p95_latency >= snap.p50_latency);
+    }
+}

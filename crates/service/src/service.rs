@@ -1,0 +1,425 @@
+//! The synthesis service: a bounded priority queue feeding a fixed pool
+//! of worker threads, with per-job deadlines, cooperative cancellation,
+//! a canonicalizing result cache, and metrics.
+//!
+//! No async runtime is involved: workers are plain `std::thread`s, the
+//! queue is a mutex-protected ordered map, and job completion is signalled
+//! through a condvar on each job's shared state. This matches the
+//! synchronous, CPU-bound nature of SAT solving — a solver thread cannot
+//! yield anyway, so threads *are* the unit of concurrency.
+
+use crate::cache::{self, CacheStats, CachedResult, ResultCache};
+use crate::metrics::{MetricsCollector, ServiceMetrics};
+use crate::request::{
+    JobHandle, JobOutput, JobShared, JobStatus, Objective, Priority, SynthesisRequest,
+};
+use olsq2::{IncumbentSlot, Olsq2Synthesizer, SynthesisError, TbOlsq2Synthesizer};
+use olsq2_layout::LayoutResult;
+use olsq2_sat::Stats;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Sizing knobs for a [`SynthesisService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Number of worker threads (minimum 1).
+    pub workers: usize,
+    /// Maximum number of jobs waiting in the queue; submissions beyond
+    /// this are rejected with [`SubmitError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Result-cache capacity in entries; `0` disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get().min(4))
+            .unwrap_or(2);
+        ServiceConfig {
+            workers,
+            queue_capacity: 256,
+            cache_capacity: 512,
+        }
+    }
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity; retry after jobs drain.
+    QueueFull,
+    /// The service is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "job queue is full"),
+            SubmitError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+struct QueuedJob {
+    request: SynthesisRequest,
+    shared: Arc<JobShared>,
+    submitted_at: Instant,
+}
+
+#[derive(Default)]
+struct QueueState {
+    /// Keyed by `(priority, sequence)`: the first entry is the next job.
+    jobs: BTreeMap<(Priority, u64), QueuedJob>,
+}
+
+struct ServiceState {
+    queue: Mutex<QueueState>,
+    available: Condvar,
+    metrics: MetricsCollector,
+    cache: Option<Mutex<ResultCache>>,
+    shutdown: AtomicBool,
+    /// Cancel flags of currently running jobs, so shutdown can interrupt
+    /// in-flight solves.
+    running_flags: Mutex<HashMap<u64, Arc<AtomicBool>>>,
+}
+
+/// A synthesis service instance owning its worker pool.
+///
+/// See the crate docs for an end-to-end example. Dropping the service
+/// shuts it down: queued jobs are cancelled, running jobs are interrupted
+/// through the solver's stop flag, and all workers are joined.
+pub struct SynthesisService {
+    state: Arc<ServiceState>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    next_id: AtomicU64,
+    queue_capacity: usize,
+}
+
+impl std::fmt::Debug for SynthesisService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SynthesisService")
+            .field("workers", &self.workers.len())
+            .field("queue_capacity", &self.queue_capacity)
+            .finish()
+    }
+}
+
+impl SynthesisService {
+    /// Starts a service with the given sizing.
+    pub fn start(config: ServiceConfig) -> SynthesisService {
+        let state = Arc::new(ServiceState {
+            queue: Mutex::new(QueueState::default()),
+            available: Condvar::new(),
+            metrics: MetricsCollector::new(),
+            cache: if config.cache_capacity > 0 {
+                Some(Mutex::new(ResultCache::new(config.cache_capacity)))
+            } else {
+                None
+            },
+            shutdown: AtomicBool::new(false),
+            running_flags: Mutex::new(HashMap::new()),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let state = state.clone();
+                std::thread::Builder::new()
+                    .name(format!("olsq2-worker-{i}"))
+                    .spawn(move || worker_loop(&state))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        SynthesisService {
+            state,
+            workers,
+            next_id: AtomicU64::new(0),
+            queue_capacity: config.queue_capacity.max(1),
+        }
+    }
+
+    /// Starts a service with default sizing.
+    pub fn start_default() -> SynthesisService {
+        SynthesisService::start(ServiceConfig::default())
+    }
+
+    /// Submits a request; returns a handle to poll, await, or cancel it.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] when the bounded queue is at capacity,
+    /// [`SubmitError::ShuttingDown`] after [`SynthesisService::shutdown`].
+    pub fn submit(&self, request: SynthesisRequest) -> Result<JobHandle, SubmitError> {
+        if self.state.shutdown.load(Ordering::Relaxed) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let shared = JobShared::new();
+        let handle = JobHandle {
+            id,
+            name: request.name.clone(),
+            shared: shared.clone(),
+        };
+        {
+            let mut queue = self.state.queue.lock().expect("queue lock");
+            if queue.jobs.len() >= self.queue_capacity {
+                return Err(SubmitError::QueueFull);
+            }
+            queue.jobs.insert(
+                (request.priority, id),
+                QueuedJob {
+                    request,
+                    shared,
+                    submitted_at: Instant::now(),
+                },
+            );
+        }
+        self.state.metrics.on_submit();
+        self.state.available.notify_one();
+        Ok(handle)
+    }
+
+    /// A metrics snapshot.
+    pub fn metrics(&self) -> ServiceMetrics {
+        let cache_stats = match &self.state.cache {
+            Some(cache) => cache.lock().expect("cache lock").stats(),
+            None => CacheStats::default(),
+        };
+        self.state.metrics.snapshot(cache_stats)
+    }
+
+    /// Number of worker threads.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Stops the service: rejects new submissions, cancels queued jobs,
+    /// interrupts running jobs through the solver stop flag, and joins the
+    /// workers. Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&mut self) {
+        if self.state.shutdown.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        {
+            let mut queue = self.state.queue.lock().expect("queue lock");
+            for (_, job) in std::mem::take(&mut queue.jobs) {
+                self.state.metrics.on_cancel_queued();
+                job.shared.set_status(JobStatus::Cancelled);
+            }
+        }
+        for flag in self
+            .state
+            .running_flags
+            .lock()
+            .expect("running flags lock")
+            .values()
+        {
+            flag.store(true, Ordering::Relaxed);
+        }
+        self.state.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for SynthesisService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(state: &ServiceState) {
+    loop {
+        let (id, job) = {
+            let mut queue = state.queue.lock().expect("queue lock");
+            loop {
+                if state.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                if let Some((&key, _)) = queue.jobs.iter().next() {
+                    let job = queue.jobs.remove(&key).expect("present");
+                    break (key.1, job);
+                }
+                queue = state.available.wait(queue).expect("queue lock");
+            }
+        };
+        if job.shared.cancel.load(Ordering::Relaxed) {
+            // Metrics before status: `wait()` returns the moment the
+            // status turns terminal, and callers may read metrics then.
+            state.metrics.on_cancel_queued();
+            job.shared.set_status(JobStatus::Cancelled);
+            continue;
+        }
+        state.metrics.on_dequeue();
+        state
+            .running_flags
+            .lock()
+            .expect("running flags lock")
+            .insert(id, job.shared.cancel.clone());
+        run_job(state, &job);
+        state
+            .running_flags
+            .lock()
+            .expect("running flags lock")
+            .remove(&id);
+    }
+}
+
+fn run_job(state: &ServiceState, job: &QueuedJob) {
+    let picked_at = Instant::now();
+    let wait = picked_at - job.submitted_at;
+    job.shared.set_status(JobStatus::Running);
+    let request = &job.request;
+
+    // Cache lookup under the canonical key.
+    let canonical = state.cache.as_ref().map(|_| {
+        cache::canonicalize(
+            &request.circuit,
+            &request.device,
+            &request.config,
+            request.objective,
+        )
+    });
+    if let (Some(cache_mutex), Some(canonical)) = (&state.cache, &canonical) {
+        let hit = cache_mutex.lock().expect("cache lock").get(&canonical.key);
+        if let Some(entry) = hit {
+            let result = cache::translate_hit(&entry.result, &canonical.relabel);
+            let output = JobOutput {
+                result,
+                proven_optimal: entry.proven_optimal,
+                degraded: false,
+                cache_hit: true,
+                wait,
+                service_time: picked_at.elapsed(),
+                solver_stats: None,
+            };
+            state
+                .metrics
+                .on_done(job.submitted_at.elapsed(), false, None);
+            job.shared.set_status(JobStatus::Done(output));
+            return;
+        }
+    }
+
+    // Arm the per-job budget and reporting hooks.
+    let mut config = request.config.clone();
+    config.stop_flag = Some(job.shared.cancel.clone());
+    let incumbent = IncumbentSlot::new();
+    config.incumbent = Some(incumbent.clone());
+    config.time_budget = match (config.time_budget, request.deadline) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
+
+    let solved = solve(request, config);
+    let latency = job.submitted_at.elapsed();
+    let service_time = picked_at.elapsed();
+
+    match solved {
+        Ok((result, proven_optimal, stats)) => {
+            // `proven_optimal == false` on an Ok outcome means the budget
+            // machinery (deadline, conflict budget, or cancel) cut the
+            // optimization short and the loop kept its best-so-far — the
+            // graceful-degradation contract.
+            let degraded = !proven_optimal;
+            if proven_optimal {
+                if let (Some(cache_mutex), Some(canonical)) = (&state.cache, &canonical) {
+                    // Store in canonical qubit space: canonical qubit
+                    // `relabel[q]` sits where request qubit `q` was mapped.
+                    let mut canon_mapping = vec![0u16; result.initial_mapping.len()];
+                    for (q, &c) in canonical.relabel.iter().enumerate() {
+                        canon_mapping[c as usize] = result.initial_mapping[q];
+                    }
+                    let mut canon_result = result.clone();
+                    canon_result.initial_mapping = canon_mapping;
+                    cache_mutex.lock().expect("cache lock").insert(
+                        canonical.key.clone(),
+                        CachedResult {
+                            result: canon_result,
+                            proven_optimal,
+                        },
+                    );
+                }
+            }
+            let output = JobOutput {
+                result,
+                proven_optimal,
+                degraded,
+                cache_hit: false,
+                wait,
+                service_time,
+                solver_stats: Some(stats),
+            };
+            state
+                .metrics
+                .on_done(latency, degraded, output.solver_stats.as_ref());
+            job.shared.set_status(JobStatus::Done(output));
+        }
+        Err(SynthesisError::BudgetExhausted) => {
+            if job.shared.cancel.load(Ordering::Relaxed) {
+                state.metrics.on_cancel_running();
+                job.shared.set_status(JobStatus::Cancelled);
+            } else if let Some(best) = incumbent.take() {
+                // Deadline degradation: return the best-so-far incumbent,
+                // tagged non-optimal, instead of an error. Not cached —
+                // a degraded answer depends on the deadline, not only on
+                // the instance.
+                let output = JobOutput {
+                    result: best,
+                    proven_optimal: false,
+                    degraded: true,
+                    cache_hit: false,
+                    wait,
+                    service_time,
+                    solver_stats: None,
+                };
+                state.metrics.on_done(latency, true, None);
+                job.shared.set_status(JobStatus::Done(output));
+            } else {
+                state.metrics.on_failed(latency);
+                job.shared
+                    .set_status(JobStatus::Failed(SynthesisError::BudgetExhausted));
+            }
+        }
+        Err(e) => {
+            state.metrics.on_failed(latency);
+            job.shared.set_status(JobStatus::Failed(e));
+        }
+    }
+}
+
+fn solve(
+    request: &SynthesisRequest,
+    config: olsq2::SynthesisConfig,
+) -> Result<(LayoutResult, bool, Stats), SynthesisError> {
+    match request.objective {
+        Objective::Depth => {
+            let out =
+                Olsq2Synthesizer::new(config).optimize_depth(&request.circuit, &request.device)?;
+            Ok((out.result, out.proven_optimal, out.solver_stats))
+        }
+        Objective::Swaps => {
+            let out =
+                Olsq2Synthesizer::new(config).optimize_swaps(&request.circuit, &request.device)?;
+            Ok((
+                out.best.result,
+                out.best.proven_optimal,
+                out.best.solver_stats,
+            ))
+        }
+        Objective::TransitionSwaps => {
+            let out = TbOlsq2Synthesizer::new(config)
+                .optimize_swaps(&request.circuit, &request.device)?;
+            Ok((
+                out.outcome.result,
+                out.outcome.proven_optimal,
+                out.outcome.solver_stats,
+            ))
+        }
+    }
+}

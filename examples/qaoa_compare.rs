@@ -28,8 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = ErrorModel::default();
 
     // SABRE (heuristic baseline).
-    let mut sabre_cfg = SabreConfig::default();
-    sabre_cfg.swap_duration = 1; // QAOA convention from §IV
+    let sabre_cfg = SabreConfig {
+        // QAOA convention from §IV
+        swap_duration: 1,
+        ..Default::default()
+    };
     let t = Instant::now();
     let sabre = sabre_route(&circuit, &device, &sabre_cfg)?;
     verify(&circuit, &device, &sabre).map_err(|v| format!("{v:?}"))?;
@@ -43,8 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // A* layer router (Zulehner-style).
-    let mut astar_cfg = AstarConfig::default();
-    astar_cfg.swap_duration = 1;
+    let astar_cfg = AstarConfig {
+        swap_duration: 1,
+        ..Default::default()
+    };
     let t = Instant::now();
     let astar = astar_route(&circuit, &device, &astar_cfg)?;
     verify(&circuit, &device, &astar).map_err(|v| format!("{v:?}"))?;
@@ -58,9 +63,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // SATMap-style slice mapper.
-    let mut satmap_cfg = SatMapConfig::default();
-    satmap_cfg.swap_duration = 1;
-    satmap_cfg.time_budget = Some(Duration::from_secs(120));
+    let satmap_cfg = SatMapConfig {
+        swap_duration: 1,
+        time_budget: Some(Duration::from_secs(120)),
+        ..Default::default()
+    };
     let t = Instant::now();
     match satmap_route(&circuit, &device, &satmap_cfg) {
         Ok(out) => {
@@ -92,7 +99,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 out.outcome.result.depth,
                 100.0 * estimate_success_rate(&circuit, &out.outcome.result, &model),
                 t.elapsed(),
-                if out.outcome.proven_optimal { "  (optimal)" } else { "  (budget)" }
+                if out.outcome.proven_optimal {
+                    "  (optimal)"
+                } else {
+                    "  (budget)"
+                }
             );
         }
         Err(e) => println!("{:<12} {e}", "TB-OLSQ2"),

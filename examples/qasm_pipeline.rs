@@ -44,6 +44,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let physical = emit_physical_circuit(&circuit, &device, &out.outcome.result);
-    println!("\n--- physical program ---\n{}", write_qasm(&physical.decompose_swaps()));
+    println!(
+        "\n--- physical program ---\n{}",
+        write_qasm(&physical.decompose_swaps())
+    );
     Ok(())
 }

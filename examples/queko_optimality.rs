@@ -26,15 +26,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         device
     );
 
-    let mut sabre_cfg = SabreConfig::default();
-    sabre_cfg.swap_duration = 3;
+    let sabre_cfg = SabreConfig {
+        swap_duration: 3,
+        ..Default::default()
+    };
     let sabre = sabre_route(&queko.circuit, &device, &sabre_cfg)?;
     verify(&queko.circuit, &device, &sabre).map_err(|v| format!("{v:?}"))?;
-    println!(
-        "SABRE: depth={} swaps={}",
-        sabre.depth,
-        sabre.swap_count()
-    );
+    println!("SABRE: depth={} swaps={}", sabre.depth, sabre.swap_count());
 
     let mut cfg = SynthesisConfig::with_swap_duration(3);
     cfg.time_budget = Some(Duration::from_secs(600));

@@ -45,10 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Emit the executable physical circuit (Fig. 4 of the paper).
     let physical = emit_physical_circuit(&circuit, &device, &depth_opt.result);
-    println!("\nphysical circuit (QASM):\n{}", write_qasm(&physical.decompose_swaps()));
     println!(
-        "initial mapping: {:?}",
-        depth_opt.result.initial_mapping
+        "\nphysical circuit (QASM):\n{}",
+        write_qasm(&physical.decompose_swaps())
     );
+    println!("initial mapping: {:?}", depth_opt.result.initial_mapping);
     Ok(())
 }

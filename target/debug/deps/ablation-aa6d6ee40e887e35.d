@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-aa6d6ee40e887e35.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-aa6d6ee40e887e35: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cnf_solve-2abcdb4df574e587.d: crates/encode/src/bin/cnf_solve.rs
+
+/root/repo/target/debug/deps/cnf_solve-2abcdb4df574e587: crates/encode/src/bin/cnf_solve.rs
+
+crates/encode/src/bin/cnf_solve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cnf_solve-60073aba0a168939.d: crates/encode/src/bin/cnf_solve.rs
+
+/root/repo/target/debug/deps/cnf_solve-60073aba0a168939: crates/encode/src/bin/cnf_solve.rs
+
+crates/encode/src/bin/cnf_solve.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cnf_solve-6ef316a263de5ae9.d: crates/encode/src/bin/cnf_solve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcnf_solve-6ef316a263de5ae9.rmeta: crates/encode/src/bin/cnf_solve.rs Cargo.toml
+
+crates/encode/src/bin/cnf_solve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

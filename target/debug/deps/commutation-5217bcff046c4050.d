@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/commutation-5217bcff046c4050.d: tests/commutation.rs
+
+/root/repo/target/debug/deps/commutation-5217bcff046c4050: tests/commutation.rs
+
+tests/commutation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/commutation-b2d68c03c74cad5c.d: tests/commutation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcommutation-b2d68c03c74cad5c.rmeta: tests/commutation.rs Cargo.toml
+
+tests/commutation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/encodings_agree-172545a89c61673d.d: tests/encodings_agree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libencodings_agree-172545a89c61673d.rmeta: tests/encodings_agree.rs Cargo.toml
+
+tests/encodings_agree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

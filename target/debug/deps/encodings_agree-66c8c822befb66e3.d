@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/encodings_agree-66c8c822befb66e3.d: tests/encodings_agree.rs
+
+/root/repo/target/debug/deps/encodings_agree-66c8c822befb66e3: tests/encodings_agree.rs
+
+tests/encodings_agree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-800fcf7bc3444d97.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-800fcf7bc3444d97: tests/end_to_end.rs
+
+tests/end_to_end.rs:

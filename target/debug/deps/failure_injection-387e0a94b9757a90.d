@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failure_injection-387e0a94b9757a90.d: crates/layout/tests/failure_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailure_injection-387e0a94b9757a90.rmeta: crates/layout/tests/failure_injection.rs Cargo.toml
+
+crates/layout/tests/failure_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-dfeed37e14ba5246.d: crates/layout/tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-dfeed37e14ba5246: crates/layout/tests/failure_injection.rs
+
+crates/layout/tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-affdb26a213eaf9e.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-affdb26a213eaf9e: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

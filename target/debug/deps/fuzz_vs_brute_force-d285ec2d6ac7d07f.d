@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fuzz_vs_brute_force-d285ec2d6ac7d07f.d: crates/sat/tests/fuzz_vs_brute_force.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuzz_vs_brute_force-d285ec2d6ac7d07f.rmeta: crates/sat/tests/fuzz_vs_brute_force.rs Cargo.toml
+
+crates/sat/tests/fuzz_vs_brute_force.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz_vs_brute_force-f5906a1860e4303b.d: crates/sat/tests/fuzz_vs_brute_force.rs
+
+/root/repo/target/debug/deps/fuzz_vs_brute_force-f5906a1860e4303b: crates/sat/tests/fuzz_vs_brute_force.rs
+
+crates/sat/tests/fuzz_vs_brute_force.rs:

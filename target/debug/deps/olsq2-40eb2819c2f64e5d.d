@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/olsq2-40eb2819c2f64e5d.d: crates/cli/src/bin/olsq2.rs
+
+/root/repo/target/debug/deps/olsq2-40eb2819c2f64e5d: crates/cli/src/bin/olsq2.rs
+
+crates/cli/src/bin/olsq2.rs:

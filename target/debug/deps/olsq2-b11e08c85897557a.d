@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/olsq2-b11e08c85897557a.d: crates/cli/src/bin/olsq2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolsq2-b11e08c85897557a.rmeta: crates/cli/src/bin/olsq2.rs Cargo.toml
+
+crates/cli/src/bin/olsq2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/olsq2-b508b4e0d248c2c9.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/incumbent.rs crates/core/src/model.rs crates/core/src/optimize.rs crates/core/src/portfolio.rs crates/core/src/transition.rs crates/core/src/vars.rs
+
+/root/repo/target/debug/deps/libolsq2-b508b4e0d248c2c9.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/incumbent.rs crates/core/src/model.rs crates/core/src/optimize.rs crates/core/src/portfolio.rs crates/core/src/transition.rs crates/core/src/vars.rs
+
+/root/repo/target/debug/deps/libolsq2-b508b4e0d248c2c9.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/incumbent.rs crates/core/src/model.rs crates/core/src/optimize.rs crates/core/src/portfolio.rs crates/core/src/transition.rs crates/core/src/vars.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/incumbent.rs:
+crates/core/src/model.rs:
+crates/core/src/optimize.rs:
+crates/core/src/portfolio.rs:
+crates/core/src/transition.rs:
+crates/core/src/vars.rs:

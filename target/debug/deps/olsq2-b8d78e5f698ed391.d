@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/olsq2-b8d78e5f698ed391.d: crates/cli/src/bin/olsq2.rs
+
+/root/repo/target/debug/deps/olsq2-b8d78e5f698ed391: crates/cli/src/bin/olsq2.rs
+
+crates/cli/src/bin/olsq2.rs:

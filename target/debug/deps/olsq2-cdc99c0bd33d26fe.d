@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/olsq2-cdc99c0bd33d26fe.d: crates/cli/src/bin/olsq2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolsq2-cdc99c0bd33d26fe.rmeta: crates/cli/src/bin/olsq2.rs Cargo.toml
+
+crates/cli/src/bin/olsq2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

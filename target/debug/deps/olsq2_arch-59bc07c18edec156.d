@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/olsq2_arch-59bc07c18edec156.d: crates/arch/src/lib.rs crates/arch/src/devices.rs crates/arch/src/graph.rs
+
+/root/repo/target/debug/deps/libolsq2_arch-59bc07c18edec156.rlib: crates/arch/src/lib.rs crates/arch/src/devices.rs crates/arch/src/graph.rs
+
+/root/repo/target/debug/deps/libolsq2_arch-59bc07c18edec156.rmeta: crates/arch/src/lib.rs crates/arch/src/devices.rs crates/arch/src/graph.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/devices.rs:
+crates/arch/src/graph.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/olsq2_arch-e0b326dbd809ba7c.d: crates/arch/src/lib.rs crates/arch/src/devices.rs crates/arch/src/graph.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolsq2_arch-e0b326dbd809ba7c.rmeta: crates/arch/src/lib.rs crates/arch/src/devices.rs crates/arch/src/graph.rs Cargo.toml
+
+crates/arch/src/lib.rs:
+crates/arch/src/devices.rs:
+crates/arch/src/graph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

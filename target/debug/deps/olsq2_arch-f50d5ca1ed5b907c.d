@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/olsq2_arch-f50d5ca1ed5b907c.d: crates/arch/src/lib.rs crates/arch/src/devices.rs crates/arch/src/graph.rs
+
+/root/repo/target/debug/deps/olsq2_arch-f50d5ca1ed5b907c: crates/arch/src/lib.rs crates/arch/src/devices.rs crates/arch/src/graph.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/devices.rs:
+crates/arch/src/graph.rs:

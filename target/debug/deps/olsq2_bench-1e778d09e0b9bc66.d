@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/olsq2_bench-1e778d09e0b9bc66.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolsq2_bench-1e778d09e0b9bc66.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

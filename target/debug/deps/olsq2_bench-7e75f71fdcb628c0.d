@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/olsq2_bench-7e75f71fdcb628c0.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/olsq2_bench-7e75f71fdcb628c0: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

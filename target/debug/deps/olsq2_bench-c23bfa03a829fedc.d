@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/olsq2_bench-c23bfa03a829fedc.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolsq2_bench-c23bfa03a829fedc.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/olsq2_bench-c30c684469f7389a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libolsq2_bench-c30c684469f7389a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libolsq2_bench-c30c684469f7389a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

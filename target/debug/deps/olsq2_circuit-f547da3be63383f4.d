@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/olsq2_circuit-f547da3be63383f4.d: crates/circuit/src/lib.rs crates/circuit/src/circuit.rs crates/circuit/src/dag.rs crates/circuit/src/gate.rs crates/circuit/src/generators/mod.rs crates/circuit/src/generators/adders.rs crates/circuit/src/generators/arithmetic.rs crates/circuit/src/generators/graphs.rs crates/circuit/src/generators/qaoa.rs crates/circuit/src/generators/qft.rs crates/circuit/src/generators/queko.rs crates/circuit/src/qasm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolsq2_circuit-f547da3be63383f4.rmeta: crates/circuit/src/lib.rs crates/circuit/src/circuit.rs crates/circuit/src/dag.rs crates/circuit/src/gate.rs crates/circuit/src/generators/mod.rs crates/circuit/src/generators/adders.rs crates/circuit/src/generators/arithmetic.rs crates/circuit/src/generators/graphs.rs crates/circuit/src/generators/qaoa.rs crates/circuit/src/generators/qft.rs crates/circuit/src/generators/queko.rs crates/circuit/src/qasm.rs Cargo.toml
+
+crates/circuit/src/lib.rs:
+crates/circuit/src/circuit.rs:
+crates/circuit/src/dag.rs:
+crates/circuit/src/gate.rs:
+crates/circuit/src/generators/mod.rs:
+crates/circuit/src/generators/adders.rs:
+crates/circuit/src/generators/arithmetic.rs:
+crates/circuit/src/generators/graphs.rs:
+crates/circuit/src/generators/qaoa.rs:
+crates/circuit/src/generators/qft.rs:
+crates/circuit/src/generators/queko.rs:
+crates/circuit/src/qasm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

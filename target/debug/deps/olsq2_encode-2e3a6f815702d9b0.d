@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/olsq2_encode-2e3a6f815702d9b0.d: crates/encode/src/lib.rs crates/encode/src/bitvec.rs crates/encode/src/cardinality.rs crates/encode/src/dimacs.rs crates/encode/src/gates.rs crates/encode/src/onehot.rs crates/encode/src/sink.rs
+
+/root/repo/target/debug/deps/libolsq2_encode-2e3a6f815702d9b0.rlib: crates/encode/src/lib.rs crates/encode/src/bitvec.rs crates/encode/src/cardinality.rs crates/encode/src/dimacs.rs crates/encode/src/gates.rs crates/encode/src/onehot.rs crates/encode/src/sink.rs
+
+/root/repo/target/debug/deps/libolsq2_encode-2e3a6f815702d9b0.rmeta: crates/encode/src/lib.rs crates/encode/src/bitvec.rs crates/encode/src/cardinality.rs crates/encode/src/dimacs.rs crates/encode/src/gates.rs crates/encode/src/onehot.rs crates/encode/src/sink.rs
+
+crates/encode/src/lib.rs:
+crates/encode/src/bitvec.rs:
+crates/encode/src/cardinality.rs:
+crates/encode/src/dimacs.rs:
+crates/encode/src/gates.rs:
+crates/encode/src/onehot.rs:
+crates/encode/src/sink.rs:

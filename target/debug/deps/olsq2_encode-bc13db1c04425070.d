@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/olsq2_encode-bc13db1c04425070.d: crates/encode/src/lib.rs crates/encode/src/bitvec.rs crates/encode/src/cardinality.rs crates/encode/src/dimacs.rs crates/encode/src/gates.rs crates/encode/src/onehot.rs crates/encode/src/sink.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolsq2_encode-bc13db1c04425070.rmeta: crates/encode/src/lib.rs crates/encode/src/bitvec.rs crates/encode/src/cardinality.rs crates/encode/src/dimacs.rs crates/encode/src/gates.rs crates/encode/src/onehot.rs crates/encode/src/sink.rs Cargo.toml
+
+crates/encode/src/lib.rs:
+crates/encode/src/bitvec.rs:
+crates/encode/src/cardinality.rs:
+crates/encode/src/dimacs.rs:
+crates/encode/src/gates.rs:
+crates/encode/src/onehot.rs:
+crates/encode/src/sink.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/olsq2_layout-45a06d901793f7c5.d: crates/layout/src/lib.rs crates/layout/src/emit.rs crates/layout/src/fidelity.rs crates/layout/src/result.rs crates/layout/src/verify.rs
+
+/root/repo/target/debug/deps/libolsq2_layout-45a06d901793f7c5.rlib: crates/layout/src/lib.rs crates/layout/src/emit.rs crates/layout/src/fidelity.rs crates/layout/src/result.rs crates/layout/src/verify.rs
+
+/root/repo/target/debug/deps/libolsq2_layout-45a06d901793f7c5.rmeta: crates/layout/src/lib.rs crates/layout/src/emit.rs crates/layout/src/fidelity.rs crates/layout/src/result.rs crates/layout/src/verify.rs
+
+crates/layout/src/lib.rs:
+crates/layout/src/emit.rs:
+crates/layout/src/fidelity.rs:
+crates/layout/src/result.rs:
+crates/layout/src/verify.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/olsq2_layout-6d04e7800fe70bab.d: crates/layout/src/lib.rs crates/layout/src/emit.rs crates/layout/src/fidelity.rs crates/layout/src/result.rs crates/layout/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolsq2_layout-6d04e7800fe70bab.rmeta: crates/layout/src/lib.rs crates/layout/src/emit.rs crates/layout/src/fidelity.rs crates/layout/src/result.rs crates/layout/src/verify.rs Cargo.toml
+
+crates/layout/src/lib.rs:
+crates/layout/src/emit.rs:
+crates/layout/src/fidelity.rs:
+crates/layout/src/result.rs:
+crates/layout/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

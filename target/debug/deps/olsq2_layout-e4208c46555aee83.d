@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/olsq2_layout-e4208c46555aee83.d: crates/layout/src/lib.rs crates/layout/src/emit.rs crates/layout/src/fidelity.rs crates/layout/src/result.rs crates/layout/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolsq2_layout-e4208c46555aee83.rmeta: crates/layout/src/lib.rs crates/layout/src/emit.rs crates/layout/src/fidelity.rs crates/layout/src/result.rs crates/layout/src/verify.rs Cargo.toml
+
+crates/layout/src/lib.rs:
+crates/layout/src/emit.rs:
+crates/layout/src/fidelity.rs:
+crates/layout/src/result.rs:
+crates/layout/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

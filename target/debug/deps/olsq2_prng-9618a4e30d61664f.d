@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/olsq2_prng-9618a4e30d61664f.d: crates/prng/src/lib.rs
+
+/root/repo/target/debug/deps/olsq2_prng-9618a4e30d61664f: crates/prng/src/lib.rs
+
+crates/prng/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/olsq2_prng-a2b22b57983195c4.d: crates/prng/src/lib.rs
+
+/root/repo/target/debug/deps/libolsq2_prng-a2b22b57983195c4.rlib: crates/prng/src/lib.rs
+
+/root/repo/target/debug/deps/libolsq2_prng-a2b22b57983195c4.rmeta: crates/prng/src/lib.rs
+
+crates/prng/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/olsq2_prng-ff63c9d49cdbdc3a.d: crates/prng/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolsq2_prng-ff63c9d49cdbdc3a.rmeta: crates/prng/src/lib.rs Cargo.toml
+
+crates/prng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

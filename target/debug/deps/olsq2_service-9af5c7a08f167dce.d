@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/olsq2_service-9af5c7a08f167dce.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/json.rs crates/service/src/manifest.rs crates/service/src/metrics.rs crates/service/src/request.rs crates/service/src/service.rs
+
+/root/repo/target/debug/deps/libolsq2_service-9af5c7a08f167dce.rlib: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/json.rs crates/service/src/manifest.rs crates/service/src/metrics.rs crates/service/src/request.rs crates/service/src/service.rs
+
+/root/repo/target/debug/deps/libolsq2_service-9af5c7a08f167dce.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/json.rs crates/service/src/manifest.rs crates/service/src/metrics.rs crates/service/src/request.rs crates/service/src/service.rs
+
+crates/service/src/lib.rs:
+crates/service/src/cache.rs:
+crates/service/src/json.rs:
+crates/service/src/manifest.rs:
+crates/service/src/metrics.rs:
+crates/service/src/request.rs:
+crates/service/src/service.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/olsq2_suite-64fa06643318236c.d: src/lib.rs
+
+/root/repo/target/debug/deps/olsq2_suite-64fa06643318236c: src/lib.rs
+
+src/lib.rs:

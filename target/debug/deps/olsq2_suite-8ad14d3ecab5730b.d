@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/olsq2_suite-8ad14d3ecab5730b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolsq2_suite-8ad14d3ecab5730b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/olsq2_suite-b7ae213fa6ed0662.d: src/lib.rs
+
+/root/repo/target/debug/deps/libolsq2_suite-b7ae213fa6ed0662.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libolsq2_suite-b7ae213fa6ed0662.rmeta: src/lib.rs
+
+src/lib.rs:

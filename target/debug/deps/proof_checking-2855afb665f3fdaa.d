@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proof_checking-2855afb665f3fdaa.d: crates/sat/tests/proof_checking.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproof_checking-2855afb665f3fdaa.rmeta: crates/sat/tests/proof_checking.rs Cargo.toml
+
+crates/sat/tests/proof_checking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

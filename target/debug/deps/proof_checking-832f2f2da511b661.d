@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proof_checking-832f2f2da511b661.d: crates/sat/tests/proof_checking.rs
+
+/root/repo/target/debug/deps/proof_checking-832f2f2da511b661: crates/sat/tests/proof_checking.rs
+
+crates/sat/tests/proof_checking.rs:

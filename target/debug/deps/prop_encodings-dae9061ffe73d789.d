@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_encodings-dae9061ffe73d789.d: crates/encode/tests/prop_encodings.rs
+
+/root/repo/target/debug/deps/prop_encodings-dae9061ffe73d789: crates/encode/tests/prop_encodings.rs
+
+crates/encode/tests/prop_encodings.rs:

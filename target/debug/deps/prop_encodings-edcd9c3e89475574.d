@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_encodings-edcd9c3e89475574.d: crates/encode/tests/prop_encodings.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_encodings-edcd9c3e89475574.rmeta: crates/encode/tests/prop_encodings.rs Cargo.toml
+
+crates/encode/tests/prop_encodings.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

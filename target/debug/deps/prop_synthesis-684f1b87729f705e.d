@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_synthesis-684f1b87729f705e.d: tests/prop_synthesis.rs
+
+/root/repo/target/debug/deps/prop_synthesis-684f1b87729f705e: tests/prop_synthesis.rs
+
+tests/prop_synthesis.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_synthesis-7e5d2d14266019b4.d: tests/prop_synthesis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_synthesis-7e5d2d14266019b4.rmeta: tests/prop_synthesis.rs Cargo.toml
+
+tests/prop_synthesis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qasm_pipeline-7dec2842c3ff1651.d: tests/qasm_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqasm_pipeline-7dec2842c3ff1651.rmeta: tests/qasm_pipeline.rs Cargo.toml
+
+tests/qasm_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qasm_pipeline-f58333d69b9dc2ce.d: tests/qasm_pipeline.rs
+
+/root/repo/target/debug/deps/qasm_pipeline-f58333d69b9dc2ce: tests/qasm_pipeline.rs
+
+tests/qasm_pipeline.rs:

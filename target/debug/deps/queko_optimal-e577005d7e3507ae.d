@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/queko_optimal-e577005d7e3507ae.d: tests/queko_optimal.rs
+
+/root/repo/target/debug/deps/queko_optimal-e577005d7e3507ae: tests/queko_optimal.rs
+
+tests/queko_optimal.rs:

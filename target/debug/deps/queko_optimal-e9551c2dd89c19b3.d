@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/queko_optimal-e9551c2dd89c19b3.d: tests/queko_optimal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqueko_optimal-e9551c2dd89c19b3.rmeta: tests/queko_optimal.rs Cargo.toml
+
+tests/queko_optimal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/service_e2e-bd19016e0fcfc47c.d: crates/service/tests/service_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libservice_e2e-bd19016e0fcfc47c.rmeta: crates/service/tests/service_e2e.rs Cargo.toml
+
+crates/service/tests/service_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/service_e2e-c325bef1171e37a8.d: crates/service/tests/service_e2e.rs
+
+/root/repo/target/debug/deps/service_e2e-c325bef1171e37a8: crates/service/tests/service_e2e.rs
+
+crates/service/tests/service_e2e.rs:

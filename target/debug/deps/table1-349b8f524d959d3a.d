@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-349b8f524d959d3a.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-349b8f524d959d3a: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

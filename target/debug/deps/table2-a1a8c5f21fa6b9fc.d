@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-a1a8c5f21fa6b9fc.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-a1a8c5f21fa6b9fc: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-aaa32ffa526ce687.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-aaa32ffa526ce687: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-5f7d5aec1974234a.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-5f7d5aec1974234a: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timing_probe-abca5a946f18c3ab.d: crates/service/tests/timing_probe.rs
+
+/root/repo/target/debug/deps/timing_probe-abca5a946f18c3ab: crates/service/tests/timing_probe.rs
+
+crates/service/tests/timing_probe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/qaoa_compare-30fc7d62d68a001d.d: examples/qaoa_compare.rs Cargo.toml
+
+/root/repo/target/debug/examples/libqaoa_compare-30fc7d62d68a001d.rmeta: examples/qaoa_compare.rs Cargo.toml
+
+examples/qaoa_compare.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/qaoa_compare-d428a7e95b3513a9.d: examples/qaoa_compare.rs
+
+/root/repo/target/debug/examples/qaoa_compare-d428a7e95b3513a9: examples/qaoa_compare.rs
+
+examples/qaoa_compare.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/qasm_pipeline-40cb14dac874093f.d: examples/qasm_pipeline.rs
+
+/root/repo/target/debug/examples/qasm_pipeline-40cb14dac874093f: examples/qasm_pipeline.rs
+
+examples/qasm_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/qasm_pipeline-a576dd8a1a72c550.d: examples/qasm_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libqasm_pipeline-a576dd8a1a72c550.rmeta: examples/qasm_pipeline.rs Cargo.toml
+
+examples/qasm_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

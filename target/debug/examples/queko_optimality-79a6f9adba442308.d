@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/queko_optimality-79a6f9adba442308.d: examples/queko_optimality.rs Cargo.toml
+
+/root/repo/target/debug/examples/libqueko_optimality-79a6f9adba442308.rmeta: examples/queko_optimality.rs Cargo.toml
+
+examples/queko_optimality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

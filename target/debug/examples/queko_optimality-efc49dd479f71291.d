@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/queko_optimality-efc49dd479f71291.d: examples/queko_optimality.rs
+
+/root/repo/target/debug/examples/queko_optimality-efc49dd479f71291: examples/queko_optimality.rs
+
+examples/queko_optimality.rs:

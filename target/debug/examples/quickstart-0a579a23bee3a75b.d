@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0a579a23bee3a75b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0a579a23bee3a75b: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libolsq2_arch.rlib: /root/repo/crates/arch/src/devices.rs /root/repo/crates/arch/src/graph.rs /root/repo/crates/arch/src/lib.rs

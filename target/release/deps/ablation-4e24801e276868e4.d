@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-4e24801e276868e4.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-4e24801e276868e4: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

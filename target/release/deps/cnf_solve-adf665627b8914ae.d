@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cnf_solve-adf665627b8914ae.d: crates/encode/src/bin/cnf_solve.rs
+
+/root/repo/target/release/deps/cnf_solve-adf665627b8914ae: crates/encode/src/bin/cnf_solve.rs
+
+crates/encode/src/bin/cnf_solve.rs:

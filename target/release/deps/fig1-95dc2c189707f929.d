@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-95dc2c189707f929.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-95dc2c189707f929: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

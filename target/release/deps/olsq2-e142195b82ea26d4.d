@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/olsq2-e142195b82ea26d4.d: crates/cli/src/bin/olsq2.rs
+
+/root/repo/target/release/deps/olsq2-e142195b82ea26d4: crates/cli/src/bin/olsq2.rs
+
+crates/cli/src/bin/olsq2.rs:

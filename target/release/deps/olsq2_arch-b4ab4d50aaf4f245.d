@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/olsq2_arch-b4ab4d50aaf4f245.d: crates/arch/src/lib.rs crates/arch/src/devices.rs crates/arch/src/graph.rs
+
+/root/repo/target/release/deps/libolsq2_arch-b4ab4d50aaf4f245.rlib: crates/arch/src/lib.rs crates/arch/src/devices.rs crates/arch/src/graph.rs
+
+/root/repo/target/release/deps/libolsq2_arch-b4ab4d50aaf4f245.rmeta: crates/arch/src/lib.rs crates/arch/src/devices.rs crates/arch/src/graph.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/devices.rs:
+crates/arch/src/graph.rs:

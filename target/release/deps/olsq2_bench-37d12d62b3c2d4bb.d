@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/olsq2_bench-37d12d62b3c2d4bb.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libolsq2_bench-37d12d62b3c2d4bb.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libolsq2_bench-37d12d62b3c2d4bb.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/olsq2_encode-5e13a43448e1b150.d: crates/encode/src/lib.rs crates/encode/src/bitvec.rs crates/encode/src/cardinality.rs crates/encode/src/dimacs.rs crates/encode/src/gates.rs crates/encode/src/onehot.rs crates/encode/src/sink.rs
+
+/root/repo/target/release/deps/libolsq2_encode-5e13a43448e1b150.rlib: crates/encode/src/lib.rs crates/encode/src/bitvec.rs crates/encode/src/cardinality.rs crates/encode/src/dimacs.rs crates/encode/src/gates.rs crates/encode/src/onehot.rs crates/encode/src/sink.rs
+
+/root/repo/target/release/deps/libolsq2_encode-5e13a43448e1b150.rmeta: crates/encode/src/lib.rs crates/encode/src/bitvec.rs crates/encode/src/cardinality.rs crates/encode/src/dimacs.rs crates/encode/src/gates.rs crates/encode/src/onehot.rs crates/encode/src/sink.rs
+
+crates/encode/src/lib.rs:
+crates/encode/src/bitvec.rs:
+crates/encode/src/cardinality.rs:
+crates/encode/src/dimacs.rs:
+crates/encode/src/gates.rs:
+crates/encode/src/onehot.rs:
+crates/encode/src/sink.rs:

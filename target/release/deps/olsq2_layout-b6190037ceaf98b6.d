@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/olsq2_layout-b6190037ceaf98b6.d: crates/layout/src/lib.rs crates/layout/src/emit.rs crates/layout/src/fidelity.rs crates/layout/src/result.rs crates/layout/src/verify.rs
+
+/root/repo/target/release/deps/libolsq2_layout-b6190037ceaf98b6.rlib: crates/layout/src/lib.rs crates/layout/src/emit.rs crates/layout/src/fidelity.rs crates/layout/src/result.rs crates/layout/src/verify.rs
+
+/root/repo/target/release/deps/libolsq2_layout-b6190037ceaf98b6.rmeta: crates/layout/src/lib.rs crates/layout/src/emit.rs crates/layout/src/fidelity.rs crates/layout/src/result.rs crates/layout/src/verify.rs
+
+crates/layout/src/lib.rs:
+crates/layout/src/emit.rs:
+crates/layout/src/fidelity.rs:
+crates/layout/src/result.rs:
+crates/layout/src/verify.rs:

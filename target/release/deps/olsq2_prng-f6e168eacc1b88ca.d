@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/olsq2_prng-f6e168eacc1b88ca.d: crates/prng/src/lib.rs
+
+/root/repo/target/release/deps/libolsq2_prng-f6e168eacc1b88ca.rlib: crates/prng/src/lib.rs
+
+/root/repo/target/release/deps/libolsq2_prng-f6e168eacc1b88ca.rmeta: crates/prng/src/lib.rs
+
+crates/prng/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/olsq2_service-e3451c4caa343e6c.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/json.rs crates/service/src/manifest.rs crates/service/src/metrics.rs crates/service/src/request.rs crates/service/src/service.rs
+
+/root/repo/target/release/deps/libolsq2_service-e3451c4caa343e6c.rlib: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/json.rs crates/service/src/manifest.rs crates/service/src/metrics.rs crates/service/src/request.rs crates/service/src/service.rs
+
+/root/repo/target/release/deps/libolsq2_service-e3451c4caa343e6c.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/json.rs crates/service/src/manifest.rs crates/service/src/metrics.rs crates/service/src/request.rs crates/service/src/service.rs
+
+crates/service/src/lib.rs:
+crates/service/src/cache.rs:
+crates/service/src/json.rs:
+crates/service/src/manifest.rs:
+crates/service/src/metrics.rs:
+crates/service/src/request.rs:
+crates/service/src/service.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/olsq2_suite-2b9dd36133ec42e9.d: src/lib.rs
+
+/root/repo/target/release/deps/libolsq2_suite-2b9dd36133ec42e9.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libolsq2_suite-2b9dd36133ec42e9.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-335bb7978bb6ce25.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-335bb7978bb6ce25: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-6bd3553d84f78319.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-6bd3553d84f78319: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-5ef8be14e186f5b0.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-5ef8be14e186f5b0: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-5ed8bc2ba05c3917.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-5ed8bc2ba05c3917: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/timing_probe-bd1363375a10f2db.d: crates/service/tests/timing_probe.rs
+
+/root/repo/target/release/deps/timing_probe-bd1363375a10f2db: crates/service/tests/timing_probe.rs
+
+crates/service/tests/timing_probe.rs:

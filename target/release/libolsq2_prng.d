@@ -1,0 +1,1 @@
+/root/repo/target/release/libolsq2_prng.rlib: /root/repo/crates/prng/src/lib.rs

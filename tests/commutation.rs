@@ -45,9 +45,7 @@ fn commutation_aware_depth_is_no_worse() {
     );
     // ...and any dependency violations against the plain verifier involve
     // only commuting pairs (reordering them is semantically free).
-    if let Err(violations) =
-        olsq2_layout::verify(&circuit, &device, &aware.result)
-    {
+    if let Err(violations) = olsq2_layout::verify(&circuit, &device, &aware.result) {
         for v in violations {
             match v {
                 Violation::DependencyViolated { earlier, later } => {
@@ -74,9 +72,7 @@ fn commutation_aware_tb_swaps_no_worse() {
     let aware = TbOlsq2Synthesizer::new(config)
         .optimize_swaps(&circuit, &device)
         .expect("aware solves");
-    assert!(
-        aware.outcome.result.swap_count() <= plain.outcome.result.swap_count()
-    );
+    assert!(aware.outcome.result.swap_count() <= plain.outcome.result.swap_count());
     let dag = DependencyGraph::new_with_commutation(&circuit);
     assert_eq!(
         verify_with_dag(&circuit, &device, &aware.outcome.result, &dag),

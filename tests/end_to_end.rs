@@ -29,13 +29,17 @@ fn toffoli_on_qx2_depth_optimal() {
 fn exact_beats_or_ties_heuristics_on_swap_count() {
     let circuit = qaoa_circuit(6, 11);
     let device = grid(3, 3);
-    let mut sabre_cfg = SabreConfig::default();
-    sabre_cfg.swap_duration = 1;
+    let sabre_cfg = SabreConfig {
+        swap_duration: 1,
+        ..Default::default()
+    };
     let sabre = sabre_route(&circuit, &device, &sabre_cfg).expect("routes");
     assert_eq!(verify(&circuit, &device, &sabre), Ok(()));
 
-    let mut sm_cfg = SatMapConfig::default();
-    sm_cfg.swap_duration = 1;
+    let sm_cfg = SatMapConfig {
+        swap_duration: 1,
+        ..Default::default()
+    };
     let satmap = satmap_route(&circuit, &device, &sm_cfg).expect("maps");
     assert_eq!(verify(&circuit, &device, &satmap.result), Ok(()));
 
@@ -108,8 +112,10 @@ fn depth_optimum_is_no_worse_than_sabre() {
     for seed in [1u64, 2, 3] {
         let circuit = qaoa_circuit(8, seed);
         let device = grid(3, 3);
-        let mut sabre_cfg = SabreConfig::default();
-        sabre_cfg.swap_duration = 1;
+        let sabre_cfg = SabreConfig {
+            swap_duration: 1,
+            ..Default::default()
+        };
         let sabre = sabre_route(&circuit, &device, &sabre_cfg).expect("routes");
         let synth = Olsq2Synthesizer::new(SynthesisConfig::with_swap_duration(1));
         let exact = synth.optimize_depth(&circuit, &device).expect("solves");

@@ -1,80 +1,99 @@
-//! Property tests over the full synthesis stack: random small circuits on
-//! random small devices, every synthesizer's output checked by the
+//! Randomized tests over the full synthesis stack: random small circuits
+//! on random small devices, every synthesizer's output checked by the
 //! five-constraint verifier, and the exact tools' optimality
-//! cross-checked against the heuristics.
+//! cross-checked against the heuristics. Instances come from a seeded
+//! in-repo PRNG for reproducibility.
 
 use olsq2::{Olsq2Synthesizer, SynthesisConfig, TbOlsq2Synthesizer};
 use olsq2_arch::{grid, line, CouplingGraph};
 use olsq2_circuit::{Circuit, Gate, GateKind};
 use olsq2_heuristic::{sabre_route, satmap_route, SabreConfig, SatMapConfig};
 use olsq2_layout::verify;
-use proptest::prelude::*;
+use olsq2_prng::Rng;
 
-/// A random circuit over `nq` qubits with `len` two-qubit gates.
-fn arb_circuit(nq: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
-    proptest::collection::vec((0..nq as u16, 0..nq as u16), 1..=max_gates).prop_map(
-        move |pairs| {
-            let mut c = Circuit::new(nq);
-            for (a, b) in pairs {
-                if a != b {
-                    c.push(Gate::two(GateKind::Cx, a, b));
-                }
-            }
-            if c.is_empty() {
-                c.push(Gate::two(GateKind::Cx, 0, 1));
-            }
-            c
-        },
-    )
+/// A random circuit over `nq` qubits with up to `max_gates` two-qubit gates.
+fn random_circuit(rng: &mut Rng, nq: usize, max_gates: usize) -> Circuit {
+    let len = rng.gen_range(1usize..=max_gates);
+    let mut c = Circuit::new(nq);
+    for _ in 0..len {
+        let a = rng.gen_range(0..nq as u16);
+        let b = rng.gen_range(0..nq as u16);
+        if a != b {
+            c.push(Gate::two(GateKind::Cx, a, b));
+        }
+    }
+    if c.is_empty() {
+        c.push(Gate::two(GateKind::Cx, 0, 1));
+    }
+    c
 }
 
 fn devices() -> Vec<CouplingGraph> {
     vec![line(4), grid(2, 2), grid(2, 3)]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+#[test]
+fn every_synthesizer_produces_verified_layouts() {
+    let mut rng = Rng::seed_from_u64(0x5717_0001);
+    for round in 0..12 {
+        let circuit = random_circuit(&mut rng, 4, 6);
+        let device = &devices()[rng.gen_range(0usize..3)];
 
-    #[test]
-    fn every_synthesizer_produces_verified_layouts(
-        circuit in arb_circuit(4, 6),
-        device_idx in 0usize..3,
-    ) {
-        let device = &devices()[device_idx];
-
-        let mut sabre_cfg = SabreConfig::default();
-        sabre_cfg.swap_duration = 1;
+        let sabre_cfg = SabreConfig {
+            swap_duration: 1,
+            ..Default::default()
+        };
         let sabre = sabre_route(&circuit, device, &sabre_cfg).expect("sabre routes");
-        prop_assert_eq!(verify(&circuit, device, &sabre), Ok(()));
+        assert_eq!(verify(&circuit, device, &sabre), Ok(()), "round {round}");
 
-        let mut sm = SatMapConfig::default();
-        sm.swap_duration = 1;
+        let sm = SatMapConfig {
+            swap_duration: 1,
+            ..Default::default()
+        };
         let satmap = satmap_route(&circuit, device, &sm).expect("satmap maps");
-        prop_assert_eq!(verify(&circuit, device, &satmap.result), Ok(()));
+        assert_eq!(
+            verify(&circuit, device, &satmap.result),
+            Ok(()),
+            "round {round}"
+        );
 
         let synth = Olsq2Synthesizer::new(SynthesisConfig::with_swap_duration(1));
-        let depth_opt = synth.optimize_depth(&circuit, device).expect("olsq2 solves");
-        prop_assert!(depth_opt.proven_optimal);
-        prop_assert_eq!(verify(&circuit, device, &depth_opt.result), Ok(()));
+        let depth_opt = synth
+            .optimize_depth(&circuit, device)
+            .expect("olsq2 solves");
+        assert!(depth_opt.proven_optimal, "round {round}");
+        assert_eq!(
+            verify(&circuit, device, &depth_opt.result),
+            Ok(()),
+            "round {round}"
+        );
         // Optimal depth can never exceed SABRE's.
-        prop_assert!(depth_opt.result.depth <= sabre.depth);
+        assert!(depth_opt.result.depth <= sabre.depth, "round {round}");
 
         let tb = TbOlsq2Synthesizer::new(SynthesisConfig::with_swap_duration(1));
         let swap_opt = tb.optimize_swaps(&circuit, device).expect("tb solves");
-        prop_assert!(swap_opt.outcome.proven_optimal);
-        prop_assert_eq!(verify(&circuit, device, &swap_opt.outcome.result), Ok(()));
+        assert!(swap_opt.outcome.proven_optimal, "round {round}");
+        assert_eq!(
+            verify(&circuit, device, &swap_opt.outcome.result),
+            Ok(()),
+            "round {round}"
+        );
         // Proven-optimal swap count is a lower bound for every heuristic.
         let optimal = swap_opt.outcome.result.swap_count();
-        prop_assert!(sabre.swap_count() >= optimal);
-        prop_assert!(satmap.result.swap_count() >= optimal);
+        assert!(sabre.swap_count() >= optimal, "round {round}");
+        assert!(satmap.result.swap_count() >= optimal, "round {round}");
     }
+}
 
-    #[test]
-    fn depth_optimum_at_least_longest_chain(circuit in arb_circuit(4, 5)) {
+#[test]
+fn depth_optimum_at_least_longest_chain() {
+    let mut rng = Rng::seed_from_u64(0x5717_0002);
+    for round in 0..12 {
+        let circuit = random_circuit(&mut rng, 4, 5);
         let device = grid(2, 2);
         let dag = olsq2_circuit::DependencyGraph::new(&circuit);
         let synth = Olsq2Synthesizer::new(SynthesisConfig::with_swap_duration(1));
         let out = synth.optimize_depth(&circuit, &device).expect("solves");
-        prop_assert!(out.result.depth >= dag.longest_chain());
+        assert!(out.result.depth >= dag.longest_chain(), "round {round}");
     }
 }

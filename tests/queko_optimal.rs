@@ -12,13 +12,7 @@ use olsq2_layout::verify;
 fn olsq2_recovers_known_optimal_depth_on_grid() {
     let device = grid(3, 3);
     for (depth, seed) in [(3usize, 1u64), (5, 2), (7, 3)] {
-        let q = queko_circuit(
-            device.num_qubits(),
-            device.edges(),
-            depth,
-            depth * 4,
-            seed,
-        );
+        let q = queko_circuit(device.num_qubits(), device.edges(), depth, depth * 4, seed);
         let synth = Olsq2Synthesizer::new(SynthesisConfig::with_swap_duration(3));
         let out = synth.optimize_depth(&q.circuit, &device).expect("solves");
         assert!(out.proven_optimal, "depth {depth} seed {seed}");
