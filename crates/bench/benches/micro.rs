@@ -15,7 +15,10 @@
 
 // Pigeonhole generators index holes/pigeons directly.
 #![allow(clippy::needless_range_loop)]
-use olsq2::{EncodingConfig, FlatModel, ModelStyle, SynthesisConfig, TbOlsq2Synthesizer};
+use olsq2::{
+    EncodingConfig, FlatModel, ModelStyle, Olsq2Synthesizer, Recorder, SynthesisConfig,
+    TbOlsq2Synthesizer,
+};
 use olsq2_arch::grid;
 use olsq2_bench as _;
 use olsq2_circuit::generators::qaoa_circuit;
@@ -177,6 +180,23 @@ fn proof_bench() {
     });
 }
 
+fn obs_bench() {
+    // The telemetry contract: a disabled recorder costs one branch per
+    // emission site, so the two variants must time the same to within
+    // noise; the enabled run bounds the worst-case tracing overhead.
+    let circuit = qaoa_circuit(8, 3);
+    let graph = grid(3, 3);
+    let run = |recorder: Recorder| {
+        let mut config = SynthesisConfig::with_swap_duration(1);
+        config.recorder = recorder;
+        Olsq2Synthesizer::new(config)
+            .optimize_depth(&circuit, &graph)
+            .expect("solves");
+    };
+    bench("obs/recorder_disabled", 10, || run(Recorder::disabled()));
+    bench("obs/recorder_enabled", 10, || run(Recorder::new()));
+}
+
 fn solver_bench() {
     bench("solver/pigeonhole_5_4", 10, || {
         let (p, h) = (5usize, 4usize);
@@ -208,5 +228,6 @@ fn main() {
     tb_bench();
     preprocess_bench();
     proof_bench();
+    obs_bench();
     solver_bench();
 }

@@ -53,7 +53,7 @@ impl DependencyGraph {
     }
 
     /// Analyzes `circuit` with *commutation awareness* (gate absorption,
-    /// Tan & Cong ICCAD'21, the OLSQ2 paper's ref. [23]): consecutive
+    /// Tan & Cong ICCAD'21, the OLSQ2 paper's ref. \[23\]): consecutive
     /// gates that provably commute on their shared qubits are left
     /// unordered. On a QAOA phase-splitting circuit, whose ZZ gates all
     /// commute, this collapses `T_LB` to 1 and widens the solution space

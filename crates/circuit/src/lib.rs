@@ -27,5 +27,5 @@ mod qasm;
 
 pub use circuit::Circuit;
 pub use dag::DependencyGraph;
-pub use gate::{Gate, GateKind, Operands};
+pub use gate::{Gate, GateKind, Operands, WireBasis};
 pub use qasm::{parse_qasm, write_qasm, ParseQasmError};

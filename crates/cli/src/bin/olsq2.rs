@@ -4,9 +4,13 @@
 //! olsq2 --qasm <file|-> --device <name> [--objective depth|swaps|blocks]
 //!       [--swap-duration N] [--budget SECS] [--encoding int|bv|euf]
 //!       [--tool olsq2|tb|sabre|satmap|astar|portfolio] [--output out.qasm]
+//!       [--trace-out trace.jsonl] [--report]
 //!
 //! olsq2 serve-batch --manifest <file|-> [--output <file|->]
 //!       [--workers N] [--queue N] [--cache N]
+//!       [--trace-out trace.jsonl] [--prom-out metrics.prom] [--report]
+//!
+//! olsq2 trace-report <trace.jsonl|->
 //! ```
 //!
 //! The first form reads an OpenQASM 2.0 circuit, synthesizes a layout for
@@ -17,6 +21,13 @@
 //! `olsq2-service` crate docs for the line format), drives the synthesis
 //! service with a worker pool and canonicalizing result cache, and writes
 //! one JSONL result line per job plus a final metrics summary line.
+//!
+//! Observability: `--trace-out` arms a recorder and dumps its JSONL trace
+//! (spans, events, counters, histograms) to the given path; `--report`
+//! prints the human-readable span tree instead of (or in addition to) the
+//! raw trace; `--prom-out` writes service metrics plus recorder counters
+//! in the Prometheus text format. `trace-report` re-renders a saved
+//! JSONL trace as the span-tree report offline.
 
 use olsq2::{
     EncodingConfig, Olsq2Synthesizer, PortfolioSynthesizer, SynthesisConfig, TbOlsq2Synthesizer,
@@ -32,9 +43,12 @@ fn usage() -> ! {
     eprintln!(
         "usage: olsq2 --qasm <file|-> --device <name> \\
           [--objective depth|swaps] [--tool olsq2|tb|sabre|satmap|astar|portfolio] \\
-          [--swap-duration N] [--budget SECS] [--encoding int|bv|euf] [--output out.qasm]
+          [--swap-duration N] [--budget SECS] [--encoding int|bv|euf] [--output out.qasm] \\
+          [--trace-out trace.jsonl] [--report]
        olsq2 serve-batch --manifest <file|-> [--output <file|->] \\
-          [--workers N] [--queue N] [--cache N]
+          [--workers N] [--queue N] [--cache N] \\
+          [--trace-out trace.jsonl] [--prom-out metrics.prom] [--report]
+       olsq2 trace-report <trace.jsonl|->
 
 devices: qx2, qx5, tokyo, aspen4, sycamore, eagle, grid<WxH>, line<N>, complete<N>"
     );
@@ -57,6 +71,9 @@ fn read_input(path: &str) -> String {
 fn serve_batch(args: impl Iterator<Item = String>) {
     let mut manifest_path = None;
     let mut output: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut prom_out: Option<String> = None;
+    let mut report = false;
     let mut config = ServiceConfig::default();
     let mut args = args;
     while let Some(a) = args.next() {
@@ -69,6 +86,9 @@ fn serve_batch(args: impl Iterator<Item = String>) {
             "--workers" => config.workers = val(&mut args).parse().unwrap_or_else(|_| usage()),
             "--queue" => config.queue_capacity = val(&mut args).parse().unwrap_or_else(|_| usage()),
             "--cache" => config.cache_capacity = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--trace-out" => trace_out = Some(val(&mut args)),
+            "--prom-out" => prom_out = Some(val(&mut args)),
+            "--report" => report = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -76,6 +96,12 @@ fn serve_batch(args: impl Iterator<Item = String>) {
     let Some(manifest_path) = manifest_path else {
         usage()
     };
+    let recorder = if trace_out.is_some() || report {
+        olsq2::Recorder::new()
+    } else {
+        olsq2::Recorder::disabled()
+    };
+    config.recorder = recorder.clone();
     let text = read_input(&manifest_path);
     let requests = manifest::parse_manifest(&text).unwrap_or_else(|e| {
         eprintln!("{e}");
@@ -87,6 +113,11 @@ fn serve_batch(args: impl Iterator<Item = String>) {
         config.workers, config.queue_capacity, config.cache_capacity
     );
     let (statuses, metrics) = manifest::run_batch(requests, config);
+    if let Some(path) = &prom_out {
+        write_output(path, &olsq2_service::prometheus_text(&metrics, &recorder));
+        eprintln!("wrote prometheus metrics to {path}");
+    }
+    emit_trace(&recorder, trace_out.as_deref(), report);
     let mut lines = String::new();
     for (name, status) in &statuses {
         lines.push_str(&manifest::status_to_json(name, status).to_string());
@@ -121,11 +152,122 @@ fn serve_batch(args: impl Iterator<Item = String>) {
     std::process::exit(if any_failed { 1 } else { 0 });
 }
 
+fn write_output(path: &str, text: &str) {
+    if path == "-" {
+        print!("{text}");
+    } else {
+        std::fs::write(path, text).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+    }
+}
+
+/// Dumps an armed recorder: the JSONL trace to `trace_out` (if given) and
+/// the human-readable span tree to stderr (if `report`).
+fn emit_trace(recorder: &olsq2::Recorder, trace_out: Option<&str>, report: bool) {
+    if !recorder.is_enabled() {
+        return;
+    }
+    let snapshot = recorder.snapshot();
+    if let Some(path) = trace_out {
+        write_output(path, &snapshot.to_jsonl());
+        if path != "-" {
+            eprintln!(
+                "wrote trace ({} span(s), {} event(s)) to {path}",
+                snapshot.spans.len(),
+                snapshot.events.len()
+            );
+        }
+    }
+    if report {
+        eprint!("{}", olsq2_obs::report::render(&snapshot.spans));
+    }
+}
+
+fn json_to_field(value: &olsq2_service::json::Json) -> olsq2_obs::FieldValue {
+    use olsq2_service::json::Json;
+    match value {
+        Json::Bool(b) => (*b).into(),
+        Json::Number(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= 2f64.powi(53) => {
+            (*n as u64).into()
+        }
+        Json::Number(n) if n.fract() == 0.0 && *n >= -(2f64.powi(53)) => (*n as i64).into(),
+        Json::Number(n) => (*n).into(),
+        Json::String(s) => s.as_str().into(),
+        other => other.to_string().into(),
+    }
+}
+
+/// Re-renders a saved JSONL trace (written by `--trace-out`) as the
+/// span-tree report, on stdout.
+fn trace_report(path: &str) {
+    let text = read_input(path);
+    let mut spans: Vec<olsq2_obs::SpanData> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let value = olsq2_service::json::parse(trimmed).unwrap_or_else(|e| {
+            eprintln!("trace line {}: {e}", i + 1);
+            std::process::exit(2);
+        });
+        let kind = value.get("type").and_then(|t| t.as_str()).unwrap_or("");
+        if kind == "meta" {
+            if value.get("version").and_then(|v| v.as_u64()) != Some(1) {
+                eprintln!("trace line {}: unsupported trace version", i + 1);
+                std::process::exit(2);
+            }
+            continue;
+        }
+        if kind != "span" {
+            continue; // events/counters/hists don't feed the span tree
+        }
+        let field = |key: &str| value.get(key).and_then(|v| v.as_u64());
+        let (Some(id), Some(start_us)) = (field("id"), field("start_us")) else {
+            eprintln!("trace line {}: span missing id/start_us", i + 1);
+            std::process::exit(2);
+        };
+        let fields = value
+            .get("fields")
+            .and_then(|f| f.as_object())
+            .map(|obj| {
+                obj.iter()
+                    .map(|(k, v)| (k.clone(), json_to_field(v)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        spans.push(olsq2_obs::SpanData {
+            id,
+            parent: field("parent"),
+            name: value
+                .get("name")
+                .and_then(|n| n.as_str())
+                .unwrap_or("?")
+                .to_string(),
+            start_us,
+            dur_us: field("dur_us"),
+            fields,
+        });
+    }
+    print!("{}", olsq2_obs::report::render(&spans));
+}
+
 fn main() {
     let mut raw = std::env::args().skip(1).peekable();
     if raw.peek().map(String::as_str) == Some("serve-batch") {
         raw.next();
         serve_batch(raw);
+        return;
+    }
+    if raw.peek().map(String::as_str) == Some("trace-report") {
+        raw.next();
+        let path = raw.next().unwrap_or_else(|| "-".to_string());
+        if raw.next().is_some() {
+            usage();
+        }
+        trace_report(&path);
         return;
     }
     let mut qasm_path = None;
@@ -136,6 +278,8 @@ fn main() {
     let mut budget: Option<Duration> = None;
     let mut encoding = "int".to_string();
     let mut output: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut report = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -155,6 +299,8 @@ fn main() {
             }
             "--encoding" => encoding = val(&mut args),
             "--output" => output = Some(val(&mut args)),
+            "--trace-out" => trace_out = Some(val(&mut args)),
+            "--report" => report = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -192,10 +338,16 @@ fn main() {
         "euf" => EncodingConfig::euf_int(),
         _ => usage(),
     };
+    let recorder = if trace_out.is_some() || report {
+        olsq2::Recorder::new()
+    } else {
+        olsq2::Recorder::disabled()
+    };
     let config = SynthesisConfig {
         encoding: enc,
         swap_duration,
         time_budget: budget,
+        recorder: recorder.clone(),
         ..SynthesisConfig::default()
     };
 
@@ -277,6 +429,8 @@ fn main() {
         }
         _ => usage(),
     };
+
+    emit_trace(&recorder, trace_out.as_deref(), report);
 
     if let Err(violations) = verify(&circuit, &device, &result) {
         eprintln!("INTERNAL ERROR: result failed verification: {violations:?}");

@@ -141,11 +141,17 @@ pub struct SynthesisConfig {
     /// SWAP variables to be derived — "place, then schedule, then route".
     pub seed_variable_order: bool,
     /// Use the commutation-aware dependency graph (gate absorption,
-    /// Tan & Cong ICCAD'21, the paper's ref. [23]): provably commuting
+    /// Tan & Cong ICCAD'21, the paper's ref. \[23\]): provably commuting
     /// gates are left unordered, widening the solution space — QAOA's ZZ
     /// layers collapse to dependency-free sets. Results must be checked
     /// with `verify_with_dag` under the same relaxation.
     pub commutation_aware: bool,
+    /// Telemetry sink: the optimization loops record one span per
+    /// (bound, iteration) with encode/solve times, the model builders
+    /// report per-family formula sizes, and the SAT solver emits
+    /// restart/reduce events into it. The default disabled recorder costs
+    /// one branch per emission site.
+    pub recorder: olsq2_obs::Recorder,
 }
 
 impl Default for SynthesisConfig {
@@ -161,6 +167,7 @@ impl Default for SynthesisConfig {
             incumbent: None,
             seed_variable_order: false,
             commutation_aware: false,
+            recorder: olsq2_obs::Recorder::disabled(),
         }
     }
 }

@@ -103,4 +103,59 @@ mod tests {
         slot.publish(&dummy(7));
         assert_eq!(other.peek().unwrap().depth, 7);
     }
+
+    #[test]
+    fn concurrent_publish_and_take_observe_improving_incumbents() {
+        // A publisher thread plays the optimization loop: it only ever
+        // publishes improvements (depth strictly decreasing). A consumer
+        // taking concurrently must therefore observe a strictly
+        // decreasing sequence of depths — takes can skip incumbents but
+        // never go back in time.
+        let slot = IncumbentSlot::new();
+        let publisher = {
+            let slot = slot.clone();
+            std::thread::spawn(move || {
+                for depth in (1..=100).rev() {
+                    slot.publish(&dummy(depth));
+                }
+            })
+        };
+        let mut observed: Vec<usize> = Vec::new();
+        loop {
+            if let Some(result) = slot.take() {
+                observed.push(result.depth);
+                if result.depth == 1 {
+                    break;
+                }
+            }
+            if publisher.is_finished() && slot.is_empty() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        publisher.join().expect("publisher thread");
+        assert!(!observed.is_empty(), "at least one incumbent seen");
+        assert!(
+            observed.windows(2).all(|w| w[0] > w[1]),
+            "takes must never observe a stale (worse) incumbent: {observed:?}"
+        );
+    }
+
+    #[test]
+    fn deadline_recovery_takes_the_last_published_incumbent() {
+        // The service's deadline path: the loop published a few
+        // improvements before the budget fired, and recovery must hand
+        // back exactly the latest one — full result, not just its depth.
+        let slot = IncumbentSlot::new();
+        slot.publish(&dummy(9));
+        slot.publish(&dummy(6));
+        let mut best = dummy(5);
+        best.initial_mapping = vec![1, 0];
+        slot.publish(&best);
+        let recovered = slot.take().expect("incumbent available at deadline");
+        assert_eq!(recovered, best);
+        // Nothing left behind: a second recovery attempt finds the slot
+        // empty rather than a stale duplicate.
+        assert_eq!(slot.take(), None);
+    }
 }

@@ -48,8 +48,11 @@ pub mod transition;
 pub mod vars;
 
 pub use config::{EncodingConfig, MappingEncoding, SynthesisConfig, TimeEncoding};
+// Re-exported so downstream users can enable tracing without naming the
+// obs crate explicitly.
 pub use incumbent::IncumbentSlot;
 pub use model::{FlatModel, ModelError, ModelStyle};
+pub use olsq2_obs::Recorder;
 pub use optimize::{Olsq2Synthesizer, SwapOptimizationOutcome, SynthesisError, SynthesisOutcome};
 pub use portfolio::{MemberOutcome, PortfolioReport, PortfolioSynthesizer};
 pub use transition::{TbOlsq2Synthesizer, TbOutcome};

@@ -19,7 +19,9 @@ use crate::config::{MappingEncoding, SynthesisConfig};
 use crate::vars::{FdVar, TimeVars};
 use olsq2_arch::CouplingGraph;
 use olsq2_circuit::{Circuit, DependencyGraph, Operands};
-use olsq2_encode::{at_most_one, gates, CardinalityNetwork, CnfSink};
+use olsq2_encode::{
+    at_most_one, gates, CardinalityNetwork, CnfSink, ConstraintFamily, FamilyTally,
+};
 use olsq2_layout::{LayoutResult, SwapOp};
 use olsq2_sat::{Lit, SolveResult, Solver};
 use std::collections::HashMap;
@@ -91,6 +93,7 @@ pub struct FlatModel {
     depth_bounds: HashMap<usize, Lit>,
     swap_card: Option<CardinalityNetwork>,
     num_gates: usize,
+    tally: FamilyTally,
 }
 
 impl FlatModel {
@@ -139,6 +142,8 @@ impl FlatModel {
         let t_ub = t_ub.max(1);
         let mut solver = Solver::new();
         let enc = config.encoding;
+        let mut tally = FamilyTally::new();
+        let mut mark = tally.mark(&solver);
 
         // --- Mapping variables + injectivity -------------------------------
         let new_mapping_var = |s: &mut Solver| match enc.mapping {
@@ -195,6 +200,8 @@ impl FlatModel {
             }
         }
 
+        mark = tally.credit_since(ConstraintFamily::Mapping, &solver, mark);
+
         // --- Time variables + dependencies ---------------------------------
         let dag = if config.commutation_aware {
             DependencyGraph::new_with_commutation(circuit)
@@ -231,6 +238,8 @@ impl FlatModel {
                 }
             }
         }
+
+        mark = tally.credit_since(ConstraintFamily::Dependency, &solver, mark);
 
         // --- SWAP variables -------------------------------------------------
         let ne = graph.num_edges();
@@ -274,6 +283,8 @@ impl FlatModel {
                 }
             }
         }
+
+        mark = tally.credit_since(ConstraintFamily::Swap, &solver, mark);
 
         match style {
             ModelStyle::Olsq2 => {
@@ -445,6 +456,8 @@ impl FlatModel {
             }
         }
 
+        mark = tally.credit_since(ConstraintFamily::Scheduling, &solver, mark);
+
         // --- SWAP transformation (mapping consistency) ----------------------
         for t in 0..t_ub.saturating_sub(1) {
             for q in 0..nq {
@@ -477,6 +490,8 @@ impl FlatModel {
             }
         }
 
+        tally.credit_since(ConstraintFamily::Transition, &solver, mark);
+
         // Domain-informed branching order (§V): decide the initial
         // placement first, then gate times; SWAPs follow by propagation.
         if config.seed_variable_order {
@@ -503,6 +518,7 @@ impl FlatModel {
             depth_bounds: HashMap::new(),
             swap_card: None,
             num_gates: circuit.num_gates(),
+            tally,
         })
     }
 
@@ -514,6 +530,13 @@ impl FlatModel {
     /// Formula-size statistics `(variables, clauses)` of the built model.
     pub fn formula_size(&self) -> (usize, usize) {
         (self.solver.num_vars(), self.solver.num_clauses())
+    }
+
+    /// Per-constraint-family formula-size breakdown. Bound machinery added
+    /// after the build ([`FlatModel::depth_bound`], [`FlatModel::swap_bound`])
+    /// is credited to [`ConstraintFamily::Cardinality`].
+    pub fn breakdown(&self) -> &FamilyTally {
+        &self.tally
     }
 
     /// Mutable access to the underlying solver (budgets, statistics).
@@ -535,6 +558,7 @@ impl FlatModel {
         if let Some(&l) = self.depth_bounds.get(&depth) {
             return l;
         }
+        let mark = self.tally.mark(&self.solver);
         let act = Lit::positive(CnfSink::new_var(&mut self.solver));
         for g in 0..self.num_gates {
             self.time
@@ -547,6 +571,8 @@ impl FlatModel {
                 self.solver.add_clause([!act, !l]);
             }
         }
+        self.tally
+            .credit_since(ConstraintFamily::Cardinality, &self.solver, mark);
         self.depth_bounds.insert(depth, act);
         act
     }
@@ -555,6 +581,7 @@ impl FlatModel {
     /// network is built lazily on first use with capacity `max_bound`
     /// (later calls may use any `k ≤ max_bound` of the *first* call).
     pub fn swap_bound(&mut self, k: usize, max_bound: usize) -> Lit {
+        let mark = self.tally.mark(&self.solver);
         if self.swap_card.is_none() {
             let inputs: Vec<Lit> = self
                 .swap_lits
@@ -568,10 +595,14 @@ impl FlatModel {
                 self.config.encoding.cardinality,
             ));
         }
-        self.swap_card
+        let act = self
+            .swap_card
             .as_mut()
             .expect("just built")
-            .at_most(&mut self.solver, k)
+            .at_most(&mut self.solver, k);
+        self.tally
+            .credit_since(ConstraintFamily::Cardinality, &self.solver, mark);
+        act
     }
 
     /// Solves under the given assumptions.
@@ -791,6 +822,38 @@ mod tests {
             let b = plain.swap_bound(k, 3);
             assert_eq!(seeded.solve(&[a]), plain.solve(&[b]), "k={k}");
         }
+    }
+
+    #[test]
+    fn breakdown_accounts_for_the_whole_formula() {
+        let mut circuit = Circuit::new(3);
+        circuit.push(Gate::two(GateKind::Cx, 0, 1));
+        circuit.push(Gate::two(GateKind::Cx, 1, 2));
+        circuit.push(Gate::two(GateKind::Cx, 0, 2));
+        let graph = line(3);
+        let config = SynthesisConfig::with_swap_duration(1);
+        let mut model = FlatModel::build(&circuit, &graph, &config, 6).expect("builds");
+        // Every build-time family is populated (clauses may be stored as
+        // trail units, so compare vars exactly and clauses as an upper
+        // bound: some clauses become root-level units or are simplified).
+        for fam in [
+            ConstraintFamily::Mapping,
+            ConstraintFamily::Dependency,
+            ConstraintFamily::Swap,
+            ConstraintFamily::Scheduling,
+            ConstraintFamily::Transition,
+        ] {
+            assert!(model.breakdown().get(fam).vars > 0 || model.breakdown().get(fam).clauses > 0);
+        }
+        assert_eq!(model.breakdown().total().vars, model.formula_size().0);
+        assert_eq!(model.breakdown().total().clauses, model.formula_size().1);
+        // Bound machinery lands in the cardinality family.
+        let before = model.breakdown().get(ConstraintFamily::Cardinality);
+        model.swap_bound(1, 3);
+        model.depth_bound(4);
+        let after = model.breakdown().get(ConstraintFamily::Cardinality);
+        assert!(after.vars > before.vars);
+        assert_eq!(model.breakdown().total().vars, model.formula_size().0);
     }
 
     #[test]

@@ -8,8 +8,18 @@ use crate::model::{FlatModel, ModelError};
 use olsq2_arch::CouplingGraph;
 use olsq2_circuit::{Circuit, DependencyGraph};
 use olsq2_layout::LayoutResult;
+use olsq2_obs::SpanGuard;
 use olsq2_sat::{SolveResult, Stats};
 use std::time::{Duration, Instant};
+
+/// Stable trace-field value for a solve result.
+pub(crate) fn result_str(r: SolveResult) -> &'static str {
+    match r {
+        SolveResult::Sat => "sat",
+        SolveResult::Unsat => "unsat",
+        SolveResult::Unknown => "unknown",
+    }
+}
 
 /// Errors from the synthesis drivers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -130,7 +140,22 @@ impl Olsq2Synthesizer {
         graph: &CouplingGraph,
         t_ub: usize,
     ) -> Result<FlatModel, SynthesisError> {
-        Ok(FlatModel::build(circuit, graph, &self.config, t_ub)?)
+        let span = self.config.recorder.span("encode");
+        span.set("t_ub", t_ub);
+        let mut model = FlatModel::build(circuit, graph, &self.config, t_ub)?;
+        if self.config.recorder.is_enabled() {
+            let (vars, clauses) = model.formula_size();
+            span.set("vars", vars);
+            span.set("clauses", clauses);
+            for (fam, c) in model.breakdown().iter() {
+                span.set(&format!("vars.{}", fam.name()), c.vars);
+                span.set(&format!("clauses.{}", fam.name()), c.clauses);
+            }
+        }
+        model
+            .solver_mut()
+            .set_recorder(self.config.recorder.clone());
+        Ok(model)
     }
 
     fn dependency_graph(&self, circuit: &Circuit) -> DependencyGraph {
@@ -160,6 +185,16 @@ impl Olsq2Synthesizer {
         }
     }
 
+    /// Opens one `iteration` span tagged with the active objective bounds.
+    fn iteration_span(&self, objective: &str, bounds: &[(&str, usize)]) -> SpanGuard {
+        let span = self.config.recorder.span("iteration");
+        span.set("objective", objective);
+        for &(k, v) in bounds {
+            span.set(k, v);
+        }
+        span
+    }
+
     /// Builds the model and solves *once* with the full window and no
     /// objective bound — the Fig. 1 / Table I "solving time" measurement.
     ///
@@ -173,9 +208,17 @@ impl Olsq2Synthesizer {
         t_ub: usize,
     ) -> Result<Option<SynthesisOutcome>, SynthesisError> {
         let start = Instant::now();
+        let outer = self.config.recorder.span("solve_feasible");
+        outer.set("t_ub", t_ub);
         let mut model = self.build_model(circuit, graph, t_ub)?;
         self.arm_budgets(&mut model, self.deadline());
-        match model.solve(&[]) {
+        let span = self.iteration_span("feasible", &[("t_bound", t_ub)]);
+        let solve_start = Instant::now();
+        let res = model.solve(&[]);
+        span.set("solve_us", solve_start.elapsed().as_micros() as u64);
+        span.set("result", result_str(res));
+        drop(span);
+        match res {
             SolveResult::Sat => {
                 let result = model.extract();
                 self.publish_incumbent(&result);
@@ -211,6 +254,8 @@ impl Olsq2Synthesizer {
         let dag = self.dependency_graph(circuit);
         let t_lb = dag.longest_chain().max(1);
         let mut t_ub = self.initial_t_ub(t_lb);
+        let outer = self.config.recorder.span("optimize_depth");
+        outer.set("t_lb", t_lb);
         let mut model = self.build_model(circuit, graph, t_ub)?;
         let mut iterations = 0usize;
 
@@ -226,10 +271,18 @@ impl Olsq2Synthesizer {
                 }
                 model = self.build_model(circuit, graph, t_ub)?;
             }
+            let span = self.iteration_span("depth", &[("t_bound", t_b)]);
+            let encode_start = Instant::now();
             let act = model.depth_bound(t_b);
+            span.set("encode_us", encode_start.elapsed().as_micros() as u64);
             self.arm_budgets(&mut model, deadline);
             iterations += 1;
-            match model.solve(&[act]) {
+            let solve_start = Instant::now();
+            let res = model.solve(&[act]);
+            span.set("solve_us", solve_start.elapsed().as_micros() as u64);
+            span.set("result", result_str(res));
+            drop(span);
+            match res {
                 SolveResult::Sat => {
                     let first = model.extract();
                     self.publish_incumbent(&first);
@@ -256,10 +309,18 @@ impl Olsq2Synthesizer {
                 break;
             }
             let k = current.depth - 1;
+            let span = self.iteration_span("depth", &[("t_bound", k)]);
+            let encode_start = Instant::now();
             let act = model.depth_bound(k);
+            span.set("encode_us", encode_start.elapsed().as_micros() as u64);
             self.arm_budgets(&mut model, deadline);
             iterations += 1;
-            match model.solve(&[act]) {
+            let solve_start = Instant::now();
+            let res = model.solve(&[act]);
+            span.set("solve_us", solve_start.elapsed().as_micros() as u64);
+            span.set("result", result_str(res));
+            drop(span);
+            match res {
                 SolveResult::Sat => {
                     current = model.extract();
                     self.publish_incumbent(&current);
@@ -272,6 +333,8 @@ impl Olsq2Synthesizer {
             }
         }
 
+        outer.set("iterations", iterations);
+        outer.set("proven_optimal", proven_optimal);
         Ok(SynthesisOutcome {
             result: current,
             proven_optimal,
@@ -298,6 +361,7 @@ impl Olsq2Synthesizer {
     ) -> Result<SwapOptimizationOutcome, SynthesisError> {
         let start = Instant::now();
         let deadline = self.deadline();
+        let outer = self.config.recorder.span("optimize_swaps");
         let depth_outcome = self.optimize_depth(circuit, graph)?;
         let mut iterations = depth_outcome.iterations;
         let mut current = depth_outcome.result.clone();
@@ -320,11 +384,22 @@ impl Olsq2Synthesizer {
                     proven = true;
                     break 'outer;
                 }
+                let span = self.iteration_span(
+                    "swaps",
+                    &[("t_bound", current_depth), ("swap_bound", s - 1)],
+                );
+                let encode_start = Instant::now();
                 let act_d = model.depth_bound(current_depth);
                 let act_s = model.swap_bound(s - 1, capacity);
+                span.set("encode_us", encode_start.elapsed().as_micros() as u64);
                 self.arm_budgets(&mut model, deadline);
                 iterations += 1;
-                match model.solve(&[act_d, act_s]) {
+                let solve_start = Instant::now();
+                let res = model.solve(&[act_d, act_s]);
+                span.set("solve_us", solve_start.elapsed().as_micros() as u64);
+                span.set("result", result_str(res));
+                drop(span);
+                match res {
                     SolveResult::Sat => {
                         current = model.extract();
                         self.publish_incumbent(&current);
@@ -357,11 +432,20 @@ impl Olsq2Synthesizer {
                 }
                 model = self.build_model(circuit, graph, t_ub)?;
             }
+            let span =
+                self.iteration_span("swaps", &[("t_bound", new_depth), ("swap_bound", s - 1)]);
+            let encode_start = Instant::now();
             let act_d = model.depth_bound(new_depth);
             let act_s = model.swap_bound(s - 1, capacity);
+            span.set("encode_us", encode_start.elapsed().as_micros() as u64);
             self.arm_budgets(&mut model, deadline);
             iterations += 1;
-            match model.solve(&[act_d, act_s]) {
+            let solve_start = Instant::now();
+            let res = model.solve(&[act_d, act_s]);
+            span.set("solve_us", solve_start.elapsed().as_micros() as u64);
+            span.set("result", result_str(res));
+            drop(span);
+            match res {
                 SolveResult::Sat => {
                     current = model.extract();
                     self.publish_incumbent(&current);
@@ -383,6 +467,8 @@ impl Olsq2Synthesizer {
 
         let formula_size = model.formula_size();
         let solver_stats = model.solver_mut().stats();
+        outer.set("iterations", iterations);
+        outer.set("proven_optimal", proven);
         Ok(SwapOptimizationOutcome {
             best: SynthesisOutcome {
                 result: current,
@@ -520,6 +606,56 @@ mod tests {
         }
         // Nothing was found, so nothing was published.
         assert!(slot.is_empty());
+    }
+
+    #[test]
+    fn traced_run_records_iteration_spans() {
+        let circuit = triangle();
+        let graph = line(3);
+        let rec = olsq2_obs::Recorder::new();
+        let mut config = SynthesisConfig::with_swap_duration(1);
+        config.recorder = rec.clone();
+        let synth = Olsq2Synthesizer::new(config);
+        let out = synth.optimize_swaps(&circuit, &graph).expect("solves");
+        let snap = rec.snapshot();
+
+        // One iteration span per solver invocation, each carrying its
+        // bound, solve time, and result.
+        let iters: Vec<_> = snap
+            .spans
+            .iter()
+            .filter(|s| s.name == "iteration")
+            .collect();
+        assert_eq!(iters.len(), out.best.iterations);
+        for it in &iters {
+            assert!(it.fields.iter().any(|(k, _)| k == "t_bound"));
+            assert!(it.fields.iter().any(|(k, _)| k == "solve_us"));
+            assert!(it.fields.iter().any(|(k, _)| k == "result"));
+            assert!(it.dur_us.is_some());
+        }
+        // Encode spans report the per-family breakdown.
+        let enc = snap
+            .spans
+            .iter()
+            .find(|s| s.name == "encode")
+            .expect("encode span");
+        assert!(enc.fields.iter().any(|(k, _)| k == "clauses.mapping"));
+        assert!(enc.fields.iter().any(|(k, _)| k == "vars.transition"));
+        // Hierarchy: iteration spans nest under the optimize spans.
+        let outer_ids: Vec<u64> = snap
+            .spans
+            .iter()
+            .filter(|s| s.name == "optimize_depth" || s.name == "optimize_swaps")
+            .map(|s| s.id)
+            .collect();
+        assert!(!outer_ids.is_empty());
+        for it in &iters {
+            assert!(it.parent.is_some_and(|p| outer_ids.contains(&p)));
+        }
+        // The solver's telemetry flowed into shared counters.
+        assert!(
+            snap.counters.get("sat.solves").copied().unwrap_or(0) >= out.best.iterations as u64
+        );
     }
 
     #[test]

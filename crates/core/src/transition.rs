@@ -13,11 +13,13 @@
 #![allow(clippy::needless_range_loop)]
 use crate::config::{MappingEncoding, SynthesisConfig};
 use crate::model::ModelError;
-use crate::optimize::{SynthesisError, SynthesisOutcome};
+use crate::optimize::{result_str, SynthesisError, SynthesisOutcome};
 use crate::vars::{FdVar, TimeVars};
 use olsq2_arch::CouplingGraph;
 use olsq2_circuit::{Circuit, DependencyGraph, Operands};
-use olsq2_encode::{at_most_one, gates, CardinalityNetwork, CnfSink};
+use olsq2_encode::{
+    at_most_one, gates, CardinalityNetwork, CnfSink, ConstraintFamily, FamilyTally,
+};
 use olsq2_layout::{LayoutResult, SwapOp};
 use olsq2_sat::{Lit, SolveResult, Solver};
 use std::collections::HashMap;
@@ -36,6 +38,7 @@ struct TransitionModel {
     block_bounds: HashMap<usize, Lit>,
     swap_card: Option<CardinalityNetwork>,
     num_gates: usize,
+    tally: FamilyTally,
 }
 
 impl TransitionModel {
@@ -63,6 +66,8 @@ impl TransitionModel {
         let mut solver = Solver::new();
         let enc = config.encoding;
         let ne = graph.num_edges();
+        let mut tally = FamilyTally::new();
+        let mut mark = tally.mark(&solver);
 
         let new_mapping_var = |s: &mut Solver| match enc.mapping {
             MappingEncoding::OneHot | MappingEncoding::InverseOneHot => {
@@ -119,6 +124,8 @@ impl TransitionModel {
             }
         }
 
+        mark = tally.credit_since(ConstraintFamily::Mapping, &solver, mark);
+
         // Block-index variables; dependencies are non-strict (gates may
         // share a block).
         let dag = if config.commutation_aware {
@@ -130,6 +137,8 @@ impl TransitionModel {
         for &(g, g2) in dag.dependencies() {
             time.assert_before_or_equal(&mut solver, g, g2);
         }
+
+        mark = tally.credit_since(ConstraintFamily::Dependency, &solver, mark);
 
         // Transition SWAPs: one layer per transition, disjoint edges.
         let swap_lits: Vec<Vec<Lit>> = (0..ne)
@@ -152,6 +161,8 @@ impl TransitionModel {
                 }
             }
         }
+
+        mark = tally.credit_since(ConstraintFamily::Swap, &solver, mark);
 
         // Adjacency inside blocks (Eq. 1 on block mappings).
         let mut adj_cache: HashMap<(u16, u16, usize), Lit> = HashMap::new();
@@ -185,6 +196,8 @@ impl TransitionModel {
             }
         }
 
+        mark = tally.credit_since(ConstraintFamily::Scheduling, &solver, mark);
+
         // Mapping transformation between consecutive blocks.
         for b in 0..blocks.saturating_sub(1) {
             for q in 0..nq {
@@ -214,6 +227,8 @@ impl TransitionModel {
             }
         }
 
+        tally.credit_since(ConstraintFamily::Transition, &solver, mark);
+
         Ok(TransitionModel {
             solver,
             mapping,
@@ -223,6 +238,7 @@ impl TransitionModel {
             block_bounds: HashMap::new(),
             swap_card: None,
             num_gates: circuit.num_gates(),
+            tally,
         })
     }
 
@@ -237,6 +253,7 @@ impl TransitionModel {
         if let Some(&l) = self.block_bounds.get(&k) {
             return l;
         }
+        let mark = self.tally.mark(&self.solver);
         let act = Lit::positive(CnfSink::new_var(&mut self.solver));
         for g in 0..self.num_gates {
             self.time
@@ -253,11 +270,14 @@ impl TransitionModel {
             clause.extend(self.swap_lits.iter().map(|row| row[b]));
             self.solver.add_clause(clause);
         }
+        self.tally
+            .credit_since(ConstraintFamily::Cardinality, &self.solver, mark);
         self.block_bounds.insert(k, act);
         act
     }
 
     fn swap_bound(&mut self, k: usize, capacity: usize, enc: olsq2_encode::CardEncoding) -> Lit {
+        let mark = self.tally.mark(&self.solver);
         if self.swap_card.is_none() {
             let inputs: Vec<Lit> = self
                 .swap_lits
@@ -271,10 +291,14 @@ impl TransitionModel {
                 enc,
             ));
         }
-        self.swap_card
+        let act = self
+            .swap_card
             .as_mut()
             .expect("just built")
-            .at_most(&mut self.solver, k)
+            .at_most(&mut self.solver, k);
+        self.tally
+            .credit_since(ConstraintFamily::Cardinality, &self.solver, mark);
+        act
     }
 
     /// Decodes `(block mapping, per-gate block, transition swaps)`.
@@ -447,6 +471,40 @@ impl TbOlsq2Synthesizer {
         model.solver.set_stop_flag(self.config.stop_flag.clone());
     }
 
+    /// Builds the transition model under an `encode` span carrying the
+    /// per-family formula breakdown, and installs the recorder in the
+    /// solver.
+    fn build_model(
+        &self,
+        circuit: &Circuit,
+        graph: &CouplingGraph,
+        blocks: usize,
+    ) -> Result<TransitionModel, ModelError> {
+        let span = self.config.recorder.span("encode");
+        span.set("blocks", blocks);
+        let mut model = TransitionModel::build(circuit, graph, &self.config, blocks)?;
+        if self.config.recorder.is_enabled() {
+            span.set("vars", model.solver.num_vars());
+            span.set("clauses", model.solver.num_clauses());
+            for (fam, c) in model.tally.iter() {
+                span.set(&format!("vars.{}", fam.name()), c.vars);
+                span.set(&format!("clauses.{}", fam.name()), c.clauses);
+            }
+        }
+        model.solver.set_recorder(self.config.recorder.clone());
+        Ok(model)
+    }
+
+    /// Opens one `iteration` span tagged with the active bounds.
+    fn iteration_span(&self, objective: &str, bounds: &[(&str, usize)]) -> olsq2_obs::SpanGuard {
+        let span = self.config.recorder.span("iteration");
+        span.set("objective", objective);
+        for &(k, v) in bounds {
+            span.set(k, v);
+        }
+        span
+    }
+
     /// Publishes a lowered intermediate solution to the configured
     /// incumbent slot (see [`crate::IncumbentSlot`]).
     fn publish_incumbent(&self, result: &olsq2_layout::LayoutResult) {
@@ -468,8 +526,9 @@ impl TbOlsq2Synthesizer {
     ) -> Result<TbOutcome, SynthesisError> {
         let start = Instant::now();
         let deadline = self.deadline();
+        let outer = self.config.recorder.span("tb_optimize_blocks");
         let mut window = 4usize;
-        let mut model = TransitionModel::build(circuit, graph, &self.config, window)?;
+        let mut model = self.build_model(circuit, graph, window)?;
         let mut iterations = 0usize;
         let mut k = 1usize;
         loop {
@@ -478,16 +537,25 @@ impl TbOlsq2Synthesizer {
                 if k > window {
                     return Err(SynthesisError::WindowExhausted);
                 }
-                model = TransitionModel::build(circuit, graph, &self.config, window)?;
+                model = self.build_model(circuit, graph, window)?;
             }
+            let span = self.iteration_span("blocks", &[("block_bound", k)]);
+            let encode_start = Instant::now();
             let act = model.block_bound(k);
+            span.set("encode_us", encode_start.elapsed().as_micros() as u64);
             self.arm(&mut model, deadline);
             iterations += 1;
-            match model.solver.solve(&[act]) {
+            let solve_start = Instant::now();
+            let res = model.solver.solve(&[act]);
+            span.set("solve_us", solve_start.elapsed().as_micros() as u64);
+            span.set("result", result_str(res));
+            drop(span);
+            match res {
                 SolveResult::Sat => {
                     let sol = model.decode(circuit);
                     let result = sol.lower(circuit, self.config.swap_duration);
                     self.publish_incumbent(&result);
+                    outer.set("iterations", iterations);
                     return Ok(TbOutcome {
                         outcome: SynthesisOutcome {
                             result,
@@ -521,11 +589,12 @@ impl TbOlsq2Synthesizer {
     ) -> Result<TbOutcome, SynthesisError> {
         let start = Instant::now();
         let deadline = self.deadline();
+        let outer = self.config.recorder.span("tb_optimize_swaps");
         let first = self.optimize_blocks(circuit, graph)?;
         let mut iterations = first.outcome.iterations;
         let mut blocks = first.block_count;
         let mut window = blocks.max(2);
-        let mut model = TransitionModel::build(circuit, graph, &self.config, window)?;
+        let mut model = self.build_model(circuit, graph, window)?;
         let mut best_sol: Option<TbSolution> = None;
         let mut best_count = first.outcome.result.swap_count();
         let capacity = best_count.max(1);
@@ -540,12 +609,26 @@ impl TbOlsq2Synthesizer {
                     proven = true;
                     break;
                 }
+                let span = self.iteration_span(
+                    "swaps",
+                    &[
+                        ("block_bound", blocks.min(window)),
+                        ("swap_bound", best_count - 1),
+                    ],
+                );
+                let encode_start = Instant::now();
                 let act_b = model.block_bound(blocks.min(window));
                 let act_s =
                     model.swap_bound(best_count - 1, capacity, self.config.encoding.cardinality);
+                span.set("encode_us", encode_start.elapsed().as_micros() as u64);
                 self.arm(&mut model, deadline);
                 iterations += 1;
-                match model.solver.solve(&[act_b, act_s]) {
+                let solve_start = Instant::now();
+                let res = model.solver.solve(&[act_b, act_s]);
+                span.set("solve_us", solve_start.elapsed().as_micros() as u64);
+                span.set("result", result_str(res));
+                drop(span);
+                match res {
                     SolveResult::Sat => {
                         let sol = model.decode(circuit);
                         best_count = sol.swap_count();
@@ -582,14 +665,25 @@ impl TbOlsq2Synthesizer {
             let new_blocks = blocks + 1;
             if new_blocks > window {
                 window = new_blocks;
-                model = TransitionModel::build(circuit, graph, &self.config, window)?;
+                model = self.build_model(circuit, graph, window)?;
             }
+            let span = self.iteration_span(
+                "swaps",
+                &[("block_bound", new_blocks), ("swap_bound", best_count - 1)],
+            );
+            let encode_start = Instant::now();
             let act_b = model.block_bound(new_blocks);
             let act_s =
                 model.swap_bound(best_count - 1, capacity, self.config.encoding.cardinality);
+            span.set("encode_us", encode_start.elapsed().as_micros() as u64);
             self.arm(&mut model, deadline);
             iterations += 1;
-            match model.solver.solve(&[act_b, act_s]) {
+            let solve_start = Instant::now();
+            let res = model.solver.solve(&[act_b, act_s]);
+            span.set("solve_us", solve_start.elapsed().as_micros() as u64);
+            span.set("result", result_str(res));
+            drop(span);
+            match res {
                 SolveResult::Sat => {
                     let sol = model.decode(circuit);
                     best_count = sol.swap_count();
@@ -615,6 +709,8 @@ impl TbOlsq2Synthesizer {
             }
             None => (first.outcome.result.clone(), first.block_count),
         };
+        outer.set("iterations", iterations);
+        outer.set("proven_optimal", proven);
         Ok(TbOutcome {
             outcome: SynthesisOutcome {
                 result,
@@ -642,13 +738,21 @@ impl TbOlsq2Synthesizer {
         swap_bound: Option<usize>,
     ) -> Result<Option<SynthesisOutcome>, SynthesisError> {
         let start = Instant::now();
-        let mut model = TransitionModel::build(circuit, graph, &self.config, blocks)?;
+        let outer = self.config.recorder.span("tb_solve_feasible");
+        outer.set("blocks", blocks);
+        let mut model = self.build_model(circuit, graph, blocks)?;
         let mut assumptions = Vec::new();
         if let Some(k) = swap_bound {
             assumptions.push(model.swap_bound(k, k, self.config.encoding.cardinality));
         }
         self.arm(&mut model, self.deadline());
-        match model.solver.solve(&assumptions) {
+        let span = self.iteration_span("feasible", &[("block_bound", blocks)]);
+        let solve_start = Instant::now();
+        let res = model.solver.solve(&assumptions);
+        span.set("solve_us", solve_start.elapsed().as_micros() as u64);
+        span.set("result", result_str(res));
+        drop(span);
+        match res {
             SolveResult::Sat => {
                 let sol = model.decode(circuit);
                 let result = sol.lower(circuit, self.config.swap_duration);

@@ -14,6 +14,8 @@
 //!   at-most-one
 //! * [`CardinalityNetwork`] — sequential counter, totalizer, and adder
 //!   network cardinality with assumption-based bounding
+//! * [`FamilyTally`] — per-constraint-family formula-size accounting for
+//!   the paper's encoding-size tables
 //! * [`to_dimacs`] / [`from_dimacs`] — instance export/import
 //!
 //! ## Example
@@ -36,6 +38,7 @@
 mod bitvec;
 mod cardinality;
 mod dimacs;
+mod families;
 pub mod gates;
 mod onehot;
 mod sink;
@@ -43,5 +46,6 @@ mod sink;
 pub use bitvec::{width_for, BitVec};
 pub use cardinality::{CardEncoding, CardinalityNetwork};
 pub use dimacs::{from_dimacs, to_dimacs, ParseDimacsError};
+pub use families::{ConstraintFamily, FamilyCount, FamilyTally, FormulaSize};
 pub use onehot::{at_most_one, exactly_one, AmoEncoding, OneHot};
 pub use sink::{Cnf, CnfSink, CountingSink};

@@ -1,0 +1,113 @@
+//! Minimal Prometheus text-format (version 0.0.4) writer.
+//!
+//! Only the subset the service layer needs: `counter` and `gauge` metrics
+//! with `# HELP` / `# TYPE` headers and no labels. Metric names are
+//! sanitized to the Prometheus grammar `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+
+use std::fmt::Write as _;
+
+/// Builder for a Prometheus text-format exposition body.
+///
+/// ```
+/// use olsq2_obs::PromText;
+/// let mut prom = PromText::new();
+/// prom.counter("olsq2_jobs_completed", "Jobs completed", 3.0);
+/// prom.gauge("olsq2_queue_depth", "Jobs waiting", 7.0);
+/// let body = prom.finish();
+/// assert!(body.contains("# TYPE olsq2_jobs_completed counter"));
+/// assert!(body.contains("olsq2_queue_depth 7"));
+/// ```
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+}
+
+impl PromText {
+    /// Creates an empty exposition body.
+    pub fn new() -> PromText {
+        PromText::default()
+    }
+
+    /// Appends a `counter` metric with its HELP/TYPE headers.
+    pub fn counter(&mut self, name: &str, help: &str, value: f64) {
+        self.metric(name, help, "counter", value);
+    }
+
+    /// Appends a `gauge` metric with its HELP/TYPE headers.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.metric(name, help, "gauge", value);
+    }
+
+    fn metric(&mut self, name: &str, help: &str, kind: &str, value: f64) {
+        let name = sanitize(name);
+        let _ = writeln!(self.out, "# HELP {name} {}", escape_help(help));
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+        if value.is_finite() {
+            let _ = writeln!(self.out, "{name} {value}");
+        } else {
+            let _ = writeln!(self.out, "{name} NaN");
+        }
+    }
+
+    /// Returns the exposition body.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Maps arbitrary metric names onto `[a-zA-Z_:][a-zA-Z0-9_:]*` by replacing
+/// invalid characters (commonly `.` and `-` from recorder counter names)
+/// with `_`.
+fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.is_empty() || out.starts_with(|c: char| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headers_precede_samples() {
+        let mut p = PromText::new();
+        p.counter("jobs_total", "Total jobs", 12.0);
+        let body = p.finish();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines[0], "# HELP jobs_total Total jobs");
+        assert_eq!(lines[1], "# TYPE jobs_total counter");
+        assert_eq!(lines[2], "jobs_total 12");
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        let mut p = PromText::new();
+        p.counter("sat.conflicts-total", "x", 1.0);
+        p.gauge("9lives", "x", 2.0);
+        let body = p.finish();
+        assert!(body.contains("sat_conflicts_total 1"));
+        assert!(body.contains("_9lives 2"));
+    }
+
+    #[test]
+    fn help_newlines_are_escaped() {
+        let mut p = PromText::new();
+        p.gauge("g", "line1\nline2", 0.5);
+        assert!(p.finish().contains("# HELP g line1\\nline2"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Human-readable span-tree rendering.
+//!
+//! [`render`] turns a flat list of [`SpanData`] into an indented tree with
+//! total and self wall time per span, followed by a per-name aggregation
+//! table — the "where did the time go" view the paper's timing breakdowns
+//! are built from.
+
+use crate::trace::SpanData;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders a span tree with per-span total/self times, then a per-name
+/// aggregate table. Spans still open render with `(open)` in place of a
+/// duration. Multiple roots are supported (one tree per root, in id order).
+pub fn render(spans: &[SpanData]) -> String {
+    let mut out = String::new();
+    if spans.is_empty() {
+        out.push_str("(empty trace: no spans)\n");
+        return out;
+    }
+
+    // Children in id (open) order, grouped by parent.
+    let mut children: BTreeMap<u64, Vec<&SpanData>> = BTreeMap::new();
+    let mut roots: Vec<&SpanData> = Vec::new();
+    let ids: std::collections::HashSet<u64> = spans.iter().map(|s| s.id).collect();
+    for span in spans {
+        match span.parent {
+            // Tolerate truncated traces where the parent line is missing.
+            Some(p) if ids.contains(&p) => children.entry(p).or_default().push(span),
+            _ => roots.push(span),
+        }
+    }
+
+    out.push_str("span tree (total / self):\n");
+    for root in &roots {
+        render_node(root, &children, 0, &mut out);
+    }
+
+    // Aggregate by name: count, total time, self time.
+    let mut agg: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new();
+    for span in spans {
+        let total = span.dur_us.unwrap_or(0);
+        let self_us = self_time(span, &children);
+        let e = agg.entry(span.name.as_str()).or_insert((0, 0, 0));
+        e.0 += 1;
+        e.1 += total;
+        e.2 += self_us;
+    }
+    let name_w = agg.keys().map(|n| n.len()).max().unwrap_or(4).max(4);
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "{:<name_w$}  {:>6}  {:>12}  {:>12}",
+        "name", "count", "total", "self"
+    );
+    for (name, (count, total, self_us)) in &agg {
+        let _ = writeln!(
+            out,
+            "{:<name_w$}  {:>6}  {:>12}  {:>12}",
+            name,
+            count,
+            fmt_us(*total),
+            fmt_us(*self_us)
+        );
+    }
+    out
+}
+
+fn render_node(
+    span: &SpanData,
+    children: &BTreeMap<u64, Vec<&SpanData>>,
+    depth: usize,
+    out: &mut String,
+) {
+    let indent = "  ".repeat(depth);
+    let total = match span.dur_us {
+        Some(d) => fmt_us(d),
+        None => "(open)".to_string(),
+    };
+    let self_us = fmt_us(self_time(span, children));
+    let _ = write!(out, "{indent}{}  {total} / {self_us}", span.name);
+    for (k, v) in &span.fields {
+        let _ = write!(out, "  {k}={v}");
+    }
+    out.push('\n');
+    if let Some(kids) = children.get(&span.id) {
+        for kid in kids {
+            render_node(kid, children, depth + 1, out);
+        }
+    }
+}
+
+/// Self time = own duration minus the summed durations of direct children
+/// (saturating: clock skew or open children never go negative).
+fn self_time(span: &SpanData, children: &BTreeMap<u64, Vec<&SpanData>>) -> u64 {
+    let total = span.dur_us.unwrap_or(0);
+    let child_sum: u64 = children
+        .get(&span.id)
+        .map(|kids| kids.iter().map(|k| k.dur_us.unwrap_or(0)).sum())
+        .unwrap_or(0);
+    total.saturating_sub(child_sum)
+}
+
+fn fmt_us(us: u64) -> String {
+    if us >= 10_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 10_000 {
+        format!("{:.2}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}us")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::FieldValue;
+
+    fn span(id: u64, parent: Option<u64>, name: &str, dur_us: Option<u64>) -> SpanData {
+        SpanData {
+            id,
+            parent,
+            name: name.to_string(),
+            start_us: id * 10,
+            dur_us,
+            fields: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn tree_indents_children_and_computes_self_time() {
+        let mut root = span(0, None, "optimize", Some(1000));
+        root.fields
+            .push(("objective".to_string(), FieldValue::Str("depth".into())));
+        let spans = vec![
+            root,
+            span(1, Some(0), "iteration", Some(400)),
+            span(2, Some(0), "iteration", Some(300)),
+        ];
+        let text = render(&spans);
+        assert!(text.contains("optimize  1000us / 300us  objective=depth"));
+        assert!(text.contains("\n  iteration  400us"));
+        // Aggregate row: 2 iterations totalling 700us.
+        let agg_line = text
+            .lines()
+            .find(|l| l.starts_with("iteration"))
+            .expect("aggregate row");
+        assert!(agg_line.contains('2') && agg_line.contains("700us"));
+    }
+
+    #[test]
+    fn open_spans_and_missing_parents_render() {
+        let spans = vec![
+            span(0, None, "root", None),
+            // Parent 99 never appears — treated as a root.
+            span(1, Some(99), "orphan", Some(50)),
+        ];
+        let text = render(&spans);
+        assert!(text.contains("root  (open)"));
+        assert!(text.contains("\norphan  50us"));
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        assert!(render(&[]).contains("empty trace"));
+    }
+}

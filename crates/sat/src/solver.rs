@@ -22,6 +22,7 @@ use crate::clause::ClauseDb;
 use crate::heap::VarHeap;
 use crate::lit::{ClauseRef, LBool, Lit, Var};
 use crate::proof::{Proof, ProofStep};
+use olsq2_obs::Recorder;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -131,6 +132,8 @@ pub struct Solver {
     simp_trail_len: usize,
     /// Clausal proof log, when enabled.
     proof: Option<Proof>,
+    /// Telemetry sink; the default disabled recorder costs one branch.
+    recorder: Recorder,
     // Scratch buffers for conflict analysis.
     seen: Vec<bool>,
     analyze_toclear: Vec<Var>,
@@ -176,6 +179,7 @@ impl Solver {
             reduce_inc: 300,
             simp_trail_len: usize::MAX,
             proof: None,
+            recorder: Recorder::disabled(),
             seen: Vec::new(),
             analyze_toclear: Vec::new(),
             analyze_stack: Vec::new(),
@@ -232,6 +236,14 @@ impl Solver {
     /// Used by portfolio solving to cancel losing configurations.
     pub fn set_stop_flag(&mut self, stop: Option<Arc<AtomicBool>>) {
         self.stop = stop;
+    }
+
+    /// Installs a telemetry sink. The solver emits `sat.restart` and
+    /// `sat.reduce_db` events during search and accumulates per-solve
+    /// statistic deltas into `sat.*` counters. The default is the disabled
+    /// recorder, which costs one branch per emission site.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// Adds `amount` to a variable's branching activity — a hook for
@@ -697,6 +709,7 @@ impl Solver {
 
     fn reduce_db(&mut self) {
         self.stats.reduces += 1;
+        let learnts_before = self.learnts.len();
         // Sort learned clauses: poor (high LBD, low activity) first.
         let mut ranked: Vec<ClauseRef> = {
             let db = &self.db;
@@ -728,6 +741,16 @@ impl Solver {
         self.learnts.retain(|&c| !db.is_deleted(c));
         if self.db.wasted_ratio() > 0.3 {
             self.garbage_collect();
+        }
+        if self.recorder.is_enabled() {
+            self.recorder.event(
+                "sat.reduce_db",
+                &[
+                    ("learnts_before", learnts_before.into()),
+                    ("learnts_after", self.learnts.len().into()),
+                    ("conflicts", self.stats.conflicts.into()),
+                ],
+            );
         }
     }
 
@@ -872,6 +895,7 @@ impl Solver {
             }
         }
 
+        let stats_before = self.stats;
         let mut curr_restarts = 0u64;
         let result = loop {
             let budget = RESTART_BASE * Self::luby(curr_restarts);
@@ -880,6 +904,21 @@ impl Solver {
                 None => {
                     curr_restarts += 1;
                     self.stats.restarts += 1;
+                    if self.recorder.is_enabled() {
+                        // Timestamped conflict totals let a trace consumer
+                        // derive the conflict rate between restarts.
+                        self.recorder.event(
+                            "sat.restart",
+                            &[
+                                ("restart", curr_restarts.into()),
+                                (
+                                    "conflicts",
+                                    (self.stats.conflicts - stats_before.conflicts).into(),
+                                ),
+                                ("learnts", self.learnts.len().into()),
+                            ],
+                        );
+                    }
                     if self.out_of_budget() {
                         break SolveResult::Unknown;
                     }
@@ -887,6 +926,26 @@ impl Solver {
             }
         };
         self.cancel_until(0);
+        if self.recorder.is_enabled() {
+            let d = self.stats;
+            self.recorder.add("sat.solves", 1);
+            self.recorder
+                .add("sat.conflicts", d.conflicts - stats_before.conflicts);
+            self.recorder
+                .add("sat.decisions", d.decisions - stats_before.decisions);
+            self.recorder.add(
+                "sat.propagations",
+                d.propagations - stats_before.propagations,
+            );
+            self.recorder
+                .add("sat.restarts", d.restarts - stats_before.restarts);
+            self.recorder
+                .add("sat.reduces", d.reduces - stats_before.reduces);
+            self.recorder.add(
+                "sat.minimized_lits",
+                d.minimized_lits - stats_before.minimized_lits,
+            );
+        }
         result
     }
 
@@ -1142,5 +1201,22 @@ mod tests {
     fn luby_sequence_prefix() {
         let seq: Vec<u64> = (0..9).map(Solver::luby).collect();
         assert_eq!(seq, vec![1, 1, 2, 1, 1, 2, 4, 1, 1]);
+    }
+
+    #[test]
+    fn recorder_accumulates_per_solve_deltas() {
+        let mut s = Solver::new();
+        let rec = Recorder::new();
+        s.set_recorder(rec.clone());
+        let v = lits(&mut s, 3);
+        s.add_clause([v[0], v[1]]);
+        s.add_clause([!v[0], v[2]]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(s.solve(&[!v[2], v[0]]), SolveResult::Unsat);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters["sat.solves"], 2);
+        // The counters mirror the solver's own cumulative stats.
+        assert_eq!(snap.counters["sat.decisions"], s.stats().decisions);
+        assert_eq!(snap.counters["sat.propagations"], s.stats().propagations);
     }
 }

@@ -65,6 +65,6 @@ pub mod request;
 pub mod service;
 
 pub use cache::{CacheKey, CacheStats, CachedResult, ResultCache};
-pub use metrics::{ServiceMetrics, SolverTotals};
+pub use metrics::{prometheus_text, ServiceMetrics, SolverTotals};
 pub use request::{JobHandle, JobOutput, JobStatus, Objective, Priority, SynthesisRequest};
 pub use service::{ServiceConfig, SubmitError, SynthesisService};

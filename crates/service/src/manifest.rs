@@ -338,6 +338,7 @@ pub fn metrics_to_json(m: &ServiceMetrics) -> Json {
                 object([
                     ("p50", (m.p50_latency.as_millis() as u64).into()),
                     ("p95", (m.p95_latency.as_millis() as u64).into()),
+                    ("p99", (m.p99_latency.as_millis() as u64).into()),
                 ]),
             ),
             (
@@ -347,6 +348,9 @@ pub fn metrics_to_json(m: &ServiceMetrics) -> Json {
                     ("decisions", m.solver.decisions.into()),
                     ("propagations", m.solver.propagations.into()),
                     ("restarts", m.solver.restarts.into()),
+                    ("learnts", m.solver.learnts.into()),
+                    ("reduces", m.solver.reduces.into()),
+                    ("minimized_lits", m.solver.minimized_lits.into()),
                 ]),
             ),
         ]),

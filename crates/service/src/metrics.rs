@@ -17,6 +17,13 @@ pub struct SolverTotals {
     pub propagations: u64,
     /// Total restarts.
     pub restarts: u64,
+    /// Learned clauses retained at the end of each job's last solve,
+    /// summed over jobs.
+    pub learnts: u64,
+    /// Total learned-clause database reductions.
+    pub reduces: u64,
+    /// Total literals deleted by conflict-clause minimization.
+    pub minimized_lits: u64,
 }
 
 impl SolverTotals {
@@ -25,6 +32,9 @@ impl SolverTotals {
         self.decisions += s.decisions;
         self.propagations += s.propagations;
         self.restarts += s.restarts;
+        self.learnts += s.learnts;
+        self.reduces += s.reduces;
+        self.minimized_lits += s.minimized_lits;
     }
 }
 
@@ -53,6 +63,8 @@ pub struct ServiceMetrics {
     pub p50_latency: Duration,
     /// 95th-percentile end-to-end latency.
     pub p95_latency: Duration,
+    /// 99th-percentile end-to-end latency.
+    pub p99_latency: Duration,
     /// Aggregated solver statistics.
     pub solver: SolverTotals,
 }
@@ -133,7 +145,7 @@ impl MetricsCollector {
 
     pub(crate) fn snapshot(&self, cache: CacheStats) -> ServiceMetrics {
         let m = self.lock();
-        let (p50, p95) = percentiles(&m.latencies_us);
+        let (p50, p95, p99) = percentiles(&m.latencies_us);
         ServiceMetrics {
             submitted: m.submitted,
             queued: m.queued,
@@ -145,15 +157,16 @@ impl MetricsCollector {
             cache,
             p50_latency: p50,
             p95_latency: p95,
+            p99_latency: p99,
             solver: m.solver,
         }
     }
 }
 
-/// Nearest-rank percentiles over the recorded latencies.
-fn percentiles(latencies_us: &[u64]) -> (Duration, Duration) {
+/// Nearest-rank (p50, p95, p99) over the recorded latencies.
+fn percentiles(latencies_us: &[u64]) -> (Duration, Duration, Duration) {
     if latencies_us.is_empty() {
-        return (Duration::ZERO, Duration::ZERO);
+        return (Duration::ZERO, Duration::ZERO, Duration::ZERO);
     }
     let mut sorted = latencies_us.to_vec();
     sorted.sort_unstable();
@@ -161,7 +174,113 @@ fn percentiles(latencies_us: &[u64]) -> (Duration, Duration) {
         let idx = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
         Duration::from_micros(sorted[idx])
     };
-    (rank(0.50), rank(0.95))
+    (rank(0.50), rank(0.95), rank(0.99))
+}
+
+/// Renders a metrics snapshot plus the recorder's counters in the
+/// Prometheus text exposition format (version 0.0.4).
+///
+/// Service gauges/counters come out under the `olsq2_` prefix; recorder
+/// counters (e.g. `sat.conflicts`) are sanitized into metric names
+/// (`olsq2_sat_conflicts`). Pass a disabled recorder to expose the
+/// service metrics alone.
+pub fn prometheus_text(m: &ServiceMetrics, recorder: &olsq2_obs::Recorder) -> String {
+    let mut prom = olsq2_obs::PromText::new();
+    prom.counter("olsq2_jobs_submitted", "Jobs accepted", m.submitted as f64);
+    prom.gauge(
+        "olsq2_jobs_queued",
+        "Jobs waiting in the queue",
+        m.queued as f64,
+    );
+    prom.gauge(
+        "olsq2_jobs_running",
+        "Jobs executing on a worker",
+        m.running as f64,
+    );
+    prom.counter(
+        "olsq2_jobs_done",
+        "Jobs finished with a result",
+        m.done as f64,
+    );
+    prom.counter(
+        "olsq2_jobs_degraded",
+        "Done jobs degraded to a best-so-far incumbent",
+        m.degraded as f64,
+    );
+    prom.counter("olsq2_jobs_failed", "Jobs that failed", m.failed as f64);
+    prom.counter("olsq2_jobs_cancelled", "Jobs cancelled", m.cancelled as f64);
+    prom.counter("olsq2_cache_hits", "Result-cache hits", m.cache.hits as f64);
+    prom.counter(
+        "olsq2_cache_misses",
+        "Result-cache misses",
+        m.cache.misses as f64,
+    );
+    prom.counter(
+        "olsq2_cache_evictions",
+        "Result-cache evictions",
+        m.cache.evictions as f64,
+    );
+    prom.gauge(
+        "olsq2_latency_p50_us",
+        "Median end-to-end latency (us)",
+        m.p50_latency.as_micros() as f64,
+    );
+    prom.gauge(
+        "olsq2_latency_p95_us",
+        "95th-percentile end-to-end latency (us)",
+        m.p95_latency.as_micros() as f64,
+    );
+    prom.gauge(
+        "olsq2_latency_p99_us",
+        "99th-percentile end-to-end latency (us)",
+        m.p99_latency.as_micros() as f64,
+    );
+    prom.counter(
+        "olsq2_solver_conflicts",
+        "SAT conflicts across jobs",
+        m.solver.conflicts as f64,
+    );
+    prom.counter(
+        "olsq2_solver_decisions",
+        "SAT decisions across jobs",
+        m.solver.decisions as f64,
+    );
+    prom.counter(
+        "olsq2_solver_propagations",
+        "SAT propagations across jobs",
+        m.solver.propagations as f64,
+    );
+    prom.counter(
+        "olsq2_solver_restarts",
+        "SAT restarts across jobs",
+        m.solver.restarts as f64,
+    );
+    prom.counter(
+        "olsq2_solver_learnts",
+        "Learned clauses retained across jobs",
+        m.solver.learnts as f64,
+    );
+    prom.counter(
+        "olsq2_solver_reduces",
+        "Learned-clause DB reductions across jobs",
+        m.solver.reduces as f64,
+    );
+    prom.counter(
+        "olsq2_solver_minimized_lits",
+        "Literals removed by clause minimization across jobs",
+        m.solver.minimized_lits as f64,
+    );
+    if recorder.is_enabled() {
+        let snap = recorder.snapshot();
+        for (name, value) in &snap.counters {
+            prom.counter(
+                &format!("olsq2_{name}"),
+                "Recorder counter (olsq2-obs)",
+                *value as f64,
+            );
+        }
+    }
+    prom.finish()
 }
 
 #[cfg(test)]
@@ -171,12 +290,67 @@ mod tests {
     #[test]
     fn percentile_ranks() {
         let us: Vec<u64> = (1..=100).collect();
-        let (p50, p95) = percentiles(&us);
+        let (p50, p95, p99) = percentiles(&us);
         assert_eq!(p50, Duration::from_micros(50));
         assert_eq!(p95, Duration::from_micros(95));
-        let (one, _) = percentiles(&[7]);
-        assert_eq!(one, Duration::from_micros(7));
-        assert_eq!(percentiles(&[]), (Duration::ZERO, Duration::ZERO));
+        assert_eq!(p99, Duration::from_micros(99));
+    }
+
+    #[test]
+    fn percentiles_of_empty_input_are_zero() {
+        assert_eq!(
+            percentiles(&[]),
+            (Duration::ZERO, Duration::ZERO, Duration::ZERO)
+        );
+    }
+
+    #[test]
+    fn percentiles_of_single_sample_all_equal_it() {
+        let seven = Duration::from_micros(7);
+        assert_eq!(percentiles(&[7]), (seven, seven, seven));
+    }
+
+    #[test]
+    fn percentiles_with_ties_pick_the_tied_value() {
+        // 9 copies of 10 and one 1000: p50 (rank ceil(5) = 5) stays in
+        // the tied run, while p95 and p99 (ranks ceil(9.5) = ceil(9.9)
+        // = 10) both reach the outlier.
+        let us = [10, 10, 10, 10, 10, 10, 10, 10, 10, 1000];
+        let (p50, p95, p99) = percentiles(&us);
+        assert_eq!(p50, Duration::from_micros(10));
+        assert_eq!(p95, Duration::from_micros(1000));
+        assert_eq!(p99, Duration::from_micros(1000));
+        // All samples identical: every percentile is that value.
+        let (a, b, c) = percentiles(&[42; 16]);
+        assert_eq!(
+            (a, b, c),
+            (
+                Duration::from_micros(42),
+                Duration::from_micros(42),
+                Duration::from_micros(42)
+            )
+        );
+    }
+
+    #[test]
+    fn prometheus_text_exposes_service_and_recorder_metrics() {
+        let metrics = ServiceMetrics {
+            submitted: 3,
+            done: 2,
+            p99_latency: Duration::from_micros(1500),
+            ..ServiceMetrics::default()
+        };
+        let recorder = olsq2_obs::Recorder::new();
+        recorder.add("sat.conflicts", 17);
+        let text = prometheus_text(&metrics, &recorder);
+        assert!(text.contains("# TYPE olsq2_jobs_submitted counter"));
+        assert!(text.contains("olsq2_jobs_submitted 3"));
+        assert!(text.contains("olsq2_latency_p99_us 1500"));
+        assert!(text.contains("olsq2_sat_conflicts 17"));
+        // Disabled recorder: service metrics only, no panic.
+        let plain = prometheus_text(&metrics, &olsq2_obs::Recorder::disabled());
+        assert!(plain.contains("olsq2_jobs_done 2"));
+        assert!(!plain.contains("olsq2_sat_conflicts"));
     }
 
     #[test]

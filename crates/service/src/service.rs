@@ -31,6 +31,12 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Result-cache capacity in entries; `0` disables caching.
     pub cache_capacity: usize,
+    /// Telemetry sink shared by every job the service runs: each job gets
+    /// one span (tagged with its id, objective, and queue wait) and, unless
+    /// the request carries its own recorder, has this one injected into its
+    /// [`olsq2::SynthesisConfig`] so synthesizer iteration spans nest under
+    /// the job span. The default disabled recorder records nothing.
+    pub recorder: olsq2::Recorder,
 }
 
 impl Default for ServiceConfig {
@@ -42,6 +48,7 @@ impl Default for ServiceConfig {
             workers,
             queue_capacity: 256,
             cache_capacity: 512,
+            recorder: olsq2::Recorder::disabled(),
         }
     }
 }
@@ -87,6 +94,7 @@ struct ServiceState {
     /// Cancel flags of currently running jobs, so shutdown can interrupt
     /// in-flight solves.
     running_flags: Mutex<HashMap<u64, Arc<AtomicBool>>>,
+    recorder: olsq2::Recorder,
 }
 
 /// A synthesis service instance owning its worker pool.
@@ -124,6 +132,7 @@ impl SynthesisService {
             },
             shutdown: AtomicBool::new(false),
             running_flags: Mutex::new(HashMap::new()),
+            recorder: config.recorder,
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -197,6 +206,18 @@ impl SynthesisService {
         self.workers.len()
     }
 
+    /// The service's shared telemetry recorder (the one passed in through
+    /// [`ServiceConfig::recorder`]); disabled unless the caller enabled it.
+    pub fn recorder(&self) -> &olsq2::Recorder {
+        &self.state.recorder
+    }
+
+    /// The current metrics snapshot plus recorder counters in Prometheus
+    /// text exposition format. See [`crate::metrics::prometheus_text`].
+    pub fn prometheus_text(&self) -> String {
+        crate::metrics::prometheus_text(&self.metrics(), &self.state.recorder)
+    }
+
     /// Stops the service: rejects new submissions, cancels queued jobs,
     /// interrupts running jobs through the solver stop flag, and joins the
     /// workers. Idempotent; also invoked by `Drop`.
@@ -261,7 +282,7 @@ fn worker_loop(state: &ServiceState) {
             .lock()
             .expect("running flags lock")
             .insert(id, job.shared.cancel.clone());
-        run_job(state, &job);
+        run_job(state, id, &job);
         state
             .running_flags
             .lock()
@@ -270,11 +291,20 @@ fn worker_loop(state: &ServiceState) {
     }
 }
 
-fn run_job(state: &ServiceState, job: &QueuedJob) {
+fn run_job(state: &ServiceState, id: u64, job: &QueuedJob) {
     let picked_at = Instant::now();
     let wait = picked_at - job.submitted_at;
     job.shared.set_status(JobStatus::Running);
     let request = &job.request;
+
+    // One span per job; synthesizer spans opened on this worker thread
+    // nest under it automatically.
+    let span = state.recorder.span("job");
+    span.set("job_id", id);
+    span.set("name", request.name.as_str());
+    span.set("objective", request.objective.name());
+    span.set("priority", request.priority.name());
+    span.set("queue_wait_us", wait.as_micros() as u64);
 
     // Cache lookup under the canonical key.
     let canonical = state.cache.as_ref().map(|_| {
@@ -301,6 +331,12 @@ fn run_job(state: &ServiceState, job: &QueuedJob) {
             state
                 .metrics
                 .on_done(job.submitted_at.elapsed(), false, None);
+            span.set("cache_hit", true);
+            span.set("status", "done");
+            // Close the span before the status turns terminal: `wait()`
+            // returns the instant it does, and the caller may snapshot
+            // the recorder right away.
+            drop(span);
             job.shared.set_status(JobStatus::Done(output));
             return;
         }
@@ -309,6 +345,9 @@ fn run_job(state: &ServiceState, job: &QueuedJob) {
     // Arm the per-job budget and reporting hooks.
     let mut config = request.config.clone();
     config.stop_flag = Some(job.shared.cancel.clone());
+    if !config.recorder.is_enabled() {
+        config.recorder = state.recorder.clone();
+    }
     let incumbent = IncumbentSlot::new();
     config.incumbent = Some(incumbent.clone());
     config.time_budget = match (config.time_budget, request.deadline) {
@@ -358,11 +397,16 @@ fn run_job(state: &ServiceState, job: &QueuedJob) {
             state
                 .metrics
                 .on_done(latency, degraded, output.solver_stats.as_ref());
+            span.set("status", "done");
+            span.set("degraded", degraded);
+            drop(span);
             job.shared.set_status(JobStatus::Done(output));
         }
         Err(SynthesisError::BudgetExhausted) => {
             if job.shared.cancel.load(Ordering::Relaxed) {
                 state.metrics.on_cancel_running();
+                span.set("status", "cancelled");
+                drop(span);
                 job.shared.set_status(JobStatus::Cancelled);
             } else if let Some(best) = incumbent.take() {
                 // Deadline degradation: return the best-so-far incumbent,
@@ -379,15 +423,22 @@ fn run_job(state: &ServiceState, job: &QueuedJob) {
                     solver_stats: None,
                 };
                 state.metrics.on_done(latency, true, None);
+                span.set("status", "done");
+                span.set("degraded", true);
+                drop(span);
                 job.shared.set_status(JobStatus::Done(output));
             } else {
                 state.metrics.on_failed(latency);
+                span.set("status", "failed");
+                drop(span);
                 job.shared
                     .set_status(JobStatus::Failed(SynthesisError::BudgetExhausted));
             }
         }
         Err(e) => {
             state.metrics.on_failed(latency);
+            span.set("status", "failed");
+            drop(span);
             job.shared.set_status(JobStatus::Failed(e));
         }
     }

@@ -32,6 +32,7 @@ fn queue_pool_cache_metrics_end_to_end() {
         workers: 2,
         queue_capacity: 16,
         cache_capacity: 32,
+        ..ServiceConfig::default()
     });
 
     // Three structurally distinct circuits...
@@ -120,6 +121,7 @@ fn deadline_degrades_to_best_so_far() {
         workers: 1,
         queue_capacity: 4,
         cache_capacity: 8,
+        ..ServiceConfig::default()
     });
     let circuit = qaoa_circuit(8, 4);
     let mut req = SynthesisRequest::new("qaoa", circuit.clone(), grid(3, 3), Objective::Swaps);
@@ -153,6 +155,7 @@ fn priorities_cancellation_and_backpressure() {
         workers: 1,
         queue_capacity: 2,
         cache_capacity: 8,
+        ..ServiceConfig::default()
     });
     // Occupy the single worker with a job that runs for a while.
     let mut blocker =
@@ -237,6 +240,7 @@ fn manifest_batch_with_relabeled_duplicates_hits_cache() {
             workers: 1, // serialize so the twin always lands after job-a
             queue_capacity: 8,
             cache_capacity: 8,
+            ..ServiceConfig::default()
         },
     );
     assert_eq!(statuses.len(), 3);
@@ -282,4 +286,61 @@ fn manifest_rejects_malformed_lines() {
     assert!(manifest::parse_manifest(bad_gate).is_err());
     let err = manifest::parse_manifest("\n\n{oops}").unwrap_err();
     assert_eq!(err.line, 3);
+}
+
+#[test]
+fn traced_jobs_produce_nested_spans_and_prometheus_metrics() {
+    let recorder = olsq2::Recorder::new();
+    let mut service = SynthesisService::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 8,
+        cache_capacity: 8,
+        recorder: recorder.clone(),
+    });
+    let a = service
+        .submit(small_request("traced-a", cx_chain(&[(0, 1), (1, 2)], 3)))
+        .expect("room");
+    let b = service
+        .submit(small_request("traced-b", cx_chain(&[(0, 2)], 3)))
+        .expect("room");
+    assert!(matches!(a.wait(), JobStatus::Done(_)));
+    assert!(matches!(b.wait(), JobStatus::Done(_)));
+
+    let snap = recorder.snapshot();
+    let jobs: Vec<_> = snap.spans.iter().filter(|s| s.name == "job").collect();
+    assert_eq!(jobs.len(), 2, "one span per job");
+    for job in &jobs {
+        assert!(job.dur_us.is_some(), "job span closed");
+        let field = |key: &str| job.fields.iter().find(|(k, _)| k == key);
+        assert!(field("job_id").is_some());
+        assert!(field("queue_wait_us").is_some());
+        assert!(
+            matches!(field("objective"), Some((_, v)) if v.to_string() == "depth"),
+            "objective tagged"
+        );
+        assert!(
+            matches!(field("status"), Some((_, v)) if v.to_string() == "done"),
+            "terminal status tagged"
+        );
+    }
+    // Synthesizer spans opened on the worker thread nest under a job span.
+    let job_ids: Vec<u64> = jobs.iter().map(|s| s.id).collect();
+    let nested = snap
+        .spans
+        .iter()
+        .filter(|s| s.name == "optimize_depth")
+        .all(|s| matches!(s.parent, Some(p) if job_ids.contains(&p)));
+    assert!(nested, "optimize_depth spans must parent under job spans");
+    assert!(
+        snap.spans.iter().any(|s| s.name == "optimize_depth"),
+        "synthesizer spans recorded"
+    );
+    assert!(*snap.counters.get("sat.solves").unwrap_or(&0) > 0);
+
+    // Prometheus exposition covers service metrics and recorder counters.
+    let prom = service.prometheus_text();
+    assert!(prom.contains("olsq2_jobs_done 2"));
+    assert!(prom.contains("olsq2_sat_solves"));
+    assert!(prom.contains("# TYPE olsq2_latency_p99_us gauge"));
+    service.shutdown();
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-fb15c06456d070db.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-fb15c06456d070db: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

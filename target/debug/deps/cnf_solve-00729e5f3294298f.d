@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cnf_solve-00729e5f3294298f.d: crates/encode/src/bin/cnf_solve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcnf_solve-00729e5f3294298f.rmeta: crates/encode/src/bin/cnf_solve.rs Cargo.toml
+
+crates/encode/src/bin/cnf_solve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

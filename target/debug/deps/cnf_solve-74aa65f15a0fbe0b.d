@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cnf_solve-74aa65f15a0fbe0b.d: crates/encode/src/bin/cnf_solve.rs
+
+/root/repo/target/debug/deps/cnf_solve-74aa65f15a0fbe0b: crates/encode/src/bin/cnf_solve.rs
+
+crates/encode/src/bin/cnf_solve.rs:

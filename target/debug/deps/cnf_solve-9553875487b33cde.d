@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cnf_solve-9553875487b33cde.d: crates/encode/src/bin/cnf_solve.rs
+
+/root/repo/target/debug/deps/cnf_solve-9553875487b33cde: crates/encode/src/bin/cnf_solve.rs
+
+crates/encode/src/bin/cnf_solve.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/commutation-720c79a2aeb5d586.d: tests/commutation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcommutation-720c79a2aeb5d586.rmeta: tests/commutation.rs Cargo.toml
+
+tests/commutation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/commutation-ebe254036d4979cf.d: tests/commutation.rs
+
+/root/repo/target/debug/deps/commutation-ebe254036d4979cf: tests/commutation.rs
+
+tests/commutation.rs:

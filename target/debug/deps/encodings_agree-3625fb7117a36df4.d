@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/encodings_agree-3625fb7117a36df4.d: tests/encodings_agree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libencodings_agree-3625fb7117a36df4.rmeta: tests/encodings_agree.rs Cargo.toml
+
+tests/encodings_agree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

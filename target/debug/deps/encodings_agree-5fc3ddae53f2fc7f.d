@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/encodings_agree-5fc3ddae53f2fc7f.d: tests/encodings_agree.rs
+
+/root/repo/target/debug/deps/encodings_agree-5fc3ddae53f2fc7f: tests/encodings_agree.rs
+
+tests/encodings_agree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-241c096914ef8cb5.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-241c096914ef8cb5: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-c806bf7a5918674b.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-c806bf7a5918674b: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

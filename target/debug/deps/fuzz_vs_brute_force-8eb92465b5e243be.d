@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fuzz_vs_brute_force-8eb92465b5e243be.d: crates/sat/tests/fuzz_vs_brute_force.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuzz_vs_brute_force-8eb92465b5e243be.rmeta: crates/sat/tests/fuzz_vs_brute_force.rs Cargo.toml
+
+crates/sat/tests/fuzz_vs_brute_force.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz_vs_brute_force-c17f48255abc7eb3.d: crates/sat/tests/fuzz_vs_brute_force.rs
+
+/root/repo/target/debug/deps/fuzz_vs_brute_force-c17f48255abc7eb3: crates/sat/tests/fuzz_vs_brute_force.rs
+
+crates/sat/tests/fuzz_vs_brute_force.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/olsq2-5dc3d3e20332d8ea.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/incumbent.rs crates/core/src/model.rs crates/core/src/optimize.rs crates/core/src/portfolio.rs crates/core/src/transition.rs crates/core/src/vars.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolsq2-5dc3d3e20332d8ea.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/incumbent.rs crates/core/src/model.rs crates/core/src/optimize.rs crates/core/src/portfolio.rs crates/core/src/transition.rs crates/core/src/vars.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/incumbent.rs:
+crates/core/src/model.rs:
+crates/core/src/optimize.rs:
+crates/core/src/portfolio.rs:
+crates/core/src/transition.rs:
+crates/core/src/vars.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/olsq2-893fe015219d1608.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/incumbent.rs crates/core/src/model.rs crates/core/src/optimize.rs crates/core/src/portfolio.rs crates/core/src/transition.rs crates/core/src/vars.rs
+
+/root/repo/target/debug/deps/libolsq2-893fe015219d1608.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/incumbent.rs crates/core/src/model.rs crates/core/src/optimize.rs crates/core/src/portfolio.rs crates/core/src/transition.rs crates/core/src/vars.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/incumbent.rs:
+crates/core/src/model.rs:
+crates/core/src/optimize.rs:
+crates/core/src/portfolio.rs:
+crates/core/src/transition.rs:
+crates/core/src/vars.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/olsq2-95213b7eda758f0d.d: crates/cli/src/bin/olsq2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolsq2-95213b7eda758f0d.rmeta: crates/cli/src/bin/olsq2.rs Cargo.toml
+
+crates/cli/src/bin/olsq2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

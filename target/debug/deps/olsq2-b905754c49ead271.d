@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/olsq2-b905754c49ead271.d: crates/cli/src/bin/olsq2.rs
+
+/root/repo/target/debug/deps/olsq2-b905754c49ead271: crates/cli/src/bin/olsq2.rs
+
+crates/cli/src/bin/olsq2.rs:

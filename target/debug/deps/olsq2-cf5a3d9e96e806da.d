@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/olsq2-cf5a3d9e96e806da.d: crates/cli/src/bin/olsq2.rs
+
+/root/repo/target/debug/deps/olsq2-cf5a3d9e96e806da: crates/cli/src/bin/olsq2.rs
+
+crates/cli/src/bin/olsq2.rs:

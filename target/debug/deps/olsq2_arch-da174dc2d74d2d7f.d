@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/olsq2_arch-da174dc2d74d2d7f.d: crates/arch/src/lib.rs crates/arch/src/devices.rs crates/arch/src/graph.rs
+
+/root/repo/target/debug/deps/libolsq2_arch-da174dc2d74d2d7f.rmeta: crates/arch/src/lib.rs crates/arch/src/devices.rs crates/arch/src/graph.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/devices.rs:
+crates/arch/src/graph.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/olsq2_bench-53bde3328c141100.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolsq2_bench-53bde3328c141100.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

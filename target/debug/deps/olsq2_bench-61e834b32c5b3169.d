@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/olsq2_bench-61e834b32c5b3169.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/olsq2_bench-61e834b32c5b3169: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/olsq2_bench-6a32b8032b753e59.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libolsq2_bench-6a32b8032b753e59.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libolsq2_bench-6a32b8032b753e59.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

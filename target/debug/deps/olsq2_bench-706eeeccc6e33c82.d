@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/olsq2_bench-706eeeccc6e33c82.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libolsq2_bench-706eeeccc6e33c82.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

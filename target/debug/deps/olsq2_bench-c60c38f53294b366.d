@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/olsq2_bench-c60c38f53294b366.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolsq2_bench-c60c38f53294b366.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/olsq2_circuit-95be16e81c72d89e.d: crates/circuit/src/lib.rs crates/circuit/src/circuit.rs crates/circuit/src/dag.rs crates/circuit/src/gate.rs crates/circuit/src/generators/mod.rs crates/circuit/src/generators/adders.rs crates/circuit/src/generators/arithmetic.rs crates/circuit/src/generators/graphs.rs crates/circuit/src/generators/qaoa.rs crates/circuit/src/generators/qft.rs crates/circuit/src/generators/queko.rs crates/circuit/src/qasm.rs
+
+/root/repo/target/debug/deps/libolsq2_circuit-95be16e81c72d89e.rmeta: crates/circuit/src/lib.rs crates/circuit/src/circuit.rs crates/circuit/src/dag.rs crates/circuit/src/gate.rs crates/circuit/src/generators/mod.rs crates/circuit/src/generators/adders.rs crates/circuit/src/generators/arithmetic.rs crates/circuit/src/generators/graphs.rs crates/circuit/src/generators/qaoa.rs crates/circuit/src/generators/qft.rs crates/circuit/src/generators/queko.rs crates/circuit/src/qasm.rs
+
+crates/circuit/src/lib.rs:
+crates/circuit/src/circuit.rs:
+crates/circuit/src/dag.rs:
+crates/circuit/src/gate.rs:
+crates/circuit/src/generators/mod.rs:
+crates/circuit/src/generators/adders.rs:
+crates/circuit/src/generators/arithmetic.rs:
+crates/circuit/src/generators/graphs.rs:
+crates/circuit/src/generators/qaoa.rs:
+crates/circuit/src/generators/qft.rs:
+crates/circuit/src/generators/queko.rs:
+crates/circuit/src/qasm.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/olsq2_encode-2fce8077f32bf70f.d: crates/encode/src/lib.rs crates/encode/src/bitvec.rs crates/encode/src/cardinality.rs crates/encode/src/dimacs.rs crates/encode/src/families.rs crates/encode/src/gates.rs crates/encode/src/onehot.rs crates/encode/src/sink.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolsq2_encode-2fce8077f32bf70f.rmeta: crates/encode/src/lib.rs crates/encode/src/bitvec.rs crates/encode/src/cardinality.rs crates/encode/src/dimacs.rs crates/encode/src/families.rs crates/encode/src/gates.rs crates/encode/src/onehot.rs crates/encode/src/sink.rs Cargo.toml
+
+crates/encode/src/lib.rs:
+crates/encode/src/bitvec.rs:
+crates/encode/src/cardinality.rs:
+crates/encode/src/dimacs.rs:
+crates/encode/src/families.rs:
+crates/encode/src/gates.rs:
+crates/encode/src/onehot.rs:
+crates/encode/src/sink.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/olsq2_encode-6f8786f65151068a.d: crates/encode/src/lib.rs crates/encode/src/bitvec.rs crates/encode/src/cardinality.rs crates/encode/src/dimacs.rs crates/encode/src/families.rs crates/encode/src/gates.rs crates/encode/src/onehot.rs crates/encode/src/sink.rs
+
+/root/repo/target/debug/deps/olsq2_encode-6f8786f65151068a: crates/encode/src/lib.rs crates/encode/src/bitvec.rs crates/encode/src/cardinality.rs crates/encode/src/dimacs.rs crates/encode/src/families.rs crates/encode/src/gates.rs crates/encode/src/onehot.rs crates/encode/src/sink.rs
+
+crates/encode/src/lib.rs:
+crates/encode/src/bitvec.rs:
+crates/encode/src/cardinality.rs:
+crates/encode/src/dimacs.rs:
+crates/encode/src/families.rs:
+crates/encode/src/gates.rs:
+crates/encode/src/onehot.rs:
+crates/encode/src/sink.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/olsq2_encode-a2aa3cdf28cc947b.d: crates/encode/src/lib.rs crates/encode/src/bitvec.rs crates/encode/src/cardinality.rs crates/encode/src/dimacs.rs crates/encode/src/families.rs crates/encode/src/gates.rs crates/encode/src/onehot.rs crates/encode/src/sink.rs
+
+/root/repo/target/debug/deps/libolsq2_encode-a2aa3cdf28cc947b.rmeta: crates/encode/src/lib.rs crates/encode/src/bitvec.rs crates/encode/src/cardinality.rs crates/encode/src/dimacs.rs crates/encode/src/families.rs crates/encode/src/gates.rs crates/encode/src/onehot.rs crates/encode/src/sink.rs
+
+crates/encode/src/lib.rs:
+crates/encode/src/bitvec.rs:
+crates/encode/src/cardinality.rs:
+crates/encode/src/dimacs.rs:
+crates/encode/src/families.rs:
+crates/encode/src/gates.rs:
+crates/encode/src/onehot.rs:
+crates/encode/src/sink.rs:

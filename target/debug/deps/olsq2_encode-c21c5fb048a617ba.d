@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/olsq2_encode-c21c5fb048a617ba.d: crates/encode/src/lib.rs crates/encode/src/bitvec.rs crates/encode/src/cardinality.rs crates/encode/src/dimacs.rs crates/encode/src/families.rs crates/encode/src/gates.rs crates/encode/src/onehot.rs crates/encode/src/sink.rs
+
+/root/repo/target/debug/deps/libolsq2_encode-c21c5fb048a617ba.rlib: crates/encode/src/lib.rs crates/encode/src/bitvec.rs crates/encode/src/cardinality.rs crates/encode/src/dimacs.rs crates/encode/src/families.rs crates/encode/src/gates.rs crates/encode/src/onehot.rs crates/encode/src/sink.rs
+
+/root/repo/target/debug/deps/libolsq2_encode-c21c5fb048a617ba.rmeta: crates/encode/src/lib.rs crates/encode/src/bitvec.rs crates/encode/src/cardinality.rs crates/encode/src/dimacs.rs crates/encode/src/families.rs crates/encode/src/gates.rs crates/encode/src/onehot.rs crates/encode/src/sink.rs
+
+crates/encode/src/lib.rs:
+crates/encode/src/bitvec.rs:
+crates/encode/src/cardinality.rs:
+crates/encode/src/dimacs.rs:
+crates/encode/src/families.rs:
+crates/encode/src/gates.rs:
+crates/encode/src/onehot.rs:
+crates/encode/src/sink.rs:

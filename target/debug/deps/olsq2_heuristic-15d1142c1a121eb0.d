@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/olsq2_heuristic-15d1142c1a121eb0.d: crates/heuristic/src/lib.rs crates/heuristic/src/astar.rs crates/heuristic/src/retime.rs crates/heuristic/src/sabre.rs crates/heuristic/src/satmap.rs
+
+/root/repo/target/debug/deps/olsq2_heuristic-15d1142c1a121eb0: crates/heuristic/src/lib.rs crates/heuristic/src/astar.rs crates/heuristic/src/retime.rs crates/heuristic/src/sabre.rs crates/heuristic/src/satmap.rs
+
+crates/heuristic/src/lib.rs:
+crates/heuristic/src/astar.rs:
+crates/heuristic/src/retime.rs:
+crates/heuristic/src/sabre.rs:
+crates/heuristic/src/satmap.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/olsq2_heuristic-67e5235cd8d106df.d: crates/heuristic/src/lib.rs crates/heuristic/src/astar.rs crates/heuristic/src/retime.rs crates/heuristic/src/sabre.rs crates/heuristic/src/satmap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolsq2_heuristic-67e5235cd8d106df.rmeta: crates/heuristic/src/lib.rs crates/heuristic/src/astar.rs crates/heuristic/src/retime.rs crates/heuristic/src/sabre.rs crates/heuristic/src/satmap.rs Cargo.toml
+
+crates/heuristic/src/lib.rs:
+crates/heuristic/src/astar.rs:
+crates/heuristic/src/retime.rs:
+crates/heuristic/src/sabre.rs:
+crates/heuristic/src/satmap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/olsq2_heuristic-bb2c15eb7d6e0885.d: crates/heuristic/src/lib.rs crates/heuristic/src/astar.rs crates/heuristic/src/retime.rs crates/heuristic/src/sabre.rs crates/heuristic/src/satmap.rs
+
+/root/repo/target/debug/deps/libolsq2_heuristic-bb2c15eb7d6e0885.rlib: crates/heuristic/src/lib.rs crates/heuristic/src/astar.rs crates/heuristic/src/retime.rs crates/heuristic/src/sabre.rs crates/heuristic/src/satmap.rs
+
+/root/repo/target/debug/deps/libolsq2_heuristic-bb2c15eb7d6e0885.rmeta: crates/heuristic/src/lib.rs crates/heuristic/src/astar.rs crates/heuristic/src/retime.rs crates/heuristic/src/sabre.rs crates/heuristic/src/satmap.rs
+
+crates/heuristic/src/lib.rs:
+crates/heuristic/src/astar.rs:
+crates/heuristic/src/retime.rs:
+crates/heuristic/src/sabre.rs:
+crates/heuristic/src/satmap.rs:

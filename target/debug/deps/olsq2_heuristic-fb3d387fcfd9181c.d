@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/olsq2_heuristic-fb3d387fcfd9181c.d: crates/heuristic/src/lib.rs crates/heuristic/src/astar.rs crates/heuristic/src/retime.rs crates/heuristic/src/sabre.rs crates/heuristic/src/satmap.rs
+
+/root/repo/target/debug/deps/libolsq2_heuristic-fb3d387fcfd9181c.rmeta: crates/heuristic/src/lib.rs crates/heuristic/src/astar.rs crates/heuristic/src/retime.rs crates/heuristic/src/sabre.rs crates/heuristic/src/satmap.rs
+
+crates/heuristic/src/lib.rs:
+crates/heuristic/src/astar.rs:
+crates/heuristic/src/retime.rs:
+crates/heuristic/src/sabre.rs:
+crates/heuristic/src/satmap.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/olsq2_layout-029d5067dd71438f.d: crates/layout/src/lib.rs crates/layout/src/emit.rs crates/layout/src/fidelity.rs crates/layout/src/result.rs crates/layout/src/verify.rs
+
+/root/repo/target/debug/deps/libolsq2_layout-029d5067dd71438f.rmeta: crates/layout/src/lib.rs crates/layout/src/emit.rs crates/layout/src/fidelity.rs crates/layout/src/result.rs crates/layout/src/verify.rs
+
+crates/layout/src/lib.rs:
+crates/layout/src/emit.rs:
+crates/layout/src/fidelity.rs:
+crates/layout/src/result.rs:
+crates/layout/src/verify.rs:

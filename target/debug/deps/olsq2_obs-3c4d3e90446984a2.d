@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/olsq2_obs-3c4d3e90446984a2.d: crates/obs/src/lib.rs crates/obs/src/prom.rs crates/obs/src/recorder.rs crates/obs/src/report.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/libolsq2_obs-3c4d3e90446984a2.rlib: crates/obs/src/lib.rs crates/obs/src/prom.rs crates/obs/src/recorder.rs crates/obs/src/report.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/libolsq2_obs-3c4d3e90446984a2.rmeta: crates/obs/src/lib.rs crates/obs/src/prom.rs crates/obs/src/recorder.rs crates/obs/src/report.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/prom.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/report.rs:
+crates/obs/src/trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/olsq2_obs-9b733c4be76d7f86.d: crates/obs/src/lib.rs crates/obs/src/prom.rs crates/obs/src/recorder.rs crates/obs/src/report.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/libolsq2_obs-9b733c4be76d7f86.rmeta: crates/obs/src/lib.rs crates/obs/src/prom.rs crates/obs/src/recorder.rs crates/obs/src/report.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/prom.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/report.rs:
+crates/obs/src/trace.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/olsq2_obs-e16e32219e5ec675.d: crates/obs/src/lib.rs crates/obs/src/prom.rs crates/obs/src/recorder.rs crates/obs/src/report.rs crates/obs/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolsq2_obs-e16e32219e5ec675.rmeta: crates/obs/src/lib.rs crates/obs/src/prom.rs crates/obs/src/recorder.rs crates/obs/src/report.rs crates/obs/src/trace.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/prom.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/report.rs:
+crates/obs/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

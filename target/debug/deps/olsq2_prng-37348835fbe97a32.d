@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/olsq2_prng-37348835fbe97a32.d: crates/prng/src/lib.rs
+
+/root/repo/target/debug/deps/libolsq2_prng-37348835fbe97a32.rmeta: crates/prng/src/lib.rs
+
+crates/prng/src/lib.rs:

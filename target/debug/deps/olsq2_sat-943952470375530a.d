@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/olsq2_sat-943952470375530a.d: crates/sat/src/lib.rs crates/sat/src/clause.rs crates/sat/src/heap.rs crates/sat/src/lit.rs crates/sat/src/preprocess.rs crates/sat/src/proof.rs crates/sat/src/solver.rs
+
+/root/repo/target/debug/deps/olsq2_sat-943952470375530a: crates/sat/src/lib.rs crates/sat/src/clause.rs crates/sat/src/heap.rs crates/sat/src/lit.rs crates/sat/src/preprocess.rs crates/sat/src/proof.rs crates/sat/src/solver.rs
+
+crates/sat/src/lib.rs:
+crates/sat/src/clause.rs:
+crates/sat/src/heap.rs:
+crates/sat/src/lit.rs:
+crates/sat/src/preprocess.rs:
+crates/sat/src/proof.rs:
+crates/sat/src/solver.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/olsq2_sat-c2ec16aa39fe82d9.d: crates/sat/src/lib.rs crates/sat/src/clause.rs crates/sat/src/heap.rs crates/sat/src/lit.rs crates/sat/src/preprocess.rs crates/sat/src/proof.rs crates/sat/src/solver.rs
+
+/root/repo/target/debug/deps/libolsq2_sat-c2ec16aa39fe82d9.rmeta: crates/sat/src/lib.rs crates/sat/src/clause.rs crates/sat/src/heap.rs crates/sat/src/lit.rs crates/sat/src/preprocess.rs crates/sat/src/proof.rs crates/sat/src/solver.rs
+
+crates/sat/src/lib.rs:
+crates/sat/src/clause.rs:
+crates/sat/src/heap.rs:
+crates/sat/src/lit.rs:
+crates/sat/src/preprocess.rs:
+crates/sat/src/proof.rs:
+crates/sat/src/solver.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/olsq2_sat-c7302d3f61cd8858.d: crates/sat/src/lib.rs crates/sat/src/clause.rs crates/sat/src/heap.rs crates/sat/src/lit.rs crates/sat/src/preprocess.rs crates/sat/src/proof.rs crates/sat/src/solver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolsq2_sat-c7302d3f61cd8858.rmeta: crates/sat/src/lib.rs crates/sat/src/clause.rs crates/sat/src/heap.rs crates/sat/src/lit.rs crates/sat/src/preprocess.rs crates/sat/src/proof.rs crates/sat/src/solver.rs Cargo.toml
+
+crates/sat/src/lib.rs:
+crates/sat/src/clause.rs:
+crates/sat/src/heap.rs:
+crates/sat/src/lit.rs:
+crates/sat/src/preprocess.rs:
+crates/sat/src/proof.rs:
+crates/sat/src/solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

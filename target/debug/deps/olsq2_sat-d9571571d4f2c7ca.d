@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/olsq2_sat-d9571571d4f2c7ca.d: crates/sat/src/lib.rs crates/sat/src/clause.rs crates/sat/src/heap.rs crates/sat/src/lit.rs crates/sat/src/preprocess.rs crates/sat/src/proof.rs crates/sat/src/solver.rs
+
+/root/repo/target/debug/deps/libolsq2_sat-d9571571d4f2c7ca.rlib: crates/sat/src/lib.rs crates/sat/src/clause.rs crates/sat/src/heap.rs crates/sat/src/lit.rs crates/sat/src/preprocess.rs crates/sat/src/proof.rs crates/sat/src/solver.rs
+
+/root/repo/target/debug/deps/libolsq2_sat-d9571571d4f2c7ca.rmeta: crates/sat/src/lib.rs crates/sat/src/clause.rs crates/sat/src/heap.rs crates/sat/src/lit.rs crates/sat/src/preprocess.rs crates/sat/src/proof.rs crates/sat/src/solver.rs
+
+crates/sat/src/lib.rs:
+crates/sat/src/clause.rs:
+crates/sat/src/heap.rs:
+crates/sat/src/lit.rs:
+crates/sat/src/preprocess.rs:
+crates/sat/src/proof.rs:
+crates/sat/src/solver.rs:

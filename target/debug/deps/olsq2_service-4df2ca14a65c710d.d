@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/olsq2_service-4df2ca14a65c710d.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/json.rs crates/service/src/manifest.rs crates/service/src/metrics.rs crates/service/src/request.rs crates/service/src/service.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolsq2_service-4df2ca14a65c710d.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/json.rs crates/service/src/manifest.rs crates/service/src/metrics.rs crates/service/src/request.rs crates/service/src/service.rs Cargo.toml
+
+crates/service/src/lib.rs:
+crates/service/src/cache.rs:
+crates/service/src/json.rs:
+crates/service/src/manifest.rs:
+crates/service/src/metrics.rs:
+crates/service/src/request.rs:
+crates/service/src/service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/olsq2_service-78e03ca8ae25b948.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/json.rs crates/service/src/manifest.rs crates/service/src/metrics.rs crates/service/src/request.rs crates/service/src/service.rs
+
+/root/repo/target/debug/deps/olsq2_service-78e03ca8ae25b948: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/json.rs crates/service/src/manifest.rs crates/service/src/metrics.rs crates/service/src/request.rs crates/service/src/service.rs
+
+crates/service/src/lib.rs:
+crates/service/src/cache.rs:
+crates/service/src/json.rs:
+crates/service/src/manifest.rs:
+crates/service/src/metrics.rs:
+crates/service/src/request.rs:
+crates/service/src/service.rs:

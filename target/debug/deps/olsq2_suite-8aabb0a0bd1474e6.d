@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/olsq2_suite-8aabb0a0bd1474e6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libolsq2_suite-8aabb0a0bd1474e6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libolsq2_suite-8aabb0a0bd1474e6.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/olsq2_suite-acdf58ab547e4419.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libolsq2_suite-acdf58ab547e4419.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/olsq2_suite-b9122732041ff483.d: src/lib.rs
+
+/root/repo/target/debug/deps/olsq2_suite-b9122732041ff483: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proof_checking-1388c8d4979e47e2.d: crates/sat/tests/proof_checking.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproof_checking-1388c8d4979e47e2.rmeta: crates/sat/tests/proof_checking.rs Cargo.toml
+
+crates/sat/tests/proof_checking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proof_checking-e78e29828db80e91.d: crates/sat/tests/proof_checking.rs
+
+/root/repo/target/debug/deps/proof_checking-e78e29828db80e91: crates/sat/tests/proof_checking.rs
+
+crates/sat/tests/proof_checking.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_encodings-6e604d698efc90d0.d: crates/encode/tests/prop_encodings.rs
+
+/root/repo/target/debug/deps/prop_encodings-6e604d698efc90d0: crates/encode/tests/prop_encodings.rs
+
+crates/encode/tests/prop_encodings.rs:

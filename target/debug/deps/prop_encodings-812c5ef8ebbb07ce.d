@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_encodings-812c5ef8ebbb07ce.d: crates/encode/tests/prop_encodings.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_encodings-812c5ef8ebbb07ce.rmeta: crates/encode/tests/prop_encodings.rs Cargo.toml
+
+crates/encode/tests/prop_encodings.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

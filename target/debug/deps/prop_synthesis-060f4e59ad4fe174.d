@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_synthesis-060f4e59ad4fe174.d: tests/prop_synthesis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_synthesis-060f4e59ad4fe174.rmeta: tests/prop_synthesis.rs Cargo.toml
+
+tests/prop_synthesis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

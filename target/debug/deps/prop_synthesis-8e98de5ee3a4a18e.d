@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_synthesis-8e98de5ee3a4a18e.d: tests/prop_synthesis.rs
+
+/root/repo/target/debug/deps/prop_synthesis-8e98de5ee3a4a18e: tests/prop_synthesis.rs
+
+tests/prop_synthesis.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qasm_pipeline-999123568e5f8eca.d: tests/qasm_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqasm_pipeline-999123568e5f8eca.rmeta: tests/qasm_pipeline.rs Cargo.toml
+
+tests/qasm_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qasm_pipeline-c47a52350ef6058a.d: tests/qasm_pipeline.rs
+
+/root/repo/target/debug/deps/qasm_pipeline-c47a52350ef6058a: tests/qasm_pipeline.rs
+
+tests/qasm_pipeline.rs:

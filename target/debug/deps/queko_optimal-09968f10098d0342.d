@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/queko_optimal-09968f10098d0342.d: tests/queko_optimal.rs
+
+/root/repo/target/debug/deps/queko_optimal-09968f10098d0342: tests/queko_optimal.rs
+
+tests/queko_optimal.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/queko_optimal-218e9c0fdfa102b8.d: tests/queko_optimal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqueko_optimal-218e9c0fdfa102b8.rmeta: tests/queko_optimal.rs Cargo.toml
+
+tests/queko_optimal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

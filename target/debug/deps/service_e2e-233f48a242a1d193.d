@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/service_e2e-233f48a242a1d193.d: crates/service/tests/service_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libservice_e2e-233f48a242a1d193.rmeta: crates/service/tests/service_e2e.rs Cargo.toml
+
+crates/service/tests/service_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

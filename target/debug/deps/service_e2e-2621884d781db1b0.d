@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/service_e2e-2621884d781db1b0.d: crates/service/tests/service_e2e.rs
+
+/root/repo/target/debug/deps/service_e2e-2621884d781db1b0: crates/service/tests/service_e2e.rs
+
+crates/service/tests/service_e2e.rs:

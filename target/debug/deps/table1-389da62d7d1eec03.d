@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-389da62d7d1eec03.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-389da62d7d1eec03: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

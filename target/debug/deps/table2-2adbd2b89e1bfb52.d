@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-2adbd2b89e1bfb52.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-2adbd2b89e1bfb52: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

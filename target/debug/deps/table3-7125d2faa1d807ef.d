@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-7125d2faa1d807ef.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-7125d2faa1d807ef: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

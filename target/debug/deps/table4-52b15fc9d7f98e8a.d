@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-52b15fc9d7f98e8a.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-52b15fc9d7f98e8a: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

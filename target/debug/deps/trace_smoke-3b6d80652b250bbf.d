@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_smoke-3b6d80652b250bbf.d: tests/trace_smoke.rs
+
+/root/repo/target/debug/deps/trace_smoke-3b6d80652b250bbf: tests/trace_smoke.rs
+
+tests/trace_smoke.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_smoke-5cb8ebeb2ac65715.d: tests/trace_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_smoke-5cb8ebeb2ac65715.rmeta: tests/trace_smoke.rs Cargo.toml
+
+tests/trace_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/qaoa_compare-52bc39d99ab9062c.d: examples/qaoa_compare.rs
+
+/root/repo/target/debug/examples/qaoa_compare-52bc39d99ab9062c: examples/qaoa_compare.rs
+
+examples/qaoa_compare.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/qaoa_compare-dd5224b75a26faa5.d: examples/qaoa_compare.rs Cargo.toml
+
+/root/repo/target/debug/examples/libqaoa_compare-dd5224b75a26faa5.rmeta: examples/qaoa_compare.rs Cargo.toml
+
+examples/qaoa_compare.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

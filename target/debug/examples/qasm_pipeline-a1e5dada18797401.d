@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/qasm_pipeline-a1e5dada18797401.d: examples/qasm_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libqasm_pipeline-a1e5dada18797401.rmeta: examples/qasm_pipeline.rs Cargo.toml
+
+examples/qasm_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/qasm_pipeline-f640cf6be5da42ba.d: examples/qasm_pipeline.rs
+
+/root/repo/target/debug/examples/qasm_pipeline-f640cf6be5da42ba: examples/qasm_pipeline.rs
+
+examples/qasm_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/queko_optimality-4c2299c6520d06fa.d: examples/queko_optimality.rs
+
+/root/repo/target/debug/examples/queko_optimality-4c2299c6520d06fa: examples/queko_optimality.rs
+
+examples/queko_optimality.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/queko_optimality-f37721fc7b536d18.d: examples/queko_optimality.rs Cargo.toml
+
+/root/repo/target/debug/examples/libqueko_optimality-f37721fc7b536d18.rmeta: examples/queko_optimality.rs Cargo.toml
+
+examples/queko_optimality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

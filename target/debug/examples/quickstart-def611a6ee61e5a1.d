@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-def611a6ee61e5a1.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-def611a6ee61e5a1: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["olsq2_sat",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"olsq2_sat/struct.Lit.html\" title=\"struct olsq2_sat::Lit\">Lit</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"olsq2_sat/struct.Var.html\" title=\"struct olsq2_sat::Var\">Var</a>",0]]],["olsq2_service",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"enum\" href=\"olsq2_service/request/enum.Priority.html\" title=\"enum olsq2_service::request::Priority\">Priority</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[483,288]}

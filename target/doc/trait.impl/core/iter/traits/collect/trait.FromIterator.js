@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["olsq2_circuit",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/iter/traits/collect/trait.FromIterator.html\" title=\"trait core::iter::traits::collect::FromIterator\">FromIterator</a>&lt;<a class=\"struct\" href=\"olsq2_circuit/struct.Gate.html\" title=\"struct olsq2_circuit::Gate\">Gate</a>&gt; for <a class=\"struct\" href=\"olsq2_circuit/struct.Circuit.html\" title=\"struct olsq2_circuit::Circuit\">Circuit</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[447]}

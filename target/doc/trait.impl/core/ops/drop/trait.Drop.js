@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["olsq2_obs",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/drop/trait.Drop.html\" title=\"trait core::ops::drop::Drop\">Drop</a> for <a class=\"struct\" href=\"olsq2_obs/struct.SpanGuard.html\" title=\"struct olsq2_obs::SpanGuard\">SpanGuard</a>",0]]],["olsq2_service",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/drop/trait.Drop.html\" title=\"trait core::ops::drop::Drop\">Drop</a> for <a class=\"struct\" href=\"olsq2_service/service/struct.SynthesisService.html\" title=\"struct olsq2_service::service::SynthesisService\">SynthesisService</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[281,332]}

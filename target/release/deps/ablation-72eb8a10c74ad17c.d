@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-72eb8a10c74ad17c.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-72eb8a10c74ad17c: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-9a69a3401abd5b8b.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-9a69a3401abd5b8b: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cnf_solve-44e180575c351cbc.d: crates/encode/src/bin/cnf_solve.rs
+
+/root/repo/target/release/deps/cnf_solve-44e180575c351cbc: crates/encode/src/bin/cnf_solve.rs
+
+crates/encode/src/bin/cnf_solve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-7aad0f3f675e9909.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-7aad0f3f675e9909: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-db27f6318ccb3184.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-db27f6318ccb3184: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

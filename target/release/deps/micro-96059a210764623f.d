@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-96059a210764623f.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-96059a210764623f: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

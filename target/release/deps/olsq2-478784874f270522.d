@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/olsq2-478784874f270522.d: crates/cli/src/bin/olsq2.rs
+
+/root/repo/target/release/deps/olsq2-478784874f270522: crates/cli/src/bin/olsq2.rs
+
+crates/cli/src/bin/olsq2.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/olsq2-b79cf271b1f77636.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/incumbent.rs crates/core/src/model.rs crates/core/src/optimize.rs crates/core/src/portfolio.rs crates/core/src/transition.rs crates/core/src/vars.rs
+
+/root/repo/target/release/deps/libolsq2-b79cf271b1f77636.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/incumbent.rs crates/core/src/model.rs crates/core/src/optimize.rs crates/core/src/portfolio.rs crates/core/src/transition.rs crates/core/src/vars.rs
+
+/root/repo/target/release/deps/libolsq2-b79cf271b1f77636.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/incumbent.rs crates/core/src/model.rs crates/core/src/optimize.rs crates/core/src/portfolio.rs crates/core/src/transition.rs crates/core/src/vars.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/incumbent.rs:
+crates/core/src/model.rs:
+crates/core/src/optimize.rs:
+crates/core/src/portfolio.rs:
+crates/core/src/transition.rs:
+crates/core/src/vars.rs:

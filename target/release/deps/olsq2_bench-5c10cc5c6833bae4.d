@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/olsq2_bench-5c10cc5c6833bae4.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libolsq2_bench-5c10cc5c6833bae4.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libolsq2_bench-5c10cc5c6833bae4.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/olsq2_bench-b56510714cfd22a6.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/olsq2_bench-b56510714cfd22a6: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

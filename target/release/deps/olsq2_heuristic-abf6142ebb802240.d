@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/olsq2_heuristic-abf6142ebb802240.d: crates/heuristic/src/lib.rs crates/heuristic/src/astar.rs crates/heuristic/src/retime.rs crates/heuristic/src/sabre.rs crates/heuristic/src/satmap.rs
+
+/root/repo/target/release/deps/libolsq2_heuristic-abf6142ebb802240.rlib: crates/heuristic/src/lib.rs crates/heuristic/src/astar.rs crates/heuristic/src/retime.rs crates/heuristic/src/sabre.rs crates/heuristic/src/satmap.rs
+
+/root/repo/target/release/deps/libolsq2_heuristic-abf6142ebb802240.rmeta: crates/heuristic/src/lib.rs crates/heuristic/src/astar.rs crates/heuristic/src/retime.rs crates/heuristic/src/sabre.rs crates/heuristic/src/satmap.rs
+
+crates/heuristic/src/lib.rs:
+crates/heuristic/src/astar.rs:
+crates/heuristic/src/retime.rs:
+crates/heuristic/src/sabre.rs:
+crates/heuristic/src/satmap.rs:

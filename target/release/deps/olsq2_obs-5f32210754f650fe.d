@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/olsq2_obs-5f32210754f650fe.d: crates/obs/src/lib.rs crates/obs/src/prom.rs crates/obs/src/recorder.rs crates/obs/src/report.rs crates/obs/src/trace.rs
+
+/root/repo/target/release/deps/libolsq2_obs-5f32210754f650fe.rlib: crates/obs/src/lib.rs crates/obs/src/prom.rs crates/obs/src/recorder.rs crates/obs/src/report.rs crates/obs/src/trace.rs
+
+/root/repo/target/release/deps/libolsq2_obs-5f32210754f650fe.rmeta: crates/obs/src/lib.rs crates/obs/src/prom.rs crates/obs/src/recorder.rs crates/obs/src/report.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/prom.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/report.rs:
+crates/obs/src/trace.rs:

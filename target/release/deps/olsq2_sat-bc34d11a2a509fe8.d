@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/olsq2_sat-bc34d11a2a509fe8.d: crates/sat/src/lib.rs crates/sat/src/clause.rs crates/sat/src/heap.rs crates/sat/src/lit.rs crates/sat/src/preprocess.rs crates/sat/src/proof.rs crates/sat/src/solver.rs
+
+/root/repo/target/release/deps/libolsq2_sat-bc34d11a2a509fe8.rlib: crates/sat/src/lib.rs crates/sat/src/clause.rs crates/sat/src/heap.rs crates/sat/src/lit.rs crates/sat/src/preprocess.rs crates/sat/src/proof.rs crates/sat/src/solver.rs
+
+/root/repo/target/release/deps/libolsq2_sat-bc34d11a2a509fe8.rmeta: crates/sat/src/lib.rs crates/sat/src/clause.rs crates/sat/src/heap.rs crates/sat/src/lit.rs crates/sat/src/preprocess.rs crates/sat/src/proof.rs crates/sat/src/solver.rs
+
+crates/sat/src/lib.rs:
+crates/sat/src/clause.rs:
+crates/sat/src/heap.rs:
+crates/sat/src/lit.rs:
+crates/sat/src/preprocess.rs:
+crates/sat/src/proof.rs:
+crates/sat/src/solver.rs:

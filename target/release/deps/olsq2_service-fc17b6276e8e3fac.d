@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/olsq2_service-fc17b6276e8e3fac.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/json.rs crates/service/src/manifest.rs crates/service/src/metrics.rs crates/service/src/request.rs crates/service/src/service.rs
+
+/root/repo/target/release/deps/libolsq2_service-fc17b6276e8e3fac.rlib: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/json.rs crates/service/src/manifest.rs crates/service/src/metrics.rs crates/service/src/request.rs crates/service/src/service.rs
+
+/root/repo/target/release/deps/libolsq2_service-fc17b6276e8e3fac.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/json.rs crates/service/src/manifest.rs crates/service/src/metrics.rs crates/service/src/request.rs crates/service/src/service.rs
+
+crates/service/src/lib.rs:
+crates/service/src/cache.rs:
+crates/service/src/json.rs:
+crates/service/src/manifest.rs:
+crates/service/src/metrics.rs:
+crates/service/src/request.rs:
+crates/service/src/service.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/olsq2_suite-feca4c9de3bf520c.d: src/lib.rs
+
+/root/repo/target/release/deps/libolsq2_suite-feca4c9de3bf520c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libolsq2_suite-feca4c9de3bf520c.rmeta: src/lib.rs
+
+src/lib.rs:

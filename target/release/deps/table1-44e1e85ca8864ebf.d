@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-44e1e85ca8864ebf.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-44e1e85ca8864ebf: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

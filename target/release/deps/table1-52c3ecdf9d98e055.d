@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-52c3ecdf9d98e055.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-52c3ecdf9d98e055: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-30dafc3f0ffb4a02.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-30dafc3f0ffb4a02: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-e881914cb2161604.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-e881914cb2161604: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

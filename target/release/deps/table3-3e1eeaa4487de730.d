@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-3e1eeaa4487de730.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-3e1eeaa4487de730: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-8fc7f34ee520e0bd.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-8fc7f34ee520e0bd: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

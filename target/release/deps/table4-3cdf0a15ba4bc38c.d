@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-3cdf0a15ba4bc38c.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-3cdf0a15ba4bc38c: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-94ed0e69c9529b08.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-94ed0e69c9529b08: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:
