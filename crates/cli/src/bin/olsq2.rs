@@ -4,6 +4,7 @@
 //! olsq2 --qasm <file|-> --device <name> [--objective depth|swaps|blocks]
 //!       [--swap-duration N] [--budget SECS] [--encoding int|bv|euf]
 //!       [--tool olsq2|tb|sabre|satmap|astar|portfolio] [--output out.qasm]
+//!       [--diversify N] [--portfolio-share]
 //!       [--trace-out trace.jsonl] [--report]
 //!
 //! olsq2 serve-batch --manifest <file|-> [--output <file|->]
@@ -30,7 +31,8 @@
 //! JSONL trace as the span-tree report offline.
 
 use olsq2::{
-    EncodingConfig, Olsq2Synthesizer, PortfolioSynthesizer, SynthesisConfig, TbOlsq2Synthesizer,
+    EncodingConfig, Olsq2Synthesizer, PortfolioConfig, PortfolioReport, PortfolioSynthesizer,
+    SynthesisConfig, TbOlsq2Synthesizer,
 };
 use olsq2_arch::device_by_name;
 use olsq2_circuit::{parse_qasm, write_qasm};
@@ -44,6 +46,7 @@ fn usage() -> ! {
         "usage: olsq2 --qasm <file|-> --device <name> \\
           [--objective depth|swaps] [--tool olsq2|tb|sabre|satmap|astar|portfolio] \\
           [--swap-duration N] [--budget SECS] [--encoding int|bv|euf] [--output out.qasm] \\
+          [--diversify N] [--portfolio-share] \\
           [--trace-out trace.jsonl] [--report]
        olsq2 serve-batch --manifest <file|-> [--output <file|->] \\
           [--workers N] [--queue N] [--cache N] \\
@@ -280,6 +283,8 @@ fn main() {
     let mut output: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut report = false;
+    let mut diversify = 1usize;
+    let mut portfolio_share = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -301,6 +306,13 @@ fn main() {
             "--output" => output = Some(val(&mut args)),
             "--trace-out" => trace_out = Some(val(&mut args)),
             "--report" => report = true,
+            "--diversify" => {
+                diversify = val(&mut args).parse().unwrap_or_else(|_| usage());
+                if diversify == 0 {
+                    usage();
+                }
+            }
+            "--portfolio-share" => portfolio_share = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -390,18 +402,26 @@ fn main() {
             out.outcome.result
         }
         ("portfolio", "depth") => {
-            let (out, winner) = PortfolioSynthesizer::standard(config)
-                .optimize_depth(&circuit, &device)
+            let mut cfg = PortfolioConfig::standard().diversify(diversify);
+            if portfolio_share {
+                cfg = cfg.with_sharing();
+            }
+            let report = PortfolioSynthesizer::with_config(config, &cfg)
+                .optimize_depth_report(&circuit, &device)
                 .unwrap_or_else(|e| fail(&e));
-            eprintln!("portfolio winner: member {winner}");
-            out.result
+            describe_portfolio(&report);
+            report.outcome.result
         }
         ("portfolio", "swaps") => {
-            let (out, winner) = PortfolioSynthesizer::standard(config)
-                .optimize_swaps(&circuit, &device)
+            let mut cfg = PortfolioConfig::standard().diversify(diversify);
+            if portfolio_share {
+                cfg = cfg.with_sharing();
+            }
+            let report = PortfolioSynthesizer::with_config(config, &cfg)
+                .optimize_swaps_report(&circuit, &device)
                 .unwrap_or_else(|e| fail(&e));
-            eprintln!("portfolio winner: member {winner}");
-            out.result
+            describe_portfolio(&report);
+            report.outcome.result
         }
         ("sabre", _) => {
             let cfg = olsq2_heuristic::SabreConfig {
@@ -453,6 +473,20 @@ fn main() {
             });
             eprintln!("wrote physical circuit to {path}");
         }
+    }
+}
+
+fn describe_portfolio(report: &PortfolioReport) {
+    eprintln!(
+        "portfolio winner: member {} of {}",
+        report.winner,
+        report.members.len()
+    );
+    if let Some(s) = &report.sharing {
+        eprintln!(
+            "clause sharing: {} exported, {} imported, {} filtered",
+            s.exported, s.imported, s.filtered
+        );
     }
 }
 

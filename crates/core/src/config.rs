@@ -1,6 +1,9 @@
-//! Synthesis configuration: encoding choices and budgets.
+//! Synthesis configuration: encoding choices, budgets, and solver
+//! diversification.
 
 use olsq2_encode::{AmoEncoding, CardEncoding};
+use olsq2_sat::{ClauseExchange, ExchangeFilter, Solver};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// How the finite-domain mapping variables `π_q^t` are encoded
@@ -107,6 +110,84 @@ impl EncodingConfig {
     }
 }
 
+/// Solver diversification knobs for portfolio members (HordeSat-style).
+///
+/// Racing several *identical* solvers on the same encoding is pointless —
+/// they explore the same search tree. These knobs perturb branching,
+/// polarity, activity decay, and the restart schedule so same-encoding
+/// cohort members diverge, which is both a win on its own (different
+/// member finds the answer first) and what makes learned-clause sharing
+/// profitable (members learn *different* clauses).
+///
+/// Every field is optional; `None` keeps the solver default, so
+/// `SolverDiversification::default()` is an exact no-op and a diversified
+/// run with one member is bit-identical to an undiversified one.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SolverDiversification {
+    /// Seed for randomized branching (~1/64 decisions pick a random
+    /// unassigned variable). `None` = deterministic VSIDS.
+    pub decision_seed: Option<u64>,
+    /// Saved-phase polarity for never-assigned variables.
+    pub default_phase: Option<bool>,
+    /// VSIDS activity decay factor in `(0, 1)`.
+    pub var_decay: Option<f64>,
+    /// Luby restart unit in conflicts.
+    pub restart_base: Option<u64>,
+}
+
+impl SolverDiversification {
+    /// Whether applying this diversification changes nothing.
+    pub fn is_noop(&self) -> bool {
+        *self == SolverDiversification::default()
+    }
+
+    /// Applies the set knobs to a solver (unset knobs are left alone).
+    pub fn apply(&self, solver: &mut Solver) {
+        if let Some(seed) = self.decision_seed {
+            solver.set_decision_seed(Some(seed));
+        }
+        if let Some(phase) = self.default_phase {
+            solver.set_default_phase(phase);
+        }
+        if let Some(decay) = self.var_decay {
+            solver.set_var_decay(decay);
+        }
+        if let Some(base) = self.restart_base {
+            solver.set_restart_base(base);
+        }
+    }
+
+    /// The `index`-th member of a seeded diversification family.
+    ///
+    /// Index 0 is always the no-op (the cohort keeps one vanilla member,
+    /// so a diversified portfolio can never do worse than the plain one
+    /// on a single-threaded machine). Higher indices draw a decision
+    /// seed, polarity, decay, and restart base from a splitmix64 stream,
+    /// so any `(seed, index)` pair is reproducible.
+    pub fn variant(seed: u64, index: usize) -> Self {
+        if index == 0 {
+            return SolverDiversification::default();
+        }
+        // splitmix64 over (seed, index): cheap, well-mixed, stateless.
+        let mut x = seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        const DECAYS: [f64; 4] = [0.90, 0.93, 0.95, 0.99];
+        const BASES: [u64; 4] = [50, 100, 150, 300];
+        SolverDiversification {
+            decision_seed: Some(next() | 1),
+            default_phase: Some(next() & 1 == 1),
+            var_decay: Some(DECAYS[(next() % DECAYS.len() as u64) as usize]),
+            restart_base: Some(BASES[(next() % BASES.len() as u64) as usize]),
+        }
+    }
+}
+
 /// Budgets and model parameters for a synthesis run.
 #[derive(Debug, Clone)]
 pub struct SynthesisConfig {
@@ -152,6 +233,19 @@ pub struct SynthesisConfig {
     /// restart/reduce events into it. The default disabled recorder costs
     /// one branch per emission site.
     pub recorder: olsq2_obs::Recorder,
+    /// Solver diversification knobs (see [`SolverDiversification`]);
+    /// applied to every solver this run builds. The default is a no-op.
+    pub diversification: SolverDiversification,
+    /// Learned-clause sharing medium. When set, every solver this run
+    /// builds exports learnts passing [`Self::exchange_filter`] and
+    /// imports foreign clauses at restart boundaries. Installed by the
+    /// portfolio driver; the medium MUST fence clauses to identical
+    /// variable spaces (the model builders call
+    /// [`ClauseExchange::bind_space`] with a formula fingerprint at every
+    /// rebuild so it can).
+    pub clause_exchange: Option<Arc<dyn ClauseExchange>>,
+    /// Export quality gate for [`Self::clause_exchange`].
+    pub exchange_filter: ExchangeFilter,
 }
 
 impl Default for SynthesisConfig {
@@ -168,6 +262,9 @@ impl Default for SynthesisConfig {
             seed_variable_order: false,
             commutation_aware: false,
             recorder: olsq2_obs::Recorder::disabled(),
+            diversification: SolverDiversification::default(),
+            clause_exchange: None,
+            exchange_filter: ExchangeFilter::default(),
         }
     }
 }
@@ -196,6 +293,31 @@ mod tests {
             MappingEncoding::InverseOneHot
         );
         assert_eq!(EncodingConfig::euf_bv().time, TimeEncoding::Binary);
+    }
+
+    #[test]
+    fn diversification_variant_zero_is_noop() {
+        assert!(SolverDiversification::variant(42, 0).is_noop());
+        assert!(!SolverDiversification::variant(42, 1).is_noop());
+    }
+
+    #[test]
+    fn diversification_variants_are_reproducible_and_distinct() {
+        let a = SolverDiversification::variant(7, 1);
+        let b = SolverDiversification::variant(7, 1);
+        assert_eq!(a, b);
+        let c = SolverDiversification::variant(7, 2);
+        // Different index must at least change the decision seed.
+        assert_ne!(a.decision_seed, c.decision_seed);
+        let d = SolverDiversification::variant(8, 1);
+        assert_ne!(a.decision_seed, d.decision_seed);
+    }
+
+    #[test]
+    fn diversification_applies_cleanly() {
+        let mut s = Solver::new();
+        SolverDiversification::variant(3, 5).apply(&mut s);
+        SolverDiversification::default().apply(&mut s); // no-op path
     }
 
     #[test]

@@ -44,15 +44,22 @@ pub mod incumbent;
 pub mod model;
 pub mod optimize;
 pub mod portfolio;
+pub mod sharing;
 pub mod transition;
 pub mod vars;
 
-pub use config::{EncodingConfig, MappingEncoding, SynthesisConfig, TimeEncoding};
+pub use config::{
+    EncodingConfig, MappingEncoding, SolverDiversification, SynthesisConfig, TimeEncoding,
+};
 // Re-exported so downstream users can enable tracing without naming the
 // obs crate explicitly.
 pub use incumbent::IncumbentSlot;
 pub use model::{FlatModel, ModelError, ModelStyle};
 pub use olsq2_obs::Recorder;
+// Re-exported so portfolio users can tune sharing without naming the sat
+// crate explicitly.
+pub use olsq2_sat::{ClauseExchange, ExchangeFilter};
 pub use optimize::{Olsq2Synthesizer, SwapOptimizationOutcome, SynthesisError, SynthesisOutcome};
-pub use portfolio::{MemberOutcome, PortfolioReport, PortfolioSynthesizer};
+pub use portfolio::{MemberOutcome, PortfolioConfig, PortfolioReport, PortfolioSynthesizer};
+pub use sharing::{CohortEndpoint, SharedClausePool, SharingStats};
 pub use transition::{TbOlsq2Synthesizer, TbOutcome};

@@ -507,6 +507,23 @@ impl FlatModel {
             }
         }
 
+        config.diversification.apply(&mut solver);
+        if let Some(exchange) = &config.clause_exchange {
+            // Fence clauses to this exact formula build: identical
+            // (style, window, encoding, size) builds — and only those —
+            // share a fingerprint, so cohort members exchange clauses
+            // while their variable spaces provably coincide. Variables
+            // allocated after this point (activation literals, bound
+            // machinery) are member-local and excluded via the
+            // build-time variable count.
+            exchange.bind_space(
+                Self::space_fingerprint(style, t_ub, sd, &enc, &solver),
+                solver.num_vars(),
+            );
+            solver.set_exchange_filter(config.exchange_filter);
+            solver.set_exchange(Some(exchange.clone()));
+        }
+
         Ok(FlatModel {
             solver,
             mapping,
@@ -520,6 +537,30 @@ impl FlatModel {
             num_gates: circuit.num_gates(),
             tally,
         })
+    }
+
+    /// Hash identifying one formula build for the clause-sharing fence.
+    /// Model construction is deterministic, so equal inputs yield equal
+    /// variable numberings; the formula size is folded in as a guard
+    /// against accidental collisions across circuits/devices.
+    fn space_fingerprint(
+        style: ModelStyle,
+        t_ub: usize,
+        sd: usize,
+        enc: &crate::EncodingConfig,
+        solver: &Solver,
+    ) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        "olsq2.flat".hash(&mut h);
+        style.hash(&mut h);
+        t_ub.hash(&mut h);
+        sd.hash(&mut h);
+        enc.hash(&mut h);
+        solver.num_vars().hash(&mut h);
+        solver.num_clauses().hash(&mut h);
+        // 0 means "unbound" to the endpoint; steer clear of it.
+        h.finish() | 1
     }
 
     /// The depth window `T_UB` the model was built for.

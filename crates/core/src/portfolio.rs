@@ -8,14 +8,122 @@
 //! encoding configuration on its own thread; the first member to finish
 //! wins and the rest are cancelled through the solver's cooperative stop
 //! flag.
+//!
+//! Beyond racing encodings, the portfolio supports HordeSat-style
+//! cooperation: [`PortfolioConfig::diversify`] expands each encoding
+//! into a cohort of seed-diversified members (randomized branching,
+//! polarity, decay, restart schedule), and [`PortfolioConfig::with_sharing`]
+//! wires each cohort to a [`SharedClausePool`]
+//! so members trade learned clauses. Clauses only flow inside a cohort —
+//! between solvers over the same variable space — enforced by the
+//! fingerprint fence described in the [`crate::sharing`] module docs.
 
-use crate::config::{EncodingConfig, SynthesisConfig};
+use crate::config::{EncodingConfig, SolverDiversification, SynthesisConfig};
 use crate::optimize::{Olsq2Synthesizer, SynthesisError, SynthesisOutcome};
+use crate::sharing::{CohortEndpoint, SharedClausePool, SharingStats};
 use olsq2_arch::CouplingGraph;
 use olsq2_circuit::Circuit;
+use olsq2_sat::ClauseExchange;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
+
+/// Shape of a portfolio: which encodings run, how many seed-diversified
+/// members each encoding expands into, and whether cohorts share learned
+/// clauses.
+///
+/// # Examples
+///
+/// ```
+/// use olsq2::PortfolioConfig;
+/// // Two encodings × 2 diversified members, trading clauses: 4 threads.
+/// let cfg = PortfolioConfig::standard().diversify(2).with_sharing();
+/// assert!(cfg.share);
+/// assert_eq!(cfg.per_encoding, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortfolioConfig {
+    /// The encodings to race (one cohort each).
+    pub encodings: Vec<EncodingConfig>,
+    /// Members per encoding; members beyond the first in each cohort get
+    /// seed-diversified solver knobs ([`SolverDiversification::variant`]).
+    pub per_encoding: usize,
+    /// Wire same-encoding cohorts to a shared learned-clause pool.
+    pub share: bool,
+    /// Seed for the diversification stream (reproducible portfolios).
+    pub seed: u64,
+    /// Clause capacity of each member's pool shard when sharing.
+    pub pool_capacity: usize,
+}
+
+impl Default for PortfolioConfig {
+    fn default() -> Self {
+        PortfolioConfig {
+            encodings: vec![
+                EncodingConfig::int(),
+                EncodingConfig::bv(),
+                EncodingConfig::euf_int(),
+            ],
+            per_encoding: 1,
+            share: false,
+            seed: 0x0152_C0DE,
+            pool_capacity: 4096,
+        }
+    }
+}
+
+impl PortfolioConfig {
+    /// The standard three-encoding portfolio, one member each, no sharing
+    /// (matches [`PortfolioSynthesizer::standard`]).
+    pub fn standard() -> Self {
+        Self::default()
+    }
+
+    /// Expands every encoding into a cohort of `n` seed-diversified
+    /// members. The first member of each cohort keeps vanilla solver
+    /// settings, so `diversify(1)` is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0.
+    pub fn diversify(mut self, n: usize) -> Self {
+        assert!(n > 0, "each encoding needs at least one member");
+        self.per_encoding = n;
+        self
+    }
+
+    /// Enables learned-clause sharing inside each same-encoding cohort.
+    pub fn with_sharing(mut self) -> Self {
+        self.share = true;
+        self
+    }
+
+    /// Sets the diversification seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the encoding list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `encodings` is empty.
+    pub fn with_encodings(mut self, encodings: Vec<EncodingConfig>) -> Self {
+        assert!(
+            !encodings.is_empty(),
+            "portfolio needs at least one encoding"
+        );
+        self.encodings = encodings;
+        self
+    }
+
+    /// Total member count (`encodings × per_encoding`).
+    pub fn num_members(&self) -> usize {
+        self.encodings.len() * self.per_encoding
+    }
+}
 
 /// A parallel portfolio of OLSQ2 configurations (§V future direction).
 ///
@@ -45,6 +153,10 @@ use std::sync::Arc;
 #[derive(Debug, Clone)]
 pub struct PortfolioSynthesizer {
     members: Vec<SynthesisConfig>,
+    /// Wire same-encoding cohorts to a shared clause pool during races.
+    share: bool,
+    /// Per-shard clause capacity for the cohort pools.
+    pool_capacity: usize,
 }
 
 /// What happened to one portfolio member during a race.
@@ -85,6 +197,9 @@ pub struct PortfolioReport {
     pub winner: usize,
     /// Per-member fates, indexed like the member configurations.
     pub members: Vec<MemberOutcome>,
+    /// Aggregate clause-sharing volumes, when sharing was enabled
+    /// (`None` for a non-sharing portfolio).
+    pub sharing: Option<SharingStats>,
 }
 
 impl PortfolioSynthesizer {
@@ -95,24 +210,60 @@ impl PortfolioSynthesizer {
     /// Panics if `members` is empty.
     pub fn new(members: Vec<SynthesisConfig>) -> PortfolioSynthesizer {
         assert!(!members.is_empty(), "portfolio needs at least one member");
-        PortfolioSynthesizer { members }
+        PortfolioSynthesizer {
+            members,
+            share: false,
+            pool_capacity: PortfolioConfig::default().pool_capacity,
+        }
     }
 
     /// The standard portfolio: the base configuration with the one-hot,
     /// bit-vector, and inverse-channeling encodings.
     pub fn standard(base: SynthesisConfig) -> PortfolioSynthesizer {
-        let members = [
-            EncodingConfig::int(),
-            EncodingConfig::bv(),
-            EncodingConfig::euf_int(),
-        ]
-        .into_iter()
-        .map(|encoding| SynthesisConfig {
-            encoding,
-            ..base.clone()
-        })
-        .collect();
-        PortfolioSynthesizer { members }
+        Self::with_config(base, &PortfolioConfig::standard())
+    }
+
+    /// Builds a portfolio from a base configuration and a
+    /// [`PortfolioConfig`] shape: one cohort per encoding, `per_encoding`
+    /// seed-diversified members each, optional clause sharing inside
+    /// cohorts.
+    pub fn with_config(base: SynthesisConfig, cfg: &PortfolioConfig) -> PortfolioSynthesizer {
+        assert!(
+            !cfg.encodings.is_empty(),
+            "portfolio needs at least one member"
+        );
+        assert!(
+            cfg.per_encoding > 0,
+            "portfolio needs at least one member per encoding"
+        );
+        let mut members = Vec::with_capacity(cfg.num_members());
+        for (e, &encoding) in cfg.encodings.iter().enumerate() {
+            for k in 0..cfg.per_encoding {
+                members.push(SynthesisConfig {
+                    encoding,
+                    // Index 0 in each cohort keeps vanilla settings; the
+                    // per-cohort seed twist keeps cohorts from mirroring
+                    // each other's variants.
+                    diversification: SolverDiversification::variant(
+                        cfg.seed ^ (e as u64).wrapping_mul(0xA5A5_A5A5_A5A5_A5A5),
+                        k,
+                    ),
+                    ..base.clone()
+                });
+            }
+        }
+        PortfolioSynthesizer {
+            members,
+            share: cfg.share,
+            pool_capacity: cfg.pool_capacity,
+        }
+    }
+
+    /// Enables learned-clause sharing inside same-encoding cohorts for an
+    /// explicitly constructed portfolio (see [`PortfolioConfig::with_sharing`]).
+    pub fn enable_sharing(mut self) -> PortfolioSynthesizer {
+        self.share = true;
+        self
     }
 
     /// Number of member configurations.
@@ -197,11 +348,14 @@ impl PortfolioSynthesizer {
             + Sync,
     {
         let stop = Arc::new(AtomicBool::new(false));
+        let endpoints = self.make_endpoints();
         let (tx, rx) = mpsc::channel::<(usize, Result<SynthesisOutcome, SynthesisError>)>();
         std::thread::scope(|scope| {
             for (idx, member) in self.members.iter().enumerate() {
                 let mut config = member.clone();
                 config.stop_flag = Some(stop.clone());
+                config.clause_exchange =
+                    endpoints[idx].clone().map(|e| e as Arc<dyn ClauseExchange>);
                 let tx = tx.clone();
                 let run = &run;
                 scope.spawn(move || {
@@ -241,6 +395,24 @@ impl PortfolioSynthesizer {
                     }
                 });
             }
+            // Per-member win-fate counters (obs: `portfolio.*`).
+            for (idx, fate) in fates.iter().enumerate() {
+                let recorder = &self.members[idx].recorder;
+                if !recorder.is_enabled() {
+                    continue;
+                }
+                if let Some(fate) = fate {
+                    recorder.add(
+                        match fate {
+                            MemberOutcome::Won(_) => "portfolio.won",
+                            MemberOutcome::Finished(_) => "portfolio.finished",
+                            MemberOutcome::Cancelled => "portfolio.cancelled",
+                            MemberOutcome::Failed(_) => "portfolio.failed",
+                        },
+                        1,
+                    );
+                }
+            }
             match winner {
                 Some(w) => {
                     let members: Vec<MemberOutcome> = fates
@@ -255,11 +427,52 @@ impl PortfolioSynthesizer {
                         outcome,
                         winner: w,
                         members,
+                        sharing: self.share.then(|| {
+                            endpoints
+                                .iter()
+                                .flatten()
+                                .fold(SharingStats::default(), |acc, e| {
+                                    let s = e.stats();
+                                    SharingStats {
+                                        exported: acc.exported + s.exported,
+                                        imported: acc.imported + s.imported,
+                                        filtered: acc.filtered + s.filtered,
+                                    }
+                                })
+                        }),
                     })
                 }
                 None => Err(first_error.unwrap_or(SynthesisError::BudgetExhausted)),
             }
         })
+    }
+
+    /// One [`CohortEndpoint`] per member of every same-encoding cohort of
+    /// size ≥ 2 (when sharing is on); `None` elsewhere. Singleton cohorts
+    /// get no endpoint — they would have nobody to trade with.
+    fn make_endpoints(&self) -> Vec<Option<Arc<CohortEndpoint>>> {
+        let mut endpoints: Vec<Option<Arc<CohortEndpoint>>> = vec![None; self.members.len()];
+        if !self.share {
+            return endpoints;
+        }
+        let mut cohorts: HashMap<EncodingConfig, Vec<usize>> = HashMap::new();
+        for (idx, member) in self.members.iter().enumerate() {
+            cohorts.entry(member.encoding).or_default().push(idx);
+        }
+        for indices in cohorts.into_values() {
+            if indices.len() < 2 {
+                continue;
+            }
+            let pool = Arc::new(SharedClausePool::new(indices.len(), self.pool_capacity));
+            for (slot, &idx) in indices.iter().enumerate() {
+                endpoints[idx] = Some(Arc::new(CohortEndpoint::new(
+                    pool.clone(),
+                    slot,
+                    self.members[idx].recorder.clone(),
+                )));
+            }
+        }
+        endpoints
     }
 }
 
@@ -305,6 +518,43 @@ mod tests {
         let portfolio = PortfolioSynthesizer::standard(base);
         let (outcome, _) = portfolio.optimize_swaps(&circuit, &graph).expect("solves");
         assert_eq!(verify(&circuit, &graph, &outcome.result), Ok(()));
+    }
+
+    #[test]
+    fn diversified_sharing_race_matches_single_and_reports_stats() {
+        let circuit = triangle();
+        let graph = line(3);
+        let base = SynthesisConfig::with_swap_duration(1);
+        let single = Olsq2Synthesizer::new(base.clone())
+            .optimize_depth(&circuit, &graph)
+            .expect("solves");
+        let cfg = PortfolioConfig::standard()
+            .with_encodings(vec![EncodingConfig::int()])
+            .diversify(3)
+            .with_sharing()
+            .with_seed(11);
+        let portfolio = PortfolioSynthesizer::with_config(base, &cfg);
+        assert_eq!(portfolio.num_members(), 3);
+        let report = portfolio
+            .optimize_depth_report(&circuit, &graph)
+            .expect("solves");
+        assert_eq!(report.outcome.result.depth, single.result.depth);
+        assert_eq!(verify(&circuit, &graph, &report.outcome.result), Ok(()));
+        // Sharing was on: stats must be present (volumes may be zero on
+        // an instance this tiny, but the wiring must be there).
+        assert!(report.sharing.is_some());
+        assert_eq!(report.members.len(), 3);
+    }
+
+    #[test]
+    fn non_sharing_report_has_no_stats() {
+        let circuit = triangle();
+        let graph = line(3);
+        let portfolio = PortfolioSynthesizer::standard(SynthesisConfig::with_swap_duration(1));
+        let report = portfolio
+            .optimize_depth_report(&circuit, &graph)
+            .expect("solves");
+        assert!(report.sharing.is_none());
     }
 
     #[test]

@@ -1,0 +1,391 @@
+//! The portfolio's clause-sharing medium: a sharded in-memory pool and
+//! the per-member [`CohortEndpoint`] that implements the solver-side
+//! [`ClauseExchange`] hooks.
+//!
+//! # Design
+//!
+//! [`SharedClausePool`] holds one bounded ring buffer per *producer*
+//! member. A member publishes into its own shard (single writer per
+//! shard, so publishing never contends with other producers) and each
+//! consumer keeps a private cursor per foreign shard, so every clause is
+//! delivered to every other member at most once. A shard-level atomic
+//! sequence number lets consumers skip shards with nothing new without
+//! taking the lock. All of it is `std` only: `Arc`, `Mutex`,
+//! `AtomicU64` — no external dependencies.
+//!
+//! # Soundness fence
+//!
+//! Clauses are only valid between solvers over the *identical* variable
+//! space, and cohort members do not keep identical spaces for free: the
+//! optimization loops rebuild their model whenever the depth window
+//! grows, and the bound machinery (cardinality networks, activation
+//! literals) allocates variables in member-local order. The fence is:
+//!
+//! 1. Every model build computes a **space fingerprint** (hashing the
+//!    encoding configuration, model style, and base variable count) and
+//!    calls [`ClauseExchange::bind_space`] with it plus the build-time
+//!    variable count.
+//! 2. The endpoint refuses to export clauses mentioning variables
+//!    allocated *after* build (activation literals, bound machinery) —
+//!    those numberings are member-local.
+//! 3. Published clauses carry the exporter's fingerprint; on import the
+//!    endpoint drops clauses whose fingerprint differs from its own
+//!    current one.
+//!
+//! So two members exchange clauses exactly while they demonstrably sit
+//! on the same formula build, and go quiet (rather than unsound) when
+//! their windows diverge.
+
+use olsq2_obs::Recorder;
+use olsq2_sat::{ClauseExchange, Lit};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Aggregate clause-sharing volumes for a portfolio run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharingStats {
+    /// Clauses exported into the pool (passed the quality gate and the
+    /// variable-space fence).
+    pub exported: u64,
+    /// Clauses delivered into importing solvers.
+    pub imported: u64,
+    /// Clauses dropped by the fence: unbound/foreign variable space,
+    /// post-build variables, or evicted from a ring before delivery.
+    pub filtered: u64,
+}
+
+/// One producer's ring buffer.
+#[derive(Debug, Default)]
+struct Shard {
+    /// Sequence number of `items.front()`.
+    start_seq: u64,
+    /// `(space fingerprint, clause)` in publication order.
+    items: VecDeque<(u64, Arc<[Lit]>)>,
+    /// Clauses evicted before every consumer saw them.
+    evicted: u64,
+}
+
+/// A shard with its lock-free "anything new?" watermark.
+#[derive(Debug, Default)]
+struct ShardCell {
+    /// Next sequence number this shard will assign. Written with
+    /// `Release` after the item is visible under the lock; readers check
+    /// it with `Acquire` to skip locking idle shards.
+    seq: AtomicU64,
+    ring: Mutex<Shard>,
+}
+
+/// Sharded multi-producer multi-consumer clause pool.
+///
+/// Built once per same-encoding cohort by the portfolio driver; members
+/// talk to it through their [`CohortEndpoint`].
+#[derive(Debug)]
+pub struct SharedClausePool {
+    shards: Vec<ShardCell>,
+    capacity: usize,
+}
+
+impl SharedClausePool {
+    /// A pool for `members` producers with `capacity` clauses per shard.
+    pub fn new(members: usize, capacity: usize) -> SharedClausePool {
+        assert!(capacity > 0, "shard capacity must be positive");
+        SharedClausePool {
+            shards: (0..members).map(|_| ShardCell::default()).collect(),
+            capacity,
+        }
+    }
+
+    /// Number of producer shards.
+    pub fn num_members(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Publishes a clause from `member` tagged with its space fingerprint.
+    fn publish(&self, member: usize, space: u64, lits: &[Lit]) {
+        let cell = &self.shards[member];
+        let mut ring = cell.ring.lock().expect("pool shard poisoned");
+        if ring.items.len() == self.capacity {
+            ring.items.pop_front();
+            ring.start_seq += 1;
+            ring.evicted += 1;
+        }
+        ring.items.push_back((space, Arc::from(lits)));
+        let next = ring.start_seq + ring.items.len() as u64;
+        drop(ring);
+        cell.seq.store(next, Ordering::Release);
+    }
+
+    /// Collects unseen clauses for `consumer` whose fingerprint matches
+    /// `space`, advancing `cursors` (one per shard). Returns
+    /// `(delivered, dropped)` counts; delivered clauses are appended to
+    /// `out`.
+    fn collect(
+        &self,
+        consumer: usize,
+        space: u64,
+        cursors: &mut [u64],
+        out: &mut Vec<Vec<Lit>>,
+    ) -> (u64, u64) {
+        debug_assert_eq!(cursors.len(), self.shards.len());
+        let (mut delivered, mut dropped) = (0u64, 0u64);
+        for (i, cell) in self.shards.iter().enumerate() {
+            if i == consumer {
+                continue;
+            }
+            // Fast path: nothing published since our cursor.
+            if cell.seq.load(Ordering::Acquire) <= cursors[i] {
+                continue;
+            }
+            let ring = cell.ring.lock().expect("pool shard poisoned");
+            if cursors[i] < ring.start_seq {
+                // Evicted before we got to them.
+                dropped += ring.start_seq - cursors[i];
+                cursors[i] = ring.start_seq;
+            }
+            let skip = (cursors[i] - ring.start_seq) as usize;
+            for (tag, clause) in ring.items.iter().skip(skip) {
+                if *tag == space {
+                    out.push(clause.to_vec());
+                    delivered += 1;
+                } else {
+                    dropped += 1;
+                }
+            }
+            cursors[i] = ring.start_seq + ring.items.len() as u64;
+        }
+        (delivered, dropped)
+    }
+
+    /// Total clauses evicted from rings before every consumer saw them.
+    pub fn evicted(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|c| c.ring.lock().expect("pool shard poisoned").evicted)
+            .sum()
+    }
+}
+
+/// One portfolio member's attachment to a [`SharedClausePool`].
+///
+/// Implements [`ClauseExchange`]: the solver's export path lands in the
+/// member's own shard and its import path drains every other shard,
+/// subject to the variable-space fence described in the
+/// [module docs](self).
+#[derive(Debug)]
+pub struct CohortEndpoint {
+    pool: Arc<SharedClausePool>,
+    member: usize,
+    /// Current space fingerprint (0 = not yet bound; exports dropped).
+    space: AtomicU64,
+    /// Build-time variable count; clauses mentioning variables at or
+    /// above this were learned over member-local bound machinery and
+    /// must not leave the solver.
+    base_vars: AtomicUsize,
+    /// Per-foreign-shard delivery cursors.
+    cursors: Mutex<Vec<u64>>,
+    exported: AtomicU64,
+    imported: AtomicU64,
+    filtered: AtomicU64,
+    recorder: Recorder,
+}
+
+impl CohortEndpoint {
+    /// Attaches member `member` to `pool`.
+    pub fn new(pool: Arc<SharedClausePool>, member: usize, recorder: Recorder) -> CohortEndpoint {
+        let shards = pool.num_members();
+        assert!(member < shards, "member index out of range");
+        CohortEndpoint {
+            pool,
+            member,
+            space: AtomicU64::new(0),
+            base_vars: AtomicUsize::new(0),
+            cursors: Mutex::new(vec![0; shards]),
+            exported: AtomicU64::new(0),
+            imported: AtomicU64::new(0),
+            filtered: AtomicU64::new(0),
+            recorder,
+        }
+    }
+
+    /// Volumes seen by this endpoint so far.
+    pub fn stats(&self) -> SharingStats {
+        SharingStats {
+            exported: self.exported.load(Ordering::Relaxed),
+            imported: self.imported.load(Ordering::Relaxed),
+            filtered: self.filtered.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl ClauseExchange for CohortEndpoint {
+    fn export(&self, lits: &[Lit], _lbd: u32) {
+        let space = self.space.load(Ordering::Acquire);
+        let base = self.base_vars.load(Ordering::Acquire);
+        if space == 0 || lits.iter().any(|l| l.var().index() >= base) {
+            // Unbound space, or the clause leans on post-build variables
+            // (activation literals / bound machinery) whose numbering is
+            // member-local.
+            self.filtered.fetch_add(1, Ordering::Relaxed);
+            if self.recorder.is_enabled() {
+                self.recorder.add("portfolio.clauses_filtered", 1);
+            }
+            return;
+        }
+        self.pool.publish(self.member, space, lits);
+        self.exported.fetch_add(1, Ordering::Relaxed);
+        if self.recorder.is_enabled() {
+            self.recorder.add("portfolio.clauses_exported", 1);
+        }
+    }
+
+    fn import_into(&self, out: &mut Vec<Vec<Lit>>) {
+        let space = self.space.load(Ordering::Acquire);
+        if space == 0 {
+            return;
+        }
+        let mut cursors = self.cursors.lock().expect("cursor lock poisoned");
+        let (delivered, dropped) = self.pool.collect(self.member, space, &mut cursors, out);
+        drop(cursors);
+        self.imported.fetch_add(delivered, Ordering::Relaxed);
+        self.filtered.fetch_add(dropped, Ordering::Relaxed);
+        if self.recorder.is_enabled() {
+            if delivered > 0 {
+                self.recorder.add("portfolio.clauses_imported", delivered);
+            }
+            if dropped > 0 {
+                self.recorder.add("portfolio.clauses_filtered", dropped);
+            }
+        }
+    }
+
+    fn bind_space(&self, fingerprint: u64, num_vars: usize) {
+        self.base_vars.store(num_vars, Ordering::Release);
+        self.space.store(fingerprint, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olsq2_sat::Var;
+
+    fn lit(v: usize) -> Lit {
+        Lit::positive(Var::from_index(v))
+    }
+
+    #[test]
+    fn clauses_flow_between_bound_members_once() {
+        let pool = Arc::new(SharedClausePool::new(2, 16));
+        let a = CohortEndpoint::new(pool.clone(), 0, Recorder::disabled());
+        let b = CohortEndpoint::new(pool, 1, Recorder::disabled());
+        a.bind_space(0xABCD, 10);
+        b.bind_space(0xABCD, 10);
+        a.export(&[lit(1), lit(2)], 2);
+        let mut got = Vec::new();
+        b.import_into(&mut got);
+        assert_eq!(got, vec![vec![lit(1), lit(2)]]);
+        // Delivered at most once.
+        got.clear();
+        b.import_into(&mut got);
+        assert!(got.is_empty());
+        // Exporter never hears its own clause back.
+        got.clear();
+        a.import_into(&mut got);
+        assert!(got.is_empty());
+        assert_eq!(a.stats().exported, 1);
+        assert_eq!(b.stats().imported, 1);
+    }
+
+    #[test]
+    fn unbound_and_foreign_space_clauses_are_fenced() {
+        let pool = Arc::new(SharedClausePool::new(2, 16));
+        let a = CohortEndpoint::new(pool.clone(), 0, Recorder::disabled());
+        let b = CohortEndpoint::new(pool, 1, Recorder::disabled());
+        // Unbound exporter: nothing leaves.
+        a.export(&[lit(0)], 1);
+        assert_eq!(a.stats().exported, 0);
+        assert_eq!(a.stats().filtered, 1);
+        // Bound, but b sits on a different formula build.
+        a.bind_space(0x1111, 10);
+        b.bind_space(0x2222, 10);
+        a.export(&[lit(0)], 1);
+        let mut got = Vec::new();
+        b.import_into(&mut got);
+        assert!(got.is_empty());
+        assert_eq!(b.stats().imported, 0);
+        assert_eq!(b.stats().filtered, 1);
+        // b catches up to the same build: later clauses flow again.
+        b.bind_space(0x1111, 10);
+        a.export(&[lit(3)], 1);
+        b.import_into(&mut got);
+        assert_eq!(got, vec![vec![lit(3)]]);
+    }
+
+    #[test]
+    fn post_build_variables_never_leave_the_solver() {
+        let pool = Arc::new(SharedClausePool::new(2, 16));
+        let a = CohortEndpoint::new(pool, 0, Recorder::disabled());
+        a.bind_space(0x7, 5);
+        a.export(&[lit(4)], 1); // in-space: ok
+        a.export(&[lit(5)], 1); // activation-literal territory: fenced
+        assert_eq!(a.stats().exported, 1);
+        assert_eq!(a.stats().filtered, 1);
+    }
+
+    #[test]
+    fn ring_eviction_counts_as_dropped_for_lagging_consumers() {
+        let pool = Arc::new(SharedClausePool::new(2, 2));
+        let a = CohortEndpoint::new(pool.clone(), 0, Recorder::disabled());
+        let b = CohortEndpoint::new(pool.clone(), 1, Recorder::disabled());
+        a.bind_space(0x7, 10);
+        b.bind_space(0x7, 10);
+        for v in 0..5 {
+            a.export(&[lit(v)], 1);
+        }
+        let mut got = Vec::new();
+        b.import_into(&mut got);
+        // Capacity 2: only the two newest survive; three were evicted.
+        assert_eq!(got, vec![vec![lit(3)], vec![lit(4)]]);
+        assert_eq!(b.stats().imported, 2);
+        assert_eq!(b.stats().filtered, 3);
+        assert_eq!(pool.evicted(), 3);
+    }
+
+    #[test]
+    fn concurrent_publish_and_collect_lose_nothing_when_capacity_suffices() {
+        let n = 4;
+        let per = 200;
+        let pool = Arc::new(SharedClausePool::new(n, n * per));
+        let endpoints: Vec<_> = (0..n)
+            .map(|i| {
+                let e = CohortEndpoint::new(pool.clone(), i, Recorder::disabled());
+                e.bind_space(0x99, 1000);
+                Arc::new(e)
+            })
+            .collect();
+        std::thread::scope(|s| {
+            for (i, e) in endpoints.iter().enumerate() {
+                let e = e.clone();
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    for k in 0..per {
+                        e.export(&[lit(i * per + k)], 1);
+                        if k % 16 == 0 {
+                            e.import_into(&mut got);
+                        }
+                    }
+                });
+            }
+        });
+        // After the dust settles every member can drain the others fully.
+        for e in &endpoints {
+            let mut got = Vec::new();
+            e.import_into(&mut got);
+            let st = e.stats();
+            assert_eq!(st.exported, per as u64);
+            assert_eq!(st.imported, ((n - 1) * per) as u64);
+            assert_eq!(st.filtered, 0);
+        }
+    }
+}

@@ -229,6 +229,24 @@ impl TransitionModel {
 
         tally.credit_since(ConstraintFamily::Transition, &solver, mark);
 
+        config.diversification.apply(&mut solver);
+        if let Some(exchange) = &config.clause_exchange {
+            // Same fence as FlatModel, under a distinct style tag so
+            // transition-based formulas never mix with flat ones even if
+            // their sizes coincide.
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            "olsq2.transition".hash(&mut h);
+            blocks.hash(&mut h);
+            config.swap_duration.hash(&mut h);
+            enc.hash(&mut h);
+            solver.num_vars().hash(&mut h);
+            solver.num_clauses().hash(&mut h);
+            exchange.bind_space(h.finish() | 1, solver.num_vars());
+            solver.set_exchange_filter(config.exchange_filter);
+            solver.set_exchange(Some(exchange.clone()));
+        }
+
         Ok(TransitionModel {
             solver,
             mapping,

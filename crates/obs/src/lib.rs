@@ -53,6 +53,21 @@
 //! span.set("ignored", 1u64);
 //! assert!(rec.snapshot().spans.is_empty());
 //! ```
+//!
+//! ## Well-known counter names
+//!
+//! Counters are name-keyed and free-form, but the stack agrees on these
+//! prefixes so traces from different layers line up:
+//!
+//! * `sat.*` — per-solve deltas from the CDCL solver: `solves`,
+//!   `conflicts`, `decisions`, `propagations`, `restarts`, `reduces`,
+//!   `minimized_lits`, and the clause-exchange volumes `exported`,
+//!   `imported`, `import_dropped`.
+//! * `portfolio.*` — portfolio-race outcomes and sharing volumes:
+//!   per-member win fates `won` / `finished` / `cancelled` / `failed`,
+//!   and the pool-side `clauses_exported` / `clauses_imported` /
+//!   `clauses_filtered`.
+//! * `service.*` — job queue and cache metrics from the service layer.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

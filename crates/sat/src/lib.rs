@@ -15,6 +15,9 @@
 //! * Luby restarts and LBD-aware learned-clause database reduction
 //! * incremental solving under assumptions with final-conflict extraction
 //! * conflict-count and wall-clock budgets ([`SolveResult::Unknown`])
+//! * portfolio hooks: learned-clause exchange ([`ClauseExchange`],
+//!   [`ExchangeFilter`]) and diversification knobs (decision seed, default
+//!   phase, VSIDS decay, Luby restart base)
 //!
 //! ## Example
 //!
@@ -36,12 +39,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod clause;
+pub mod exchange;
 pub mod heap;
 mod lit;
 pub mod preprocess;
 pub mod proof;
 mod solver;
 
+pub use exchange::{ClauseExchange, ExchangeFilter};
 pub use lit::{ClauseRef, LBool, Lit, Var};
 pub use preprocess::{Preprocessor, SimplifiedCnf};
 pub use proof::{CheckProofError, Proof, ProofStep};

@@ -19,10 +19,12 @@
 // Indexed `for` loops are deliberate here: clause/variable tables are indexed by position.
 #![allow(clippy::needless_range_loop)]
 use crate::clause::ClauseDb;
+use crate::exchange::{ClauseExchange, ExchangeFilter};
 use crate::heap::VarHeap;
 use crate::lit::{ClauseRef, LBool, Lit, Var};
 use crate::proof::{Proof, ProofStep};
 use olsq2_obs::Recorder;
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -68,6 +70,13 @@ pub struct Stats {
     pub reduces: u64,
     /// Literals deleted by conflict-clause minimization.
     pub minimized_lits: u64,
+    /// Learned clauses exported through the clause exchange.
+    pub exported: u64,
+    /// Foreign clauses imported and added to the database.
+    pub imported: u64,
+    /// Foreign clauses dropped on import (duplicate, root-satisfied, or
+    /// over unknown variables).
+    pub import_dropped: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -134,6 +143,22 @@ pub struct Solver {
     proof: Option<Proof>,
     /// Telemetry sink; the default disabled recorder costs one branch.
     recorder: Recorder,
+    /// Sharing medium for portfolio solving; `None` solves in isolation.
+    exchange: Option<Arc<dyn ClauseExchange>>,
+    /// Export quality gate for the exchange.
+    exchange_filter: ExchangeFilter,
+    /// Canonical forms of clauses already imported (duplicate filter).
+    import_seen: HashSet<Vec<Lit>>,
+    /// Scratch buffer reused across import drains.
+    import_buf: Vec<Vec<Lit>>,
+    /// VSIDS activity decay factor (diversification knob).
+    var_decay: f64,
+    /// Luby restart unit in conflicts (diversification knob).
+    restart_base: u64,
+    /// Initial saved phase for fresh variables (diversification knob).
+    default_phase: bool,
+    /// xorshift64* state for randomized decisions; 0 disables them.
+    rng_state: u64,
     // Scratch buffers for conflict analysis.
     seen: Vec<bool>,
     analyze_toclear: Vec<Var>,
@@ -180,6 +205,14 @@ impl Solver {
             simp_trail_len: usize::MAX,
             proof: None,
             recorder: Recorder::disabled(),
+            exchange: None,
+            exchange_filter: ExchangeFilter::default(),
+            import_seen: HashSet::new(),
+            import_buf: Vec::new(),
+            var_decay: VAR_DECAY,
+            restart_base: RESTART_BASE,
+            default_phase: false,
+            rng_state: 0,
             seen: Vec::new(),
             analyze_toclear: Vec::new(),
             analyze_stack: Vec::new(),
@@ -196,7 +229,7 @@ impl Solver {
         });
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
-        self.phase.push(false);
+        self.phase.push(self.default_phase);
         self.activity.push(0.0);
         self.order.grow(v);
         self.order.insert(v, &self.activity);
@@ -244,6 +277,178 @@ impl Solver {
     /// recorder, which costs one branch per emission site.
     pub fn set_recorder(&mut self, recorder: Recorder) {
         self.recorder = recorder;
+    }
+
+    /// Attaches a clause-sharing medium (see [`ClauseExchange`]).
+    ///
+    /// Learned clauses passing the current [`ExchangeFilter`] are
+    /// exported as they are derived; foreign clauses are imported at
+    /// restart boundaries and on `solve` entry, with duplicate,
+    /// root-satisfied, and unknown-variable filtering.
+    ///
+    /// **Soundness**: the medium must only deliver clauses between
+    /// solvers over the identical variable space — see the
+    /// [`crate::exchange`] module docs.
+    pub fn set_exchange(&mut self, exchange: Option<Arc<dyn ClauseExchange>>) {
+        self.exchange = exchange;
+    }
+
+    /// Sets the export quality gate for the clause exchange.
+    pub fn set_exchange_filter(&mut self, filter: ExchangeFilter) {
+        self.exchange_filter = filter;
+    }
+
+    /// Seeds randomized branching: with a seed set, roughly 1 in 64
+    /// decisions picks a uniformly random unassigned variable instead of
+    /// the VSIDS maximum — the classic cheap diversification knob.
+    /// `None` restores fully deterministic VSIDS branching.
+    pub fn set_decision_seed(&mut self, seed: Option<u64>) {
+        // xorshift needs nonzero state; fold the "or 1" into the seed.
+        self.rng_state = seed.map_or(0, |s| s | 1);
+    }
+
+    /// Sets the saved-phase polarity used for variables that have never
+    /// been assigned. Applies to existing unassigned variables and to
+    /// all variables created afterwards.
+    pub fn set_default_phase(&mut self, phase: bool) {
+        self.default_phase = phase;
+        for (v, p) in self.phase.iter_mut().enumerate() {
+            if self.assigns[v] == LBool::Undef {
+                *p = phase;
+            }
+        }
+    }
+
+    /// Sets the VSIDS activity decay factor (default 0.95).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < decay < 1`.
+    pub fn set_var_decay(&mut self, decay: f64) {
+        assert!(
+            decay > 0.0 && decay < 1.0,
+            "variable decay must be in (0, 1), got {decay}"
+        );
+        self.var_decay = decay;
+    }
+
+    /// Sets the Luby restart unit in conflicts (default 100).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is 0.
+    pub fn set_restart_base(&mut self, base: u64) {
+        assert!(base > 0, "restart base must be positive");
+        self.restart_base = base;
+    }
+
+    /// xorshift64* step; only called when `rng_state != 0`.
+    #[inline]
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Offers a freshly learned clause to the exchange if it passes the
+    /// quality gate.
+    #[inline]
+    fn maybe_export(&mut self, lits: &[Lit], lbd: u32) {
+        if let Some(ex) = &self.exchange {
+            if self.exchange_filter.admits(lits.len(), lbd) {
+                ex.export(lits, lbd);
+                self.stats.exported += 1;
+            }
+        }
+    }
+
+    /// Drains the import queue at a safe point (decision level 0),
+    /// filtering duplicates, root-satisfied clauses, and clauses over
+    /// variables this solver has not allocated.
+    fn drain_imports(&mut self) {
+        let Some(ex) = self.exchange.clone() else {
+            return;
+        };
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut buf = std::mem::take(&mut self.import_buf);
+        buf.clear();
+        ex.import_into(&mut buf);
+        for lits in buf.drain(..) {
+            if !self.ok {
+                break;
+            }
+            if lits.is_empty() || lits.iter().any(|l| l.var().index() >= self.num_vars()) {
+                self.stats.import_dropped += 1;
+                continue;
+            }
+            let mut key = lits.clone();
+            key.sort_unstable();
+            key.dedup();
+            if !self.import_seen.insert(key) {
+                self.stats.import_dropped += 1;
+                continue;
+            }
+            if self.import_clause(&lits) {
+                self.stats.imported += 1;
+            } else {
+                self.stats.import_dropped += 1;
+            }
+        }
+        self.import_buf = buf;
+    }
+
+    /// Adds a foreign clause at the root level. Mirrors
+    /// [`Solver::add_clause`], but records the clause as a learned one
+    /// (so database reduction can retire it) and logs it to the proof as
+    /// [`ProofStep::Imported`]. Returns whether the clause was retained
+    /// (`false` for tautologies and root-satisfied clauses).
+    fn import_clause(&mut self, lits: &[Lit]) -> bool {
+        debug_assert!(self.ok);
+        let mut v: Vec<Lit> = lits.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        let v_for_proof = v.clone();
+        self.log_proof(|| ProofStep::Imported(v_for_proof));
+        let mut w = Vec::with_capacity(v.len());
+        let mut prev: Option<Lit> = None;
+        for &l in &v {
+            if prev == Some(!l) || self.value(l) == LBool::True {
+                return false; // tautology or already satisfied at root
+            }
+            if self.value(l) != LBool::False {
+                w.push(l);
+            }
+            prev = Some(l);
+        }
+        if w != v {
+            let w_for_proof = w.clone();
+            self.log_proof(|| ProofStep::Lemma(w_for_proof));
+        }
+        match w.len() {
+            0 => {
+                self.ok = false;
+                self.log_proof(|| ProofStep::Empty);
+                true
+            }
+            1 => {
+                self.unchecked_enqueue(w[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                    self.log_proof(|| ProofStep::Empty);
+                }
+                true
+            }
+            _ => {
+                let cref = self.db.alloc(&w, true);
+                self.db.set_lbd(cref, w.len() as u32);
+                self.learnts.push(cref);
+                self.attach(cref);
+                true
+            }
+        }
     }
 
     /// Adds `amount` to a variable's branching activity — a hook for
@@ -513,7 +718,7 @@ impl Solver {
     }
 
     fn decay_activities(&mut self) {
-        self.var_inc /= VAR_DECAY;
+        self.var_inc /= self.var_decay;
         self.cla_inc /= CLA_DECAY;
     }
 
@@ -863,6 +1068,16 @@ impl Solver {
     }
 
     fn pick_branch(&mut self) -> Option<Lit> {
+        // Randomized diversification: occasionally branch on a random
+        // unassigned variable instead of the VSIDS maximum. The variable
+        // stays in the order heap; the pop loop below skips assigned
+        // entries anyway.
+        if self.rng_state != 0 && !self.assigns.is_empty() && self.next_rand().is_multiple_of(64) {
+            let v = Var((self.next_rand() % self.assigns.len() as u64) as u32);
+            if self.assigns[v.index()] == LBool::Undef {
+                return Some(Lit::new(v, !self.phase[v.index()]));
+            }
+        }
         loop {
             let v = self.order.pop(&self.activity)?;
             if self.assigns[v.index()] == LBool::Undef {
@@ -895,15 +1110,30 @@ impl Solver {
             }
         }
 
+        // Pick up clauses peers derived since the last solve; the solver
+        // is at the root here, so imports are safe.
+        self.drain_imports();
+        if !self.ok {
+            self.final_conflict.clear();
+            return SolveResult::Unsat;
+        }
+
         let stats_before = self.stats;
         let mut curr_restarts = 0u64;
         let result = loop {
-            let budget = RESTART_BASE * Self::luby(curr_restarts);
+            let budget = self.restart_base * Self::luby(curr_restarts);
             match self.search(budget, assumptions) {
                 Some(r) => break r,
                 None => {
                     curr_restarts += 1;
                     self.stats.restarts += 1;
+                    // Restart boundary: back at decision level 0, the
+                    // canonical safe point to drain the import queue.
+                    self.drain_imports();
+                    if !self.ok {
+                        self.final_conflict.clear();
+                        break SolveResult::Unsat;
+                    }
                     if self.recorder.is_enabled() {
                         // Timestamped conflict totals let a trace consumer
                         // derive the conflict rate between restarts.
@@ -945,6 +1175,14 @@ impl Solver {
                 "sat.minimized_lits",
                 d.minimized_lits - stats_before.minimized_lits,
             );
+            self.recorder
+                .add("sat.exported", d.exported - stats_before.exported);
+            self.recorder
+                .add("sat.imported", d.imported - stats_before.imported);
+            self.recorder.add(
+                "sat.import_dropped",
+                d.import_dropped - stats_before.import_dropped,
+            );
         }
         result
     }
@@ -968,11 +1206,13 @@ impl Solver {
                 self.log_proof(|| ProofStep::Lemma(learnt_for_proof));
                 self.cancel_until(bt);
                 if learnt.len() == 1 {
+                    self.maybe_export(&learnt, 1);
                     self.unchecked_enqueue(learnt[0], None);
                 } else {
                     let cref = self.db.alloc(&learnt, true);
                     let lbd = self.lits_lbd(&learnt);
                     self.db.set_lbd(cref, lbd);
+                    self.maybe_export(&learnt, lbd);
                     self.learnts.push(cref);
                     self.attach(cref);
                     self.bump_clause(cref);

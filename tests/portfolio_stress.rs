@@ -1,0 +1,98 @@
+//! Stress test for the shared clause pool under cooperative
+//! cancellation: an 8-member diversified portfolio (two encodings × four
+//! seed-diversified members, sharing on) races repeatedly, so losing
+//! members are cancelled mid-solve while their cohort mates are still
+//! publishing into and draining the shared pool. CI runs this in both
+//! debug and `--release` to exercise the pool's atomics under different
+//! instruction interleavings. Every race must produce exactly one
+//! winner, a verified layout, and the same optimum as a lone solver.
+
+use olsq2::{
+    EncodingConfig, MemberOutcome, Olsq2Synthesizer, PortfolioConfig, PortfolioSynthesizer,
+    SynthesisConfig,
+};
+use olsq2_arch::{grid, line, CouplingGraph};
+use olsq2_circuit::{Circuit, Gate, GateKind};
+use olsq2_layout::verify;
+use olsq2_prng::Rng;
+
+fn random_circuit(rng: &mut Rng, nq: usize, max_gates: usize) -> Circuit {
+    let len = rng.gen_range(2usize..=max_gates);
+    let mut c = Circuit::new(nq);
+    for _ in 0..len {
+        let a = rng.gen_range(0..nq as u16);
+        let b = rng.gen_range(0..nq as u16);
+        if a != b {
+            c.push(Gate::two(GateKind::Cx, a, b));
+        }
+    }
+    if c.is_empty() {
+        c.push(Gate::two(GateKind::Cx, 0, 1));
+    }
+    c
+}
+
+#[test]
+fn eight_member_sharing_portfolio_under_cancellation() {
+    let devices: Vec<CouplingGraph> = vec![line(4), grid(2, 2), grid(2, 3)];
+    let mut rng = Rng::seed_from_u64(0x57E5_0001);
+    let cfg = PortfolioConfig::standard()
+        .with_encodings(vec![EncodingConfig::int(), EncodingConfig::bv()])
+        .diversify(4)
+        .with_sharing()
+        .with_seed(0x57E5);
+    let mut cancelled_total = 0usize;
+    for round in 0..6 {
+        let circuit = random_circuit(&mut rng, 4, 6);
+        let device = &devices[rng.gen_range(0usize..3)];
+        let base = SynthesisConfig::with_swap_duration(1);
+
+        let reference = Olsq2Synthesizer::new(base.clone())
+            .optimize_depth(&circuit, device)
+            .expect("reference solves");
+
+        let portfolio = PortfolioSynthesizer::with_config(base, &cfg);
+        assert_eq!(portfolio.num_members(), 8);
+        let report = portfolio
+            .optimize_depth_report(&circuit, device)
+            .expect("portfolio solves");
+
+        // Exactly one winner, every member accounted for.
+        assert_eq!(report.members.len(), 8, "round {round}");
+        let winners = report
+            .members
+            .iter()
+            .filter(|m| matches!(m, MemberOutcome::Won(_)))
+            .count();
+        assert_eq!(winners, 1, "round {round}: want exactly one winner");
+        assert!(
+            report.members[report.winner].is_winner(),
+            "round {round}: winner index mismatch"
+        );
+        cancelled_total += report.members.iter().filter(|m| m.is_cancelled()).count();
+        // No member may fail outright on a solvable instance.
+        for (i, m) in report.members.iter().enumerate() {
+            assert!(
+                !matches!(m, MemberOutcome::Failed(_)),
+                "round {round}: member {i} failed: {m:?}"
+            );
+        }
+
+        assert_eq!(
+            report.outcome.result.depth, reference.result.depth,
+            "round {round}: sharing portfolio depth diverged from reference"
+        );
+        assert_eq!(
+            verify(&circuit, device, &report.outcome.result),
+            Ok(()),
+            "round {round}"
+        );
+        assert!(report.sharing.is_some(), "round {round}");
+    }
+    // Across 6 races of 8 members, cancellation must actually trigger —
+    // otherwise this test isn't stressing the pool under cancellation.
+    assert!(
+        cancelled_total > 0,
+        "no member was ever cancelled; stress scenario not exercised"
+    );
+}
