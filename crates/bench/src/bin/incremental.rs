@@ -1,0 +1,272 @@
+//! A/B harness for the zero-rebuild incremental encoding: extending the
+//! live model in place across window growth versus rebuilding from
+//! scratch at the larger window.
+//!
+//! Two measurements, written to `BENCH_incremental.json` at the repo root:
+//!
+//! * **growth-step**: the raw encode cost of one window growth — the
+//!   wall-clock of `FlatModel::extend_window` versus a fresh
+//!   `FlatModel::build` at the same target window, on QUEKO and QAOA
+//!   instances (the verdict at the widest depth bound is cross-checked).
+//! * **end-to-end**: `optimize_depth` with a deliberately tight initial
+//!   window (`tub_factor = 1.0`) so phase-1 relaxation outgrows it, run
+//!   with the incremental path on and off; optima must agree and the
+//!   incremental runs report their extension counts.
+
+use olsq2::{FlatModel, Olsq2Synthesizer, SynthesisConfig};
+use olsq2_arch::{grid, line, CouplingGraph};
+use olsq2_bench::BenchOpts;
+use olsq2_circuit::generators::{qaoa_circuit, qft_decomposed, queko_circuit, tof_circuit};
+use olsq2_circuit::{Circuit, DependencyGraph};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct GrowthRow {
+    case: String,
+    device: String,
+    from_t_ub: usize,
+    to_t_ub: usize,
+    extend_us: u128,
+    rebuild_us: u128,
+    agree: bool,
+}
+
+struct EndToEndRow {
+    case: String,
+    device: String,
+    extend_us: u128,
+    rebuild_us: u128,
+    extensions: usize,
+    depth: usize,
+    agree: bool,
+}
+
+/// One growth trajectory: extend a live model `t0 → t0+step → t0+2·step`,
+/// timing each extension against a fresh build at the same target window.
+fn growth_steps(
+    case: &str,
+    circuit: &Circuit,
+    graph: &CouplingGraph,
+    swap_duration: usize,
+    rows: &mut Vec<GrowthRow>,
+) {
+    let config = SynthesisConfig::with_swap_duration(swap_duration);
+    let dag = DependencyGraph::new(circuit);
+    let t0 = dag.longest_chain().max(2);
+    let step = (t0 / 2).max(2);
+    let mut extended = match FlatModel::build(circuit, graph, &config, t0) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("skipping {case}: {e}");
+            return;
+        }
+    };
+    let mut from = t0;
+    for to in [t0 + step, t0 + 2 * step] {
+        let extend_start = Instant::now();
+        assert!(extended.extend_window(circuit, graph, to));
+        let extend_us = extend_start.elapsed().as_micros();
+
+        let rebuild_start = Instant::now();
+        let mut fresh = FlatModel::build(circuit, graph, &config, to).expect("fresh build");
+        let rebuild_us = rebuild_start.elapsed().as_micros();
+
+        // Cross-check: at the widest bound the two encodings must agree.
+        let ext_act = extended.depth_bound(to);
+        let fresh_act = fresh.depth_bound(to);
+        let agree = extended.solve(&[ext_act]) == fresh.solve(&[fresh_act]);
+
+        rows.push(GrowthRow {
+            case: case.to_string(),
+            device: graph.name().to_string(),
+            from_t_ub: from,
+            to_t_ub: to,
+            extend_us,
+            rebuild_us,
+            agree,
+        });
+        from = to;
+    }
+}
+
+fn end_to_end(
+    case: &str,
+    circuit: &Circuit,
+    graph: &CouplingGraph,
+    swap_duration: usize,
+    opts: &BenchOpts,
+    rows: &mut Vec<EndToEndRow>,
+) {
+    let mut config = SynthesisConfig::with_swap_duration(swap_duration);
+    config.tub_factor = 1.0; // start tight so the window must grow
+    config.time_budget = Some(opts.budget);
+    let mut rebuild_config = config.clone();
+    rebuild_config.incremental = false;
+
+    let start = Instant::now();
+    let inc = Olsq2Synthesizer::new(config).optimize_depth(circuit, graph);
+    let extend_us = start.elapsed().as_micros();
+    let start = Instant::now();
+    let reb = Olsq2Synthesizer::new(rebuild_config).optimize_depth(circuit, graph);
+    let rebuild_us = start.elapsed().as_micros();
+
+    match (inc, reb) {
+        (Ok(inc), Ok(reb)) => rows.push(EndToEndRow {
+            case: case.to_string(),
+            device: graph.name().to_string(),
+            extend_us,
+            rebuild_us,
+            extensions: inc.extensions,
+            depth: inc.result.depth,
+            agree: inc.result.depth == reb.result.depth,
+        }),
+        (a, b) => {
+            eprintln!(
+                "skipping {case}: incremental={:?} rebuild={:?}",
+                a.err().map(|e| e.to_string()),
+                b.err().map(|e| e.to_string())
+            );
+        }
+    }
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+
+    let mut growth: Vec<GrowthRow> = Vec::new();
+    let mut e2e: Vec<EndToEndRow> = Vec::new();
+
+    // QUEKO quick set: known-optimal instances on small grids.
+    let queko_cases: Vec<(CouplingGraph, usize, usize)> = if opts.full {
+        vec![
+            (grid(3, 3), 6, 24),
+            (grid(4, 4), 8, 48),
+            (grid(4, 4), 12, 72),
+        ]
+    } else {
+        vec![(grid(2, 3), 3, 8), (grid(3, 3), 4, 12)]
+    };
+    for (graph, depth, gates) in queko_cases {
+        let q = queko_circuit(graph.num_qubits(), graph.edges(), depth, gates, opts.seed);
+        let case = format!("queko-{depth}x{gates}");
+        growth_steps(&case, &q.circuit, &graph, 3, &mut growth);
+    }
+
+    // QAOA quick set: routing-heavy, so the window genuinely grows.
+    let qaoa_cases: Vec<(usize, CouplingGraph)> = if opts.full {
+        vec![(8, grid(3, 3)), (10, grid(4, 3)), (12, grid(4, 4))]
+    } else {
+        vec![(6, grid(2, 3)), (8, grid(3, 3))]
+    };
+    for (n, graph) in qaoa_cases {
+        let circuit = qaoa_circuit(n, opts.seed);
+        let case = format!("qaoa-{n}");
+        growth_steps(&case, &circuit, &graph, 1, &mut growth);
+        end_to_end(&case, &circuit, &graph, 1, &opts, &mut e2e);
+    }
+
+    // Routing-heavy circuits on line devices with 3-cycle SWAPs: the
+    // optimum sits well above the tight initial window, so these runs
+    // exercise the in-place growth path end to end.
+    let routed_cases: Vec<(&str, Circuit, CouplingGraph)> = if opts.full {
+        vec![
+            ("qft-5", qft_decomposed(5), line(5)),
+            ("tof-4", tof_circuit(4), line(7)),
+            ("qaoa-6-line", qaoa_circuit(6, opts.seed), line(6)),
+        ]
+    } else {
+        vec![
+            ("qft-4", qft_decomposed(4), line(4)),
+            ("tof-3", tof_circuit(3), line(5)),
+        ]
+    };
+    for (case, circuit, graph) in routed_cases {
+        end_to_end(case, &circuit, &graph, 3, &opts, &mut e2e);
+    }
+
+    println!("Growth-step encode cost: extend_window vs fresh build\n");
+    println!(
+        "{:<14} {:<10} {:>9} {:>12} {:>12} {:>8}",
+        "benchmark", "device", "window", "extend", "rebuild", "speedup"
+    );
+    for r in &growth {
+        println!(
+            "{:<14} {:<10} {:>9} {:>10}us {:>10}us {:>7.1}x{}",
+            r.case,
+            r.device,
+            format!("{}->{}", r.from_t_ub, r.to_t_ub),
+            r.extend_us,
+            r.rebuild_us,
+            r.rebuild_us as f64 / r.extend_us.max(1) as f64,
+            if r.agree { "" } else { "  VERDICT MISMATCH" },
+        );
+    }
+
+    println!("\nEnd-to-end depth optimization (tight initial window)\n");
+    println!(
+        "{:<14} {:<10} {:>12} {:>12} {:>8} {:>6}",
+        "benchmark", "device", "extend", "rebuild", "speedup", "exts"
+    );
+    for r in &e2e {
+        println!(
+            "{:<14} {:<10} {:>10}us {:>10}us {:>7.1}x {:>6}{}",
+            r.case,
+            r.device,
+            r.extend_us,
+            r.rebuild_us,
+            r.rebuild_us as f64 / r.extend_us.max(1) as f64,
+            r.extensions,
+            if r.agree { "" } else { "  OPTIMUM MISMATCH" },
+        );
+    }
+
+    let mismatches =
+        growth.iter().filter(|r| !r.agree).count() + e2e.iter().filter(|r| !r.agree).count();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"harness\": \"incremental\",");
+    let _ = writeln!(json, "  \"seed\": {},", opts.seed);
+    let _ = writeln!(json, "  \"full\": {},", opts.full);
+    let _ = writeln!(json, "  \"mismatches\": {mismatches},");
+    json.push_str("  \"growth_step\": [\n");
+    for (i, r) in growth.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"case\": \"{}\", \"device\": \"{}\", \"from_t_ub\": {}, \"to_t_ub\": {}, \
+             \"extend_us\": {}, \"rebuild_us\": {}, \"agree\": {}}}{}",
+            r.case,
+            r.device,
+            r.from_t_ub,
+            r.to_t_ub,
+            r.extend_us,
+            r.rebuild_us,
+            r.agree,
+            if i + 1 < growth.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n  \"end_to_end\": [\n");
+    for (i, r) in e2e.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"case\": \"{}\", \"device\": \"{}\", \"extend_us\": {}, \"rebuild_us\": {}, \
+             \"extensions\": {}, \"depth\": {}, \"agree\": {}}}{}",
+            r.case,
+            r.device,
+            r.extend_us,
+            r.rebuild_us,
+            r.extensions,
+            r.depth,
+            r.agree,
+            if i + 1 < e2e.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_incremental.json");
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("\nwrote {out}"),
+        Err(e) => eprintln!("\nfailed to write {out}: {e}"),
+    }
+    assert_eq!(mismatches, 0, "extend/rebuild disagreed; see table above");
+}

@@ -4,11 +4,11 @@
 //! olsq2 --qasm <file|-> --device <name> [--objective depth|swaps|blocks]
 //!       [--swap-duration N] [--budget SECS] [--encoding int|bv|euf]
 //!       [--tool olsq2|tb|sabre|satmap|astar|portfolio] [--output out.qasm]
-//!       [--diversify N] [--portfolio-share]
+//!       [--diversify N] [--portfolio-share] [--no-incremental]
 //!       [--trace-out trace.jsonl] [--report]
 //!
 //! olsq2 serve-batch --manifest <file|-> [--output <file|->]
-//!       [--workers N] [--queue N] [--cache N]
+//!       [--workers N] [--queue N] [--cache N] [--no-incremental]
 //!       [--trace-out trace.jsonl] [--prom-out metrics.prom] [--report]
 //!
 //! olsq2 trace-report <trace.jsonl|->
@@ -46,10 +46,10 @@ fn usage() -> ! {
         "usage: olsq2 --qasm <file|-> --device <name> \\
           [--objective depth|swaps] [--tool olsq2|tb|sabre|satmap|astar|portfolio] \\
           [--swap-duration N] [--budget SECS] [--encoding int|bv|euf] [--output out.qasm] \\
-          [--diversify N] [--portfolio-share] \\
+          [--diversify N] [--portfolio-share] [--no-incremental] \\
           [--trace-out trace.jsonl] [--report]
        olsq2 serve-batch --manifest <file|-> [--output <file|->] \\
-          [--workers N] [--queue N] [--cache N] \\
+          [--workers N] [--queue N] [--cache N] [--no-incremental] \\
           [--trace-out trace.jsonl] [--prom-out metrics.prom] [--report]
        olsq2 trace-report <trace.jsonl|->
 
@@ -89,6 +89,7 @@ fn serve_batch(args: impl Iterator<Item = String>) {
             "--workers" => config.workers = val(&mut args).parse().unwrap_or_else(|_| usage()),
             "--queue" => config.queue_capacity = val(&mut args).parse().unwrap_or_else(|_| usage()),
             "--cache" => config.cache_capacity = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--no-incremental" => config.incremental = false,
             "--trace-out" => trace_out = Some(val(&mut args)),
             "--prom-out" => prom_out = Some(val(&mut args)),
             "--report" => report = true,
@@ -139,13 +140,14 @@ fn serve_batch(args: impl Iterator<Item = String>) {
         }
     }
     eprintln!(
-        "done: {} ok ({} degraded), {} failed, {} cancelled; cache {} hit(s) / {} miss(es); p50 {}ms p95 {}ms",
+        "done: {} ok ({} degraded), {} failed, {} cancelled; cache {} hit(s) / {} miss(es); {} window extension(s); p50 {}ms p95 {}ms",
         metrics.done,
         metrics.degraded,
         metrics.failed,
         metrics.cancelled,
         metrics.cache.hits,
         metrics.cache.misses,
+        metrics.window_extensions,
         metrics.p50_latency.as_millis(),
         metrics.p95_latency.as_millis()
     );
@@ -285,6 +287,7 @@ fn main() {
     let mut report = false;
     let mut diversify = 1usize;
     let mut portfolio_share = false;
+    let mut incremental = true;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -313,6 +316,7 @@ fn main() {
                 }
             }
             "--portfolio-share" => portfolio_share = true,
+            "--no-incremental" => incremental = false,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -360,6 +364,7 @@ fn main() {
         swap_duration,
         time_budget: budget,
         recorder: recorder.clone(),
+        incremental,
         ..SynthesisConfig::default()
     };
 
@@ -369,8 +374,8 @@ fn main() {
                 .optimize_depth(&circuit, &device)
                 .unwrap_or_else(|e| fail(&e));
             eprintln!(
-                "optimal: {} ({} solver calls)",
-                out.proven_optimal, out.iterations
+                "optimal: {} ({} solver calls, {} window extension(s))",
+                out.proven_optimal, out.iterations, out.extensions
             );
             out.result
         }
@@ -379,8 +384,8 @@ fn main() {
                 .optimize_swaps(&circuit, &device)
                 .unwrap_or_else(|e| fail(&e));
             eprintln!(
-                "optimal: {} (pareto points: {:?})",
-                out.best.proven_optimal, out.pareto
+                "optimal: {} (pareto points: {:?}, {} window extension(s))",
+                out.best.proven_optimal, out.pareto, out.best.extensions
             );
             out.best.result
         }
@@ -388,7 +393,10 @@ fn main() {
             let out = TbOlsq2Synthesizer::new(config)
                 .optimize_blocks(&circuit, &device)
                 .unwrap_or_else(|e| fail(&e));
-            eprintln!("blocks: {}", out.block_count);
+            eprintln!(
+                "blocks: {} ({} window extension(s))",
+                out.block_count, out.outcome.extensions
+            );
             out.outcome.result
         }
         ("tb", "swaps") => {
@@ -396,8 +404,8 @@ fn main() {
                 .optimize_swaps(&circuit, &device)
                 .unwrap_or_else(|e| fail(&e));
             eprintln!(
-                "optimal: {} ({} blocks)",
-                out.outcome.proven_optimal, out.block_count
+                "optimal: {} ({} blocks, {} window extension(s))",
+                out.outcome.proven_optimal, out.block_count, out.outcome.extensions
             );
             out.outcome.result
         }

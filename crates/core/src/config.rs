@@ -246,6 +246,14 @@ pub struct SynthesisConfig {
     pub clause_exchange: Option<Arc<dyn ClauseExchange>>,
     /// Export quality gate for [`Self::clause_exchange`].
     pub exchange_filter: ExchangeFilter,
+    /// Zero-rebuild incremental encoding: when the depth/block window must
+    /// grow, extend the live model in place (keeping all learned clauses,
+    /// VSIDS activity, and saved phases) instead of rebuilding from
+    /// scratch. Window-scoped constraints are guarded on a generation
+    /// literal; superseded generations are root-falsified and reclaimed by
+    /// the solver's simplification pass. `false` forces the old
+    /// rebuild-on-growth path (A/B comparisons, debugging).
+    pub incremental: bool,
 }
 
 impl Default for SynthesisConfig {
@@ -265,6 +273,7 @@ impl Default for SynthesisConfig {
             diversification: SolverDiversification::default(),
             clause_exchange: None,
             exchange_filter: ExchangeFilter::default(),
+            incremental: true,
         }
     }
 }

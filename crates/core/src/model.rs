@@ -89,11 +89,27 @@ pub struct FlatModel {
     swap_lits: Vec<Vec<Lit>>,
     t_ub: usize,
     sd: usize,
+    style: ModelStyle,
     config: SynthesisConfig,
     depth_bounds: HashMap<usize, Lit>,
     swap_card: Option<CardinalityNetwork>,
     num_gates: usize,
     tally: FamilyTally,
+    /// Current window-generation guard (incremental builds only): the
+    /// active at-least-one/domain-bound constraints for the time variables
+    /// are conditional on it, and every solve assumes it. Superseded
+    /// guards are permanently falsified at the root by
+    /// [`FlatModel::extend_window`].
+    window_guard: Option<Lit>,
+    /// Number of in-place window extensions performed.
+    extensions: usize,
+    /// Running hash of post-build lazy allocations (bound activation
+    /// literals, cardinality machinery). Folded into the clause-sharing
+    /// fingerprint after an extension: clause *counts* diverge across
+    /// cohort members (each learns and simplifies differently), so the
+    /// variable space is pinned by variable count + allocation history
+    /// instead.
+    alloc_history: u64,
 }
 
 impl FlatModel {
@@ -208,7 +224,21 @@ impl FlatModel {
         } else {
             DependencyGraph::new(circuit)
         };
-        let mut time = TimeVars::new(&mut solver, circuit.num_gates(), t_ub, enc.time, enc.amo);
+        // Incremental builds guard the window-scoped domain constraints on
+        // a generation literal so the window can later grow in place (see
+        // [`FlatModel::extend_window`]); the guard is assumed on every
+        // solve. Non-incremental builds emit them unconditionally.
+        let window_guard = config
+            .incremental
+            .then(|| Lit::positive(CnfSink::new_var(&mut solver)));
+        let mut time = TimeVars::new(
+            &mut solver,
+            circuit.num_gates(),
+            t_ub,
+            enc.time,
+            enc.amo,
+            window_guard,
+        );
         for &(g, g2) in dag.dependencies() {
             time.assert_before(&mut solver, g, g2);
         }
@@ -531,12 +561,339 @@ impl FlatModel {
             swap_lits,
             t_ub,
             sd,
+            style,
             config: config.clone(),
             depth_bounds: HashMap::new(),
             swap_card: None,
             num_gates: circuit.num_gates(),
             tally,
+            window_guard,
+            extensions: 0,
+            alloc_history: 0,
         })
+    }
+
+    /// Grows the depth window to `new_t_ub` **in place**: appends the new
+    /// time steps' variables and constraint families onto the live solver,
+    /// keeping every learned clause, VSIDS activity, and saved phase. The
+    /// encoding is time-resolved, so all clauses over steps `0..old_t_ub`
+    /// remain valid verbatim; only the window-scoped domain constraints
+    /// move to a new guard generation, and the superseded guard is
+    /// permanently falsified at the root (which [`Solver::simplify`] then
+    /// exploits to physically retire the dead constraints).
+    ///
+    /// Returns `false` without extending when the model cannot extend —
+    /// built non-incrementally, the baseline style, or a binary time
+    /// encoding that would need a wider bit-vector. The caller falls back
+    /// to a rebuild then.
+    ///
+    /// `circuit` and `graph` must be the ones the model was built from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_t_ub` is below the current window.
+    pub fn extend_window(
+        &mut self,
+        circuit: &Circuit,
+        graph: &CouplingGraph,
+        new_t_ub: usize,
+    ) -> bool {
+        let Some(old_guard) = self.window_guard else {
+            return false;
+        };
+        if self.style != ModelStyle::Olsq2 {
+            return false;
+        }
+        let new_t_ub = new_t_ub.max(1);
+        assert!(new_t_ub >= self.t_ub, "windows only grow");
+        if new_t_ub == self.t_ub {
+            return true;
+        }
+        let old_t_ub = self.t_ub;
+        let nq = self.mapping.len();
+        let np = graph.num_qubits();
+        let ne = graph.num_edges();
+        let sd = self.sd;
+        let enc = self.config.encoding;
+
+        // --- Time variables: new guard generation + dependency re-emit ----
+        let mut mark = self.tally.mark(&self.solver);
+        let new_guard = Lit::positive(CnfSink::new_var(&mut self.solver));
+        if !self.time.extend(&mut self.solver, new_t_ub, new_guard) {
+            return false; // binary width grew: caller rebuilds
+        }
+        mark = self
+            .tally
+            .credit_since(ConstraintFamily::Dependency, &self.solver, mark);
+
+        // --- Mapping variables + injectivity for the new steps ------------
+        for q in 0..nq {
+            for _ in old_t_ub..new_t_ub {
+                let var = match enc.mapping {
+                    MappingEncoding::OneHot | MappingEncoding::InverseOneHot => {
+                        FdVar::new_onehot(&mut self.solver, np, enc.amo)
+                    }
+                    MappingEncoding::Binary => FdVar::new_binary(&mut self.solver, np),
+                };
+                self.mapping[q].push(var);
+            }
+        }
+        match enc.mapping {
+            MappingEncoding::OneHot => {
+                for t in old_t_ub..new_t_ub {
+                    for p in 0..np {
+                        let sels: Vec<Lit> = (0..nq)
+                            .map(|q| self.mapping[q][t].eq_lit(&mut self.solver, p))
+                            .collect();
+                        at_most_one(&mut self.solver, &sels, enc.amo);
+                    }
+                }
+            }
+            MappingEncoding::Binary => {
+                for t in old_t_ub..new_t_ub {
+                    for q1 in 0..nq {
+                        for q2 in (q1 + 1)..nq {
+                            let diff = fd_differs(
+                                &mut self.solver,
+                                &self.mapping[q1][t],
+                                &self.mapping[q2][t],
+                            );
+                            self.solver.add_clause([diff]);
+                        }
+                    }
+                }
+            }
+            MappingEncoding::InverseOneHot => {
+                for t in old_t_ub..new_t_ub {
+                    let mut inv: Vec<FdVar> = (0..np)
+                        .map(|_| FdVar::new_onehot(&mut self.solver, nq + 1, enc.amo))
+                        .collect();
+                    for q in 0..nq {
+                        for p in 0..np {
+                            let m = self.mapping[q][t].eq_lit(&mut self.solver, p);
+                            let i = inv[p].eq_lit(&mut self.solver, q);
+                            self.solver.add_clause([!m, i]);
+                            self.solver.add_clause([!i, m]);
+                        }
+                    }
+                }
+            }
+        }
+        mark = self
+            .tally
+            .credit_since(ConstraintFamily::Mapping, &self.solver, mark);
+
+        // --- SWAP variables for the new steps + exclusions ----------------
+        for e in 0..ne {
+            for t in old_t_ub..new_t_ub {
+                let l = Lit::positive(CnfSink::new_var(&mut self.solver));
+                if t < sd - 1 {
+                    self.solver.add_clause([!l]);
+                }
+                self.swap_lits[e].push(l);
+            }
+        }
+        // Replicate the build-time exclusion loops at the larger window,
+        // skipping pairs whose finish times both predate the extension
+        // (those clauses were already emitted).
+        for e1 in 0..ne {
+            let (a1, b1) = graph.edge(e1);
+            for e2 in e1..ne {
+                let (a2, b2) = graph.edge(e2);
+                let shares = e1 == e2 || a1 == a2 || a1 == b2 || b1 == a2 || b1 == b2;
+                if !shares {
+                    continue;
+                }
+                for t1 in (sd - 1)..new_t_ub {
+                    let upper = (t1 + sd).min(new_t_ub);
+                    let lower = if e1 == e2 {
+                        t1 + 1
+                    } else {
+                        (t1 + 1).saturating_sub(sd).max(sd - 1)
+                    };
+                    for t2 in lower..upper {
+                        if (e1 == e2 && t1 == t2) || (t1 < old_t_ub && t2 < old_t_ub) {
+                            continue;
+                        }
+                        self.solver
+                            .add_clause([!self.swap_lits[e1][t1], !self.swap_lits[e2][t2]]);
+                    }
+                }
+            }
+        }
+        mark = self
+            .tally
+            .credit_since(ConstraintFamily::Swap, &self.solver, mark);
+
+        // --- Scheduling validity for the new steps (Eq. 1–3) --------------
+        let mut adj_cache: HashMap<(u16, u16, usize), Lit> = HashMap::new();
+        for (g, gate) in circuit.gates().iter().enumerate() {
+            if let Operands::Two(q1, q2) = gate.operands {
+                let (qa, qb) = (q1.min(q2), q1.max(q2));
+                for t in old_t_ub..new_t_ub {
+                    let adj = match adj_cache.get(&(qa, qb, t)) {
+                        Some(&l) => l,
+                        None => {
+                            let mut pair_lits = Vec::with_capacity(2 * ne);
+                            for e in 0..ne {
+                                let (pa, pb) = graph.edge(e);
+                                for (x, y) in [(pa, pb), (pb, pa)] {
+                                    let la = self.mapping[qa as usize][t]
+                                        .eq_lit(&mut self.solver, x as usize);
+                                    let lb = self.mapping[qb as usize][t]
+                                        .eq_lit(&mut self.solver, y as usize);
+                                    pair_lits.push(gates::and_lit(&mut self.solver, la, lb));
+                                }
+                            }
+                            let l = gates::or_all(&mut self.solver, &pair_lits);
+                            adj_cache.insert((qa, qb, t), l);
+                            l
+                        }
+                    };
+                    let mut clause = self.time.var(g).neq_clause(t);
+                    clause.push(adj);
+                    self.solver.add_clause(clause);
+                }
+            }
+        }
+        // Eq. 2–3: every new pair has a new finish time (a swap finishing
+        // at t blocks gates in (t - S_D, t], so old finish times only pair
+        // with old gate times, which were covered by the build).
+        for (g, gate) in circuit.gates().iter().enumerate() {
+            let qubits: Vec<u16> = gate.operands.qubits().collect();
+            for e in 0..ne {
+                let (pa, pb) = graph.edge(e);
+                for t in (sd - 1).max(old_t_ub)..new_t_ub {
+                    for t_prime in (t + 1 - sd)..=t {
+                        for &q in &qubits {
+                            for p in [pa, pb] {
+                                let mut clause = self.time.var(g).neq_clause(t_prime);
+                                clause.extend(self.mapping[q as usize][t].neq_clause(p as usize));
+                                clause.push(!self.swap_lits[e][t]);
+                                self.solver.add_clause(clause);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        mark = self
+            .tally
+            .credit_since(ConstraintFamily::Scheduling, &self.solver, mark);
+
+        // --- Mapping transformation across the seam and new steps ---------
+        for t in (old_t_ub - 1)..(new_t_ub - 1) {
+            for q in 0..nq {
+                for p in 0..np {
+                    let incident = graph.edges_at(p as u16);
+                    let antecedent = self.mapping[q][t].neq_clause(p);
+                    for &bit in &self.mapping[q][t + 1].eq_conj(p) {
+                        let mut clause = antecedent.clone();
+                        clause.extend(incident.iter().map(|&e| self.swap_lits[e][t]));
+                        clause.push(bit);
+                        self.solver.add_clause(clause);
+                    }
+                }
+                for e in 0..ne {
+                    let (pa, pb) = graph.edge(e);
+                    for (from, to) in [(pa, pb), (pb, pa)] {
+                        let antecedent = self.mapping[q][t].neq_clause(from as usize);
+                        for &bit in &self.mapping[q][t + 1].eq_conj(to as usize) {
+                            let mut clause = Vec::with_capacity(antecedent.len() + 2);
+                            clause.push(!self.swap_lits[e][t]);
+                            clause.extend(antecedent.iter().copied());
+                            clause.push(bit);
+                            self.solver.add_clause(clause);
+                        }
+                    }
+                }
+            }
+        }
+        mark = self
+            .tally
+            .credit_since(ConstraintFamily::Transition, &self.solver, mark);
+
+        // --- Patch cached bound activations over the new steps ------------
+        // A one-hot depth bound issued before the extension knows nothing
+        // about the new time selectors or swap literals; forbid them under
+        // the same activator. (Binary comparators cover the full bit width
+        // and need no patch.) Sorted for deterministic clause order.
+        let mut depth_acts: Vec<(usize, Lit)> =
+            self.depth_bounds.iter().map(|(&d, &a)| (d, a)).collect();
+        depth_acts.sort_unstable_by_key(|&(d, _)| d);
+        for &(_, act) in &depth_acts {
+            if enc.time == crate::config::TimeEncoding::OneHot {
+                for g in 0..self.num_gates {
+                    self.time.var_mut(g).forbid_range_if(
+                        &mut self.solver,
+                        old_t_ub..new_t_ub,
+                        Some(act),
+                    );
+                }
+            }
+            for e in 0..ne {
+                for t in old_t_ub..new_t_ub {
+                    let l = self.swap_lits[e][t];
+                    self.solver.add_clause([!act, !l]);
+                }
+            }
+        }
+        if let Some(card) = &mut self.swap_card {
+            let new_inputs: Vec<Lit> = (0..ne)
+                .flat_map(|e| self.swap_lits[e][old_t_ub..].iter().copied())
+                .collect();
+            let invalidated = card.extend(&mut self.solver, &new_inputs);
+            // Invalidated bound activators (adder-network rebuilds) are
+            // permanently retired; callers re-request their bounds.
+            for l in invalidated {
+                self.solver.add_clause([!l]);
+            }
+        }
+        self.tally
+            .credit_since(ConstraintFamily::Cardinality, &self.solver, mark);
+
+        // --- Generation flip: retire the superseded window guard ----------
+        self.solver.add_clause([!old_guard]);
+        self.solver.simplify();
+        self.window_guard = Some(new_guard);
+        self.t_ub = new_t_ub;
+        self.extensions += 1;
+        self.note_alloc(3, new_t_ub);
+        self.rebind_exchange();
+        true
+    }
+
+    /// Folds a post-build lazy allocation event into the running history
+    /// hash (see the `alloc_history` field).
+    fn note_alloc(&mut self, tag: u64, key: usize) {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.alloc_history.hash(&mut h);
+        tag.hash(&mut h);
+        key.hash(&mut h);
+        self.alloc_history = h.finish();
+    }
+
+    /// Re-binds the clause-sharing fence after an extension: cohort members
+    /// that performed the identical build + bound-request + extension
+    /// sequence provably share a variable numbering, so sharing stays live
+    /// across grown windows. Clause counts are deliberately excluded — they
+    /// diverge per member (different learned units, different
+    /// simplifications) without affecting variable meanings.
+    fn rebind_exchange(&mut self) {
+        if let Some(exchange) = &self.config.clause_exchange {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            "olsq2.flat.extended".hash(&mut h);
+            self.style.hash(&mut h);
+            self.t_ub.hash(&mut h);
+            self.sd.hash(&mut h);
+            self.config.encoding.hash(&mut h);
+            self.extensions.hash(&mut h);
+            self.solver.num_vars().hash(&mut h);
+            self.alloc_history.hash(&mut h);
+            exchange.bind_space(h.finish() | 1, self.solver.num_vars());
+        }
     }
 
     /// Hash identifying one formula build for the clause-sharing fence.
@@ -615,6 +972,7 @@ impl FlatModel {
         self.tally
             .credit_since(ConstraintFamily::Cardinality, &self.solver, mark);
         self.depth_bounds.insert(depth, act);
+        self.note_alloc(1, depth);
         act
     }
 
@@ -643,12 +1001,28 @@ impl FlatModel {
             .at_most(&mut self.solver, k);
         self.tally
             .credit_since(ConstraintFamily::Cardinality, &self.solver, mark);
+        self.note_alloc(2, k.wrapping_mul(65_537).wrapping_add(max_bound));
         act
     }
 
-    /// Solves under the given assumptions.
+    /// Number of in-place window extensions performed on this model.
+    pub fn extensions(&self) -> usize {
+        self.extensions
+    }
+
+    /// Solves under the given assumptions (plus the active window guard on
+    /// incremental builds — without it the guarded at-least-one constraints
+    /// would let every time variable go unassigned).
     pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
-        self.solver.solve(assumptions)
+        match self.window_guard {
+            None => self.solver.solve(assumptions),
+            Some(g) => {
+                let mut with_guard = Vec::with_capacity(assumptions.len() + 1);
+                with_guard.extend_from_slice(assumptions);
+                with_guard.push(g);
+                self.solver.solve(&with_guard)
+            }
+        }
     }
 
     /// Extracts the layout result from the solver's current model.

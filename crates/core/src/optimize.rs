@@ -74,6 +74,9 @@ pub struct SynthesisOutcome {
     pub formula_size: (usize, usize),
     /// Cumulative solver statistics.
     pub solver_stats: Stats,
+    /// Number of in-place window extensions performed on the final model
+    /// (zero when the incremental path is disabled or never triggered).
+    pub extensions: usize,
 }
 
 /// Result of SWAP optimization: the Pareto frontier explored.
@@ -148,14 +151,43 @@ impl Olsq2Synthesizer {
             span.set("vars", vars);
             span.set("clauses", clauses);
             for (fam, c) in model.breakdown().iter() {
-                span.set(&format!("vars.{}", fam.name()), c.vars);
-                span.set(&format!("clauses.{}", fam.name()), c.clauses);
+                span.set(fam.vars_key(), c.vars);
+                span.set(fam.clauses_key(), c.clauses);
             }
         }
         model
             .solver_mut()
             .set_recorder(self.config.recorder.clone());
         Ok(model)
+    }
+
+    /// Grows `model` to the depth window `t_ub` — in place via
+    /// [`FlatModel::extend_window`] when the incremental path applies
+    /// (keeping the solver's learned clauses alive), otherwise by
+    /// rebuilding from scratch.
+    fn grow_model(
+        &self,
+        circuit: &Circuit,
+        graph: &CouplingGraph,
+        model: &mut FlatModel,
+        t_ub: usize,
+    ) -> Result<(), SynthesisError> {
+        if self.config.incremental {
+            let span = self.config.recorder.span("extend");
+            span.set("t_ub", t_ub);
+            let (vars_before, clauses_before) = model.formula_size();
+            let extend_start = Instant::now();
+            if model.extend_window(circuit, graph, t_ub) {
+                let (vars, clauses) = model.formula_size();
+                span.set("extend_us", extend_start.elapsed().as_micros() as u64);
+                span.set("appended_vars", vars - vars_before);
+                span.set("appended_clauses", clauses.saturating_sub(clauses_before));
+                return Ok(());
+            }
+            span.set("result", "rebuild");
+        }
+        *model = self.build_model(circuit, graph, t_ub)?;
+        Ok(())
     }
 
     fn dependency_graph(&self, circuit: &Circuit) -> DependencyGraph {
@@ -229,6 +261,7 @@ impl Olsq2Synthesizer {
                     elapsed: start.elapsed(),
                     formula_size: model.formula_size(),
                     solver_stats: model.solver_mut().stats(),
+                    extensions: model.extensions(),
                 }))
             }
             SolveResult::Unsat => Err(SynthesisError::WindowExhausted),
@@ -269,7 +302,7 @@ impl Olsq2Synthesizer {
                 if t_b > t_ub {
                     return Err(SynthesisError::WindowExhausted);
                 }
-                model = self.build_model(circuit, graph, t_ub)?;
+                self.grow_model(circuit, graph, &mut model, t_ub)?;
             }
             let span = self.iteration_span("depth", &[("t_bound", t_b)]);
             let encode_start = Instant::now();
@@ -342,6 +375,7 @@ impl Olsq2Synthesizer {
             elapsed: start.elapsed(),
             formula_size: model.formula_size(),
             solver_stats: model.solver_mut().stats(),
+            extensions: model.extensions(),
         })
     }
 
@@ -430,7 +464,7 @@ impl Olsq2Synthesizer {
                 if new_depth > t_ub {
                     break;
                 }
-                model = self.build_model(circuit, graph, t_ub)?;
+                self.grow_model(circuit, graph, &mut model, t_ub)?;
             }
             let span =
                 self.iteration_span("swaps", &[("t_bound", new_depth), ("swap_bound", s - 1)]);
@@ -477,6 +511,7 @@ impl Olsq2Synthesizer {
                 elapsed: start.elapsed(),
                 formula_size,
                 solver_stats,
+                extensions: model.extensions(),
             },
             pareto,
         })

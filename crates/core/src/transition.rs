@@ -39,6 +39,13 @@ struct TransitionModel {
     swap_card: Option<CardinalityNetwork>,
     num_gates: usize,
     tally: FamilyTally,
+    /// Current window-generation guard (incremental builds only); every
+    /// solve assumes it, and [`TransitionModel::extend_blocks`] retires it.
+    window_guard: Option<Lit>,
+    /// Number of in-place block-window extensions performed.
+    extensions: usize,
+    /// Running hash of post-build lazy allocations (see `FlatModel`).
+    alloc_history: u64,
 }
 
 impl TransitionModel {
@@ -133,7 +140,19 @@ impl TransitionModel {
         } else {
             DependencyGraph::new(circuit)
         };
-        let mut time = TimeVars::new(&mut solver, circuit.num_gates(), blocks, enc.time, enc.amo);
+        // Guarded block-index domains allow the block window to grow in
+        // place (see [`TransitionModel::extend_blocks`]).
+        let window_guard = config
+            .incremental
+            .then(|| Lit::positive(CnfSink::new_var(&mut solver)));
+        let mut time = TimeVars::new(
+            &mut solver,
+            circuit.num_gates(),
+            blocks,
+            enc.time,
+            enc.amo,
+            window_guard,
+        );
         for &(g, g2) in dag.dependencies() {
             time.assert_before_or_equal(&mut solver, g, g2);
         }
@@ -257,7 +276,290 @@ impl TransitionModel {
             swap_card: None,
             num_gates: circuit.num_gates(),
             tally,
+            window_guard,
+            extensions: 0,
+            alloc_history: 0,
         })
+    }
+
+    /// Grows the block window to `new_blocks` in place — the transition
+    /// analogue of `FlatModel::extend_window`. Appends per-block mapping
+    /// variables, transition SWAP layers, adjacency, and mapping
+    /// transformation for the new blocks onto the live solver; block-index
+    /// variables move to a new guard generation and recorded dependencies
+    /// are re-emitted for the new values. Returns `false` (caller rebuilds)
+    /// for non-incremental builds or a binary block index needing a wider
+    /// bit-vector.
+    fn extend_blocks(
+        &mut self,
+        circuit: &Circuit,
+        graph: &CouplingGraph,
+        config: &SynthesisConfig,
+        new_blocks: usize,
+    ) -> bool {
+        let Some(old_guard) = self.window_guard else {
+            return false;
+        };
+        let new_blocks = new_blocks.max(1);
+        assert!(new_blocks >= self.blocks, "block windows only grow");
+        if new_blocks == self.blocks {
+            return true;
+        }
+        let old_blocks = self.blocks;
+        let nq = self.mapping.len();
+        let np = graph.num_qubits();
+        let ne = graph.num_edges();
+        let enc = config.encoding;
+
+        // --- Block-index variables: new guard generation ------------------
+        let mut mark = self.tally.mark(&self.solver);
+        let new_guard = Lit::positive(CnfSink::new_var(&mut self.solver));
+        if !self.time.extend(&mut self.solver, new_blocks, new_guard) {
+            return false; // binary width grew: caller rebuilds
+        }
+        mark = self
+            .tally
+            .credit_since(ConstraintFamily::Dependency, &self.solver, mark);
+
+        // --- Mapping variables + injectivity for the new blocks -----------
+        for q in 0..nq {
+            for _ in old_blocks..new_blocks {
+                let var = match enc.mapping {
+                    MappingEncoding::OneHot | MappingEncoding::InverseOneHot => {
+                        FdVar::new_onehot(&mut self.solver, np, enc.amo)
+                    }
+                    MappingEncoding::Binary => FdVar::new_binary(&mut self.solver, np),
+                };
+                self.mapping[q].push(var);
+            }
+        }
+        match enc.mapping {
+            MappingEncoding::OneHot => {
+                for b in old_blocks..new_blocks {
+                    for p in 0..np {
+                        let sels: Vec<Lit> = (0..nq)
+                            .map(|q| self.mapping[q][b].eq_lit(&mut self.solver, p))
+                            .collect();
+                        at_most_one(&mut self.solver, &sels, enc.amo);
+                    }
+                }
+            }
+            MappingEncoding::Binary => {
+                for b in old_blocks..new_blocks {
+                    for q1 in 0..nq {
+                        for q2 in (q1 + 1)..nq {
+                            let diffs: Vec<Lit> = self.mapping[q1][b]
+                                .raw_lits()
+                                .iter()
+                                .zip(self.mapping[q2][b].raw_lits())
+                                .map(|(&x, y)| gates::xor_lit(&mut self.solver, x, y))
+                                .collect();
+                            let diff = gates::or_all(&mut self.solver, &diffs);
+                            self.solver.add_clause([diff]);
+                        }
+                    }
+                }
+            }
+            MappingEncoding::InverseOneHot => {
+                for b in old_blocks..new_blocks {
+                    let mut inv: Vec<FdVar> = (0..np)
+                        .map(|_| FdVar::new_onehot(&mut self.solver, nq + 1, enc.amo))
+                        .collect();
+                    for q in 0..nq {
+                        for p in 0..np {
+                            let m = self.mapping[q][b].eq_lit(&mut self.solver, p);
+                            let i = inv[p].eq_lit(&mut self.solver, q);
+                            self.solver.add_clause([!m, i]);
+                            self.solver.add_clause([!i, m]);
+                        }
+                    }
+                }
+            }
+        }
+        mark = self
+            .tally
+            .credit_since(ConstraintFamily::Mapping, &self.solver, mark);
+
+        // --- New transition SWAP layers (indices old_blocks-1..new_blocks-1)
+        for e in 0..ne {
+            for _ in (old_blocks - 1)..(new_blocks - 1) {
+                let l = Lit::positive(CnfSink::new_var(&mut self.solver));
+                self.swap_lits[e].push(l);
+            }
+        }
+        for e1 in 0..ne {
+            let (a1, b1) = graph.edge(e1);
+            for e2 in (e1 + 1)..ne {
+                let (a2, b2) = graph.edge(e2);
+                let shares = a1 == a2 || a1 == b2 || b1 == a2 || b1 == b2;
+                if !shares {
+                    continue;
+                }
+                for b in (old_blocks - 1)..(new_blocks - 1) {
+                    self.solver
+                        .add_clause([!self.swap_lits[e1][b], !self.swap_lits[e2][b]]);
+                }
+            }
+        }
+        mark = self
+            .tally
+            .credit_since(ConstraintFamily::Swap, &self.solver, mark);
+
+        // --- Adjacency inside the new blocks (Eq. 1) ----------------------
+        let mut adj_cache: HashMap<(u16, u16, usize), Lit> = HashMap::new();
+        for (g, gate) in circuit.gates().iter().enumerate() {
+            if let Operands::Two(q1, q2) = gate.operands {
+                let (qa, qb) = (q1.min(q2), q1.max(q2));
+                for b in old_blocks..new_blocks {
+                    let adj = match adj_cache.get(&(qa, qb, b)) {
+                        Some(&l) => l,
+                        None => {
+                            let mut pair_lits = Vec::with_capacity(2 * ne);
+                            for e in 0..ne {
+                                let (pa, pb) = graph.edge(e);
+                                for (x, y) in [(pa, pb), (pb, pa)] {
+                                    let la = self.mapping[qa as usize][b]
+                                        .eq_lit(&mut self.solver, x as usize);
+                                    let lb = self.mapping[qb as usize][b]
+                                        .eq_lit(&mut self.solver, y as usize);
+                                    pair_lits.push(gates::and_lit(&mut self.solver, la, lb));
+                                }
+                            }
+                            let l = gates::or_all(&mut self.solver, &pair_lits);
+                            adj_cache.insert((qa, qb, b), l);
+                            l
+                        }
+                    };
+                    let mut clause = self.time.var(g).neq_clause(b);
+                    clause.push(adj);
+                    self.solver.add_clause(clause);
+                }
+            }
+        }
+        mark = self
+            .tally
+            .credit_since(ConstraintFamily::Scheduling, &self.solver, mark);
+
+        // --- Mapping transformation across the seam and new blocks --------
+        for b in (old_blocks - 1)..(new_blocks - 1) {
+            for q in 0..nq {
+                for p in 0..np {
+                    let incident = graph.edges_at(p as u16);
+                    let antecedent = self.mapping[q][b].neq_clause(p);
+                    for &bit in &self.mapping[q][b + 1].eq_conj(p) {
+                        let mut clause = antecedent.clone();
+                        clause.extend(incident.iter().map(|&e| self.swap_lits[e][b]));
+                        clause.push(bit);
+                        self.solver.add_clause(clause);
+                    }
+                }
+                for e in 0..ne {
+                    let (pa, pb) = graph.edge(e);
+                    for (from, to) in [(pa, pb), (pb, pa)] {
+                        let antecedent = self.mapping[q][b].neq_clause(from as usize);
+                        for &bit in &self.mapping[q][b + 1].eq_conj(to as usize) {
+                            let mut clause = Vec::with_capacity(antecedent.len() + 2);
+                            clause.push(!self.swap_lits[e][b]);
+                            clause.extend(antecedent.iter().copied());
+                            clause.push(bit);
+                            self.solver.add_clause(clause);
+                        }
+                    }
+                }
+            }
+        }
+        mark = self
+            .tally
+            .credit_since(ConstraintFamily::Transition, &self.solver, mark);
+
+        // --- Patch cached block-bound activations -------------------------
+        // Every cached bound has k ≤ old window, so all new transition
+        // layers lie at or beyond k-1 and must be forbidden under it; new
+        // block-index values likewise (one-hot only — binary comparators
+        // cover the full width). The symmetry clauses reference only
+        // transitions below k-1, which predate the extension.
+        let mut block_acts: Vec<(usize, Lit)> =
+            self.block_bounds.iter().map(|(&k, &a)| (k, a)).collect();
+        block_acts.sort_unstable_by_key(|&(k, _)| k);
+        for &(_, act) in &block_acts {
+            if enc.time == crate::config::TimeEncoding::OneHot {
+                for g in 0..self.num_gates {
+                    self.time.var_mut(g).forbid_range_if(
+                        &mut self.solver,
+                        old_blocks..new_blocks,
+                        Some(act),
+                    );
+                }
+            }
+            for e in 0..ne {
+                for b in (old_blocks - 1)..(new_blocks - 1) {
+                    let l = self.swap_lits[e][b];
+                    self.solver.add_clause([!act, !l]);
+                }
+            }
+        }
+        if let Some(card) = &mut self.swap_card {
+            let new_inputs: Vec<Lit> = (0..ne)
+                .flat_map(|e| self.swap_lits[e][(old_blocks - 1)..].iter().copied())
+                .collect();
+            let invalidated = card.extend(&mut self.solver, &new_inputs);
+            for l in invalidated {
+                self.solver.add_clause([!l]);
+            }
+        }
+        self.tally
+            .credit_since(ConstraintFamily::Cardinality, &self.solver, mark);
+
+        // --- Generation flip ----------------------------------------------
+        self.solver.add_clause([!old_guard]);
+        self.solver.simplify();
+        self.window_guard = Some(new_guard);
+        self.blocks = new_blocks;
+        self.extensions += 1;
+        self.note_alloc(3, new_blocks);
+        self.rebind_exchange(config);
+        true
+    }
+
+    /// Folds a post-build lazy allocation event into the history hash.
+    fn note_alloc(&mut self, tag: u64, key: usize) {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.alloc_history.hash(&mut h);
+        tag.hash(&mut h);
+        key.hash(&mut h);
+        self.alloc_history = h.finish();
+    }
+
+    /// Re-binds the clause-sharing fence after an extension (see
+    /// `FlatModel::rebind_exchange`): variable count + allocation history
+    /// pin the space; clause counts are member-divergent and excluded.
+    fn rebind_exchange(&mut self, config: &SynthesisConfig) {
+        if let Some(exchange) = &config.clause_exchange {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            "olsq2.transition.extended".hash(&mut h);
+            self.blocks.hash(&mut h);
+            config.swap_duration.hash(&mut h);
+            config.encoding.hash(&mut h);
+            self.extensions.hash(&mut h);
+            self.solver.num_vars().hash(&mut h);
+            self.alloc_history.hash(&mut h);
+            exchange.bind_space(h.finish() | 1, self.solver.num_vars());
+        }
+    }
+
+    /// Solves under the given assumptions plus the active window guard.
+    fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        match self.window_guard {
+            None => self.solver.solve(assumptions),
+            Some(g) => {
+                let mut with_guard = Vec::with_capacity(assumptions.len() + 1);
+                with_guard.extend_from_slice(assumptions);
+                with_guard.push(g);
+                self.solver.solve(&with_guard)
+            }
+        }
     }
 
     /// Activation literal for "exactly `k` blocks are used": all gates in
@@ -291,6 +593,7 @@ impl TransitionModel {
         self.tally
             .credit_since(ConstraintFamily::Cardinality, &self.solver, mark);
         self.block_bounds.insert(k, act);
+        self.note_alloc(1, k);
         act
     }
 
@@ -316,6 +619,7 @@ impl TransitionModel {
             .at_most(&mut self.solver, k);
         self.tally
             .credit_since(ConstraintFamily::Cardinality, &self.solver, mark);
+        self.note_alloc(2, k.wrapping_mul(65_537).wrapping_add(capacity));
         act
     }
 
@@ -505,12 +809,43 @@ impl TbOlsq2Synthesizer {
             span.set("vars", model.solver.num_vars());
             span.set("clauses", model.solver.num_clauses());
             for (fam, c) in model.tally.iter() {
-                span.set(&format!("vars.{}", fam.name()), c.vars);
-                span.set(&format!("clauses.{}", fam.name()), c.clauses);
+                span.set(fam.vars_key(), c.vars);
+                span.set(fam.clauses_key(), c.clauses);
             }
         }
         model.solver.set_recorder(self.config.recorder.clone());
         Ok(model)
+    }
+
+    /// Grows `model` to `blocks` — in place via
+    /// [`TransitionModel::extend_blocks`] when the incremental path applies,
+    /// otherwise by rebuilding from scratch.
+    fn grow_model(
+        &self,
+        circuit: &Circuit,
+        graph: &CouplingGraph,
+        model: &mut TransitionModel,
+        blocks: usize,
+    ) -> Result<(), ModelError> {
+        if self.config.incremental {
+            let span = self.config.recorder.span("extend");
+            span.set("blocks", blocks);
+            let vars_before = model.solver.num_vars();
+            let clauses_before = model.solver.num_clauses();
+            let extend_start = Instant::now();
+            if model.extend_blocks(circuit, graph, &self.config, blocks) {
+                span.set("extend_us", extend_start.elapsed().as_micros() as u64);
+                span.set("appended_vars", model.solver.num_vars() - vars_before);
+                span.set(
+                    "appended_clauses",
+                    model.solver.num_clauses().saturating_sub(clauses_before),
+                );
+                return Ok(());
+            }
+            span.set("result", "rebuild");
+        }
+        *model = self.build_model(circuit, graph, blocks)?;
+        Ok(())
     }
 
     /// Opens one `iteration` span tagged with the active bounds.
@@ -555,7 +890,7 @@ impl TbOlsq2Synthesizer {
                 if k > window {
                     return Err(SynthesisError::WindowExhausted);
                 }
-                model = self.build_model(circuit, graph, window)?;
+                self.grow_model(circuit, graph, &mut model, window)?;
             }
             let span = self.iteration_span("blocks", &[("block_bound", k)]);
             let encode_start = Instant::now();
@@ -564,7 +899,7 @@ impl TbOlsq2Synthesizer {
             self.arm(&mut model, deadline);
             iterations += 1;
             let solve_start = Instant::now();
-            let res = model.solver.solve(&[act]);
+            let res = model.solve(&[act]);
             span.set("solve_us", solve_start.elapsed().as_micros() as u64);
             span.set("result", result_str(res));
             drop(span);
@@ -582,6 +917,7 @@ impl TbOlsq2Synthesizer {
                             elapsed: start.elapsed(),
                             formula_size: (model.solver.num_vars(), model.solver.num_clauses()),
                             solver_stats: model.solver.stats(),
+                            extensions: model.extensions,
                         },
                         block_count: sol.used_blocks(),
                     });
@@ -642,7 +978,7 @@ impl TbOlsq2Synthesizer {
                 self.arm(&mut model, deadline);
                 iterations += 1;
                 let solve_start = Instant::now();
-                let res = model.solver.solve(&[act_b, act_s]);
+                let res = model.solve(&[act_b, act_s]);
                 span.set("solve_us", solve_start.elapsed().as_micros() as u64);
                 span.set("result", result_str(res));
                 drop(span);
@@ -683,7 +1019,7 @@ impl TbOlsq2Synthesizer {
             let new_blocks = blocks + 1;
             if new_blocks > window {
                 window = new_blocks;
-                model = self.build_model(circuit, graph, window)?;
+                self.grow_model(circuit, graph, &mut model, window)?;
             }
             let span = self.iteration_span(
                 "swaps",
@@ -697,7 +1033,7 @@ impl TbOlsq2Synthesizer {
             self.arm(&mut model, deadline);
             iterations += 1;
             let solve_start = Instant::now();
-            let res = model.solver.solve(&[act_b, act_s]);
+            let res = model.solve(&[act_b, act_s]);
             span.set("solve_us", solve_start.elapsed().as_micros() as u64);
             span.set("result", result_str(res));
             drop(span);
@@ -737,6 +1073,7 @@ impl TbOlsq2Synthesizer {
                 elapsed: start.elapsed(),
                 formula_size: (model.solver.num_vars(), model.solver.num_clauses()),
                 solver_stats: model.solver.stats(),
+                extensions: model.extensions,
             },
             block_count,
         })
@@ -766,7 +1103,7 @@ impl TbOlsq2Synthesizer {
         self.arm(&mut model, self.deadline());
         let span = self.iteration_span("feasible", &[("block_bound", blocks)]);
         let solve_start = Instant::now();
-        let res = model.solver.solve(&assumptions);
+        let res = model.solve(&assumptions);
         span.set("solve_us", solve_start.elapsed().as_micros() as u64);
         span.set("result", result_str(res));
         drop(span);
@@ -782,6 +1119,7 @@ impl TbOlsq2Synthesizer {
                     elapsed: start.elapsed(),
                     formula_size: (model.solver.num_vars(), model.solver.num_clauses()),
                     solver_stats: model.solver.stats(),
+                    extensions: model.extensions,
                 }))
             }
             SolveResult::Unsat => Err(SynthesisError::WindowExhausted),

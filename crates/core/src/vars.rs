@@ -28,8 +28,39 @@ enum FdRepr {
 impl FdVar {
     /// One-hot representation with an exactly-one constraint.
     pub fn new_onehot<S: CnfSink>(sink: &mut S, domain: usize, amo: AmoEncoding) -> FdVar {
+        FdVar::new_onehot_guarded(sink, domain, amo, None)
+    }
+
+    /// One-hot representation whose *at-least-one* constraint is guarded
+    /// (`guard → some selector true`; at-most-one stays unconditional).
+    ///
+    /// This is the extendable-window form: when the domain later grows via
+    /// [`FdVar::extend_domain`], the caller root-falsifies the old guard
+    /// and a fresh guarded at-least-one over the enlarged selector set
+    /// takes over. With `None` the constraint is unconditional and the
+    /// variable cannot be extended.
+    pub fn new_onehot_guarded<S: CnfSink>(
+        sink: &mut S,
+        domain: usize,
+        amo: AmoEncoding,
+        guard: Option<Lit>,
+    ) -> FdVar {
+        let oh = match guard {
+            None => OneHot::new(sink, domain, amo),
+            Some(g) => {
+                assert!(domain > 0, "domain must be nonempty");
+                let selectors: Vec<Lit> =
+                    (0..domain).map(|_| Lit::positive(sink.new_var())).collect();
+                let mut alo = Vec::with_capacity(domain + 1);
+                alo.push(!g);
+                alo.extend_from_slice(&selectors);
+                sink.add_clause(&alo);
+                olsq2_encode::at_most_one(sink, &selectors, amo);
+                OneHot::from_selectors(selectors)
+            }
+        };
         FdVar {
-            repr: FdRepr::OneHot(OneHot::new(sink, domain, amo)),
+            repr: FdRepr::OneHot(oh),
             domain,
             eq_cache: vec![None; domain],
         }
@@ -38,13 +69,107 @@ impl FdVar {
     /// Binary representation; values ≥ `domain` are excluded by a
     /// comparator when `domain` is not a power of two.
     pub fn new_binary<S: CnfSink>(sink: &mut S, domain: usize) -> FdVar {
+        FdVar::new_binary_guarded(sink, domain, None)
+    }
+
+    /// Binary representation whose domain-bound comparator is guarded by
+    /// `guard` (see [`FdVar::new_onehot_guarded`] for the protocol).
+    pub fn new_binary_guarded<S: CnfSink>(
+        sink: &mut S,
+        domain: usize,
+        guard: Option<Lit>,
+    ) -> FdVar {
         assert!(domain > 0);
         let bv = BitVec::new(sink, width_for(domain as u64 - 1));
-        bv.assert_le_const_if(sink, domain as u64 - 1, None);
+        bv.assert_le_const_if(sink, domain as u64 - 1, guard);
         FdVar {
             repr: FdRepr::Binary(bv),
             domain,
             eq_cache: vec![None; domain],
+        }
+    }
+
+    /// Grows the domain to `0..new_domain` in place, guarding the new
+    /// generation's domain constraint with `guard`. Returns `false` if the
+    /// representation cannot extend (binary needing a wider bit-vector) —
+    /// the caller must then rebuild instead.
+    ///
+    /// The caller owns the generational protocol: the previous guard must
+    /// be root-falsified so the old (narrower) at-least-one / domain bound
+    /// stops constraining the variable. Existing at-most-one constraints,
+    /// equality literals, and comparator circuits stay valid because the
+    /// domain only grows.
+    pub fn extend_domain<S: CnfSink>(
+        &mut self,
+        sink: &mut S,
+        new_domain: usize,
+        amo: AmoEncoding,
+        guard: Lit,
+    ) -> bool {
+        assert!(new_domain >= self.domain, "domains only grow");
+        if new_domain == self.domain {
+            return true;
+        }
+        match &mut self.repr {
+            FdRepr::Binary(bv) => {
+                if width_for(new_domain as u64 - 1) != bv.width() {
+                    return false; // wider vector needed: not extendable in place
+                }
+                bv.assert_le_const_if(sink, new_domain as u64 - 1, Some(guard));
+            }
+            FdRepr::OneHot(oh) => {
+                let mut selectors = oh.selectors().to_vec();
+                let old = selectors.len();
+                selectors.extend((old..new_domain).map(|_| Lit::positive(sink.new_var())));
+                match amo {
+                    // Pairwise extends incrementally: only pairs touching a
+                    // new selector are missing.
+                    AmoEncoding::Pairwise => {
+                        for i in 0..old {
+                            for j in old..new_domain {
+                                sink.add_clause(&[!selectors[i], !selectors[j]]);
+                            }
+                        }
+                        for i in old..new_domain {
+                            for j in (i + 1)..new_domain {
+                                sink.add_clause(&[!selectors[i], !selectors[j]]);
+                            }
+                        }
+                    }
+                    // Ladder/commander auxiliaries don't extend; re-emit the
+                    // whole at-most-one (redundant over old pairs but sound).
+                    _ => olsq2_encode::at_most_one(sink, &selectors, amo),
+                }
+                let mut alo = Vec::with_capacity(new_domain + 1);
+                alo.push(!guard);
+                alo.extend_from_slice(&selectors);
+                sink.add_clause(&alo);
+                self.repr = FdRepr::OneHot(OneHot::from_selectors(selectors));
+            }
+        }
+        self.eq_cache.resize(new_domain, None);
+        self.domain = new_domain;
+        true
+    }
+
+    /// Asserts `guard → self ∉ lo..hi`, used to patch previously issued
+    /// bound activation literals when the domain grows past them: a cached
+    /// one-hot `≤ v` bound knows nothing about selectors allocated later,
+    /// so each extension forbids the new values under the same activator.
+    /// (Binary comparators cover the whole bit width and need no patch.)
+    pub fn forbid_range_if<S: CnfSink>(
+        &mut self,
+        sink: &mut S,
+        range: std::ops::Range<usize>,
+        guard: Option<Lit>,
+    ) {
+        assert!(range.end <= self.domain);
+        for v in range {
+            let mut clause = self.neq_clause(v);
+            if let Some(g) = guard {
+                clause.insert(0, !g);
+            }
+            sink.add_clause(&clause);
         }
     }
 
@@ -147,32 +272,133 @@ impl FdVar {
 pub struct TimeVars {
     vars: Vec<FdVar>,
     encoding: TimeEncoding,
+    amo: AmoEncoding,
     /// Lazily built prefix ladders (one-hot only): `ladders[g][t]` ↔ `t_g ≤ t`.
     ladders: Vec<Option<Vec<Lit>>>,
     t_ub: usize,
+    /// Whether construction was guarded (extension requires it).
+    guarded: bool,
+    /// Recorded `(earlier, later)` strict dependencies, re-emitted for the
+    /// new time steps when the window is extended (one-hot only; binary
+    /// comparators are domain-independent).
+    befores: Vec<(usize, usize)>,
+    /// Recorded relaxed dependencies (`t_earlier ≤ t_later`).
+    before_or_equals: Vec<(usize, usize)>,
+    /// Recorded disequalities (`t_a ≠ t_b`).
+    not_equals: Vec<(usize, usize)>,
 }
 
 impl TimeVars {
     /// Allocates `num_gates` time variables over `0..t_ub`.
+    ///
+    /// With a `guard`, the per-variable domain constraint (at-least-one /
+    /// binary upper bound) is conditional on it, which is what makes the
+    /// window extendable later via [`TimeVars::extend`]; every solve must
+    /// then assume the current generation's guard. With `None` the
+    /// variables are unconditional and the window is fixed.
     pub fn new<S: CnfSink>(
         sink: &mut S,
         num_gates: usize,
         t_ub: usize,
         encoding: TimeEncoding,
         amo: AmoEncoding,
+        guard: Option<Lit>,
     ) -> TimeVars {
         let vars = (0..num_gates)
             .map(|_| match encoding {
-                TimeEncoding::OneHot => FdVar::new_onehot(sink, t_ub, amo),
-                TimeEncoding::Binary => FdVar::new_binary(sink, t_ub),
+                TimeEncoding::OneHot => FdVar::new_onehot_guarded(sink, t_ub, amo, guard),
+                TimeEncoding::Binary => FdVar::new_binary_guarded(sink, t_ub, guard),
             })
             .collect();
         TimeVars {
             vars,
             encoding,
+            amo,
             ladders: vec![None; num_gates],
             t_ub,
+            guarded: guard.is_some(),
+            befores: Vec::new(),
+            before_or_equals: Vec::new(),
+            not_equals: Vec::new(),
         }
+    }
+
+    /// Extends every gate's time variable to range over `0..new_t_ub`,
+    /// appending ladder rungs and re-emitting the recorded dependency
+    /// constraints for the new time steps. The new generation's domain
+    /// constraints are guarded by `guard`; the caller root-falsifies the
+    /// previous guard. Returns `false` (leaving the family untouched) if
+    /// the family was built unguarded or the binary representation needs a
+    /// wider bit-vector — the caller must rebuild then.
+    pub fn extend<S: CnfSink>(&mut self, sink: &mut S, new_t_ub: usize, guard: Lit) -> bool {
+        assert!(new_t_ub >= self.t_ub, "windows only grow");
+        if !self.guarded {
+            return false;
+        }
+        if new_t_ub == self.t_ub {
+            return true;
+        }
+        if self.encoding == TimeEncoding::Binary
+            && width_for(new_t_ub as u64 - 1) != width_for(self.t_ub as u64 - 1)
+        {
+            return false;
+        }
+        let old_t_ub = self.t_ub;
+        for v in &mut self.vars {
+            let ok = v.extend_domain(sink, new_t_ub, self.amo, guard);
+            debug_assert!(ok, "width checked above");
+        }
+        self.t_ub = new_t_ub;
+        if self.encoding == TimeEncoding::Binary {
+            // Comparator dependencies and xor disequalities range over the
+            // full bit width already; nothing to re-emit.
+            return true;
+        }
+        // Append rungs to the ladders that were already materialized (lazy
+        // ones will simply be built at the new length).
+        for g in 0..self.vars.len() {
+            if self.ladders[g].is_none() {
+                continue;
+            }
+            let mut lits = self.ladders[g].take().expect("checked above");
+            let mut prev = *lits.last().expect("ladders are nonempty");
+            for t in old_t_ub..new_t_ub {
+                let sel = self.vars[g].eq_lit(sink, t);
+                let le = Lit::positive(sink.new_var());
+                sink.add_clause(&[!prev, le]);
+                sink.add_clause(&[!sel, le]);
+                sink.add_clause(&[!le, prev, sel]);
+                lits.push(le);
+                prev = le;
+            }
+            self.ladders[g] = Some(lits);
+        }
+        // Re-emit the per-time-step dependency clauses for the new steps.
+        for i in 0..self.befores.len() {
+            let (earlier, later) = self.befores[i];
+            let ladder: Vec<Lit> = self.ladder(sink, earlier).to_vec();
+            for t in old_t_ub..new_t_ub {
+                let sel = self.vars[later].eq_lit(sink, t);
+                sink.add_clause(&[!sel, ladder[t - 1]]);
+            }
+        }
+        for i in 0..self.before_or_equals.len() {
+            let (earlier, later) = self.before_or_equals[i];
+            let ladder: Vec<Lit> = self.ladder(sink, earlier).to_vec();
+            for t in old_t_ub..new_t_ub {
+                let sel = self.vars[later].eq_lit(sink, t);
+                sink.add_clause(&[!sel, ladder[t]]);
+            }
+        }
+        for i in 0..self.not_equals.len() {
+            let (a, b) = self.not_equals[i];
+            for t in old_t_ub..new_t_ub {
+                let sa = self.vars[a].eq_lit(sink, t);
+                let sb = self.vars[b].eq_lit(sink, t);
+                sink.add_clause(&[!sa, !sb]);
+            }
+        }
+        true
     }
 
     /// The upper bound `T_UB` the variables range under.
@@ -239,6 +465,7 @@ impl TimeVars {
                 }
             }
             TimeEncoding::OneHot => {
+                self.before_or_equals.push((earlier, later));
                 let ladder: Vec<Lit> = self.ladder(sink, earlier).to_vec();
                 for t in 0..self.t_ub {
                     let sel = self.vars[later].eq_lit(sink, t);
@@ -254,6 +481,7 @@ impl TimeVars {
     pub fn assert_not_equal<S: CnfSink>(&mut self, sink: &mut S, a: usize, b: usize) {
         match self.encoding {
             TimeEncoding::OneHot => {
+                self.not_equals.push((a, b));
                 for t in 0..self.t_ub {
                     let sa = self.vars[a].eq_lit(sink, t);
                     let sb = self.vars[b].eq_lit(sink, t);
@@ -287,6 +515,7 @@ impl TimeVars {
                 }
             }
             TimeEncoding::OneHot => {
+                self.befores.push((earlier, later));
                 // sel(later, t) → le(earlier, t-1); sel(later, 0) impossible.
                 let first = self.vars[later].eq_lit(sink, 0);
                 sink.add_clause(&[!first]);
@@ -381,7 +610,7 @@ mod tests {
     fn dependencies_order_gates_exhaustively() {
         for encoding in [TimeEncoding::OneHot, TimeEncoding::Binary] {
             let mut s = Solver::new();
-            let mut tv = TimeVars::new(&mut s, 3, 4, encoding, AmoEncoding::Pairwise);
+            let mut tv = TimeVars::new(&mut s, 3, 4, encoding, AmoEncoding::Pairwise, None);
             tv.assert_before(&mut s, 0, 1);
             tv.assert_before(&mut s, 1, 2);
             // Check every assignment triple.
@@ -405,9 +634,124 @@ mod tests {
     }
 
     #[test]
+    fn extend_domain_matches_fresh_semantics() {
+        // 5 → 7 keeps the binary width (both need 3 bits), so both
+        // representations extend in place.
+        for onehot in [true, false] {
+            let mut s = Solver::new();
+            let g0 = Lit::positive(s.new_var());
+            let mut v = if onehot {
+                FdVar::new_onehot_guarded(&mut s, 5, AmoEncoding::Pairwise, Some(g0))
+            } else {
+                FdVar::new_binary_guarded(&mut s, 5, Some(g0))
+            };
+            let e2 = v.eq_lit(&mut s, 2);
+            assert_eq!(s.solve(&[g0, e2]), SolveResult::Sat);
+            let g1 = Lit::positive(s.new_var());
+            assert!(v.extend_domain(&mut s, 7, AmoEncoding::Pairwise, g1));
+            s.add_clause([!g0]);
+            for val in 0..7 {
+                let e = v.eq_lit(&mut s, val);
+                assert_eq!(s.solve(&[g1, e]), SolveResult::Sat, "value {val}");
+            }
+            // Forbid all legal values: the guarded at-least-one / domain
+            // bound still forces one of them.
+            let mut bad: Vec<Lit> = (0..7).map(|val| !v.eq_lit(&mut s, val)).collect();
+            bad.push(g1);
+            assert_eq!(s.solve(&bad), SolveResult::Unsat);
+        }
+    }
+
+    #[test]
+    fn binary_extension_fails_when_width_grows() {
+        let mut s = Solver::new();
+        let g0 = Lit::positive(s.new_var());
+        let mut v = FdVar::new_binary_guarded(&mut s, 4, Some(g0)); // 2 bits
+        let g1 = Lit::positive(s.new_var());
+        assert!(!v.extend_domain(&mut s, 6, AmoEncoding::Pairwise, g1)); // needs 3
+        assert_eq!(v.domain(), 4);
+    }
+
+    #[test]
+    fn forbid_range_patches_stale_bound() {
+        let mut s = Solver::new();
+        let g0 = Lit::positive(s.new_var());
+        let mut v = FdVar::new_onehot_guarded(&mut s, 4, AmoEncoding::Pairwise, Some(g0));
+        // A "≤ 2" activation issued before the extension…
+        let act = Lit::positive(s.new_var());
+        v.assert_le_if(&mut s, 2, Some(act));
+        let g1 = Lit::positive(s.new_var());
+        assert!(v.extend_domain(&mut s, 6, AmoEncoding::Pairwise, g1));
+        s.add_clause([!g0]);
+        // …knows nothing about the new values until patched.
+        v.forbid_range_if(&mut s, 4..6, Some(act));
+        let e5 = v.eq_lit(&mut s, 5);
+        assert_eq!(s.solve(&[g1, act, e5]), SolveResult::Unsat);
+        assert_eq!(s.solve(&[g1, e5]), SolveResult::Sat);
+        let e1 = v.eq_lit(&mut s, 1);
+        assert_eq!(s.solve(&[g1, act, e1]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn time_extension_preserves_dependency_semantics() {
+        for encoding in [TimeEncoding::OneHot, TimeEncoding::Binary] {
+            // 5 → 7 keeps binary width, so both encodings extend.
+            let mut s = Solver::new();
+            let g0 = Lit::positive(s.new_var());
+            let mut tv = TimeVars::new(&mut s, 3, 5, encoding, AmoEncoding::Pairwise, Some(g0));
+            tv.assert_before(&mut s, 0, 1);
+            tv.assert_before_or_equal(&mut s, 1, 2);
+            tv.assert_not_equal(&mut s, 0, 2);
+            let g1 = Lit::positive(s.new_var());
+            assert!(tv.extend(&mut s, 7, g1));
+            assert_eq!(tv.t_ub(), 7);
+            s.add_clause([!g0]);
+            for a in 0..7 {
+                for b in 0..7 {
+                    for c in 0..7 {
+                        let mut assumptions = vec![g1];
+                        for (g, val) in [(0usize, a), (1, b), (2, c)] {
+                            assumptions.push(tv.var_mut(g).eq_lit(&mut s, val));
+                        }
+                        let expected = a < b && b <= c && a != c;
+                        assert_eq!(
+                            s.solve(&assumptions) == SolveResult::Sat,
+                            expected,
+                            "{encoding:?} {a},{b},{c}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unguarded_time_vars_refuse_extension() {
+        let mut s = Solver::new();
+        let mut tv = TimeVars::new(
+            &mut s,
+            2,
+            4,
+            TimeEncoding::OneHot,
+            AmoEncoding::Pairwise,
+            None,
+        );
+        let g = Lit::positive(s.new_var());
+        assert!(!tv.extend(&mut s, 6, g));
+        assert_eq!(tv.t_ub(), 4);
+    }
+
+    #[test]
     fn t_ub_accessor() {
         let mut s = Solver::new();
-        let tv = TimeVars::new(&mut s, 2, 7, TimeEncoding::Binary, AmoEncoding::Pairwise);
+        let tv = TimeVars::new(
+            &mut s,
+            2,
+            7,
+            TimeEncoding::Binary,
+            AmoEncoding::Pairwise,
+            None,
+        );
         assert_eq!(tv.t_ub(), 7);
     }
 }

@@ -66,6 +66,11 @@ enum Outputs {
 pub struct CardinalityNetwork {
     n_inputs: usize,
     capacity: usize,
+    enc: CardEncoding,
+    max_bound: usize,
+    /// The input literals (kept so [`CardinalityNetwork::extend`] can
+    /// rebuild the adder network; the sorted encodings extend in place).
+    inputs: Vec<Lit>,
     outputs: Outputs,
     /// Cached activation literals per bound (adder encoding only).
     bound_cache: HashMap<usize, Lit>,
@@ -94,9 +99,72 @@ impl CardinalityNetwork {
         CardinalityNetwork {
             n_inputs: n,
             capacity,
+            enc,
+            max_bound,
+            inputs: inputs.to_vec(),
             outputs,
             bound_cache: HashMap::new(),
         }
+    }
+
+    /// Appends `new_inputs` to the network in place, reusing the existing
+    /// counting circuitry, and returns any activation literals that were
+    /// invalidated by the extension (the caller should falsify them at the
+    /// root so the solver can discard the superseded comparators).
+    ///
+    /// * `SequentialCounter` — the sorted output column is exactly the
+    ///   fold state of Sinz's counter, so extension *continues the fold*
+    ///   over the new inputs; the resulting clauses are identical to a
+    ///   fresh build over the concatenated input list.
+    /// * `Totalizer` — builds a sub-totalizer over the new inputs and
+    ///   merges it with the old root node.
+    /// * `AdderNetwork` — re-sums all inputs (the binary adder has no
+    ///   extension-friendly structure); previously cached bound literals
+    ///   guard comparators over the old, smaller sum and are returned for
+    ///   root falsification.
+    ///
+    /// Bound literals previously returned by [`CardinalityNetwork::at_most`]
+    /// for the sorted encodings remain *sound* (they constrain the old
+    /// input subset) but no longer cap the full sum; callers must request
+    /// fresh bound literals after extension.
+    pub fn extend<S: CnfSink>(&mut self, sink: &mut S, new_inputs: &[Lit]) -> Vec<Lit> {
+        if new_inputs.is_empty() {
+            return Vec::new();
+        }
+        let old_n = self.n_inputs;
+        self.n_inputs += new_inputs.len();
+        self.capacity = self.n_inputs.min(self.max_bound.saturating_add(1));
+        self.inputs.extend_from_slice(new_inputs);
+        let mut invalidated = Vec::new();
+        match self.enc {
+            CardEncoding::SequentialCounter => {
+                let prev = match std::mem::replace(&mut self.outputs, Outputs::Sorted(Vec::new())) {
+                    Outputs::Sorted(p) => p,
+                    Outputs::Binary(_) => unreachable!("sequential counter has sorted outputs"),
+                };
+                let outs = sequential_counter_from(sink, prev, new_inputs, old_n, self.capacity);
+                self.outputs = Outputs::Sorted(outs);
+            }
+            CardEncoding::Totalizer => {
+                let old = match std::mem::replace(&mut self.outputs, Outputs::Sorted(Vec::new())) {
+                    Outputs::Sorted(p) => p,
+                    Outputs::Binary(_) => unreachable!("totalizer has sorted outputs"),
+                };
+                let fresh = totalizer(sink, new_inputs, self.capacity);
+                let merged = if old.is_empty() {
+                    fresh
+                } else {
+                    totalizer_merge(sink, &old, &fresh, self.capacity)
+                };
+                self.outputs = Outputs::Sorted(merged);
+            }
+            CardEncoding::AdderNetwork => {
+                self.outputs = Outputs::Binary(adder_network(sink, &self.inputs));
+                invalidated = self.bound_cache.drain().map(|(_, l)| l).collect();
+                invalidated.sort_unstable();
+            }
+        }
+        invalidated
     }
 
     /// Number of inputs.
@@ -151,15 +219,30 @@ impl CardinalityNetwork {
 /// Sinz sequential counter, one direction, `capacity` columns.
 /// Returns `out[j]` = "at least j+1 of the inputs are true".
 fn sequential_counter<S: CnfSink>(sink: &mut S, inputs: &[Lit], capacity: usize) -> Vec<Lit> {
-    let n = inputs.len();
-    if n == 0 || capacity == 0 {
+    if inputs.is_empty() || capacity == 0 {
         return Vec::new();
     }
+    sequential_counter_from(sink, Vec::new(), inputs, 0, capacity)
+}
+
+/// Continues the sequential-counter fold: `prev` is the output column
+/// after `offset` inputs (empty when starting fresh), and the returned
+/// column accounts for `inputs` as inputs `offset..offset+len`. Emits the
+/// same clauses a monolithic build over the concatenated inputs would.
+fn sequential_counter_from<S: CnfSink>(
+    sink: &mut S,
+    mut prev: Vec<Lit>,
+    inputs: &[Lit],
+    offset: usize,
+    capacity: usize,
+) -> Vec<Lit> {
+    if capacity == 0 {
+        return prev;
+    }
     // s[j] after processing input i: at least j+1 true among inputs[0..=i].
-    let mut prev: Vec<Lit> = Vec::with_capacity(capacity);
-    for (i, &x) in inputs.iter().enumerate() {
-        let cols = capacity.min(i + 1);
-        let mut cur: Vec<Lit> = (0..cols).map(|_| Lit::positive(sink.new_var())).collect();
+    for (d, &x) in inputs.iter().enumerate() {
+        let cols = capacity.min(offset + d + 1);
+        let cur: Vec<Lit> = (0..cols).map(|_| Lit::positive(sink.new_var())).collect();
         // x → cur[0]
         sink.add_clause(&[!x, cur[0]]);
         for j in 0..prev.len() {
@@ -170,7 +253,7 @@ fn sequential_counter<S: CnfSink>(sink: &mut S, inputs: &[Lit], capacity: usize)
                 sink.add_clause(&[!x, !prev[j], cur[j + 1]]);
             }
         }
-        std::mem::swap(&mut prev, &mut cur);
+        prev = cur;
     }
     prev
 }
@@ -187,29 +270,38 @@ fn totalizer<S: CnfSink>(sink: &mut S, inputs: &[Lit], capacity: usize) -> Vec<L
         let mid = lits.len() / 2;
         let a = build(sink, &lits[..mid], cap);
         let b = build(sink, &lits[mid..], cap);
-        let out_len = (a.len() + b.len()).min(cap);
-        let r: Vec<Lit> = (0..out_len)
-            .map(|_| Lit::positive(sink.new_var()))
-            .collect();
-        // a_i alone implies r_i (1-indexed semantics, 0-indexed storage).
-        for (i, &ai) in a.iter().enumerate() {
-            let tgt = i.min(out_len - 1);
-            sink.add_clause(&[!ai, r[tgt]]);
-        }
-        for (j, &bj) in b.iter().enumerate() {
-            let tgt = j.min(out_len - 1);
-            sink.add_clause(&[!bj, r[tgt]]);
-        }
-        // a_i ∧ b_j → r_{i+j+1} (counts add).
-        for (i, &ai) in a.iter().enumerate() {
-            for (j, &bj) in b.iter().enumerate() {
-                let tgt = (i + j + 1).min(out_len - 1);
-                sink.add_clause(&[!ai, !bj, r[tgt]]);
-            }
-        }
-        r
+        totalizer_merge(sink, &a, &b, cap)
     }
     build(sink, inputs, capacity)
+}
+
+/// One totalizer merge node: combines two sorted-output children into a
+/// sorted parent capped at `cap` columns (input → output direction only).
+fn totalizer_merge<S: CnfSink>(sink: &mut S, a: &[Lit], b: &[Lit], cap: usize) -> Vec<Lit> {
+    let out_len = (a.len() + b.len()).min(cap);
+    if out_len == 0 {
+        return Vec::new();
+    }
+    let r: Vec<Lit> = (0..out_len)
+        .map(|_| Lit::positive(sink.new_var()))
+        .collect();
+    // a_i alone implies r_i (1-indexed semantics, 0-indexed storage).
+    for (i, &ai) in a.iter().enumerate() {
+        let tgt = i.min(out_len - 1);
+        sink.add_clause(&[!ai, r[tgt]]);
+    }
+    for (j, &bj) in b.iter().enumerate() {
+        let tgt = j.min(out_len - 1);
+        sink.add_clause(&[!bj, r[tgt]]);
+    }
+    // a_i ∧ b_j → r_{i+j+1} (counts add).
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let tgt = (i + j + 1).min(out_len - 1);
+            sink.add_clause(&[!ai, !bj, r[tgt]]);
+        }
+    }
+    r
 }
 
 /// Binary adder network: ripple columns of full adders (a "parallel
@@ -369,6 +461,83 @@ mod tests {
             };
             assert_eq!(optimum, 3, "enc={enc:?}");
         }
+    }
+
+    /// Build over a prefix, extend with the rest, and require exactly the
+    /// popcount semantics of a fresh network over all inputs.
+    fn check_extended_exhaustive(n_old: usize, n_new: usize, enc: CardEncoding) {
+        let n = n_old + n_new;
+        let mut s = Solver::new();
+        let xs: Vec<Lit> = (0..n).map(|_| Lit::positive(s.new_var())).collect();
+        let mut card = CardinalityNetwork::new(&mut s, &xs[..n_old], n, enc);
+        let invalidated = card.extend(&mut s, &xs[n_old..]);
+        for l in invalidated {
+            s.add_clause([!l]);
+        }
+        assert_eq!(card.num_inputs(), n);
+        let bounds: Vec<Lit> = (0..=n).map(|k| card.at_most(&mut s, k)).collect();
+        for pattern in 0..(1u32 << n) {
+            for k in 0..=n {
+                let mut assumptions = vec![bounds[k]];
+                for (i, &x) in xs.iter().enumerate() {
+                    assumptions.push(if pattern >> i & 1 == 1 { x } else { !x });
+                }
+                let expected = pattern.count_ones() as usize <= k;
+                let got = s.solve(&assumptions);
+                assert_eq!(
+                    got == SolveResult::Sat,
+                    expected,
+                    "enc={enc:?} n_old={n_old} n_new={n_new} pattern={pattern:b} k={k} got={got:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extension_matches_fresh_build_all_encodings() {
+        for enc in ENCODINGS {
+            for (n_old, n_new) in [(0, 3), (1, 3), (2, 2), (3, 1), (3, 3)] {
+                check_extended_exhaustive(n_old, n_new, enc);
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_extension_grows_capacity_with_inputs() {
+        // Capacity limited by input count at build time must grow as
+        // inputs arrive, so new bounds become expressible.
+        let mut s = Solver::new();
+        let xs: Vec<Lit> = (0..8).map(|_| Lit::positive(s.new_var())).collect();
+        let mut card =
+            CardinalityNetwork::new(&mut s, &xs[..2], 7, CardEncoding::SequentialCounter);
+        assert_eq!(card.max_expressible_bound(), 1);
+        card.extend(&mut s, &xs[2..5]);
+        card.extend(&mut s, &xs[5..]);
+        assert_eq!(card.max_expressible_bound(), 7);
+        for &x in &xs[..5] {
+            s.add_clause([x]);
+        }
+        let b4 = card.at_most(&mut s, 4);
+        assert_eq!(s.solve(&[b4]), SolveResult::Unsat);
+        let b5 = card.at_most(&mut s, 5);
+        assert_eq!(s.solve(&[b5]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn sequential_extension_emits_identical_clause_count() {
+        // The fold continuation must produce exactly the clauses of a
+        // monolithic build over the concatenated inputs.
+        let mut fresh = crate::Cnf::new();
+        let xs: Vec<Lit> = (0..9).map(|_| fresh.new_var()).map(Lit::positive).collect();
+        CardinalityNetwork::new(&mut fresh, &xs, 5, CardEncoding::SequentialCounter);
+
+        let mut grown = crate::Cnf::new();
+        let ys: Vec<Lit> = (0..9).map(|_| grown.new_var()).map(Lit::positive).collect();
+        let mut card =
+            CardinalityNetwork::new(&mut grown, &ys[..4], 5, CardEncoding::SequentialCounter);
+        card.extend(&mut grown, &ys[4..]);
+        assert_eq!(fresh.num_clauses(), grown.num_clauses());
+        assert_eq!(fresh.num_vars(), grown.num_vars());
     }
 
     #[test]

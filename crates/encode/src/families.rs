@@ -54,6 +54,31 @@ impl ConstraintFamily {
         }
     }
 
+    /// Precomputed `vars.<name>` span-field / metric key, so hot build
+    /// paths don't re-allocate format strings per family per build.
+    pub fn vars_key(self) -> &'static str {
+        match self {
+            ConstraintFamily::Mapping => "vars.mapping",
+            ConstraintFamily::Dependency => "vars.dependency",
+            ConstraintFamily::Swap => "vars.swap",
+            ConstraintFamily::Scheduling => "vars.scheduling",
+            ConstraintFamily::Transition => "vars.transition",
+            ConstraintFamily::Cardinality => "vars.cardinality",
+        }
+    }
+
+    /// Precomputed `clauses.<name>` span-field / metric key.
+    pub fn clauses_key(self) -> &'static str {
+        match self {
+            ConstraintFamily::Mapping => "clauses.mapping",
+            ConstraintFamily::Dependency => "clauses.dependency",
+            ConstraintFamily::Swap => "clauses.swap",
+            ConstraintFamily::Scheduling => "clauses.scheduling",
+            ConstraintFamily::Transition => "clauses.transition",
+            ConstraintFamily::Cardinality => "clauses.cardinality",
+        }
+    }
+
     fn index(self) -> usize {
         match self {
             ConstraintFamily::Mapping => 0,
@@ -219,6 +244,14 @@ mod tests {
         let names: std::collections::HashSet<&str> =
             ConstraintFamily::ALL.iter().map(|f| f.name()).collect();
         assert_eq!(names.len(), ConstraintFamily::ALL.len());
+    }
+
+    #[test]
+    fn metric_keys_match_name_convention() {
+        for f in ConstraintFamily::ALL {
+            assert_eq!(f.vars_key(), format!("vars.{}", f.name()));
+            assert_eq!(f.clauses_key(), format!("clauses.{}", f.name()));
+        }
     }
 
     #[test]

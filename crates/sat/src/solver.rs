@@ -77,6 +77,13 @@ pub struct Stats {
     /// Foreign clauses dropped on import (duplicate, root-satisfied, or
     /// over unknown variables).
     pub import_dropped: u64,
+    /// Root-level [`Solver::simplify`] passes that did real work.
+    pub simplifies: u64,
+    /// Clauses removed by `simplify` because they were root-satisfied.
+    pub simplify_removed: u64,
+    /// Clauses strengthened by `simplify` (root-falsified literals
+    /// stripped, the shortened clause re-allocated).
+    pub simplify_strengthened: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -993,39 +1000,113 @@ impl Solver {
         translate(&mut self.learnts);
     }
 
-    /// Removes root-satisfied clauses. Safe even for level-0 reasons:
-    /// conflict analysis never traverses reasons of root-level literals.
-    fn simplify(&mut self) {
+    /// Root-level database simplification.
+    ///
+    /// At decision level 0 this removes clauses satisfied by root-fixed
+    /// literals, strips root-falsified literals from the remaining
+    /// clauses (re-allocating the shortened clause and retiring the
+    /// original), and compacts watch lists so retired clauses no longer
+    /// occupy propagation paths. Runs automatically between restarts; the
+    /// incremental window machinery calls it explicitly after permanently
+    /// falsifying superseded activation literals, so the retired
+    /// constraints are physically reclaimed rather than just skipped.
+    ///
+    /// Safe even for level-0 reasons: conflict analysis never traverses
+    /// reasons of root-level literals.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if called above decision level 0. Through
+    /// the public API the solver is always at the root between solves.
+    pub fn simplify(&mut self) {
         debug_assert_eq!(self.decision_level(), 0);
-        if self.trail.len() == self.simp_trail_len {
+        if !self.ok || self.trail.len() == self.simp_trail_len {
             return; // nothing newly fixed at the root since last time
         }
+        debug_assert_eq!(self.qhead, self.trail.len(), "propagation incomplete");
         self.simp_trail_len = self.trail.len();
-        let assigns = &self.assigns;
-        let db = &mut self.db;
-        let satisfied = |cref: ClauseRef, db: &ClauseDb| {
-            db.lits(cref)
-                .iter()
-                .any(|l| assigns[l.var().index()].apply_sign(l.is_negative()) == LBool::True)
-        };
-        // Note on proofs: these deletions are NOT logged. They remove
-        // clauses satisfied by root-propagated literals, and the checker —
-        // which only sees clauses, not the solver's trail — may still need
-        // them to re-derive those literals during later RUP checks.
-        // Keeping them in the checker's database is always sound.
-        for list in [&mut self.clauses, &mut self.learnts] {
+        self.stats.simplifies += 1;
+        let mut touched = false;
+        // Note on proofs: satisfied-clause deletions are NOT logged. They
+        // remove clauses satisfied by root-propagated literals, and the
+        // checker — which only sees clauses, not the solver's trail — may
+        // still need them to re-derive those literals during later RUP
+        // checks. Keeping them in the checker's database is always sound.
+        // Strengthening IS logged (lemma + delete): the shortened clause
+        // subsumes the original, so later RUP checks only get easier.
+        for which in 0..2 {
+            let list = std::mem::take(if which == 0 {
+                &mut self.clauses
+            } else {
+                &mut self.learnts
+            });
             let mut keep = Vec::with_capacity(list.len());
-            for &c in list.iter() {
-                if db.is_deleted(c) {
+            'clauses: for c in list {
+                if self.db.is_deleted(c) {
+                    touched = true;
                     continue;
                 }
-                if satisfied(c, db) {
-                    db.delete(c);
-                } else {
-                    keep.push(c);
+                let mut falsified = 0usize;
+                for &l in self.db.lits(c) {
+                    match self.value(l) {
+                        LBool::True => {
+                            self.db.delete(c);
+                            self.stats.simplify_removed += 1;
+                            touched = true;
+                            continue 'clauses;
+                        }
+                        LBool::False => falsified += 1,
+                        LBool::Undef => {}
+                    }
                 }
+                if falsified == 0 {
+                    keep.push(c);
+                    continue;
+                }
+                // Strip the root-falsified literals. The arena stores the
+                // length in the clause header, so shortening means
+                // allocating the shrunk clause and deleting the original.
+                let shrunk: Vec<Lit> = self
+                    .db
+                    .lits(c)
+                    .iter()
+                    .copied()
+                    .filter(|&l| self.value(l) != LBool::False)
+                    .collect();
+                // With root propagation complete, a non-satisfied clause
+                // keeps at least two unfalsified literals (one unfalsified
+                // literal would have been propagated, satisfying it).
+                debug_assert!(shrunk.len() >= 2, "unit survived root propagation");
+                let shrunk_for_proof = shrunk.clone();
+                self.log_proof(|| ProofStep::Lemma(shrunk_for_proof));
+                let original = self.db.lits(c).to_vec();
+                self.log_proof(|| ProofStep::Delete(original));
+                let learnt = self.db.is_learnt(c);
+                let meta = learnt.then(|| (self.db.lbd(c), self.db.activity(c)));
+                let new_cref = self.db.alloc(&shrunk, learnt);
+                if let Some((old_lbd, old_act)) = meta {
+                    self.db.set_lbd(new_cref, old_lbd.min(shrunk.len() as u32));
+                    self.db.set_activity(new_cref, old_act);
+                }
+                self.db.delete(c);
+                self.attach(new_cref);
+                keep.push(new_cref);
+                self.stats.simplify_strengthened += 1;
+                touched = true;
             }
-            *list = keep;
+            *(if which == 0 {
+                &mut self.clauses
+            } else {
+                &mut self.learnts
+            }) = keep;
+        }
+        if touched {
+            // Scrub watchers of retired clauses eagerly instead of letting
+            // propagation drop them one miss at a time.
+            let db = &self.db;
+            for ws in &mut self.watches {
+                ws.retain(|w| !db.is_deleted(w.cref));
+            }
         }
         if self.db.wasted_ratio() > 0.3 {
             self.garbage_collect();
@@ -1182,6 +1263,16 @@ impl Solver {
             self.recorder.add(
                 "sat.import_dropped",
                 d.import_dropped - stats_before.import_dropped,
+            );
+            self.recorder
+                .add("sat.simplifies", d.simplifies - stats_before.simplifies);
+            self.recorder.add(
+                "sat.simplify_removed",
+                d.simplify_removed - stats_before.simplify_removed,
+            );
+            self.recorder.add(
+                "sat.simplify_strengthened",
+                d.simplify_strengthened - stats_before.simplify_strengthened,
             );
         }
         result
@@ -1458,5 +1549,65 @@ mod tests {
         // The counters mirror the solver's own cumulative stats.
         assert_eq!(snap.counters["sat.decisions"], s.stats().decisions);
         assert_eq!(snap.counters["sat.propagations"], s.stats().propagations);
+    }
+
+    #[test]
+    fn simplify_removes_root_satisfied_clauses() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause([v[0], v[1]]);
+        s.add_clause([v[0], v[2]]);
+        let before = s.num_clauses();
+        // Fixing v0 at the root satisfies both clauses; units propagate
+        // eagerly so simplify sees the fixed trail immediately.
+        s.add_clause([v[0]]);
+        s.simplify();
+        assert!(s.stats().simplify_removed >= 2);
+        assert!(s.num_clauses() <= before - 2);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn simplify_strips_root_falsified_literals() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause([v[0], v[1], v[2]]);
+        s.add_clause([!v[0]]);
+        s.simplify();
+        assert!(s.stats().simplify_strengthened >= 1);
+        // The clause shrank to [v1, v2]: forbidding v1 must force v2.
+        assert_eq!(s.solve(&[!v[1]]), SolveResult::Sat);
+        assert_eq!(s.model_value(v[2]), Some(true));
+    }
+
+    #[test]
+    fn simplify_keeps_proof_checkable() {
+        let mut s = Solver::new();
+        s.enable_proof();
+        let v = lits(&mut s, 3);
+        // Unsatisfiable core over v0..v2 with some root units to strip.
+        s.add_clause([v[0], v[1], v[2]]);
+        s.add_clause([v[0], v[1], !v[2]]);
+        s.add_clause([v[0], !v[1]]);
+        s.add_clause([!v[0]]);
+        s.simplify();
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        let proof = s.take_proof().expect("proof recording was enabled");
+        assert!(proof.claims_unsat());
+        assert!(proof.check().is_ok());
+    }
+
+    #[test]
+    fn simplify_counter_and_unchanged_trail_skip() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause([v[0], v[1]]);
+        s.add_clause([v[0]]);
+        s.simplify();
+        let after_first = s.stats().simplifies;
+        assert!(after_first >= 1);
+        // Nothing newly fixed at the root: the second call is a no-op.
+        s.simplify();
+        assert_eq!(s.stats().simplifies, after_first);
     }
 }

@@ -223,6 +223,9 @@ pub fn parse_request(line: &str) -> Result<SynthesisRequest, String> {
     if let Some(c) = value.get("commutation_aware") {
         config.commutation_aware = c.as_bool().ok_or("commutation_aware must be a bool")?;
     }
+    if let Some(inc) = value.get("incremental") {
+        config.incremental = inc.as_bool().ok_or("incremental must be a bool")?;
+    }
     let deadline = match value.get("deadline_ms") {
         None => None,
         Some(d) => Some(Duration::from_millis(
@@ -351,6 +354,7 @@ pub fn metrics_to_json(m: &ServiceMetrics) -> Json {
                     ("learnts", m.solver.learnts.into()),
                     ("reduces", m.solver.reduces.into()),
                     ("minimized_lits", m.solver.minimized_lits.into()),
+                    ("window_extensions", m.window_extensions.into()),
                 ]),
             ),
         ]),

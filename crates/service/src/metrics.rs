@@ -67,6 +67,9 @@ pub struct ServiceMetrics {
     pub p99_latency: Duration,
     /// Aggregated solver statistics.
     pub solver: SolverTotals,
+    /// In-place window extensions performed across all jobs (zero when
+    /// the incremental encoding path is disabled).
+    pub window_extensions: u64,
 }
 
 /// The service's internal metrics collector.
@@ -85,6 +88,7 @@ struct Inner {
     cancelled: u64,
     latencies_us: Vec<u64>,
     solver: SolverTotals,
+    window_extensions: u64,
 }
 
 impl MetricsCollector {
@@ -130,6 +134,13 @@ impl MetricsCollector {
         }
     }
 
+    /// Credits in-place window extensions performed by a finished job.
+    pub(crate) fn on_extensions(&self, n: u64) {
+        if n > 0 {
+            self.lock().window_extensions += n;
+        }
+    }
+
     pub(crate) fn on_failed(&self, latency: Duration) {
         let mut m = self.lock();
         m.running = m.running.saturating_sub(1);
@@ -159,6 +170,7 @@ impl MetricsCollector {
             p95_latency: p95,
             p99_latency: p99,
             solver: m.solver,
+            window_extensions: m.window_extensions,
         }
     }
 }
@@ -269,6 +281,11 @@ pub fn prometheus_text(m: &ServiceMetrics, recorder: &olsq2_obs::Recorder) -> St
         "olsq2_solver_minimized_lits",
         "Literals removed by clause minimization across jobs",
         m.solver.minimized_lits as f64,
+    );
+    prom.counter(
+        "olsq2_window_extensions",
+        "In-place encoding window extensions across jobs",
+        m.window_extensions as f64,
     );
     if recorder.is_enabled() {
         let snap = recorder.snapshot();

@@ -149,8 +149,9 @@ pub enum JobStatus {
     /// A worker is executing it.
     Running,
     /// Finished with a result (possibly degraded; see
-    /// [`JobOutput::degraded`]).
-    Done(JobOutput),
+    /// [`JobOutput::degraded`]). Boxed: the payload (layout + solver
+    /// stats) dwarfs the other variants.
+    Done(Box<JobOutput>),
     /// Synthesis failed.
     Failed(SynthesisError),
     /// Cancelled before completion.

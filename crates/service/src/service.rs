@@ -37,6 +37,10 @@ pub struct ServiceConfig {
     /// [`olsq2::SynthesisConfig`] so synthesizer iteration spans nest under
     /// the job span. The default disabled recorder records nothing.
     pub recorder: olsq2::Recorder,
+    /// Whether jobs may extend encoding windows in place
+    /// ([`olsq2::SynthesisConfig::incremental`]). `false` forces every job
+    /// onto the rebuild-from-scratch path regardless of its own config.
+    pub incremental: bool,
 }
 
 impl Default for ServiceConfig {
@@ -49,6 +53,7 @@ impl Default for ServiceConfig {
             queue_capacity: 256,
             cache_capacity: 512,
             recorder: olsq2::Recorder::disabled(),
+            incremental: true,
         }
     }
 }
@@ -95,6 +100,7 @@ struct ServiceState {
     /// in-flight solves.
     running_flags: Mutex<HashMap<u64, Arc<AtomicBool>>>,
     recorder: olsq2::Recorder,
+    incremental: bool,
 }
 
 /// A synthesis service instance owning its worker pool.
@@ -133,6 +139,7 @@ impl SynthesisService {
             shutdown: AtomicBool::new(false),
             running_flags: Mutex::new(HashMap::new()),
             recorder: config.recorder,
+            incremental: config.incremental,
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -337,13 +344,14 @@ fn run_job(state: &ServiceState, id: u64, job: &QueuedJob) {
             // returns the instant it does, and the caller may snapshot
             // the recorder right away.
             drop(span);
-            job.shared.set_status(JobStatus::Done(output));
+            job.shared.set_status(JobStatus::Done(Box::new(output)));
             return;
         }
     }
 
     // Arm the per-job budget and reporting hooks.
     let mut config = request.config.clone();
+    config.incremental = config.incremental && state.incremental;
     config.stop_flag = Some(job.shared.cancel.clone());
     if !config.recorder.is_enabled() {
         config.recorder = state.recorder.clone();
@@ -360,7 +368,8 @@ fn run_job(state: &ServiceState, id: u64, job: &QueuedJob) {
     let service_time = picked_at.elapsed();
 
     match solved {
-        Ok((result, proven_optimal, stats)) => {
+        Ok((result, proven_optimal, stats, extensions)) => {
+            state.metrics.on_extensions(extensions as u64);
             // `proven_optimal == false` on an Ok outcome means the budget
             // machinery (deadline, conflict budget, or cancel) cut the
             // optimization short and the loop kept its best-so-far — the
@@ -400,7 +409,7 @@ fn run_job(state: &ServiceState, id: u64, job: &QueuedJob) {
             span.set("status", "done");
             span.set("degraded", degraded);
             drop(span);
-            job.shared.set_status(JobStatus::Done(output));
+            job.shared.set_status(JobStatus::Done(Box::new(output)));
         }
         Err(SynthesisError::BudgetExhausted) => {
             if job.shared.cancel.load(Ordering::Relaxed) {
@@ -426,7 +435,7 @@ fn run_job(state: &ServiceState, id: u64, job: &QueuedJob) {
                 span.set("status", "done");
                 span.set("degraded", true);
                 drop(span);
-                job.shared.set_status(JobStatus::Done(output));
+                job.shared.set_status(JobStatus::Done(Box::new(output)));
             } else {
                 state.metrics.on_failed(latency);
                 span.set("status", "failed");
@@ -447,12 +456,17 @@ fn run_job(state: &ServiceState, id: u64, job: &QueuedJob) {
 fn solve(
     request: &SynthesisRequest,
     config: olsq2::SynthesisConfig,
-) -> Result<(LayoutResult, bool, Stats), SynthesisError> {
+) -> Result<(LayoutResult, bool, Stats, usize), SynthesisError> {
     match request.objective {
         Objective::Depth => {
             let out =
                 Olsq2Synthesizer::new(config).optimize_depth(&request.circuit, &request.device)?;
-            Ok((out.result, out.proven_optimal, out.solver_stats))
+            Ok((
+                out.result,
+                out.proven_optimal,
+                out.solver_stats,
+                out.extensions,
+            ))
         }
         Objective::Swaps => {
             let out =
@@ -461,6 +475,7 @@ fn solve(
                 out.best.result,
                 out.best.proven_optimal,
                 out.best.solver_stats,
+                out.best.extensions,
             ))
         }
         Objective::TransitionSwaps => {
@@ -470,6 +485,7 @@ fn solve(
                 out.outcome.result,
                 out.outcome.proven_optimal,
                 out.outcome.solver_stats,
+                out.outcome.extensions,
             ))
         }
     }

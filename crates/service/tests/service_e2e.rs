@@ -296,6 +296,7 @@ fn traced_jobs_produce_nested_spans_and_prometheus_metrics() {
         queue_capacity: 8,
         cache_capacity: 8,
         recorder: recorder.clone(),
+        ..ServiceConfig::default()
     });
     let a = service
         .submit(small_request("traced-a", cx_chain(&[(0, 1), (1, 2)], 3)))
