@@ -12,11 +12,22 @@
 //!       [--trace-out trace.jsonl] [--prom-out metrics.prom] [--report]
 //!
 //! olsq2 trace-report <trace.jsonl|->
+//!
+//! olsq2 sat <file.cnf|-> [--preprocess] [--assume LIT]...
+//!       [--budget-conflicts N] [--legacy-solver] [--stats]
 //! ```
 //!
 //! The first form reads an OpenQASM 2.0 circuit, synthesizes a layout for
 //! the chosen device, verifies it, reports depth/SWAP statistics, and
 //! (optionally) writes the executable physical circuit back as QASM.
+//!
+//! The `sat` form solves a raw DIMACS CNF file with the embedded CDCL
+//! solver, printing SAT-competition style `s`/`v` lines and exiting 10
+//! (SAT), 20 (UNSAT), or 0 (unknown / budget exhausted). `--preprocess`
+//! runs SatELite-style simplification (variable elimination, subsumption)
+//! first; variables named by `--assume` are frozen so assumptions stay
+//! meaningful, and reported models are reconstructed over the original
+//! variables either way.
 //!
 //! The `serve-batch` form reads a JSONL job manifest (see the
 //! `olsq2-service` crate docs for the line format), drives the synthesis
@@ -52,6 +63,8 @@ fn usage() -> ! {
           [--workers N] [--queue N] [--cache N] [--no-incremental] \\
           [--trace-out trace.jsonl] [--prom-out metrics.prom] [--report]
        olsq2 trace-report <trace.jsonl|->
+       olsq2 sat <file.cnf|-> [--preprocess] [--assume LIT]... \\
+          [--budget-conflicts N] [--legacy-solver] [--stats]
 
 devices: qx2, qx5, tokyo, aspen4, sycamore, eagle, grid<WxH>, line<N>, complete<N>"
     );
@@ -259,12 +272,160 @@ fn trace_report(path: &str) {
     print!("{}", olsq2_obs::report::render(&spans));
 }
 
+/// `olsq2 sat`: solve a raw DIMACS CNF with the embedded CDCL solver.
+///
+/// Exit codes follow the SAT-competition convention: 10 for SAT, 20 for
+/// UNSAT, 0 when the conflict budget ran out before an answer.
+fn sat_command(args: impl Iterator<Item = String>) -> ! {
+    use olsq2_sat::{Lit, Preprocessor, SolveResult, Solver, SolverFeatures, Var};
+
+    let mut cnf_path: Option<String> = None;
+    let mut preprocess = false;
+    let mut assumes: Vec<i64> = Vec::new();
+    let mut budget: Option<u64> = None;
+    let mut legacy = false;
+    let mut stats = false;
+    let mut args = args;
+    while let Some(a) = args.next() {
+        let val = |args: &mut dyn Iterator<Item = String>| -> String {
+            args.next().unwrap_or_else(|| usage())
+        };
+        match a.as_str() {
+            "--preprocess" => preprocess = true,
+            "--assume" => {
+                let raw = val(&mut args);
+                let dimacs: i64 = raw.parse().unwrap_or_else(|_| usage());
+                if dimacs == 0 {
+                    usage();
+                }
+                assumes.push(dimacs);
+            }
+            "--budget-conflicts" => {
+                budget = Some(val(&mut args).parse().unwrap_or_else(|_| usage()))
+            }
+            "--legacy-solver" => legacy = true,
+            "--stats" => stats = true,
+            "--help" | "-h" => usage(),
+            _ if cnf_path.is_none() => cnf_path = Some(a),
+            _ => usage(),
+        }
+    }
+    let Some(cnf_path) = cnf_path else { usage() };
+    let text = read_input(&cnf_path);
+    let cnf = olsq2_encode::from_dimacs(&text).unwrap_or_else(|e| {
+        eprintln!("DIMACS parse error: {e}");
+        std::process::exit(2);
+    });
+    let lit_of = |dimacs: i64| -> Lit {
+        let var = Var::from_index(dimacs.unsigned_abs() as usize - 1);
+        if dimacs > 0 {
+            Lit::positive(var)
+        } else {
+            Lit::negative(var)
+        }
+    };
+    for &d in &assumes {
+        if d.unsigned_abs() as usize > cnf.num_vars() {
+            eprintln!(
+                "--assume {d} names a variable beyond p cnf {}",
+                cnf.num_vars()
+            );
+            std::process::exit(2);
+        }
+    }
+    let assumptions: Vec<Lit> = assumes.iter().map(|&d| lit_of(d)).collect();
+
+    let mut solver = Solver::new();
+    if legacy {
+        solver.set_features(SolverFeatures::legacy());
+    }
+    solver.set_conflict_budget(budget);
+
+    // With --preprocess the solver sees the simplified formula; the model
+    // is then reconstructed over the original variables. Assumption
+    // variables are frozen so BVE cannot eliminate them out from under
+    // the `solve(&assumptions)` call.
+    let simplified = if preprocess {
+        let mut pre = Preprocessor::new(cnf.num_vars(), cnf.clauses().iter().cloned());
+        for &d in &assumes {
+            pre.freeze(Var::from_index(d.unsigned_abs() as usize - 1));
+        }
+        let simplified = pre.run();
+        eprintln!(
+            "preprocess: {} -> {} clause(s), {} variable(s) eliminated",
+            cnf.num_clauses(),
+            simplified.clauses().len(),
+            simplified.num_eliminated()
+        );
+        simplified.load_into(&mut solver);
+        Some(simplified)
+    } else {
+        cnf.load_into(&mut solver);
+        None
+    };
+
+    let verdict = solver.solve(&assumptions);
+    if stats {
+        let s = solver.stats();
+        eprintln!(
+            "c conflicts {} decisions {} propagations {} (binary {}) restarts {}",
+            s.conflicts, s.decisions, s.propagations, s.binary_props, s.restarts
+        );
+        eprintln!(
+            "c vivified {} strengthened {} tier-demotions {} rephases {}",
+            s.vivified, s.strengthened, s.tier_demotions, s.rephases
+        );
+    }
+    match verdict {
+        SolveResult::Sat => {
+            let mut model: Vec<bool> = (0..cnf.num_vars())
+                .map(|i| {
+                    solver
+                        .model_value(Lit::positive(Var::from_index(i)))
+                        .unwrap_or(false)
+                })
+                .collect();
+            if let Some(simplified) = &simplified {
+                simplified.reconstruct(&mut model);
+            }
+            println!("s SATISFIABLE");
+            let mut line = String::from("v");
+            for (i, &value) in model.iter().enumerate() {
+                line.push(' ');
+                if !value {
+                    line.push('-');
+                }
+                line.push_str(&(i + 1).to_string());
+                if line.len() > 72 {
+                    println!("{line}");
+                    line = String::from("v");
+                }
+            }
+            line.push_str(" 0");
+            println!("{line}");
+            std::process::exit(10);
+        }
+        SolveResult::Unsat => {
+            println!("s UNSATISFIABLE");
+            std::process::exit(20);
+        }
+        SolveResult::Unknown => {
+            println!("s UNKNOWN");
+            std::process::exit(0);
+        }
+    }
+}
+
 fn main() {
     let mut raw = std::env::args().skip(1).peekable();
     if raw.peek().map(String::as_str) == Some("serve-batch") {
         raw.next();
         serve_batch(raw);
         return;
+    }
+    if raw.peek().map(String::as_str) == Some("sat") {
+        raw.next();
+        sat_command(raw);
     }
     if raw.peek().map(String::as_str) == Some("trace-report") {
         raw.next();

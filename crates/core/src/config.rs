@@ -2,7 +2,7 @@
 //! diversification.
 
 use olsq2_encode::{AmoEncoding, CardEncoding};
-use olsq2_sat::{ClauseExchange, ExchangeFilter, Solver};
+use olsq2_sat::{ClauseExchange, ExchangeFilter, Solver, SolverFeatures};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -254,6 +254,12 @@ pub struct SynthesisConfig {
     /// the solver's simplification pass. `false` forces the old
     /// rebuild-on-growth path (A/B comparisons, debugging).
     pub incremental: bool,
+    /// Propagation-kernel and inprocessing features for every solver this
+    /// run builds (binary watch lists, vivification, strengthening,
+    /// rephasing, tiered learnt store). Defaults to everything on;
+    /// [`SolverFeatures::legacy`] reproduces the pre-overhaul kernel for
+    /// A/B comparisons.
+    pub solver_features: SolverFeatures,
 }
 
 impl Default for SynthesisConfig {
@@ -274,6 +280,7 @@ impl Default for SynthesisConfig {
             clause_exchange: None,
             exchange_filter: ExchangeFilter::default(),
             incremental: true,
+            solver_features: SolverFeatures::default(),
         }
     }
 }

@@ -157,6 +157,7 @@ impl FlatModel {
         let sd = config.swap_duration.max(1);
         let t_ub = t_ub.max(1);
         let mut solver = Solver::new();
+        solver.set_features(config.solver_features);
         let enc = config.encoding;
         let mut tally = FamilyTally::new();
         let mut mark = tally.mark(&solver);
@@ -538,6 +539,11 @@ impl FlatModel {
         }
 
         config.diversification.apply(&mut solver);
+        // Everything past the build is bound-machinery: activation
+        // literals, cardinality counters, window-growth variables. Clauses
+        // over them encode cross-solve (and, under sharing, cross-member)
+        // contracts, so inprocessing must leave them exactly as written.
+        solver.set_inprocess_floor(solver.num_vars());
         if let Some(exchange) = &config.clause_exchange {
             // Fence clauses to this exact formula build: identical
             // (style, window, encoding, size) builds — and only those —

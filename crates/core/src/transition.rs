@@ -71,6 +71,7 @@ impl TransitionModel {
         }
         let blocks = blocks.max(1);
         let mut solver = Solver::new();
+        solver.set_features(config.solver_features);
         let enc = config.encoding;
         let ne = graph.num_edges();
         let mut tally = FamilyTally::new();
@@ -249,6 +250,11 @@ impl TransitionModel {
         tally.credit_since(ConstraintFamily::Transition, &solver, mark);
 
         config.diversification.apply(&mut solver);
+        // Everything past the build is bound-machinery: activation
+        // literals, cardinality counters, window-growth variables. Clauses
+        // over them encode cross-solve (and, under sharing, cross-member)
+        // contracts, so inprocessing must leave them exactly as written.
+        solver.set_inprocess_floor(solver.num_vars());
         if let Some(exchange) = &config.clause_exchange {
             // Same fence as FlatModel, under a distinct style tag so
             // transition-based formulas never mix with flat ones even if

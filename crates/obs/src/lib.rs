@@ -61,8 +61,14 @@
 //!
 //! * `sat.*` — per-solve deltas from the CDCL solver: `solves`,
 //!   `conflicts`, `decisions`, `propagations`, `restarts`, `reduces`,
-//!   `minimized_lits`, and the clause-exchange volumes `exported`,
-//!   `imported`, `import_dropped`.
+//!   `minimized_lits`, the clause-exchange volumes `exported`,
+//!   `imported`, `import_dropped`, and the inprocessing/kernel
+//!   telemetry `vivified` (clauses shortened by distillation),
+//!   `strengthened` (self-subsumption rewrites applied at level-0
+//!   boundaries), `binary_props` (propagations served by the dedicated
+//!   binary watch lists), `tier_demotions` (mid-tier learnts demoted to
+//!   the deletion pool), and `rephases` (saved-phase resets from the
+//!   best trail).
 //! * `portfolio.*` — portfolio-race outcomes and sharing volumes:
 //!   per-member win fates `won` / `finished` / `cancelled` / `failed`,
 //!   and the pool-side `clauses_exported` / `clauses_imported` /

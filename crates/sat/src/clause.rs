@@ -1,11 +1,13 @@
 //! Arena storage for clauses.
 //!
 //! Clauses live in one contiguous `Vec<u32>` and are addressed by
-//! [`ClauseRef`]. Each record is `[header, (activity, lbd)?, lit0, lit1, …]`:
+//! [`ClauseRef`]. Each record is `[header, (activity, lbd, meta)?, lit0, …]`:
 //!
 //! * `header = len << 2 | deleted << 1 | learnt`
-//! * learnt clauses carry two extra words: an `f32` activity (bitcast) and
-//!   the literal-block distance (LBD) measured when the clause was learned.
+//! * learnt clauses carry three extra words: an `f32` activity (bitcast),
+//!   the literal-block distance (LBD) measured when the clause was learned,
+//!   and a meta word holding the retention [`Tier`] plus a used-since-last-
+//!   reduce flag for the tiered learnt store.
 //!
 //! Deleting a clause only marks it; [`ClauseDb::compact`] rebuilds the arena
 //! and returns a relocation table so the solver can patch watchers and
@@ -17,6 +19,47 @@ use std::num::NonZeroU32;
 
 const LEARNT_BIT: u32 = 1;
 const DELETED_BIT: u32 = 2;
+
+/// Extra record words carried by a learnt clause (activity, LBD, meta).
+const LEARNT_EXTRA: usize = 3;
+
+const TIER_MASK: u32 = 0b11;
+const USED_BIT: u32 = 0b100;
+
+/// Retention tier of a learnt clause (CaDiCaL-style three-tier store).
+///
+/// * [`Tier::Core`] — very low LBD; kept forever.
+/// * [`Tier::Mid`] — medium LBD; demoted to [`Tier::Local`] when unused
+///   between two database reductions.
+/// * [`Tier::Local`] — everything else; the activity-ranked deletion pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Tier {
+    /// Deletion pool: worst half retired on every reduction.
+    Local = 0,
+    /// Kept while it keeps participating in conflicts.
+    Mid = 1,
+    /// Kept forever.
+    Core = 2,
+}
+
+impl Tier {
+    /// Tier a clause of the given LBD is admitted to.
+    pub fn for_lbd(lbd: u32) -> Tier {
+        match lbd {
+            0..=2 => Tier::Core,
+            3..=6 => Tier::Mid,
+            _ => Tier::Local,
+        }
+    }
+
+    fn from_bits(bits: u32) -> Tier {
+        match bits & TIER_MASK {
+            1 => Tier::Mid,
+            2 => Tier::Core,
+            _ => Tier::Local,
+        }
+    }
+}
 
 /// Arena of clauses addressed by [`ClauseRef`].
 ///
@@ -73,6 +116,7 @@ impl ClauseDb {
         if learnt {
             self.arena.push(0f32.to_bits());
             self.arena.push(lits.len() as u32); // initial LBD upper bound
+            self.arena.push(Tier::Local as u32); // meta: tier + used flag
         }
         self.arena.extend(lits.iter().map(|l| l.0));
         ClauseRef(NonZeroU32::new(at).expect("arena index 0 is reserved"))
@@ -87,7 +131,7 @@ impl ClauseDb {
     fn lits_start(&self, cref: ClauseRef) -> usize {
         let base = cref.0.get() as usize;
         if self.header(cref) & LEARNT_BIT != 0 {
-            base + 3
+            base + 1 + LEARNT_EXTRA
         } else {
             base + 1
         }
@@ -124,7 +168,7 @@ impl ClauseDb {
         if self.arena[base] & DELETED_BIT == 0 {
             self.arena[base] |= DELETED_BIT;
             let extra = if self.arena[base] & LEARNT_BIT != 0 {
-                3
+                1 + LEARNT_EXTRA
             } else {
                 1
             };
@@ -181,6 +225,41 @@ impl ClauseDb {
         self.arena[cref.0.get() as usize + 2] = lbd;
     }
 
+    /// Retention tier of a learnt clause.
+    #[inline]
+    pub fn tier(&self, cref: ClauseRef) -> Tier {
+        debug_assert!(self.is_learnt(cref));
+        Tier::from_bits(self.arena[cref.0.get() as usize + 3])
+    }
+
+    /// Sets the retention tier (promotion keeps the maximum seen at call
+    /// sites; the arena itself stores whatever is given).
+    #[inline]
+    pub fn set_tier(&mut self, cref: ClauseRef, tier: Tier) {
+        debug_assert!(self.is_learnt(cref));
+        let w = &mut self.arena[cref.0.get() as usize + 3];
+        *w = (*w & !TIER_MASK) | tier as u32;
+    }
+
+    /// Whether the clause participated in a conflict since the last reduce.
+    #[inline]
+    pub fn is_used(&self, cref: ClauseRef) -> bool {
+        debug_assert!(self.is_learnt(cref));
+        self.arena[cref.0.get() as usize + 3] & USED_BIT != 0
+    }
+
+    /// Marks the clause as used (set during conflict analysis).
+    #[inline]
+    pub fn set_used(&mut self, cref: ClauseRef, used: bool) {
+        debug_assert!(self.is_learnt(cref));
+        let w = &mut self.arena[cref.0.get() as usize + 3];
+        if used {
+            *w |= USED_BIT;
+        } else {
+            *w &= !USED_BIT;
+        }
+    }
+
     /// Fraction of the arena occupied by deleted records.
     pub fn wasted_ratio(&self) -> f64 {
         self.wasted as f64 / self.arena.len() as f64
@@ -198,7 +277,7 @@ impl ClauseDb {
             let header = self.arena[i];
             let len = (header >> 2) as usize;
             let learnt = header & LEARNT_BIT != 0;
-            let extra = if learnt { 3 } else { 1 };
+            let extra = if learnt { 1 + LEARNT_EXTRA } else { 1 };
             let record = extra + len;
             if header & DELETED_BIT == 0 {
                 let old = ClauseRef(NonZeroU32::new(i as u32).expect("nonzero"));
@@ -261,6 +340,41 @@ mod tests {
         assert_eq!(db.lits(n1), &[lit(0), lit(1)]);
         assert_eq!(db.lits(n3), &[lit(5), lit(6)]);
         assert!(!remap.contains_key(&c2));
+    }
+
+    #[test]
+    fn tier_and_used_roundtrip() {
+        let mut db = ClauseDb::new();
+        let c = db.alloc(&[lit(0), lit(1), lit(2)], true);
+        assert_eq!(db.tier(c), Tier::Local);
+        assert!(!db.is_used(c));
+        db.set_tier(c, Tier::Core);
+        db.set_used(c, true);
+        // The meta word must not bleed into the literals or vice versa.
+        assert_eq!(db.lits(c), &[lit(0), lit(1), lit(2)]);
+        assert_eq!(db.tier(c), Tier::Core);
+        assert!(db.is_used(c));
+        db.set_used(c, false);
+        assert_eq!(db.tier(c), Tier::Core);
+        assert!(!db.is_used(c));
+        assert_eq!(Tier::for_lbd(2), Tier::Core);
+        assert_eq!(Tier::for_lbd(5), Tier::Mid);
+        assert_eq!(Tier::for_lbd(9), Tier::Local);
+    }
+
+    #[test]
+    fn tier_survives_compaction() {
+        let mut db = ClauseDb::new();
+        let dead = db.alloc(&[lit(0), lit(1)], false);
+        let c = db.alloc(&[lit(2), lit(3)], true);
+        db.set_tier(c, Tier::Mid);
+        db.set_used(c, true);
+        db.delete(dead);
+        let remap = db.compact();
+        let n = remap[&c];
+        assert_eq!(db.tier(n), Tier::Mid);
+        assert!(db.is_used(n));
+        assert_eq!(db.lits(n), &[lit(2), lit(3)]);
     }
 
     #[test]

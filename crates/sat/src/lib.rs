@@ -9,10 +9,15 @@
 //!
 //! ## Features
 //!
-//! * two-watched-literal propagation with blocker literals
-//! * VSIDS branching with phase saving
+//! * two-watched-literal propagation with blocker literals, plus dedicated
+//!   binary-clause watch lists that inline the implied literal
+//! * VSIDS branching with phase saving and periodic rephasing from the
+//!   best trail seen
 //! * first-UIP clause learning with recursive minimization
-//! * Luby restarts and LBD-aware learned-clause database reduction
+//! * Luby restarts and a three-tier (core/mid/local) learnt-clause store
+//! * inprocessing between restarts: clause vivification and
+//!   self-subsumption strengthening, proof-logged and RUP-checkable
+//!   ([`SolverFeatures`] selects all of the above per solver)
 //! * incremental solving under assumptions with final-conflict extraction
 //! * conflict-count and wall-clock budgets ([`SolveResult::Unknown`])
 //! * portfolio hooks: learned-clause exchange ([`ClauseExchange`],
@@ -46,8 +51,9 @@ pub mod preprocess;
 pub mod proof;
 mod solver;
 
+pub use clause::Tier;
 pub use exchange::{ClauseExchange, ExchangeFilter};
 pub use lit::{ClauseRef, LBool, Lit, Var};
 pub use preprocess::{Preprocessor, SimplifiedCnf};
 pub use proof::{CheckProofError, Proof, ProofStep};
-pub use solver::{SolveResult, Solver, Stats};
+pub use solver::{SolveResult, Solver, SolverFeatures, Stats};

@@ -11,14 +11,27 @@
 //!   [`SolveResult::Unknown`], which the optimizers treat as "time budget
 //!   exhausted" per §III-B of the paper.
 //!
-//! Internals: two-watched-literal propagation with blockers, VSIDS with an
-//! indexed heap and phase saving, first-UIP learning with recursive clause
-//! minimization, Luby restarts, LBD-aware learned-clause reduction, and
-//! arena garbage collection.
+//! Internals: two-watched-literal propagation with blockers and dedicated
+//! binary-clause watch lists (the implied literal is inlined in the watcher,
+//! so 2-clauses — which dominate the one-hot/sequential-counter encodings —
+//! propagate without touching the clause arena), VSIDS with an indexed heap
+//! and phase saving, first-UIP learning with recursive clause minimization,
+//! Luby restarts, and arena garbage collection.
+//!
+//! Inprocessing (see [`SolverFeatures`]) runs between restarts at decision
+//! level 0: clause vivification of irredundant and high-value learnt
+//! clauses, self-subsumption strengthening detected during conflict
+//! analysis, periodic rephasing from the best trail seen, and a three-tier
+//! learnt-clause store (core / mid / local by LBD). Every clause rewrite is
+//! proof-logged (lemma before delete, so the shortened clause is
+//! RUP-checkable against a database still containing the original), and
+//! variables above the inprocessing floor ([`Solver::set_inprocess_floor`])
+//! or appearing in the current assumptions are never touched — which keeps
+//! incremental window growth and cohort clause sharing sound.
 
 // Indexed `for` loops are deliberate here: clause/variable tables are indexed by position.
 #![allow(clippy::needless_range_loop)]
-use crate::clause::ClauseDb;
+use crate::clause::{ClauseDb, Tier};
 use crate::exchange::{ClauseExchange, ExchangeFilter};
 use crate::heap::VarHeap;
 use crate::lit::{ClauseRef, LBool, Lit, Var};
@@ -84,12 +97,119 @@ pub struct Stats {
     /// Clauses strengthened by `simplify` (root-falsified literals
     /// stripped, the shortened clause re-allocated).
     pub simplify_strengthened: u64,
+    /// Clauses shortened by vivification (distillation).
+    pub vivified: u64,
+    /// Clauses strengthened by self-subsumption detected during conflict
+    /// analysis (applied at the next level-0 boundary).
+    pub strengthened: u64,
+    /// Propagations served by the dedicated binary watch lists.
+    pub binary_props: u64,
+    /// Mid-tier learnt clauses demoted to the local deletion pool for
+    /// sitting out a full reduce interval.
+    pub tier_demotions: u64,
+    /// Rephasings from the best trail seen.
+    pub rephases: u64,
 }
+
+/// Feature toggles for the propagation kernel and the inprocessing engine.
+///
+/// The default is everything on; [`SolverFeatures::legacy`] reproduces the
+/// pre-inprocessing MiniSat-era behavior and exists for A/B benchmarking
+/// ([`crate::Solver`] semantics — verdicts and optima — are identical
+/// either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverFeatures {
+    /// Dedicated binary-clause watch lists with the implied literal
+    /// inlined. Must be chosen before any clause is added.
+    pub binary_watches: bool,
+    /// Clause vivification between restarts.
+    pub vivify: bool,
+    /// Self-subsumption strengthening detected during conflict analysis.
+    pub otf_strengthen: bool,
+    /// Periodic rephasing from the best (longest) trail seen.
+    pub rephase: bool,
+    /// Three-tier learnt store (core/mid/local) instead of the single
+    /// activity-sorted reduce.
+    pub tiered_reduce: bool,
+    /// Conflicts between vivification passes.
+    pub vivify_interval: u64,
+    /// Conflicts between rephasings.
+    pub rephase_interval: u64,
+}
+
+impl Default for SolverFeatures {
+    fn default() -> Self {
+        SolverFeatures {
+            binary_watches: true,
+            vivify: true,
+            otf_strengthen: true,
+            rephase: true,
+            tiered_reduce: true,
+            // Vivification prices in at roughly a restart's worth of
+            // propagation per pass, so it only pays off once the learnt
+            // database has real tenure; short solves never reach it.
+            vivify_interval: 12_000,
+            rephase_interval: 10_000,
+        }
+    }
+}
+
+impl SolverFeatures {
+    /// The pre-overhaul kernel: regular watches for all clauses, no
+    /// inprocessing, single activity-sorted reduce.
+    pub fn legacy() -> SolverFeatures {
+        SolverFeatures {
+            binary_watches: false,
+            vivify: false,
+            otf_strengthen: false,
+            rephase: false,
+            tiered_reduce: false,
+            ..SolverFeatures::default()
+        }
+    }
+}
+
+/// Unit-propagation budget of one vivification pass.
+const VIVIFY_PROP_BUDGET: u64 = 30_000;
+/// Cap on queued self-subsumption rewrites awaiting a level-0 boundary.
+const MAX_PENDING_STRENGTHEN: usize = 64;
 
 #[derive(Debug, Clone, Copy)]
 struct Watcher {
     cref: ClauseRef,
     blocker: Lit,
+}
+
+/// Watcher for a 2-clause: the other literal is stored inline, so binary
+/// propagation never dereferences the clause arena. The `cref` is kept only
+/// for reasons/conflicts and lazy removal.
+#[derive(Debug, Clone, Copy)]
+struct BinWatcher {
+    cref: ClauseRef,
+    implied: Lit,
+}
+
+/// A self-subsumption rewrite detected during conflict analysis:
+/// `target \ {remove}` is the resolvent of `target` with `support` and is
+/// applied (proof-logged) at the next decision-level-0 boundary.
+#[derive(Debug, Clone, Copy)]
+struct PendingStrengthen {
+    target: ClauseRef,
+    remove: Lit,
+    support: ClauseRef,
+}
+
+/// FNV-1a over a sorted, deduplicated literal list. The canonical order
+/// makes the signature independent of the literal order the clause arrived
+/// in; the per-element multiply keeps it sensitive to position so sparse
+/// XOR cancellation cannot occur.
+fn clause_signature(sorted: &[Lit]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &l in sorted {
+        h ^= u64::from(l.0) + 1;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -122,6 +242,8 @@ pub struct Solver {
     clauses: Vec<ClauseRef>,
     learnts: Vec<ClauseRef>,
     watches: Vec<Vec<Watcher>>,
+    /// Dedicated watch lists for 2-clauses (when the feature is on).
+    bin_watches: Vec<Vec<BinWatcher>>,
     assigns: Vec<LBool>,
     vardata: Vec<VarData>,
     trail: Vec<Lit>,
@@ -154,10 +276,44 @@ pub struct Solver {
     exchange: Option<Arc<dyn ClauseExchange>>,
     /// Export quality gate for the exchange.
     exchange_filter: ExchangeFilter,
-    /// Canonical forms of clauses already imported (duplicate filter).
-    import_seen: HashSet<Vec<Lit>>,
+    /// Signatures of clauses already imported (duplicate filter). Each
+    /// entry is a 64-bit hash of the sorted, deduplicated literal list —
+    /// no per-import allocation. A collision drops a *distinct* foreign
+    /// clause as a duplicate, which loses a (redundant by contract)
+    /// sharing opportunity but can never affect soundness.
+    import_seen: HashSet<u64>,
     /// Scratch buffer reused across import drains.
     import_buf: Vec<Vec<Lit>>,
+    /// Scratch for canonicalizing one clause before signing it.
+    sig_buf: Vec<Lit>,
+    /// Kernel/inprocessing feature toggles.
+    features: SolverFeatures,
+    /// Variables at or above this index are never touched by inprocessing
+    /// (activation literals, post-`bind_space` allocations). Kept as the
+    /// minimum over all [`Solver::set_inprocess_floor`] calls.
+    inprocess_floor: usize,
+    /// Variables assumed in the current `solve` call; also off-limits to
+    /// inprocessing.
+    assumption_frozen: Vec<bool>,
+    /// `false` while vivification probes run, so their enqueues do not
+    /// clobber the saved phases that guide real search.
+    save_phases: bool,
+    /// Conflict count that triggers the next vivification pass.
+    next_vivify: u64,
+    /// Rotating cursors into `clauses`/`learnts` so successive passes
+    /// cover the whole database.
+    viv_cursor: [usize; 2],
+    /// Conflict count that triggers the next rephase.
+    next_rephase: u64,
+    /// Longest trail seen since the last rephase, and the phases it chose.
+    best_trail_len: usize,
+    best_phase: Vec<bool>,
+    /// Self-subsumption rewrites awaiting a level-0 boundary.
+    pending_strengthen: Vec<PendingStrengthen>,
+    /// Stamped literal marks for the subset test in strengthening
+    /// detection (stamp bump instead of clearing).
+    lit_stamp: Vec<u32>,
+    stamp: u32,
     /// VSIDS activity decay factor (diversification knob).
     var_decay: f64,
     /// Luby restart unit in conflicts (diversification knob).
@@ -190,6 +346,7 @@ impl Solver {
             clauses: Vec::new(),
             learnts: Vec::new(),
             watches: Vec::new(),
+            bin_watches: Vec::new(),
             assigns: Vec::new(),
             vardata: Vec::new(),
             trail: Vec::new(),
@@ -216,6 +373,19 @@ impl Solver {
             exchange_filter: ExchangeFilter::default(),
             import_seen: HashSet::new(),
             import_buf: Vec::new(),
+            sig_buf: Vec::new(),
+            features: SolverFeatures::default(),
+            inprocess_floor: usize::MAX,
+            assumption_frozen: Vec::new(),
+            save_phases: true,
+            next_vivify: SolverFeatures::default().vivify_interval,
+            viv_cursor: [0, 0],
+            next_rephase: SolverFeatures::default().rephase_interval,
+            best_trail_len: 0,
+            best_phase: Vec::new(),
+            pending_strengthen: Vec::new(),
+            lit_stamp: Vec::new(),
+            stamp: 0,
             var_decay: VAR_DECAY,
             restart_base: RESTART_BASE,
             default_phase: false,
@@ -236,6 +406,8 @@ impl Solver {
         });
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
+        self.bin_watches.push(Vec::new());
+        self.bin_watches.push(Vec::new());
         self.phase.push(self.default_phase);
         self.activity.push(0.0);
         self.order.grow(v);
@@ -349,6 +521,54 @@ impl Solver {
         self.restart_base = base;
     }
 
+    /// Selects kernel and inprocessing features (see [`SolverFeatures`]).
+    ///
+    /// Inprocessing toggles and cadences may change at any time; the next
+    /// vivify/rephase triggers are rescheduled relative to the current
+    /// conflict count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `binary_watches` is flipped after clauses were added —
+    /// the two watch schemes are not migrated in place.
+    pub fn set_features(&mut self, features: SolverFeatures) {
+        assert!(
+            features.binary_watches == self.features.binary_watches || self.db.is_empty(),
+            "binary watch scheme must be chosen before clauses are added"
+        );
+        self.features = features;
+        self.next_vivify = self.stats.conflicts + features.vivify_interval;
+        self.next_rephase = self.stats.conflicts + features.rephase_interval;
+    }
+
+    /// Current feature selection.
+    pub fn features(&self) -> SolverFeatures {
+        self.features
+    }
+
+    /// Declares that variables `floor..` must never be touched by
+    /// inprocessing (vivification / self-subsumption strengthening).
+    ///
+    /// The incremental model builders call this with the variable count at
+    /// `bind_space` time: activation literals and window-growth variables
+    /// allocated afterwards carry cross-solver or cross-window meaning, so
+    /// clauses over them are left exactly as encoded. The floor is kept as
+    /// the minimum over all calls and never rises.
+    pub fn set_inprocess_floor(&mut self, floor: usize) {
+        self.inprocess_floor = self.inprocess_floor.min(floor);
+    }
+
+    /// Whether inprocessing must leave clauses mentioning `v` alone.
+    #[inline]
+    fn is_inprocess_frozen(&self, v: Var) -> bool {
+        v.index() >= self.inprocess_floor
+            || self
+                .assumption_frozen
+                .get(v.index())
+                .copied()
+                .unwrap_or(false)
+    }
+
     /// xorshift64* step; only called when `rng_state != 0`.
     #[inline]
     fn next_rand(&mut self) -> u64 {
@@ -391,10 +611,17 @@ impl Solver {
                 self.stats.import_dropped += 1;
                 continue;
             }
-            let mut key = lits.clone();
-            key.sort_unstable();
-            key.dedup();
-            if !self.import_seen.insert(key) {
+            // Canonicalize into the reusable scratch and compare by 64-bit
+            // signature: no allocation and no Vec re-hash per import. A
+            // signature collision mistakes a distinct clause for a
+            // duplicate and drops it — a lost sharing opportunity, never a
+            // soundness issue, since imports are redundant by contract.
+            self.sig_buf.clear();
+            self.sig_buf.extend_from_slice(&lits);
+            self.sig_buf.sort_unstable();
+            self.sig_buf.dedup();
+            let sig = clause_signature(&self.sig_buf);
+            if !self.import_seen.insert(sig) {
                 self.stats.import_dropped += 1;
                 continue;
             }
@@ -586,8 +813,13 @@ impl Solver {
     fn attach(&mut self, cref: ClauseRef) {
         let lits = self.db.lits(cref);
         let (l0, l1) = (lits[0], lits[1]);
-        self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
-        self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
+        if lits.len() == 2 && self.features.binary_watches {
+            self.bin_watches[(!l0).code()].push(BinWatcher { cref, implied: l1 });
+            self.bin_watches[(!l1).code()].push(BinWatcher { cref, implied: l0 });
+        } else {
+            self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
+            self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
+        }
     }
 
     #[inline]
@@ -599,26 +831,76 @@ impl Solver {
             reason,
             level: self.decision_level(),
         };
-        self.phase[v] = lit.is_positive();
+        if self.save_phases {
+            self.phase[v] = lit.is_positive();
+        }
         self.trail.push(lit);
     }
 
     /// Unit propagation; returns the conflicting clause if any.
+    ///
+    /// Two passes per trail literal: the dedicated binary lists first
+    /// (their watchers never move, and the implied literal is inline, so
+    /// no arena access happens on the hot path), then an in-place
+    /// two-pointer scan of the regular watch list. The scan may push
+    /// watchers onto *other* lists (the new watch `¬lk` is never `p`:
+    /// `lk` sits at index ≥ 2 while `¬p` is at index 1, and clause
+    /// literals are distinct by construction), so re-borrowing
+    /// `watches[p]` by index is safe and the old swap-out/swap-in of the
+    /// whole list is gone.
     fn propagate(&mut self) -> Option<ClauseRef> {
-        let mut conflict = None;
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
-            let mut ws = std::mem::take(&mut self.watches[p.code()]);
-            let mut i = 0;
-            let mut j = 0;
-            'watchers: while i < ws.len() {
-                let w = ws[i];
+            let code = p.code();
+
+            // Binary pass: no arena access at all. The list is detached
+            // for the duration of the scan (nothing in the loop touches
+            // any binary watch list — enqueues only write the trail), so
+            // iteration is over a plain slice with no per-step indexing.
+            // Binary clauses are deleted only by `simplify`'s eager scrub
+            // and remapped by `garbage_collect`, so no watcher here can
+            // be stale. Binary reasons are NOT normalized to put the
+            // implied literal first; `analyze` and `locked` accept it at
+            // either position.
+            // Binary-sparse workloads (e.g. sequential-counter
+            // encodings) leave most lists empty; skipping the detach
+            // avoids dirtying the header's cache line on every literal.
+            if !self.bin_watches[code].is_empty() {
+                let bws = std::mem::take(&mut self.bin_watches[code]);
+                let mut bin_conflict = None;
+                for w in &bws {
+                    debug_assert!(!self.db.is_deleted(w.cref));
+                    match self.value(w.implied) {
+                        LBool::True => {}
+                        LBool::Undef => {
+                            self.stats.binary_props += 1;
+                            self.unchecked_enqueue(w.implied, Some(w.cref));
+                        }
+                        LBool::False => {
+                            bin_conflict = Some(w.cref);
+                            break;
+                        }
+                    }
+                }
+                self.bin_watches[code] = bws;
+                if let Some(cref) = bin_conflict {
+                    self.qhead = self.trail.len();
+                    return Some(cref);
+                }
+            }
+
+            // Long-clause pass, compacting in place.
+            let false_lit = !p;
+            let mut i = 0usize;
+            let mut j = 0usize;
+            'watchers: while i < self.watches[code].len() {
+                let w = self.watches[code][i];
                 i += 1;
                 // Fast path: blocker already true.
                 if self.value(w.blocker) == LBool::True {
-                    ws[j] = w;
+                    self.watches[code][j] = w;
                     j += 1;
                     continue;
                 }
@@ -626,7 +908,6 @@ impl Solver {
                     continue; // lazily drop watcher of a deleted clause
                 }
                 // Make sure the false literal is at position 1.
-                let false_lit = !p;
                 {
                     let lits = self.db.lits_mut(w.cref);
                     if lits[0] == false_lit {
@@ -640,7 +921,7 @@ impl Solver {
                     blocker: first,
                 };
                 if first != w.blocker && self.value(first) == LBool::True {
-                    ws[j] = w_new;
+                    self.watches[code][j] = w_new;
                     j += 1;
                     continue;
                 }
@@ -650,33 +931,30 @@ impl Solver {
                     let lk = self.db.lits(w.cref)[k];
                     if self.value(lk) != LBool::False {
                         self.db.lits_mut(w.cref).swap(1, k);
+                        debug_assert_ne!((!lk).code(), code);
                         self.watches[(!lk).code()].push(w_new);
                         continue 'watchers;
                     }
                 }
                 // Clause is unit or conflicting.
-                ws[j] = w_new;
+                self.watches[code][j] = w_new;
                 j += 1;
                 if self.value(first) == LBool::False {
                     // Conflict: keep remaining watchers and stop.
-                    while i < ws.len() {
-                        ws[j] = ws[i];
+                    while i < self.watches[code].len() {
+                        self.watches[code][j] = self.watches[code][i];
                         j += 1;
                         i += 1;
                     }
+                    self.watches[code].truncate(j);
                     self.qhead = self.trail.len();
-                    conflict = Some(w.cref);
-                } else {
-                    self.unchecked_enqueue(first, Some(w.cref));
+                    return Some(w.cref);
                 }
+                self.unchecked_enqueue(first, Some(w.cref));
             }
-            ws.truncate(j);
-            self.watches[p.code()] = ws;
-            if conflict.is_some() {
-                break;
-            }
+            self.watches[code].truncate(j);
         }
-        conflict
+        None
     }
 
     fn new_decision_level(&mut self) {
@@ -749,15 +1027,25 @@ impl Solver {
         loop {
             if self.db.is_learnt(confl) {
                 self.bump_clause(confl);
-                // Refresh LBD (keep minimum).
+                self.db.set_used(confl, true);
+                // Refresh LBD (keep minimum) and promote the tier when the
+                // clause proves better than first measured.
                 let lbd = self.clause_lbd(confl);
                 if lbd < self.db.lbd(confl) {
                     self.db.set_lbd(confl, lbd);
+                    let promoted = Tier::for_lbd(lbd).max(self.db.tier(confl));
+                    self.db.set_tier(confl, promoted);
                 }
             }
-            let start = usize::from(p.is_some());
-            for k in start..self.db.len(confl) {
+            // When resolving the reason of `p`, skip `p` itself. Long
+            // reasons keep the implied literal at position 0, but binary
+            // reasons may carry it at either position (the binary kernel
+            // never reorders arena literals), so match by value.
+            for k in 0..self.db.len(confl) {
                 let q = self.db.lits(confl)[k];
+                if p == Some(q) {
+                    continue;
+                }
                 let v = q.var();
                 if !self.seen[v.index()] && self.level(v) > 0 {
                     self.seen[v.index()] = true;
@@ -837,7 +1125,9 @@ impl Solver {
             let cref = self
                 .reason(q.var())
                 .expect("stack only holds literals with reasons");
-            for k in 1..self.db.len(cref) {
+            // Start at 0: `q` itself (wherever the binary kernel left it)
+            // is skipped by its `seen` mark.
+            for k in 0..self.db.len(cref) {
                 let pl = self.db.lits(cref)[k];
                 let v = pl.var();
                 if self.seen[v.index()] || self.level(v) == 0 {
@@ -904,7 +1194,10 @@ impl Solver {
                     self.final_conflict.push(q);
                 }
                 Some(cref) => {
-                    for k in 1..self.db.len(cref) {
+                    // From 0: re-marking `v` itself is undone by the
+                    // clear below, and binary reasons may hold the
+                    // implied literal at either position.
+                    for k in 0..self.db.len(cref) {
                         let l = self.db.lits(cref)[k];
                         if self.level(l.var()) > 0 {
                             self.seen[l.var().index()] = true;
@@ -922,28 +1215,57 @@ impl Solver {
     fn reduce_db(&mut self) {
         self.stats.reduces += 1;
         let learnts_before = self.learnts.len();
-        // Sort learned clauses: poor (high LBD, low activity) first.
-        let mut ranked: Vec<ClauseRef> = {
-            let db = &self.db;
-            let mut r: Vec<ClauseRef> = self
-                .learnts
+        // Pick the deletion candidates. Tiered mode keeps core clauses
+        // forever, gives mid-tier clauses one reduce interval to
+        // participate in a conflict before demoting them, and only ranks
+        // the local pool; legacy mode ranks everything.
+        let mut ranked: Vec<ClauseRef> = if self.features.tiered_reduce {
+            let mut locals = Vec::new();
+            let mut demotions = 0u64;
+            for i in 0..self.learnts.len() {
+                let c = self.learnts[i];
+                if self.db.is_deleted(c) {
+                    continue;
+                }
+                match self.db.tier(c) {
+                    Tier::Core => {}
+                    Tier::Mid => {
+                        if self.db.is_used(c) {
+                            self.db.set_used(c, false);
+                        } else {
+                            self.db.set_tier(c, Tier::Local);
+                            demotions += 1;
+                            locals.push(c);
+                        }
+                    }
+                    Tier::Local => locals.push(c),
+                }
+            }
+            self.stats.tier_demotions += demotions;
+            locals
+        } else {
+            self.learnts
                 .iter()
                 .copied()
-                .filter(|&c| !db.is_deleted(c))
-                .collect();
-            r.sort_by(|&a, &b| {
+                .filter(|&c| !self.db.is_deleted(c))
+                .collect()
+        };
+        // Sort candidates: poor (high LBD, low activity) first.
+        {
+            let db = &self.db;
+            ranked.sort_by(|&a, &b| {
                 db.lbd(b).cmp(&db.lbd(a)).then(
                     db.activity(a)
                         .partial_cmp(&db.activity(b))
                         .unwrap_or(std::cmp::Ordering::Equal),
                 )
             });
-            r
-        };
+        }
         let half = ranked.len() / 2;
         ranked.truncate(half);
+        let legacy_lbd_guard = !self.features.tiered_reduce;
         for &c in &ranked {
-            if self.db.len(c) > 2 && self.db.lbd(c) > 3 && !self.locked(c) {
+            if self.db.len(c) > 2 && (!legacy_lbd_guard || self.db.lbd(c) > 3) && !self.locked(c) {
                 let lits = self.db.lits(c).to_vec();
                 self.log_proof(|| ProofStep::Delete(lits));
                 self.db.delete(c);
@@ -967,8 +1289,11 @@ impl Solver {
     }
 
     fn locked(&self, cref: ClauseRef) -> bool {
-        let first = self.db.lits(cref)[0];
-        self.value(first) == LBool::True && self.reason(first.var()) == Some(cref)
+        // Long clauses keep the implied literal at position 0; binary
+        // reasons may have it at either position.
+        let lits = self.db.lits(cref);
+        let locks = |l: Lit| self.value(l) == LBool::True && self.reason(l.var()) == Some(cref);
+        locks(lits[0]) || (lits.len() == 2 && locks(lits[1]))
     }
 
     fn garbage_collect(&mut self) {
@@ -982,6 +1307,25 @@ impl Solver {
                 None => false,
             });
         }
+        for ws in &mut self.bin_watches {
+            ws.retain_mut(|w| match remap.get(&w.cref) {
+                Some(&n) => {
+                    w.cref = n;
+                    true
+                }
+                None => false,
+            });
+        }
+        self.pending_strengthen.retain_mut(|p| {
+            match (remap.get(&p.target), remap.get(&p.support)) {
+                (Some(&t), Some(&s)) => {
+                    p.target = t;
+                    p.support = s;
+                    true
+                }
+                _ => false,
+            }
+        });
         for vd in &mut self.vardata {
             if let Some(r) = vd.reason {
                 vd.reason = remap.get(&r).copied();
@@ -1107,9 +1451,283 @@ impl Solver {
             for ws in &mut self.watches {
                 ws.retain(|w| !db.is_deleted(w.cref));
             }
+            for ws in &mut self.bin_watches {
+                ws.retain(|w| !db.is_deleted(w.cref));
+            }
         }
         if self.db.wasted_ratio() > 0.3 {
             self.garbage_collect();
+        }
+    }
+
+    /// Replaces the clause at `clauses`/`learnts` slot `idx` (selected by
+    /// `which`: 0 = irredundant, 1 = learnt) with `new`, a strict subset of
+    /// its literals derived by vivification or self-subsumption.
+    ///
+    /// Proof order matters: the lemma is logged *before* the delete, so the
+    /// checker verifies the shortened clause by RUP against a database that
+    /// still contains the original. Because `new ⊆ old`, the new clause
+    /// subsumes the old one and deleting the original is safe under any
+    /// later incremental clause additions.
+    fn replace_clause(&mut self, which: usize, idx: usize, new: &[Lit]) {
+        debug_assert_eq!(self.decision_level(), 0);
+        let c = if which == 0 {
+            self.clauses[idx]
+        } else {
+            self.learnts[idx]
+        };
+        let new_for_proof = new.to_vec();
+        self.log_proof(|| ProofStep::Lemma(new_for_proof));
+        let old = self.db.lits(c).to_vec();
+        self.log_proof(|| ProofStep::Delete(old));
+        match new.len() {
+            0 => {
+                // All literals refuted at the root: the formula is UNSAT.
+                self.db.delete(c);
+                self.ok = false;
+                self.log_proof(|| ProofStep::Empty);
+            }
+            1 => {
+                // The slot keeps the retired cref; list pruning is lazy.
+                self.db.delete(c);
+                match self.value(new[0]) {
+                    LBool::True => {}
+                    LBool::False => {
+                        self.ok = false;
+                        self.log_proof(|| ProofStep::Empty);
+                    }
+                    LBool::Undef => {
+                        self.unchecked_enqueue(new[0], None);
+                        if self.propagate().is_some() {
+                            self.ok = false;
+                            self.log_proof(|| ProofStep::Empty);
+                        }
+                    }
+                }
+            }
+            _ => {
+                let learnt = self.db.is_learnt(c);
+                let new_cref = self.db.alloc(new, learnt);
+                if learnt {
+                    let lbd = self.db.lbd(c).min(new.len() as u32);
+                    self.db.set_lbd(new_cref, lbd);
+                    self.db.set_activity(new_cref, self.db.activity(c));
+                    self.db
+                        .set_tier(new_cref, self.db.tier(c).max(Tier::for_lbd(lbd)));
+                }
+                self.db.delete(c);
+                self.attach(new_cref);
+                if which == 0 {
+                    self.clauses[idx] = new_cref;
+                } else {
+                    self.learnts[idx] = new_cref;
+                }
+            }
+        }
+    }
+
+    /// One vivification pass over the clause database, budgeted in unit
+    /// propagations. Candidates are irredundant clauses and high-value
+    /// (core/mid tier) learnts of length ≥ 3 with no frozen variables;
+    /// cursors rotate so successive passes cover the whole database.
+    ///
+    /// Vivifying clause `C`: at level 0, assume the negation of each
+    /// literal in turn and propagate. Three shortening outcomes, all RUP
+    /// with `C` still in the database: a conflict (the assumed prefix is a
+    /// clause), a literal propagated true (prefix ∨ that literal), a
+    /// literal propagated false (drop it). Saved phases are protected from
+    /// the probe assignments.
+    fn vivify_round(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        self.simplify();
+        if !self.ok {
+            return;
+        }
+        let budget = self.stats.propagations + VIVIFY_PROP_BUDGET;
+        self.save_phases = false;
+        for which in 0..2 {
+            let len = if which == 0 {
+                self.clauses.len()
+            } else {
+                self.learnts.len()
+            };
+            if len == 0 {
+                continue;
+            }
+            let mut idx = self.viv_cursor[which] % len;
+            for _ in 0..len {
+                if !self.ok || self.stats.propagations >= budget {
+                    break;
+                }
+                self.vivify_clause(which, idx);
+                idx = (idx + 1) % len;
+            }
+            self.viv_cursor[which] = idx;
+        }
+        self.save_phases = true;
+    }
+
+    /// Vivifies one clause slot, if eligible (see [`Solver::vivify_round`]).
+    fn vivify_clause(&mut self, which: usize, idx: usize) {
+        let c = if which == 0 {
+            self.clauses[idx]
+        } else {
+            self.learnts[idx]
+        };
+        if self.db.is_deleted(c) || self.db.len(c) < 3 {
+            return;
+        }
+        if which == 1 && self.db.tier(c) == Tier::Local {
+            return; // only distill learnts worth keeping
+        }
+        let lits: Vec<Lit> = self.db.lits(c).to_vec();
+        if lits.iter().any(|&l| self.is_inprocess_frozen(l.var())) {
+            return;
+        }
+        if lits.iter().any(|&l| self.value(l) == LBool::True) {
+            return; // root-satisfied (possible mid-round); simplify retires it
+        }
+        let mut kept: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in &lits {
+            match self.value(l) {
+                // Implied by the negated prefix: clause = prefix ∨ l.
+                LBool::True => {
+                    kept.push(l);
+                    break;
+                }
+                // Refuted under the negated prefix: l is redundant.
+                LBool::False => {}
+                LBool::Undef => {
+                    kept.push(l);
+                    self.new_decision_level();
+                    self.unchecked_enqueue(!l, None);
+                    if self.propagate().is_some() {
+                        // F ∧ ¬prefix is contradictory: prefix is a clause.
+                        break;
+                    }
+                }
+            }
+        }
+        self.cancel_until(0);
+        if kept.len() < lits.len() {
+            self.stats.vivified += 1;
+            self.replace_clause(which, idx, &kept);
+        }
+    }
+
+    /// During conflict analysis: if the just-learned clause resolves with
+    /// the conflicting clause to a strict subset of it (`learnt[1..] ⊆
+    /// confl` and `¬learnt[0] ∈ confl`), queue `confl \ {¬learnt[0]}` for
+    /// application at the next level-0 boundary — applying mid-search
+    /// would require re-watching an all-false clause. The support cref is
+    /// remembered so the rewrite is only applied (and proof-logged) while
+    /// both clauses are still alive, keeping the lemma RUP for the checker.
+    fn maybe_queue_strengthen(&mut self, confl: ClauseRef, learnt: &[Lit], support: ClauseRef) {
+        if learnt.len() < 2
+            || self.pending_strengthen.len() >= MAX_PENDING_STRENGTHEN
+            || self.db.is_deleted(confl)
+            || self.db.len(confl) <= learnt.len()
+        {
+            return;
+        }
+        let remove = !learnt[0];
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            self.lit_stamp.fill(0);
+            self.stamp = 1;
+        }
+        for &l in &learnt[1..] {
+            self.lit_stamp[l.code()] = self.stamp;
+        }
+        let mut hits = 0usize;
+        let mut has_remove = false;
+        for k in 0..self.db.len(confl) {
+            let q = self.db.lits(confl)[k];
+            if self.is_inprocess_frozen(q.var()) {
+                return;
+            }
+            if q == remove {
+                has_remove = true;
+            } else if self.lit_stamp[q.code()] == self.stamp {
+                hits += 1;
+            }
+        }
+        if has_remove && hits == learnt.len() - 1 {
+            self.pending_strengthen.push(PendingStrengthen {
+                target: confl,
+                remove,
+                support,
+            });
+        }
+    }
+
+    /// Applies queued self-subsumption rewrites at decision level 0.
+    fn apply_pending_strengthenings(&mut self) {
+        if self.pending_strengthen.is_empty() {
+            return;
+        }
+        debug_assert_eq!(self.decision_level(), 0);
+        let pending = std::mem::take(&mut self.pending_strengthen);
+        for p in pending {
+            if !self.ok {
+                break;
+            }
+            // Both clauses must still be alive: the target is what we
+            // rewrite, and the support is what makes the shortened clause
+            // RUP-checkable (the checker's database tracks ours).
+            if self.db.is_deleted(p.target) || self.db.is_deleted(p.support) {
+                continue;
+            }
+            let lits = self.db.lits(p.target).to_vec();
+            if !lits.contains(&p.remove) || lits.iter().any(|&l| self.value(l) == LBool::True) {
+                continue; // superseded by another rewrite or root-satisfied
+            }
+            let kept: Vec<Lit> = lits
+                .iter()
+                .copied()
+                .filter(|&l| l != p.remove && self.value(l) != LBool::False)
+                .collect();
+            let which = usize::from(self.db.is_learnt(p.target));
+            let list = if which == 0 {
+                &self.clauses
+            } else {
+                &self.learnts
+            };
+            let Some(idx) = list.iter().position(|&c| c == p.target) else {
+                continue;
+            };
+            self.replace_clause(which, idx, &kept);
+            self.stats.strengthened += 1;
+        }
+    }
+
+    /// Rephases all saved phases from the best (longest) trail seen, then
+    /// resets the tracker so a new best can form.
+    fn rephase(&mut self) {
+        if self.best_phase.is_empty() {
+            return; // no conflict recorded a best trail yet
+        }
+        self.stats.rephases += 1;
+        let n = self.best_phase.len().min(self.phase.len());
+        self.phase[..n].copy_from_slice(&self.best_phase[..n]);
+        self.best_trail_len = 0;
+    }
+
+    /// Level-0 inprocessing dispatcher, called at restart boundaries.
+    fn maybe_inprocess(&mut self) {
+        if !self.ok {
+            return;
+        }
+        if self.features.otf_strengthen {
+            self.apply_pending_strengthenings();
+        }
+        if self.ok && self.features.vivify && self.stats.conflicts >= self.next_vivify {
+            self.vivify_round();
+            self.next_vivify = self.stats.conflicts + self.features.vivify_interval;
+        }
+        if self.features.rephase && self.stats.conflicts >= self.next_rephase {
+            self.rephase();
+            self.next_rephase = self.stats.conflicts + self.features.rephase_interval;
         }
     }
 
@@ -1180,8 +1798,20 @@ impl Solver {
         }
         debug_assert_eq!(self.decision_level(), 0);
         self.seen.resize(self.num_vars(), false);
+        self.lit_stamp.resize(2 * self.num_vars(), 0);
         self.model.clear();
         self.final_conflict.clear();
+        // Assumption variables are off-limits to inprocessing for the
+        // whole call: rewriting a clause based on what an assumption
+        // propagates would bake a per-call hypothesis into the database.
+        // (Level-0 inprocessing never sees assumption values — they are
+        // undone at every restart — but the freeze also keeps activation
+        // literals pinned in their guard clauses.)
+        self.assumption_frozen.clear();
+        self.assumption_frozen.resize(self.num_vars(), false);
+        for a in assumptions {
+            self.assumption_frozen[a.var().index()] = true;
+        }
         // A cooperative stop may have been raised between incremental
         // solves (e.g. by a portfolio winner); honor it before searching so
         // cancellation works even for solves that would finish conflict-free.
@@ -1209,8 +1839,10 @@ impl Solver {
                     curr_restarts += 1;
                     self.stats.restarts += 1;
                     // Restart boundary: back at decision level 0, the
-                    // canonical safe point to drain the import queue.
+                    // canonical safe point to drain the import queue and
+                    // run inprocessing.
                     self.drain_imports();
+                    self.maybe_inprocess();
                     if !self.ok {
                         self.final_conflict.clear();
                         break SolveResult::Unsat;
@@ -1274,6 +1906,22 @@ impl Solver {
                 "sat.simplify_strengthened",
                 d.simplify_strengthened - stats_before.simplify_strengthened,
             );
+            self.recorder
+                .add("sat.vivified", d.vivified - stats_before.vivified);
+            self.recorder.add(
+                "sat.strengthened",
+                d.strengthened - stats_before.strengthened,
+            );
+            self.recorder.add(
+                "sat.binary_props",
+                d.binary_props - stats_before.binary_props,
+            );
+            self.recorder.add(
+                "sat.tier_demotions",
+                d.tier_demotions - stats_before.tier_demotions,
+            );
+            self.recorder
+                .add("sat.rephases", d.rephases - stats_before.rephases);
         }
         result
     }
@@ -1292,6 +1940,17 @@ impl Solver {
                     self.log_proof(|| ProofStep::Empty);
                     return Some(SolveResult::Unsat);
                 }
+                if self.features.rephase && self.trail.len() > self.best_trail_len {
+                    // The trail is at its longest right at the conflict;
+                    // remember the polarities of the deepest one seen.
+                    self.best_trail_len = self.trail.len();
+                    if self.best_phase.len() < self.phase.len() {
+                        self.best_phase = self.phase.clone();
+                    }
+                    for &l in &self.trail {
+                        self.best_phase[l.var().index()] = l.is_positive();
+                    }
+                }
                 let (learnt, bt) = self.analyze(confl);
                 let learnt_for_proof = learnt.clone();
                 self.log_proof(|| ProofStep::Lemma(learnt_for_proof));
@@ -1303,11 +1962,15 @@ impl Solver {
                     let cref = self.db.alloc(&learnt, true);
                     let lbd = self.lits_lbd(&learnt);
                     self.db.set_lbd(cref, lbd);
+                    self.db.set_tier(cref, Tier::for_lbd(lbd));
                     self.maybe_export(&learnt, lbd);
                     self.learnts.push(cref);
                     self.attach(cref);
                     self.bump_clause(cref);
                     self.unchecked_enqueue(learnt[0], Some(cref));
+                    if self.features.otf_strengthen {
+                        self.maybe_queue_strengthen(confl, &learnt, cref);
+                    }
                 }
                 self.decay_activities();
                 if self.out_of_budget() {
@@ -1595,6 +2258,178 @@ mod tests {
         let proof = s.take_proof().expect("proof recording was enabled");
         assert!(proof.claims_unsat());
         assert!(proof.check().is_ok());
+    }
+
+    /// Hands a fixed batch of clauses to every `import_into` drain.
+    #[derive(Debug)]
+    struct ReplayExchange {
+        batch: Vec<Vec<Lit>>,
+    }
+
+    impl ClauseExchange for ReplayExchange {
+        fn export(&self, _lits: &[Lit], _lbd: u32) {}
+        fn import_into(&self, out: &mut Vec<Vec<Lit>>) {
+            out.extend(self.batch.iter().cloned());
+        }
+    }
+
+    #[test]
+    fn duplicate_imports_dropped_by_signature() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 4);
+        s.add_clause([v[0], v[1], v[2], v[3]]);
+        // The same clause arrives three times (once permuted), plus one
+        // genuinely new clause; only two may land in the database.
+        let ex = ReplayExchange {
+            batch: vec![
+                vec![v[0], !v[1]],
+                vec![!v[1], v[0]],
+                vec![v[0], !v[1]],
+                vec![v[2], !v[3]],
+            ],
+        };
+        s.set_exchange(Some(Arc::new(ex)));
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(s.stats().imported, 2);
+        assert!(s.stats().import_dropped >= 2);
+        // A later drain replays the whole batch; everything is a duplicate.
+        let dropped_before = s.stats().import_dropped;
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(s.stats().imported, 2);
+        assert_eq!(s.stats().import_dropped, dropped_before + 4);
+    }
+
+    #[test]
+    fn binary_watches_agree_with_legacy_kernel() {
+        // Same UNSAT pigeonhole under both kernels, and the binary lists
+        // actually serve propagations when enabled.
+        for (features, expect_binary) in [
+            (SolverFeatures::default(), true),
+            (SolverFeatures::legacy(), false),
+        ] {
+            let mut s = Solver::new();
+            s.set_features(features);
+            let mut x = [[Lit(0); 3]; 4];
+            for p in 0..4 {
+                for h in 0..3 {
+                    x[p][h] = Lit::positive(s.new_var());
+                }
+            }
+            for p in 0..4 {
+                s.add_clause(x[p]);
+            }
+            for h in 0..3 {
+                for p1 in 0..4 {
+                    for p2 in (p1 + 1)..4 {
+                        s.add_clause([!x[p1][h], !x[p2][h]]);
+                    }
+                }
+            }
+            assert_eq!(s.solve(&[]), SolveResult::Unsat);
+            assert_eq!(s.stats().binary_props > 0, expect_binary);
+        }
+    }
+
+    #[test]
+    fn vivification_shortens_clauses_and_stays_sound() {
+        let mut s = Solver::new();
+        s.enable_proof();
+        let v = lits(&mut s, 3);
+        let (a, b, c) = (v[0], v[1], v[2]);
+        // Under ¬a ∧ ¬b the second clause propagates c, refuting ¬c in the
+        // first — vivification strips it to (a ∨ b).
+        s.add_clause([a, b, !c]);
+        s.add_clause([a, b, c]);
+        s.vivify_round();
+        assert!(s.stats().vivified >= 1);
+        // The strengthened database must behave like the original: a and b
+        // both false is now a direct conflict.
+        assert_eq!(s.solve(&[!a, !b]), SolveResult::Unsat);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        s.add_clause([!a]);
+        s.add_clause([!b]);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        let proof = s.take_proof().expect("proof enabled");
+        assert!(proof.claims_unsat());
+        proof
+            .check()
+            .expect("vivified proof must stay RUP-checkable");
+    }
+
+    #[test]
+    fn inprocess_floor_freezes_variables() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause([v[0], v[1], !v[2]]);
+        s.add_clause([v[0], v[1], v[2]]);
+        // Same vivifiable pair as above, but everything is frozen.
+        s.set_inprocess_floor(0);
+        s.vivify_round();
+        assert_eq!(s.stats().vivified, 0);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn pending_strengthen_applies_and_keeps_proof() {
+        let mut s = Solver::new();
+        s.enable_proof();
+        let v = lits(&mut s, 3);
+        let (a, b, c) = (v[0], v[1], v[2]);
+        s.add_clause([a, b, c]); // target
+        s.add_clause([!c, a, b]); // support: resolving on c yields (a ∨ b)
+        let target = s.clauses[0];
+        let support = s.clauses[1];
+        s.pending_strengthen.push(PendingStrengthen {
+            target,
+            remove: c,
+            support,
+        });
+        s.apply_pending_strengthenings();
+        assert_eq!(s.stats().strengthened, 1);
+        assert_eq!(s.db.len(s.clauses[0]), 2);
+        assert_eq!(s.solve(&[!a, !b]), SolveResult::Unsat);
+        s.add_clause([!a]);
+        s.add_clause([!b]);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        let proof = s.take_proof().expect("proof enabled");
+        proof
+            .check()
+            .expect("strengthened proof must stay RUP-checkable");
+    }
+
+    #[test]
+    fn aggressive_inprocessing_cadence_still_answers_correctly() {
+        // Inprocess at every restart with unit restarts: the pigeonhole
+        // stays UNSAT, rephasing fires, and the proof checks.
+        let mut s = Solver::new();
+        s.enable_proof();
+        s.set_restart_base(1);
+        s.set_features(SolverFeatures {
+            vivify_interval: 1,
+            rephase_interval: 1,
+            ..SolverFeatures::default()
+        });
+        let mut x = [[Lit(0); 3]; 4];
+        for p in 0..4 {
+            for h in 0..3 {
+                x[p][h] = Lit::positive(s.new_var());
+            }
+        }
+        for p in 0..4 {
+            s.add_clause(x[p]);
+        }
+        for h in 0..3 {
+            for p1 in 0..4 {
+                for p2 in (p1 + 1)..4 {
+                    s.add_clause([!x[p1][h], !x[p2][h]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        assert!(s.stats().rephases >= 1);
+        let proof = s.take_proof().expect("proof enabled");
+        assert!(proof.claims_unsat());
+        proof.check().expect("inprocessed proof must check");
     }
 
     #[test]

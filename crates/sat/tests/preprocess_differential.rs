@@ -1,0 +1,161 @@
+//! Differential testing of the SatELite-style preprocessor against the
+//! plain solver, mirroring how the CLI's `sat --preprocess` path uses
+//! it: the preprocessor runs with the assumption variables frozen, the
+//! simplified formula is solved under those assumptions, and the model
+//! is reconstructed over the original variables. For every seeded
+//! formula the verdict must match an unpreprocessed solve, and every
+//! reconstructed model must satisfy the *original* clauses plus the
+//! assumptions.
+
+use olsq2_prng::Rng;
+use olsq2_sat::{Lit, Preprocessor, SolveResult, Solver, Var};
+
+#[derive(Debug, Clone)]
+struct Formula {
+    num_vars: usize,
+    clauses: Vec<Vec<i32>>, // DIMACS-ish: ±(var+1)
+}
+
+fn lit_of(code: i32) -> Lit {
+    let var = Var::from_index(code.unsigned_abs() as usize - 1);
+    Lit::new(var, code < 0)
+}
+
+fn random_formula(rng: &mut Rng) -> Formula {
+    let num_vars = rng.gen_range(3usize..=16);
+    let num_clauses = rng.gen_range(1usize..=(4 * num_vars + 8));
+    let clauses = (0..num_clauses)
+        .map(|_| {
+            let len = rng.gen_range(1usize..=3);
+            (0..len)
+                .map(|_| {
+                    let v = rng.gen_range(1i32..=num_vars as i32);
+                    if rng.gen_bool(0.5) {
+                        -v
+                    } else {
+                        v
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Formula { num_vars, clauses }
+}
+
+fn plain_solve(f: &Formula, assumptions: &[Lit]) -> SolveResult {
+    let mut s = Solver::new();
+    for _ in 0..f.num_vars {
+        s.new_var();
+    }
+    for clause in &f.clauses {
+        s.add_clause(clause.iter().map(|&c| lit_of(c)));
+    }
+    s.solve(assumptions)
+}
+
+/// The CLI path: preprocess with assumption variables frozen, solve the
+/// simplified formula under the assumptions, reconstruct the model.
+fn preprocessed_solve(f: &Formula, assumptions: &[Lit]) -> (SolveResult, Option<Vec<bool>>) {
+    let mut pre = Preprocessor::new(
+        f.num_vars,
+        f.clauses
+            .iter()
+            .map(|c| c.iter().map(|&x| lit_of(x)).collect()),
+    );
+    for a in assumptions {
+        pre.freeze(a.var());
+    }
+    let simplified = pre.run();
+    let mut s = Solver::new();
+    simplified.load_into(&mut s);
+    let verdict = s.solve(assumptions);
+    if verdict != SolveResult::Sat {
+        return (verdict, None);
+    }
+    let mut model: Vec<bool> = (0..f.num_vars)
+        .map(|i| {
+            s.model_value(Lit::positive(Var::from_index(i)))
+                .unwrap_or(false)
+        })
+        .collect();
+    simplified.reconstruct(&mut model);
+    (verdict, Some(model))
+}
+
+fn model_satisfies(f: &Formula, model: &[bool], ctx: &str) {
+    for clause in &f.clauses {
+        let ok = clause.iter().any(|&c| {
+            let value = model[c.unsigned_abs() as usize - 1];
+            if c > 0 {
+                value
+            } else {
+                !value
+            }
+        });
+        assert!(
+            ok,
+            "{ctx}: reconstructed model violates original clause {clause:?}"
+        );
+    }
+}
+
+fn differential_round(f: &Formula, assumptions: &[Lit], ctx: &str) {
+    let expected = plain_solve(f, assumptions);
+    let (got, model) = preprocessed_solve(f, assumptions);
+    assert_eq!(got, expected, "{ctx}: verdicts diverge");
+    if let Some(model) = model {
+        model_satisfies(f, &model, ctx);
+        for a in assumptions {
+            let value = model[a.var().index()];
+            assert_eq!(
+                value,
+                a.is_positive(),
+                "{ctx}: reconstructed model flips frozen assumption {a:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn preprocessed_and_plain_verdicts_agree() {
+    let mut rng = Rng::seed_from_u64(0x5071_0001);
+    let mut sat = 0;
+    let mut unsat = 0;
+    for round in 0..200 {
+        let f = random_formula(&mut rng);
+        let ctx = format!("plain round {round}");
+        match plain_solve(&f, &[]) {
+            SolveResult::Sat => sat += 1,
+            SolveResult::Unsat => unsat += 1,
+            SolveResult::Unknown => unreachable!(),
+        }
+        differential_round(&f, &[], &ctx);
+    }
+    assert!(
+        sat >= 20 && unsat >= 20,
+        "corpus unbalanced: {sat} SAT / {unsat} UNSAT"
+    );
+}
+
+#[test]
+fn preprocessed_solving_respects_frozen_assumptions() {
+    let mut rng = Rng::seed_from_u64(0x5071_0002);
+    for round in 0..150 {
+        let f = random_formula(&mut rng);
+        // One or two assumptions over distinct variables; freezing must
+        // keep them meaningful through variable elimination.
+        let n = rng.gen_range(1usize..=2.min(f.num_vars));
+        let mut vars: Vec<usize> = Vec::new();
+        while vars.len() < n {
+            let v = rng.gen_range(0usize..f.num_vars);
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        let assumptions: Vec<Lit> = vars
+            .into_iter()
+            .map(|v| Lit::new(Var::from_index(v), rng.gen_bool(0.5)))
+            .collect();
+        differential_round(&f, &assumptions, &format!("assumed round {round}"));
+    }
+}

@@ -10,7 +10,9 @@
 //! `ImportedNotVerified` error — never silently.
 
 use olsq2_prng::Rng;
-use olsq2_sat::{CheckProofError, ClauseExchange, ExchangeFilter, Lit, SolveResult, Solver, Var};
+use olsq2_sat::{
+    CheckProofError, ClauseExchange, ExchangeFilter, Lit, SolveResult, Solver, SolverFeatures, Var,
+};
 use std::sync::{Arc, Mutex};
 
 #[derive(Debug, Clone)]
@@ -344,6 +346,150 @@ fn hostile_imports_are_filtered_not_fatal() {
     assert_eq!(st.imported, 1, "only the first copy of the valid unit");
     assert_eq!(st.import_dropped, 2, "duplicate + unknown-variable clause");
     assert_eq!(s.model_value(lit_of(2)), Some(true));
+}
+
+/// Inprocessing cadence cranked far past production settings so that
+/// vivification, deferred strengthening, and rephasing all fire many
+/// times even on tiny formulas.
+fn aggressive_features() -> SolverFeatures {
+    SolverFeatures {
+        vivify_interval: 4,
+        rephase_interval: 6,
+        ..SolverFeatures::default()
+    }
+}
+
+fn inprocessing_solver(f: &Formula, proof: bool) -> Solver {
+    let mut s = Solver::new();
+    s.set_features(aggressive_features());
+    if proof {
+        s.enable_proof();
+    }
+    // Restart after every conflict: inprocessing runs at restart
+    // boundaries, so this maximizes how often the database is rewritten
+    // mid-solve.
+    s.set_restart_base(1);
+    for _ in 0..f.num_vars {
+        s.new_var();
+    }
+    for clause in &f.clauses {
+        s.add_clause(clause.iter().map(|&c| lit_of(c)));
+    }
+    s
+}
+
+#[test]
+fn inprocessing_fuzz_agrees_with_brute_force() {
+    // Random corpus near the phase transition, solved with every
+    // inprocessing pass firing at maximum frequency under proof logging.
+    // Verdicts must match the exhaustive reference, SAT models must
+    // satisfy the formula, and — with no sharing in play — UNSAT proofs
+    // must fully RUP-check even though vivification and strengthening
+    // have been rewriting the clause database the proof talks about.
+    let mut rng = Rng::seed_from_u64(0xF022_0007);
+    let mut unsat_proofs = 0;
+    for round in 0..120 {
+        let f = random_formula(&mut rng);
+        let expected_sat = brute_force(&f).is_some();
+        let ctx = format!("inprocessing round {round}");
+        let mut s = inprocessing_solver(&f, true);
+        let first = s.solve(&[]);
+        assert_eq!(first.is_sat(), expected_sat, "{ctx}");
+        if expected_sat {
+            check_model(&s, &f, &ctx);
+            // Incremental re-solve under an assumption flipping the
+            // model: inprocessing must not have baked the old model in.
+            let pivot = lit_of(
+                f.clauses
+                    .first()
+                    .and_then(|c| c.first())
+                    .copied()
+                    .unwrap_or(1),
+            );
+            let assumption = if s.model_value(pivot) == Some(true) {
+                !pivot
+            } else {
+                pivot
+            };
+            let second = s.solve(&[assumption]);
+            if second == SolveResult::Sat {
+                check_model(&s, &f, &format!("{ctx} (assumed)"));
+                assert_eq!(s.model_value(assumption), Some(true), "{ctx}");
+            }
+        } else {
+            let proof = s.take_proof().expect("proof logging was enabled");
+            assert!(proof.claims_unsat(), "{ctx}");
+            assert_eq!(proof.check(), Ok(()), "{ctx}: inprocessed proof");
+            unsat_proofs += 1;
+        }
+    }
+    assert!(unsat_proofs >= 10, "corpus too easy: {unsat_proofs} UNSAT");
+}
+
+#[test]
+fn inprocessing_agrees_on_crafted_families() {
+    for (pigeons, holes) in [(3, 2), (4, 3), (3, 3), (4, 4), (5, 4)] {
+        let f = pigeonhole(pigeons, holes);
+        let expected_sat = pigeons <= holes;
+        let ctx = format!("inprocessed pigeonhole({pigeons},{holes})");
+        let mut s = inprocessing_solver(&f, true);
+        assert_eq!(s.solve(&[]).is_sat(), expected_sat, "{ctx}");
+        if expected_sat {
+            check_model(&s, &f, &ctx);
+        } else {
+            let proof = s.take_proof().expect("proof");
+            assert_eq!(proof.check(), Ok(()), "{ctx}");
+        }
+    }
+    let mut rng = Rng::seed_from_u64(0xF022_0008);
+    for round in 0..30 {
+        let nv = rng.gen_range(4usize..=14);
+        let eqs = rng.gen_range(1usize..=2 * nv);
+        let f = parity_system(&mut rng, nv, eqs);
+        let expected_sat = brute_force(&f).is_some();
+        let ctx = format!("inprocessed parity round {round}");
+        let mut s = inprocessing_solver(&f, false);
+        assert_eq!(s.solve(&[]).is_sat(), expected_sat, "{ctx}");
+        if expected_sat {
+            check_model(&s, &f, &ctx);
+        }
+    }
+}
+
+#[test]
+fn inprocessing_survives_hostile_imports() {
+    // Same hostile mailbox as the plain import test — duplicates, a
+    // clause over an unallocated variable, plus genuinely implied
+    // clauses — but now the importing solver is also vivifying and
+    // strengthening between restarts, rewriting the database the
+    // imports sit next to. The verdict still has to match brute force
+    // every time.
+    let mut rng = Rng::seed_from_u64(0xF022_0009);
+    for round in 0..40 {
+        let f = random_formula(&mut rng);
+        let expected_sat = brute_force(&f).is_some();
+        let ctx = format!("hostile inprocessing round {round}");
+        // Implied payload: any full clause of the formula is trivially
+        // entailed, as is its duplicate.
+        let implied: Vec<Lit> = f
+            .clauses
+            .first()
+            .map(|c| c.iter().map(|&code| lit_of(code)).collect())
+            .unwrap_or_else(|| vec![lit_of(1)]);
+        let source = InjectSource {
+            payload: Mutex::new(vec![
+                implied.clone(),
+                implied.clone(),
+                vec![Lit::positive(Var::from_index(200))],
+            ]),
+        };
+        let mut s = inprocessing_solver(&f, false);
+        s.set_exchange(Some(Arc::new(source)));
+        assert_eq!(s.solve(&[]).is_sat(), expected_sat, "{ctx}");
+        if expected_sat {
+            check_model(&s, &f, &ctx);
+        }
+    }
 }
 
 #[test]

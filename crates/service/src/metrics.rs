@@ -359,11 +359,20 @@ mod tests {
         };
         let recorder = olsq2_obs::Recorder::new();
         recorder.add("sat.conflicts", 17);
+        recorder.add("sat.vivified", 4);
+        recorder.add("sat.strengthened", 2);
+        recorder.add("sat.binary_props", 900);
+        recorder.add("sat.tier_demotions", 6);
         let text = prometheus_text(&metrics, &recorder);
         assert!(text.contains("# TYPE olsq2_jobs_submitted counter"));
         assert!(text.contains("olsq2_jobs_submitted 3"));
         assert!(text.contains("olsq2_latency_p99_us 1500"));
         assert!(text.contains("olsq2_sat_conflicts 17"));
+        // Inprocessing/kernel telemetry rides the same recorder path.
+        assert!(text.contains("olsq2_sat_vivified 4"));
+        assert!(text.contains("olsq2_sat_strengthened 2"));
+        assert!(text.contains("olsq2_sat_binary_props 900"));
+        assert!(text.contains("olsq2_sat_tier_demotions 6"));
         // Disabled recorder: service metrics only, no panic.
         let plain = prometheus_text(&metrics, &olsq2_obs::Recorder::disabled());
         assert!(plain.contains("olsq2_jobs_done 2"));
