@@ -3,8 +3,9 @@
 //! ```text
 //! olsq2 --qasm <file|-> --device <name> [--objective depth|swaps|blocks]
 //!       [--swap-duration N] [--budget SECS] [--encoding int|bv|euf]
-//!       [--tool olsq2|tb|sabre|satmap|astar|portfolio] [--output out.qasm]
+//!       [--tool olsq2|tb|sabre|satmap|astar|portfolio|cube] [--output out.qasm]
 //!       [--diversify N] [--portfolio-share] [--no-incremental]
+//!       [--cube-workers N] [--cube-depth N]
 //!       [--trace-out trace.jsonl] [--report]
 //!
 //! olsq2 serve-batch --manifest <file|-> [--output <file|->]
@@ -15,6 +16,7 @@
 //!
 //! olsq2 sat <file.cnf|-> [--preprocess] [--assume LIT]...
 //!       [--budget-conflicts N] [--legacy-solver] [--stats]
+//!       [--cube-workers N] [--cube-depth N]
 //! ```
 //!
 //! The first form reads an OpenQASM 2.0 circuit, synthesizes a layout for
@@ -27,7 +29,14 @@
 //! runs SatELite-style simplification (variable elimination, subsumption)
 //! first; variables named by `--assume` are frozen so assumptions stay
 //! meaningful, and reported models are reconstructed over the original
-//! variables either way.
+//! variables either way. `--cube-workers`/`--cube-depth` switch to the
+//! cube-and-conquer engine: the instance is split into a tree of
+//! assumption cubes solved on a work-stealing pool (any `--assume`
+//! literals become the shared base of every cube).
+//!
+//! Synthesis with `--tool cube` (or `--tool olsq2` plus a `--cube-*`
+//! flag, depth objective only) routes the optimality-proving UNSAT
+//! queries through the same cube engine.
 //!
 //! The `serve-batch` form reads a JSONL job manifest (see the
 //! `olsq2-service` crate docs for the line format), drives the synthesis
@@ -55,16 +64,18 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: olsq2 --qasm <file|-> --device <name> \\
-          [--objective depth|swaps] [--tool olsq2|tb|sabre|satmap|astar|portfolio] \\
+          [--objective depth|swaps] [--tool olsq2|tb|sabre|satmap|astar|portfolio|cube] \\
           [--swap-duration N] [--budget SECS] [--encoding int|bv|euf] [--output out.qasm] \\
           [--diversify N] [--portfolio-share] [--no-incremental] \\
+          [--cube-workers N] [--cube-depth N] \\
           [--trace-out trace.jsonl] [--report]
        olsq2 serve-batch --manifest <file|-> [--output <file|->] \\
           [--workers N] [--queue N] [--cache N] [--no-incremental] \\
           [--trace-out trace.jsonl] [--prom-out metrics.prom] [--report]
        olsq2 trace-report <trace.jsonl|->
        olsq2 sat <file.cnf|-> [--preprocess] [--assume LIT]... \\
-          [--budget-conflicts N] [--legacy-solver] [--stats]
+          [--budget-conflicts N] [--legacy-solver] [--stats] \\
+          [--cube-workers N] [--cube-depth N]
 
 devices: qx2, qx5, tokyo, aspen4, sycamore, eagle, grid<WxH>, line<N>, complete<N>"
     );
@@ -285,6 +296,8 @@ fn sat_command(args: impl Iterator<Item = String>) -> ! {
     let mut budget: Option<u64> = None;
     let mut legacy = false;
     let mut stats = false;
+    let mut cube_workers: Option<usize> = None;
+    let mut cube_depth: Option<usize> = None;
     let mut args = args;
     while let Some(a) = args.next() {
         let val = |args: &mut dyn Iterator<Item = String>| -> String {
@@ -305,6 +318,24 @@ fn sat_command(args: impl Iterator<Item = String>) -> ! {
             }
             "--legacy-solver" => legacy = true,
             "--stats" => stats = true,
+            "--cube-workers" => {
+                cube_workers = Some(
+                    val(&mut args)
+                        .parse()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--cube-depth" => {
+                cube_depth = Some(
+                    val(&mut args)
+                        .parse()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--help" | "-h" => usage(),
             _ if cnf_path.is_none() => cnf_path = Some(a),
             _ => usage(),
@@ -364,6 +395,88 @@ fn sat_command(args: impl Iterator<Item = String>) -> ! {
         None
     };
 
+    // Cube mode: split the instance into a tree of assumption cubes and
+    // solve them on a work-stealing pool. Any `--assume` literals become
+    // the shared base of every cube; with `--preprocess` the cubes run
+    // over the simplified formula and the model is reconstructed.
+    if cube_workers.is_some() || cube_depth.is_some() {
+        use olsq2_cube::{solve_cubes, CubeConfig, CubeSolvable, SatCubeSolver};
+        if budget.is_some() {
+            eprintln!(
+                "note: --budget-conflicts is ignored in cube mode \
+                 (the per-cube budget triggers re-splits instead)"
+            );
+        }
+        let clauses: Vec<Vec<Lit>> = match &simplified {
+            Some(s) => s.clauses().to_vec(),
+            None => cnf.clauses().to_vec(),
+        };
+        let num_vars = cnf.num_vars();
+        let cube_cfg = CubeConfig {
+            workers: cube_workers.unwrap_or(4),
+            depth: cube_depth.unwrap_or(2),
+            ..CubeConfig::default()
+        };
+        let run = solve_cubes(
+            |_| {
+                let mut w = SatCubeSolver::new(num_vars, &clauses, false);
+                if legacy {
+                    w.solver_mut().set_features(SolverFeatures::legacy());
+                }
+                w.set_base(assumptions.clone());
+                w
+            },
+            &cube_cfg,
+            &olsq2_obs::Recorder::disabled(),
+        );
+        if stats {
+            let (mut conflicts, mut decisions, mut propagations, mut restarts) =
+                (0u64, 0u64, 0u64, 0u64);
+            for w in &run.workers {
+                let s = w.solver().stats();
+                conflicts += s.conflicts;
+                decisions += s.decisions;
+                propagations += s.propagations;
+                restarts += s.restarts;
+            }
+            eprintln!(
+                "c conflicts {conflicts} decisions {decisions} propagations {propagations} \
+                 restarts {restarts} (summed over {} cube worker(s))",
+                run.workers.len()
+            );
+            let cs = &run.stats;
+            eprintln!(
+                "c cubes-split {} cubes-refuted {} pruned-by-core {} steals {} resplits {}",
+                cs.cubes_split, cs.cubes_refuted, cs.cubes_pruned_by_core, cs.steals, cs.resplits
+            );
+        }
+        match run.result {
+            SolveResult::Sat => {
+                let witness = run.witness().expect("SAT run names its witness");
+                let mut model: Vec<bool> = (0..cnf.num_vars())
+                    .map(|i| {
+                        witness
+                            .solver()
+                            .model_value(Lit::positive(Var::from_index(i)))
+                            .unwrap_or(false)
+                    })
+                    .collect();
+                if let Some(simplified) = &simplified {
+                    simplified.reconstruct(&mut model);
+                }
+                print_model_and_exit(&model);
+            }
+            SolveResult::Unsat => {
+                println!("s UNSATISFIABLE");
+                std::process::exit(20);
+            }
+            SolveResult::Unknown => {
+                println!("s UNKNOWN");
+                std::process::exit(0);
+            }
+        }
+    }
+
     let verdict = solver.solve(&assumptions);
     if stats {
         let s = solver.stats();
@@ -388,22 +501,7 @@ fn sat_command(args: impl Iterator<Item = String>) -> ! {
             if let Some(simplified) = &simplified {
                 simplified.reconstruct(&mut model);
             }
-            println!("s SATISFIABLE");
-            let mut line = String::from("v");
-            for (i, &value) in model.iter().enumerate() {
-                line.push(' ');
-                if !value {
-                    line.push('-');
-                }
-                line.push_str(&(i + 1).to_string());
-                if line.len() > 72 {
-                    println!("{line}");
-                    line = String::from("v");
-                }
-            }
-            line.push_str(" 0");
-            println!("{line}");
-            std::process::exit(10);
+            print_model_and_exit(&model);
         }
         SolveResult::Unsat => {
             println!("s UNSATISFIABLE");
@@ -414,6 +512,26 @@ fn sat_command(args: impl Iterator<Item = String>) -> ! {
             std::process::exit(0);
         }
     }
+}
+
+/// Prints `s SATISFIABLE` plus the wrapped `v` lines and exits 10.
+fn print_model_and_exit(model: &[bool]) -> ! {
+    println!("s SATISFIABLE");
+    let mut line = String::from("v");
+    for (i, &value) in model.iter().enumerate() {
+        line.push(' ');
+        if !value {
+            line.push('-');
+        }
+        line.push_str(&(i + 1).to_string());
+        if line.len() > 72 {
+            println!("{line}");
+            line = String::from("v");
+        }
+    }
+    line.push_str(" 0");
+    println!("{line}");
+    std::process::exit(10);
 }
 
 fn main() {
@@ -449,6 +567,8 @@ fn main() {
     let mut diversify = 1usize;
     let mut portfolio_share = false;
     let mut incremental = true;
+    let mut cube_workers: Option<usize> = None;
+    let mut cube_depth: Option<usize> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -478,6 +598,24 @@ fn main() {
             }
             "--portfolio-share" => portfolio_share = true,
             "--no-incremental" => incremental = false,
+            "--cube-workers" => {
+                cube_workers = Some(
+                    val(&mut args)
+                        .parse()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--cube-depth" => {
+                cube_depth = Some(
+                    val(&mut args)
+                        .parse()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -529,7 +667,43 @@ fn main() {
         ..SynthesisConfig::default()
     };
 
+    // A `--cube-*` flag on the exact tool opts depth optimization into
+    // the cube engine without having to spell `--tool cube`.
+    let tool = if tool == "olsq2"
+        && objective == "depth"
+        && (cube_workers.is_some() || cube_depth.is_some())
+    {
+        "cube".to_string()
+    } else {
+        tool
+    };
+
     let result: LayoutResult = match (tool.as_str(), objective.as_str()) {
+        ("cube", "depth") => {
+            let mut params = olsq2::CubeParams::default();
+            if let Some(w) = cube_workers {
+                params.workers = w;
+            }
+            if let Some(d) = cube_depth {
+                params.depth = d;
+            }
+            let out = olsq2::CubeSynthesizer::new(config, params)
+                .optimize_depth(&circuit, &device)
+                .unwrap_or_else(|e| fail(&e));
+            let cs = &out.cube_stats;
+            eprintln!(
+                "optimal: {} ({} solver calls; cubes: {} split, {} refuted, \
+                 {} pruned by cores, {} steals, {} resplits)",
+                out.outcome.proven_optimal,
+                out.outcome.iterations,
+                cs.cubes_split,
+                cs.cubes_refuted,
+                cs.cubes_pruned_by_core,
+                cs.steals,
+                cs.resplits
+            );
+            out.outcome.result
+        }
         ("olsq2", "depth") => {
             let out = Olsq2Synthesizer::new(config)
                 .optimize_depth(&circuit, &device)

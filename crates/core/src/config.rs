@@ -260,6 +260,13 @@ pub struct SynthesisConfig {
     /// [`SolverFeatures::legacy`] reproduces the pre-overhaul kernel for
     /// A/B comparisons.
     pub solver_features: SolverFeatures,
+    /// Record clausal proofs on every solver this run builds (enabled
+    /// *before* the first clause, as the log requires). UNSAT iterations
+    /// can then justify themselves — the cube-and-conquer path stitches
+    /// the per-worker logs into one checkable refutation. Incompatible
+    /// with [`Self::clause_exchange`]: imported clauses carry no
+    /// derivation, so proof-mode runs must not share.
+    pub proof_log: bool,
 }
 
 impl Default for SynthesisConfig {
@@ -281,6 +288,7 @@ impl Default for SynthesisConfig {
             exchange_filter: ExchangeFilter::default(),
             incremental: true,
             solver_features: SolverFeatures::default(),
+            proof_log: false,
         }
     }
 }

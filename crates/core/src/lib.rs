@@ -40,6 +40,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod config;
+pub mod cube;
 pub mod incumbent;
 pub mod model;
 pub mod optimize;
@@ -51,6 +52,7 @@ pub mod vars;
 pub use config::{
     EncodingConfig, MappingEncoding, SolverDiversification, SynthesisConfig, TimeEncoding,
 };
+pub use cube::{CubeModel, CubeOutcome, CubeParams, CubeSynthesizer};
 // Re-exported so downstream users can enable tracing without naming the
 // obs crate explicitly.
 pub use incumbent::IncumbentSlot;
@@ -60,6 +62,8 @@ pub use olsq2_obs::Recorder;
 // crate explicitly.
 pub use olsq2_sat::{ClauseExchange, ExchangeFilter};
 pub use optimize::{Olsq2Synthesizer, SwapOptimizationOutcome, SynthesisError, SynthesisOutcome};
-pub use portfolio::{MemberOutcome, PortfolioConfig, PortfolioReport, PortfolioSynthesizer};
+pub use portfolio::{
+    MemberOutcome, MemberStrategy, PortfolioConfig, PortfolioReport, PortfolioSynthesizer,
+};
 pub use sharing::{CohortEndpoint, SharedClausePool, SharingStats};
 pub use transition::{TbOlsq2Synthesizer, TbOutcome};

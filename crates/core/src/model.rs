@@ -157,6 +157,10 @@ impl FlatModel {
         let sd = config.swap_duration.max(1);
         let t_ub = t_ub.max(1);
         let mut solver = Solver::new();
+        if config.proof_log {
+            // Before any clause: the log must contain every original.
+            solver.enable_proof();
+        }
         solver.set_features(config.solver_features);
         let enc = config.encoding;
         let mut tally = FamilyTally::new();
@@ -214,6 +218,21 @@ impl FlatModel {
                         }
                     }
                 }
+            }
+        }
+
+        // Initial-mapping one-hot groups are the natural cube-splitting
+        // axis: asserting each selector of π_q^0 in turn partitions the
+        // space exactly, and the unguarded at-least-one clause makes the
+        // split certifiable in stitched proofs. (Binary mappings have no
+        // such group; t > 0 columns are weaker split candidates and are
+        // left out.)
+        if matches!(
+            enc.mapping,
+            MappingEncoding::OneHot | MappingEncoding::InverseOneHot
+        ) {
+            for q in 0..nq {
+                tally.register_split_group(ConstraintFamily::Mapping, mapping[q][0].raw_lits());
             }
         }
 
@@ -946,6 +965,13 @@ impl FlatModel {
     /// Mutable access to the underlying solver (budgets, statistics).
     pub fn solver_mut(&mut self) -> &mut Solver {
         &mut self.solver
+    }
+
+    /// The active window guard, when the model was built incrementally.
+    /// Callers that bypass [`FlatModel::solve`] (the cube engine solves
+    /// through the raw solver) must assume it themselves.
+    pub fn window_guard(&self) -> Option<Lit> {
+        self.window_guard
     }
 
     /// Activation literal enforcing depth ≤ `depth` (all `t_g ≤ depth-1`,

@@ -117,6 +117,16 @@ pub struct Olsq2Synthesizer {
     config: SynthesisConfig,
 }
 
+/// Everything phase 1 of depth optimization produces: the first
+/// satisfiable bound (already published as the incumbent) and the model
+/// grown to the window that admitted it.
+pub(crate) struct FirstSat {
+    pub model: FlatModel,
+    pub result: LayoutResult,
+    pub t_lb: usize,
+    pub iterations: usize,
+}
+
 impl Olsq2Synthesizer {
     /// Creates a synthesizer with the given configuration.
     pub fn new(config: SynthesisConfig) -> Olsq2Synthesizer {
@@ -128,16 +138,16 @@ impl Olsq2Synthesizer {
         &self.config
     }
 
-    fn deadline(&self) -> Option<Instant> {
+    pub(crate) fn deadline(&self) -> Option<Instant> {
         self.config.time_budget.map(|b| Instant::now() + b)
     }
 
-    fn initial_t_ub(&self, t_lb: usize) -> usize {
+    pub(crate) fn initial_t_ub(&self, t_lb: usize) -> usize {
         let factor = (t_lb as f64 * self.config.tub_factor).ceil() as usize;
         factor.max(t_lb + self.config.swap_duration).max(1)
     }
 
-    fn build_model(
+    pub(crate) fn build_model(
         &self,
         circuit: &Circuit,
         graph: &CouplingGraph,
@@ -165,7 +175,7 @@ impl Olsq2Synthesizer {
     /// [`FlatModel::extend_window`] when the incremental path applies
     /// (keeping the solver's learned clauses alive), otherwise by
     /// rebuilding from scratch.
-    fn grow_model(
+    pub(crate) fn grow_model(
         &self,
         circuit: &Circuit,
         graph: &CouplingGraph,
@@ -190,7 +200,7 @@ impl Olsq2Synthesizer {
         Ok(())
     }
 
-    fn dependency_graph(&self, circuit: &Circuit) -> DependencyGraph {
+    pub(crate) fn dependency_graph(&self, circuit: &Circuit) -> DependencyGraph {
         if self.config.commutation_aware {
             DependencyGraph::new_with_commutation(circuit)
         } else {
@@ -198,7 +208,7 @@ impl Olsq2Synthesizer {
         }
     }
 
-    fn arm_budgets(&self, model: &mut FlatModel, deadline: Option<Instant>) {
+    pub(crate) fn arm_budgets(&self, model: &mut FlatModel, deadline: Option<Instant>) {
         model.solver_mut().set_deadline(deadline);
         model
             .solver_mut()
@@ -211,14 +221,14 @@ impl Olsq2Synthesizer {
     /// Publishes an intermediate solution to the configured incumbent
     /// slot, so deadline-bound callers can recover the best-so-far when a
     /// later solve is cut off.
-    fn publish_incumbent(&self, result: &LayoutResult) {
+    pub(crate) fn publish_incumbent(&self, result: &LayoutResult) {
         if let Some(slot) = &self.config.incumbent {
             slot.publish(result);
         }
     }
 
     /// Opens one `iteration` span tagged with the active objective bounds.
-    fn iteration_span(&self, objective: &str, bounds: &[(&str, usize)]) -> SpanGuard {
+    pub(crate) fn iteration_span(&self, objective: &str, bounds: &[(&str, usize)]) -> SpanGuard {
         let span = self.config.recorder.span("iteration");
         span.set("objective", objective);
         for &(k, v) in bounds {
@@ -269,32 +279,23 @@ impl Olsq2Synthesizer {
         }
     }
 
-    /// Depth optimization (§III-B-1): start from `T_B = T_LB`, relax
-    /// geometrically (`r = 1.3` below 100, else `1.1`) until SAT, then
-    /// decrement until UNSAT.
-    ///
-    /// # Errors
-    ///
-    /// [`SynthesisError::BudgetExhausted`] if no solution was found in
-    /// budget; [`SynthesisError::WindowExhausted`] for unroutable inputs.
-    pub fn optimize_depth(
+    /// Phase 1 of depth optimization (§III-B-1): start from
+    /// `T_B = T_LB`, relax geometrically (`r = 1.3` below 100, else
+    /// `1.1`) until the first SAT. Shared between the sequential
+    /// decrement loop below and the cube-and-conquer optimizer
+    /// ([`crate::cube::CubeSynthesizer`]), which replaces only phase 2.
+    pub(crate) fn first_feasible_depth(
         &self,
         circuit: &Circuit,
         graph: &CouplingGraph,
-    ) -> Result<SynthesisOutcome, SynthesisError> {
-        let start = Instant::now();
-        let deadline = self.deadline();
+        deadline: Option<Instant>,
+    ) -> Result<FirstSat, SynthesisError> {
         let dag = self.dependency_graph(circuit);
         let t_lb = dag.longest_chain().max(1);
         let mut t_ub = self.initial_t_ub(t_lb);
-        let outer = self.config.recorder.span("optimize_depth");
-        outer.set("t_lb", t_lb);
         let mut model = self.build_model(circuit, graph, t_ub)?;
         let mut iterations = 0usize;
-
-        // Phase 1: geometric relaxation until the first SAT.
         let mut t_b = t_lb;
-        let best: Option<LayoutResult>;
         loop {
             if t_b > t_ub {
                 // Regenerate with a larger window (§III-B-1 last sentence).
@@ -317,10 +318,14 @@ impl Olsq2Synthesizer {
             drop(span);
             match res {
                 SolveResult::Sat => {
-                    let first = model.extract();
-                    self.publish_incumbent(&first);
-                    best = Some(first);
-                    break;
+                    let result = model.extract();
+                    self.publish_incumbent(&result);
+                    return Ok(FirstSat {
+                        model,
+                        result,
+                        t_lb,
+                        iterations,
+                    });
                 }
                 SolveResult::Unsat => {
                     let r = if t_b < 100 { 1.3 } else { 1.1 };
@@ -332,10 +337,35 @@ impl Olsq2Synthesizer {
                 SolveResult::Unknown => return Err(SynthesisError::BudgetExhausted),
             }
         }
+    }
+
+    /// Depth optimization (§III-B-1): start from `T_B = T_LB`, relax
+    /// geometrically (`r = 1.3` below 100, else `1.1`) until SAT, then
+    /// decrement until UNSAT.
+    ///
+    /// # Errors
+    ///
+    /// [`SynthesisError::BudgetExhausted`] if no solution was found in
+    /// budget; [`SynthesisError::WindowExhausted`] for unroutable inputs.
+    pub fn optimize_depth(
+        &self,
+        circuit: &Circuit,
+        graph: &CouplingGraph,
+    ) -> Result<SynthesisOutcome, SynthesisError> {
+        let start = Instant::now();
+        let deadline = self.deadline();
+        let outer = self.config.recorder.span("optimize_depth");
+        let FirstSat {
+            mut model,
+            result: first,
+            t_lb,
+            mut iterations,
+        } = self.first_feasible_depth(circuit, graph, deadline)?;
+        outer.set("t_lb", t_lb);
 
         // Phase 2: decrement until UNSAT (or the lower bound is reached).
         let mut proven_optimal = false;
-        let mut current = best.expect("set on first SAT");
+        let mut current = first;
         loop {
             if current.depth <= t_lb {
                 proven_optimal = true;

@@ -19,6 +19,7 @@
 //! fingerprint fence described in the [`crate::sharing`] module docs.
 
 use crate::config::{EncodingConfig, SolverDiversification, SynthesisConfig};
+use crate::cube::{CubeParams, CubeSynthesizer};
 use crate::optimize::{Olsq2Synthesizer, SynthesisError, SynthesisOutcome};
 use crate::sharing::{CohortEndpoint, SharedClausePool, SharingStats};
 use olsq2_arch::CouplingGraph;
@@ -55,6 +56,10 @@ pub struct PortfolioConfig {
     pub seed: u64,
     /// Clause capacity of each member's pool shard when sharing.
     pub pool_capacity: usize,
+    /// When set, one extra member (first encoding, vanilla solver) runs
+    /// the cube-and-conquer decrement phase ([`CubeSynthesizer`])
+    /// instead of the sequential loop on depth races.
+    pub cube: Option<CubeParams>,
 }
 
 impl Default for PortfolioConfig {
@@ -69,6 +74,7 @@ impl Default for PortfolioConfig {
             share: false,
             seed: 0x0152_C0DE,
             pool_capacity: 4096,
+            cube: None,
         }
     }
 }
@@ -119,10 +125,38 @@ impl PortfolioConfig {
         self
     }
 
-    /// Total member count (`encodings × per_encoding`).
-    pub fn num_members(&self) -> usize {
-        self.encodings.len() * self.per_encoding
+    /// Adds a cube-and-conquer member to depth races (see
+    /// [`PortfolioConfig::cube`]).
+    pub fn with_cube(mut self, params: CubeParams) -> Self {
+        self.cube = Some(params);
+        self
     }
+
+    /// Total member count (`encodings × per_encoding`, plus the cube
+    /// member when configured).
+    pub fn num_members(&self) -> usize {
+        self.encodings.len() * self.per_encoding + usize::from(self.cube.is_some())
+    }
+}
+
+/// How one portfolio member runs the optimization loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemberStrategy {
+    /// The sequential decrement loop ([`Olsq2Synthesizer`]).
+    Sequential,
+    /// Cube-and-conquer decrement phase ([`CubeSynthesizer`]) on depth
+    /// races; SWAP races fall back to the sequential loop (the cube
+    /// engine only races depth bounds). The member's cohort shares
+    /// clauses internally — a portfolio-level sharing endpoint assigned
+    /// to this member is not used.
+    CubeAndConquer(CubeParams),
+}
+
+/// The objective a race optimizes.
+#[derive(Debug, Clone, Copy)]
+enum Objective {
+    Depth,
+    Swaps,
 }
 
 /// A parallel portfolio of OLSQ2 configurations (§V future direction).
@@ -153,6 +187,8 @@ impl PortfolioConfig {
 #[derive(Debug, Clone)]
 pub struct PortfolioSynthesizer {
     members: Vec<SynthesisConfig>,
+    /// Per-member strategy, indexed like `members`.
+    strategies: Vec<MemberStrategy>,
     /// Wire same-encoding cohorts to a shared clause pool during races.
     share: bool,
     /// Per-shard clause capacity for the cohort pools.
@@ -210,8 +246,10 @@ impl PortfolioSynthesizer {
     /// Panics if `members` is empty.
     pub fn new(members: Vec<SynthesisConfig>) -> PortfolioSynthesizer {
         assert!(!members.is_empty(), "portfolio needs at least one member");
+        let strategies = vec![MemberStrategy::Sequential; members.len()];
         PortfolioSynthesizer {
             members,
+            strategies,
             share: false,
             pool_capacity: PortfolioConfig::default().pool_capacity,
         }
@@ -252,11 +290,33 @@ impl PortfolioSynthesizer {
                 });
             }
         }
+        let mut strategies = vec![MemberStrategy::Sequential; members.len()];
+        if let Some(params) = &cfg.cube {
+            members.push(SynthesisConfig {
+                encoding: cfg.encodings[0],
+                ..base.clone()
+            });
+            strategies.push(MemberStrategy::CubeAndConquer(params.clone()));
+        }
         PortfolioSynthesizer {
             members,
+            strategies,
             share: cfg.share,
             pool_capacity: cfg.pool_capacity,
         }
+    }
+
+    /// Appends a cube-and-conquer member (cloning the first member's
+    /// configuration) to an explicitly constructed portfolio.
+    pub fn with_cube_member(mut self, params: CubeParams) -> PortfolioSynthesizer {
+        self.members.push(self.members[0].clone());
+        self.strategies.push(MemberStrategy::CubeAndConquer(params));
+        self
+    }
+
+    /// The per-member strategies, indexed like the member configurations.
+    pub fn strategies(&self) -> &[MemberStrategy] {
+        &self.strategies
     }
 
     /// Enables learned-clause sharing inside same-encoding cohorts for an
@@ -313,7 +373,7 @@ impl PortfolioSynthesizer {
         circuit: &Circuit,
         graph: &CouplingGraph,
     ) -> Result<PortfolioReport, SynthesisError> {
-        self.race(circuit, graph, |synth, c, g| synth.optimize_depth(c, g))
+        self.race(circuit, graph, Objective::Depth)
     }
 
     /// Like [`PortfolioSynthesizer::optimize_swaps`], but also reports the
@@ -327,26 +387,15 @@ impl PortfolioSynthesizer {
         circuit: &Circuit,
         graph: &CouplingGraph,
     ) -> Result<PortfolioReport, SynthesisError> {
-        self.race(circuit, graph, |synth, c, g| {
-            synth.optimize_swaps(c, g).map(|o| o.best)
-        })
+        self.race(circuit, graph, Objective::Swaps)
     }
 
-    fn race<F>(
+    fn race(
         &self,
         circuit: &Circuit,
         graph: &CouplingGraph,
-        run: F,
-    ) -> Result<PortfolioReport, SynthesisError>
-    where
-        F: Fn(
-                &Olsq2Synthesizer,
-                &Circuit,
-                &CouplingGraph,
-            ) -> Result<SynthesisOutcome, SynthesisError>
-            + Send
-            + Sync,
-    {
+        objective: Objective,
+    ) -> Result<PortfolioReport, SynthesisError> {
         let stop = Arc::new(AtomicBool::new(false));
         let endpoints = self.make_endpoints();
         let (tx, rx) = mpsc::channel::<(usize, Result<SynthesisOutcome, SynthesisError>)>();
@@ -357,10 +406,25 @@ impl PortfolioSynthesizer {
                 config.clause_exchange =
                     endpoints[idx].clone().map(|e| e as Arc<dyn ClauseExchange>);
                 let tx = tx.clone();
-                let run = &run;
+                let strategy = &self.strategies[idx];
                 scope.spawn(move || {
-                    let synth = Olsq2Synthesizer::new(config);
-                    let result = run(&synth, circuit, graph);
+                    let result = match (strategy, objective) {
+                        (MemberStrategy::CubeAndConquer(p), Objective::Depth) => {
+                            // The cube member wires its own internal
+                            // cohort sharing; a portfolio endpoint would
+                            // go unused.
+                            config.clause_exchange = None;
+                            CubeSynthesizer::new(config, p.clone())
+                                .optimize_depth(circuit, graph)
+                                .map(|c| c.outcome)
+                        }
+                        (_, Objective::Depth) => {
+                            Olsq2Synthesizer::new(config).optimize_depth(circuit, graph)
+                        }
+                        (_, Objective::Swaps) => Olsq2Synthesizer::new(config)
+                            .optimize_swaps(circuit, graph)
+                            .map(|o| o.best),
+                    };
                     let _ = tx.send((idx, result));
                 });
             }
@@ -544,6 +608,42 @@ mod tests {
         // an instance this tiny, but the wiring must be there).
         assert!(report.sharing.is_some());
         assert_eq!(report.members.len(), 3);
+    }
+
+    #[test]
+    fn cube_member_races_and_agrees_on_the_optimum() {
+        let circuit = qaoa_circuit(4, 0xA5);
+        let graph = line(4);
+        let base = SynthesisConfig::default();
+        let single = Olsq2Synthesizer::new(base.clone())
+            .optimize_depth(&circuit, &graph)
+            .expect("solves");
+        let cfg = PortfolioConfig::standard()
+            .with_encodings(vec![EncodingConfig::int()])
+            .with_cube(CubeParams {
+                workers: 2,
+                ..CubeParams::default()
+            });
+        let portfolio = PortfolioSynthesizer::with_config(base, &cfg);
+        assert_eq!(portfolio.num_members(), 2);
+        assert!(matches!(
+            portfolio.strategies()[1],
+            MemberStrategy::CubeAndConquer(_)
+        ));
+        let report = portfolio
+            .optimize_depth_report(&circuit, &graph)
+            .expect("solves");
+        assert_eq!(report.outcome.result.depth, single.result.depth);
+        assert_eq!(verify(&circuit, &graph, &report.outcome.result), Ok(()));
+        // On a SWAP race the cube member falls back to sequential and
+        // the race still terminates.
+        let swap_base = SynthesisConfig {
+            pareto_relax_limit: Some(0),
+            ..SynthesisConfig::default()
+        };
+        let portfolio = PortfolioSynthesizer::with_config(swap_base, &cfg);
+        let (outcome, _) = portfolio.optimize_swaps(&circuit, &graph).expect("solves");
+        assert_eq!(verify(&circuit, &graph, &outcome.result), Ok(()));
     }
 
     #[test]

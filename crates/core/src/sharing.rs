@@ -39,7 +39,7 @@
 use olsq2_obs::Recorder;
 use olsq2_sat::{ClauseExchange, Lit};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Aggregate clause-sharing volumes for a portfolio run.
@@ -62,8 +62,26 @@ struct Shard {
     start_seq: u64,
     /// `(space fingerprint, clause)` in publication order.
     items: VecDeque<(u64, Arc<[Lit]>)>,
-    /// Clauses evicted before every consumer saw them.
+    /// Clauses pushed out by capacity overflow.
     evicted: u64,
+    /// Overflow evictions that some *active* consumer had not yet seen —
+    /// the only evictions that actually lose sharing opportunities.
+    evicted_unseen: u64,
+    /// Entries dropped because every active consumer had already
+    /// consumed them (cursor garbage collection, not data loss).
+    pruned: u64,
+}
+
+/// Pool-side view of one member as a *consumer*: its delivery cursors
+/// (mirrored from the endpoint after each drain) and whether it is still
+/// participating. Members that exit early — cancelled portfolio losers,
+/// refuted cubes — retire, so they stop counting as "lagging" in the
+/// eviction accounting and stop holding back cursor garbage collection.
+#[derive(Debug)]
+struct ConsumerRow {
+    active: AtomicBool,
+    /// Per-shard position this consumer has consumed up to.
+    cursors: Vec<AtomicU64>,
 }
 
 /// A shard with its lock-free "anything new?" watermark.
@@ -84,6 +102,9 @@ struct ShardCell {
 pub struct SharedClausePool {
     shards: Vec<ShardCell>,
     capacity: usize,
+    /// One consumer row per member (a member consumes every shard but
+    /// its own).
+    consumers: Vec<ConsumerRow>,
 }
 
 impl SharedClausePool {
@@ -93,6 +114,12 @@ impl SharedClausePool {
         SharedClausePool {
             shards: (0..members).map(|_| ShardCell::default()).collect(),
             capacity,
+            consumers: (0..members)
+                .map(|_| ConsumerRow {
+                    active: AtomicBool::new(true),
+                    cursors: (0..members).map(|_| AtomicU64::new(0)).collect(),
+                })
+                .collect(),
         }
     }
 
@@ -101,11 +128,58 @@ impl SharedClausePool {
         self.shards.len()
     }
 
+    /// Retires `member` as a consumer: its cursors stop holding back
+    /// garbage collection of other members' rings and stop counting as
+    /// "lagging" in the eviction accounting. Called when a member exits
+    /// early (cancelled portfolio loser, refuted cube). Idempotent.
+    pub fn retire(&self, member: usize) {
+        self.consumers[member]
+            .active
+            .store(false, Ordering::Release);
+    }
+
+    /// Re-admits a retired `member` as a consumer (the cube engine
+    /// retires workers at the end of every per-bound run and brings them
+    /// back for the next bound). Sound at any time: the member's
+    /// mirrored cursors only ever lag its real consumption, so turning
+    /// them back on can only make the GC horizon more conservative; any
+    /// clauses pruned or evicted while it was away are simply missed
+    /// imports, never duplicates.
+    pub fn reactivate(&self, member: usize) {
+        self.consumers[member].active.store(true, Ordering::Release);
+    }
+
+    /// The lowest position any *active* foreign consumer still needs
+    /// from `member`'s shard; `u64::MAX` when none is listening.
+    fn seen_horizon(&self, member: usize) -> u64 {
+        self.consumers
+            .iter()
+            .enumerate()
+            .filter(|(c, row)| *c != member && row.active.load(Ordering::Acquire))
+            .map(|(_, row)| row.cursors[member].load(Ordering::Acquire))
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
     /// Publishes a clause from `member` tagged with its space fingerprint.
     fn publish(&self, member: usize, space: u64, lits: &[Lit]) {
+        let horizon = self.seen_horizon(member);
         let cell = &self.shards[member];
         let mut ring = cell.ring.lock().expect("pool shard poisoned");
+        // Cursor GC: everything below the horizon has been consumed by
+        // every consumer still participating (mirrored cursors only ever
+        // lag real consumption, so this never drops an undelivered
+        // clause).
+        while !ring.items.is_empty() && ring.start_seq < horizon {
+            ring.items.pop_front();
+            ring.start_seq += 1;
+            ring.pruned += 1;
+        }
         if ring.items.len() == self.capacity {
+            if ring.start_seq >= horizon {
+                // An active consumer had not reached this clause yet.
+                ring.evicted_unseen += 1;
+            }
             ring.items.pop_front();
             ring.start_seq += 1;
             ring.evicted += 1;
@@ -153,15 +227,38 @@ impl SharedClausePool {
                 }
             }
             cursors[i] = ring.start_seq + ring.items.len() as u64;
+            drop(ring);
+            // Mirror the position for the publish-side accounting/GC.
+            // Stored after consumption, so the mirror only ever lags.
+            self.consumers[consumer].cursors[i].store(cursors[i], Ordering::Release);
         }
         (delivered, dropped)
     }
 
-    /// Total clauses evicted from rings before every consumer saw them.
+    /// Total clauses pushed out of rings by capacity overflow.
     pub fn evicted(&self) -> u64 {
         self.shards
             .iter()
             .map(|c| c.ring.lock().expect("pool shard poisoned").evicted)
+            .sum()
+    }
+
+    /// Overflow evictions some *active* consumer had not yet seen — the
+    /// evictions that actually lost a sharing opportunity. Evictions
+    /// past only retired members' cursors do not count.
+    pub fn evicted_unseen(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|c| c.ring.lock().expect("pool shard poisoned").evicted_unseen)
+            .sum()
+    }
+
+    /// Ring entries reclaimed by cursor garbage collection (seen by every
+    /// active consumer, or published with no active consumer left).
+    pub fn pruned(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|c| c.ring.lock().expect("pool shard poisoned").pruned)
             .sum()
     }
 }
@@ -184,6 +281,8 @@ pub struct CohortEndpoint {
     base_vars: AtomicUsize,
     /// Per-foreign-shard delivery cursors.
     cursors: Mutex<Vec<u64>>,
+    /// Set once the member exits; exports and imports become no-ops.
+    retired: AtomicBool,
     exported: AtomicU64,
     imported: AtomicU64,
     filtered: AtomicU64,
@@ -201,6 +300,7 @@ impl CohortEndpoint {
             space: AtomicU64::new(0),
             base_vars: AtomicUsize::new(0),
             cursors: Mutex::new(vec![0; shards]),
+            retired: AtomicBool::new(false),
             exported: AtomicU64::new(0),
             imported: AtomicU64::new(0),
             filtered: AtomicU64::new(0),
@@ -216,10 +316,38 @@ impl CohortEndpoint {
             filtered: self.filtered.load(Ordering::Relaxed),
         }
     }
+
+    /// Detaches this member from the pool: its consumer cursors are
+    /// retired (see [`SharedClausePool::retire`]) and any further
+    /// export/import through the endpoint becomes a no-op. Called when
+    /// the member exits before the cohort does — a cancelled portfolio
+    /// loser or a cube worker whose cubes are all refuted. Idempotent.
+    pub fn retire(&self) {
+        if !self.retired.swap(true, Ordering::AcqRel) {
+            self.pool.retire(self.member);
+        }
+    }
+
+    /// Re-admits a retired member, undoing [`CohortEndpoint::retire`].
+    /// The cube engine retires every worker's endpoint when its run
+    /// drains, then reactivates them at the next optimizer iteration so
+    /// the same solvers (and the same pool) carry over. Sound because the
+    /// member's delivery cursors were left in place: they only lag real
+    /// consumption, so the pool's GC horizon stays conservative, and
+    /// clauses evicted while retired are simply never imported (a missed
+    /// import, never a duplicate). Idempotent.
+    pub fn reactivate(&self) {
+        if self.retired.swap(false, Ordering::AcqRel) {
+            self.pool.reactivate(self.member);
+        }
+    }
 }
 
 impl ClauseExchange for CohortEndpoint {
     fn export(&self, lits: &[Lit], _lbd: u32) {
+        if self.retired.load(Ordering::Acquire) {
+            return;
+        }
         let space = self.space.load(Ordering::Acquire);
         let base = self.base_vars.load(Ordering::Acquire);
         if space == 0 || lits.iter().any(|l| l.var().index() >= base) {
@@ -240,6 +368,9 @@ impl ClauseExchange for CohortEndpoint {
     }
 
     fn import_into(&self, out: &mut Vec<Vec<Lit>>) {
+        if self.retired.load(Ordering::Acquire) {
+            return;
+        }
         let space = self.space.load(Ordering::Acquire);
         if space == 0 {
             return;
@@ -350,6 +481,98 @@ mod tests {
         assert_eq!(b.stats().imported, 2);
         assert_eq!(b.stats().filtered, 3);
         assert_eq!(pool.evicted(), 3);
+    }
+
+    #[test]
+    fn retired_consumers_stop_holding_back_cursor_gc() {
+        let pool = Arc::new(SharedClausePool::new(2, 2));
+        let a = CohortEndpoint::new(pool.clone(), 0, Recorder::disabled());
+        let b = CohortEndpoint::new(pool.clone(), 1, Recorder::disabled());
+        a.bind_space(0x7, 10);
+        b.bind_space(0x7, 10);
+        // b never imports, so its cursor pins a's ring at first.
+        a.export(&[lit(0)], 1);
+        a.export(&[lit(1)], 1);
+        assert_eq!(pool.evicted(), 0);
+        b.retire();
+        b.retire(); // idempotent
+                    // With no active consumer left, publishes reclaim old entries via
+                    // GC instead of recording capacity evictions against anyone.
+        for v in 2..5 {
+            a.export(&[lit(v)], 1);
+        }
+        assert_eq!(pool.pruned(), 4);
+        assert_eq!(pool.evicted(), 0);
+        assert_eq!(pool.evicted_unseen(), 0);
+        // The retired endpoint is a full no-op in both directions.
+        let mut got = Vec::new();
+        b.import_into(&mut got);
+        assert!(got.is_empty());
+        b.export(&[lit(9)], 1);
+        assert_eq!(b.stats(), SharingStats::default());
+        got.clear();
+        a.import_into(&mut got);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn reactivated_consumers_resume_imports_from_their_cursor() {
+        let pool = Arc::new(SharedClausePool::new(2, 16));
+        let a = CohortEndpoint::new(pool.clone(), 0, Recorder::disabled());
+        let b = CohortEndpoint::new(pool.clone(), 1, Recorder::disabled());
+        a.bind_space(0x7, 10);
+        b.bind_space(0x7, 10);
+        a.export(&[lit(0)], 1);
+        let mut got = Vec::new();
+        b.import_into(&mut got);
+        assert_eq!(got.len(), 1);
+        // Retired: both directions go quiet, and GC no longer waits on b.
+        b.retire();
+        a.export(&[lit(1)], 1);
+        got.clear();
+        b.import_into(&mut got);
+        assert!(got.is_empty());
+        // Reactivated (idempotent): the next iteration's traffic flows
+        // again from b's standing cursor — no duplicates of lit(0).
+        b.reactivate();
+        b.reactivate();
+        a.export(&[lit(2)], 1);
+        got.clear();
+        b.import_into(&mut got);
+        assert!(got.iter().all(|c| c != &vec![lit(0)]));
+        assert!(got.contains(&vec![lit(2)]));
+        b.export(&[lit(3)], 1);
+        got.clear();
+        a.import_into(&mut got);
+        assert_eq!(got, vec![vec![lit(3)]]);
+    }
+
+    #[test]
+    fn eviction_accounting_separates_unseen_losses_from_gc() {
+        let pool = Arc::new(SharedClausePool::new(2, 2));
+        let a = CohortEndpoint::new(pool.clone(), 0, Recorder::disabled());
+        let b = CohortEndpoint::new(pool.clone(), 1, Recorder::disabled());
+        a.bind_space(0x7, 10);
+        b.bind_space(0x7, 10);
+        // b is active but lagging: the third export overflows capacity
+        // past b's cursor — a real lost sharing opportunity.
+        for v in 0..3 {
+            a.export(&[lit(v)], 1);
+        }
+        assert_eq!(pool.evicted(), 1);
+        assert_eq!(pool.evicted_unseen(), 1);
+        assert_eq!(pool.pruned(), 0);
+        // Once b drains, its mirrored cursor lets later publishes reclaim
+        // the consumed entries as GC rather than evictions.
+        let mut got = Vec::new();
+        b.import_into(&mut got);
+        assert_eq!(got.len(), 2);
+        assert_eq!(b.stats().filtered, 1);
+        a.export(&[lit(3)], 1);
+        a.export(&[lit(4)], 1);
+        assert_eq!(pool.pruned(), 2);
+        assert_eq!(pool.evicted(), 1);
+        assert_eq!(pool.evicted_unseen(), 1);
     }
 
     #[test]

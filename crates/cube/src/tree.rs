@@ -1,0 +1,239 @@
+//! The cube tree: which assumption sets partition the search space, and
+//! what happened to each of them.
+//!
+//! Every node carries the literals its branch *adds* on top of the
+//! parent's; a node's **cube** is the concatenation of branch literals
+//! from the root down ([`CubeTree::path`]). Splits come in two shapes:
+//!
+//! * **group splits** — one child per selector of a one-hot group whose
+//!   (unguarded) exactly-one constraint lives in the formula. Mutual
+//!   exclusion comes from the at-most-one side; exhaustiveness from the
+//!   at-least-one clause, which is what lets a stitched proof derive the
+//!   parent's blocking lemma from the children's.
+//! * **literal splits** — the classic `l` / `¬l` pair, exhaustive by
+//!   tautology.
+//!
+//! The tree only ever grows (dynamic re-splitting appends children to a
+//! former leaf), so node indices are stable and cheap to pass around as
+//! task identifiers.
+
+use olsq2_sat::Lit;
+
+/// What the scheduler currently knows about one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeState {
+    /// Not yet resolved (pending or in flight).
+    Open,
+    /// An interior node: resolved by its children.
+    Split,
+    /// A solver returned UNSAT for this cube.
+    Refuted,
+    /// Subsumed by an assumption core from a refuted relative — never
+    /// handed to a solver.
+    Pruned,
+    /// A solver found a model inside this cube.
+    Sat,
+}
+
+/// One node of the cube tree.
+#[derive(Debug, Clone)]
+pub struct CubeNode {
+    /// Parent index; `None` for the root.
+    pub parent: Option<usize>,
+    /// Literals this branch adds to the parent's cube (empty at the root).
+    pub branch: Vec<Lit>,
+    /// Child indices; empty for leaves.
+    pub children: Vec<usize>,
+    /// Resolution state.
+    pub state: NodeState,
+    /// Distance from the root (root = 0).
+    pub depth: usize,
+    /// Whether `children` split on a one-hot group (as opposed to a
+    /// literal and its negation).
+    pub group_split: bool,
+}
+
+/// An append-only tree of cubes rooted at the unconstrained instance.
+#[derive(Debug, Clone)]
+pub struct CubeTree {
+    nodes: Vec<CubeNode>,
+}
+
+impl Default for CubeTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CubeTree {
+    /// A tree holding only the root (the whole search space).
+    pub fn new() -> CubeTree {
+        CubeTree {
+            nodes: vec![CubeNode {
+                parent: None,
+                branch: Vec::new(),
+                children: Vec::new(),
+                state: NodeState::Open,
+                depth: 0,
+                group_split: false,
+            }],
+        }
+    }
+
+    /// Number of nodes (≥ 1).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Always false — the root is permanent.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The node at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: usize) -> &CubeNode {
+        &self.nodes[id]
+    }
+
+    /// Sets the resolution state of `id`.
+    pub fn set_state(&mut self, id: usize, state: NodeState) {
+        self.nodes[id].state = state;
+    }
+
+    /// The cube of node `id`: branch literals accumulated root → `id`.
+    pub fn path(&self, id: usize) -> Vec<Lit> {
+        let mut rev: Vec<&[Lit]> = Vec::new();
+        let mut cur = Some(id);
+        while let Some(n) = cur {
+            rev.push(&self.nodes[n].branch);
+            cur = self.nodes[n].parent;
+        }
+        rev.iter().rev().flat_map(|b| b.iter().copied()).collect()
+    }
+
+    /// Splits leaf `id` into one child per entry of `branches`; marks `id`
+    /// as [`NodeState::Split`] and returns the child indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` already has children or `branches` has fewer than
+    /// two entries (a one-way "split" would not partition anything).
+    pub fn split(&mut self, id: usize, branches: Vec<Vec<Lit>>, group: bool) -> Vec<usize> {
+        assert!(self.nodes[id].children.is_empty(), "node already split");
+        assert!(branches.len() >= 2, "split needs at least two branches");
+        let depth = self.nodes[id].depth + 1;
+        let mut ids = Vec::with_capacity(branches.len());
+        for branch in branches {
+            let child = self.nodes.len();
+            self.nodes.push(CubeNode {
+                parent: Some(id),
+                branch,
+                children: Vec::new(),
+                state: NodeState::Open,
+                depth,
+                group_split: false,
+            });
+            ids.push(child);
+        }
+        let n = &mut self.nodes[id];
+        n.children = ids.clone();
+        n.state = NodeState::Split;
+        n.group_split = group;
+        ids
+    }
+
+    /// Leaf indices (nodes without children), in index order.
+    pub fn leaves(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].children.is_empty())
+            .collect()
+    }
+
+    /// Whether every leaf is [`NodeState::Refuted`] or [`NodeState::Pruned`]
+    /// — the all-UNSAT condition.
+    pub fn all_leaves_closed(&self) -> bool {
+        self.nodes
+            .iter()
+            .filter(|n| n.children.is_empty())
+            .all(|n| matches!(n.state, NodeState::Refuted | NodeState::Pruned))
+    }
+
+    /// Node indices in post-order (children before parents, root last) —
+    /// the order proof stitching emits blocking lemmas in.
+    pub fn postorder(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![(0usize, false)];
+        while let Some((id, expanded)) = stack.pop() {
+            if expanded {
+                out.push(id);
+            } else {
+                stack.push((id, true));
+                for &c in self.nodes[id].children.iter().rev() {
+                    stack.push((c, false));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olsq2_sat::Var;
+
+    fn lit(v: usize) -> Lit {
+        Lit::positive(Var::from_index(v))
+    }
+
+    #[test]
+    fn paths_concatenate_branches_from_the_root() {
+        let mut t = CubeTree::new();
+        let kids = t.split(0, vec![vec![lit(0)], vec![lit(1)], vec![lit(2)]], true);
+        assert_eq!(kids, vec![1, 2, 3]);
+        let grand = t.split(kids[1], vec![vec![lit(5)], vec![!lit(5)]], false);
+        assert_eq!(t.path(0), Vec::<Lit>::new());
+        assert_eq!(t.path(kids[1]), vec![lit(1)]);
+        assert_eq!(t.path(grand[1]), vec![lit(1), !lit(5)]);
+        assert!(!t.node(kids[1]).group_split);
+        assert!(t.node(0).group_split);
+        assert_eq!(t.node(grand[0]).depth, 2);
+    }
+
+    #[test]
+    fn closure_tracks_leaf_states_only() {
+        let mut t = CubeTree::new();
+        let kids = t.split(0, vec![vec![lit(0)], vec![!lit(0)]], false);
+        assert!(!t.all_leaves_closed());
+        t.set_state(kids[0], NodeState::Refuted);
+        t.set_state(kids[1], NodeState::Pruned);
+        // The root is Split, not closed, but it is no leaf.
+        assert!(t.all_leaves_closed());
+        assert_eq!(t.leaves(), kids);
+    }
+
+    #[test]
+    fn postorder_visits_children_before_parents() {
+        let mut t = CubeTree::new();
+        let kids = t.split(0, vec![vec![lit(0)], vec![!lit(0)]], false);
+        let grand = t.split(kids[0], vec![vec![lit(1)], vec![!lit(1)]], false);
+        let order = t.postorder();
+        assert_eq!(order.len(), t.len());
+        assert_eq!(*order.last().unwrap(), 0);
+        let pos = |id: usize| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(grand[0]) < pos(kids[0]));
+        assert!(pos(grand[1]) < pos(kids[0]));
+        assert!(pos(kids[1]) < pos(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two branches")]
+    fn degenerate_split_rejected() {
+        let mut t = CubeTree::new();
+        t.split(0, vec![vec![lit(0)]], false);
+    }
+}

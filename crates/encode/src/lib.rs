@@ -46,6 +46,6 @@ mod sink;
 pub use bitvec::{width_for, BitVec};
 pub use cardinality::{CardEncoding, CardinalityNetwork};
 pub use dimacs::{from_dimacs, to_dimacs, ParseDimacsError};
-pub use families::{ConstraintFamily, FamilyCount, FamilyTally, FormulaSize};
+pub use families::{ConstraintFamily, FamilyCount, FamilyTally, FormulaSize, SplitGroup};
 pub use onehot::{at_most_one, exactly_one, AmoEncoding, OneHot};
 pub use sink::{Cnf, CnfSink, CountingSink};

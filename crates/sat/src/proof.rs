@@ -127,6 +127,12 @@ impl Proof {
 
     /// Forward RUP check of the whole log.
     ///
+    /// Propagation runs on a two-watched-literal scheme private to the
+    /// checker, so large stitched proofs (the cube-and-conquer
+    /// optimality certificates run to tens of thousands of lemmas)
+    /// check in time proportional to the clauses actually touched, not
+    /// `lemmas × formula`.
+    ///
     /// # Errors
     ///
     /// Returns the first failing step.
@@ -171,14 +177,36 @@ impl Proof {
     }
 }
 
-/// A naive clause multiset with a from-scratch unit propagator — slow but
-/// entirely independent of the solver under test.
+/// Truth value of a variable inside the checker (0 = unset).
+const UNSET: u8 = 0;
+const TRUE: u8 = 1;
+const FALSE: u8 = 2;
+
+/// A clause multiset with a two-watched-literal unit propagator —
+/// entirely independent of the solver under test (it shares no code
+/// with the CDCL engine's propagation), but fast enough for stitched
+/// multi-worker refutations. Each [`ClauseSet::rup`] query assumes the
+/// lemma's negation on a scratch trail, propagates through the watch
+/// lists, and undoes the trail afterwards; dead (deleted) clauses are
+/// dropped from watch and unit lists lazily as propagation meets them.
 #[derive(Debug, Default)]
 struct ClauseSet {
+    /// Clause literals; positions 0/1 are the watched literals (the
+    /// canonical sorted form is kept separately as the index key).
     clauses: Vec<Vec<Lit>>,
     /// Sorted-clause → live indices (multiset semantics).
     index: HashMap<Vec<Lit>, Vec<usize>>,
     live: Vec<bool>,
+    /// Literal code → clauses watching that literal.
+    watches: Vec<Vec<usize>>,
+    /// Live unit clauses (propagated first in every query).
+    units: Vec<usize>,
+    /// Live empty clauses in the database (everything is then implied).
+    empty_clauses: usize,
+    /// Scratch assignment, indexed by variable.
+    assign: Vec<u8>,
+    /// Variables assigned by the current query, for undo.
+    trail: Vec<usize>,
 }
 
 fn canonical(c: &[Lit]) -> Vec<Lit> {
@@ -188,10 +216,47 @@ fn canonical(c: &[Lit]) -> Vec<Lit> {
     k
 }
 
+/// Watch-list slot of a literal.
+fn code(l: Lit) -> usize {
+    l.var().index() * 2 + usize::from(l.is_negative())
+}
+
 impl ClauseSet {
+    fn ensure_var(&mut self, v: usize) {
+        if self.assign.len() <= v {
+            self.assign.resize(v + 1, UNSET);
+            self.watches.resize((v + 1) * 2, Vec::new());
+        }
+    }
+
+    /// The literal's value under the scratch assignment.
+    fn value(&self, l: Lit) -> u8 {
+        match self.assign[l.var().index()] {
+            UNSET => UNSET,
+            v => {
+                if (v == TRUE) == l.is_positive() {
+                    TRUE
+                } else {
+                    FALSE
+                }
+            }
+        }
+    }
+
     fn insert(&mut self, c: &[Lit]) {
         let key = canonical(c);
         let idx = self.clauses.len();
+        for &l in &key {
+            self.ensure_var(l.var().index());
+        }
+        match key.len() {
+            0 => self.empty_clauses += 1,
+            1 => self.units.push(idx),
+            _ => {
+                self.watches[code(key[0])].push(idx);
+                self.watches[code(key[1])].push(idx);
+            }
+        }
         self.clauses.push(key.clone());
         self.live.push(true);
         self.index.entry(key).or_default().push(idx);
@@ -203,6 +268,10 @@ impl ClauseSet {
             while let Some(idx) = stack.pop() {
                 if self.live[idx] {
                     self.live[idx] = false;
+                    if self.clauses[idx].is_empty() {
+                        self.empty_clauses -= 1;
+                    }
+                    // Watch/unit entries are collected lazily.
                     return true;
                 }
             }
@@ -210,61 +279,115 @@ impl ClauseSet {
         false
     }
 
+    /// Assigns `l` true; returns `false` on conflict with the current
+    /// assignment.
+    fn enqueue(&mut self, l: Lit) -> bool {
+        match self.value(l) {
+            TRUE => true,
+            FALSE => false,
+            _ => {
+                let v = l.var().index();
+                self.assign[v] = if l.is_positive() { TRUE } else { FALSE };
+                self.trail.push(v);
+                true
+            }
+        }
+    }
+
+    fn undo_trail(&mut self) {
+        for &v in &self.trail {
+            self.assign[v] = UNSET;
+        }
+        self.trail.clear();
+    }
+
     /// Reverse unit propagation: assume the negation of `lemma` and
     /// propagate; `true` iff a conflict arises (the lemma is implied).
-    fn rup(&self, lemma: &[Lit]) -> bool {
-        // Assignment: map var index -> bool.
-        let mut assignment: HashMap<usize, bool> = HashMap::new();
+    fn rup(&mut self, lemma: &[Lit]) -> bool {
+        if self.empty_clauses > 0 {
+            return true;
+        }
+        debug_assert!(self.trail.is_empty());
+        // ¬lemma: every literal false. A clash means the lemma is a
+        // tautology — trivially RUP.
         for &l in lemma {
-            // ¬lemma: every literal false.
-            let want = l.is_negative(); // var value making l false
-            if let Some(&prev) = assignment.get(&l.var().index()) {
-                if prev != want {
-                    return true; // lemma is a tautology: trivially RUP
-                }
-            }
-            assignment.insert(l.var().index(), want);
-        }
-        loop {
-            let mut changed = false;
-            for (i, clause) in self.clauses.iter().enumerate() {
-                if !self.live[i] {
-                    continue;
-                }
-                let mut unassigned: Option<Lit> = None;
-                let mut satisfied = false;
-                let mut unassigned_count = 0;
-                for &l in clause {
-                    match assignment.get(&l.var().index()) {
-                        Some(&v) => {
-                            if v == l.is_positive() {
-                                satisfied = true;
-                                break;
-                            }
-                        }
-                        None => {
-                            unassigned_count += 1;
-                            unassigned = Some(l);
-                        }
-                    }
-                }
-                if satisfied {
-                    continue;
-                }
-                match unassigned_count {
-                    0 => return true, // conflict: lemma is RUP
-                    1 => {
-                        let l = unassigned.expect("one unassigned literal");
-                        assignment.insert(l.var().index(), l.is_positive());
-                        changed = true;
-                    }
-                    _ => {}
-                }
-            }
-            if !changed {
-                return false;
+            self.ensure_var(l.var().index());
+            if !self.enqueue(!l) {
+                self.undo_trail();
+                return true;
             }
         }
+        // Live unit clauses seed the propagation queue.
+        let mut i = 0;
+        while i < self.units.len() {
+            let ci = self.units[i];
+            if !self.live[ci] {
+                self.units.swap_remove(i);
+                continue;
+            }
+            if !self.enqueue(self.clauses[ci][0]) {
+                self.undo_trail();
+                return true;
+            }
+            i += 1;
+        }
+        let conflict = !self.propagate();
+        self.undo_trail();
+        conflict
+    }
+
+    /// Exhausts the watch-list propagation queue; `false` on conflict.
+    fn propagate(&mut self) -> bool {
+        let mut qhead = 0;
+        while qhead < self.trail.len() {
+            let v = self.trail[qhead];
+            qhead += 1;
+            // The literal of `v` falsified by this assignment.
+            let false_lit = Lit::new(
+                crate::lit::Var::from_index(v),
+                self.assign[v] == TRUE, // var true ⇒ its negation is false
+            );
+            let mut ws = std::mem::take(&mut self.watches[code(false_lit)]);
+            let mut i = 0;
+            while i < ws.len() {
+                let ci = ws[i];
+                if !self.live[ci] {
+                    ws.swap_remove(i);
+                    continue;
+                }
+                if self.clauses[ci][0] == false_lit {
+                    self.clauses[ci].swap(0, 1);
+                }
+                if self.value(self.clauses[ci][0]) == TRUE {
+                    i += 1;
+                    continue;
+                }
+                // Look for a non-false replacement watch.
+                let mut moved = false;
+                for k in 2..self.clauses[ci].len() {
+                    if self.value(self.clauses[ci][k]) != FALSE {
+                        self.clauses[ci].swap(1, k);
+                        let new_watch = self.clauses[ci][1];
+                        self.watches[code(new_watch)].push(ci);
+                        ws.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Unit (first watch propagates) or conflicting.
+                let first = self.clauses[ci][0];
+                if !self.enqueue(first) {
+                    self.watches[code(false_lit)] = ws;
+                    return false;
+                }
+                i += 1;
+            }
+            self.watches[code(false_lit)] = ws;
+        }
+        true
     }
 }
 

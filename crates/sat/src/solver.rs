@@ -298,6 +298,9 @@ pub struct Solver {
     /// `false` while vivification probes run, so their enqueues do not
     /// clobber the saved phases that guide real search.
     save_phases: bool,
+    /// When proof logging is on, record each assumption-UNSAT's negated
+    /// final conflict as a lemma (cube-and-conquer proof stitching).
+    core_lemmas: bool,
     /// Conflict count that triggers the next vivification pass.
     next_vivify: u64,
     /// Rotating cursors into `clauses`/`learnts` so successive passes
@@ -378,6 +381,7 @@ impl Solver {
             inprocess_floor: usize::MAX,
             assumption_frozen: Vec::new(),
             save_phases: true,
+            core_lemmas: false,
             next_vivify: SolverFeatures::default().vivify_interval,
             viv_cursor: [0, 0],
             next_rephase: SolverFeatures::default().rephase_interval,
@@ -694,6 +698,62 @@ impl Solver {
         self.order.update(var, &self.activity);
     }
 
+    /// The variable's current VSIDS activity. Scores are only comparable
+    /// within one solver (rescaling keeps them bounded, not normalized);
+    /// a cube splitter uses them to rank fallback split candidates.
+    pub fn var_activity(&self, var: Var) -> f64 {
+        self.activity[var.index()]
+    }
+
+    /// Failed-literal-style lookahead probe: temporarily assumes `lits`
+    /// at a fresh decision level, propagates, and undoes everything.
+    ///
+    /// Returns `None` if the probe conflicts — `lits` is refuted by unit
+    /// propagation alone, so `¬lits` is implied by the current database —
+    /// or `Some(n)` with the number of *additional* literals the probe
+    /// implied, the classic lookahead score for cube splitting. Saved
+    /// phases are not disturbed. Must be called at the root level
+    /// (between `solve` calls).
+    pub fn lookahead(&mut self, lits: &[Lit]) -> Option<usize> {
+        assert_eq!(self.decision_level(), 0, "lookahead probes run at root");
+        if !self.ok {
+            return None;
+        }
+        // Reach the root fixpoint first so the probe starts clean; a
+        // conflict here means the formula itself is UNSAT.
+        if self.propagate().is_some() {
+            self.ok = false;
+            self.log_proof(|| ProofStep::Empty);
+            return None;
+        }
+        let saved_phases = std::mem::replace(&mut self.save_phases, false);
+        let mark = self.trail.len();
+        self.new_decision_level();
+        let mut enqueued = 0usize;
+        let mut conflict = false;
+        for &l in lits {
+            match self.value(l) {
+                LBool::True => {}
+                LBool::False => {
+                    conflict = true;
+                    break;
+                }
+                LBool::Undef => {
+                    self.unchecked_enqueue(l, None);
+                    enqueued += 1;
+                }
+            }
+        }
+        let implied = if conflict || self.propagate().is_some() {
+            None
+        } else {
+            Some(self.trail.len() - mark - enqueued)
+        };
+        self.cancel_until(0);
+        self.save_phases = saved_phases;
+        implied
+    }
+
     /// Starts recording a clausal (DRAT-style) proof. Must be called
     /// before any clause is added for the log to be complete.
     pub fn enable_proof(&mut self) {
@@ -705,6 +765,17 @@ impl Solver {
     /// Takes the recorded proof (ending proof recording).
     pub fn take_proof(&mut self) -> Option<Proof> {
         self.proof.take()
+    }
+
+    /// When enabled (and a proof is being recorded), every UNSAT answer
+    /// under assumptions appends the negated [`Solver::final_conflict`]
+    /// as a lemma. The clause is RUP at that point in the log: asserting
+    /// the core assumptions and unit-propagating over the clauses logged
+    /// so far re-derives the contradiction the solver just found. This is
+    /// the bridge a cube-and-conquer driver needs to stitch per-cube
+    /// refutations into one checkable proof.
+    pub fn set_core_lemmas(&mut self, on: bool) {
+        self.core_lemmas = on;
     }
 
     #[inline]
@@ -1869,6 +1940,15 @@ impl Solver {
             }
         };
         self.cancel_until(0);
+        // Assumption-core lemma: at the moment `analyze_final` ran, the
+        // core assumptions propagated to a contradiction using reason
+        // clauses that are all in the proof log, so the negated core is
+        // RUP here. (An empty core means global UNSAT; `Empty` is
+        // already logged on that path.)
+        if self.core_lemmas && result == SolveResult::Unsat && !self.final_conflict.is_empty() {
+            let core = self.final_conflict.clone();
+            self.log_proof(|| ProofStep::Lemma(core.iter().map(|&l| !l).collect()));
+        }
         if self.recorder.is_enabled() {
             let d = self.stats;
             self.recorder.add("sat.solves", 1);
@@ -2189,6 +2269,65 @@ mod tests {
         for l in v {
             assert!(s.model_value(l).is_some());
         }
+    }
+
+    #[test]
+    fn lookahead_counts_implications_and_detects_conflicts() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 5);
+        s.add_clause([!v[0], v[1]]);
+        s.add_clause([!v[1], v[2]]);
+        s.add_clause([!v[3], !v[0]]);
+        // v0 implies v1 and v2 by unit propagation plus ¬v3.
+        assert_eq!(s.lookahead(&[v[0]]), Some(3));
+        // Probing a UP-contradictory pair conflicts.
+        assert_eq!(s.lookahead(&[v[0], v[3]]), None);
+        // The probe left nothing behind: the solver still answers SAT and
+        // can assign v3 with ¬v0.
+        assert_eq!(s.solve(&[v[3]]), SolveResult::Sat);
+        assert_eq!(s.model_value(v[0]), Some(false));
+    }
+
+    #[test]
+    fn lookahead_is_idempotent_between_solves() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 4);
+        s.add_clause([!v[0], v[1]]);
+        s.add_clause([v[2], v[3]]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        let a = s.lookahead(&[v[0]]);
+        let b = s.lookahead(&[v[0]]);
+        assert_eq!(a, b);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn core_lemmas_are_rup_checkable() {
+        let mut s = Solver::new();
+        s.enable_proof();
+        s.set_core_lemmas(true);
+        let v = lits(&mut s, 4);
+        s.add_clause([!v[0], v[1]]);
+        s.add_clause([!v[1], v[2]]);
+        s.add_clause([!v[2], !v[3]]);
+        assert_eq!(s.solve(&[v[0], v[3]]), SolveResult::Unsat);
+        let core = s.final_conflict().to_vec();
+        assert!(!core.is_empty());
+        let proof = s.take_proof().expect("proof enabled");
+        // The log ends with the negated core; closing it with assumption
+        // units makes a full refutation the checker accepts.
+        let last = proof.steps().last().expect("core lemma logged");
+        let negated: Vec<Lit> = core.iter().map(|&l| !l).collect();
+        assert_eq!(last, &ProofStep::Lemma(negated));
+        let mut closed = Proof::new();
+        for step in proof.steps() {
+            closed.push(step.clone());
+        }
+        for &a in &core {
+            closed.push(ProofStep::Original(vec![a]));
+        }
+        closed.push(ProofStep::Empty);
+        closed.check().expect("stitched refutation must be RUP");
     }
 
     #[test]

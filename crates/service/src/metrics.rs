@@ -363,6 +363,11 @@ mod tests {
         recorder.add("sat.strengthened", 2);
         recorder.add("sat.binary_props", 900);
         recorder.add("sat.tier_demotions", 6);
+        recorder.add("cube.cubes_split", 5);
+        recorder.add("cube.cubes_refuted", 4);
+        recorder.add("cube.cubes_pruned_by_core", 1);
+        recorder.add("cube.steals", 3);
+        recorder.add("cube.resplits", 2);
         let text = prometheus_text(&metrics, &recorder);
         assert!(text.contains("# TYPE olsq2_jobs_submitted counter"));
         assert!(text.contains("olsq2_jobs_submitted 3"));
@@ -373,6 +378,12 @@ mod tests {
         assert!(text.contains("olsq2_sat_strengthened 2"));
         assert!(text.contains("olsq2_sat_binary_props 900"));
         assert!(text.contains("olsq2_sat_tier_demotions 6"));
+        // Cube-and-conquer scheduler counters ride the same recorder path.
+        assert!(text.contains("olsq2_cube_cubes_split 5"));
+        assert!(text.contains("olsq2_cube_cubes_refuted 4"));
+        assert!(text.contains("olsq2_cube_cubes_pruned_by_core 1"));
+        assert!(text.contains("olsq2_cube_steals 3"));
+        assert!(text.contains("olsq2_cube_resplits 2"));
         // Disabled recorder: service metrics only, no panic.
         let plain = prometheus_text(&metrics, &olsq2_obs::Recorder::disabled());
         assert!(plain.contains("olsq2_jobs_done 2"));

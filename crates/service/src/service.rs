@@ -13,7 +13,7 @@ use crate::metrics::{MetricsCollector, ServiceMetrics};
 use crate::request::{
     JobHandle, JobOutput, JobShared, JobStatus, Objective, Priority, SynthesisRequest,
 };
-use olsq2::{IncumbentSlot, Olsq2Synthesizer, SynthesisError, TbOlsq2Synthesizer};
+use olsq2::{CubeSynthesizer, IncumbentSlot, Olsq2Synthesizer, SynthesisError, TbOlsq2Synthesizer};
 use olsq2_layout::LayoutResult;
 use olsq2_sat::Stats;
 use std::collections::{BTreeMap, HashMap};
@@ -458,6 +458,21 @@ fn solve(
     config: olsq2::SynthesisConfig,
 ) -> Result<(LayoutResult, bool, Stats, usize), SynthesisError> {
     match request.objective {
+        // Cube-and-conquer only accelerates the depth objective; a cube
+        // request with another objective falls through to the sequential
+        // path below.
+        Objective::Depth if request.cube.is_some() => {
+            let params = request.cube.clone().expect("checked by guard");
+            let out = CubeSynthesizer::new(config, params)
+                .optimize_depth(&request.circuit, &request.device)?
+                .outcome;
+            Ok((
+                out.result,
+                out.proven_optimal,
+                out.solver_stats,
+                out.extensions,
+            ))
+        }
         Objective::Depth => {
             let out =
                 Olsq2Synthesizer::new(config).optimize_depth(&request.circuit, &request.device)?;
