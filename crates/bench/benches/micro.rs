@@ -197,6 +197,40 @@ fn obs_bench() {
     bench("obs/recorder_enabled", 10, || run(Recorder::new()));
 }
 
+fn flight_bench() {
+    // The flight-recorder contract mirrors the recorder's: a disabled
+    // probe costs one branch per conflict, so `probe_disabled` must time
+    // the same as a bare solve to within noise. The enabled runs bound
+    // the sampling overhead at a dense (every=1) and the default (128)
+    // cadence — the learnt-tier scan only runs when a sample is due.
+    use olsq2::Probe;
+    let run = |probe: Probe| {
+        let (p, h) = (7usize, 6usize);
+        let mut s = Solver::new();
+        s.set_probe(probe);
+        let mut x = vec![vec![Lit::positive(Var::from_index(0)); h]; p];
+        for row in x.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = Lit::positive(s.new_var());
+            }
+        }
+        for row in &x {
+            s.add_clause(row.iter().copied());
+        }
+        for hole in 0..h {
+            for p1 in 0..p {
+                for p2 in (p1 + 1)..p {
+                    s.add_clause([!x[p1][hole], !x[p2][hole]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    };
+    bench("flight/probe_disabled", 10, || run(Probe::disabled()));
+    bench("flight/probe_every_128", 10, || run(Probe::new(4096, 128)));
+    bench("flight/probe_every_1", 10, || run(Probe::new(4096, 1)));
+}
+
 fn solver_bench() {
     bench("solver/pigeonhole_5_4", 10, || {
         let (p, h) = (5usize, 4usize);
@@ -229,5 +263,6 @@ fn main() {
     preprocess_bench();
     proof_bench();
     obs_bench();
+    flight_bench();
     solver_bench();
 }

@@ -4,15 +4,20 @@
 //! olsq2 --qasm <file|-> --device <name> [--objective depth|swaps|blocks]
 //!       [--swap-duration N] [--budget SECS] [--encoding int|bv|euf]
 //!       [--tool olsq2|tb|sabre|satmap|astar|portfolio|cube] [--output out.qasm]
-//!       [--diversify N] [--portfolio-share] [--no-incremental]
+//!       [--diversify N] [--portfolio-share] [--no-incremental] [--legacy-solver]
 //!       [--cube-workers N] [--cube-depth N]
 //!       [--trace-out trace.jsonl] [--report]
+//!       [--flight-out flight.jsonl] [--flight-every N] [--flight-capacity N]
 //!
 //! olsq2 serve-batch --manifest <file|-> [--output <file|->]
 //!       [--workers N] [--queue N] [--cache N] [--no-incremental]
-//!       [--trace-out trace.jsonl] [--prom-out metrics.prom] [--report]
+//!       [--trace-out trace.jsonl] [--prom-out metrics.prom] [--prom-every SECS]
+//!       [--http ADDR] [--flight-dir DIR] [--flight-every N] [--flight-capacity N]
+//!       [--report]
 //!
 //! olsq2 trace-report <trace.jsonl|->
+//!
+//! olsq2 trace-diff <a.jsonl> <b.jsonl> [--label-a NAME] [--label-b NAME]
 //!
 //! olsq2 sat <file.cnf|-> [--preprocess] [--assume LIT]...
 //!       [--budget-conflicts N] [--legacy-solver] [--stats]
@@ -49,6 +54,21 @@
 //! raw trace; `--prom-out` writes service metrics plus recorder counters
 //! in the Prometheus text format. `trace-report` re-renders a saved
 //! JSONL trace as the span-tree report offline.
+//!
+//! `--flight-out` arms the search **flight recorder**: every SAT solver
+//! the run builds records one sample per `--flight-every` conflicts
+//! (default 128) into a lock-free ring of `--flight-capacity` slots
+//! (default 4096), and the ring is dumped as versioned JSONL on exit —
+//! including synthesis failure and panic — so the last moments of a
+//! dying search are always recoverable. `--legacy-solver` runs the
+//! pre-overhaul solver kernel, the natural A side of an A/B comparison.
+//!
+//! `trace-diff` aligns two saved traces by their (objective, bound)
+//! iteration schedule and attributes every per-iteration time delta to
+//! encode time, solve throughput, or search divergence — the offline
+//! answer to "*why* is run B slower than run A on this circuit". Flight
+//! lines embedded in (or dumped next to) either trace feed a post-mortem
+//! footer per side.
 
 use olsq2::{
     EncodingConfig, Olsq2Synthesizer, PortfolioConfig, PortfolioReport, PortfolioSynthesizer,
@@ -59,20 +79,47 @@ use olsq2_circuit::{parse_qasm, write_qasm};
 use olsq2_layout::{emit_physical_circuit, verify, LayoutResult};
 use olsq2_service::{manifest, ServiceConfig};
 use std::io::Read;
+use std::sync::OnceLock;
 use std::time::Duration;
+
+/// The armed flight recorder and its dump path, set once before synthesis
+/// starts. `fail` exits the process without unwinding (destructors never
+/// run) and panics bypass the success path entirely, so both routes reach
+/// the ring through this global rather than through scope.
+static FLIGHT: OnceLock<(olsq2::Probe, String)> = OnceLock::new();
+
+/// Dumps the armed flight ring (if any) as versioned JSONL. Idempotent:
+/// later calls rewrite the same file with a superset of the samples.
+fn emit_flight() {
+    let Some((probe, path)) = FLIGHT.get() else {
+        return;
+    };
+    match probe.write_jsonl(std::path::Path::new(path)) {
+        Ok(()) if probe.emitted() > 0 => eprintln!(
+            "wrote flight recording ({} sample(s)) to {path}",
+            probe.emitted()
+        ),
+        Ok(()) => {}
+        Err(e) => eprintln!("cannot write flight recording {path}: {e}"),
+    }
+}
 
 fn usage() -> ! {
     eprintln!(
         "usage: olsq2 --qasm <file|-> --device <name> \\
           [--objective depth|swaps] [--tool olsq2|tb|sabre|satmap|astar|portfolio|cube] \\
           [--swap-duration N] [--budget SECS] [--encoding int|bv|euf] [--output out.qasm] \\
-          [--diversify N] [--portfolio-share] [--no-incremental] \\
+          [--diversify N] [--portfolio-share] [--no-incremental] [--legacy-solver] \\
           [--cube-workers N] [--cube-depth N] \\
-          [--trace-out trace.jsonl] [--report]
+          [--trace-out trace.jsonl] [--report] \\
+          [--flight-out flight.jsonl] [--flight-every N] [--flight-capacity N]
        olsq2 serve-batch --manifest <file|-> [--output <file|->] \\
           [--workers N] [--queue N] [--cache N] [--no-incremental] \\
-          [--trace-out trace.jsonl] [--prom-out metrics.prom] [--report]
+          [--trace-out trace.jsonl] [--prom-out metrics.prom] [--prom-every SECS] \\
+          [--http ADDR] [--flight-dir DIR] [--flight-every N] [--flight-capacity N] \\
+          [--report]
        olsq2 trace-report <trace.jsonl|->
+       olsq2 trace-diff <a.jsonl> <b.jsonl> [--label-a NAME] [--label-b NAME]
        olsq2 sat <file.cnf|-> [--preprocess] [--assume LIT]... \\
           [--budget-conflicts N] [--legacy-solver] [--stats] \\
           [--cube-workers N] [--cube-depth N]
@@ -100,6 +147,12 @@ fn serve_batch(args: impl Iterator<Item = String>) {
     let mut output: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut prom_out: Option<String> = None;
+    let mut prom_every_secs = 5u64;
+    let mut http_addr: Option<String> = None;
+    let mut flight_dir: Option<String> = None;
+    let mut flight_every = 128u64;
+    let mut flight_capacity = 1024usize;
+    let mut flight = false;
     let mut report = false;
     let mut config = ServiceConfig::default();
     let mut args = args;
@@ -116,6 +169,34 @@ fn serve_batch(args: impl Iterator<Item = String>) {
             "--no-incremental" => config.incremental = false,
             "--trace-out" => trace_out = Some(val(&mut args)),
             "--prom-out" => prom_out = Some(val(&mut args)),
+            "--prom-every" => {
+                prom_every_secs = val(&mut args)
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--http" => http_addr = Some(val(&mut args)),
+            "--flight-dir" => {
+                flight_dir = Some(val(&mut args));
+                flight = true;
+            }
+            "--flight-every" => {
+                flight_every = val(&mut args)
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage());
+                flight = true;
+            }
+            "--flight-capacity" => {
+                flight_capacity = val(&mut args)
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage());
+                flight = true;
+            }
             "--report" => report = true,
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -130,6 +211,21 @@ fn serve_batch(args: impl Iterator<Item = String>) {
         olsq2::Recorder::disabled()
     };
     config.recorder = recorder.clone();
+    // Any --flight-* flag (or --http, whose /flight route needs rings)
+    // arms per-job flight recorders.
+    if flight || http_addr.is_some() {
+        if let Some(dir) = &flight_dir {
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+                eprintln!("cannot create flight dir {dir}: {e}");
+                std::process::exit(2);
+            });
+        }
+        config.flight = Some(olsq2_service::FlightSettings {
+            capacity: flight_capacity,
+            every: flight_every,
+            dir: flight_dir.as_ref().map(std::path::PathBuf::from),
+        });
+    }
     let text = read_input(&manifest_path);
     let requests = manifest::parse_manifest(&text).unwrap_or_else(|e| {
         eprintln!("{e}");
@@ -140,15 +236,52 @@ fn serve_batch(args: impl Iterator<Item = String>) {
         "serve-batch: {total} job(s), {} worker(s), queue {}, cache {}",
         config.workers, config.queue_capacity, config.cache_capacity
     );
-    let (statuses, metrics) = manifest::run_batch(requests, config);
+
+    let mut service = olsq2_service::SynthesisService::start(config);
+    let intro = service.introspection();
+    let mut http_server = http_addr.as_ref().map(|addr| {
+        let server =
+            olsq2_service::IntrospectionServer::start(addr, intro.clone()).unwrap_or_else(|e| {
+                eprintln!("cannot bind {addr}: {e}");
+                std::process::exit(2);
+            });
+        eprintln!("introspection endpoint on http://{}/", server.local_addr());
+        server
+    });
+    // Periodic Prometheus flush: scrape-style agents can tail the file
+    // while the batch runs; the final write below flushes at shutdown.
+    let flush_stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let flusher = prom_out.clone().map(|path| {
+        let stop = flush_stop.clone();
+        let intro = intro.clone();
+        std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                std::fs::write(&path, intro.prometheus_text()).ok();
+                // Sleep in short slices so shutdown is prompt.
+                for _ in 0..prom_every_secs * 10 {
+                    if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }
+        })
+    });
+
+    let (statuses, metrics) = manifest::run_batch_on(&service, requests);
+
+    flush_stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    if let Some(flusher) = flusher {
+        let _ = flusher.join();
+    }
     if let Some(path) = &prom_out {
         write_output(path, &olsq2_service::prometheus_text(&metrics, &recorder));
         eprintln!("wrote prometheus metrics to {path}");
     }
     emit_trace(&recorder, trace_out.as_deref(), report);
     let mut lines = String::new();
-    for (name, status) in &statuses {
-        lines.push_str(&manifest::status_to_json(name, status).to_string());
+    for (name, tenant, status) in &statuses {
+        lines.push_str(&manifest::status_to_json(name, tenant, status).to_string());
         lines.push('\n');
     }
     lines.push_str(&manifest::metrics_to_json(&metrics).to_string());
@@ -175,9 +308,13 @@ fn serve_batch(args: impl Iterator<Item = String>) {
         metrics.p50_latency.as_millis(),
         metrics.p95_latency.as_millis()
     );
+    if let Some(server) = &mut http_server {
+        server.shutdown();
+    }
+    service.shutdown();
     let any_failed = statuses
         .iter()
-        .any(|(_, s)| !matches!(s, olsq2_service::JobStatus::Done(_)));
+        .any(|(_, _, s)| !matches!(s, olsq2_service::JobStatus::Done(_)));
     std::process::exit(if any_failed { 1 } else { 0 });
 }
 
@@ -281,6 +418,48 @@ fn trace_report(path: &str) {
         });
     }
     print!("{}", olsq2_obs::report::render(&spans));
+}
+
+/// `olsq2 trace-diff`: align two saved JSONL traces by their
+/// (objective, bound) iteration schedule and print the per-iteration A/B
+/// attribution table (encode vs solve time vs search divergence), plus a
+/// flight-recorder post-mortem per side when flight lines are present.
+fn trace_diff(args: impl Iterator<Item = String>) -> ! {
+    let mut paths: Vec<String> = Vec::new();
+    let mut label_a: Option<String> = None;
+    let mut label_b: Option<String> = None;
+    let mut args = args;
+    while let Some(a) = args.next() {
+        let val = |args: &mut dyn Iterator<Item = String>| -> String {
+            args.next().unwrap_or_else(|| usage())
+        };
+        match a.as_str() {
+            "--label-a" => label_a = Some(val(&mut args)),
+            "--label-b" => label_b = Some(val(&mut args)),
+            "--help" | "-h" => usage(),
+            _ if paths.len() < 2 => paths.push(a),
+            _ => usage(),
+        }
+    }
+    if paths.len() != 2 {
+        usage();
+    }
+    let a_text = read_input(&paths[0]);
+    let b_text = read_input(&paths[1]);
+    let report = olsq2_obs::diff::diff(
+        &a_text,
+        &b_text,
+        label_a.as_deref().unwrap_or(&paths[0]),
+        label_b.as_deref().unwrap_or(&paths[1]),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("trace-diff: {e}");
+        std::process::exit(2);
+    });
+    print!("{}", report.render());
+    // No aligned iterations means the traces don't describe comparable
+    // runs; exit non-zero so scripted A/B checks notice.
+    std::process::exit(if report.matched() == 0 { 1 } else { 0 });
 }
 
 /// `olsq2 sat`: solve a raw DIMACS CNF with the embedded CDCL solver.
@@ -554,6 +733,10 @@ fn main() {
         trace_report(&path);
         return;
     }
+    if raw.peek().map(String::as_str) == Some("trace-diff") {
+        raw.next();
+        trace_diff(raw);
+    }
     let mut qasm_path = None;
     let mut device_name = None;
     let mut objective = "swaps".to_string();
@@ -567,6 +750,10 @@ fn main() {
     let mut diversify = 1usize;
     let mut portfolio_share = false;
     let mut incremental = true;
+    let mut legacy = false;
+    let mut flight_out: Option<String> = None;
+    let mut flight_every = 128u64;
+    let mut flight_capacity = 4096usize;
     let mut cube_workers: Option<usize> = None;
     let mut cube_depth: Option<usize> = None;
 
@@ -598,6 +785,22 @@ fn main() {
             }
             "--portfolio-share" => portfolio_share = true,
             "--no-incremental" => incremental = false,
+            "--legacy-solver" => legacy = true,
+            "--flight-out" => flight_out = Some(val(&mut args)),
+            "--flight-every" => {
+                flight_every = val(&mut args)
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--flight-capacity" => {
+                flight_capacity = val(&mut args)
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
             "--cube-workers" => {
                 cube_workers = Some(
                     val(&mut args)
@@ -658,12 +861,34 @@ fn main() {
     } else {
         olsq2::Recorder::disabled()
     };
+    let probe = if flight_out.is_some() {
+        olsq2::Probe::new(flight_capacity, flight_every)
+    } else {
+        olsq2::Probe::disabled()
+    };
+    if let Some(path) = &flight_out {
+        // Arm the dump-on-exit paths before synthesis starts: `fail` exits
+        // without running destructors, and a panic in the search would
+        // otherwise lose exactly the samples worth reading.
+        let _ = FLIGHT.set((probe.clone(), path.clone()));
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            emit_flight();
+            default_hook(info);
+        }));
+    }
     let config = SynthesisConfig {
         encoding: enc,
         swap_duration,
         time_budget: budget,
         recorder: recorder.clone(),
+        probe: probe.clone(),
         incremental,
+        solver_features: if legacy {
+            olsq2::SolverFeatures::legacy()
+        } else {
+            olsq2::SolverFeatures::default()
+        },
         ..SynthesisConfig::default()
     };
 
@@ -794,6 +1019,7 @@ fn main() {
     };
 
     emit_trace(&recorder, trace_out.as_deref(), report);
+    emit_flight();
 
     if let Err(violations) = verify(&circuit, &device, &result) {
         eprintln!("INTERNAL ERROR: result failed verification: {violations:?}");
@@ -835,5 +1061,8 @@ fn describe_portfolio(report: &PortfolioReport) {
 
 fn fail(e: &dyn std::fmt::Display) -> ! {
     eprintln!("synthesis failed: {e}");
+    // Deadline expiry and refused window extensions land here; the flight
+    // ring holds the search's final moments, so dump it before dying.
+    emit_flight();
     std::process::exit(1)
 }

@@ -233,6 +233,14 @@ pub struct SynthesisConfig {
     /// restart/reduce events into it. The default disabled recorder costs
     /// one branch per emission site.
     pub recorder: olsq2_obs::Recorder,
+    /// Flight-recorder probe: when enabled, every SAT solver this run
+    /// builds samples its search dynamics (trail depth, LBD EMAs,
+    /// learnt-tier sizes) into the probe's lock-free ring every
+    /// `probe.every()` conflicts, and the sharing endpoints tag their
+    /// import/export flow into the same ring. Dump it with
+    /// [`olsq2_obs::Probe::write_jsonl`] when a run dies. The default
+    /// disabled probe costs one branch per conflict.
+    pub probe: olsq2_obs::Probe,
     /// Solver diversification knobs (see [`SolverDiversification`]);
     /// applied to every solver this run builds. The default is a no-op.
     pub diversification: SolverDiversification,
@@ -283,6 +291,7 @@ impl Default for SynthesisConfig {
             seed_variable_order: false,
             commutation_aware: false,
             recorder: olsq2_obs::Recorder::disabled(),
+            probe: olsq2_obs::Probe::disabled(),
             diversification: SolverDiversification::default(),
             clause_exchange: None,
             exchange_filter: ExchangeFilter::default(),

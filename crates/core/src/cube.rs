@@ -220,11 +220,10 @@ impl CubeSynthesizer {
             let pool = Arc::new(SharedClausePool::new(n, self.pool_capacity));
             (0..n)
                 .map(|i| {
-                    Some(Arc::new(CohortEndpoint::new(
-                        pool.clone(),
-                        i,
-                        config.recorder.clone(),
-                    )))
+                    Some(Arc::new(
+                        CohortEndpoint::new(pool.clone(), i, config.recorder.clone())
+                            .with_probe(config.probe.clone()),
+                    ))
                 })
                 .collect()
         } else {
@@ -246,6 +245,7 @@ impl CubeSynthesizer {
                 span.set("clauses", clauses);
             }
             model.solver_mut().set_recorder(config.recorder.clone());
+            model.solver_mut().set_probe(config.probe.clone());
             slots.push(Mutex::new(Some(CubeModel::new(model, endpoint))));
         }
         Ok(slots)
@@ -335,6 +335,7 @@ impl CubeSynthesizer {
                 prove: self.params.prove,
                 deadline,
                 external_stop: config.stop_flag.clone(),
+                probe: config.probe.clone(),
                 ..CubeConfig::default()
             };
             iterations += 1;

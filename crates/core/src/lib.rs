@@ -57,10 +57,10 @@ pub use cube::{CubeModel, CubeOutcome, CubeParams, CubeSynthesizer};
 // obs crate explicitly.
 pub use incumbent::IncumbentSlot;
 pub use model::{FlatModel, ModelError, ModelStyle};
-pub use olsq2_obs::Recorder;
+pub use olsq2_obs::{Probe, Recorder};
 // Re-exported so portfolio users can tune sharing without naming the sat
 // crate explicitly.
-pub use olsq2_sat::{ClauseExchange, ExchangeFilter};
+pub use olsq2_sat::{ClauseExchange, ExchangeFilter, SolverFeatures};
 pub use optimize::{Olsq2Synthesizer, SwapOptimizationOutcome, SynthesisError, SynthesisOutcome};
 pub use portfolio::{
     MemberOutcome, MemberStrategy, PortfolioConfig, PortfolioReport, PortfolioSynthesizer,

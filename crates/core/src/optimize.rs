@@ -168,6 +168,7 @@ impl Olsq2Synthesizer {
         model
             .solver_mut()
             .set_recorder(self.config.recorder.clone());
+        model.solver_mut().set_probe(self.config.probe.clone());
         Ok(model)
     }
 
@@ -237,6 +238,17 @@ impl Olsq2Synthesizer {
         span
     }
 
+    /// Tags an `iteration` span with the solver-stat deltas of the solve
+    /// it wraps — the search-divergence signals (conflicts, restarts,
+    /// decisions per conflict) that `olsq2 trace-diff` uses to attribute
+    /// per-iteration time differences between two runs.
+    pub(crate) fn set_iteration_deltas(span: &SpanGuard, before: Stats, after: Stats) {
+        span.set("conflicts", after.conflicts - before.conflicts);
+        span.set("decisions", after.decisions - before.decisions);
+        span.set("propagations", after.propagations - before.propagations);
+        span.set("restarts", after.restarts - before.restarts);
+    }
+
     /// Builds the model and solves *once* with the full window and no
     /// objective bound — the Fig. 1 / Table I "solving time" measurement.
     ///
@@ -255,10 +267,12 @@ impl Olsq2Synthesizer {
         let mut model = self.build_model(circuit, graph, t_ub)?;
         self.arm_budgets(&mut model, self.deadline());
         let span = self.iteration_span("feasible", &[("t_bound", t_ub)]);
+        let stats_before = model.solver_mut().stats();
         let solve_start = Instant::now();
         let res = model.solve(&[]);
         span.set("solve_us", solve_start.elapsed().as_micros() as u64);
         span.set("result", result_str(res));
+        Self::set_iteration_deltas(&span, stats_before, model.solver_mut().stats());
         drop(span);
         match res {
             SolveResult::Sat => {
@@ -311,10 +325,12 @@ impl Olsq2Synthesizer {
             span.set("encode_us", encode_start.elapsed().as_micros() as u64);
             self.arm_budgets(&mut model, deadline);
             iterations += 1;
+            let stats_before = model.solver_mut().stats();
             let solve_start = Instant::now();
             let res = model.solve(&[act]);
             span.set("solve_us", solve_start.elapsed().as_micros() as u64);
             span.set("result", result_str(res));
+            Self::set_iteration_deltas(&span, stats_before, model.solver_mut().stats());
             drop(span);
             match res {
                 SolveResult::Sat => {
@@ -378,10 +394,12 @@ impl Olsq2Synthesizer {
             span.set("encode_us", encode_start.elapsed().as_micros() as u64);
             self.arm_budgets(&mut model, deadline);
             iterations += 1;
+            let stats_before = model.solver_mut().stats();
             let solve_start = Instant::now();
             let res = model.solve(&[act]);
             span.set("solve_us", solve_start.elapsed().as_micros() as u64);
             span.set("result", result_str(res));
+            Self::set_iteration_deltas(&span, stats_before, model.solver_mut().stats());
             drop(span);
             match res {
                 SolveResult::Sat => {
@@ -458,10 +476,12 @@ impl Olsq2Synthesizer {
                 span.set("encode_us", encode_start.elapsed().as_micros() as u64);
                 self.arm_budgets(&mut model, deadline);
                 iterations += 1;
+                let stats_before = model.solver_mut().stats();
                 let solve_start = Instant::now();
                 let res = model.solve(&[act_d, act_s]);
                 span.set("solve_us", solve_start.elapsed().as_micros() as u64);
                 span.set("result", result_str(res));
+                Self::set_iteration_deltas(&span, stats_before, model.solver_mut().stats());
                 drop(span);
                 match res {
                     SolveResult::Sat => {
@@ -504,10 +524,12 @@ impl Olsq2Synthesizer {
             span.set("encode_us", encode_start.elapsed().as_micros() as u64);
             self.arm_budgets(&mut model, deadline);
             iterations += 1;
+            let stats_before = model.solver_mut().stats();
             let solve_start = Instant::now();
             let res = model.solve(&[act_d, act_s]);
             span.set("solve_us", solve_start.elapsed().as_micros() as u64);
             span.set("result", result_str(res));
+            Self::set_iteration_deltas(&span, stats_before, model.solver_mut().stats());
             drop(span);
             match res {
                 SolveResult::Sat => {

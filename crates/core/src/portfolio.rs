@@ -529,11 +529,10 @@ impl PortfolioSynthesizer {
             }
             let pool = Arc::new(SharedClausePool::new(indices.len(), self.pool_capacity));
             for (slot, &idx) in indices.iter().enumerate() {
-                endpoints[idx] = Some(Arc::new(CohortEndpoint::new(
-                    pool.clone(),
-                    slot,
-                    self.members[idx].recorder.clone(),
-                )));
+                endpoints[idx] = Some(Arc::new(
+                    CohortEndpoint::new(pool.clone(), slot, self.members[idx].recorder.clone())
+                        .with_probe(self.members[idx].probe.clone()),
+                ));
             }
         }
         endpoints

@@ -36,7 +36,7 @@
 //! on the same formula build, and go quiet (rather than unsound) when
 //! their windows diverge.
 
-use olsq2_obs::Recorder;
+use olsq2_obs::{Probe, Recorder, SampleSource, SearchSample};
 use olsq2_sat::{ClauseExchange, Lit};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -287,6 +287,9 @@ pub struct CohortEndpoint {
     imported: AtomicU64,
     filtered: AtomicU64,
     recorder: Recorder,
+    /// Flight-recorder probe; sharing-flow samples are tagged
+    /// [`SampleSource::Sharing`].
+    probe: Probe,
 }
 
 impl CohortEndpoint {
@@ -305,7 +308,33 @@ impl CohortEndpoint {
             imported: AtomicU64::new(0),
             filtered: AtomicU64::new(0),
             recorder,
+            probe: Probe::disabled(),
         }
+    }
+
+    /// Attaches a flight-recorder probe: every `probe.every()` shared
+    /// clauses (exports plus imports) the endpoint records one
+    /// [`SampleSource::Sharing`] sample carrying its cumulative flow
+    /// counters.
+    pub fn with_probe(mut self, probe: Probe) -> CohortEndpoint {
+        self.probe = probe;
+        self
+    }
+
+    /// Records a sharing-flow sample when the cumulative flow crosses
+    /// the probe cadence. Search-side fields stay zero.
+    fn maybe_flight_sample(&self) {
+        let exported = self.exported.load(Ordering::Relaxed);
+        let imported = self.imported.load(Ordering::Relaxed);
+        if !self.probe.sample_due(exported + imported) {
+            return;
+        }
+        self.probe.record(SearchSample {
+            source: SampleSource::Sharing,
+            exported,
+            imported,
+            ..SearchSample::default()
+        });
     }
 
     /// Volumes seen by this endpoint so far.
@@ -365,6 +394,7 @@ impl ClauseExchange for CohortEndpoint {
         if self.recorder.is_enabled() {
             self.recorder.add("portfolio.clauses_exported", 1);
         }
+        self.maybe_flight_sample();
     }
 
     fn import_into(&self, out: &mut Vec<Vec<Lit>>) {
@@ -387,6 +417,9 @@ impl ClauseExchange for CohortEndpoint {
             if dropped > 0 {
                 self.recorder.add("portfolio.clauses_filtered", dropped);
             }
+        }
+        if delivered > 0 {
+            self.maybe_flight_sample();
         }
     }
 

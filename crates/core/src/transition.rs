@@ -13,7 +13,7 @@
 #![allow(clippy::needless_range_loop)]
 use crate::config::{MappingEncoding, SynthesisConfig};
 use crate::model::ModelError;
-use crate::optimize::{result_str, SynthesisError, SynthesisOutcome};
+use crate::optimize::{result_str, Olsq2Synthesizer, SynthesisError, SynthesisOutcome};
 use crate::vars::{FdVar, TimeVars};
 use olsq2_arch::CouplingGraph;
 use olsq2_circuit::{Circuit, DependencyGraph, Operands};
@@ -820,6 +820,7 @@ impl TbOlsq2Synthesizer {
             }
         }
         model.solver.set_recorder(self.config.recorder.clone());
+        model.solver.set_probe(self.config.probe.clone());
         Ok(model)
     }
 
@@ -904,10 +905,12 @@ impl TbOlsq2Synthesizer {
             span.set("encode_us", encode_start.elapsed().as_micros() as u64);
             self.arm(&mut model, deadline);
             iterations += 1;
+            let stats_before = model.solver.stats();
             let solve_start = Instant::now();
             let res = model.solve(&[act]);
             span.set("solve_us", solve_start.elapsed().as_micros() as u64);
             span.set("result", result_str(res));
+            Olsq2Synthesizer::set_iteration_deltas(&span, stats_before, model.solver.stats());
             drop(span);
             match res {
                 SolveResult::Sat => {
@@ -983,10 +986,12 @@ impl TbOlsq2Synthesizer {
                 span.set("encode_us", encode_start.elapsed().as_micros() as u64);
                 self.arm(&mut model, deadline);
                 iterations += 1;
+                let stats_before = model.solver.stats();
                 let solve_start = Instant::now();
                 let res = model.solve(&[act_b, act_s]);
                 span.set("solve_us", solve_start.elapsed().as_micros() as u64);
                 span.set("result", result_str(res));
+                Olsq2Synthesizer::set_iteration_deltas(&span, stats_before, model.solver.stats());
                 drop(span);
                 match res {
                     SolveResult::Sat => {
@@ -1038,10 +1043,12 @@ impl TbOlsq2Synthesizer {
             span.set("encode_us", encode_start.elapsed().as_micros() as u64);
             self.arm(&mut model, deadline);
             iterations += 1;
+            let stats_before = model.solver.stats();
             let solve_start = Instant::now();
             let res = model.solve(&[act_b, act_s]);
             span.set("solve_us", solve_start.elapsed().as_micros() as u64);
             span.set("result", result_str(res));
+            Olsq2Synthesizer::set_iteration_deltas(&span, stats_before, model.solver.stats());
             drop(span);
             match res {
                 SolveResult::Sat => {
@@ -1108,10 +1115,12 @@ impl TbOlsq2Synthesizer {
         }
         self.arm(&mut model, self.deadline());
         let span = self.iteration_span("feasible", &[("block_bound", blocks)]);
+        let stats_before = model.solver.stats();
         let solve_start = Instant::now();
         let res = model.solve(&assumptions);
         span.set("solve_us", solve_start.elapsed().as_micros() as u64);
         span.set("result", result_str(res));
+        Olsq2Synthesizer::set_iteration_deltas(&span, stats_before, model.solver.stats());
         drop(span);
         match res {
             SolveResult::Sat => {

@@ -43,7 +43,7 @@ use crate::splitter::{choose_split, SplitterConfig};
 use crate::stitch::stitch_refutation;
 use crate::tree::{CubeTree, NodeState};
 use olsq2_encode::SplitGroup;
-use olsq2_obs::Recorder;
+use olsq2_obs::{Probe, Recorder, SampleSource, SearchSample};
 use olsq2_sat::{Lit, Proof, SolveResult, Solver};
 use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -93,6 +93,11 @@ pub struct CubeConfig {
     pub external_stop: Option<Arc<AtomicBool>>,
     /// Splitter knobs.
     pub splitter: SplitterConfig,
+    /// Flight-recorder probe: when enabled, every worker records one
+    /// [`SampleSource::Cube`] sample per solved cube — open cubes in the
+    /// pool (`pool_depth`) and the worker's own queue length — alongside
+    /// its solver's cumulative search counters.
+    pub probe: Probe,
 }
 
 impl Default for CubeConfig {
@@ -107,6 +112,7 @@ impl Default for CubeConfig {
             deadline: None,
             external_stop: None,
             splitter: SplitterConfig::default(),
+            probe: Probe::disabled(),
         }
     }
 }
@@ -424,6 +430,21 @@ fn worker_loop<W: CubeSolvable>(idx: usize, mut w: W, shared: &Shared, cfg: &Cub
         assumptions.extend_from_slice(&path);
         let res = w.solver_mut().solve(&assumptions);
         w.solver_mut().set_conflict_budget(None);
+        if cfg.probe.is_enabled() {
+            // One occupancy sample per solved cube; cubes are coarse
+            // (thousands of conflicts), so no extra cadence gate needed.
+            let stats = w.solver_mut().stats();
+            cfg.probe.record(SearchSample {
+                source: SampleSource::Cube,
+                conflicts: stats.conflicts,
+                decisions: stats.decisions,
+                propagations: stats.propagations,
+                restarts: stats.restarts,
+                pool_depth: shared.outstanding.load(Ordering::Acquire) as u64,
+                queue_len: shared.deques[idx].lock().expect("deque poisoned").len() as u64,
+                ..SearchSample::default()
+            });
+        }
 
         match res {
             SolveResult::Sat => {

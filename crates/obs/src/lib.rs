@@ -24,6 +24,14 @@
 //!   as a span-tree report ([`report::render`]).
 //! * [`PromText`] — a tiny Prometheus text-format (version 0.0.4) writer
 //!   used by the service layer's metrics exposition.
+//! * [`Probe`] / [`SearchSample`] — the search **flight recorder**: a
+//!   fixed-capacity lock-free ring the SAT solver, sharing endpoints,
+//!   and cube scheduler sample into every K conflicts, dumped as
+//!   versioned JSONL when a run dies (see [`flight`]).
+//! * [`diff`] — A/B trace attribution: align two JSONL traces by their
+//!   iteration schedule and classify every per-iteration delta as
+//!   encode / solve-throughput / search-divergence (the engine behind
+//!   `olsq2 trace-diff`).
 //!
 //! ## Example
 //!
@@ -78,11 +86,15 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod diff;
+pub mod flight;
+mod jsonin;
 mod prom;
 mod recorder;
 pub mod report;
 mod trace;
 
+pub use flight::{FlightDump, Probe, SampleSource, SearchSample, FLIGHT_VERSION};
 pub use prom::PromText;
 pub use recorder::{FieldValue, Recorder, SpanGuard};
 pub use trace::{EventData, HistogramSummary, SpanData, TraceSnapshot};

@@ -1,9 +1,15 @@
 //! Minimal Prometheus text-format (version 0.0.4) writer.
 //!
-//! Only the subset the service layer needs: `counter` and `gauge` metrics
-//! with `# HELP` / `# TYPE` headers and no labels. Metric names are
-//! sanitized to the Prometheus grammar `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+//! The subset the service layer needs: `counter` / `gauge` metrics,
+//! log₂ `histogram` series (cumulative `_bucket{le=...}` plus `_sum` /
+//! `_count`), and labeled samples (`counter_labeled` / `gauge_labeled`)
+//! whose `# HELP` / `# TYPE` headers are emitted once per metric name.
+//! Metric names are sanitized to the Prometheus grammar
+//! `[a-zA-Z_:][a-zA-Z0-9_:]*`; label values are escaped per the text
+//! format.
 
+use crate::trace::HistogramSummary;
+use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
 /// Builder for a Prometheus text-format exposition body.
@@ -20,6 +26,9 @@ use std::fmt::Write as _;
 #[derive(Debug, Default)]
 pub struct PromText {
     out: String,
+    /// Metric names whose HELP/TYPE headers were already written (labeled
+    /// series share one header across samples).
+    headed: BTreeSet<String>,
 }
 
 impl PromText {
@@ -30,22 +39,85 @@ impl PromText {
 
     /// Appends a `counter` metric with its HELP/TYPE headers.
     pub fn counter(&mut self, name: &str, help: &str, value: f64) {
-        self.metric(name, help, "counter", value);
+        self.metric(name, help, "counter", &[], value);
     }
 
     /// Appends a `gauge` metric with its HELP/TYPE headers.
     pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
-        self.metric(name, help, "gauge", value);
+        self.metric(name, help, "gauge", &[], value);
     }
 
-    fn metric(&mut self, name: &str, help: &str, kind: &str, value: f64) {
+    /// Appends one labeled `counter` sample. The HELP/TYPE header is
+    /// written the first time `name` is seen, so repeated calls build a
+    /// multi-series metric:
+    ///
+    /// ```text
+    /// # HELP olsq2_tenant_jobs_done Jobs completed per tenant
+    /// # TYPE olsq2_tenant_jobs_done counter
+    /// olsq2_tenant_jobs_done{tenant="acme"} 3
+    /// olsq2_tenant_jobs_done{tenant="zeta"} 9
+    /// ```
+    pub fn counter_labeled(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.metric(name, help, "counter", labels, value);
+    }
+
+    /// Appends one labeled `gauge` sample (header emitted once per name).
+    pub fn gauge_labeled(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.metric(name, help, "gauge", labels, value);
+    }
+
+    /// Appends a full `histogram` metric from a log₂ summary: cumulative
+    /// `_bucket{le="..."}` series ending in `le="+Inf"`, plus `_sum` and
+    /// `_count`. Extra `labels` are attached to every series (the `le`
+    /// label is appended after them).
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        summary: &HistogramSummary,
+    ) {
         let name = sanitize(name);
-        let _ = writeln!(self.out, "# HELP {name} {}", escape_help(help));
-        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+        if self.headed.insert(name.clone()) {
+            let _ = writeln!(self.out, "# HELP {name} {}", escape_help(help));
+            let _ = writeln!(self.out, "# TYPE {name} histogram");
+        }
+        let mut cumulative = 0u64;
+        for &(le, count) in &summary.buckets {
+            cumulative += count;
+            let mut series = format!("{name}_bucket");
+            let mut with_le: Vec<(&str, String)> =
+                labels.iter().map(|&(k, v)| (k, v.to_string())).collect();
+            with_le.push(("le", le.to_string()));
+            write_labels_owned(&with_le, &mut series);
+            let _ = writeln!(self.out, "{series} {cumulative}");
+        }
+        let mut inf = format!("{name}_bucket");
+        let mut with_le: Vec<(&str, String)> =
+            labels.iter().map(|&(k, v)| (k, v.to_string())).collect();
+        with_le.push(("le", "+Inf".to_string()));
+        write_labels_owned(&with_le, &mut inf);
+        let _ = writeln!(self.out, "{inf} {}", summary.count);
+        let mut sum = format!("{name}_sum");
+        write_labels(labels, &mut sum);
+        let _ = writeln!(self.out, "{sum} {}", summary.sum);
+        let mut count = format!("{name}_count");
+        write_labels(labels, &mut count);
+        let _ = writeln!(self.out, "{count} {}", summary.count);
+    }
+
+    fn metric(&mut self, name: &str, help: &str, kind: &str, labels: &[(&str, &str)], value: f64) {
+        let name = sanitize(name);
+        if self.headed.insert(name.clone()) {
+            let _ = writeln!(self.out, "# HELP {name} {}", escape_help(help));
+            let _ = writeln!(self.out, "# TYPE {name} {kind}");
+        }
+        let mut series = name;
+        write_labels(labels, &mut series);
         if value.is_finite() {
-            let _ = writeln!(self.out, "{name} {value}");
+            let _ = writeln!(self.out, "{series} {value}");
         } else {
-            let _ = writeln!(self.out, "{name} NaN");
+            let _ = writeln!(self.out, "{series} NaN");
         }
     }
 
@@ -53,6 +125,38 @@ impl PromText {
     pub fn finish(self) -> String {
         self.out
     }
+}
+
+fn write_labels(labels: &[(&str, &str)], out: &mut String) {
+    if labels.is_empty() {
+        return;
+    }
+    let owned: Vec<(&str, String)> = labels.iter().map(|&(k, v)| (k, v.to_string())).collect();
+    write_labels_owned(&owned, out);
+}
+
+fn write_labels_owned(labels: &[(&str, String)], out: &mut String) {
+    if labels.is_empty() {
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&sanitize(k));
+        out.push_str("=\"");
+        out.push_str(&escape_label(v));
+        out.push('"');
+    }
+    out.push('}');
+}
+
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 /// Maps arbitrary metric names onto `[a-zA-Z_:][a-zA-Z0-9_:]*` by replacing
@@ -109,5 +213,67 @@ mod tests {
         let mut p = PromText::new();
         p.gauge("g", "line1\nline2", 0.5);
         assert!(p.finish().contains("# HELP g line1\\nline2"));
+    }
+
+    #[test]
+    fn labeled_series_share_one_header() {
+        let mut p = PromText::new();
+        p.counter_labeled("jobs", "per tenant", &[("tenant", "acme")], 3.0);
+        p.counter_labeled("jobs", "per tenant", &[("tenant", "z\"eta")], 9.0);
+        let body = p.finish();
+        assert_eq!(body.matches("# TYPE jobs counter").count(), 1);
+        assert!(body.contains("jobs{tenant=\"acme\"} 3"));
+        // Label values are escaped, label names sanitized.
+        assert!(body.contains("jobs{tenant=\"z\\\"eta\"} 9"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_in_inf() {
+        use crate::Recorder;
+        let rec = Recorder::new();
+        for v in [1u64, 1, 2, 3, 100, 1000] {
+            rec.observe("lat_us", v);
+        }
+        let summary = rec.snapshot().histograms["lat_us"].clone();
+        let mut p = PromText::new();
+        p.histogram("olsq2_lat_us", "latency", &[], &summary);
+        let body = p.finish();
+        assert!(body.contains("# TYPE olsq2_lat_us histogram"));
+        // Cumulative counts are monotonically non-decreasing across the
+        // le-ordered buckets and the +Inf bucket equals the count.
+        let mut last = 0u64;
+        let mut saw_inf = false;
+        for line in body
+            .lines()
+            .filter(|l| l.starts_with("olsq2_lat_us_bucket"))
+        {
+            let value: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(value >= last, "bucket series must be cumulative: {line}");
+            last = value;
+            if line.contains("le=\"+Inf\"") {
+                saw_inf = true;
+                assert_eq!(value, 6);
+            }
+        }
+        assert!(saw_inf, "the +Inf bucket is mandatory");
+        assert!(body.ends_with("olsq2_lat_us_count 6\n"));
+        assert!(body.contains("olsq2_lat_us_sum 1107"));
+        // Specific buckets: [1]=2 zeros/ones... values 1,1 in le=1; 2,3 in le=3.
+        assert!(body.contains("olsq2_lat_us_bucket{le=\"1\"} 2"));
+        assert!(body.contains("olsq2_lat_us_bucket{le=\"3\"} 4"));
+    }
+
+    #[test]
+    fn labeled_histograms_carry_their_labels() {
+        use crate::Recorder;
+        let rec = Recorder::new();
+        rec.observe("h", 5);
+        let summary = rec.snapshot().histograms["h"].clone();
+        let mut p = PromText::new();
+        p.histogram("lat", "x", &[("tenant", "acme")], &summary);
+        let body = p.finish();
+        assert!(body.contains("lat_bucket{tenant=\"acme\",le=\"7\"} 1"));
+        assert!(body.contains("lat_bucket{tenant=\"acme\",le=\"+Inf\"} 1"));
+        assert!(body.contains("lat_sum{tenant=\"acme\"} 5"));
     }
 }

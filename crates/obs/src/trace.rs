@@ -108,13 +108,25 @@ impl Histogram {
             p50: self.quantile(0.50),
             p95: self.quantile(0.95),
             p99: self.quantile(0.99),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| {
+                    // Bucket i holds values in [2^i, 2^(i+1)) (plus zeros
+                    // in bucket 0): the inclusive upper bound is 2^(i+1)-1.
+                    let le = if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+                    (le, c)
+                })
+                .collect(),
         }
     }
 }
 
 /// Summary statistics of a histogram. Quantiles are estimates accurate to
 /// one power of two (log₂ bucketing).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HistogramSummary {
     /// Number of samples.
     pub count: u64,
@@ -130,6 +142,10 @@ pub struct HistogramSummary {
     pub p95: u64,
     /// 99th-percentile estimate.
     pub p99: u64,
+    /// Occupied log₂ buckets as `(inclusive upper bound, count)`, in
+    /// ascending bound order — the raw data behind Prometheus
+    /// `_bucket{le=...}` series ([`crate::PromText::histogram`]).
+    pub buckets: Vec<(u64, u64)>,
 }
 
 /// A point-in-time copy of everything a [`crate::Recorder`] holds.

@@ -36,7 +36,7 @@ use crate::exchange::{ClauseExchange, ExchangeFilter};
 use crate::heap::VarHeap;
 use crate::lit::{ClauseRef, LBool, Lit, Var};
 use crate::proof::{Proof, ProofStep};
-use olsq2_obs::Recorder;
+use olsq2_obs::{Probe, Recorder, SampleSource, SearchSample};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -272,6 +272,14 @@ pub struct Solver {
     proof: Option<Proof>,
     /// Telemetry sink; the default disabled recorder costs one branch.
     recorder: Recorder,
+    /// Flight-recorder probe; the default disabled probe costs one
+    /// branch per conflict.
+    probe: Probe,
+    /// Fast-horizon LBD exponential moving average (α = 2⁻⁵), over every
+    /// learnt clause's LBD.
+    lbd_ema_fast: f64,
+    /// Slow-horizon LBD exponential moving average (α = 2⁻¹²).
+    lbd_ema_slow: f64,
     /// Sharing medium for portfolio solving; `None` solves in isolation.
     exchange: Option<Arc<dyn ClauseExchange>>,
     /// Export quality gate for the exchange.
@@ -372,6 +380,9 @@ impl Solver {
             simp_trail_len: usize::MAX,
             proof: None,
             recorder: Recorder::disabled(),
+            probe: Probe::disabled(),
+            lbd_ema_fast: 0.0,
+            lbd_ema_slow: 0.0,
             exchange: None,
             exchange_filter: ExchangeFilter::default(),
             import_seen: HashSet::new(),
@@ -460,6 +471,28 @@ impl Solver {
     /// recorder, which costs one branch per emission site.
     pub fn set_recorder(&mut self, recorder: Recorder) {
         self.recorder = recorder;
+    }
+
+    /// Attaches a flight-recorder probe. While attached, the solver
+    /// records one [`SearchSample`] every `probe.every()` conflicts —
+    /// trail depth, decision level, LBD EMAs, learnt-tier sizes, and
+    /// cumulative cadence counters — into the probe's lock-free ring.
+    /// The default disabled probe costs one branch per conflict.
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.probe = probe;
+    }
+
+    /// The attached flight-recorder probe (a cheap clone of the handle).
+    pub fn probe(&self) -> Probe {
+        self.probe.clone()
+    }
+
+    /// The fast (α = 2⁻⁵) and slow (α = 2⁻¹²) LBD exponential moving
+    /// averages over all learnt clauses, `(fast, slow)`. A fast average
+    /// well above the slow one means the search is currently deriving
+    /// much worse clauses than its long-run norm.
+    pub fn lbd_emas(&self) -> (f64, f64) {
+        (self.lbd_ema_fast, self.lbd_ema_slow)
     }
 
     /// Attaches a clause-sharing medium (see [`ClauseExchange`]).
@@ -2006,6 +2039,51 @@ impl Solver {
         result
     }
 
+    /// Folds one learnt clause's LBD into the fast/slow moving averages
+    /// (Glucose-style search-quality signals; the flight recorder samples
+    /// both).
+    #[inline]
+    fn update_lbd_emas(&mut self, lbd: u32) {
+        let lbd = f64::from(lbd);
+        self.lbd_ema_fast += (lbd - self.lbd_ema_fast) / 32.0;
+        self.lbd_ema_slow += (lbd - self.lbd_ema_slow) / 4096.0;
+    }
+
+    /// Records one flight sample of the post-backjump search state. Only
+    /// called when [`Probe::sample_due`] fired, so the learnt-tier scan
+    /// stays off the per-conflict path.
+    fn emit_flight_sample(&self) {
+        let (mut core, mut mid, mut local) = (0u64, 0u64, 0u64);
+        for &c in &self.learnts {
+            match self.db.tier(c) {
+                Tier::Core => core += 1,
+                Tier::Mid => mid += 1,
+                Tier::Local => local += 1,
+            }
+        }
+        self.probe.record(SearchSample {
+            source: SampleSource::Search,
+            at_us: 0, // stamped by the probe
+            conflicts: self.stats.conflicts,
+            decisions: self.stats.decisions,
+            propagations: self.stats.propagations,
+            restarts: self.stats.restarts,
+            reduces: self.stats.reduces,
+            rephases: self.stats.rephases,
+            trail_len: self.trail.len() as u64,
+            decision_level: u64::from(self.decision_level()),
+            lbd_ema_fast: self.lbd_ema_fast,
+            lbd_ema_slow: self.lbd_ema_slow,
+            learnts_core: core,
+            learnts_mid: mid,
+            learnts_local: local,
+            exported: self.stats.exported,
+            imported: self.stats.imported,
+            pool_depth: 0,
+            queue_len: 0,
+        });
+    }
+
     /// Runs CDCL search for up to `conflict_limit` conflicts.
     /// `Some(result)` terminates; `None` requests a restart.
     fn search(&mut self, conflict_limit: u64, assumptions: &[Lit]) -> Option<SolveResult> {
@@ -2036,11 +2114,13 @@ impl Solver {
                 self.log_proof(|| ProofStep::Lemma(learnt_for_proof));
                 self.cancel_until(bt);
                 if learnt.len() == 1 {
+                    self.update_lbd_emas(1);
                     self.maybe_export(&learnt, 1);
                     self.unchecked_enqueue(learnt[0], None);
                 } else {
                     let cref = self.db.alloc(&learnt, true);
                     let lbd = self.lits_lbd(&learnt);
+                    self.update_lbd_emas(lbd);
                     self.db.set_lbd(cref, lbd);
                     self.db.set_tier(cref, Tier::for_lbd(lbd));
                     self.maybe_export(&learnt, lbd);
@@ -2053,6 +2133,9 @@ impl Solver {
                     }
                 }
                 self.decay_activities();
+                if self.probe.sample_due(self.stats.conflicts) {
+                    self.emit_flight_sample();
+                }
                 if self.out_of_budget() {
                     self.cancel_until(0);
                     return Some(SolveResult::Unknown);
@@ -2175,6 +2258,44 @@ mod tests {
             }
         }
         assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn probe_samples_the_search_every_conflict() {
+        // 5 pigeons, 4 holes: enough conflicts to fill a small ring.
+        let mut s = Solver::new();
+        s.set_probe(Probe::new(256, 1));
+        let mut x = [[Lit(0); 4]; 5];
+        for p in 0..5 {
+            for h in 0..4 {
+                x[p][h] = Lit::positive(s.new_var());
+            }
+        }
+        for p in 0..5 {
+            s.add_clause(x[p]);
+        }
+        for h in 0..4 {
+            for p1 in 0..5 {
+                for p2 in (p1 + 1)..5 {
+                    s.add_clause([!x[p1][h], !x[p2][h]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        let probe = s.probe();
+        assert!(probe.emitted() > 0, "search must have sampled");
+        let samples = probe.snapshot();
+        let mut last_conflicts = 0;
+        for (_, smp) in &samples {
+            assert_eq!(smp.source, SampleSource::Search);
+            assert!(smp.conflicts >= last_conflicts, "conflicts are cumulative");
+            last_conflicts = smp.conflicts;
+            assert!(smp.lbd_ema_fast > 0.0 && smp.lbd_ema_slow > 0.0);
+        }
+        let (fast, slow) = s.lbd_emas();
+        assert!(fast > 0.0 && slow > 0.0);
+        // Fast horizon moves further from zero than the slow one early on.
+        assert!(fast >= slow);
     }
 
     #[test]

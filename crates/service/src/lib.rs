@@ -58,6 +58,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
+pub mod http;
 pub mod json;
 pub mod manifest;
 pub mod metrics;
@@ -65,6 +66,9 @@ pub mod request;
 pub mod service;
 
 pub use cache::{CacheKey, CacheStats, CachedResult, ResultCache};
-pub use metrics::{prometheus_text, ServiceMetrics, SolverTotals};
+pub use http::IntrospectionServer;
+pub use metrics::{prometheus_text, ServiceMetrics, SolverTotals, TenantStats};
 pub use request::{JobHandle, JobOutput, JobStatus, Objective, Priority, SynthesisRequest};
-pub use service::{ServiceConfig, SubmitError, SynthesisService};
+pub use service::{
+    FlightSettings, IntrospectionHandle, ServiceConfig, SubmitError, SynthesisService,
+};

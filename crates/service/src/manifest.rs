@@ -3,14 +3,18 @@
 //! Each input line is one JSON object describing a job:
 //!
 //! ```json
-//! {"name": "adder-0", "device": "grid3x3", "objective": "depth",
-//!  "swap_duration": 1, "deadline_ms": 2000, "priority": "high",
+//! {"name": "adder-0", "tenant": "team-a", "device": "grid3x3",
+//!  "objective": "depth", "swap_duration": 1, "deadline_ms": 2000,
+//!  "priority": "high",
 //!  "circuit": {"num_qubits": 3, "gates": [["cx",0,1], ["h",2], ["rz",0,[0.5]]]}}
 //! ```
 //!
 //! A gate is `[name, qubit]` or `[name, qubit, qubit]`, optionally
-//! followed by a parameter array (e.g. `["rz", 0, [0.5]]`). Each output
-//! line mirrors one job, in submission order, followed by a final
+//! followed by a parameter array (e.g. `["rz", 0, [0.5]]`). The optional
+//! `tenant` (default `"default"`) feeds per-tenant accounting
+//! ([`crate::ServiceMetrics::tenants`] and the `tenant="..."` Prometheus
+//! labels) and is echoed on the job's result line. Each output line
+//! mirrors one job, in submission order, followed by a final
 //! `{"metrics": ...}` summary line.
 
 use crate::json::{self, object, Json};
@@ -177,6 +181,11 @@ pub fn parse_request(line: &str) -> Result<SynthesisRequest, String> {
         .and_then(Json::as_str)
         .unwrap_or("unnamed")
         .to_string();
+    let tenant = value
+        .get("tenant")
+        .and_then(Json::as_str)
+        .unwrap_or("default")
+        .to_string();
     let device_name = value
         .get("device")
         .and_then(Json::as_str)
@@ -255,6 +264,7 @@ pub fn parse_request(line: &str) -> Result<SynthesisRequest, String> {
     };
     Ok(SynthesisRequest {
         name,
+        tenant,
         circuit,
         device,
         config,
@@ -285,8 +295,9 @@ pub fn parse_manifest(text: &str) -> Result<Vec<SynthesisRequest>, ManifestError
     Ok(requests)
 }
 
-/// Renders one job's terminal status as a result line.
-pub fn status_to_json(name: &str, status: &JobStatus) -> Json {
+/// Renders one job's terminal status as a result line. The `tenant` the
+/// job was accounted to is echoed on every line.
+pub fn status_to_json(name: &str, tenant: &str, status: &JobStatus) -> Json {
     match status {
         JobStatus::Done(out) => {
             let swap_ops: Vec<Json> = out
@@ -297,6 +308,7 @@ pub fn status_to_json(name: &str, status: &JobStatus) -> Json {
                 .collect();
             object([
                 ("name", name.into()),
+                ("tenant", tenant.into()),
                 ("status", "done".into()),
                 ("optimal", out.proven_optimal.into()),
                 ("degraded", out.degraded.into()),
@@ -325,13 +337,20 @@ pub fn status_to_json(name: &str, status: &JobStatus) -> Json {
         }
         JobStatus::Failed(e) => object([
             ("name", name.into()),
+            ("tenant", tenant.into()),
             ("status", "failed".into()),
             ("error", e.to_string().into()),
         ]),
-        JobStatus::Cancelled => object([("name", name.into()), ("status", "cancelled".into())]),
-        JobStatus::Queued | JobStatus::Running => {
-            object([("name", name.into()), ("status", "pending".into())])
-        }
+        JobStatus::Cancelled => object([
+            ("name", name.into()),
+            ("tenant", tenant.into()),
+            ("status", "cancelled".into()),
+        ]),
+        JobStatus::Queued | JobStatus::Running => object([
+            ("name", name.into()),
+            ("tenant", tenant.into()),
+            ("status", "pending".into()),
+        ]),
     }
 }
 
@@ -379,34 +398,72 @@ pub fn metrics_to_json(m: &ServiceMetrics) -> Json {
                     ("window_extensions", m.window_extensions.into()),
                 ]),
             ),
+            (
+                "tenants",
+                Json::Object(
+                    m.tenants
+                        .iter()
+                        .map(|(tenant, t)| {
+                            (
+                                tenant.clone(),
+                                object([
+                                    ("submitted", t.submitted.into()),
+                                    ("done", t.done.into()),
+                                    ("failed", t.failed.into()),
+                                    ("cancelled", t.cancelled.into()),
+                                    ("p50_ms", (t.p50_latency.as_millis() as u64).into()),
+                                    ("p95_ms", (t.p95_latency.as_millis() as u64).into()),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
         ]),
     )])
 }
 
+/// One finished batch job: its manifest name, tenant, and terminal status.
+pub type BatchStatus = (String, String, JobStatus);
+
 /// Drives a batch through a fresh service: submits every request (with
 /// backpressure against the bounded queue), awaits them all, and returns
-/// the per-job terminal statuses in manifest order plus the final metrics
-/// snapshot.
+/// the per-job `(name, tenant, status)` triples in manifest order plus
+/// the final metrics snapshot.
 pub fn run_batch(
     requests: Vec<SynthesisRequest>,
     config: ServiceConfig,
-) -> (Vec<(String, JobStatus)>, ServiceMetrics) {
+) -> (Vec<BatchStatus>, ServiceMetrics) {
     let mut service = SynthesisService::start(config);
+    let out = run_batch_on(&service, requests);
+    service.shutdown();
+    out
+}
+
+/// [`run_batch`] over a caller-owned service, which stays running
+/// afterwards — the shape needed when an [`crate::IntrospectionServer`]
+/// or a periodic Prometheus flusher holds a handle to the same service
+/// while the batch drains.
+pub fn run_batch_on(
+    service: &SynthesisService,
+    requests: Vec<SynthesisRequest>,
+) -> (Vec<BatchStatus>, ServiceMetrics) {
     let mut handles = Vec::with_capacity(requests.len());
     let mut waited = 0usize; // prefix of `handles` already awaited for backpressure
     for request in requests {
         let name = request.name.clone();
+        let tenant = request.tenant.clone();
         loop {
             match service.submit(request.clone()) {
                 Ok(handle) => {
-                    handles.push((name, handle));
+                    handles.push((name, tenant, handle));
                     break;
                 }
                 Err(SubmitError::QueueFull) => {
                     // Backpressure: wait for the oldest outstanding job to
                     // finish, freeing a queue slot, then retry.
                     if waited < handles.len() {
-                        let _ = handles[waited].1.wait();
+                        let _ = handles[waited].2.wait();
                         waited += 1;
                     } else {
                         std::thread::yield_now();
@@ -418,11 +475,10 @@ pub fn run_batch(
             }
         }
     }
-    let statuses: Vec<(String, JobStatus)> = handles
+    let statuses: Vec<BatchStatus> = handles
         .iter()
-        .map(|(name, handle)| (name.clone(), handle.wait()))
+        .map(|(name, tenant, handle)| (name.clone(), tenant.clone(), handle.wait()))
         .collect();
     let metrics = service.metrics();
-    service.shutdown();
     (statuses, metrics)
 }

@@ -3,6 +3,7 @@
 
 use crate::cache::CacheStats;
 use olsq2_sat::Stats;
+use std::collections::BTreeMap;
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -38,6 +39,24 @@ impl SolverTotals {
     }
 }
 
+/// Per-tenant job accounting (see
+/// [`crate::SynthesisRequest::tenant`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Jobs accepted for this tenant.
+    pub submitted: u64,
+    /// Jobs finished with a (possibly degraded) result.
+    pub done: u64,
+    /// Jobs that failed.
+    pub failed: u64,
+    /// Jobs cancelled before completion.
+    pub cancelled: u64,
+    /// Median end-to-end latency over this tenant's completed jobs.
+    pub p50_latency: Duration,
+    /// 95th-percentile end-to-end latency for this tenant.
+    pub p95_latency: Duration,
+}
+
 /// A point-in-time snapshot of a service's metrics.
 #[derive(Debug, Clone, Default)]
 pub struct ServiceMetrics {
@@ -70,6 +89,11 @@ pub struct ServiceMetrics {
     /// In-place window extensions performed across all jobs (zero when
     /// the incremental encoding path is disabled).
     pub window_extensions: u64,
+    /// Worker threads in the pool; zero when the snapshot came from a
+    /// context that does not know the pool size.
+    pub workers: u64,
+    /// Per-tenant job accounting, keyed by tenant name.
+    pub tenants: BTreeMap<String, TenantStats>,
 }
 
 /// The service's internal metrics collector.
@@ -89,6 +113,16 @@ struct Inner {
     latencies_us: Vec<u64>,
     solver: SolverTotals,
     window_extensions: u64,
+    tenants: BTreeMap<String, TenantInner>,
+}
+
+#[derive(Default)]
+struct TenantInner {
+    submitted: u64,
+    done: u64,
+    failed: u64,
+    cancelled: u64,
+    latencies_us: Vec<u64>,
 }
 
 impl MetricsCollector {
@@ -102,10 +136,11 @@ impl MetricsCollector {
         self.inner.lock().expect("metrics lock")
     }
 
-    pub(crate) fn on_submit(&self) {
+    pub(crate) fn on_submit(&self, tenant: &str) {
         let mut m = self.lock();
         m.submitted += 1;
         m.queued += 1;
+        m.tenant(tenant).submitted += 1;
     }
 
     pub(crate) fn on_dequeue(&self) {
@@ -115,13 +150,20 @@ impl MetricsCollector {
     }
 
     /// A queued job was dropped (cancelled) without ever running.
-    pub(crate) fn on_cancel_queued(&self) {
+    pub(crate) fn on_cancel_queued(&self, tenant: &str) {
         let mut m = self.lock();
         m.queued = m.queued.saturating_sub(1);
         m.cancelled += 1;
+        m.tenant(tenant).cancelled += 1;
     }
 
-    pub(crate) fn on_done(&self, latency: Duration, degraded: bool, stats: Option<&Stats>) {
+    pub(crate) fn on_done(
+        &self,
+        latency: Duration,
+        degraded: bool,
+        stats: Option<&Stats>,
+        tenant: &str,
+    ) {
         let mut m = self.lock();
         m.running = m.running.saturating_sub(1);
         m.done += 1;
@@ -132,6 +174,9 @@ impl MetricsCollector {
         if let Some(s) = stats {
             m.solver.add(s);
         }
+        let t = m.tenant(tenant);
+        t.done += 1;
+        t.latencies_us.push(latency.as_micros() as u64);
     }
 
     /// Credits in-place window extensions performed by a finished job.
@@ -141,22 +186,44 @@ impl MetricsCollector {
         }
     }
 
-    pub(crate) fn on_failed(&self, latency: Duration) {
+    pub(crate) fn on_failed(&self, latency: Duration, tenant: &str) {
         let mut m = self.lock();
         m.running = m.running.saturating_sub(1);
         m.failed += 1;
         m.latencies_us.push(latency.as_micros() as u64);
+        let t = m.tenant(tenant);
+        t.failed += 1;
+        t.latencies_us.push(latency.as_micros() as u64);
     }
 
-    pub(crate) fn on_cancel_running(&self) {
+    pub(crate) fn on_cancel_running(&self, tenant: &str) {
         let mut m = self.lock();
         m.running = m.running.saturating_sub(1);
         m.cancelled += 1;
+        m.tenant(tenant).cancelled += 1;
     }
 
     pub(crate) fn snapshot(&self, cache: CacheStats) -> ServiceMetrics {
         let m = self.lock();
         let (p50, p95, p99) = percentiles(&m.latencies_us);
+        let tenants = m
+            .tenants
+            .iter()
+            .map(|(name, t)| {
+                let (p50, p95, _) = percentiles(&t.latencies_us);
+                (
+                    name.clone(),
+                    TenantStats {
+                        submitted: t.submitted,
+                        done: t.done,
+                        failed: t.failed,
+                        cancelled: t.cancelled,
+                        p50_latency: p50,
+                        p95_latency: p95,
+                    },
+                )
+            })
+            .collect();
         ServiceMetrics {
             submitted: m.submitted,
             queued: m.queued,
@@ -171,7 +238,21 @@ impl MetricsCollector {
             p99_latency: p99,
             solver: m.solver,
             window_extensions: m.window_extensions,
+            workers: 0,
+            tenants,
         }
+    }
+}
+
+impl Inner {
+    fn tenant(&mut self, name: &str) -> &mut TenantInner {
+        // entry() would allocate the key on every call; tenant sets are
+        // tiny, so probe first.
+        if !self.tenants.contains_key(name) {
+            self.tenants
+                .insert(name.to_string(), TenantInner::default());
+        }
+        self.tenants.get_mut(name).expect("just inserted")
     }
 }
 
@@ -287,6 +368,57 @@ pub fn prometheus_text(m: &ServiceMetrics, recorder: &olsq2_obs::Recorder) -> St
         "In-place encoding window extensions across jobs",
         m.window_extensions as f64,
     );
+    if m.workers > 0 {
+        prom.gauge(
+            "olsq2_workers",
+            "Worker threads in the pool",
+            m.workers as f64,
+        );
+        prom.gauge(
+            "olsq2_workers_busy",
+            "Worker threads currently executing a job",
+            m.running as f64,
+        );
+    }
+    for (tenant, t) in &m.tenants {
+        let labels: &[(&str, &str)] = &[("tenant", tenant.as_str())];
+        prom.counter_labeled(
+            "olsq2_tenant_jobs_submitted",
+            "Jobs accepted, by tenant",
+            labels,
+            t.submitted as f64,
+        );
+        prom.counter_labeled(
+            "olsq2_tenant_jobs_done",
+            "Jobs finished with a result, by tenant",
+            labels,
+            t.done as f64,
+        );
+        prom.counter_labeled(
+            "olsq2_tenant_jobs_failed",
+            "Jobs that failed, by tenant",
+            labels,
+            t.failed as f64,
+        );
+        prom.counter_labeled(
+            "olsq2_tenant_jobs_cancelled",
+            "Jobs cancelled, by tenant",
+            labels,
+            t.cancelled as f64,
+        );
+        prom.gauge_labeled(
+            "olsq2_tenant_latency_p50_us",
+            "Median end-to-end latency (us), by tenant",
+            labels,
+            t.p50_latency.as_micros() as f64,
+        );
+        prom.gauge_labeled(
+            "olsq2_tenant_latency_p95_us",
+            "95th-percentile end-to-end latency (us), by tenant",
+            labels,
+            t.p95_latency.as_micros() as f64,
+        );
+    }
     if recorder.is_enabled() {
         let snap = recorder.snapshot();
         for (name, value) in &snap.counters {
@@ -294,6 +426,14 @@ pub fn prometheus_text(m: &ServiceMetrics, recorder: &olsq2_obs::Recorder) -> St
                 &format!("olsq2_{name}"),
                 "Recorder counter (olsq2-obs)",
                 *value as f64,
+            );
+        }
+        for (name, summary) in &snap.histograms {
+            prom.histogram(
+                &format!("olsq2_{name}"),
+                "Recorder log2 histogram (olsq2-obs)",
+                &[],
+                summary,
             );
         }
     }
@@ -393,12 +533,12 @@ mod tests {
     #[test]
     fn counters_flow_through_lifecycle() {
         let c = MetricsCollector::new();
-        c.on_submit();
-        c.on_submit();
+        c.on_submit("team-a");
+        c.on_submit("team-b");
         c.on_dequeue();
-        c.on_done(Duration::from_millis(3), true, None);
+        c.on_done(Duration::from_millis(3), true, None, "team-a");
         c.on_dequeue();
-        c.on_failed(Duration::from_millis(1));
+        c.on_failed(Duration::from_millis(1), "team-b");
         let snap = c.snapshot(CacheStats::default());
         assert_eq!(snap.submitted, 2);
         assert_eq!(snap.queued, 0);
@@ -407,5 +547,53 @@ mod tests {
         assert_eq!(snap.degraded, 1);
         assert_eq!(snap.failed, 1);
         assert!(snap.p95_latency >= snap.p50_latency);
+        // Per-tenant accounting splits the same events by tenant.
+        let a = &snap.tenants["team-a"];
+        assert_eq!((a.submitted, a.done, a.failed), (1, 1, 0));
+        assert_eq!(a.p50_latency, Duration::from_millis(3));
+        let b = &snap.tenants["team-b"];
+        assert_eq!((b.submitted, b.done, b.failed), (1, 0, 1));
+    }
+
+    #[test]
+    fn prometheus_text_labels_tenants_and_workers() {
+        let mut metrics = ServiceMetrics {
+            running: 2,
+            workers: 4,
+            ..ServiceMetrics::default()
+        };
+        metrics.tenants.insert(
+            "team-a".to_string(),
+            TenantStats {
+                submitted: 3,
+                done: 2,
+                failed: 1,
+                cancelled: 0,
+                p50_latency: Duration::from_micros(500),
+                p95_latency: Duration::from_micros(900),
+            },
+        );
+        let text = prometheus_text(&metrics, &olsq2_obs::Recorder::disabled());
+        assert!(text.contains("olsq2_workers 4"), "{text}");
+        assert!(text.contains("olsq2_workers_busy 2"), "{text}");
+        assert!(
+            text.contains("olsq2_tenant_jobs_submitted{tenant=\"team-a\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("olsq2_tenant_latency_p95_us{tenant=\"team-a\"} 900"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn prometheus_text_exposes_recorder_histograms() {
+        let recorder = olsq2_obs::Recorder::new();
+        recorder.observe("solve_us", 3);
+        recorder.observe("solve_us", 90);
+        let text = prometheus_text(&ServiceMetrics::default(), &recorder);
+        assert!(text.contains("# TYPE olsq2_solve_us histogram"), "{text}");
+        assert!(text.contains("olsq2_solve_us_count 2"), "{text}");
+        assert!(text.contains("le=\"+Inf\"} 2"), "{text}");
     }
 }

@@ -81,6 +81,11 @@ impl Priority {
 pub struct SynthesisRequest {
     /// A caller-chosen label, echoed in results and logs.
     pub name: String,
+    /// The tenant (team, pipeline, customer) the job is accounted to.
+    /// Per-tenant job counters and latency series appear in
+    /// [`crate::ServiceMetrics::tenants`] and as `tenant="..."` labels in
+    /// the Prometheus exposition. Defaults to `"default"`.
+    pub tenant: String,
     /// The logical circuit.
     pub circuit: Circuit,
     /// The target device.
@@ -118,6 +123,7 @@ impl SynthesisRequest {
     ) -> SynthesisRequest {
         SynthesisRequest {
             name: name.into(),
+            tenant: "default".to_string(),
             circuit,
             device,
             config: SynthesisConfig::default(),
@@ -126,6 +132,14 @@ impl SynthesisRequest {
             priority: Priority::Normal,
             cube: None,
         }
+    }
+
+    /// Accounts the job to the given tenant (see
+    /// [`SynthesisRequest::tenant`]).
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> SynthesisRequest {
+        self.tenant = tenant.into();
+        self
     }
 
     /// Routes the job through the cube-and-conquer engine (depth

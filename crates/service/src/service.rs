@@ -41,6 +41,36 @@ pub struct ServiceConfig {
     /// ([`olsq2::SynthesisConfig::incremental`]). `false` forces every job
     /// onto the rebuild-from-scratch path regardless of its own config.
     pub incremental: bool,
+    /// When set, every job gets its own search flight recorder
+    /// ([`olsq2::Probe`]): live rings are served over
+    /// [`IntrospectionHandle::flight_jsonl`] (and the HTTP
+    /// `/flight/<job-id>` route), and jobs that end degraded, cancelled,
+    /// or failed dump their ring to [`FlightSettings::dir`].
+    pub flight: Option<FlightSettings>,
+}
+
+/// Per-job flight-recorder sizing for a service (see
+/// [`ServiceConfig::flight`]).
+#[derive(Debug, Clone)]
+pub struct FlightSettings {
+    /// Ring capacity in samples per job.
+    pub capacity: usize,
+    /// Sampling cadence in conflicts.
+    pub every: u64,
+    /// Directory for post-mortem dumps (`job-<id>.flight.jsonl`). Jobs
+    /// that finish degraded (deadline), cancelled, or failed dump their
+    /// ring here; `None` keeps rings in memory only.
+    pub dir: Option<std::path::PathBuf>,
+}
+
+impl Default for FlightSettings {
+    fn default() -> Self {
+        FlightSettings {
+            capacity: 1024,
+            every: 128,
+            dir: None,
+        }
+    }
 }
 
 impl Default for ServiceConfig {
@@ -54,6 +84,7 @@ impl Default for ServiceConfig {
             cache_capacity: 512,
             recorder: olsq2::Recorder::disabled(),
             incremental: true,
+            flight: None,
         }
     }
 }
@@ -101,6 +132,11 @@ struct ServiceState {
     running_flags: Mutex<HashMap<u64, Arc<AtomicBool>>>,
     recorder: olsq2::Recorder,
     incremental: bool,
+    flight: Option<FlightSettings>,
+    /// Per-job flight rings, keyed by job id; populated only when
+    /// [`ServiceConfig::flight`] is set. Rings stay readable after their
+    /// job completes (the service instance bounds their lifetime).
+    flights: Mutex<HashMap<u64, olsq2::Probe>>,
 }
 
 /// A synthesis service instance owning its worker pool.
@@ -140,6 +176,8 @@ impl SynthesisService {
             running_flags: Mutex::new(HashMap::new()),
             recorder: config.recorder,
             incremental: config.incremental,
+            flight: config.flight,
+            flights: Mutex::new(HashMap::new()),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -174,6 +212,7 @@ impl SynthesisService {
             return Err(SubmitError::ShuttingDown);
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let tenant = request.tenant.clone();
         let shared = JobShared::new();
         let handle = JobHandle {
             id,
@@ -194,18 +233,27 @@ impl SynthesisService {
                 },
             );
         }
-        self.state.metrics.on_submit();
+        self.state.metrics.on_submit(&tenant);
         self.state.available.notify_one();
         Ok(handle)
     }
 
     /// A metrics snapshot.
     pub fn metrics(&self) -> ServiceMetrics {
-        let cache_stats = match &self.state.cache {
-            Some(cache) => cache.lock().expect("cache lock").stats(),
-            None => CacheStats::default(),
-        };
-        self.state.metrics.snapshot(cache_stats)
+        let mut m = snapshot_metrics(&self.state);
+        m.workers = self.workers.len() as u64;
+        m
+    }
+
+    /// A cheaply cloneable handle for out-of-band introspection (the HTTP
+    /// listener, periodic Prometheus flushers): it reads metrics and
+    /// per-job flight rings without borrowing the service, so it can live
+    /// on other threads while jobs run.
+    pub fn introspection(&self) -> IntrospectionHandle {
+        IntrospectionHandle {
+            state: self.state.clone(),
+            workers: self.workers.len() as u64,
+        }
     }
 
     /// Number of worker threads.
@@ -235,7 +283,7 @@ impl SynthesisService {
         {
             let mut queue = self.state.queue.lock().expect("queue lock");
             for (_, job) in std::mem::take(&mut queue.jobs) {
-                self.state.metrics.on_cancel_queued();
+                self.state.metrics.on_cancel_queued(&job.request.tenant);
                 job.shared.set_status(JobStatus::Cancelled);
             }
         }
@@ -261,6 +309,59 @@ impl Drop for SynthesisService {
     }
 }
 
+/// Reads service metrics and per-job flight rings without borrowing the
+/// service; see [`SynthesisService::introspection`].
+#[derive(Clone)]
+pub struct IntrospectionHandle {
+    state: Arc<ServiceState>,
+    workers: u64,
+}
+
+impl std::fmt::Debug for IntrospectionHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IntrospectionHandle")
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+impl IntrospectionHandle {
+    /// A metrics snapshot, sampled at call time.
+    pub fn metrics(&self) -> ServiceMetrics {
+        let mut m = snapshot_metrics(&self.state);
+        m.workers = self.workers;
+        m
+    }
+
+    /// The metrics snapshot plus recorder counters/histograms in
+    /// Prometheus text exposition format, sampled at call time.
+    pub fn prometheus_text(&self) -> String {
+        crate::metrics::prometheus_text(&self.metrics(), &self.state.recorder)
+    }
+
+    /// The flight ring of the given job as versioned JSONL; `None` when
+    /// the job is unknown or the service runs without
+    /// [`ServiceConfig::flight`].
+    pub fn flight_jsonl(&self, job_id: u64) -> Option<String> {
+        let probe = self
+            .state
+            .flights
+            .lock()
+            .expect("flights lock")
+            .get(&job_id)
+            .cloned()?;
+        Some(probe.to_jsonl())
+    }
+}
+
+fn snapshot_metrics(state: &ServiceState) -> ServiceMetrics {
+    let cache_stats = match &state.cache {
+        Some(cache) => cache.lock().expect("cache lock").stats(),
+        None => CacheStats::default(),
+    };
+    state.metrics.snapshot(cache_stats)
+}
+
 fn worker_loop(state: &ServiceState) {
     loop {
         let (id, job) = {
@@ -279,7 +380,7 @@ fn worker_loop(state: &ServiceState) {
         if job.shared.cancel.load(Ordering::Relaxed) {
             // Metrics before status: `wait()` returns the moment the
             // status turns terminal, and callers may read metrics then.
-            state.metrics.on_cancel_queued();
+            state.metrics.on_cancel_queued(&job.request.tenant);
             job.shared.set_status(JobStatus::Cancelled);
             continue;
         }
@@ -303,6 +404,33 @@ fn run_job(state: &ServiceState, id: u64, job: &QueuedJob) {
     let wait = picked_at - job.submitted_at;
     job.shared.set_status(JobStatus::Running);
     let request = &job.request;
+    let tenant = request.tenant.as_str();
+
+    // Arm the job's flight recorder before any solver exists, so the ring
+    // is registered (and scrapeable over `/flight/<job-id>`) for the
+    // job's whole run.
+    let flight_probe = state.flight.as_ref().map(|settings| {
+        let probe = olsq2::Probe::new(settings.capacity, settings.every);
+        state
+            .flights
+            .lock()
+            .expect("flights lock")
+            .insert(id, probe.clone());
+        probe
+    });
+    // Post-mortem dump for jobs that did not complete cleanly: deadline
+    // degradation, cancellation, and failure all leave the ring's last
+    // window on disk when a dump directory is configured.
+    let dump_flight = |why: &str| {
+        let (Some(probe), Some(settings)) = (&flight_probe, &state.flight) else {
+            return;
+        };
+        let Some(dir) = &settings.dir else { return };
+        let path = dir.join(format!("job-{id}.flight.jsonl"));
+        if let Err(e) = probe.write_jsonl(&path) {
+            eprintln!("cannot write flight dump for {why} job {id}: {e}");
+        }
+    };
 
     // One span per job; synthesizer spans opened on this worker thread
     // nest under it automatically.
@@ -337,7 +465,7 @@ fn run_job(state: &ServiceState, id: u64, job: &QueuedJob) {
             };
             state
                 .metrics
-                .on_done(job.submitted_at.elapsed(), false, None);
+                .on_done(job.submitted_at.elapsed(), false, None, tenant);
             span.set("cache_hit", true);
             span.set("status", "done");
             // Close the span before the status turns terminal: `wait()`
@@ -358,6 +486,9 @@ fn run_job(state: &ServiceState, id: u64, job: &QueuedJob) {
     }
     let incumbent = IncumbentSlot::new();
     config.incumbent = Some(incumbent.clone());
+    if let Some(probe) = &flight_probe {
+        config.probe = probe.clone();
+    }
     config.time_budget = match (config.time_budget, request.deadline) {
         (Some(a), Some(b)) => Some(a.min(b)),
         (a, b) => a.or(b),
@@ -405,17 +536,21 @@ fn run_job(state: &ServiceState, id: u64, job: &QueuedJob) {
             };
             state
                 .metrics
-                .on_done(latency, degraded, output.solver_stats.as_ref());
+                .on_done(latency, degraded, output.solver_stats.as_ref(), tenant);
             span.set("status", "done");
             span.set("degraded", degraded);
             drop(span);
+            if degraded {
+                dump_flight("degraded");
+            }
             job.shared.set_status(JobStatus::Done(Box::new(output)));
         }
         Err(SynthesisError::BudgetExhausted) => {
             if job.shared.cancel.load(Ordering::Relaxed) {
-                state.metrics.on_cancel_running();
+                state.metrics.on_cancel_running(tenant);
                 span.set("status", "cancelled");
                 drop(span);
+                dump_flight("cancelled");
                 job.shared.set_status(JobStatus::Cancelled);
             } else if let Some(best) = incumbent.take() {
                 // Deadline degradation: return the best-so-far incumbent,
@@ -431,23 +566,26 @@ fn run_job(state: &ServiceState, id: u64, job: &QueuedJob) {
                     service_time,
                     solver_stats: None,
                 };
-                state.metrics.on_done(latency, true, None);
+                state.metrics.on_done(latency, true, None, tenant);
                 span.set("status", "done");
                 span.set("degraded", true);
                 drop(span);
+                dump_flight("degraded");
                 job.shared.set_status(JobStatus::Done(Box::new(output)));
             } else {
-                state.metrics.on_failed(latency);
+                state.metrics.on_failed(latency, tenant);
                 span.set("status", "failed");
                 drop(span);
+                dump_flight("failed");
                 job.shared
                     .set_status(JobStatus::Failed(SynthesisError::BudgetExhausted));
             }
         }
         Err(e) => {
-            state.metrics.on_failed(latency);
+            state.metrics.on_failed(latency, tenant);
             span.set("status", "failed");
             drop(span);
+            dump_flight("failed");
             job.shared.set_status(JobStatus::Failed(e));
         }
     }

@@ -244,7 +244,7 @@ fn manifest_batch_with_relabeled_duplicates_hits_cache() {
         },
     );
     assert_eq!(statuses.len(), 3);
-    for (name, status) in &statuses {
+    for (name, _, status) in &statuses {
         assert!(
             matches!(status, JobStatus::Done(_)),
             "{name} should be done, got {status:?}"
@@ -254,10 +254,11 @@ fn manifest_batch_with_relabeled_duplicates_hits_cache() {
     assert_eq!(metrics.done, 3);
 
     // The JSONL emission round-trips through the in-crate parser.
-    for (name, status) in &statuses {
-        let line = manifest::status_to_json(name, status).to_string();
+    for (name, tenant, status) in &statuses {
+        let line = manifest::status_to_json(name, tenant, status).to_string();
         let parsed = olsq2_service::json::parse(&line).expect("result line is valid JSON");
         assert_eq!(parsed.get("name").unwrap().as_str(), Some(name.as_str()));
+        assert_eq!(parsed.get("tenant").unwrap().as_str(), Some("default"));
         assert_eq!(parsed.get("status").unwrap().as_str(), Some("done"));
     }
     let summary = manifest::metrics_to_json(&metrics).to_string();
@@ -414,4 +415,55 @@ fn manifest_parses_cube_knobs() {
         .expect("parses")
         .cube
         .is_none());
+}
+
+#[test]
+fn deadline_killed_job_dumps_an_ingestible_flight_recording() {
+    let dump_dir = std::env::temp_dir().join(format!("olsq2-flight-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dump_dir).expect("create dump dir");
+
+    let mut service = SynthesisService::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 4,
+        cache_capacity: 8,
+        flight: Some(olsq2_service::FlightSettings {
+            capacity: 512,
+            every: 1, // sample every conflict: even a short run fills the ring
+            dir: Some(dump_dir.clone()),
+        }),
+        ..ServiceConfig::default()
+    });
+    // Same shape as deadline_degrades_to_best_so_far: the SWAP descent
+    // cannot finish inside the deadline, so the job ends degraded.
+    let mut req = SynthesisRequest::new("doomed", qaoa_circuit(8, 4), grid(3, 3), Objective::Swaps);
+    req.config.swap_duration = 1;
+    req.deadline = Some(Duration::from_secs(3));
+    let handle = service.submit(req).expect("queue has room");
+    let id = handle.id();
+    match handle.wait() {
+        JobStatus::Done(out) => assert!(out.degraded, "deadline must degrade the job"),
+        other => panic!("expected degraded Done, got {other:?}"),
+    }
+
+    // The post-mortem dump is on disk and parses back into a FlightDump
+    // whose final search sample carries real solver dynamics — the input
+    // trace-diff's flight footer reads.
+    let path = dump_dir.join(format!("job-{id}.flight.jsonl"));
+    let text = std::fs::read_to_string(&path).expect("flight dump written on deadline expiry");
+    let dump = olsq2_obs::FlightDump::parse_jsonl(&text).expect("dump is versioned JSONL");
+    assert_eq!(dump.version, olsq2_obs::FLIGHT_VERSION);
+    assert!(dump.emitted > 0, "a multi-second search must emit samples");
+    let last = dump.last_search().expect("search samples present");
+    assert!(last.conflicts > 0);
+    assert!(last.propagations > 0);
+
+    // The live endpoint serves the same ring.
+    let live = service
+        .introspection()
+        .flight_jsonl(id)
+        .expect("ring registered for the job");
+    assert!(live.contains("\"type\":\"flight_meta\""));
+
+    service.shutdown();
+    std::fs::remove_dir_all(&dump_dir).ok();
 }
