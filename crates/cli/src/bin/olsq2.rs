@@ -5,6 +5,7 @@
 //!       [--swap-duration N] [--budget SECS] [--encoding int|bv|euf]
 //!       [--tool olsq2|tb|sabre|satmap|astar|portfolio|cube] [--output out.qasm]
 //!       [--diversify N] [--portfolio-share] [--no-incremental] [--legacy-solver]
+//!       [--no-chrono] [--no-target-phase] [--no-glucose-restarts] [--no-structure-seeding]
 //!       [--cube-workers N] [--cube-depth N]
 //!       [--trace-out trace.jsonl] [--report]
 //!       [--flight-out flight.jsonl] [--flight-every N] [--flight-capacity N]
@@ -21,6 +22,7 @@
 //!
 //! olsq2 sat <file.cnf|-> [--preprocess] [--assume LIT]...
 //!       [--budget-conflicts N] [--legacy-solver] [--stats]
+//!       [--no-chrono] [--no-target-phase] [--no-glucose-restarts]
 //!       [--cube-workers N] [--cube-depth N]
 //! ```
 //!
@@ -61,7 +63,11 @@
 //! (default 4096), and the ring is dumped as versioned JSONL on exit —
 //! including synthesis failure and panic — so the last moments of a
 //! dying search are always recoverable. `--legacy-solver` runs the
-//! pre-overhaul solver kernel, the natural A side of an A/B comparison.
+//! pre-overhaul solver kernel *and* search policies (no chronological
+//! backtracking, no Glucose restarts, no target phases, no structure
+//! seeding), the natural A side of an A/B comparison; the individual
+//! `--no-*` flags peel one policy at a time off the modern default for
+//! ablations.
 //!
 //! `trace-diff` aligns two saved traces by their (objective, bound)
 //! iteration schedule and attributes every per-iteration time delta to
@@ -110,6 +116,7 @@ fn usage() -> ! {
           [--objective depth|swaps] [--tool olsq2|tb|sabre|satmap|astar|portfolio|cube] \\
           [--swap-duration N] [--budget SECS] [--encoding int|bv|euf] [--output out.qasm] \\
           [--diversify N] [--portfolio-share] [--no-incremental] [--legacy-solver] \\
+          [--no-chrono] [--no-target-phase] [--no-glucose-restarts] [--no-structure-seeding] \\
           [--cube-workers N] [--cube-depth N] \\
           [--trace-out trace.jsonl] [--report] \\
           [--flight-out flight.jsonl] [--flight-every N] [--flight-capacity N]
@@ -122,6 +129,7 @@ fn usage() -> ! {
        olsq2 trace-diff <a.jsonl> <b.jsonl> [--label-a NAME] [--label-b NAME]
        olsq2 sat <file.cnf|-> [--preprocess] [--assume LIT]... \\
           [--budget-conflicts N] [--legacy-solver] [--stats] \\
+          [--no-chrono] [--no-target-phase] [--no-glucose-restarts] \\
           [--cube-workers N] [--cube-depth N]
 
 devices: qx2, qx5, tokyo, aspen4, sycamore, eagle, grid<WxH>, line<N>, complete<N>"
@@ -474,6 +482,9 @@ fn sat_command(args: impl Iterator<Item = String>) -> ! {
     let mut assumes: Vec<i64> = Vec::new();
     let mut budget: Option<u64> = None;
     let mut legacy = false;
+    let mut no_chrono = false;
+    let mut no_target_phase = false;
+    let mut no_glucose = false;
     let mut stats = false;
     let mut cube_workers: Option<usize> = None;
     let mut cube_depth: Option<usize> = None;
@@ -496,6 +507,9 @@ fn sat_command(args: impl Iterator<Item = String>) -> ! {
                 budget = Some(val(&mut args).parse().unwrap_or_else(|_| usage()))
             }
             "--legacy-solver" => legacy = true,
+            "--no-chrono" => no_chrono = true,
+            "--no-target-phase" => no_target_phase = true,
+            "--no-glucose-restarts" => no_glucose = true,
             "--stats" => stats = true,
             "--cube-workers" => {
                 cube_workers = Some(
@@ -545,10 +559,27 @@ fn sat_command(args: impl Iterator<Item = String>) -> ! {
     }
     let assumptions: Vec<Lit> = assumes.iter().map(|&d| lit_of(d)).collect();
 
+    let features = {
+        let mut f = if legacy {
+            SolverFeatures::legacy()
+        } else {
+            SolverFeatures::default()
+        };
+        if no_chrono {
+            f.chrono_backtrack = false;
+        }
+        if no_target_phase {
+            f.target_phase = false;
+        }
+        if no_glucose {
+            f.glucose_restarts = false;
+            f.restart_postpone = false;
+        }
+        f
+    };
+
     let mut solver = Solver::new();
-    if legacy {
-        solver.set_features(SolverFeatures::legacy());
-    }
+    solver.set_features(features);
     solver.set_conflict_budget(budget);
 
     // With --preprocess the solver sees the simplified formula; the model
@@ -599,9 +630,7 @@ fn sat_command(args: impl Iterator<Item = String>) -> ! {
         let run = solve_cubes(
             |_| {
                 let mut w = SatCubeSolver::new(num_vars, &clauses, false);
-                if legacy {
-                    w.solver_mut().set_features(SolverFeatures::legacy());
-                }
+                w.solver_mut().set_features(features);
                 w.set_base(assumptions.clone());
                 w
             },
@@ -666,6 +695,10 @@ fn sat_command(args: impl Iterator<Item = String>) -> ! {
         eprintln!(
             "c vivified {} strengthened {} tier-demotions {} rephases {}",
             s.vivified, s.strengthened, s.tier_demotions, s.rephases
+        );
+        eprintln!(
+            "c chrono-backtracks {} blocked-restarts {} target-rephases {}",
+            s.chrono_backtracks, s.blocked_restarts, s.target_rephases
         );
     }
     match verdict {
@@ -751,6 +784,10 @@ fn main() {
     let mut portfolio_share = false;
     let mut incremental = true;
     let mut legacy = false;
+    let mut no_chrono = false;
+    let mut no_target_phase = false;
+    let mut no_glucose = false;
+    let mut no_structure_seeding = false;
     let mut flight_out: Option<String> = None;
     let mut flight_every = 128u64;
     let mut flight_capacity = 4096usize;
@@ -786,6 +823,10 @@ fn main() {
             "--portfolio-share" => portfolio_share = true,
             "--no-incremental" => incremental = false,
             "--legacy-solver" => legacy = true,
+            "--no-chrono" => no_chrono = true,
+            "--no-target-phase" => no_target_phase = true,
+            "--no-glucose-restarts" => no_glucose = true,
+            "--no-structure-seeding" => no_structure_seeding = true,
             "--flight-out" => flight_out = Some(val(&mut args)),
             "--flight-every" => {
                 flight_every = val(&mut args)
@@ -884,10 +925,29 @@ fn main() {
         recorder: recorder.clone(),
         probe: probe.clone(),
         incremental,
-        solver_features: if legacy {
-            olsq2::SolverFeatures::legacy()
-        } else {
-            olsq2::SolverFeatures::default()
+        solver_features: {
+            // `--legacy-solver` wins outright (including the new search
+            // policies); the `--no-*` knobs peel single features off the
+            // modern default for ablations.
+            let mut f = if legacy {
+                olsq2::SolverFeatures::legacy()
+            } else {
+                olsq2::SolverFeatures::default()
+            };
+            if no_chrono {
+                f.chrono_backtrack = false;
+            }
+            if no_target_phase {
+                f.target_phase = false;
+            }
+            if no_glucose {
+                f.glucose_restarts = false;
+                f.restart_postpone = false;
+            }
+            if no_structure_seeding {
+                f.structure_seeding = false;
+            }
+            f
         },
         ..SynthesisConfig::default()
     };

@@ -133,6 +133,18 @@ pub struct SolverDiversification {
     pub var_decay: Option<f64>,
     /// Luby restart unit in conflicts.
     pub restart_base: Option<u64>,
+    /// Override the chronological-backtracking feature flag.
+    ///
+    /// Search-policy overrides are *disable-only*: `variant` never draws
+    /// `Some(true)`, and `apply` treats `Some(true)` on a feature the
+    /// base configuration turned off as `None`. A `--legacy-solver` run
+    /// therefore stays legacy for every member, keeping A/B trace pairs
+    /// meaningful.
+    pub chrono_backtrack: Option<bool>,
+    /// Override the Glucose-restart feature flag (disable-only, as above).
+    pub glucose_restarts: Option<bool>,
+    /// Override the target-phase feature flag (disable-only, as above).
+    pub target_phase: Option<bool>,
 }
 
 impl SolverDiversification {
@@ -154,6 +166,26 @@ impl SolverDiversification {
         }
         if let Some(base) = self.restart_base {
             solver.set_restart_base(base);
+        }
+        let mut f = solver.features();
+        let mut changed = false;
+        // Disable-only: a member may opt out of a search policy the base
+        // configuration enabled, never opt back into one it disabled.
+        if self.chrono_backtrack == Some(false) && f.chrono_backtrack {
+            f.chrono_backtrack = false;
+            changed = true;
+        }
+        if self.glucose_restarts == Some(false) && f.glucose_restarts {
+            f.glucose_restarts = false;
+            f.restart_postpone = false;
+            changed = true;
+        }
+        if self.target_phase == Some(false) && f.target_phase {
+            f.target_phase = false;
+            changed = true;
+        }
+        if changed {
+            solver.set_features(f);
         }
     }
 
@@ -179,11 +211,18 @@ impl SolverDiversification {
         };
         const DECAYS: [f64; 4] = [0.90, 0.93, 0.95, 0.99];
         const BASES: [u64; 4] = [50, 100, 150, 300];
+        // Search-policy disagreement (disable-only, see `apply`): one in
+        // four members runs without each modern policy, so a cohort
+        // always spans both sides of every policy on larger portfolios.
+        let disable = |draw: u64| draw.is_multiple_of(4).then_some(false);
         SolverDiversification {
             decision_seed: Some(next() | 1),
             default_phase: Some(next() & 1 == 1),
             var_decay: Some(DECAYS[(next() % DECAYS.len() as u64) as usize]),
             restart_base: Some(BASES[(next() % BASES.len() as u64) as usize]),
+            chrono_backtrack: disable(next()),
+            glucose_restarts: disable(next()),
+            target_phase: disable(next()),
         }
     }
 }
@@ -351,6 +390,53 @@ mod tests {
         let mut s = Solver::new();
         SolverDiversification::variant(3, 5).apply(&mut s);
         SolverDiversification::default().apply(&mut s); // no-op path
+    }
+
+    #[test]
+    fn diversification_policy_overrides_are_disable_only() {
+        // A member may opt out of a modern search policy...
+        let mut s = Solver::new();
+        let d = SolverDiversification {
+            chrono_backtrack: Some(false),
+            glucose_restarts: Some(false),
+            target_phase: Some(false),
+            ..SolverDiversification::default()
+        };
+        d.apply(&mut s);
+        let f = s.features();
+        assert!(!f.chrono_backtrack && !f.glucose_restarts && !f.target_phase);
+        assert!(
+            !f.restart_postpone,
+            "postponement dies with glucose restarts"
+        );
+
+        // ...but can never re-enable one the base configuration disabled:
+        // a --legacy-solver run stays legacy for every portfolio member.
+        let mut s = Solver::new();
+        s.set_features(SolverFeatures::legacy());
+        let d = SolverDiversification {
+            chrono_backtrack: Some(true),
+            glucose_restarts: Some(true),
+            target_phase: Some(true),
+            ..SolverDiversification::default()
+        };
+        d.apply(&mut s);
+        let f = s.features();
+        assert!(!f.chrono_backtrack && !f.glucose_restarts && !f.target_phase);
+
+        // Seeded variants are reproducible including the policy draws.
+        assert_eq!(
+            SolverDiversification::variant(11, 3),
+            SolverDiversification::variant(11, 3)
+        );
+        // Some variant in a small family disables at least one policy.
+        let disables_any = (1..8).any(|k| {
+            let v = SolverDiversification::variant(11, k);
+            v.chrono_backtrack == Some(false)
+                || v.glucose_restarts == Some(false)
+                || v.target_phase == Some(false)
+        });
+        assert!(disables_any);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 // Indexed `for` loops are deliberate here: time-step/edge index loops mirror the paper's formulation.
 #![allow(clippy::needless_range_loop)]
-use crate::config::{MappingEncoding, SynthesisConfig};
+use crate::config::{MappingEncoding, SynthesisConfig, TimeEncoding};
 use crate::vars::{FdVar, TimeVars};
 use olsq2_arch::CouplingGraph;
 use olsq2_circuit::{Circuit, DependencyGraph, Operands};
@@ -542,6 +542,42 @@ impl FlatModel {
 
         tally.credit_since(ConstraintFamily::Transition, &solver, mark);
 
+        // Structure-aware seeding: in an exactly-one group all but one
+        // selector end up false, and optimal layouts use few SWAPs, so
+        // the all-false polarity starts the search inside the layout
+        // structure instead of fighting the at-most-one constraints. The
+        // t = 0 activity bump points the first decisions at the initial
+        // placement — the same groups the cube splitter branches on.
+        if config.solver_features.structure_seeding {
+            if matches!(
+                enc.mapping,
+                MappingEncoding::OneHot | MappingEncoding::InverseOneHot
+            ) {
+                for per_t in &mapping {
+                    for fd in per_t {
+                        for l in fd.raw_lits() {
+                            solver.set_saved_phase(l.var(), false);
+                        }
+                    }
+                    for l in per_t[0].raw_lits() {
+                        solver.boost_activity(l.var(), 1.0);
+                    }
+                }
+            }
+            if enc.time == TimeEncoding::OneHot {
+                for g in 0..circuit.num_gates() {
+                    for l in time.var(g).raw_lits() {
+                        solver.set_saved_phase(l.var(), false);
+                    }
+                }
+            }
+            for per_t in &swap_lits {
+                for &sl in per_t {
+                    solver.set_saved_phase(sl.var(), false);
+                }
+            }
+        }
+
         // Domain-informed branching order (§V): decide the initial
         // placement first, then gate times; SWAPs follow by propagation.
         if config.seed_variable_order {
@@ -1046,7 +1082,7 @@ impl FlatModel {
     /// incremental builds — without it the guarded at-least-one constraints
     /// would let every time variable go unassigned).
     pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
-        match self.window_guard {
+        let result = match self.window_guard {
             None => self.solver.solve(assumptions),
             Some(g) => {
                 let mut with_guard = Vec::with_capacity(assumptions.len() + 1);
@@ -1054,7 +1090,13 @@ impl FlatModel {
                 with_guard.push(g);
                 self.solver.solve(&with_guard)
             }
+        };
+        // Each satisfiable bound is the new incumbent layout; steer the
+        // next (tighter) solve toward it via target phases.
+        if result == SolveResult::Sat && self.solver.features().target_phase {
+            self.solver.adopt_model_targets();
         }
+        result
     }
 
     /// Extracts the layout result from the solver's current model.

@@ -249,6 +249,32 @@ impl TransitionModel {
 
         tally.credit_since(ConstraintFamily::Transition, &solver, mark);
 
+        // Structure-aware seeding: same rationale as the flat model —
+        // prefer the all-false polarity inside one-hot groups and on the
+        // transition SWAP layer, and point the first decisions at block 0.
+        if config.solver_features.structure_seeding {
+            if matches!(
+                enc.mapping,
+                MappingEncoding::OneHot | MappingEncoding::InverseOneHot
+            ) {
+                for per_b in &mapping {
+                    for fd in per_b {
+                        for l in fd.raw_lits() {
+                            solver.set_saved_phase(l.var(), false);
+                        }
+                    }
+                    for l in per_b[0].raw_lits() {
+                        solver.boost_activity(l.var(), 1.0);
+                    }
+                }
+            }
+            for per_b in &swap_lits {
+                for &sl in per_b {
+                    solver.set_saved_phase(sl.var(), false);
+                }
+            }
+        }
+
         config.diversification.apply(&mut solver);
         // Everything past the build is bound-machinery: activation
         // literals, cardinality counters, window-growth variables. Clauses
@@ -557,7 +583,7 @@ impl TransitionModel {
 
     /// Solves under the given assumptions plus the active window guard.
     fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
-        match self.window_guard {
+        let result = match self.window_guard {
             None => self.solver.solve(assumptions),
             Some(g) => {
                 let mut with_guard = Vec::with_capacity(assumptions.len() + 1);
@@ -565,7 +591,12 @@ impl TransitionModel {
                 with_guard.push(g);
                 self.solver.solve(&with_guard)
             }
+        };
+        // Steer subsequent (tighter) solves toward the incumbent layout.
+        if result == SolveResult::Sat && self.solver.features().target_phase {
+            self.solver.adopt_model_targets();
         }
+        result
     }
 
     /// Activation literal for "exactly `k` blocks are used": all gates in

@@ -33,7 +33,7 @@
 //! leading `flight_meta` line:
 //!
 //! ```text
-//! {"type":"flight_meta","version":1,"capacity":4096,"every":128,"emitted":9613}
+//! {"type":"flight_meta","version":2,"capacity":4096,"every":128,"emitted":9613}
 //! {"type":"flight","seq":5517,"source":"search","at_us":81213,"conflicts":707328,...}
 //! ```
 //!
@@ -46,7 +46,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Current flight-dump format version (the `flight_meta` line).
-pub const FLIGHT_VERSION: u64 = 1;
+/// Version 2 added the `chrono_backtracks` and `blocked_restarts`
+/// search-policy counters.
+pub const FLIGHT_VERSION: u64 = 2;
 
 /// Which subsystem emitted a sample.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -141,10 +143,15 @@ pub struct SearchSample {
     pub pool_depth: u64,
     /// Queued cubes on the emitting worker's deque (scheduler samples).
     pub queue_len: u64,
+    /// Cumulative chronological backtracks (search samples).
+    pub chrono_backtracks: u64,
+    /// Cumulative restarts postponed on an abnormally deep trail
+    /// (search samples).
+    pub blocked_restarts: u64,
 }
 
 /// Number of `u64` words a sample occupies in a ring slot.
-const WORDS: usize = 19;
+const WORDS: usize = 21;
 
 impl SearchSample {
     fn to_words(self) -> [u64; WORDS] {
@@ -168,6 +175,8 @@ impl SearchSample {
             self.imported,
             self.pool_depth,
             self.queue_len,
+            self.chrono_backtracks,
+            self.blocked_restarts,
         ]
     }
 
@@ -192,6 +201,8 @@ impl SearchSample {
             imported: w[16],
             pool_depth: w[17],
             queue_len: w[18],
+            chrono_backtracks: w[19],
+            blocked_restarts: w[20],
         }
     }
 }
@@ -394,10 +405,15 @@ impl Probe {
                 ",\"learnts_core\":{},\"learnts_mid\":{},\"learnts_local\":{}",
                 s.learnts_core, s.learnts_mid, s.learnts_local
             );
+            let _ = write!(
+                out,
+                ",\"exported\":{},\"imported\":{},\"pool_depth\":{},\"queue_len\":{}",
+                s.exported, s.imported, s.pool_depth, s.queue_len
+            );
             let _ = writeln!(
                 out,
-                ",\"exported\":{},\"imported\":{},\"pool_depth\":{},\"queue_len\":{}}}",
-                s.exported, s.imported, s.pool_depth, s.queue_len
+                ",\"chrono_backtracks\":{},\"blocked_restarts\":{}}}",
+                s.chrono_backtracks, s.blocked_restarts
             );
         }
         out
@@ -501,6 +517,8 @@ impl FlightDump {
                             imported: u("imported"),
                             pool_depth: u("pool_depth"),
                             queue_len: u("queue_len"),
+                            chrono_backtracks: u("chrono_backtracks"),
+                            blocked_restarts: u("blocked_restarts"),
                         },
                     ));
                 }
@@ -591,7 +609,7 @@ mod tests {
             });
         }
         let text = p.to_jsonl();
-        assert!(text.starts_with("{\"type\":\"flight_meta\",\"version\":1"));
+        assert!(text.starts_with("{\"type\":\"flight_meta\",\"version\":2"));
         let dump = FlightDump::parse_jsonl(&text).expect("parses");
         assert_eq!(dump.version, FLIGHT_VERSION);
         assert_eq!(dump.capacity, 4);

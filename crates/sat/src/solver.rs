@@ -109,6 +109,15 @@ pub struct Stats {
     pub tier_demotions: u64,
     /// Rephasings from the best trail seen.
     pub rephases: u64,
+    /// Chronological (one-level) backtracks taken where conflict analysis
+    /// proposed a longer jump.
+    pub chrono_backtracks: u64,
+    /// LBD-EMA restarts suppressed because the trail was abnormally deep
+    /// (the search looked close to a model).
+    pub blocked_restarts: u64,
+    /// Rephasings that copied the incumbent target phases instead of the
+    /// best trail.
+    pub target_rephases: u64,
 }
 
 /// Feature toggles for the propagation kernel and the inprocessing engine.
@@ -135,6 +144,30 @@ pub struct SolverFeatures {
     pub vivify_interval: u64,
     /// Conflicts between rephasings.
     pub rephase_interval: u64,
+    /// Chronological backtracking: when conflict analysis proposes a jump
+    /// longer than `chrono_threshold`, undo a single level instead and
+    /// record the asserting literal at its assertion level. The trail may
+    /// then hold out-of-order assignments; `cancel_until` repairs them.
+    pub chrono_backtrack: bool,
+    /// Maximum non-chronological jump distance before chronological
+    /// backtracking takes over. Ignored unless `chrono_backtrack` is set.
+    pub chrono_threshold: u32,
+    /// Branching prefers externally supplied target polarities (the
+    /// synthesis incumbent) over saved phases, and the periodic rephaser
+    /// alternates between the best trail and the targets.
+    pub target_phase: bool,
+    /// Glucose-style restarts: restart as soon as the fast LBD average
+    /// rises well above the long-run average, instead of waiting out the
+    /// Luby budget.
+    pub glucose_restarts: bool,
+    /// Suppress an LBD-triggered restart while the trail is much deeper
+    /// than its long-run average at conflicts — the search is likely
+    /// closing in on a model. Ignored unless `glucose_restarts` is set.
+    pub restart_postpone: bool,
+    /// Structure-aware seeding: model builders may pre-set saved phases
+    /// and activity bumps from encoding structure (one-hot mapping groups,
+    /// sequential counters). Read by `olsq2-core`, not by the solver.
+    pub structure_seeding: bool,
 }
 
 impl Default for SolverFeatures {
@@ -150,13 +183,24 @@ impl Default for SolverFeatures {
             // database has real tenure; short solves never reach it.
             vivify_interval: 12_000,
             rephase_interval: 10_000,
+            chrono_backtrack: true,
+            // Short jumps keep the non-chronological learning signal;
+            // only genuinely long jumps (which discard whole subtrees of
+            // consistent assignments) fall back to one-level undo.
+            chrono_threshold: 100,
+            target_phase: true,
+            glucose_restarts: true,
+            restart_postpone: true,
+            structure_seeding: true,
         }
     }
 }
 
 impl SolverFeatures {
     /// The pre-overhaul kernel: regular watches for all clauses, no
-    /// inprocessing, single activity-sorted reduce.
+    /// inprocessing, single activity-sorted reduce, MiniSat-era search
+    /// policies (Luby-only restarts, non-chronological backtracking,
+    /// saved phases only).
     pub fn legacy() -> SolverFeatures {
         SolverFeatures {
             binary_watches: false,
@@ -164,6 +208,11 @@ impl SolverFeatures {
             otf_strengthen: false,
             rephase: false,
             tiered_reduce: false,
+            chrono_backtrack: false,
+            target_phase: false,
+            glucose_restarts: false,
+            restart_postpone: false,
+            structure_seeding: false,
             ..SolverFeatures::default()
         }
     }
@@ -171,6 +220,16 @@ impl SolverFeatures {
 
 /// Unit-propagation budget of one vivification pass.
 const VIVIFY_PROP_BUDGET: u64 = 30_000;
+/// Glucose restart trigger: fast LBD EMA above this multiple of the
+/// long-run LBD average fires a restart.
+const GLUCOSE_K: f64 = 1.25;
+/// Minimum conflicts inside the current restart (and after a blocked
+/// restart) before the LBD trigger may fire; also the warm-up before the
+/// long-run averages are trusted.
+const GLUCOSE_MIN_CONFLICTS: u64 = 100;
+/// A restart is postponed when the trail is deeper than this multiple of
+/// the long-run average trail depth at conflicts.
+const RESTART_BLOCK_R: f64 = 1.4;
 /// Cap on queued self-subsumption rewrites awaiting a level-0 boundary.
 const MAX_PENDING_STRENGTHEN: usize = 64;
 
@@ -319,6 +378,22 @@ pub struct Solver {
     /// Longest trail seen since the last rephase, and the phases it chose.
     best_trail_len: usize,
     best_phase: Vec<bool>,
+    /// Target polarity per variable (`Undef` = no target). Set from the
+    /// synthesis incumbent; consulted by branching and rephasing when the
+    /// `target_phase` feature is on.
+    target_phase: Vec<LBool>,
+    /// Alternates rephase sources between the best trail and the targets.
+    rephase_flip: bool,
+    /// Running sums for the Glucose restart policy: LBD and trail depth
+    /// at each conflict, and the number of conflicts accumulated.
+    lbd_sum: f64,
+    trail_depth_sum: f64,
+    avg_conflicts: u64,
+    /// Global conflict count below which the LBD restart trigger stays
+    /// disarmed (set after a blocked restart).
+    restart_hold: u64,
+    /// Scratch buffer for out-of-order trail repair in `cancel_until`.
+    cancel_buf: Vec<Lit>,
     /// Self-subsumption rewrites awaiting a level-0 boundary.
     pending_strengthen: Vec<PendingStrengthen>,
     /// Stamped literal marks for the subset test in strengthening
@@ -398,6 +473,13 @@ impl Solver {
             next_rephase: SolverFeatures::default().rephase_interval,
             best_trail_len: 0,
             best_phase: Vec::new(),
+            target_phase: Vec::new(),
+            rephase_flip: false,
+            lbd_sum: 0.0,
+            trail_depth_sum: 0.0,
+            avg_conflicts: 0,
+            restart_hold: 0,
+            cancel_buf: Vec::new(),
             pending_strengthen: Vec::new(),
             lit_stamp: Vec::new(),
             stamp: 0,
@@ -581,6 +663,50 @@ impl Solver {
     /// Current feature selection.
     pub fn features(&self) -> SolverFeatures {
         self.features
+    }
+
+    /// Sets the saved phase of `var` directly (structure-aware seeding:
+    /// the model builders know which polarity dominates an at-most-one
+    /// group before any conflict does).
+    pub fn set_saved_phase(&mut self, var: Var, phase: bool) {
+        if let Some(p) = self.phase.get_mut(var.index()) {
+            *p = phase;
+        }
+    }
+
+    /// Sets one target polarity. Targets outrank saved phases in
+    /// branching and feed alternate rephasing passes while the
+    /// `target_phase` feature is on; they persist across solves until
+    /// overwritten.
+    pub fn set_target_phase(&mut self, var: Var, phase: bool) {
+        if var.index() >= self.num_vars() {
+            return;
+        }
+        if self.target_phase.len() < self.num_vars() {
+            self.target_phase.resize(self.num_vars(), LBool::Undef);
+        }
+        self.target_phase[var.index()] = LBool::from(phase);
+    }
+
+    /// Copies the most recent model into the target phases. The synthesis
+    /// optimizers call this after each satisfiable bound so the next
+    /// (tighter) solve steers toward the incumbent layout.
+    pub fn adopt_model_targets(&mut self) {
+        if self.model.is_empty() {
+            return;
+        }
+        self.target_phase.clear();
+        self.target_phase.extend_from_slice(&self.model);
+    }
+
+    /// Whether any target polarity is currently set.
+    pub fn has_target_phases(&self) -> bool {
+        self.target_phase.iter().any(|t| *t != LBool::Undef)
+    }
+
+    /// Clears all target polarities.
+    pub fn clear_target_phases(&mut self) {
+        self.target_phase.clear();
     }
 
     /// Declares that variables `floor..` must never be touched by
@@ -928,13 +1054,22 @@ impl Solver {
 
     #[inline]
     fn unchecked_enqueue(&mut self, lit: Lit, reason: Option<ClauseRef>) {
+        let level = self.decision_level();
+        self.unchecked_enqueue_at(lit, reason, level);
+    }
+
+    /// Enqueue with an explicit recorded level. Chronological backtracking
+    /// records the asserting literal at its *assertion* level even though
+    /// it is pushed into a deeper trail block; the invariant is that a
+    /// literal's recorded level never exceeds its block index, and
+    /// `cancel_until` relocates such out-of-order literals on undo.
+    #[inline]
+    fn unchecked_enqueue_at(&mut self, lit: Lit, reason: Option<ClauseRef>, level: u32) {
         debug_assert_eq!(self.value(lit), LBool::Undef);
+        debug_assert!(level <= self.decision_level());
         let v = lit.var().index();
         self.assigns[v] = LBool::from(lit.is_positive());
-        self.vardata[v] = VarData {
-            reason,
-            level: self.decision_level(),
-        };
+        self.vardata[v] = VarData { reason, level };
         if self.save_phases {
             self.phase[v] = lit.is_positive();
         }
@@ -1070,14 +1205,39 @@ impl Solver {
             return;
         }
         let lim = self.trail_lim[level as usize];
-        for idx in (lim..self.trail.len()).rev() {
-            let lit = self.trail[idx];
-            let v = lit.var();
-            self.assigns[v.index()] = LBool::Undef;
-            self.order.insert(v, &self.activity);
+        if self.features.chrono_backtrack {
+            // Trail repair: chronological backtracking records asserting
+            // literals below their block, so blocks above `level` may hold
+            // literals that logically belong at or below it. Keep those
+            // (relocated, in order, to the end of block `level`) and undo
+            // the rest. Kept literals are never decisions — a decision's
+            // recorded level equals its block index — so `trail_lim`
+            // stays consistent.
+            debug_assert!(self.cancel_buf.is_empty());
+            for idx in lim..self.trail.len() {
+                let lit = self.trail[idx];
+                let v = lit.var();
+                if self.level(v) <= level {
+                    self.cancel_buf.push(lit);
+                } else {
+                    self.assigns[v.index()] = LBool::Undef;
+                    self.order.insert(v, &self.activity);
+                }
+            }
+            self.trail.truncate(lim);
+            self.trail.append(&mut self.cancel_buf);
+        } else {
+            for idx in (lim..self.trail.len()).rev() {
+                let lit = self.trail[idx];
+                let v = lit.var();
+                self.assigns[v.index()] = LBool::Undef;
+                self.order.insert(v, &self.activity);
+            }
+            self.trail.truncate(lim);
         }
-        self.trail.truncate(lim);
         self.trail_lim.truncate(level as usize);
+        // Kept literals re-propagate: their implications above `level`
+        // were just undone.
         self.qhead = lim;
     }
 
@@ -1162,10 +1322,15 @@ impl Solver {
                     }
                 }
             }
-            // Find the next seen literal on the trail.
+            // Find the next seen literal on the trail. Under chronological
+            // backtracking the current block may also hold relocated
+            // literals recorded below the conflict level; those are
+            // reason-side (`seen` but not on the path) and are skipped by
+            // the level check.
             loop {
                 index -= 1;
-                if self.seen[self.trail[index].var().index()] {
+                let v = self.trail[index].var();
+                if self.seen[v.index()] && self.level(v) >= self.decision_level() {
                     break;
                 }
             }
@@ -1288,6 +1453,13 @@ impl Solver {
             let q = self.trail[idx];
             let v = q.var();
             if !self.seen[v.index()] {
+                continue;
+            }
+            // Chronological unit learnts sit above `trail_lim[0]` with
+            // recorded level 0 and no reason; root-implied literals never
+            // contribute to the assumption core.
+            if self.level(v) == 0 {
+                self.seen[v.index()] = false;
                 continue;
             }
             match self.reason(v) {
@@ -1806,8 +1978,26 @@ impl Solver {
     }
 
     /// Rephases all saved phases from the best (longest) trail seen, then
-    /// resets the tracker so a new best can form.
+    /// resets the tracker so a new best can form. When target phases are
+    /// set (the synthesis incumbent), alternate passes copy the targets
+    /// instead, steering the search back toward the best layout found.
     fn rephase(&mut self) {
+        let use_target = self.features.target_phase
+            && self.rephase_flip
+            && self.target_phase.iter().any(|t| *t != LBool::Undef);
+        self.rephase_flip = !self.rephase_flip;
+        if use_target {
+            self.stats.rephases += 1;
+            self.stats.target_rephases += 1;
+            let n = self.target_phase.len().min(self.phase.len());
+            for v in 0..n {
+                if let Some(b) = self.target_phase[v].to_option() {
+                    self.phase[v] = b;
+                }
+            }
+            self.best_trail_len = 0;
+            return;
+        }
         if self.best_phase.is_empty() {
             return; // no conflict recorded a best trail yet
         }
@@ -1878,15 +2068,29 @@ impl Solver {
         if self.rng_state != 0 && !self.assigns.is_empty() && self.next_rand().is_multiple_of(64) {
             let v = Var((self.next_rand() % self.assigns.len() as u64) as u32);
             if self.assigns[v.index()] == LBool::Undef {
-                return Some(Lit::new(v, !self.phase[v.index()]));
+                return Some(Lit::new(v, !self.branch_phase(v)));
             }
         }
         loop {
             let v = self.order.pop(&self.activity)?;
             if self.assigns[v.index()] == LBool::Undef {
-                return Some(Lit::new(v, !self.phase[v.index()]));
+                return Some(Lit::new(v, !self.branch_phase(v)));
             }
         }
+    }
+
+    /// Polarity for a fresh decision: the target phase when one is set
+    /// (and the feature is on), otherwise the saved phase.
+    #[inline]
+    fn branch_phase(&self, v: Var) -> bool {
+        if self.features.target_phase {
+            if let Some(&t) = self.target_phase.get(v.index()) {
+                if let Some(b) = t.to_option() {
+                    return b;
+                }
+            }
+        }
+        self.phase[v.index()]
     }
 
     /// Solves under the given assumptions.
@@ -1972,7 +2176,9 @@ impl Solver {
                 }
             }
         };
-        self.cancel_until(0);
+        // (A root conflict discovered while settling is recorded in
+        // `ok`; the verdict for *this* call is already decided.)
+        self.settle_root();
         // Assumption-core lemma: at the moment `analyze_final` ran, the
         // core assumptions propagated to a contradiction using reason
         // clauses that are all in the proof log, so the negated core is
@@ -2035,6 +2241,18 @@ impl Solver {
             );
             self.recorder
                 .add("sat.rephases", d.rephases - stats_before.rephases);
+            self.recorder.add(
+                "sat.chrono_backtracks",
+                d.chrono_backtracks - stats_before.chrono_backtracks,
+            );
+            self.recorder.add(
+                "sat.blocked_restarts",
+                d.blocked_restarts - stats_before.blocked_restarts,
+            );
+            self.recorder.add(
+                "sat.target_rephases",
+                d.target_rephases - stats_before.target_rephases,
+            );
         }
         result
     }
@@ -2047,6 +2265,62 @@ impl Solver {
         let lbd = f64::from(lbd);
         self.lbd_ema_fast += (lbd - self.lbd_ema_fast) / 32.0;
         self.lbd_ema_slow += (lbd - self.lbd_ema_slow) / 4096.0;
+        self.lbd_sum += lbd;
+    }
+
+    /// Restart decision for the current search pass. Legacy mode waits out
+    /// the Luby budget. Glucose mode additionally restarts as soon as the
+    /// fast LBD EMA rises `GLUCOSE_K` above the long-run LBD average
+    /// (recent learning is unusually poor), unless the trail is much
+    /// deeper than its long-run conflict-time average — then the search
+    /// looks close to a model and the restart is postponed for another
+    /// `GLUCOSE_MIN_CONFLICTS` conflicts.
+    fn restart_due(&mut self, conflicts_here: u64, conflict_limit: u64) -> bool {
+        let budget_due = conflicts_here >= conflict_limit;
+        if !self.features.glucose_restarts {
+            return budget_due;
+        }
+        if self.stats.conflicts < self.restart_hold {
+            return false;
+        }
+        let warm = self.avg_conflicts >= GLUCOSE_MIN_CONFLICTS;
+        let lbd_due = conflicts_here >= GLUCOSE_MIN_CONFLICTS
+            && warm
+            && self.lbd_ema_fast > GLUCOSE_K * (self.lbd_sum / self.avg_conflicts as f64);
+        if !(budget_due || lbd_due) {
+            return false;
+        }
+        if self.features.restart_postpone
+            && warm
+            && (self.trail.len() as f64)
+                > RESTART_BLOCK_R * (self.trail_depth_sum / self.avg_conflicts as f64)
+        {
+            self.stats.blocked_restarts += 1;
+            self.restart_hold = self.stats.conflicts + GLUCOSE_MIN_CONFLICTS;
+            return false;
+        }
+        // Re-arm the trigger: the fast EMA restarts from the long-run
+        // average, the Glucose analogue of clearing the bounded queue.
+        if self.avg_conflicts > 0 {
+            self.lbd_ema_fast = self.lbd_sum / self.avg_conflicts as f64;
+        }
+        true
+    }
+
+    /// Backtracks to the root and restores the propagation fixpoint
+    /// there. Chronological trail repair relocates root-recorded literals
+    /// and rewinds `qhead`, so their implications must be recomputed
+    /// before `simplify` or the next search pass runs. Returns `false`
+    /// when root propagation conflicts: the formula is globally UNSAT.
+    fn settle_root(&mut self) -> bool {
+        self.cancel_until(0);
+        if self.qhead < self.trail.len() && self.propagate().is_some() {
+            self.ok = false;
+            self.final_conflict.clear();
+            self.log_proof(|| ProofStep::Empty);
+            return false;
+        }
+        true
     }
 
     /// Records one flight sample of the post-backjump search state. Only
@@ -2081,6 +2355,8 @@ impl Solver {
             imported: self.stats.imported,
             pool_depth: 0,
             queue_len: 0,
+            chrono_backtracks: self.stats.chrono_backtracks,
+            blocked_restarts: self.stats.blocked_restarts,
         });
     }
 
@@ -2092,12 +2368,10 @@ impl Solver {
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_here += 1;
-                if self.decision_level() == 0 {
-                    self.ok = false;
-                    self.final_conflict.clear();
-                    self.log_proof(|| ProofStep::Empty);
-                    return Some(SolveResult::Unsat);
-                }
+                // Long-run averages for the Glucose restart policy (the
+                // LBD half accumulates in `update_lbd_emas`).
+                self.trail_depth_sum += self.trail.len() as f64;
+                self.avg_conflicts += 1;
                 if self.features.rephase && self.trail.len() > self.best_trail_len {
                     // The trail is at its longest right at the conflict;
                     // remember the polarities of the deepest one seen.
@@ -2109,14 +2383,47 @@ impl Solver {
                         self.best_phase[l.var().index()] = l.is_positive();
                     }
                 }
+                // Under chronological backtracking the conflict may live
+                // entirely below the current decision level (out-of-order
+                // assignments); drop to the conflict's own level first so
+                // analyze sees it as the current one. Every literal of the
+                // conflicting clause survives the repair, so it is still
+                // falsified afterwards.
+                if self.features.chrono_backtrack {
+                    let mut clevel = 0;
+                    for k in 0..self.db.len(confl) {
+                        clevel = clevel.max(self.level(self.db.lits(confl)[k].var()));
+                    }
+                    if clevel < self.decision_level() {
+                        self.cancel_until(clevel);
+                    }
+                }
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    self.final_conflict.clear();
+                    self.log_proof(|| ProofStep::Empty);
+                    return Some(SolveResult::Unsat);
+                }
                 let (learnt, bt) = self.analyze(confl);
                 let learnt_for_proof = learnt.clone();
                 self.log_proof(|| ProofStep::Lemma(learnt_for_proof));
-                self.cancel_until(bt);
+                // Chronological backtracking: a long jump discards a whole
+                // subtree of still-consistent assignments; undo one level
+                // instead and record the asserting literal at its
+                // assertion level.
+                let dl = self.decision_level();
+                let target =
+                    if self.features.chrono_backtrack && dl - bt > self.features.chrono_threshold {
+                        self.stats.chrono_backtracks += 1;
+                        dl - 1
+                    } else {
+                        bt
+                    };
+                self.cancel_until(target);
                 if learnt.len() == 1 {
                     self.update_lbd_emas(1);
                     self.maybe_export(&learnt, 1);
-                    self.unchecked_enqueue(learnt[0], None);
+                    self.unchecked_enqueue_at(learnt[0], None, 0);
                 } else {
                     let cref = self.db.alloc(&learnt, true);
                     let lbd = self.lits_lbd(&learnt);
@@ -2127,7 +2434,7 @@ impl Solver {
                     self.learnts.push(cref);
                     self.attach(cref);
                     self.bump_clause(cref);
-                    self.unchecked_enqueue(learnt[0], Some(cref));
+                    self.unchecked_enqueue_at(learnt[0], Some(cref), bt);
                     if self.features.otf_strengthen {
                         self.maybe_queue_strengthen(confl, &learnt, cref);
                     }
@@ -2137,12 +2444,16 @@ impl Solver {
                     self.emit_flight_sample();
                 }
                 if self.out_of_budget() {
-                    self.cancel_until(0);
+                    if !self.settle_root() {
+                        return Some(SolveResult::Unsat);
+                    }
                     return Some(SolveResult::Unknown);
                 }
             } else {
-                if conflicts_here >= conflict_limit {
-                    self.cancel_until(0);
+                if self.restart_due(conflicts_here, conflict_limit) {
+                    if !self.settle_root() {
+                        return Some(SolveResult::Unsat);
+                    }
                     return None; // restart
                 }
                 if self.decision_level() == 0 {
@@ -2704,5 +3015,363 @@ mod tests {
         // Nothing newly fixed at the root: the second call is a no-op.
         s.simplify();
         assert_eq!(s.stats().simplifies, after_first);
+    }
+
+    /// Fully chronological feature set: every conflict undoes one level.
+    fn chrono_features() -> SolverFeatures {
+        SolverFeatures {
+            chrono_backtrack: true,
+            chrono_threshold: 0,
+            ..SolverFeatures::default()
+        }
+    }
+
+    /// The trail invariant chronological backtracking must preserve: a
+    /// literal's recorded level never exceeds the index of the decision
+    /// block it physically sits in, and literals kept across a repair are
+    /// never decisions.
+    fn assert_trail_invariants(s: &Solver) {
+        for (pos, &lit) in s.trail.iter().enumerate() {
+            // Block index = number of decision boundaries at or before pos.
+            let block = s.trail_lim.iter().filter(|&&lim| lim <= pos).count() as u32;
+            assert!(
+                s.level(lit.var()) <= block,
+                "trail[{pos}] = {lit:?} recorded at level {} but sits in block {block}",
+                s.level(lit.var())
+            );
+        }
+        for (level, &lim) in s.trail_lim.iter().enumerate() {
+            let v = s.trail[lim].var();
+            assert_eq!(
+                s.level(v),
+                level as u32 + 1,
+                "block boundary {level} does not hold its decision"
+            );
+        }
+    }
+
+    #[test]
+    fn chrono_cancel_until_repairs_out_of_order_trail() {
+        // Build the exact state chronological backtracking creates: an
+        // asserting literal recorded at level 1 physically inside block 2,
+        // then repair back to level 1 and to the root.
+        let mut s = Solver::new();
+        s.set_features(chrono_features());
+        let v = lits(&mut s, 4);
+        let (a, b, c, d) = (v[0], v[1], v[2], v[3]);
+        s.add_clause([!a, c]);
+        let reason = *s.clauses.last().expect("clause stored");
+
+        s.new_decision_level();
+        s.unchecked_enqueue(a, None); // decision block 1
+        s.new_decision_level();
+        s.unchecked_enqueue(b, None); // decision block 2
+        s.unchecked_enqueue_at(c, Some(reason), 1); // out-of-order: level 1 in block 2
+        s.new_decision_level();
+        s.unchecked_enqueue(d, None); // decision block 3
+        assert_trail_invariants(&s);
+
+        s.cancel_until(1);
+        // b and d (levels 2 and 3) are undone; a and the relocated c stay.
+        assert_eq!(s.decision_level(), 1);
+        assert_eq!(s.trail, vec![a, c]);
+        assert_eq!(s.value(a), LBool::True);
+        assert_eq!(s.value(c), LBool::True);
+        assert_eq!(s.value(b), LBool::Undef);
+        assert_eq!(s.value(d), LBool::Undef);
+        assert_eq!(s.level(c.var()), 1);
+        // Kept literals re-propagate: qhead rewound to the repair point.
+        assert_eq!(s.qhead, 1);
+        assert_trail_invariants(&s);
+
+        s.cancel_until(0);
+        assert_eq!(s.decision_level(), 0);
+        assert!(s.trail.is_empty());
+        assert_eq!(s.value(a), LBool::Undef);
+        assert_eq!(s.value(c), LBool::Undef);
+    }
+
+    #[test]
+    fn chrono_solve_settles_at_propagated_root() {
+        // After any solve under chronological backtracking the solver
+        // must sit at a fully propagated root: relocated literals are
+        // level 0 and `qhead` has caught up (otherwise a later
+        // `simplify` or incremental solve would run on a stale fixpoint).
+        let mut s = Solver::new();
+        s.set_features(chrono_features());
+        let mut x = [[Lit(0); 4]; 5];
+        for p in 0..5 {
+            for h in 0..4 {
+                x[p][h] = Lit::positive(s.new_var());
+            }
+        }
+        for p in 0..5 {
+            s.add_clause(x[p]);
+        }
+        for h in 0..4 {
+            for p1 in 0..5 {
+                for p2 in (p1 + 1)..5 {
+                    s.add_clause([!x[p1][h], !x[p2][h]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        assert!(
+            s.stats().chrono_backtracks > 0,
+            "threshold 0 must take the chronological path"
+        );
+        assert_eq!(s.decision_level(), 0);
+        assert_eq!(s.qhead, s.trail.len(), "root fixpoint not restored");
+        for &lit in &s.trail {
+            assert_eq!(s.level(lit.var()), 0);
+        }
+    }
+
+    #[test]
+    fn chrono_analyze_final_cores_stay_sound() {
+        // Seeded mini-fuzz of assumption solving under full chrono: the
+        // final conflict must name only assumptions, and the named subset
+        // must be genuinely contradictory by enumeration. Unit learnts
+        // recorded at level 0 (reason `None`) are exactly the literals
+        // `analyze_final` must skip rather than expand.
+        let mut rng = olsq2_prng::Rng::seed_from_u64(0xC4B0_0001);
+        for round in 0..80 {
+            let num_vars = rng.gen_range(3usize..=9);
+            let num_clauses = rng.gen_range(6usize..=30);
+            let clauses: Vec<Vec<i32>> = (0..num_clauses)
+                .map(|_| {
+                    let len = rng.gen_range(1usize..=3);
+                    (0..len)
+                        .map(|_| {
+                            let v = rng.gen_range(1i32..=num_vars as i32);
+                            if rng.gen_bool(0.5) {
+                                -v
+                            } else {
+                                v
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let codes: Vec<i32> = (0..rng.gen_range(1usize..=4))
+                .map(|_| {
+                    let v = rng.gen_range(1i32..=num_vars as i32);
+                    if rng.gen_bool(0.5) {
+                        -v
+                    } else {
+                        v
+                    }
+                })
+                .collect();
+            let holds = |assignment: u32, c: i32| {
+                let bit = (assignment >> (c.unsigned_abs() - 1)) & 1 == 1;
+                if c > 0 {
+                    bit
+                } else {
+                    !bit
+                }
+            };
+            let brute = |extra: &[i32]| {
+                (0..(1u32 << num_vars)).any(|asg| {
+                    clauses.iter().all(|cl| cl.iter().any(|&c| holds(asg, c)))
+                        && extra.iter().all(|&c| holds(asg, c))
+                })
+            };
+            let lit_of = |c: i32| Lit::new(Var::from_index(c.unsigned_abs() as usize - 1), c < 0);
+            let mut s = Solver::new();
+            s.set_features(chrono_features());
+            for _ in 0..num_vars {
+                s.new_var();
+            }
+            for cl in &clauses {
+                s.add_clause(cl.iter().map(|&c| lit_of(c)));
+            }
+            let assumptions: Vec<Lit> = codes.iter().map(|&c| lit_of(c)).collect();
+            let result = s.solve(&assumptions);
+            assert_eq!(result.is_sat(), brute(&codes), "round {round}");
+            if result == SolveResult::Unsat && brute(&[]) {
+                let core: Vec<i32> = s
+                    .final_conflict()
+                    .iter()
+                    .map(|l| {
+                        let v = l.var().index() as i32 + 1;
+                        if l.is_negative() {
+                            -v
+                        } else {
+                            v
+                        }
+                    })
+                    .collect();
+                assert!(!core.is_empty(), "round {round}: empty core");
+                for c in &core {
+                    assert!(
+                        codes.contains(c),
+                        "round {round}: core literal {c} is not an assumption"
+                    );
+                }
+                assert!(
+                    !brute(&core),
+                    "round {round}: reported core is not contradictory"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chrono_then_simplify_keeps_answers() {
+        // simplify() runs at the root on the repaired trail; it must not
+        // lose relocated literals or their implications.
+        let mut s = Solver::new();
+        s.set_features(chrono_features());
+        let v = lits(&mut s, 6);
+        s.add_clause([v[0], v[1]]);
+        s.add_clause([!v[0], v[2]]);
+        s.add_clause([!v[1], v[3]]);
+        s.add_clause([!v[2], !v[3], v[4]]);
+        s.add_clause([v[4], v[5]]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        s.simplify();
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        // Pin the instance down to UNSAT through units + simplify.
+        s.add_clause([!v[4]]);
+        s.add_clause([!v[5]]);
+        s.simplify();
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn glucose_restart_trigger_edge_cases() {
+        let mut s = Solver::new();
+        s.set_features(SolverFeatures::default());
+        // Cold start: no long-run average yet, so the LBD trigger must
+        // hold its fire no matter how bad the fast EMA looks.
+        s.lbd_ema_fast = 100.0;
+        assert!(!s.restart_due(GLUCOSE_MIN_CONFLICTS + 10, 1_000));
+
+        // Warm, fast EMA above K × long-run average → restart, and the
+        // fast EMA is re-armed to the long-run average.
+        s.avg_conflicts = GLUCOSE_MIN_CONFLICTS;
+        s.lbd_sum = 2.0 * GLUCOSE_MIN_CONFLICTS as f64; // long-run average 2.0
+        s.lbd_ema_fast = 3.0; // > 1.25 × 2.0
+        assert!(s.restart_due(GLUCOSE_MIN_CONFLICTS + 10, 1_000));
+        assert!((s.lbd_ema_fast - 2.0).abs() < 1e-9, "fast EMA re-armed");
+
+        // Below the minimum conflicts inside this restart → no trigger.
+        s.lbd_ema_fast = 3.0;
+        assert!(!s.restart_due(GLUCOSE_MIN_CONFLICTS - 1, 1_000));
+
+        // Healthy fast EMA → no trigger.
+        s.lbd_ema_fast = 2.0;
+        assert!(!s.restart_due(GLUCOSE_MIN_CONFLICTS + 10, 1_000));
+    }
+
+    #[test]
+    fn glucose_restart_postponement_blocks_and_rearms() {
+        let mut s = Solver::new();
+        s.set_features(SolverFeatures::default());
+        let v = lits(&mut s, 30);
+        // Warm averages: mean conflict-trail depth 10, so a 20-deep trail
+        // is "abnormally deep" (> 1.4 × 10) and must block the restart.
+        s.avg_conflicts = GLUCOSE_MIN_CONFLICTS;
+        s.lbd_sum = 2.0 * GLUCOSE_MIN_CONFLICTS as f64;
+        s.trail_depth_sum = 10.0 * GLUCOSE_MIN_CONFLICTS as f64;
+        s.lbd_ema_fast = 3.0;
+        s.stats.conflicts = 500;
+        s.new_decision_level();
+        for &l in v.iter().take(20) {
+            s.unchecked_enqueue(l, None);
+        }
+        assert!(
+            !s.restart_due(GLUCOSE_MIN_CONFLICTS + 10, 1_000),
+            "deep trail postpones"
+        );
+        assert_eq!(s.stats.blocked_restarts, 1);
+        assert_eq!(
+            s.restart_hold,
+            500 + GLUCOSE_MIN_CONFLICTS,
+            "postponement re-arms the hold"
+        );
+        // While held, even a budget-due restart stays blocked …
+        assert!(!s.restart_due(1_000, 1_000));
+        // … and past the hold with a drained trail the trigger fires.
+        s.cancel_until(0);
+        s.stats.conflicts = 500 + GLUCOSE_MIN_CONFLICTS;
+        assert!(s.restart_due(GLUCOSE_MIN_CONFLICTS + 10, 1_000));
+
+        // Postponement off: the deep trail no longer blocks.
+        let mut s2 = Solver::new();
+        s2.set_features(SolverFeatures {
+            restart_postpone: false,
+            ..SolverFeatures::default()
+        });
+        let v2 = lits(&mut s2, 30);
+        s2.avg_conflicts = GLUCOSE_MIN_CONFLICTS;
+        s2.lbd_sum = 2.0 * GLUCOSE_MIN_CONFLICTS as f64;
+        s2.trail_depth_sum = 10.0 * GLUCOSE_MIN_CONFLICTS as f64;
+        s2.lbd_ema_fast = 3.0;
+        s2.new_decision_level();
+        for &l in v2.iter().take(20) {
+            s2.unchecked_enqueue(l, None);
+        }
+        assert!(s2.restart_due(GLUCOSE_MIN_CONFLICTS + 10, 1_000));
+    }
+
+    #[test]
+    fn legacy_restarts_ignore_lbd_signal() {
+        let mut s = Solver::new();
+        s.set_features(SolverFeatures::legacy());
+        s.avg_conflicts = 100;
+        s.lbd_sum = 200.0;
+        s.lbd_ema_fast = 100.0; // would trigger instantly under glucose
+        assert!(!s.restart_due(999, 1_000), "legacy is Luby-budget only");
+        assert!(s.restart_due(1_000, 1_000));
+        assert_eq!(s.stats.blocked_restarts, 0);
+    }
+
+    #[test]
+    fn target_phases_steer_branching_when_enabled() {
+        // Unconstrained variables: with target_phase on, the model must
+        // reproduce the target polarities; legacy ignores them and falls
+        // back to the default phase (false).
+        let mut s = Solver::new();
+        let v = lits(&mut s, 4);
+        s.add_clause([v[0], v[1], v[2], v[3]]); // keep the instance nontrivial
+        for (i, l) in v.iter().enumerate() {
+            s.set_target_phase(l.var(), i % 2 == 0);
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        for (i, l) in v.iter().enumerate() {
+            assert_eq!(s.model_value(*l), Some(i % 2 == 0), "target ignored");
+        }
+
+        let mut s2 = Solver::new();
+        s2.set_features(SolverFeatures::legacy());
+        let w = lits(&mut s2, 4);
+        s2.add_clause([w[0], w[1], w[2], w[3]]);
+        for l in &w {
+            s2.set_target_phase(l.var(), true);
+        }
+        assert_eq!(s2.solve(&[]), SolveResult::Sat);
+        // Legacy branches on saved/default phase (false); the clause
+        // forces exactly one variable true.
+        let trues = w
+            .iter()
+            .filter(|l| s2.model_value(**l) == Some(true))
+            .count();
+        assert_eq!(trues, 1, "legacy must not follow targets");
+    }
+
+    #[test]
+    fn adopt_model_targets_copies_the_incumbent() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause([v[0]]);
+        s.add_clause([!v[0], v[1]]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert!(!s.has_target_phases());
+        s.adopt_model_targets();
+        assert!(s.has_target_phases());
+        s.clear_target_phases();
+        assert!(!s.has_target_phases());
     }
 }

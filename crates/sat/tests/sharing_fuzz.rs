@@ -492,6 +492,185 @@ fn inprocessing_survives_hostile_imports() {
     }
 }
 
+/// Search-policy stress: fully chronological backtracking (every conflict
+/// undoes one level), target-phase branching, glucose restarts, and a
+/// rephaser firing every few conflicts — the harshest composition of the
+/// modernized search features.
+fn chrono_rephase_features() -> SolverFeatures {
+    SolverFeatures {
+        chrono_backtrack: true,
+        chrono_threshold: 0,
+        target_phase: true,
+        glucose_restarts: true,
+        restart_postpone: true,
+        rephase_interval: 6,
+        vivify_interval: 4,
+        ..SolverFeatures::default()
+    }
+}
+
+fn chrono_solver(f: &Formula, proof: bool) -> Solver {
+    let mut s = Solver::new();
+    s.set_features(chrono_rephase_features());
+    if proof {
+        s.enable_proof();
+    }
+    s.set_restart_base(1);
+    for _ in 0..f.num_vars {
+        s.new_var();
+    }
+    for clause in &f.clauses {
+        s.add_clause(clause.iter().map(|&c| lit_of(c)));
+    }
+    // Hostile target polarities: alternating, unrelated to any model, so
+    // the target-following brancher and the target rephaser are both
+    // steered wrong on purpose and must still converge.
+    for v in 0..f.num_vars {
+        s.set_target_phase(Var::from_index(v), v % 2 == 0);
+    }
+    s
+}
+
+#[test]
+fn chrono_rephase_fuzz_agrees_with_brute_force() {
+    // Random corpus near the phase transition under fully chronological
+    // backtracking with adversarial target phases and a high-frequency
+    // rephaser. Verdicts must match the exhaustive reference, SAT models
+    // must satisfy the formula, and UNSAT proofs must RUP-check even
+    // though the trail holds out-of-order assignments all solve long.
+    let mut rng = Rng::seed_from_u64(0xF022_000A);
+    let mut unsat_proofs = 0;
+    for round in 0..120 {
+        let f = random_formula(&mut rng);
+        let expected_sat = brute_force(&f).is_some();
+        let ctx = format!("chrono round {round}");
+        let mut s = chrono_solver(&f, true);
+        let first = s.solve(&[]);
+        assert_eq!(first.is_sat(), expected_sat, "{ctx}");
+        if expected_sat {
+            check_model(&s, &f, &ctx);
+            // Re-solve under an assumption flipping the model: the trail
+            // repair from the first solve must leave the solver reusable,
+            // and targets adopted mid-run must not pin the old model.
+            let pivot = lit_of(
+                f.clauses
+                    .first()
+                    .and_then(|c| c.first())
+                    .copied()
+                    .unwrap_or(1),
+            );
+            let assumption = if s.model_value(pivot) == Some(true) {
+                !pivot
+            } else {
+                pivot
+            };
+            let second = s.solve(&[assumption]);
+            if second == SolveResult::Sat {
+                check_model(&s, &f, &format!("{ctx} (assumed)"));
+                assert_eq!(s.model_value(assumption), Some(true), "{ctx}");
+            }
+        } else {
+            let proof = s.take_proof().expect("proof logging was enabled");
+            assert!(proof.claims_unsat(), "{ctx}");
+            assert_eq!(proof.check(), Ok(()), "{ctx}: chrono proof");
+            unsat_proofs += 1;
+        }
+    }
+    assert!(unsat_proofs >= 10, "corpus too easy: {unsat_proofs} UNSAT");
+}
+
+#[test]
+fn chrono_rephase_agrees_on_crafted_families() {
+    for (pigeons, holes) in [(3, 2), (4, 3), (3, 3), (4, 4), (5, 4)] {
+        let f = pigeonhole(pigeons, holes);
+        let expected_sat = pigeons <= holes;
+        let ctx = format!("chrono pigeonhole({pigeons},{holes})");
+        let mut s = chrono_solver(&f, true);
+        assert_eq!(s.solve(&[]).is_sat(), expected_sat, "{ctx}");
+        if expected_sat {
+            check_model(&s, &f, &ctx);
+        } else {
+            assert!(
+                s.stats().chrono_backtracks > 0,
+                "{ctx}: threshold 0 never took the chronological path"
+            );
+            let proof = s.take_proof().expect("proof");
+            assert_eq!(proof.check(), Ok(()), "{ctx}");
+        }
+    }
+    let mut rng = Rng::seed_from_u64(0xF022_000B);
+    for round in 0..30 {
+        let nv = rng.gen_range(4usize..=14);
+        let eqs = rng.gen_range(1usize..=2 * nv);
+        let f = parity_system(&mut rng, nv, eqs);
+        let expected_sat = brute_force(&f).is_some();
+        let ctx = format!("chrono parity round {round}");
+        let mut s = chrono_solver(&f, false);
+        assert_eq!(s.solve(&[]).is_sat(), expected_sat, "{ctx}");
+        if expected_sat {
+            check_model(&s, &f, &ctx);
+        }
+    }
+}
+
+#[test]
+fn chrono_survives_hostile_imports() {
+    // The hostile mailbox (duplicates, unallocated variable, implied
+    // clauses) injected into a fully chronological solver: imports land
+    // at restart boundaries where the repaired trail may still hold
+    // out-of-order literals, and the verdict must match brute force.
+    let mut rng = Rng::seed_from_u64(0xF022_000C);
+    for round in 0..40 {
+        let f = random_formula(&mut rng);
+        let expected_sat = brute_force(&f).is_some();
+        let ctx = format!("hostile chrono round {round}");
+        let implied: Vec<Lit> = f
+            .clauses
+            .first()
+            .map(|c| c.iter().map(|&code| lit_of(code)).collect())
+            .unwrap_or_else(|| vec![lit_of(1)]);
+        let source = InjectSource {
+            payload: Mutex::new(vec![
+                implied.clone(),
+                implied.clone(),
+                vec![Lit::positive(Var::from_index(200))],
+            ]),
+        };
+        let mut s = chrono_solver(&f, false);
+        s.set_exchange(Some(Arc::new(source)));
+        assert_eq!(s.solve(&[]).is_sat(), expected_sat, "{ctx}");
+        if expected_sat {
+            check_model(&s, &f, &ctx);
+        }
+    }
+}
+
+#[test]
+fn sharing_pair_under_chrono_rephase_agrees() {
+    // The diversified sharing pair with both members running the full
+    // modern search stack: shared clauses arrive into repaired trails,
+    // and all answers must still match the plain-solver reference.
+    let mut rng = Rng::seed_from_u64(0xF022_000D);
+    for round in 0..60 {
+        let f = random_formula(&mut rng);
+        let expected_sat = brute_force(&f).is_some();
+        let ctx = format!("chrono sharing round {round}");
+        let (mut a, mut b, _hub) = diversified_pair(&f, 0xC4B7 + round, false);
+        a.set_features(chrono_rephase_features());
+        b.set_features(chrono_rephase_features());
+        let ra1 = a.solve(&[]);
+        let rb = b.solve(&[]);
+        let ra2 = a.solve(&[]);
+        for (result, who) in [(ra1, "A#1"), (rb, "B"), (ra2, "A#2")] {
+            assert_eq!(result.is_sat(), expected_sat, "{ctx}: {who}");
+        }
+        if expected_sat {
+            check_model(&a, &f, &ctx);
+            check_model(&b, &f, &ctx);
+        }
+    }
+}
+
 #[test]
 fn proofs_with_sharing_check_or_fail_explicitly() {
     // UNSAT corpus: random over-constrained formulas + pigeonhole. For

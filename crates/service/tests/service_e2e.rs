@@ -418,6 +418,26 @@ fn manifest_parses_cube_knobs() {
 }
 
 #[test]
+fn manifest_legacy_solver_pins_search_features() {
+    let legacy = r#"{"name":"l","device":"line3","legacy_solver":true,"circuit":{"num_qubits":2,"gates":[["cx",0,1]]}}"#;
+    let req = manifest::parse_request(legacy).expect("parses");
+    assert_eq!(
+        req.config.solver_features,
+        olsq2::SolverFeatures::legacy(),
+        "legacy_solver:true must disable every modern search policy"
+    );
+
+    // Absent or false leaves the modern defaults in place.
+    let modern = r#"{"name":"m","device":"line3","legacy_solver":false,"circuit":{"num_qubits":2,"gates":[["cx",0,1]]}}"#;
+    let req = manifest::parse_request(modern).expect("parses");
+    assert_eq!(req.config.solver_features, olsq2::SolverFeatures::default());
+
+    // Non-boolean values are rejected with a readable error.
+    let bad = r#"{"name":"b","device":"line3","legacy_solver":"yes","circuit":{"num_qubits":2,"gates":[["cx",0,1]]}}"#;
+    assert!(manifest::parse_request(bad).is_err());
+}
+
+#[test]
 fn deadline_killed_job_dumps_an_ingestible_flight_recording() {
     let dump_dir = std::env::temp_dir().join(format!("olsq2-flight-e2e-{}", std::process::id()));
     std::fs::create_dir_all(&dump_dir).expect("create dump dir");

@@ -1,0 +1,382 @@
+//! Differential wall for the modernized search policies (chronological
+//! backtracking, target phases, glucose restarts, structure seeding).
+//!
+//! Every policy is a [`SolverFeatures`] toggle, and none of them may move
+//! an optimum: a seeded grid of feature configurations × instance families
+//! (QAOA, QFT, QUEKO rows, scrambled assumption cubes) must agree with the
+//! `legacy()` baseline on every answer, every layout must verify, and
+//! refutations produced under chronological backtracking — including the
+//! fully chronological `chrono_threshold = 0` regime, where *every*
+//! conflict undoes a single level — must replay through the independent
+//! RUP checker.
+
+use olsq2::{Olsq2Synthesizer, SolverFeatures, SynthesisConfig};
+use olsq2_arch::{grid, line};
+use olsq2_circuit::generators::{qaoa_circuit, qft_circuit, queko_circuit};
+use olsq2_layout::verify;
+use olsq2_prng::Rng;
+use olsq2_sat::{Lit, SolveResult, Solver, Var};
+
+/// The feature grid: the legacy baseline, the full modern set, and each
+/// new search policy alone on top of legacy (so a wrong answer names the
+/// culprit directly). The chrono-only row runs with `chrono_threshold: 0`
+/// — the harshest setting, where every backjump is replaced by a
+/// one-level undo and the trail is permanently out of order.
+fn feature_grid() -> Vec<(&'static str, SolverFeatures)> {
+    let legacy = SolverFeatures::legacy();
+    vec![
+        ("legacy", legacy),
+        ("modern", SolverFeatures::default()),
+        (
+            "chrono-only",
+            SolverFeatures {
+                chrono_backtrack: true,
+                chrono_threshold: 0,
+                ..legacy
+            },
+        ),
+        (
+            "glucose-only",
+            SolverFeatures {
+                glucose_restarts: true,
+                restart_postpone: true,
+                ..legacy
+            },
+        ),
+        (
+            "target-phase-only",
+            SolverFeatures {
+                target_phase: true,
+                ..legacy
+            },
+        ),
+        (
+            "seeding-only",
+            SolverFeatures {
+                structure_seeding: true,
+                ..legacy
+            },
+        ),
+    ]
+}
+
+fn config_with(features: SolverFeatures) -> SynthesisConfig {
+    SynthesisConfig {
+        swap_duration: 1,
+        solver_features: features,
+        ..SynthesisConfig::default()
+    }
+}
+
+/// Runs `optimize_depth` under every feature configuration and checks the
+/// answers against each other (and optionally a known optimum).
+fn assert_depth_agreement(
+    label: &str,
+    circuit: &olsq2_circuit::Circuit,
+    device: &olsq2_arch::CouplingGraph,
+    known_optimum: Option<usize>,
+) {
+    let mut baseline = None;
+    for (name, features) in feature_grid() {
+        let synth = Olsq2Synthesizer::new(config_with(features));
+        let out = synth.optimize_depth(circuit, device).expect("solves");
+        assert!(out.proven_optimal, "{label}/{name}: not proven optimal");
+        assert_eq!(
+            verify(circuit, device, &out.result),
+            Ok(()),
+            "{label}/{name}: layout fails verification"
+        );
+        let depth = out.result.depth;
+        if let Some(opt) = known_optimum {
+            assert_eq!(depth, opt, "{label}/{name}: missed the known optimum");
+        }
+        match baseline {
+            None => baseline = Some(depth),
+            Some(b) => assert_eq!(
+                depth, b,
+                "{label}/{name}: optimum moved against the legacy baseline"
+            ),
+        }
+    }
+}
+
+#[test]
+fn qaoa_optima_invariant_across_feature_grid() {
+    let device = grid(3, 3);
+    for seed in [1u64, 7] {
+        let circuit = qaoa_circuit(6, seed);
+        assert_depth_agreement(&format!("qaoa seed {seed}"), &circuit, &device, None);
+    }
+}
+
+#[test]
+fn qft_optima_invariant_across_feature_grid() {
+    // QFT(4) on a line forces routing; on a 2×2 grid it embeds tighter.
+    let circuit = qft_circuit(4);
+    assert_depth_agreement("qft line4", &circuit, &line(4), None);
+    assert_depth_agreement("qft grid2x2", &circuit, &grid(2, 2), None);
+}
+
+#[test]
+fn queko_rows_recover_construction_optimum_across_feature_grid() {
+    // QUEKO instances carry their optimum by construction, so this row of
+    // the grid checks absolute optimality, not just mutual agreement.
+    let device = grid(3, 3);
+    for (depth, seed) in [(3usize, 11u64), (4, 12)] {
+        let q = queko_circuit(device.num_qubits(), device.edges(), depth, depth * 4, seed);
+        assert_depth_agreement(
+            &format!("queko depth {depth} seed {seed}"),
+            &q.circuit,
+            &device,
+            Some(q.optimal_depth),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scrambled cubes: raw-CNF differential at the solver level.
+// ---------------------------------------------------------------------
+
+fn lit_of(code: i32) -> Lit {
+    Lit::new(Var::from_index(code.unsigned_abs() as usize - 1), code < 0)
+}
+
+fn clause_satisfied(clause: &[i32], assignment: u32) -> bool {
+    clause.iter().any(|&c| {
+        let bit = (assignment >> (c.unsigned_abs() - 1)) & 1 == 1;
+        if c > 0 {
+            bit
+        } else {
+            !bit
+        }
+    })
+}
+
+fn brute_force(num_vars: usize, clauses: &[Vec<i32>], extra_units: &[i32]) -> Option<u32> {
+    'outer: for assignment in 0..(1u32 << num_vars) {
+        for clause in clauses {
+            if !clause_satisfied(clause, assignment) {
+                continue 'outer;
+            }
+        }
+        for &u in extra_units {
+            if !clause_satisfied(&[u], assignment) {
+                continue 'outer;
+            }
+        }
+        return Some(assignment);
+    }
+    None
+}
+
+/// Builds a solver over `clauses` inserted in a seeded scrambled order —
+/// the decorrelated arena layout a solver has mid-search, and the layout
+/// under which the kernel rewrite is actually exercised.
+fn scrambled_solver(
+    num_vars: usize,
+    clauses: &[Vec<i32>],
+    features: SolverFeatures,
+    seed: u64,
+    proof: bool,
+) -> Solver {
+    let mut order: Vec<usize> = (0..clauses.len()).collect();
+    let mut rng = Rng::seed_from_u64(seed);
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    let mut s = Solver::new();
+    s.set_features(features);
+    if proof {
+        s.enable_proof();
+    }
+    for _ in 0..num_vars {
+        s.new_var();
+    }
+    for &i in &order {
+        s.add_clause(clauses[i].iter().map(|&c| lit_of(c)));
+    }
+    s
+}
+
+fn random_formula(rng: &mut Rng) -> (usize, Vec<Vec<i32>>) {
+    let num_vars = rng.gen_range(4usize..=10);
+    let num_clauses = rng.gen_range(8usize..=40);
+    let clauses = (0..num_clauses)
+        .map(|_| {
+            let len = rng.gen_range(1usize..=3);
+            (0..len)
+                .map(|_| {
+                    let v = rng.gen_range(1i32..=num_vars as i32);
+                    if rng.gen_bool(0.5) {
+                        -v
+                    } else {
+                        v
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    (num_vars, clauses)
+}
+
+#[test]
+fn scrambled_assumption_cubes_agree_with_brute_force() {
+    // Each formula is solved under a full cube expansion of two random
+    // variables (all four sign combinations), per feature configuration,
+    // against exhaustive enumeration. Target phases are seeded with
+    // deliberately *hostile* polarities so a target-following brancher
+    // must still recover the right verdict.
+    let mut rng = Rng::seed_from_u64(0x5EA2_C8D1);
+    for round in 0..40 {
+        let (num_vars, clauses) = random_formula(&mut rng);
+        let a = rng.gen_range(1i32..=num_vars as i32);
+        let b = rng.gen_range(1i32..=num_vars as i32);
+        for (name, features) in feature_grid() {
+            let mut s = scrambled_solver(num_vars, &clauses, features, 0xAB00 + round, false);
+            if features.target_phase {
+                for v in 0..num_vars {
+                    s.set_target_phase(Var::from_index(v), v % 2 == 0);
+                }
+            }
+            for signs in 0..4u32 {
+                let cube = [
+                    if signs & 1 == 0 { a } else { -a },
+                    if signs & 2 == 0 { b } else { -b },
+                ];
+                let expected = brute_force(num_vars, &clauses, &cube);
+                let assumptions: Vec<Lit> = cube.iter().map(|&c| lit_of(c)).collect();
+                let result = s.solve(&assumptions);
+                match expected {
+                    Some(_) => {
+                        assert_eq!(
+                            result,
+                            SolveResult::Sat,
+                            "round {round}/{name}: cube {cube:?} should be SAT"
+                        );
+                        for clause in &clauses {
+                            assert!(
+                                clause
+                                    .iter()
+                                    .any(|&c| s.model_value(lit_of(c)) == Some(true)),
+                                "round {round}/{name}: model violates {clause:?}"
+                            );
+                        }
+                        for &l in &assumptions {
+                            assert_eq!(
+                                s.model_value(l),
+                                Some(true),
+                                "round {round}/{name}: assumption dishonored"
+                            );
+                        }
+                    }
+                    None => assert_eq!(
+                        result,
+                        SolveResult::Unsat,
+                        "round {round}/{name}: cube {cube:?} should be UNSAT"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn chronological_refutations_replay_through_rup_checker() {
+    // Fully chronological mode (threshold 0) on scrambled UNSAT formulas:
+    // the DRAT log must still replay through the independent checker,
+    // proving that out-of-order trails never corrupt clause learning.
+    let chrono = SolverFeatures {
+        chrono_backtrack: true,
+        chrono_threshold: 0,
+        ..SolverFeatures::default()
+    };
+    let mut rng = Rng::seed_from_u64(0x5EA2_F00F);
+    let mut refutations = 0;
+    for round in 0..80 {
+        let (num_vars, clauses) = random_formula(&mut rng);
+        if brute_force(num_vars, &clauses, &[]).is_some() {
+            continue;
+        }
+        let mut s = scrambled_solver(num_vars, &clauses, chrono, 0xCB00 + round, true);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat, "round {round}");
+        let proof = s.take_proof().expect("proof recorded");
+        assert!(proof.claims_unsat(), "round {round}");
+        assert_eq!(proof.check(), Ok(()), "round {round}: proof rejected");
+        refutations += 1;
+    }
+    assert!(
+        refutations >= 10,
+        "corpus too easy: {refutations} UNSAT rounds"
+    );
+}
+
+#[test]
+fn pigeonhole_chrono_proof_checks_and_backtracks_chronologically() {
+    // PHP(5,4) guarantees deep conflicts; with threshold 0 the chrono
+    // path must actually fire, and the refutation must still check.
+    let (p, h) = (5usize, 4usize);
+    let mut s = Solver::new();
+    s.set_features(SolverFeatures {
+        chrono_backtrack: true,
+        chrono_threshold: 0,
+        ..SolverFeatures::default()
+    });
+    s.enable_proof();
+    let x: Vec<Vec<Lit>> = (0..p)
+        .map(|_| (0..h).map(|_| Lit::positive(s.new_var())).collect())
+        .collect();
+    for row in &x {
+        s.add_clause(row.iter().copied());
+    }
+    for p1 in 0..p {
+        for p2 in (p1 + 1)..p {
+            for (&a, &b) in x[p1].iter().zip(&x[p2]) {
+                s.add_clause([!a, !b]);
+            }
+        }
+    }
+    assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    assert!(
+        s.stats().chrono_backtracks > 0,
+        "threshold 0 must exercise the chronological path"
+    );
+    let proof = s.take_proof().expect("proof recorded");
+    assert!(proof.claims_unsat());
+    assert_eq!(proof.check(), Ok(()));
+}
+
+#[test]
+fn synthesis_refutation_under_chrono_is_rup_checkable() {
+    // End-to-end: a QUEKO instance bounded one step below its constructed
+    // optimum is UNSAT; with proof logging on and fully chronological
+    // backtracking, the layout-synthesis refutation must replay through
+    // the RUP checker. The bound enters as a unit *clause* (not an
+    // assumption) so the log closes with the empty clause.
+    use olsq2::FlatModel;
+    let device = grid(3, 3);
+    let q = queko_circuit(device.num_qubits(), device.edges(), 4, 16, 21);
+    let config = SynthesisConfig {
+        swap_duration: 1,
+        proof_log: true,
+        // A non-incremental build has no window guard, so the refutation
+        // needs no assumptions and the log can close with ⊥.
+        incremental: false,
+        solver_features: SolverFeatures {
+            chrono_backtrack: true,
+            chrono_threshold: 0,
+            ..SolverFeatures::default()
+        },
+        ..SynthesisConfig::default()
+    };
+    let mut model =
+        FlatModel::build(&q.circuit, &device, &config, q.optimal_depth + 2).expect("builds");
+    let too_tight = model.depth_bound(q.optimal_depth - 1);
+    model.solver_mut().add_clause([too_tight]);
+    assert_eq!(model.solve(&[]), SolveResult::Unsat);
+    let proof = model
+        .solver_mut()
+        .take_proof()
+        .expect("proof logging was enabled");
+    assert!(proof.claims_unsat());
+    assert_eq!(proof.check(), Ok(()), "synthesis refutation rejected");
+}
