@@ -1,0 +1,386 @@
+//! A/B harness for encode-once cohort forking: spawning a solver cohort
+//! as one template encode plus O(memcpy) [`FlatModel::fork`]s versus
+//! paying a full encode per member.
+//!
+//! Three measurements, written to `BENCH_fork.json` at the repo root:
+//!
+//! * **cohort-spawn**: wall-clock to stand up an 8-member cohort —
+//!   encode-once + 7 forks versus 8 independent encodes — plus the
+//!   median single-member fork latency, on QUEKO and QAOA instances.
+//!   The template's and a fork's verdict at the widest depth bound are
+//!   cross-checked against a freshly encoded member.
+//! * **time-to-first-conflict**: per-path total of spawn cost plus the
+//!   time for each member to reach its first conflict (conflict budget
+//!   of one at an infeasible depth bound) — the latency until a cohort
+//!   member starts contributing learned clauses.
+//! * **end-to-end**: diversified same-encoding sharing portfolio
+//!   (`optimize_depth`) with `fork_spawn` on versus off; optima must
+//!   agree.
+//!
+//! The harness exits non-zero when any verdict/optimum mismatches or
+//! when the geomean cohort-spawn speedup falls below 3× (the JSON is
+//! written first either way).
+
+use olsq2::{
+    EncodingConfig, FlatModel, PortfolioConfig, PortfolioSynthesizer, SolverDiversification,
+    SynthesisConfig,
+};
+use olsq2_arch::{grid, CouplingGraph};
+use olsq2_bench::BenchOpts;
+use olsq2_circuit::generators::{qaoa_circuit, queko_circuit};
+use olsq2_circuit::{Circuit, DependencyGraph};
+use olsq2_sat::SolveResult;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const COHORT: usize = 8;
+const DIVERSIFY_SEED: u64 = 0xF04B;
+/// Spawn timings are medians over this many repetitions — single-shot
+/// spawn costs are a few hundred microseconds and allocator/page-cache
+/// noise at that scale swings a lone sample by 2x.
+const SPAWN_REPS: usize = 5;
+
+fn median(samples: &mut [u128]) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+struct SpawnRow {
+    case: String,
+    device: String,
+    members: usize,
+    /// Template encode (the one encode the fork path pays).
+    encode_us: u128,
+    /// Median single-member fork latency.
+    fork_member_us: u128,
+    /// Encode-once + (n−1) forks, total.
+    fork_spawn_us: u128,
+    /// n independent encodes, total.
+    fresh_spawn_us: u128,
+    /// Spawn + first-conflict, summed over the forked cohort.
+    fork_ttfc_us: u128,
+    /// Spawn + first-conflict, summed over the fresh cohort.
+    fresh_ttfc_us: u128,
+    agree: bool,
+}
+
+struct EndToEndRow {
+    case: String,
+    device: String,
+    fork_us: u128,
+    fresh_us: u128,
+    depth: usize,
+    agree: bool,
+}
+
+fn member_config(base: &SynthesisConfig, index: usize) -> SynthesisConfig {
+    let mut cfg = base.clone();
+    cfg.diversification = SolverDiversification::variant(DIVERSIFY_SEED, index);
+    cfg
+}
+
+/// Time for `member` to hit its first conflict at an infeasible bound.
+fn first_conflict_us(member: &mut FlatModel) -> u128 {
+    let start = Instant::now();
+    member.solver_mut().set_conflict_budget(Some(1));
+    let act = member.depth_bound(1);
+    let res = member.solve(&[act]);
+    member.solver_mut().set_conflict_budget(None);
+    assert_ne!(res, SolveResult::Sat, "depth bound 1 must not be feasible");
+    start.elapsed().as_micros()
+}
+
+fn cohort_spawn(
+    case: &str,
+    circuit: &Circuit,
+    graph: &CouplingGraph,
+    swap_duration: usize,
+    rows: &mut Vec<SpawnRow>,
+) {
+    let base = SynthesisConfig::with_swap_duration(swap_duration);
+    let t_ub = DependencyGraph::new(circuit).longest_chain().max(1) + 2;
+
+    // Both spawn paths are repeated and reported as medians; the last
+    // repetition's cohorts carry on into the first-conflict and verdict
+    // phases.
+    let mut encode_samples = Vec::with_capacity(SPAWN_REPS);
+    let mut fork_spawn_samples = Vec::with_capacity(SPAWN_REPS);
+    let mut fresh_spawn_samples = Vec::with_capacity(SPAWN_REPS);
+    let mut fork_lat: Vec<u128> = Vec::with_capacity(SPAWN_REPS * (COHORT - 1));
+    let mut cohorts = None;
+    for _ in 0..SPAWN_REPS {
+        // Fork path: one encode, then COHORT−1 forks off the template.
+        let fork_start = Instant::now();
+        let mut template = match FlatModel::build(circuit, graph, &member_config(&base, 0), t_ub) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("skipping {case}: {e}");
+                return;
+            }
+        };
+        encode_samples.push(fork_start.elapsed().as_micros());
+        let mut forked: Vec<FlatModel> = Vec::with_capacity(COHORT - 1);
+        for i in 1..COHORT {
+            let t = Instant::now();
+            forked.push(template.fork(&member_config(&base, i)));
+            fork_lat.push(t.elapsed().as_micros());
+        }
+        fork_spawn_samples.push(fork_start.elapsed().as_micros());
+
+        // Fresh path: every member pays a full encode.
+        let fresh_start = Instant::now();
+        let fresh: Vec<FlatModel> = (0..COHORT)
+            .map(|i| {
+                FlatModel::build(circuit, graph, &member_config(&base, i), t_ub)
+                    .expect("fresh build succeeds where the template did")
+            })
+            .collect();
+        fresh_spawn_samples.push(fresh_start.elapsed().as_micros());
+        cohorts = Some((template, forked, fresh));
+    }
+    let encode_us = median(&mut encode_samples);
+    let fork_spawn_us = median(&mut fork_spawn_samples);
+    let fresh_spawn_us = median(&mut fresh_spawn_samples);
+    let fork_member_us = median(&mut fork_lat);
+    let (mut template, mut forked, mut fresh) = cohorts.expect("SPAWN_REPS > 0");
+
+    // Time-to-first-conflict, spawn included, summed over each cohort:
+    // every member reaches its first conflict at an infeasible bound.
+    let mut fork_ttfc_us = fork_spawn_us + first_conflict_us(&mut template);
+    for m in forked.iter_mut() {
+        fork_ttfc_us += first_conflict_us(m);
+    }
+    let mut fresh_ttfc_us = fresh_spawn_us;
+    for m in fresh.iter_mut() {
+        fresh_ttfc_us += first_conflict_us(m);
+    }
+
+    // Verdict cross-check at the widest bound: template, a fork, and a
+    // freshly encoded member must agree.
+    let acts = (
+        template.depth_bound(t_ub),
+        forked[0].depth_bound(t_ub),
+        fresh[0].depth_bound(t_ub),
+    );
+    let reference = fresh[0].solve(&[acts.2]);
+    let agree = template.solve(&[acts.0]) == reference && forked[0].solve(&[acts.1]) == reference;
+
+    rows.push(SpawnRow {
+        case: case.to_string(),
+        device: graph.name().to_string(),
+        members: COHORT,
+        encode_us,
+        fork_member_us,
+        fork_spawn_us,
+        fresh_spawn_us,
+        fork_ttfc_us,
+        fresh_ttfc_us,
+        agree,
+    });
+}
+
+fn end_to_end(
+    case: &str,
+    circuit: &Circuit,
+    graph: &CouplingGraph,
+    swap_duration: usize,
+    opts: &BenchOpts,
+    rows: &mut Vec<EndToEndRow>,
+) {
+    let mut base = SynthesisConfig::with_swap_duration(swap_duration);
+    base.time_budget = Some(opts.budget);
+    let mut fresh_base = base.clone();
+    fresh_base.fork_spawn = false;
+    let cfg = PortfolioConfig::standard()
+        .with_encodings(vec![EncodingConfig::int()])
+        .diversify(4)
+        .with_sharing()
+        .with_seed(opts.seed);
+
+    let start = Instant::now();
+    let forked = PortfolioSynthesizer::with_config(base, &cfg).optimize_depth(circuit, graph);
+    let fork_us = start.elapsed().as_micros();
+    let start = Instant::now();
+    let fresh = PortfolioSynthesizer::with_config(fresh_base, &cfg).optimize_depth(circuit, graph);
+    let fresh_us = start.elapsed().as_micros();
+
+    match (forked, fresh) {
+        (Ok(forked), Ok(fresh)) => rows.push(EndToEndRow {
+            case: case.to_string(),
+            device: graph.name().to_string(),
+            fork_us,
+            fresh_us,
+            depth: forked.0.result.depth,
+            agree: forked.0.result.depth == fresh.0.result.depth,
+        }),
+        (a, b) => {
+            eprintln!(
+                "skipping {case}: fork={:?} fresh={:?}",
+                a.err().map(|e| e.to_string()),
+                b.err().map(|e| e.to_string())
+            );
+        }
+    }
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+
+    let mut spawn: Vec<SpawnRow> = Vec::new();
+    let mut e2e: Vec<EndToEndRow> = Vec::new();
+
+    let queko_cases: Vec<(CouplingGraph, usize, usize)> = if opts.full {
+        vec![
+            (grid(3, 3), 6, 24),
+            (grid(4, 4), 8, 48),
+            (grid(4, 4), 12, 72),
+        ]
+    } else {
+        vec![(grid(2, 3), 3, 8), (grid(3, 3), 4, 12)]
+    };
+    for (graph, depth, gates) in queko_cases {
+        let q = queko_circuit(graph.num_qubits(), graph.edges(), depth, gates, opts.seed);
+        let case = format!("queko-{depth}x{gates}");
+        cohort_spawn(&case, &q.circuit, &graph, 3, &mut spawn);
+        end_to_end(&case, &q.circuit, &graph, 3, &opts, &mut e2e);
+    }
+
+    let qaoa_cases: Vec<(usize, CouplingGraph)> = if opts.full {
+        vec![(8, grid(3, 3)), (10, grid(4, 3)), (12, grid(4, 4))]
+    } else {
+        vec![(6, grid(2, 3)), (8, grid(3, 3))]
+    };
+    for (n, graph) in qaoa_cases {
+        let circuit = qaoa_circuit(n, opts.seed);
+        let case = format!("qaoa-{n}");
+        cohort_spawn(&case, &circuit, &graph, 1, &mut spawn);
+        end_to_end(&case, &circuit, &graph, 1, &opts, &mut e2e);
+    }
+
+    println!(
+        "Cohort spawn: encode-once + {} forks vs {COHORT} encodes\n",
+        COHORT - 1
+    );
+    println!(
+        "{:<14} {:<10} {:>10} {:>10} {:>11} {:>11} {:>8}",
+        "benchmark", "device", "encode", "fork/mem", "fork-spawn", "fresh", "speedup"
+    );
+    for r in &spawn {
+        println!(
+            "{:<14} {:<10} {:>8}us {:>8}us {:>9}us {:>9}us {:>7.1}x{}",
+            r.case,
+            r.device,
+            r.encode_us,
+            r.fork_member_us,
+            r.fork_spawn_us,
+            r.fresh_spawn_us,
+            r.fresh_spawn_us as f64 / r.fork_spawn_us.max(1) as f64,
+            if r.agree { "" } else { "  VERDICT MISMATCH" },
+        );
+    }
+
+    println!("\nTime to first conflict, whole cohort (spawn included)\n");
+    println!(
+        "{:<14} {:<10} {:>12} {:>12} {:>8}",
+        "benchmark", "device", "forked", "fresh", "speedup"
+    );
+    for r in &spawn {
+        println!(
+            "{:<14} {:<10} {:>10}us {:>10}us {:>7.1}x",
+            r.case,
+            r.device,
+            r.fork_ttfc_us,
+            r.fresh_ttfc_us,
+            r.fresh_ttfc_us as f64 / r.fork_ttfc_us.max(1) as f64,
+        );
+    }
+
+    println!("\nEnd-to-end sharing portfolio (diversify 4), fork_spawn on vs off\n");
+    println!(
+        "{:<14} {:<10} {:>12} {:>12} {:>8} {:>6}",
+        "benchmark", "device", "fork", "fresh", "speedup", "depth"
+    );
+    for r in &e2e {
+        println!(
+            "{:<14} {:<10} {:>10}us {:>10}us {:>7.2}x {:>6}{}",
+            r.case,
+            r.device,
+            r.fork_us,
+            r.fresh_us,
+            r.fresh_us as f64 / r.fork_us.max(1) as f64,
+            r.depth,
+            if r.agree { "" } else { "  OPTIMUM MISMATCH" },
+        );
+    }
+
+    let mismatches =
+        spawn.iter().filter(|r| !r.agree).count() + e2e.iter().filter(|r| !r.agree).count();
+    let spawn_geomean = if spawn.is_empty() {
+        0.0
+    } else {
+        (spawn
+            .iter()
+            .map(|r| (r.fresh_spawn_us as f64 / r.fork_spawn_us.max(1) as f64).ln())
+            .sum::<f64>()
+            / spawn.len() as f64)
+            .exp()
+    };
+    println!("\ncohort-spawn geomean speedup: {spawn_geomean:.1}x");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"harness\": \"fork\",");
+    let _ = writeln!(json, "  \"seed\": {},", opts.seed);
+    let _ = writeln!(json, "  \"full\": {},", opts.full);
+    let _ = writeln!(json, "  \"cohort\": {COHORT},");
+    let _ = writeln!(json, "  \"mismatches\": {mismatches},");
+    let _ = writeln!(json, "  \"spawn_geomean\": {spawn_geomean:.4},");
+    json.push_str("  \"cohort_spawn\": [\n");
+    for (i, r) in spawn.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"case\": \"{}\", \"device\": \"{}\", \"members\": {}, \"encode_us\": {}, \
+             \"fork_member_us\": {}, \"fork_spawn_us\": {}, \"fresh_spawn_us\": {}, \
+             \"fork_ttfc_us\": {}, \"fresh_ttfc_us\": {}, \"agree\": {}}}{}",
+            r.case,
+            r.device,
+            r.members,
+            r.encode_us,
+            r.fork_member_us,
+            r.fork_spawn_us,
+            r.fresh_spawn_us,
+            r.fork_ttfc_us,
+            r.fresh_ttfc_us,
+            r.agree,
+            if i + 1 < spawn.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n  \"end_to_end\": [\n");
+    for (i, r) in e2e.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"case\": \"{}\", \"device\": \"{}\", \"fork_us\": {}, \"fresh_us\": {}, \
+             \"depth\": {}, \"agree\": {}}}{}",
+            r.case,
+            r.device,
+            r.fork_us,
+            r.fresh_us,
+            r.depth,
+            r.agree,
+            if i + 1 < e2e.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fork.json");
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("\nwrote {out}"),
+        Err(e) => eprintln!("\nfailed to write {out}: {e}"),
+    }
+    assert_eq!(mismatches, 0, "fork/fresh disagreed; see tables above");
+    let gate = opts.gate.unwrap_or(3.0);
+    assert!(
+        spawn_geomean >= gate,
+        "cohort-spawn geomean {spawn_geomean:.2}x fell below the {gate:.2}x gate"
+    );
+}

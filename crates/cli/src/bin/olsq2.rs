@@ -6,12 +6,13 @@
 //!       [--tool olsq2|tb|sabre|satmap|astar|portfolio|cube] [--output out.qasm]
 //!       [--diversify N] [--portfolio-share] [--no-incremental] [--legacy-solver]
 //!       [--no-chrono] [--no-target-phase] [--no-glucose-restarts] [--no-structure-seeding]
-//!       [--cube-workers N] [--cube-depth N]
+//!       [--no-fork] [--cube-workers N] [--cube-depth N]
 //!       [--trace-out trace.jsonl] [--report]
 //!       [--flight-out flight.jsonl] [--flight-every N] [--flight-capacity N]
 //!
 //! olsq2 serve-batch --manifest <file|-> [--output <file|->]
 //!       [--workers N] [--queue N] [--cache N] [--no-incremental]
+//!       [--no-fork] [--snapshot-on-preempt]
 //!       [--trace-out trace.jsonl] [--prom-out metrics.prom] [--prom-every SECS]
 //!       [--http ADDR] [--flight-dir DIR] [--flight-every N] [--flight-capacity N]
 //!       [--report]
@@ -69,6 +70,12 @@
 //! `--no-*` flags peel one policy at a time off the modern default for
 //! ablations.
 //!
+//! `--no-fork` disables encode-once cohort forking: every portfolio
+//! member, cube worker, and service job then pays its own encode instead
+//! of forking a shared template solver. In `serve-batch`,
+//! `--snapshot-on-preempt` lets deadline-cut jobs stash an O(memcpy)
+//! solver snapshot so an identical resubmission resumes from it.
+//!
 //! `trace-diff` aligns two saved traces by their (objective, bound)
 //! iteration schedule and attributes every per-iteration time delta to
 //! encode time, solve throughput, or search divergence — the offline
@@ -117,11 +124,12 @@ fn usage() -> ! {
           [--swap-duration N] [--budget SECS] [--encoding int|bv|euf] [--output out.qasm] \\
           [--diversify N] [--portfolio-share] [--no-incremental] [--legacy-solver] \\
           [--no-chrono] [--no-target-phase] [--no-glucose-restarts] [--no-structure-seeding] \\
-          [--cube-workers N] [--cube-depth N] \\
+          [--no-fork] [--cube-workers N] [--cube-depth N] \\
           [--trace-out trace.jsonl] [--report] \\
           [--flight-out flight.jsonl] [--flight-every N] [--flight-capacity N]
        olsq2 serve-batch --manifest <file|-> [--output <file|->] \\
           [--workers N] [--queue N] [--cache N] [--no-incremental] \\
+          [--no-fork] [--snapshot-on-preempt] \\
           [--trace-out trace.jsonl] [--prom-out metrics.prom] [--prom-every SECS] \\
           [--http ADDR] [--flight-dir DIR] [--flight-every N] [--flight-capacity N] \\
           [--report]
@@ -162,6 +170,7 @@ fn serve_batch(args: impl Iterator<Item = String>) {
     let mut flight_capacity = 1024usize;
     let mut flight = false;
     let mut report = false;
+    let mut no_fork = false;
     let mut config = ServiceConfig::default();
     let mut args = args;
     while let Some(a) = args.next() {
@@ -175,6 +184,8 @@ fn serve_batch(args: impl Iterator<Item = String>) {
             "--queue" => config.queue_capacity = val(&mut args).parse().unwrap_or_else(|_| usage()),
             "--cache" => config.cache_capacity = val(&mut args).parse().unwrap_or_else(|_| usage()),
             "--no-incremental" => config.incremental = false,
+            "--no-fork" => no_fork = true,
+            "--snapshot-on-preempt" => config.snapshot_on_preempt = true,
             "--trace-out" => trace_out = Some(val(&mut args)),
             "--prom-out" => prom_out = Some(val(&mut args)),
             "--prom-every" => {
@@ -235,10 +246,15 @@ fn serve_batch(args: impl Iterator<Item = String>) {
         });
     }
     let text = read_input(&manifest_path);
-    let requests = manifest::parse_manifest(&text).unwrap_or_else(|e| {
+    let mut requests = manifest::parse_manifest(&text).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
     });
+    if no_fork {
+        for req in &mut requests {
+            req.config.fork_spawn = false;
+        }
+    }
     let total = requests.len();
     eprintln!(
         "serve-batch: {total} job(s), {} worker(s), queue {}, cache {}",
@@ -788,6 +804,7 @@ fn main() {
     let mut no_target_phase = false;
     let mut no_glucose = false;
     let mut no_structure_seeding = false;
+    let mut fork_spawn = true;
     let mut flight_out: Option<String> = None;
     let mut flight_every = 128u64;
     let mut flight_capacity = 4096usize;
@@ -827,6 +844,7 @@ fn main() {
             "--no-target-phase" => no_target_phase = true,
             "--no-glucose-restarts" => no_glucose = true,
             "--no-structure-seeding" => no_structure_seeding = true,
+            "--no-fork" => fork_spawn = false,
             "--flight-out" => flight_out = Some(val(&mut args)),
             "--flight-every" => {
                 flight_every = val(&mut args)
@@ -925,6 +943,7 @@ fn main() {
         recorder: recorder.clone(),
         probe: probe.clone(),
         incremental,
+        fork_spawn,
         solver_features: {
             // `--legacy-solver` wins outright (including the new search
             // policies); the `--no-*` knobs peel single features off the

@@ -314,6 +314,23 @@ pub struct SynthesisConfig {
     /// with [`Self::clause_exchange`]: imported clauses carry no
     /// derivation, so proof-mode runs must not share.
     pub proof_log: bool,
+    /// Spawn cohort members by forking an already-encoded base solver
+    /// ([`crate::FlatModel::fork`]) instead of re-encoding per member.
+    /// Applies to portfolio cohorts, pooled cube workers, and
+    /// [`Self::model_seed`] consumption. `false` forces the old
+    /// encode-per-member path (A/B comparisons, `--no-fork`).
+    pub fork_spawn: bool,
+    /// An encoded-model template to fork from instead of encoding: when
+    /// set (and [`Self::fork_spawn`] is on), the model builder forks the
+    /// seed — after verifying it matches this exact instance — and only
+    /// re-applies the per-member knobs. Installed by the portfolio/cube
+    /// spawners and by the service's snapshot-on-preempt resume path.
+    pub model_seed: Option<crate::ModelSeed>,
+    /// Where to publish the encoded state when the budget expires
+    /// mid-descent: a degraded (preempted) run forks its final model into
+    /// this slot, and a later resume attaches it as [`Self::model_seed`].
+    /// `None` (the default) skips the capture entirely.
+    pub snapshot_slot: Option<crate::SnapshotSlot>,
 }
 
 impl Default for SynthesisConfig {
@@ -337,6 +354,9 @@ impl Default for SynthesisConfig {
             incremental: true,
             solver_features: SolverFeatures::default(),
             proof_log: false,
+            fork_spawn: true,
+            model_seed: None,
+            snapshot_slot: None,
         }
     }
 }

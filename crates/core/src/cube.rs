@@ -204,9 +204,13 @@ impl CubeSynthesizer {
         &self.params
     }
 
-    /// Builds the phase-2 worker cohort: `n` deterministic rebuilds of
-    /// the model at the tight window `t_ub`, diversified per worker,
-    /// wired to a fresh sharing pool unless proving.
+    /// Builds the phase-2 worker cohort at the tight window `t_ub`,
+    /// diversified per worker and wired to a fresh sharing pool unless
+    /// proving. With [`SynthesisConfig::fork_spawn`] on (the default),
+    /// only worker 0 pays an encode — its no-op-diversified model doubles
+    /// as the cohort template and workers `1..n` are O(memcpy)
+    /// [forks](FlatModel::fork) of it, each re-applying its own
+    /// diversification knobs and re-binding its own sharing endpoint.
     fn build_cohort(
         &self,
         circuit: &Circuit,
@@ -229,23 +233,35 @@ impl CubeSynthesizer {
         } else {
             (0..n).map(|_| None).collect()
         };
-        let mut slots = Vec::with_capacity(n);
-        for (i, endpoint) in endpoints.into_iter().enumerate() {
+        let mut models: Vec<FlatModel> = Vec::with_capacity(n);
+        for (i, endpoint) in endpoints.iter().enumerate() {
             let mut cfg = config.clone();
             cfg.diversification = SolverDiversification::variant(CUBE_SEED, i);
             cfg.proof_log = self.params.prove;
             cfg.clause_exchange = endpoint.clone().map(|e| e as Arc<dyn ClauseExchange>);
-            let span = config.recorder.span("encode");
-            span.set("t_ub", t_ub);
-            span.set("cube_worker", i);
-            let mut model = FlatModel::build(circuit, graph, &cfg, t_ub)?;
-            if config.recorder.is_enabled() {
-                let (vars, clauses) = model.formula_size();
-                span.set("vars", vars);
-                span.set("clauses", clauses);
-            }
+            let mut model = if config.fork_spawn && i > 0 {
+                let span = config.recorder.span("fork");
+                span.set("t_ub", t_ub);
+                span.set("cube_worker", i);
+                models[0].fork(&cfg)
+            } else {
+                let span = config.recorder.span("encode");
+                span.set("t_ub", t_ub);
+                span.set("cube_worker", i);
+                let model = FlatModel::build(circuit, graph, &cfg, t_ub)?;
+                if config.recorder.is_enabled() {
+                    let (vars, clauses) = model.formula_size();
+                    span.set("vars", vars);
+                    span.set("clauses", clauses);
+                }
+                model
+            };
             model.solver_mut().set_recorder(config.recorder.clone());
             model.solver_mut().set_probe(config.probe.clone());
+            models.push(model);
+        }
+        let mut slots = Vec::with_capacity(n);
+        for (model, endpoint) in models.into_iter().zip(endpoints) {
             slots.push(Mutex::new(Some(CubeModel::new(model, endpoint))));
         }
         Ok(slots)

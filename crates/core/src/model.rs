@@ -20,7 +20,7 @@ use crate::vars::{FdVar, TimeVars};
 use olsq2_arch::CouplingGraph;
 use olsq2_circuit::{Circuit, DependencyGraph, Operands};
 use olsq2_encode::{
-    at_most_one, gates, CardinalityNetwork, CnfSink, ConstraintFamily, FamilyTally,
+    at_most_one, gates, BatchSink, CardinalityNetwork, CnfSink, ConstraintFamily, FamilyTally,
 };
 use olsq2_layout::{LayoutResult, SwapOp};
 use olsq2_sat::{Lit, SolveResult, Solver};
@@ -110,6 +110,13 @@ pub struct FlatModel {
     /// variable space is pinned by variable count + allocation history
     /// instead.
     alloc_history: u64,
+    /// The clause-sharing fence that is (or would be) in force for this
+    /// model: the exact `(fingerprint, num_vars)` pair last passed to
+    /// [`olsq2_sat::ClauseExchange::bind_space`]. Tracked even without an
+    /// exchange so a fork can be re-bound later — a fork's variable space
+    /// is bit-identical to its base's, so the pair carries over verbatim.
+    bound_fingerprint: u64,
+    bound_vars: usize,
 }
 
 impl FlatModel {
@@ -177,15 +184,19 @@ impl FlatModel {
             .map(|_| (0..t_ub).map(|_| new_mapping_var(&mut solver)).collect())
             .collect();
 
+        // Injectivity is pure clause emission: stage it through a
+        // BatchSink so the clauses land via one bulk hand-off per buffer
+        // instead of a solver call each.
+        let mut batch = BatchSink::new(&mut solver);
         match enc.mapping {
             MappingEncoding::OneHot => {
                 // Pairwise per (t, p): the "int"-style injectivity.
                 for t in 0..t_ub {
                     for p in 0..np {
                         let sels: Vec<Lit> = (0..nq)
-                            .map(|q| mapping[q][t].eq_lit(&mut solver, p))
+                            .map(|q| mapping[q][t].eq_lit(&mut batch, p))
                             .collect();
-                        at_most_one(&mut solver, &sels, enc.amo);
+                        at_most_one(&mut batch, &sels, enc.amo);
                     }
                 }
             }
@@ -195,8 +206,8 @@ impl FlatModel {
                 for t in 0..t_ub {
                     for q1 in 0..nq {
                         for q2 in (q1 + 1)..nq {
-                            let diff = fd_differs(&mut solver, &mapping[q1][t], &mapping[q2][t]);
-                            solver.add_clause([diff]);
+                            let diff = fd_differs(&mut batch, &mapping[q1][t], &mapping[q2][t]);
+                            batch.add_clause(&[diff]);
                         }
                     }
                 }
@@ -207,19 +218,20 @@ impl FlatModel {
                 // function (its exactly-one constraint).
                 for t in 0..t_ub {
                     let mut inv: Vec<FdVar> = (0..np)
-                        .map(|_| FdVar::new_onehot(&mut solver, nq + 1, enc.amo))
+                        .map(|_| FdVar::new_onehot(&mut batch, nq + 1, enc.amo))
                         .collect();
                     for q in 0..nq {
                         for p in 0..np {
-                            let m = mapping[q][t].eq_lit(&mut solver, p);
-                            let i = inv[p].eq_lit(&mut solver, q);
-                            solver.add_clause([!m, i]);
-                            solver.add_clause([!i, m]);
+                            let m = mapping[q][t].eq_lit(&mut batch, p);
+                            let i = inv[p].eq_lit(&mut batch, q);
+                            batch.add_clause(&[!m, i]);
+                            batch.add_clause(&[!i, m]);
                         }
                     }
                 }
             }
         }
+        drop(batch);
 
         // Initial-mapping one-hot groups are the natural cube-splitting
         // axis: asserting each selector of π_q^0 in turn partitions the
@@ -336,6 +348,8 @@ impl FlatModel {
 
         mark = tally.credit_since(ConstraintFamily::Swap, &solver, mark);
 
+        // The scheduling families dominate the formula; stage them in bulk.
+        let mut batch = BatchSink::new(&mut solver);
         match style {
             ModelStyle::Olsq2 => {
                 // --- Valid two-qubit gate scheduling (Eq. 1) ----------------
@@ -353,13 +367,13 @@ impl FlatModel {
                                         let (pa, pb) = graph.edge(e);
                                         for (x, y) in [(pa, pb), (pb, pa)] {
                                             let la = mapping[qa as usize][t]
-                                                .eq_lit(&mut solver, x as usize);
+                                                .eq_lit(&mut batch, x as usize);
                                             let lb = mapping[qb as usize][t]
-                                                .eq_lit(&mut solver, y as usize);
-                                            pair_lits.push(gates::and_lit(&mut solver, la, lb));
+                                                .eq_lit(&mut batch, y as usize);
+                                            pair_lits.push(gates::and_lit(&mut batch, la, lb));
                                         }
                                     }
-                                    let l = gates::or_all(&mut solver, &pair_lits);
+                                    let l = gates::or_all(&mut batch, &pair_lits);
                                     adj_cache.insert((qa, qb, t), l);
                                     l
                                 }
@@ -367,7 +381,7 @@ impl FlatModel {
                             // (t_g == t) → adjacent(qa, qb, t)
                             let mut clause = time.var(g).neq_clause(t);
                             clause.push(adj);
-                            solver.add_clause(clause);
+                            batch.add_clause(&clause);
                         }
                     }
                 }
@@ -389,7 +403,7 @@ impl FlatModel {
                                         clause
                                             .extend(mapping[q as usize][t].neq_clause(p as usize));
                                         clause.push(!swap_lits[e][t]);
-                                        solver.add_clause(clause);
+                                        batch.add_clause(&clause);
                                     }
                                 }
                             }
@@ -409,9 +423,9 @@ impl FlatModel {
                     };
                     let var = match enc.mapping {
                         MappingEncoding::OneHot | MappingEncoding::InverseOneHot => {
-                            FdVar::new_onehot(&mut solver, domain, enc.amo)
+                            FdVar::new_onehot(&mut batch, domain, enc.amo)
                         }
-                        MappingEncoding::Binary => FdVar::new_binary(&mut solver, domain),
+                        MappingEncoding::Binary => FdVar::new_binary(&mut batch, domain),
                     };
                     space.push(var);
                 }
@@ -431,7 +445,7 @@ impl FlatModel {
                                     for &bit in &mapping[q as usize][t].eq_conj(p) {
                                         let mut clause = head.clone();
                                         clause.push(bit);
-                                        solver.add_clause(clause);
+                                        batch.add_clause(&clause);
                                     }
                                 }
                             }
@@ -445,12 +459,12 @@ impl FlatModel {
                                     let mut orient = Vec::with_capacity(2);
                                     for (x, y) in [(pa, pb), (pb, pa)] {
                                         let la =
-                                            mapping[q1 as usize][t].eq_lit(&mut solver, x as usize);
+                                            mapping[q1 as usize][t].eq_lit(&mut batch, x as usize);
                                         let lb =
-                                            mapping[q2 as usize][t].eq_lit(&mut solver, y as usize);
-                                        orient.push(gates::and_lit(&mut solver, la, lb));
+                                            mapping[q2 as usize][t].eq_lit(&mut batch, y as usize);
+                                        orient.push(gates::and_lit(&mut batch, la, lb));
                                     }
-                                    let both = gates::or_all(&mut solver, &orient);
+                                    let both = gates::or_all(&mut batch, &orient);
                                     let mut clause: Vec<Lit> = time
                                         .var(g)
                                         .neq_clause(t)
@@ -458,7 +472,7 @@ impl FlatModel {
                                         .chain(space[g].neq_clause(e))
                                         .collect();
                                     clause.push(both);
-                                    solver.add_clause(clause);
+                                    batch.add_clause(&clause);
                                 }
                             }
                         }
@@ -476,7 +490,7 @@ impl FlatModel {
                                             let mut clause = time.var(g).neq_clause(t_prime);
                                             clause.extend(space[g].neq_clause(p as usize));
                                             clause.push(!swap_lits[e][t]);
-                                            solver.add_clause(clause);
+                                            batch.add_clause(&clause);
                                         }
                                     }
                                     Operands::Two(..) => {
@@ -495,7 +509,7 @@ impl FlatModel {
                                             let mut clause = time.var(g).neq_clause(t_prime);
                                             clause.extend(space[g].neq_clause(e2));
                                             clause.push(!swap_lits[e][t]);
-                                            solver.add_clause(clause);
+                                            batch.add_clause(&clause);
                                         }
                                     }
                                 }
@@ -505,10 +519,12 @@ impl FlatModel {
                 }
             }
         }
+        drop(batch);
 
         mark = tally.credit_since(ConstraintFamily::Scheduling, &solver, mark);
 
         // --- SWAP transformation (mapping consistency) ----------------------
+        let mut batch = BatchSink::new(&mut solver);
         for t in 0..t_ub.saturating_sub(1) {
             for q in 0..nq {
                 // Stay: (π_q^t == p) ∧ no swap at an edge of p finishing at t
@@ -520,7 +536,7 @@ impl FlatModel {
                         let mut clause = antecedent.clone();
                         clause.extend(incident.iter().map(|&e| swap_lits[e][t]));
                         clause.push(bit);
-                        solver.add_clause(clause);
+                        batch.add_clause(&clause);
                     }
                 }
                 // Move: σ_e^t ∧ (π_q^t == e.p) → π_q^{t+1} == e.p'.
@@ -533,12 +549,13 @@ impl FlatModel {
                             clause.push(!swap_lits[e][t]);
                             clause.extend(antecedent.iter().copied());
                             clause.push(bit);
-                            solver.add_clause(clause);
+                            batch.add_clause(&clause);
                         }
                     }
                 }
             }
         }
+        drop(batch);
 
         tally.credit_since(ConstraintFamily::Transition, &solver, mark);
 
@@ -599,6 +616,10 @@ impl FlatModel {
         // over them encode cross-solve (and, under sharing, cross-member)
         // contracts, so inprocessing must leave them exactly as written.
         solver.set_inprocess_floor(solver.num_vars());
+        // Computed whether or not an exchange is present: forks re-bind
+        // from this stored pair.
+        let bound_fingerprint = Self::space_fingerprint(style, t_ub, sd, &enc, &solver);
+        let bound_vars = solver.num_vars();
         if let Some(exchange) = &config.clause_exchange {
             // Fence clauses to this exact formula build: identical
             // (style, window, encoding, size) builds — and only those —
@@ -607,10 +628,7 @@ impl FlatModel {
             // allocated after this point (activation literals, bound
             // machinery) are member-local and excluded via the
             // build-time variable count.
-            exchange.bind_space(
-                Self::space_fingerprint(style, t_ub, sd, &enc, &solver),
-                solver.num_vars(),
-            );
+            exchange.bind_space(bound_fingerprint, bound_vars);
             solver.set_exchange_filter(config.exchange_filter);
             solver.set_exchange(Some(exchange.clone()));
         }
@@ -631,7 +649,68 @@ impl FlatModel {
             window_guard,
             extensions: 0,
             alloc_history: 0,
+            bound_fingerprint,
+            bound_vars,
         })
+    }
+
+    /// Forks this model into a new cohort member without re-encoding: the
+    /// underlying solver state is snapshotted via [`Solver::fork`]
+    /// (O(memcpy) — clause arena, watch lists, root trail, phases,
+    /// activities, proof prefix), the encoding handles (variable maps,
+    /// bound activators, cardinality network, window guard) are cloned,
+    /// and only the per-member knobs from `config` are re-applied:
+    /// diversification, the clause exchange (re-bound with this model's
+    /// stored fence, since the fork's variable space is bit-identical),
+    /// and the exchange filter.
+    ///
+    /// The `(fingerprint, num_vars)` fence pair — including the
+    /// allocation-history chain accumulated by bound requests and
+    /// [`FlatModel::extend_window`] — carries over verbatim, so a forked
+    /// member keeps sharing (and keeps *extending*) exactly as a freshly
+    /// encoded member with the same history would.
+    ///
+    /// `config` must agree with the base model on everything that shapes
+    /// the formula (encoding, swap duration, style, proof logging);
+    /// callers that cannot guarantee that should fall back to a fresh
+    /// build. Diversification is free to differ — it changes no clauses.
+    pub fn fork(&mut self, config: &SynthesisConfig) -> FlatModel {
+        debug_assert_eq!(config.encoding, self.config.encoding);
+        debug_assert_eq!(
+            config.swap_duration.max(1),
+            self.sd,
+            "fork must keep the base swap duration"
+        );
+        debug_assert_eq!(
+            config.proof_log, self.config.proof_log,
+            "proof logging is decided at encode time"
+        );
+        let mut solver = self.solver.fork();
+        config.diversification.apply(&mut solver);
+        if let Some(exchange) = &config.clause_exchange {
+            exchange.bind_space(self.bound_fingerprint, self.bound_vars);
+            solver.set_exchange_filter(config.exchange_filter);
+            solver.set_exchange(Some(exchange.clone()));
+        }
+        FlatModel {
+            solver,
+            mapping: self.mapping.clone(),
+            time: self.time.clone(),
+            swap_lits: self.swap_lits.clone(),
+            t_ub: self.t_ub,
+            sd: self.sd,
+            style: self.style,
+            config: config.clone(),
+            depth_bounds: self.depth_bounds.clone(),
+            swap_card: self.swap_card.clone(),
+            num_gates: self.num_gates,
+            tally: self.tally.clone(),
+            window_guard: self.window_guard,
+            extensions: self.extensions,
+            alloc_history: self.alloc_history,
+            bound_fingerprint: self.bound_fingerprint,
+            bound_vars: self.bound_vars,
+        }
     }
 
     /// Grows the depth window to `new_t_ub` **in place**: appends the new
@@ -699,14 +778,16 @@ impl FlatModel {
                 self.mapping[q].push(var);
             }
         }
+        let mapping = &mut self.mapping;
+        let mut batch = BatchSink::new(&mut self.solver);
         match enc.mapping {
             MappingEncoding::OneHot => {
                 for t in old_t_ub..new_t_ub {
                     for p in 0..np {
                         let sels: Vec<Lit> = (0..nq)
-                            .map(|q| self.mapping[q][t].eq_lit(&mut self.solver, p))
+                            .map(|q| mapping[q][t].eq_lit(&mut batch, p))
                             .collect();
-                        at_most_one(&mut self.solver, &sels, enc.amo);
+                        at_most_one(&mut batch, &sels, enc.amo);
                     }
                 }
             }
@@ -714,12 +795,8 @@ impl FlatModel {
                 for t in old_t_ub..new_t_ub {
                     for q1 in 0..nq {
                         for q2 in (q1 + 1)..nq {
-                            let diff = fd_differs(
-                                &mut self.solver,
-                                &self.mapping[q1][t],
-                                &self.mapping[q2][t],
-                            );
-                            self.solver.add_clause([diff]);
+                            let diff = fd_differs(&mut batch, &mapping[q1][t], &mapping[q2][t]);
+                            batch.add_clause(&[diff]);
                         }
                     }
                 }
@@ -727,19 +804,20 @@ impl FlatModel {
             MappingEncoding::InverseOneHot => {
                 for t in old_t_ub..new_t_ub {
                     let mut inv: Vec<FdVar> = (0..np)
-                        .map(|_| FdVar::new_onehot(&mut self.solver, nq + 1, enc.amo))
+                        .map(|_| FdVar::new_onehot(&mut batch, nq + 1, enc.amo))
                         .collect();
                     for q in 0..nq {
                         for p in 0..np {
-                            let m = self.mapping[q][t].eq_lit(&mut self.solver, p);
-                            let i = inv[p].eq_lit(&mut self.solver, q);
-                            self.solver.add_clause([!m, i]);
-                            self.solver.add_clause([!i, m]);
+                            let m = mapping[q][t].eq_lit(&mut batch, p);
+                            let i = inv[p].eq_lit(&mut batch, q);
+                            batch.add_clause(&[!m, i]);
+                            batch.add_clause(&[!i, m]);
                         }
                     }
                 }
             }
         }
+        drop(batch);
         mark = self
             .tally
             .credit_since(ConstraintFamily::Mapping, &self.solver, mark);
@@ -787,6 +865,10 @@ impl FlatModel {
             .credit_since(ConstraintFamily::Swap, &self.solver, mark);
 
         // --- Scheduling validity for the new steps (Eq. 1–3) --------------
+        let mapping = &mut self.mapping;
+        let time = &self.time;
+        let swap_lits = &self.swap_lits;
+        let mut batch = BatchSink::new(&mut self.solver);
         let mut adj_cache: HashMap<(u16, u16, usize), Lit> = HashMap::new();
         for (g, gate) in circuit.gates().iter().enumerate() {
             if let Operands::Two(q1, q2) = gate.operands {
@@ -799,21 +881,19 @@ impl FlatModel {
                             for e in 0..ne {
                                 let (pa, pb) = graph.edge(e);
                                 for (x, y) in [(pa, pb), (pb, pa)] {
-                                    let la = self.mapping[qa as usize][t]
-                                        .eq_lit(&mut self.solver, x as usize);
-                                    let lb = self.mapping[qb as usize][t]
-                                        .eq_lit(&mut self.solver, y as usize);
-                                    pair_lits.push(gates::and_lit(&mut self.solver, la, lb));
+                                    let la = mapping[qa as usize][t].eq_lit(&mut batch, x as usize);
+                                    let lb = mapping[qb as usize][t].eq_lit(&mut batch, y as usize);
+                                    pair_lits.push(gates::and_lit(&mut batch, la, lb));
                                 }
                             }
-                            let l = gates::or_all(&mut self.solver, &pair_lits);
+                            let l = gates::or_all(&mut batch, &pair_lits);
                             adj_cache.insert((qa, qb, t), l);
                             l
                         }
                     };
-                    let mut clause = self.time.var(g).neq_clause(t);
+                    let mut clause = time.var(g).neq_clause(t);
                     clause.push(adj);
-                    self.solver.add_clause(clause);
+                    batch.add_clause(&clause);
                 }
             }
         }
@@ -828,48 +908,53 @@ impl FlatModel {
                     for t_prime in (t + 1 - sd)..=t {
                         for &q in &qubits {
                             for p in [pa, pb] {
-                                let mut clause = self.time.var(g).neq_clause(t_prime);
-                                clause.extend(self.mapping[q as usize][t].neq_clause(p as usize));
-                                clause.push(!self.swap_lits[e][t]);
-                                self.solver.add_clause(clause);
+                                let mut clause = time.var(g).neq_clause(t_prime);
+                                clause.extend(mapping[q as usize][t].neq_clause(p as usize));
+                                clause.push(!swap_lits[e][t]);
+                                batch.add_clause(&clause);
                             }
                         }
                     }
                 }
             }
         }
+        drop(batch);
         mark = self
             .tally
             .credit_since(ConstraintFamily::Scheduling, &self.solver, mark);
 
         // --- Mapping transformation across the seam and new steps ---------
+        let mapping = &self.mapping;
+        let swap_lits = &self.swap_lits;
+        let mut batch = BatchSink::new(&mut self.solver);
         for t in (old_t_ub - 1)..(new_t_ub - 1) {
             for q in 0..nq {
                 for p in 0..np {
                     let incident = graph.edges_at(p as u16);
-                    let antecedent = self.mapping[q][t].neq_clause(p);
-                    for &bit in &self.mapping[q][t + 1].eq_conj(p) {
+                    let antecedent = mapping[q][t].neq_clause(p);
+                    for &bit in &mapping[q][t + 1].eq_conj(p) {
                         let mut clause = antecedent.clone();
-                        clause.extend(incident.iter().map(|&e| self.swap_lits[e][t]));
+                        clause.extend(incident.iter().map(|&e| swap_lits[e][t]));
                         clause.push(bit);
-                        self.solver.add_clause(clause);
+                        batch.add_clause(&clause);
                     }
                 }
                 for e in 0..ne {
                     let (pa, pb) = graph.edge(e);
                     for (from, to) in [(pa, pb), (pb, pa)] {
-                        let antecedent = self.mapping[q][t].neq_clause(from as usize);
-                        for &bit in &self.mapping[q][t + 1].eq_conj(to as usize) {
+                        let antecedent = mapping[q][t].neq_clause(from as usize);
+                        for &bit in &mapping[q][t + 1].eq_conj(to as usize) {
                             let mut clause = Vec::with_capacity(antecedent.len() + 2);
-                            clause.push(!self.swap_lits[e][t]);
+                            clause.push(!swap_lits[e][t]);
                             clause.extend(antecedent.iter().copied());
                             clause.push(bit);
-                            self.solver.add_clause(clause);
+                            batch.add_clause(&clause);
                         }
                     }
                 }
             }
         }
+        drop(batch);
         mark = self
             .tally
             .credit_since(ConstraintFamily::Transition, &self.solver, mark);
@@ -942,18 +1027,21 @@ impl FlatModel {
     /// diverge per member (different learned units, different
     /// simplifications) without affecting variable meanings.
     fn rebind_exchange(&mut self) {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        "olsq2.flat.extended".hash(&mut h);
+        self.style.hash(&mut h);
+        self.t_ub.hash(&mut h);
+        self.sd.hash(&mut h);
+        self.config.encoding.hash(&mut h);
+        self.extensions.hash(&mut h);
+        self.solver.num_vars().hash(&mut h);
+        self.alloc_history.hash(&mut h);
+        // Stored unconditionally so later forks inherit the exact fence.
+        self.bound_fingerprint = h.finish() | 1;
+        self.bound_vars = self.solver.num_vars();
         if let Some(exchange) = &self.config.clause_exchange {
-            use std::hash::{Hash, Hasher};
-            let mut h = std::collections::hash_map::DefaultHasher::new();
-            "olsq2.flat.extended".hash(&mut h);
-            self.style.hash(&mut h);
-            self.t_ub.hash(&mut h);
-            self.sd.hash(&mut h);
-            self.config.encoding.hash(&mut h);
-            self.extensions.hash(&mut h);
-            self.solver.num_vars().hash(&mut h);
-            self.alloc_history.hash(&mut h);
-            exchange.bind_space(h.finish() | 1, self.solver.num_vars());
+            exchange.bind_space(self.bound_fingerprint, self.bound_vars);
         }
     }
 
@@ -1141,18 +1229,166 @@ impl FlatModel {
     }
 }
 
+/// A shareable encoded-model template for O(memcpy) cohort spawning.
+///
+/// Wraps one built [`FlatModel`] behind a mutex so several spawners
+/// (portfolio members, cube workers, service resumes) can fork members
+/// from a single encode. The seed remembers the exact instance it
+/// encodes — a structural fingerprint of the circuit, the device, and
+/// every formula-shaping config field — and [`ModelSeed::fork_for`]
+/// refuses to fork for anything else, so a stale or mismatched seed
+/// degrades to a fresh build instead of an unsound fork.
+#[derive(Debug, Clone)]
+pub struct ModelSeed {
+    inner: std::sync::Arc<std::sync::Mutex<FlatModel>>,
+    instance: u64,
+}
+
+impl ModelSeed {
+    /// Wraps a built model as a seed for the given instance fingerprint
+    /// (from [`ModelSeed::instance_fingerprint`] on the same inputs).
+    pub fn capture(model: FlatModel, instance: u64) -> ModelSeed {
+        ModelSeed {
+            inner: std::sync::Arc::new(std::sync::Mutex::new(model)),
+            instance,
+        }
+    }
+
+    /// The instance fingerprint this seed was captured for.
+    pub fn instance(&self) -> u64 {
+        self.instance
+    }
+
+    /// Structural fingerprint of one synthesis instance: the exact gate
+    /// list (kinds, parameters, operands — **not** relabeling-invariant:
+    /// a fork replays the base's variable numbering, so only the
+    /// bit-identical instance may consume it), the device edge list, and
+    /// every config field that shapes the formula or the solver's
+    /// pre-search state. Diversification and run-scoped handles
+    /// (budgets, exchange, telemetry) are deliberately excluded — they
+    /// are re-applied per fork.
+    pub fn instance_fingerprint(
+        circuit: &Circuit,
+        graph: &CouplingGraph,
+        config: &SynthesisConfig,
+    ) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        "olsq2.instance".hash(&mut h);
+        circuit.num_qubits().hash(&mut h);
+        for gate in circuit.gates() {
+            gate.kind.name().hash(&mut h);
+            for p in gate.kind.params() {
+                p.to_bits().hash(&mut h);
+            }
+            match gate.operands {
+                Operands::One(q) => (1u8, q, 0u16).hash(&mut h),
+                Operands::Two(a, b) => (2u8, a, b).hash(&mut h),
+            }
+        }
+        graph.num_qubits().hash(&mut h);
+        for &(a, b) in graph.edges() {
+            (a, b).hash(&mut h);
+        }
+        config.encoding.hash(&mut h);
+        config.swap_duration.hash(&mut h);
+        config.commutation_aware.hash(&mut h);
+        config.seed_variable_order.hash(&mut h);
+        config.incremental.hash(&mut h);
+        config.proof_log.hash(&mut h);
+        // SolverFeatures carries no Hash impl; its Debug form is a
+        // faithful field dump and the fingerprint never leaves the
+        // process, so hashing it is stable where it needs to be.
+        format!("{:?}", config.solver_features).hash(&mut h);
+        h.finish()
+    }
+
+    /// Forks a member model for `config` at depth window `t_ub`, or
+    /// `None` when the seed cannot serve it (different instance, smaller
+    /// window than the template's, or a window growth the incremental
+    /// machinery cannot perform) — the caller then falls back to a fresh
+    /// encode.
+    ///
+    /// A larger window is served by forking and growing the *fork* via
+    /// [`FlatModel::extend_window`], which re-arms the allocation-history
+    /// fingerprint chain on the member, exactly as a freshly encoded
+    /// member would have.
+    pub fn fork_for(
+        &self,
+        config: &SynthesisConfig,
+        circuit: &Circuit,
+        graph: &CouplingGraph,
+        instance: u64,
+        t_ub: usize,
+    ) -> Option<FlatModel> {
+        if instance != self.instance {
+            return None;
+        }
+        let mut base = self.inner.lock().ok()?;
+        let base_t_ub = base.t_ub();
+        if t_ub == base_t_ub {
+            return Some(base.fork(config));
+        }
+        if t_ub > base_t_ub && config.incremental {
+            let mut fork = base.fork(config);
+            drop(base);
+            if fork.extend_window(circuit, graph, t_ub) {
+                return Some(fork);
+            }
+        }
+        None
+    }
+}
+
+/// A handle a preemptible run publishes its encoded state into when the
+/// budget expires mid-descent (see `snapshot_slot` on
+/// [`SynthesisConfig`]): the service's snapshot-on-preempt hook reads it
+/// back and reattaches it as the `model_seed` of the resume run, which
+/// then forks instead of re-encoding.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotSlot {
+    inner: std::sync::Arc<std::sync::Mutex<Option<ModelSeed>>>,
+}
+
+impl SnapshotSlot {
+    /// Creates an empty slot.
+    pub fn new() -> SnapshotSlot {
+        SnapshotSlot::default()
+    }
+
+    /// Publishes a snapshot (replacing any previous one).
+    pub fn publish(&self, seed: ModelSeed) {
+        *self.inner.lock().expect("snapshot lock") = Some(seed);
+    }
+
+    /// A handle to the current snapshot, if one was published.
+    pub fn peek(&self) -> Option<ModelSeed> {
+        self.inner.lock().expect("snapshot lock").clone()
+    }
+
+    /// Removes and returns the current snapshot.
+    pub fn take(&self) -> Option<ModelSeed> {
+        self.inner.lock().expect("snapshot lock").take()
+    }
+
+    /// Whether nothing has been published yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().expect("snapshot lock").is_none()
+    }
+}
+
 /// A literal true iff two finite-domain variables differ (bit-level XOR
 /// over the raw representation literals).
-fn fd_differs(solver: &mut Solver, a: &FdVar, b: &FdVar) -> Lit {
+fn fd_differs<S: CnfSink>(sink: &mut S, a: &FdVar, b: &FdVar) -> Lit {
     let bits_a = a.raw_lits();
     let bits_b = b.raw_lits();
     debug_assert_eq!(bits_a.len(), bits_b.len());
     let diffs: Vec<Lit> = bits_a
         .iter()
         .zip(bits_b.iter())
-        .map(|(&x, &y)| gates::xor_lit(solver, x, y))
+        .map(|(&x, &y)| gates::xor_lit(sink, x, y))
         .collect();
-    gates::or_all(solver, &diffs)
+    gates::or_all(sink, &diffs)
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@
 //! over one solver via activation-literal bounds.
 
 use crate::config::SynthesisConfig;
-use crate::model::{FlatModel, ModelError};
+use crate::model::{FlatModel, ModelError, ModelSeed};
 use olsq2_arch::CouplingGraph;
 use olsq2_circuit::{Circuit, DependencyGraph};
 use olsq2_layout::LayoutResult;
@@ -153,6 +153,23 @@ impl Olsq2Synthesizer {
         graph: &CouplingGraph,
         t_ub: usize,
     ) -> Result<FlatModel, SynthesisError> {
+        // Fork from an encoded template when one is attached and matches
+        // this exact instance; otherwise encode from scratch.
+        if self.config.fork_spawn {
+            if let Some(seed) = &self.config.model_seed {
+                let instance = ModelSeed::instance_fingerprint(circuit, graph, &self.config);
+                if let Some(mut model) = seed.fork_for(&self.config, circuit, graph, instance, t_ub)
+                {
+                    let span = self.config.recorder.span("fork");
+                    span.set("t_ub", t_ub);
+                    model
+                        .solver_mut()
+                        .set_recorder(self.config.recorder.clone());
+                    model.solver_mut().set_probe(self.config.probe.clone());
+                    return Ok(model);
+                }
+            }
+        }
         let span = self.config.recorder.span("encode");
         span.set("t_ub", t_ub);
         let mut model = FlatModel::build(circuit, graph, &self.config, t_ub)?;
@@ -226,6 +243,41 @@ impl Olsq2Synthesizer {
         if let Some(slot) = &self.config.incumbent {
             slot.publish(result);
         }
+    }
+
+    /// Snapshot-on-preempt: when a budget cut ends a run before
+    /// optimality is proven and a snapshot slot is configured, fork the
+    /// final model onto a neutral configuration (no budgets, no stop
+    /// flag, no exchange, no telemetry — those are per-run) and publish
+    /// it, so a resubmission can resume from the encoded state — clause
+    /// arena, learned clauses, phases, bound activators — instead of
+    /// from scratch.
+    pub(crate) fn capture_snapshot(
+        &self,
+        circuit: &Circuit,
+        graph: &CouplingGraph,
+        model: &mut FlatModel,
+    ) {
+        let Some(slot) = &self.config.snapshot_slot else {
+            return;
+        };
+        if !self.config.fork_spawn {
+            return;
+        }
+        let mut neutral = self.config.clone();
+        neutral.time_budget = None;
+        neutral.conflict_budget = None;
+        neutral.stop_flag = None;
+        neutral.incumbent = None;
+        neutral.clause_exchange = None;
+        neutral.model_seed = None;
+        neutral.snapshot_slot = None;
+        neutral.diversification = Default::default();
+        neutral.recorder = olsq2_obs::Recorder::disabled();
+        neutral.probe = olsq2_obs::Probe::disabled();
+        let template = model.fork(&neutral);
+        let instance = ModelSeed::instance_fingerprint(circuit, graph, &neutral);
+        slot.publish(ModelSeed::capture(template, instance));
     }
 
     /// Opens one `iteration` span tagged with the active objective bounds.
@@ -350,7 +402,10 @@ impl Olsq2Synthesizer {
                         return Err(SynthesisError::WindowExhausted);
                     }
                 }
-                SolveResult::Unknown => return Err(SynthesisError::BudgetExhausted),
+                SolveResult::Unknown => {
+                    self.capture_snapshot(circuit, graph, &mut model);
+                    return Err(SynthesisError::BudgetExhausted);
+                }
             }
         }
     }
@@ -416,6 +471,9 @@ impl Olsq2Synthesizer {
 
         outer.set("iterations", iterations);
         outer.set("proven_optimal", proven_optimal);
+        if !proven_optimal {
+            self.capture_snapshot(circuit, graph, &mut model);
+        }
         Ok(SynthesisOutcome {
             result: current,
             proven_optimal,
@@ -555,6 +613,9 @@ impl Olsq2Synthesizer {
         let solver_stats = model.solver_mut().stats();
         outer.set("iterations", iterations);
         outer.set("proven_optimal", proven);
+        if !proven {
+            self.capture_snapshot(circuit, graph, &mut model);
+        }
         Ok(SwapOptimizationOutcome {
             best: SynthesisOutcome {
                 result: current,

@@ -20,6 +20,7 @@
 
 use crate::config::{EncodingConfig, SolverDiversification, SynthesisConfig};
 use crate::cube::{CubeParams, CubeSynthesizer};
+use crate::model::ModelSeed;
 use crate::optimize::{Olsq2Synthesizer, SynthesisError, SynthesisOutcome};
 use crate::sharing::{CohortEndpoint, SharedClausePool, SharingStats};
 use olsq2_arch::CouplingGraph;
@@ -398,6 +399,7 @@ impl PortfolioSynthesizer {
     ) -> Result<PortfolioReport, SynthesisError> {
         let stop = Arc::new(AtomicBool::new(false));
         let endpoints = self.make_endpoints();
+        let seeds = self.make_seeds(circuit, graph);
         let (tx, rx) = mpsc::channel::<(usize, Result<SynthesisOutcome, SynthesisError>)>();
         std::thread::scope(|scope| {
             for (idx, member) in self.members.iter().enumerate() {
@@ -405,6 +407,7 @@ impl PortfolioSynthesizer {
                 config.stop_flag = Some(stop.clone());
                 config.clause_exchange =
                     endpoints[idx].clone().map(|e| e as Arc<dyn ClauseExchange>);
+                config.model_seed = seeds[idx].clone();
                 let tx = tx.clone();
                 let strategy = &self.strategies[idx];
                 scope.spawn(move || {
@@ -509,6 +512,74 @@ impl PortfolioSynthesizer {
                 None => Err(first_error.unwrap_or(SynthesisError::BudgetExhausted)),
             }
         })
+    }
+
+    /// Encode-once cohort spawning: one [`ModelSeed`] per same-encoding
+    /// cohort of sequential members of size ≥ 2 (when fork spawning is
+    /// on); `None` elsewhere. The cohort's formula is encoded a single
+    /// time on a neutral configuration — member knobs (diversification,
+    /// stop flag, sharing endpoint, budgets) are re-applied per fork —
+    /// and every member forks the template in O(memcpy) instead of
+    /// paying its own encode. Cohort templates build in parallel, so a
+    /// multi-cohort portfolio's spawn wall clock stays one encode.
+    ///
+    /// A template that fails to build yields no seed; its members then
+    /// hit (and report) the same error through their own fresh builds,
+    /// keeping failure behavior identical to the per-member path.
+    fn make_seeds(&self, circuit: &Circuit, graph: &CouplingGraph) -> Vec<Option<ModelSeed>> {
+        let mut seeds: Vec<Option<ModelSeed>> = vec![None; self.members.len()];
+        let mut cohorts: HashMap<EncodingConfig, Vec<usize>> = HashMap::new();
+        for (idx, member) in self.members.iter().enumerate() {
+            // The cube member forks its own worker pool internally.
+            if member.fork_spawn && matches!(self.strategies[idx], MemberStrategy::Sequential) {
+                cohorts.entry(member.encoding).or_default().push(idx);
+            }
+        }
+        let cohort_list: Vec<Vec<usize>> = cohorts
+            .into_values()
+            .filter(|indices| indices.len() >= 2)
+            .collect();
+        if cohort_list.is_empty() {
+            return seeds;
+        }
+        let built: Vec<(Vec<usize>, Option<ModelSeed>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = cohort_list
+                .into_iter()
+                .map(|indices| {
+                    scope.spawn(move || {
+                        let mut template_cfg = self.members[indices[0]].clone();
+                        template_cfg.diversification = SolverDiversification::default();
+                        template_cfg.stop_flag = None;
+                        template_cfg.clause_exchange = None;
+                        template_cfg.model_seed = None;
+                        template_cfg.snapshot_slot = None;
+                        template_cfg.incumbent = None;
+                        let synth = Olsq2Synthesizer::new(template_cfg.clone());
+                        let dag = synth.dependency_graph(circuit);
+                        let t_ub = synth.initial_t_ub(dag.longest_chain().max(1));
+                        let seed = synth.build_model(circuit, graph, t_ub).ok().map(|model| {
+                            ModelSeed::capture(
+                                model,
+                                ModelSeed::instance_fingerprint(circuit, graph, &template_cfg),
+                            )
+                        });
+                        (indices, seed)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("template build thread"))
+                .collect()
+        });
+        for (indices, seed) in built {
+            if let Some(seed) = seed {
+                for idx in indices {
+                    seeds[idx] = Some(seed.clone());
+                }
+            }
+        }
+        seeds
     }
 
     /// One [`CohortEndpoint`] per member of every same-encoding cohort of

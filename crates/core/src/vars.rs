@@ -268,7 +268,7 @@ impl FdVar {
 /// For one-hot time, dependencies use per-gate *prefix ladders*
 /// (`le[g][t] ↔ t_g ≤ t`), giving `O(T)` clauses per dependency; for
 /// binary time, a comparator circuit per dependency.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TimeVars {
     vars: Vec<FdVar>,
     encoding: TimeEncoding,

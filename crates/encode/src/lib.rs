@@ -7,7 +7,8 @@
 //! blocks (plus the slower alternatives the paper measures against):
 //!
 //! * [`CnfSink`] — clause consumer abstraction ([`olsq2_sat::Solver`],
-//!   [`Cnf`] collector, [`CountingSink`] statistics wrapper)
+//!   [`Cnf`] collector, [`CountingSink`] statistics wrapper,
+//!   [`BatchSink`] bulk staging into the solver)
 //! * [`gates`] — Tseitin gate definitions
 //! * [`BitVec`] — unsigned bit-vectors with comparator clauses
 //! * [`OneHot`] — direct encodings with pairwise / sequential / commander
@@ -48,4 +49,4 @@ pub use cardinality::{CardEncoding, CardinalityNetwork};
 pub use dimacs::{from_dimacs, to_dimacs, ParseDimacsError};
 pub use families::{ConstraintFamily, FamilyCount, FamilyTally, FormulaSize, SplitGroup};
 pub use onehot::{at_most_one, exactly_one, AmoEncoding, OneHot};
-pub use sink::{Cnf, CnfSink, CountingSink};
+pub use sink::{BatchSink, Cnf, CnfSink, CountingSink};

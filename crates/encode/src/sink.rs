@@ -123,6 +123,99 @@ impl CnfSink for Cnf {
     }
 }
 
+/// Stages clauses into one reusable flat literal buffer and hands them
+/// to the solver in bulk via [`Solver::add_clause_batch`], instead of
+/// paying a call (and a scratch round-trip) per clause.
+///
+/// Variable allocation and [`CnfSink::true_lit`] pass straight through;
+/// only clause emission is deferred. Staged clauses reach the solver in
+/// emission order on [`flush`](BatchSink::flush) — called automatically
+/// when the buffer crosses its high-water mark and on drop — so the sink
+/// is transparent to encoders as long as nobody reads the solver's
+/// clause counts mid-batch (flush first, or drop the sink).
+///
+/// # Examples
+///
+/// ```
+/// use olsq2_encode::{BatchSink, CnfSink};
+/// use olsq2_sat::{Lit, SolveResult, Solver};
+/// let mut solver = Solver::new();
+/// let mut batch = BatchSink::new(&mut solver);
+/// let a = Lit::positive(batch.new_var());
+/// let b = Lit::positive(batch.new_var());
+/// batch.add_clause(&[a, b]);
+/// batch.add_clause(&[!a]);
+/// drop(batch); // flushes
+/// assert_eq!(solver.solve(&[]), SolveResult::Sat);
+/// assert_eq!(solver.model_value(b), Some(true));
+/// ```
+#[derive(Debug)]
+pub struct BatchSink<'a> {
+    solver: &'a mut Solver,
+    /// All staged literals, clause after clause.
+    flat: Vec<Lit>,
+    /// Exclusive end offset of each staged clause in `flat`.
+    ends: Vec<u32>,
+}
+
+/// Literal high-water mark that triggers an automatic flush; bounds the
+/// staging memory without making small batches pay for it.
+const BATCH_FLUSH_LITS: usize = 1 << 16;
+
+impl<'a> BatchSink<'a> {
+    /// Wraps `solver` with an empty staging buffer.
+    pub fn new(solver: &'a mut Solver) -> BatchSink<'a> {
+        BatchSink {
+            solver,
+            flat: Vec::new(),
+            ends: Vec::new(),
+        }
+    }
+
+    /// Number of clauses currently staged (diagnostics/tests).
+    pub fn staged(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Hands every staged clause to the solver, in emission order.
+    pub fn flush(&mut self) {
+        if self.ends.is_empty() {
+            return;
+        }
+        self.solver.add_clause_batch(&self.flat, &self.ends);
+        self.flat.clear();
+        self.ends.clear();
+    }
+}
+
+impl Drop for BatchSink<'_> {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+impl CnfSink for BatchSink<'_> {
+    fn new_var(&mut self) -> Var {
+        Solver::new_var(self.solver)
+    }
+
+    fn add_clause(&mut self, lits: &[Lit]) {
+        self.flat.extend_from_slice(lits);
+        self.ends.push(self.flat.len() as u32);
+        if self.flat.len() >= BATCH_FLUSH_LITS {
+            self.flush();
+        }
+    }
+
+    fn true_lit(&mut self) -> Lit {
+        // Keep the solver's per-call contract (see the Solver impl); the
+        // unit is staged so it lands in emission order.
+        let l = Lit::positive(Solver::new_var(self.solver));
+        CnfSink::add_clause(self, &[l]);
+        l
+    }
+}
+
 /// Wraps a sink, counting variables and clauses that pass through.
 ///
 /// Used by the experiment harness to report formula sizes alongside solve
@@ -222,6 +315,48 @@ mod tests {
             assert_eq!(cs.literals_added(), 4);
         }
         assert_eq!(cnf.num_clauses(), 2);
+    }
+
+    #[test]
+    fn batch_sink_stages_and_flushes_in_order() {
+        let mut direct = Solver::new();
+        let mut batched = Solver::new();
+        let lits: Vec<Lit> = (0..4)
+            .map(|_| {
+                Lit::positive(Solver::new_var(&mut direct));
+                Lit::positive(Solver::new_var(&mut batched))
+            })
+            .collect();
+        let clauses: [&[Lit]; 4] = [
+            &[lits[0], lits[1]],
+            &[!lits[0], lits[2]],
+            &[!lits[1], !lits[2], lits[3]],
+            &[!lits[3]],
+        ];
+        for c in clauses {
+            Solver::add_clause(&mut direct, c.iter().copied());
+        }
+        {
+            let mut batch = BatchSink::new(&mut batched);
+            for c in clauses {
+                CnfSink::add_clause(&mut batch, c);
+            }
+            assert_eq!(batch.staged(), 4, "small batches stay staged");
+        } // drop flushes
+        assert_eq!(batched.num_clauses(), direct.num_clauses());
+        assert_eq!(batched.solve(&[]), direct.solve(&[]));
+    }
+
+    #[test]
+    fn batch_sink_hits_conflicts_like_direct_adds() {
+        let mut s = Solver::new();
+        let a = Lit::positive(Solver::new_var(&mut s));
+        {
+            let mut batch = BatchSink::new(&mut s);
+            CnfSink::add_clause(&mut batch, &[a]);
+            CnfSink::add_clause(&mut batch, &[!a]);
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
     }
 
     #[test]

@@ -50,6 +50,7 @@ mod lit;
 pub mod preprocess;
 pub mod proof;
 mod solver;
+mod watchlist;
 
 pub use clause::Tier;
 pub use exchange::{ClauseExchange, ExchangeFilter};

@@ -36,6 +36,7 @@ use crate::exchange::{ClauseExchange, ExchangeFilter};
 use crate::heap::VarHeap;
 use crate::lit::{ClauseRef, LBool, Lit, Var};
 use crate::proof::{Proof, ProofStep};
+use crate::watchlist::WatchLists;
 use olsq2_obs::{Probe, Recorder, SampleSource, SearchSample};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -104,6 +105,8 @@ pub struct Stats {
     pub strengthened: u64,
     /// Propagations served by the dedicated binary watch lists.
     pub binary_props: u64,
+    /// Propagations served by the dedicated ternary watch lists.
+    pub ternary_props: u64,
     /// Mid-tier learnt clauses demoted to the local deletion pool for
     /// sitting out a full reduce interval.
     pub tier_demotions: u64,
@@ -131,6 +134,11 @@ pub struct SolverFeatures {
     /// Dedicated binary-clause watch lists with the implied literal
     /// inlined. Must be chosen before any clause is added.
     pub binary_watches: bool,
+    /// Dedicated ternary-clause watch lists with both other literals
+    /// inlined: every literal of a 3-clause watches it, so propagation
+    /// never dereferences the clause arena and watchers never migrate.
+    /// Must be chosen before any clause is added.
+    pub ternary_watches: bool,
     /// Clause vivification between restarts.
     pub vivify: bool,
     /// Self-subsumption strengthening detected during conflict analysis.
@@ -174,6 +182,7 @@ impl Default for SolverFeatures {
     fn default() -> Self {
         SolverFeatures {
             binary_watches: true,
+            ternary_watches: true,
             vivify: true,
             otf_strengthen: true,
             rephase: true,
@@ -204,6 +213,7 @@ impl SolverFeatures {
     pub fn legacy() -> SolverFeatures {
         SolverFeatures {
             binary_watches: false,
+            ternary_watches: false,
             vivify: false,
             otf_strengthen: false,
             rephase: false,
@@ -246,6 +256,19 @@ struct Watcher {
 struct BinWatcher {
     cref: ClauseRef,
     implied: Lit,
+}
+
+/// Watcher for a 3-clause: both other literals are stored inline and all
+/// three literals watch the clause, so a falsified watch decides the
+/// clause's status (satisfied / unit / conflicting / still open) without
+/// touching the clause arena, and no watcher ever migrates. Unlike binary
+/// watchers, ternary clauses can be *learnt* and therefore deleted by
+/// database reduction, so the scan drops watchers of deleted clauses
+/// lazily (one header load, still no literal access).
+#[derive(Debug, Clone, Copy)]
+struct TernWatcher {
+    cref: ClauseRef,
+    others: [Lit; 2],
 }
 
 /// A self-subsumption rewrite detected during conflict analysis:
@@ -300,9 +323,16 @@ pub struct Solver {
     db: ClauseDb,
     clauses: Vec<ClauseRef>,
     learnts: Vec<ClauseRef>,
-    watches: Vec<Vec<Watcher>>,
+    watches: WatchLists<Watcher>,
     /// Dedicated watch lists for 2-clauses (when the feature is on).
-    bin_watches: Vec<Vec<BinWatcher>>,
+    bin_watches: WatchLists<BinWatcher>,
+    /// Dedicated watch lists for 3-clauses (when the feature is on).
+    tern_watches: WatchLists<TernWatcher>,
+    /// True while a deleted ternary clause may still have watchers in
+    /// `tern_watches` (set at every ternary deletion, cleared by the
+    /// full watcher sweeps). While false — the common case — the
+    /// ternary scan skips the per-watcher arena header load entirely.
+    tern_stale: bool,
     assigns: Vec<LBool>,
     vardata: Vec<VarData>,
     trail: Vec<Lit>,
@@ -412,6 +442,10 @@ pub struct Solver {
     seen: Vec<bool>,
     analyze_toclear: Vec<Var>,
     analyze_stack: Vec<Lit>,
+    // Scratch buffers for clause addition (raw literals, then the
+    // root-simplified clause), reused across `add_clause` calls.
+    add_buf: Vec<Lit>,
+    add_buf2: Vec<Lit>,
 }
 
 const VAR_DECAY: f64 = 0.95;
@@ -431,8 +465,10 @@ impl Solver {
             db: ClauseDb::new(),
             clauses: Vec::new(),
             learnts: Vec::new(),
-            watches: Vec::new(),
-            bin_watches: Vec::new(),
+            watches: WatchLists::new(),
+            bin_watches: WatchLists::new(),
+            tern_watches: WatchLists::new(),
+            tern_stale: false,
             assigns: Vec::new(),
             vardata: Vec::new(),
             trail: Vec::new(),
@@ -490,6 +526,8 @@ impl Solver {
             seen: Vec::new(),
             analyze_toclear: Vec::new(),
             analyze_stack: Vec::new(),
+            add_buf: Vec::new(),
+            add_buf2: Vec::new(),
         }
     }
 
@@ -501,10 +539,12 @@ impl Solver {
             reason: None,
             level: 0,
         });
-        self.watches.push(Vec::new());
-        self.watches.push(Vec::new());
-        self.bin_watches.push(Vec::new());
-        self.bin_watches.push(Vec::new());
+        self.watches.push_list();
+        self.watches.push_list();
+        self.bin_watches.push_list();
+        self.bin_watches.push_list();
+        self.tern_watches.push_list();
+        self.tern_watches.push_list();
         self.phase.push(self.default_phase);
         self.activity.push(0.0);
         self.order.grow(v);
@@ -648,12 +688,14 @@ impl Solver {
     ///
     /// # Panics
     ///
-    /// Panics if `binary_watches` is flipped after clauses were added —
-    /// the two watch schemes are not migrated in place.
+    /// Panics if `binary_watches` or `ternary_watches` is flipped after
+    /// clauses were added — the watch schemes are not migrated in place.
     pub fn set_features(&mut self, features: SolverFeatures) {
         assert!(
-            features.binary_watches == self.features.binary_watches || self.db.is_empty(),
-            "binary watch scheme must be chosen before clauses are added"
+            (features.binary_watches == self.features.binary_watches
+                && features.ternary_watches == self.features.ternary_watches)
+                || self.db.is_empty(),
+            "watch scheme must be chosen before clauses are added"
         );
         self.features = features;
         self.next_vivify = self.stats.conflicts + features.vivify_interval;
@@ -663,6 +705,133 @@ impl Solver {
     /// Current feature selection.
     pub fn features(&self) -> SolverFeatures {
         self.features
+    }
+
+    /// Forks a compacting, O(memcpy) snapshot of the root solver state.
+    ///
+    /// The child inherits everything the parent *knows*: the clause
+    /// arena (after a [`Solver::simplify`] pass and compaction, so dead
+    /// clauses cost the child nothing), all watch lists, the root trail
+    /// at its propagation fixpoint, learnt clauses with their tiers and
+    /// activities, saved / best / target phases, VSIDS activities and
+    /// heap order, the proof log (the child's future derivations extend
+    /// a valid prefix, so its proofs check independently), and the
+    /// feature + diversification knob configuration.
+    ///
+    /// The child sheds everything *transient or externally owned*:
+    /// statistics, restart/reduce/inprocessing schedules, LBD averages,
+    /// conflict budgets, deadlines, the cooperative stop flag, telemetry
+    /// handles (recorder, probe), and the clause exchange. Spawners
+    /// re-arm those per member; in particular a forked cohort member
+    /// must be re-bound to its cohort's exchange (same fingerprint as
+    /// the parent — the variable space is bit-identical) before sharing.
+    /// The duplicate-import filter is carried over, since every clause
+    /// the parent imported is already in the child's arena.
+    ///
+    /// Cost: one allocation + memcpy per field — no re-encode, no
+    /// re-propagation, no per-clause work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solver is not at decision level 0. Through the
+    /// public API it always is between [`Solver::solve`] calls.
+    pub fn fork(&mut self) -> Solver {
+        assert_eq!(self.decision_level(), 0, "fork snapshots root state only");
+        if self.ok {
+            // Reach the root fixpoint (pending imports or incremental
+            // additions may have left `qhead` behind), retire
+            // root-satisfied clauses, and compact the arena so the child
+            // copies no dead bytes.
+            if self.qhead < self.trail.len() && self.propagate().is_some() {
+                self.ok = false;
+                self.log_proof(|| ProofStep::Empty);
+            } else {
+                self.simplify();
+                if self.db.wasted_ratio() > 0.0 {
+                    self.garbage_collect();
+                }
+            }
+        }
+        // Compact the watch pools so the child copies no orphaned slots;
+        // after this each scheme clones as two straight memcpys.
+        if self.watches.wasted() > 0 {
+            self.watches.sweep(|_| true);
+        }
+        if self.bin_watches.wasted() > 0 {
+            self.bin_watches.sweep(|_| true);
+        }
+        if self.tern_watches.wasted() > 0 {
+            self.tern_watches.sweep(|_| true);
+        }
+        let features = self.features;
+        Solver {
+            db: self.db.clone(),
+            clauses: self.clauses.clone(),
+            learnts: self.learnts.clone(),
+            watches: self.watches.clone(),
+            bin_watches: self.bin_watches.clone(),
+            tern_watches: self.tern_watches.clone(),
+            tern_stale: self.tern_stale,
+            assigns: self.assigns.clone(),
+            vardata: self.vardata.clone(),
+            trail: self.trail.clone(),
+            trail_lim: Vec::new(),
+            qhead: self.qhead,
+            phase: self.phase.clone(),
+            activity: self.activity.clone(),
+            var_inc: self.var_inc,
+            cla_inc: self.cla_inc,
+            order: self.order.clone(),
+            ok: self.ok,
+            model: Vec::new(),
+            final_conflict: Vec::new(),
+            stats: Stats::default(),
+            conflict_budget: None,
+            deadline: None,
+            stop: None,
+            next_reduce: 2000,
+            reduce_inc: 300,
+            simp_trail_len: self.simp_trail_len,
+            proof: self.proof.clone(),
+            recorder: Recorder::disabled(),
+            probe: Probe::disabled(),
+            lbd_ema_fast: 0.0,
+            lbd_ema_slow: 0.0,
+            exchange: None,
+            exchange_filter: self.exchange_filter,
+            import_seen: self.import_seen.clone(),
+            import_buf: Vec::new(),
+            sig_buf: Vec::new(),
+            features,
+            inprocess_floor: self.inprocess_floor,
+            assumption_frozen: Vec::new(),
+            save_phases: true,
+            core_lemmas: self.core_lemmas,
+            next_vivify: features.vivify_interval,
+            viv_cursor: [0, 0],
+            next_rephase: features.rephase_interval,
+            best_trail_len: 0,
+            best_phase: self.best_phase.clone(),
+            target_phase: self.target_phase.clone(),
+            rephase_flip: false,
+            lbd_sum: 0.0,
+            trail_depth_sum: 0.0,
+            avg_conflicts: 0,
+            restart_hold: 0,
+            cancel_buf: Vec::new(),
+            pending_strengthen: self.pending_strengthen.clone(),
+            lit_stamp: Vec::new(),
+            stamp: 0,
+            var_decay: self.var_decay,
+            restart_base: self.restart_base,
+            default_phase: self.default_phase,
+            rng_state: self.rng_state,
+            seen: Vec::new(),
+            analyze_toclear: Vec::new(),
+            analyze_stack: Vec::new(),
+            add_buf: Vec::new(),
+            add_buf2: Vec::new(),
+        }
     }
 
     /// Sets the saved phase of `var` directly (structure-aware seeding:
@@ -985,6 +1154,42 @@ impl Solver {
     /// at decision level 0 (never happens through the public API, since
     /// `solve` always backtracks fully).
     pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) -> bool {
+        let mut v = std::mem::take(&mut self.add_buf);
+        v.clear();
+        v.extend(lits);
+        let result = self.add_clause_from_buf(&mut v);
+        self.add_buf = v;
+        result
+    }
+
+    /// Adds a batch of clauses packed end-to-end in `flat`; `ends[i]` is
+    /// the exclusive end offset of clause `i`. Semantically identical to
+    /// one [`Solver::add_clause`] call per clause, but with zero
+    /// per-clause allocation — encoders stage literals into one flat
+    /// buffer and hand the whole batch over. Stops early and returns
+    /// `false` once the solver is permanently unsatisfiable.
+    pub fn add_clause_batch(&mut self, flat: &[Lit], ends: &[u32]) -> bool {
+        let mut v = std::mem::take(&mut self.add_buf);
+        let mut start = 0usize;
+        for &end in ends {
+            let end = end as usize;
+            debug_assert!(start <= end && end <= flat.len(), "malformed batch offsets");
+            v.clear();
+            v.extend_from_slice(&flat[start..end]);
+            self.add_clause_from_buf(&mut v);
+            start = end;
+            if !self.ok {
+                break;
+            }
+        }
+        self.add_buf = v;
+        self.ok
+    }
+
+    /// Shared implementation behind [`Solver::add_clause`] and
+    /// [`Solver::add_clause_batch`]: `v` holds the raw literals and is
+    /// used as scratch. Proof clones happen only when logging is on.
+    fn add_clause_from_buf(&mut self, v: &mut Vec<Lit>) -> bool {
         assert_eq!(
             self.decision_level(),
             0,
@@ -993,31 +1198,35 @@ impl Solver {
         if !self.ok {
             return false;
         }
-        let mut v: Vec<Lit> = lits.into_iter().collect();
         v.sort_unstable();
         v.dedup();
-        let v_for_proof = v.clone();
-        self.log_proof(|| ProofStep::Original(v_for_proof));
-        let mut w = Vec::with_capacity(v.len());
+        self.log_proof(|| ProofStep::Original(v.clone()));
+        let mut w = std::mem::take(&mut self.add_buf2);
+        w.clear();
         let mut prev: Option<Lit> = None;
-        for &l in &v {
+        let mut dropped = false;
+        for &l in v.iter() {
             debug_assert!(
                 l.var().index() < self.num_vars(),
                 "literal over unknown variable"
             );
             if prev == Some(!l) || self.value(l) == LBool::True {
-                return true; // tautology or already satisfied at root
+                // Tautology or already satisfied at root.
+                self.add_buf2 = w;
+                return true;
             }
             if self.value(l) != LBool::False {
                 w.push(l);
             }
             prev = Some(l);
         }
-        if w != v {
-            let w_for_proof = w.clone();
-            self.log_proof(|| ProofStep::Lemma(w_for_proof));
+        if w.len() != v.len() {
+            dropped = true;
         }
-        match w.len() {
+        if dropped {
+            self.log_proof(|| ProofStep::Lemma(w.clone()));
+        }
+        let result = match w.len() {
             0 => {
                 self.ok = false;
                 self.log_proof(|| ProofStep::Empty);
@@ -1037,18 +1246,57 @@ impl Solver {
                 self.attach(cref);
                 true
             }
-        }
+        };
+        self.add_buf2 = w;
+        result
     }
 
     fn attach(&mut self, cref: ClauseRef) {
         let lits = self.db.lits(cref);
         let (l0, l1) = (lits[0], lits[1]);
         if lits.len() == 2 && self.features.binary_watches {
-            self.bin_watches[(!l0).code()].push(BinWatcher { cref, implied: l1 });
-            self.bin_watches[(!l1).code()].push(BinWatcher { cref, implied: l0 });
+            self.bin_watches
+                .push((!l0).code(), BinWatcher { cref, implied: l1 });
+            self.bin_watches
+                .push((!l1).code(), BinWatcher { cref, implied: l0 });
+        } else if lits.len() == 3 && self.features.ternary_watches {
+            let l2 = lits[2];
+            self.tern_watches.push(
+                (!l0).code(),
+                TernWatcher {
+                    cref,
+                    others: [l1, l2],
+                },
+            );
+            self.tern_watches.push(
+                (!l1).code(),
+                TernWatcher {
+                    cref,
+                    others: [l0, l2],
+                },
+            );
+            self.tern_watches.push(
+                (!l2).code(),
+                TernWatcher {
+                    cref,
+                    others: [l0, l1],
+                },
+            );
         } else {
-            self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
-            self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
+            self.watches
+                .push((!l0).code(), Watcher { cref, blocker: l1 });
+            self.watches
+                .push((!l1).code(), Watcher { cref, blocker: l0 });
+        }
+    }
+
+    /// Records that `cref` is about to be deleted: a ternary deletion
+    /// leaves stale watchers behind until the next full sweep, so the
+    /// ternary scan must re-check clause liveness until then.
+    #[inline]
+    fn note_delete(&mut self, cref: ClauseRef) {
+        if self.db.len(cref) == 3 {
+            self.tern_stale = true;
         }
     }
 
@@ -1094,22 +1342,21 @@ impl Solver {
             self.stats.propagations += 1;
             let code = p.code();
 
-            // Binary pass: no arena access at all. The list is detached
-            // for the duration of the scan (nothing in the loop touches
-            // any binary watch list — enqueues only write the trail), so
-            // iteration is over a plain slice with no per-step indexing.
-            // Binary clauses are deleted only by `simplify`'s eager scrub
-            // and remapped by `garbage_collect`, so no watcher here can
-            // be stale. Binary reasons are NOT normalized to put the
-            // implied literal first; `analyze` and `locked` accept it at
-            // either position.
-            // Binary-sparse workloads (e.g. sequential-counter
-            // encodings) leave most lists empty; skipping the detach
-            // avoids dirtying the header's cache line on every literal.
-            if !self.bin_watches[code].is_empty() {
-                let bws = std::mem::take(&mut self.bin_watches[code]);
+            // Binary pass: no arena access at all. Nothing in the loop
+            // pushes to any binary watch list (enqueues only write the
+            // trail), so the `(start, len)` window snapshot stays valid
+            // for the whole scan. Binary clauses are deleted only by
+            // `simplify`'s eager scrub and remapped by
+            // `garbage_collect`, so no watcher here can be stale. Binary
+            // reasons are NOT normalized to put the implied literal
+            // first; `analyze` and `locked` accept it at either position.
+            let brange = self.bin_watches.range_of(code);
+            if !brange.is_empty() {
+                // Detach the pool so the scan runs over a local slice
+                // (nothing in the loop touches any binary list).
+                let pool = self.bin_watches.take_pool();
                 let mut bin_conflict = None;
-                for w in &bws {
+                for w in &pool[brange] {
                     debug_assert!(!self.db.is_deleted(w.cref));
                     match self.value(w.implied) {
                         LBool::True => {}
@@ -1123,23 +1370,96 @@ impl Solver {
                         }
                     }
                 }
-                self.bin_watches[code] = bws;
+                self.bin_watches.restore_pool(pool);
                 if let Some(cref) = bin_conflict {
                     self.qhead = self.trail.len();
                     return Some(cref);
                 }
             }
 
-            // Long-clause pass, compacting in place.
+            // Ternary pass: both other literals are inline, so the
+            // clause's status is decided from the assignment vector
+            // alone. Watchers never migrate (all three literals watch),
+            // so the only maintenance is lazily dropping watchers of
+            // deleted clauses — ternary *learnts* are fair game for
+            // database reduction. Like the binary pass, nothing here
+            // pushes to any ternary list, so the window snapshot holds.
+            let trange = self.tern_watches.range_of(code);
+            if !trange.is_empty() {
+                let len = trange.len();
+                // Detach the pool: the scan compacts its own window in
+                // place and touches no other list, and a local slice
+                // keeps the two-pointer loop free of aliasing with the
+                // enqueues.
+                let mut pool = self.tern_watches.take_pool();
+                let tws = &mut pool[trange];
+                // Watchers of deleted clauses can linger only between a
+                // ternary deletion and the next full sweep; outside that
+                // window the scan skips the arena header load entirely.
+                let stale = self.tern_stale;
+                let mut tern_conflict = None;
+                let mut j = 0usize;
+                let mut i = 0usize;
+                while i < len {
+                    let w = tws[i];
+                    i += 1;
+                    if stale && self.db.is_deleted(w.cref) {
+                        continue; // lazily drop watcher of a deleted clause
+                    }
+                    // Compact only once a deletion opened a gap: the
+                    // common all-live scan then never dirties the line.
+                    if j + 1 != i {
+                        tws[j] = w;
+                    }
+                    j += 1;
+                    let a = self.value(w.others[0]);
+                    let b = self.value(w.others[1]);
+                    if a == LBool::True || b == LBool::True {
+                        continue;
+                    }
+                    match (a, b) {
+                        (LBool::False, LBool::False) => {
+                            // Conflict: keep remaining watchers and stop.
+                            tern_conflict = Some(w.cref);
+                            tws.copy_within(i..len, j);
+                            j += len - i;
+                            break;
+                        }
+                        (LBool::False, LBool::Undef) => {
+                            self.stats.ternary_props += 1;
+                            self.unchecked_enqueue(w.others[1], Some(w.cref));
+                        }
+                        (LBool::Undef, LBool::False) => {
+                            self.stats.ternary_props += 1;
+                            self.unchecked_enqueue(w.others[0], Some(w.cref));
+                        }
+                        _ => {} // both undefined: still open
+                    }
+                }
+                self.tern_watches.restore_pool(pool);
+                self.tern_watches.truncate(code, j);
+                if let Some(cref) = tern_conflict {
+                    self.qhead = self.trail.len();
+                    return Some(cref);
+                }
+            }
+
+            // Long-clause pass, compacting in place. The scan may push
+            // watchers onto *other* lists; the slab guarantees this
+            // list's `(start, len)` window never moves on such pushes,
+            // and absolute pool indices stay valid across the pool's
+            // growth, so the snapshot below holds for the whole scan.
             let false_lit = !p;
+            let wrange = self.watches.range_of(code);
+            let (start, len) = (wrange.start, wrange.len());
             let mut i = 0usize;
             let mut j = 0usize;
-            'watchers: while i < self.watches[code].len() {
-                let w = self.watches[code][i];
+            'watchers: while i < len {
+                let w = self.watches.at_raw(start + i);
                 i += 1;
                 // Fast path: blocker already true.
                 if self.value(w.blocker) == LBool::True {
-                    self.watches[code][j] = w;
+                    self.watches.set_raw(start + j, w);
                     j += 1;
                     continue;
                 }
@@ -1160,38 +1480,36 @@ impl Solver {
                     blocker: first,
                 };
                 if first != w.blocker && self.value(first) == LBool::True {
-                    self.watches[code][j] = w_new;
+                    self.watches.set_raw(start + j, w_new);
                     j += 1;
                     continue;
                 }
                 // Look for a new literal to watch.
-                let len = self.db.len(w.cref);
-                for k in 2..len {
+                let clen = self.db.len(w.cref);
+                for k in 2..clen {
                     let lk = self.db.lits(w.cref)[k];
                     if self.value(lk) != LBool::False {
                         self.db.lits_mut(w.cref).swap(1, k);
                         debug_assert_ne!((!lk).code(), code);
-                        self.watches[(!lk).code()].push(w_new);
+                        self.watches.push((!lk).code(), w_new);
                         continue 'watchers;
                     }
                 }
                 // Clause is unit or conflicting.
-                self.watches[code][j] = w_new;
+                self.watches.set_raw(start + j, w_new);
                 j += 1;
                 if self.value(first) == LBool::False {
                     // Conflict: keep remaining watchers and stop.
-                    while i < self.watches[code].len() {
-                        self.watches[code][j] = self.watches[code][i];
-                        j += 1;
-                        i += 1;
-                    }
-                    self.watches[code].truncate(j);
+                    self.watches
+                        .copy_within_raw(start + i..start + len, start + j);
+                    j += len - i;
+                    self.watches.truncate(code, j);
                     self.qhead = self.trail.len();
                     return Some(w.cref);
                 }
                 self.unchecked_enqueue(first, Some(w.cref));
             }
-            self.watches[code].truncate(j);
+            self.watches.truncate(code, j);
         }
         None
     }
@@ -1544,6 +1862,7 @@ impl Solver {
             if self.db.len(c) > 2 && (!legacy_lbd_guard || self.db.lbd(c) > 3) && !self.locked(c) {
                 let lits = self.db.lits(c).to_vec();
                 self.log_proof(|| ProofStep::Delete(lits));
+                self.note_delete(c);
                 self.db.delete(c);
             }
         }
@@ -1569,29 +1888,35 @@ impl Solver {
         // reasons may have it at either position.
         let lits = self.db.lits(cref);
         let locks = |l: Lit| self.value(l) == LBool::True && self.reason(l.var()) == Some(cref);
-        locks(lits[0]) || (lits.len() == 2 && locks(lits[1]))
+        // Binary and ternary reasons may have the implied literal at any
+        // position (their watchers never reorder arena literals).
+        locks(lits[0]) || (lits.len() <= 3 && lits[1..].iter().any(|&l| locks(l)))
     }
 
     fn garbage_collect(&mut self) {
         let remap = self.db.compact();
-        for ws in &mut self.watches {
-            ws.retain_mut(|w| match remap.get(&w.cref) {
-                Some(&n) => {
-                    w.cref = n;
-                    true
-                }
-                None => false,
-            });
-        }
-        for ws in &mut self.bin_watches {
-            ws.retain_mut(|w| match remap.get(&w.cref) {
-                Some(&n) => {
-                    w.cref = n;
-                    true
-                }
-                None => false,
-            });
-        }
+        self.watches.sweep(|w| match remap.get(&w.cref) {
+            Some(&n) => {
+                w.cref = n;
+                true
+            }
+            None => false,
+        });
+        self.bin_watches.sweep(|w| match remap.get(&w.cref) {
+            Some(&n) => {
+                w.cref = n;
+                true
+            }
+            None => false,
+        });
+        self.tern_watches.sweep(|w| match remap.get(&w.cref) {
+            Some(&n) => {
+                w.cref = n;
+                true
+            }
+            None => false,
+        });
+        self.tern_stale = false;
         self.pending_strengthen.retain_mut(|p| {
             match (remap.get(&p.target), remap.get(&p.support)) {
                 (Some(&t), Some(&s)) => {
@@ -1670,6 +1995,7 @@ impl Solver {
                 for &l in self.db.lits(c) {
                     match self.value(l) {
                         LBool::True => {
+                            self.note_delete(c);
                             self.db.delete(c);
                             self.stats.simplify_removed += 1;
                             touched = true;
@@ -1708,6 +2034,7 @@ impl Solver {
                     self.db.set_lbd(new_cref, old_lbd.min(shrunk.len() as u32));
                     self.db.set_activity(new_cref, old_act);
                 }
+                self.note_delete(c);
                 self.db.delete(c);
                 self.attach(new_cref);
                 keep.push(new_cref);
@@ -1724,12 +2051,10 @@ impl Solver {
             // Scrub watchers of retired clauses eagerly instead of letting
             // propagation drop them one miss at a time.
             let db = &self.db;
-            for ws in &mut self.watches {
-                ws.retain(|w| !db.is_deleted(w.cref));
-            }
-            for ws in &mut self.bin_watches {
-                ws.retain(|w| !db.is_deleted(w.cref));
-            }
+            self.watches.sweep(|w| !db.is_deleted(w.cref));
+            self.bin_watches.sweep(|w| !db.is_deleted(w.cref));
+            self.tern_watches.sweep(|w| !db.is_deleted(w.cref));
+            self.tern_stale = false;
         }
         if self.db.wasted_ratio() > 0.3 {
             self.garbage_collect();
@@ -1759,12 +2084,14 @@ impl Solver {
         match new.len() {
             0 => {
                 // All literals refuted at the root: the formula is UNSAT.
+                self.note_delete(c);
                 self.db.delete(c);
                 self.ok = false;
                 self.log_proof(|| ProofStep::Empty);
             }
             1 => {
                 // The slot keeps the retired cref; list pruning is lazy.
+                self.note_delete(c);
                 self.db.delete(c);
                 match self.value(new[0]) {
                     LBool::True => {}
@@ -1791,6 +2118,7 @@ impl Solver {
                     self.db
                         .set_tier(new_cref, self.db.tier(c).max(Tier::for_lbd(lbd)));
                 }
+                self.note_delete(c);
                 self.db.delete(c);
                 self.attach(new_cref);
                 if which == 0 {

@@ -1,0 +1,235 @@
+//! Slab-backed watch lists: every per-literal list lives in one shared
+//! pool, so cloning the whole structure for [`crate::Solver::fork`] is two
+//! `memcpy`s instead of one heap allocation per literal. A formula with
+//! tens of thousands of variables otherwise pays ~2·vars mallocs per fork,
+//! which dominates the snapshot cost.
+//!
+//! Layout: `heads[code]` names a `(start, len, cap)` window into `pool`.
+//! A push that overflows its window relocates the list to the pool tail
+//! with doubled capacity and abandons the old slots (`wasted` tracks
+//! them); [`WatchLists::sweep`] rebuilds the pool compactly. Windows of
+//! *other* lists never move on a push, and pool indices stay valid across
+//! the pool's own reallocation, which is exactly the stability the
+//! propagation loop needs (it only ever pushes to lists other than the
+//! one it is scanning).
+
+/// One per-literal window into the pool. `cap` slots are reserved
+/// starting at `start`; the first `len` hold live watchers.
+#[derive(Debug, Clone, Copy, Default)]
+struct ListHead {
+    start: u32,
+    len: u32,
+    cap: u32,
+}
+
+/// Flat watch-list collection over a copyable watcher type.
+#[derive(Debug, Clone)]
+pub(crate) struct WatchLists<T: Copy> {
+    pool: Vec<T>,
+    heads: Vec<ListHead>,
+    /// Pool slots orphaned by list relocation; reclaimed by `sweep`.
+    wasted: usize,
+}
+
+impl<T: Copy> WatchLists<T> {
+    pub(crate) fn new() -> Self {
+        WatchLists {
+            pool: Vec::new(),
+            heads: Vec::new(),
+            wasted: 0,
+        }
+    }
+
+    /// Appends one empty list (callers add two per fresh variable).
+    pub(crate) fn push_list(&mut self) {
+        self.heads.push(ListHead::default());
+    }
+
+    /// The live pool-slot range of `code`'s list in one head load (the
+    /// propagation loop reads this once per literal per scheme; separate
+    /// `start_of`/`len_of` calls would each re-check bounds). Stable under
+    /// pushes to *other* lists, like [`WatchLists::start_of`].
+    #[inline]
+    pub(crate) fn range_of(&self, code: usize) -> std::ops::Range<usize> {
+        let head = self.heads[code];
+        head.start as usize..(head.start + head.len) as usize
+    }
+
+    /// Reads the watcher at absolute pool slot `idx`.
+    #[inline]
+    pub(crate) fn at_raw(&self, idx: usize) -> T {
+        self.pool[idx]
+    }
+
+    /// Writes the watcher at absolute pool slot `idx`.
+    #[inline]
+    pub(crate) fn set_raw(&mut self, idx: usize, w: T) {
+        self.pool[idx] = w;
+    }
+
+    /// `copy_within` over absolute pool slots (bulk tail-keep on conflict).
+    #[inline]
+    pub(crate) fn copy_within_raw(&mut self, src: std::ops::Range<usize>, dst: usize) {
+        self.pool.copy_within(src, dst);
+    }
+
+    /// Shrinks `code`'s list to `len` (two-pointer compaction epilogue).
+    #[inline]
+    pub(crate) fn truncate(&mut self, code: usize, len: usize) {
+        debug_assert!(len <= self.heads[code].len as usize);
+        self.heads[code].len = len as u32;
+    }
+
+    /// Appends `w` to `code`'s list, relocating the list to the pool tail
+    /// with doubled capacity when its window is full. Other lists' windows
+    /// are unaffected either way.
+    pub(crate) fn push(&mut self, code: usize, w: T) {
+        let head = self.heads[code];
+        if head.len < head.cap {
+            self.pool[(head.start + head.len) as usize] = w;
+            self.heads[code].len += 1;
+            return;
+        }
+        // Min window of 2, not a larger round-up: most lists hold one or
+        // two watchers (every literal of a 2/3-clause gets one), and the
+        // scan streams the pool — halving dead padding is worth the one
+        // extra relocation that longer lists pay on their way up.
+        let new_cap = (head.cap * 2).max(2);
+        let new_start = self.pool.len();
+        debug_assert!(new_start + new_cap as usize <= u32::MAX as usize);
+        self.pool.reserve(new_cap as usize);
+        for i in 0..head.len as usize {
+            let v = self.pool[head.start as usize + i];
+            self.pool.push(v);
+        }
+        // Pad the window to full capacity (with copies of `w`, the only
+        // value at hand) so the next relocation starts past it.
+        self.pool.resize(new_start + new_cap as usize, w);
+        self.wasted += head.cap as usize;
+        self.heads[code] = ListHead {
+            start: new_start as u32,
+            len: head.len + 1,
+            cap: new_cap,
+        };
+    }
+
+    /// Retains watchers `f` approves of (with in-place mutation, e.g. cref
+    /// remapping), rebuilding the pool with zero wasted slots. Lists keep
+    /// their relative order; capacities snap to the surviving lengths, so
+    /// the next push per list relocates once — sweeps are rare (garbage
+    /// collection, simplify scrubs, pre-fork compaction) and the compact
+    /// pool is what makes the fork clone cheap.
+    pub(crate) fn sweep(&mut self, mut f: impl FnMut(&mut T) -> bool) {
+        let live = self.pool.len() - self.wasted;
+        let mut new_pool = Vec::with_capacity(live);
+        for head in &mut self.heads {
+            let new_start = new_pool.len() as u32;
+            for i in head.start as usize..(head.start + head.len) as usize {
+                let mut w = self.pool[i];
+                if f(&mut w) {
+                    new_pool.push(w);
+                }
+            }
+            let new_len = new_pool.len() as u32 - new_start;
+            *head = ListHead {
+                start: new_start,
+                len: new_len,
+                cap: new_len,
+            };
+        }
+        self.pool = new_pool;
+        self.wasted = 0;
+    }
+
+    /// Orphaned pool slots awaiting a sweep.
+    pub(crate) fn wasted(&self) -> usize {
+        self.wasted
+    }
+
+    /// Detaches the pool for a scan that needs a local slice (so the
+    /// optimizer sees no aliasing with the rest of the solver). The
+    /// caller must not touch any list until [`WatchLists::restore_pool`]
+    /// puts it back, and may shrink its own list via `truncate` after.
+    #[inline]
+    pub(crate) fn take_pool(&mut self) -> Vec<T> {
+        std::mem::take(&mut self.pool)
+    }
+
+    /// Re-attaches a pool taken by [`WatchLists::take_pool`].
+    #[inline]
+    pub(crate) fn restore_pool(&mut self, pool: Vec<T>) {
+        debug_assert!(self.pool.is_empty());
+        self.pool = pool;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(w: &WatchLists<u64>, code: usize) -> Vec<u64> {
+        w.range_of(code).map(|i| w.at_raw(i)).collect()
+    }
+
+    #[test]
+    fn push_relocates_without_disturbing_other_lists() {
+        let mut w = WatchLists::new();
+        for _ in 0..3 {
+            w.push_list();
+        }
+        for i in 0..10u64 {
+            w.push(0, i);
+            w.push(2, 100 + i);
+        }
+        w.push(1, 777);
+        assert_eq!(collect(&w, 0), (0..10).collect::<Vec<_>>());
+        assert_eq!(collect(&w, 1), vec![777]);
+        assert_eq!(collect(&w, 2), (100..110).collect::<Vec<_>>());
+        assert!(w.wasted() > 0);
+    }
+
+    #[test]
+    fn sweep_compacts_and_filters_in_order() {
+        let mut w = WatchLists::new();
+        for _ in 0..2 {
+            w.push_list();
+        }
+        for i in 0..8u64 {
+            w.push(0, i);
+            w.push(1, 50 + i);
+        }
+        w.sweep(|v| {
+            *v *= 10;
+            *v % 20 == 0
+        });
+        assert_eq!(w.wasted(), 0);
+        assert_eq!(collect(&w, 0), vec![0, 20, 40, 60]);
+        assert_eq!(collect(&w, 1), vec![500, 520, 540, 560]);
+        // Post-sweep pushes still work (each list relocates once).
+        w.push(0, 999);
+        assert_eq!(collect(&w, 0), vec![0, 20, 40, 60, 999]);
+        assert_eq!(collect(&w, 1), vec![500, 520, 540, 560]);
+    }
+
+    #[test]
+    fn truncate_and_raw_writes_model_two_pointer_compaction() {
+        let mut w = WatchLists::new();
+        w.push_list();
+        for i in 0..6u64 {
+            w.push(0, i);
+        }
+        let range = w.range_of(0);
+        let start = range.start;
+        // Keep even entries via the solver's two-pointer idiom.
+        let mut j = 0;
+        for i in 0..range.len() {
+            let v = w.at_raw(start + i);
+            if v % 2 == 0 {
+                w.set_raw(start + j, v);
+                j += 1;
+            }
+        }
+        w.truncate(0, j);
+        assert_eq!(collect(&w, 0), vec![0, 2, 4]);
+    }
+}

@@ -13,7 +13,10 @@ use crate::metrics::{MetricsCollector, ServiceMetrics};
 use crate::request::{
     JobHandle, JobOutput, JobShared, JobStatus, Objective, Priority, SynthesisRequest,
 };
-use olsq2::{CubeSynthesizer, IncumbentSlot, Olsq2Synthesizer, SynthesisError, TbOlsq2Synthesizer};
+use olsq2::{
+    CubeSynthesizer, IncumbentSlot, ModelSeed, Olsq2Synthesizer, SnapshotSlot, SynthesisError,
+    TbOlsq2Synthesizer,
+};
 use olsq2_layout::LayoutResult;
 use olsq2_sat::Stats;
 use std::collections::{BTreeMap, HashMap};
@@ -47,6 +50,16 @@ pub struct ServiceConfig {
     /// `/flight/<job-id>` route), and jobs that end degraded, cancelled,
     /// or failed dump their ring to [`FlightSettings::dir`].
     pub flight: Option<FlightSettings>,
+    /// Opt-in warm restarts for preempted jobs. When `true`, a job cut
+    /// short by its deadline or conflict budget publishes an O(memcpy)
+    /// snapshot of its solver ([`olsq2::ModelSeed`], captured at the last
+    /// root settle) into a per-service store keyed by the *exact*
+    /// instance fingerprint — deliberately not the relabeling-invariant
+    /// cache key, since a fork replays the template's variable numbering
+    /// verbatim. A resubmission of the same instance forks the snapshot
+    /// instead of re-encoding, resuming with all learned clauses and
+    /// phase/activity state intact. Default `false`.
+    pub snapshot_on_preempt: bool,
 }
 
 /// Per-job flight-recorder sizing for a service (see
@@ -85,6 +98,7 @@ impl Default for ServiceConfig {
             recorder: olsq2::Recorder::disabled(),
             incremental: true,
             flight: None,
+            snapshot_on_preempt: false,
         }
     }
 }
@@ -137,7 +151,17 @@ struct ServiceState {
     /// [`ServiceConfig::flight`] is set. Rings stay readable after their
     /// job completes (the service instance bounds their lifetime).
     flights: Mutex<HashMap<u64, olsq2::Probe>>,
+    snapshot_on_preempt: bool,
+    /// Solver snapshots of preempted jobs, keyed by the exact instance
+    /// fingerprint ([`ModelSeed::instance_fingerprint`]), bounded by
+    /// [`SNAPSHOT_CAPACITY`]. A resubmitted instance forks its entry
+    /// instead of re-encoding; a proven-optimal completion retires it.
+    snapshots: Mutex<HashMap<u64, ModelSeed>>,
 }
+
+/// Entry cap of the preemption-snapshot store; an arbitrary entry is
+/// evicted when a new instance arrives at capacity.
+const SNAPSHOT_CAPACITY: usize = 32;
 
 /// A synthesis service instance owning its worker pool.
 ///
@@ -178,6 +202,8 @@ impl SynthesisService {
             incremental: config.incremental,
             flight: config.flight,
             flights: Mutex::new(HashMap::new()),
+            snapshot_on_preempt: config.snapshot_on_preempt,
+            snapshots: Mutex::new(HashMap::new()),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -494,12 +520,57 @@ fn run_job(state: &ServiceState, id: u64, job: &QueuedJob) {
         (a, b) => a.or(b),
     };
 
+    // Snapshot-on-preempt: resume this instance from a prior preempted
+    // run's solver fork if one is stored, and arm a slot so this run can
+    // publish its own snapshot if it too gets cut short. Keyed by the
+    // exact instance fingerprint, not the relabeling-invariant cache key
+    // — forks replay the template's variable numbering verbatim.
+    let snapshot_key = (state.snapshot_on_preempt && config.fork_spawn)
+        .then(|| ModelSeed::instance_fingerprint(&request.circuit, &request.device, &config));
+    let snapshot_slot = snapshot_key.map(|key| {
+        let stored = state
+            .snapshots
+            .lock()
+            .expect("snapshots lock")
+            .get(&key)
+            .cloned();
+        if let Some(seed) = stored {
+            span.set("snapshot_resume", true);
+            config.model_seed = Some(seed);
+        }
+        let slot = SnapshotSlot::new();
+        config.snapshot_slot = Some(slot.clone());
+        slot
+    });
+    let stash_snapshot = |retire: bool| {
+        let (Some(slot), Some(key)) = (&snapshot_slot, snapshot_key) else {
+            return;
+        };
+        let mut store = state.snapshots.lock().expect("snapshots lock");
+        if retire {
+            store.remove(&key);
+            return;
+        }
+        if let Some(seed) = slot.take() {
+            if store.len() >= SNAPSHOT_CAPACITY && !store.contains_key(&key) {
+                if let Some(evict) = store.keys().next().copied() {
+                    store.remove(&evict);
+                }
+            }
+            store.insert(key, seed);
+        }
+    };
+
     let solved = solve(request, config);
     let latency = job.submitted_at.elapsed();
     let service_time = picked_at.elapsed();
 
     match solved {
         Ok((result, proven_optimal, stats, extensions)) => {
+            // A proven-optimal completion retires the instance's stored
+            // snapshot; a degraded one publishes the fresher state the
+            // budget hooks captured at the last root settle.
+            stash_snapshot(proven_optimal);
             state.metrics.on_extensions(extensions as u64);
             // `proven_optimal == false` on an Ok outcome means the budget
             // machinery (deadline, conflict budget, or cancel) cut the
@@ -546,6 +617,7 @@ fn run_job(state: &ServiceState, id: u64, job: &QueuedJob) {
             job.shared.set_status(JobStatus::Done(Box::new(output)));
         }
         Err(SynthesisError::BudgetExhausted) => {
+            stash_snapshot(false);
             if job.shared.cancel.load(Ordering::Relaxed) {
                 state.metrics.on_cancel_running(tenant);
                 span.set("status", "cancelled");
